@@ -1,0 +1,148 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V), then times the toolchain's own stages with
+   Bechamel — one benchmark per reproduced table/figure.
+
+     dune exec bench/main.exe            full experiments + microbenchmarks
+     dune exec bench/main.exe -- quick   experiments only *)
+
+module E = Vapor_harness.Experiments
+module R = Vapor_harness.Report
+module Suite = Vapor_kernels.Suite
+module Flows = Vapor_harness.Flows
+module Driver = Vapor_vectorizer.Driver
+module Profile = Vapor_jit.Profile
+module Compile = Vapor_jit.Compile
+module Iaca = Vapor_machine.Iaca
+
+let scale = 2
+
+(* ---------------------------------------------------------------------- *)
+(* Part 1: the paper's tables and figures.                                 *)
+
+let run_experiments () =
+  Printf.printf
+    "Vapor SIMD reproduction: auto-vectorize once, run everywhere\n";
+  Printf.printf
+    "=============================================================\n";
+  Printf.printf "(workload scale %d; see EXPERIMENTS.md for the\n" scale;
+  Printf.printf " paper-vs-measured comparison of every row)\n";
+
+  let rows, mean = E.fig5 ~target:Vapor_targets.Sse.target ~scale in
+  R.print_rows
+    ~title:"Figure 5a: Mono normalized vectorization impact, SSE (128-bit)"
+    ~value_label:"higher is better" ~mean_label:"Arith. Mean" ~mean rows;
+
+  let rows, mean = E.fig5 ~target:Vapor_targets.Altivec.target ~scale in
+  R.print_rows
+    ~title:
+      "Figure 5b: Mono normalized vectorization impact, AltiVec (128-bit)"
+    ~value_label:"higher is better" ~mean_label:"Arith. Mean" ~mean rows;
+
+  List.iter
+    (fun (tag, target) ->
+      let rows, mean = E.fig6 ~target ~scale in
+      R.print_rows
+        ~title:
+          (Printf.sprintf
+             "Figure 6%s: gcc4cli normalized execution time, %s" tag
+             target.Vapor_targets.Target.name)
+        ~value_label:"lower is better" ~mean_label:"Har. Mean" ~mean rows)
+    [
+      "a (128-bit)", Vapor_targets.Sse.target;
+      "b (128-bit)", Vapor_targets.Altivec.target;
+      "c (64-bit)", Vapor_targets.Neon.target;
+    ];
+
+  R.print_table3 (E.table3 ());
+
+  List.iter
+    (fun target ->
+      let rows, mean = E.ablation ~target ~scale in
+      R.print_rows
+        ~title:
+          (Printf.sprintf
+             "Section V-A.b ablation: alignment optimizations disabled, %s"
+             target.Vapor_targets.Target.name)
+        ~value_label:"degradation factor" ~mean_label:"Average" ~mean rows)
+    [ Vapor_targets.Sse.target; Vapor_targets.Altivec.target ];
+
+  R.print_design_ablations
+    (E.design_ablations ~target:Vapor_targets.Altivec.target ~scale);
+
+  R.print_compile_stats (E.compile_stats ())
+
+(* ---------------------------------------------------------------------- *)
+(* Part 2: Bechamel microbenchmarks of the pipeline stages that produce
+   each table — offline vectorization, JIT compilation, simulation.        *)
+
+open Bechamel
+open Toolkit
+
+let kernel_of name = Suite.kernel (Suite.find name)
+
+let bench_fig5_flow () =
+  (* One full Figure-5 data point: the four flows for one kernel. *)
+  let entry = Suite.find "saxpy_fp" in
+  ignore (E.fig5_impact ~target:Vapor_targets.Sse.target ~scale:1 entry)
+
+let bench_fig6_flow () =
+  let entry = Suite.find "jacobi_fp" in
+  ignore (E.fig6_ratio ~target:Vapor_targets.Altivec.target ~scale:1 entry)
+
+let bench_offline_vectorizer () =
+  (* The offline stage (uncached) on a representative kernel. *)
+  ignore (Driver.vectorize (kernel_of "interp_s16"))
+
+let bench_jit_compile () =
+  (* Table 3's producer: online compilation of one kernel for AVX. *)
+  let bytecode =
+    (Flows.vectorized_bytecode (Suite.find "sfir_fp")).Driver.vkernel
+  in
+  let c =
+    Compile.compile ~target:Vapor_targets.Avx.target ~profile:Profile.avx_split
+      bytecode
+  in
+  ignore (Iaca.vector_loop_cycles Vapor_targets.Avx.target c.Compile.mfun)
+
+let bench_codec () =
+  (* The bytecode-size table's producer: encode + decode round trip. *)
+  let bytecode =
+    (Flows.vectorized_bytecode (Suite.find "mmm_fp")).Driver.vkernel
+  in
+  ignore (Vapor_vecir.Encode.decode (Vapor_vecir.Encode.encode bytecode))
+
+let benchmarks =
+  Test.make_grouped ~name:"vapor"
+    [
+      Test.make ~name:"fig5-datapoint" (Staged.stage bench_fig5_flow);
+      Test.make ~name:"fig6-datapoint" (Staged.stage bench_fig6_flow);
+      Test.make ~name:"offline-vectorize"
+        (Staged.stage bench_offline_vectorizer);
+      Test.make ~name:"table3-jit+iaca" (Staged.stage bench_jit_compile);
+      Test.make ~name:"sizes-codec" (Staged.stage bench_codec);
+    ]
+
+let run_benchmarks () =
+  Printf.printf "\nBechamel microbenchmarks (toolchain stages)\n";
+  Printf.printf "===========================================\n%!";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances benchmarks in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun instance ->
+      let tbl = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+        tbl)
+    instances
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  run_experiments ();
+  if not quick then run_benchmarks ()

@@ -1,0 +1,316 @@
+(* vaporc: command-line driver for the split-vectorization toolchain.
+
+     vaporc list                          enumerate benchmark kernels
+     vaporc dump-ir -k saxpy_fp           parsed + type-checked IR
+     vaporc vectorize -k saxpy_fp         offline stage: bytecode + report
+     vaporc lower -k saxpy_fp -t sse      online stage: machine code
+     vaporc run -k saxpy_fp -t altivec    compile + simulate, print cycles
+     vaporc stat -k saxpy_fp              bytecode size statistics
+     vaporc experiments                   regenerate the paper's figures
+
+   Kernels come from the built-in suite (-k) or from a file containing
+   kernel-language source (-f). *)
+
+open Cmdliner
+module Suite = Vapor_kernels.Suite
+module Driver = Vapor_vectorizer.Driver
+module Options = Vapor_vectorizer.Options
+module Profile = Vapor_jit.Profile
+module Compile = Vapor_jit.Compile
+module Targets = Vapor_targets.Scalar_target
+module E = Vapor_harness.Experiments
+module R = Vapor_harness.Report
+
+(* --- common arguments --------------------------------------------------- *)
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "k"; "kernel" ] ~docv:"NAME" ~doc:"Benchmark-suite kernel name.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Kernel-language source file.")
+
+let target_arg =
+  let the_target_conv =
+    Arg.conv
+      ((fun s ->
+         try Ok (Targets.find s) with Invalid_argument m -> Error (`Msg m)),
+       (fun fmt t -> Format.pp_print_string fmt t.Vapor_targets.Target.name))
+  in
+  Arg.(
+    value
+    & opt the_target_conv Vapor_targets.Sse.target
+    & info [ "t"; "target" ] ~docv:"TARGET"
+        ~doc:"Target: sse, altivec, neon, avx, or scalar.")
+
+let profile_arg =
+  let the_profile_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "mono" -> Ok Profile.mono
+          | "gcc4cli" -> Ok Profile.gcc4cli
+          | "native" -> Ok Profile.native
+          | "avx-split" -> Ok Profile.avx_split
+          | other -> Error (`Msg ("unknown profile " ^ other))),
+        fun fmt p -> Format.pp_print_string fmt p.Profile.name )
+  in
+  Arg.(
+    value
+    & opt the_profile_conv Profile.gcc4cli
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Codegen profile: mono, gcc4cli, native, or avx-split.")
+
+let no_hints_arg =
+  Arg.(
+    value & flag
+    & info [ "no-hints" ]
+        ~doc:"Disable alignment hints/versioning/peeling (the ablation).")
+
+let alias_checks_arg =
+  Arg.(
+    value & flag
+    & info [ "alias-checks" ]
+        ~doc:
+          "Version vectorized loops on runtime array disjointness instead \
+           of assuming restrict semantics.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+
+let load_kernel kernel file : Vapor_ir.Kernel.t * Suite.entry option =
+  match kernel, file with
+  | Some name, None ->
+    let entry = Suite.find name in
+    Suite.kernel entry, Some entry
+  | None, Some path ->
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    Vapor_frontend.Typecheck.compile_one src, None
+  | Some _, Some _ -> failwith "give either --kernel or --file, not both"
+  | None, None -> failwith "a kernel is required: --kernel NAME or --file FILE"
+
+let opts_of no_hints alias_checks =
+  let base = if no_hints then Options.no_hints else Options.default in
+  { base with Options.alias_checks }
+
+(* --- commands ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-18s %s%s\n" e.Suite.name
+          (String.concat ", " e.Suite.features)
+          (if e.Suite.polybench then "  [polybench]" else ""))
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark-suite kernels.")
+    Term.(const run $ const ())
+
+let dump_ir_cmd =
+  let run kernel file =
+    let k, _ = load_kernel kernel file in
+    print_string (Vapor_ir.Ir_print.kernel_to_string k)
+  in
+  Cmd.v
+    (Cmd.info "dump-ir" ~doc:"Print the type-checked scalar IR of a kernel.")
+    Term.(const run $ kernel_arg $ file_arg)
+
+let vectorize_cmd =
+  let run kernel file no_hints alias_checks =
+    let k, _ = load_kernel kernel file in
+    let result = Driver.vectorize ~opts:(opts_of no_hints alias_checks) k in
+    Printf.printf "--- vectorization report ---\n%s\n\n"
+      (Driver.report_to_string result);
+    Printf.printf "--- vectorized bytecode ---\n%s"
+      (Vapor_vecir.Vec_print.to_string result.Driver.vkernel)
+  in
+  Cmd.v
+    (Cmd.info "vectorize"
+       ~doc:"Run the offline stage and print the split-layer bytecode.")
+    Term.(const run $ kernel_arg $ file_arg $ no_hints_arg $ alias_checks_arg)
+
+let lower_cmd =
+  let run kernel file no_hints target profile =
+    let k, _ = load_kernel kernel file in
+    let result = Driver.vectorize ~opts:(opts_of no_hints false) k in
+    let compiled = Compile.compile ~target ~profile result.Driver.vkernel in
+    print_string (Vapor_machine.Mfun.to_string compiled.Compile.mfun);
+    List.iteri
+      (fun i d ->
+        Printf.printf "; region %d: %s\n" i
+          (match d with
+          | Vapor_jit.Lower.Vectorize -> "vectorized"
+          | Vapor_jit.Lower.Scalarize reason -> "scalarized (" ^ reason ^ ")"))
+      compiled.Compile.decisions;
+    Printf.printf "; modeled JIT compile time: %.1f us (%d bytecode nodes)\n"
+      compiled.Compile.compile_time_us compiled.Compile.bytecode_nodes
+  in
+  Cmd.v
+    (Cmd.info "lower"
+       ~doc:"Run the online stage and print target machine code.")
+    Term.(
+      const run $ kernel_arg $ file_arg $ no_hints_arg $ target_arg
+      $ profile_arg)
+
+let run_cmd =
+  let run kernel no_hints target profile scale =
+    let entry = Suite.find (Option.value ~default:"saxpy_fp" kernel) in
+    let module Flows = Vapor_harness.Flows in
+    let r =
+      Flows.split_vector
+        ~opts:(opts_of no_hints false)
+        ~target ~profile entry ~scale
+    in
+    let s = Flows.split_scalar ~target ~profile entry ~scale in
+    Printf.printf
+      "%s on %s (%s): %d cycles vectorized (%s), %d cycles scalar, speedup %.2fx\n"
+      entry.Suite.name target.Vapor_targets.Target.name profile.Profile.name
+      r.Flows.cycles
+      (if r.Flows.vectorized then "vector code" else "scalarized")
+      s.Flows.cycles
+      (float_of_int s.Flows.cycles /. float_of_int r.Flows.cycles)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile a suite kernel and simulate it.")
+    Term.(
+      const run $ kernel_arg $ no_hints_arg $ target_arg $ profile_arg
+      $ scale_arg)
+
+let stat_cmd =
+  let run kernel file =
+    let k, _ = load_kernel kernel file in
+    let result = Driver.vectorize k in
+    let vec = Vapor_vecir.Encode.size result.Driver.vkernel in
+    let scalar = Vapor_vecir.Encode.size result.Driver.scalar_bytecode in
+    Printf.printf
+      "scalar bytecode: %d bytes\nvectorized bytecode: %d bytes\nratio: %.2fx\n"
+      scalar vec
+      (float_of_int vec /. float_of_int scalar)
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Bytecode size statistics for a kernel.")
+    Term.(const run $ kernel_arg $ file_arg)
+
+let encode_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the encoded bytecode here (default: NAME.vbc).")
+  in
+  let run kernel file no_hints out =
+    let k, _ = load_kernel kernel file in
+    let result = Driver.vectorize ~opts:(opts_of no_hints false) k in
+    let bytes = Vapor_vecir.Encode.encode result.Driver.vkernel in
+    let path = Option.value ~default:(k.Vapor_ir.Kernel.name ^ ".vbc") out in
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    Printf.printf "wrote %d bytes of vectorized bytecode to %s\n"
+      (String.length bytes) path
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Vectorize and write the binary split-layer bytecode to a file.")
+    Term.(const run $ kernel_arg $ file_arg $ no_hints_arg $ out_arg)
+
+let disasm_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Encoded bytecode file (.vbc).")
+  in
+  let run path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let bytes = really_input_string ic n in
+    close_in ic;
+    let vk = Vapor_vecir.Encode.decode bytes in
+    print_string (Vapor_vecir.Vec_print.to_string vk)
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Decode a binary bytecode file and print it as text.")
+    Term.(const run $ path_arg)
+
+let experiments_cmd =
+  let run scale =
+    let rows, mean = E.fig5 ~target:Vapor_targets.Sse.target ~scale in
+    R.print_rows
+      ~title:"Figure 5a: Mono normalized vectorization impact, SSE (128-bit)"
+      ~value_label:"higher is better" ~mean_label:"Arith. Mean" ~mean rows;
+    let rows, mean = E.fig5 ~target:Vapor_targets.Altivec.target ~scale in
+    R.print_rows
+      ~title:
+        "Figure 5b: Mono normalized vectorization impact, AltiVec (128-bit)"
+      ~value_label:"higher is better" ~mean_label:"Arith. Mean" ~mean rows;
+    List.iter
+      (fun (tag, target) ->
+        let rows, mean = E.fig6 ~target ~scale in
+        R.print_rows
+          ~title:
+            (Printf.sprintf "Figure 6%s: gcc4cli normalized execution time, %s"
+               tag target.Vapor_targets.Target.name)
+          ~value_label:"lower is better" ~mean_label:"Har. Mean" ~mean rows)
+      [
+        "a", Vapor_targets.Sse.target;
+        "b", Vapor_targets.Altivec.target;
+        "c", Vapor_targets.Neon.target;
+      ];
+    R.print_table3 (E.table3 ());
+    List.iter
+      (fun target ->
+        let rows, mean = E.ablation ~target ~scale in
+        R.print_rows
+          ~title:
+            (Printf.sprintf
+               "Ablation V-A.b: alignment optimizations disabled, %s"
+               target.Vapor_targets.Target.name)
+          ~value_label:"degradation factor" ~mean_label:"Average" ~mean rows)
+      [ Vapor_targets.Sse.target; Vapor_targets.Altivec.target ];
+    R.print_compile_stats (E.compile_stats ())
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate every figure and table of the paper's evaluation.")
+    Term.(const run $ scale_arg)
+
+let () =
+  let info =
+    Cmd.info "vaporc" ~version:"1.0.0"
+      ~doc:"Vapor SIMD: auto-vectorize once, run everywhere."
+  in
+  let group =
+    Cmd.group info
+      [
+        list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
+        encode_cmd; disasm_cmd; experiments_cmd;
+      ]
+  in
+  let die msg =
+    prerr_endline ("vaporc: " ^ msg);
+    exit 1
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Vapor_frontend.Lexer.Lex_error msg -> die msg
+  | exception Vapor_frontend.Parser.Parse_error msg -> die msg
+  | exception Vapor_frontend.Typecheck.Error msg -> die ("type error: " ^ msg)
+  | exception Failure msg -> die msg
+  | exception Invalid_argument msg -> die msg
+  | exception Sys_error msg -> die msg
+  | exception Vapor_vecir.Encode.Decode_error msg ->
+    die ("bytecode decode error: " ^ msg)

@@ -1,0 +1,1 @@
+examples/audio_fir.ml: Buffer_ Eval Float List Printf Src_type Value Vapor_frontend Vapor_harness Vapor_ir Vapor_jit Vapor_targets Vapor_vectorizer

@@ -1,0 +1,1 @@
+examples/image_dissolve.ml: Buffer_ Eval List Printf Src_type String Value Vapor_frontend Vapor_harness Vapor_ir Vapor_jit Vapor_kernels Vapor_targets Vapor_vectorizer

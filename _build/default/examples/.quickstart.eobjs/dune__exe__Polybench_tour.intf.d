@@ -1,0 +1,1 @@
+examples/polybench_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer_ Eval Ir_print List Printf Src_type Value Vapor_frontend Vapor_harness Vapor_ir Vapor_jit Vapor_targets Vapor_vecir Vapor_vectorizer

@@ -1,0 +1,54 @@
+(* A tour of the Polybench kernels: vectorization status and portable
+   speedups for every kernel across every target from one bytecode.
+
+     dune exec examples/polybench_tour.exe
+
+   The kernels the paper flags as needing loop skewing (lu, ludcmp,
+   seidel) show up as "scalar" — the conservative dependence test keeps
+   them sequential, and the split layer's loop_bound idioms make that cost
+   nothing. *)
+
+module Suite = Vapor_kernels.Suite
+module Flows = Vapor_harness.Flows
+module Driver = Vapor_vectorizer.Driver
+module Profile = Vapor_jit.Profile
+
+let targets = Vapor_targets.Scalar_target.all_simd
+
+let () =
+  Printf.printf "%-18s %-9s" "kernel" "status";
+  List.iter
+    (fun (t : Vapor_targets.Target.t) ->
+      Printf.printf " %9s" t.Vapor_targets.Target.name)
+    targets;
+  Printf.printf "   (speedup of split-vectorized over split-scalar)\n";
+  List.iter
+    (fun entry ->
+      if entry.Suite.polybench then begin
+        let result = Flows.vectorized_bytecode entry in
+        let vectorized =
+          List.exists
+            (fun (e : Driver.report_entry) ->
+              match e.Driver.status with
+              | Driver.Vectorized _ -> true
+              | Driver.Not_vectorized _ -> false)
+            result.Driver.report
+        in
+        Printf.printf "%-18s %-9s" entry.Suite.name
+          (if vectorized then "vector" else "scalar");
+        List.iter
+          (fun target ->
+            let v =
+              Flows.split_vector ~target ~profile:Profile.gcc4cli entry
+                ~scale:2
+            in
+            let s =
+              Flows.split_scalar ~target ~profile:Profile.gcc4cli entry
+                ~scale:2
+            in
+            Printf.printf " %8.2fx"
+              (float_of_int s.Flows.cycles /. float_of_int v.Flows.cycles))
+          targets;
+        print_newline ()
+      end)
+    Suite.all

@@ -1,0 +1,76 @@
+(* Quickstart: the whole split-vectorization pipeline on one kernel.
+
+     dune exec examples/quickstart.exe
+
+   Writes a kernel in the C-like kernel language, auto-vectorizes it once
+   into portable bytecode, then runs that same bytecode on four different
+   SIMD targets and a SIMD-less machine, checking results against the
+   reference interpreter. *)
+
+open Vapor_ir
+module Driver = Vapor_vectorizer.Driver
+module Compile = Vapor_jit.Compile
+module Profile = Vapor_jit.Profile
+module Exec = Vapor_harness.Exec
+
+let source =
+  {|
+kernel scale_shift(f32 x[], f32 y[], f32 a, f32 b, s32 n) {
+  for (i = 0; i < n; i++) {
+    y[i] = a * x[i] + b;
+  }
+}
+|}
+
+let () =
+  (* 1. Frontend: parse + type check into scalar IR. *)
+  let kernel = Vapor_frontend.Typecheck.compile_one source in
+  Printf.printf "=== scalar IR ===\n%s\n" (Ir_print.kernel_to_string kernel);
+
+  (* 2. Offline stage: auto-vectorize once into split-layer bytecode. *)
+  let { Driver.vkernel; scalar_bytecode; _ } as result =
+    Driver.vectorize kernel
+  in
+  Printf.printf "=== vectorization report ===\n%s\n\n"
+    (Driver.report_to_string result);
+  Printf.printf "bytecode: %d bytes (scalar would be %d)\n\n"
+    (Vapor_vecir.Encode.size vkernel)
+    (Vapor_vecir.Encode.size scalar_bytecode);
+
+  (* 3. Prepare one workload, plus a reference result. *)
+  let n = 1003 in
+  let make_args () =
+    let x = Buffer_.init Src_type.F32 n (fun i -> Value.Float (float_of_int i /. 7.0)) in
+    let y = Buffer_.create Src_type.F32 n in
+    ( [
+        "x", Eval.Array x;
+        "y", Eval.Array y;
+        "a", Eval.Scalar (Value.Float 1.5);
+        "b", Eval.Scalar (Value.Float 0.25);
+        "n", Eval.Scalar (Value.Int n);
+      ],
+      y )
+  in
+  let ref_args, ref_y = make_args () in
+  ignore (Eval.run kernel ~args:ref_args);
+
+  (* 4. Online stage: run EVERYWHERE — the same bytecode per target. *)
+  Printf.printf "=== run everywhere ===\n";
+  Printf.printf "%-10s %6s %10s %10s %9s %s\n" "target" "VS" "cycles"
+    "scalar-cy" "speedup" "check";
+  List.iter
+    (fun (target : Vapor_targets.Target.t) ->
+      let compiled = Compile.compile ~target ~profile:Profile.gcc4cli vkernel in
+      let args, y = make_args () in
+      let r = Exec.run target compiled ~args in
+      let scalar =
+        Compile.compile ~target ~profile:Profile.gcc4cli scalar_bytecode
+      in
+      let sargs, _ = make_args () in
+      let s = Exec.run target scalar ~args:sargs in
+      Printf.printf "%-10s %5dB %10d %10d %8.2fx %s\n"
+        target.Vapor_targets.Target.name target.Vapor_targets.Target.vs
+        r.Exec.cycles s.Exec.cycles
+        (float_of_int s.Exec.cycles /. float_of_int r.Exec.cycles)
+        (if Buffer_.close ~eps:1e-6 ref_y y then "ok" else "MISMATCH"))
+    Vapor_targets.Scalar_target.all

@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Expr List Poly Printf Src_type Stmt Vapor_ir

@@ -1,0 +1,1 @@
+lib/analysis/access.mli: Expr Poly Src_type Stmt Vapor_ir

@@ -1,0 +1,1 @@
+lib/analysis/alignment.ml: Poly Src_type Vapor_ir

@@ -1,0 +1,1 @@
+lib/analysis/alignment.mli: Poly Vapor_ir

@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Access Format Poly String

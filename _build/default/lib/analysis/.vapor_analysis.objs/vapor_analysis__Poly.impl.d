@@ -1,0 +1,1 @@
+lib/analysis/poly.ml: Expr Format Hashtbl List Op Option Src_type String Vapor_ir

@@ -1,0 +1,1 @@
+lib/analysis/scalar_class.ml: Expr List Op Stmt String Vapor_ir

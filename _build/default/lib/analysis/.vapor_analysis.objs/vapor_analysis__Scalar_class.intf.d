@@ -1,0 +1,1 @@
+lib/analysis/scalar_class.mli: Expr Op Stmt Vapor_ir

@@ -1,0 +1,90 @@
+(* Classification of the array references of a loop with respect to its
+   index variable. *)
+
+open Vapor_ir
+
+type kind =
+  | Load
+  | Store
+
+(* Stride of a reference relative to the loop index. *)
+type stride =
+  | Invariant (* subscript does not use the index *)
+  | Unit (* stride exactly +1 *)
+  | Strided of int (* constant stride >= 2 *)
+  | Complex (* negative, symbolic, or non-linear *)
+
+type t = {
+  kind : kind;
+  arr : string;
+  elem : Src_type.t;
+  subscript : Expr.t;
+  poly : Poly.t option; (* normal form, when the subscript is polynomial *)
+  stride : stride;
+  base : Poly.t option; (* subscript minus stride*index, when linear *)
+}
+
+let classify_subscript ~index subscript =
+  match Poly.of_expr subscript with
+  | None -> None, Complex, None
+  | Some poly -> (
+    match Poly.linear_in index poly with
+    | None -> Some poly, Complex, None
+    | Some (0, base) -> Some poly, Invariant, Some base
+    | Some (1, base) -> Some poly, Unit, Some base
+    | Some (s, base) when s >= 2 -> Some poly, Strided s, Some base
+    | Some (_, base) -> Some poly, Complex, Some base)
+
+let make ~index ~elem_of kind arr subscript =
+  let poly, stride, base = classify_subscript ~index subscript in
+  { kind; arr; elem = elem_of arr; subscript; poly; stride; base }
+
+(* All array references in [stmts], in syntactic order, classified with
+   respect to loop index [index].  [elem_of] gives array element types. *)
+let collect ~index ~elem_of stmts =
+  let acc = ref [] in
+  let add kind arr subscript = acc := make ~index ~elem_of kind arr subscript :: !acc in
+  let rec visit_expr (e : Expr.t) =
+    match e with
+    | Expr.Load (arr, idx) ->
+      visit_expr idx;
+      add Load arr idx
+    | Expr.Int_lit _ | Expr.Float_lit _ | Expr.Var _ -> ()
+    | Expr.Binop (_, a, b) ->
+      visit_expr a;
+      visit_expr b
+    | Expr.Unop (_, a) | Expr.Convert (_, a) -> visit_expr a
+    | Expr.Select (c, a, b) ->
+      visit_expr c;
+      visit_expr a;
+      visit_expr b
+  in
+  let rec visit_stmt (s : Stmt.t) =
+    match s with
+    | Stmt.Assign (_, e) -> visit_expr e
+    | Stmt.Store (arr, idx, v) ->
+      visit_expr idx;
+      visit_expr v;
+      add Store arr idx
+    | Stmt.For { lo; hi; body; _ } ->
+      visit_expr lo;
+      visit_expr hi;
+      List.iter visit_stmt body
+    | Stmt.If (c, t, e) ->
+      visit_expr c;
+      List.iter visit_stmt t;
+      List.iter visit_stmt e
+  in
+  List.iter visit_stmt stmts;
+  List.rev !acc
+
+let is_store a =
+  match a.kind with
+  | Store -> true
+  | Load -> false
+
+let stride_to_string = function
+  | Invariant -> "invariant"
+  | Unit -> "unit"
+  | Strided s -> Printf.sprintf "strided(%d)" s
+  | Complex -> "complex"

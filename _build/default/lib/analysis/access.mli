@@ -1,0 +1,37 @@
+(** Classification of a loop's array references with respect to its index
+    variable. *)
+
+open Vapor_ir
+
+type kind =
+  | Load
+  | Store
+
+type stride =
+  | Invariant  (** subscript does not use the index *)
+  | Unit  (** stride exactly +1 *)
+  | Strided of int  (** constant stride >= 2 *)
+  | Complex  (** negative, symbolic, or non-linear *)
+
+type t = {
+  kind : kind;
+  arr : string;
+  elem : Src_type.t;
+  subscript : Expr.t;
+  poly : Poly.t option;
+  stride : stride;
+  base : Poly.t option;  (** subscript minus stride*index, when linear *)
+}
+
+val classify_subscript :
+  index:string -> Expr.t -> Poly.t option * stride * Poly.t option
+
+val make : index:string -> elem_of:(string -> Src_type.t) -> kind -> string
+  -> Expr.t -> t
+
+(** All array references in syntactic order. *)
+val collect :
+  index:string -> elem_of:(string -> Src_type.t) -> Stmt.t list -> t list
+
+val is_store : t -> bool
+val stride_to_string : stride -> string

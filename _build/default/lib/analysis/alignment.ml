@@ -1,0 +1,28 @@
+(* Misalignment computation for the split layer's alignment hints.
+
+   The offline compiler computes misalignment in bytes relative to a large
+   modulo (32 bytes, the largest SIMD width — Section III-B.c), assuming the
+   JIT compiler will align array bases.  The hint is valid only when the
+   residue is independent of every symbolic variable. *)
+
+open Vapor_ir
+
+(* The paper's large modulo: 32 bytes, the widest SIMD width (AVX). *)
+let hint_modulo = 32
+
+(* Misalignment (bytes mod 32) of the element-index polynomial [base] into
+   an array of [elem]-typed values whose base address is 32-byte aligned. *)
+let misalign_bytes ~(elem : Src_type.t) (base : Poly.t) =
+  let bytes = Poly.scale (Src_type.size_of elem) base in
+  Poly.known_mod hint_modulo bytes
+
+(* Relative misalignment in bytes between two accesses of the same loop,
+   defined when their element-index difference is constant.  Valid even
+   when absolute alignment is unknown (e.g. both offset by i*n). *)
+let relative_misalign_bytes ~(elem : Src_type.t) ~(anchor : Poly.t)
+    (base : Poly.t) =
+  match Poly.const_diff base anchor with
+  | Some d ->
+    let b = d * Src_type.size_of elem in
+    Some (((b mod hint_modulo) + hint_modulo) mod hint_modulo)
+  | None -> None

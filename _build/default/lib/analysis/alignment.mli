@@ -1,0 +1,16 @@
+(** Misalignment computation for the split layer's alignment hints
+    (Section III-B.c of the paper). *)
+
+(** The paper's large modulo: 32 bytes, the widest SIMD width. *)
+val hint_modulo : int
+
+(** Misalignment (bytes mod 32) of an element-index polynomial into an
+    array of the given element type, assuming a 32-byte aligned base;
+    [None] when it depends on a symbolic variable. *)
+val misalign_bytes : elem:Vapor_ir.Src_type.t -> Poly.t -> int option
+
+(** Relative misalignment (bytes mod 32) between two accesses whose
+    element-index difference is constant; valid even when the absolute
+    alignment is unknown. *)
+val relative_misalign_bytes :
+  elem:Vapor_ir.Src_type.t -> anchor:Poly.t -> Poly.t -> int option

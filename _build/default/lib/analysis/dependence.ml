@@ -1,0 +1,145 @@
+(* Data-dependence testing for loop vectorization.
+
+   The offline compiler does not know the vectorization factor, so it takes
+   the paper's conservative route (Section III-B.b): a loop is vectorizable
+   only when every dependence involving a store is provably not carried by
+   the loop.  The test works on subscript polynomials:
+
+   - two references with equal constant stride [s] and constant base
+     difference [d] conflict iff [s] divides [d]; the distance is [d/s] and
+     only distance 0 (an intra-iteration read-modify-write or repeated
+     store) is accepted;
+   - any pair that cannot be put in that form is conservatively rejected.
+
+   Distinct array parameters are assumed not to alias (C99 [restrict]
+   semantics, which is also what GCC's vectorizer assumes after its runtime
+   alias checks succeed). *)
+
+type verdict =
+  | Safe
+  | Unsafe of string
+
+(* Like [verdict], but a provable constant carried distance of magnitude
+   >= 2 is reported instead of rejected: the loop is vectorizable for any
+   VF up to that distance (the dependence-hint extension of Section
+   III-B.b, which the paper notes "could easily be incorporated"). *)
+type bounded_verdict =
+  | B_safe
+  | B_bounded of int (* smallest carried |distance|; >= 2 *)
+  | B_unsafe of string
+
+let unsafe fmt = Format.kasprintf (fun s -> Unsafe s) fmt
+
+let pair_verdict (a : Access.t) (b : Access.t) =
+  if not (String.equal a.Access.arr b.Access.arr) then Safe
+  else
+    match a.Access.kind, b.Access.kind with
+    | Access.Load, Access.Load -> Safe
+    | Access.Load, Access.Store
+    | Access.Store, Access.Load
+    | Access.Store, Access.Store -> (
+      match a.Access.stride, b.Access.stride with
+      | Access.Unit, Access.Unit
+      | Access.Strided _, Access.Strided _
+      | Access.Invariant, Access.Invariant -> (
+        let stride_val = function
+          | Access.Unit -> 1
+          | Access.Strided s -> s
+          | Access.Invariant -> 0
+          | Access.Complex -> assert false
+        in
+        let s = stride_val a.Access.stride in
+        if s <> stride_val b.Access.stride then
+          unsafe "%s: differing strides" a.Access.arr
+        else
+          match a.Access.base, b.Access.base with
+          | Some ba, Some bb -> (
+            match Poly.const_diff ba bb with
+            | None ->
+              unsafe "%s: symbolic distance between references" a.Access.arr
+            | Some 0 -> Safe (* same location every iteration *)
+            | Some d when s = 0 ->
+              (* Invariant store vs invariant access at constant distance
+                 d<>0: distinct fixed locations, never conflicting. *)
+              ignore d;
+              Safe
+            | Some d when d mod s <> 0 ->
+              Safe (* interleaved lanes never meet *)
+            | Some d -> unsafe "%s: loop-carried distance %d" a.Access.arr (d / s)
+            )
+          | None, _ | _, None ->
+            unsafe "%s: non-affine subscript" a.Access.arr)
+      | (Access.Complex, _ | _, Access.Complex) ->
+        unsafe "%s: complex subscript in dependence pair" a.Access.arr
+      | (Access.Unit | Access.Strided _ | Access.Invariant), _ ->
+        unsafe "%s: mixed stride kinds (e.g. invariant vs unit)" a.Access.arr)
+
+(* Check every pair of references involving at least one store. *)
+let check (accesses : Access.t list) =
+  let rec pairs = function
+    | [] -> Safe
+    | a :: rest ->
+      let rec against = function
+        | [] -> pairs rest
+        | b :: more -> (
+          match pair_verdict a b with
+          | Safe -> against more
+          | Unsafe _ as u -> u)
+      in
+      against rest
+  in
+  pairs accesses
+
+(* The carried distance of a pair, when it is the only obstacle: both
+   references unit- or equal-stride with constant base difference. *)
+let pair_distance (a : Access.t) (b : Access.t) : int option =
+  match a.Access.stride, b.Access.stride with
+  | Access.Unit, Access.Unit | Access.Strided _, Access.Strided _ -> (
+    let sv = function
+      | Access.Unit -> 1
+      | Access.Strided s -> s
+      | Access.Invariant | Access.Complex -> 0
+    in
+    let s = sv a.Access.stride in
+    if s <> sv b.Access.stride || s = 0 then None
+    else
+      match a.Access.base, b.Access.base with
+      | Some ba, Some bb -> (
+        match Poly.const_diff ba bb with
+        | Some d when d mod s = 0 -> Some (d / s)
+        | Some _ | None -> None)
+      | None, _ | _, None -> None)
+  | (Access.Unit | Access.Strided _ | Access.Invariant | Access.Complex), _
+    ->
+    None
+
+(* Distance-aware check: [B_bounded d] when every conflict is a constant
+   carried distance with magnitude >= 2 (d = the smallest such). *)
+let check_max_vf (accesses : Access.t list) : bounded_verdict =
+  let bound = ref None in
+  let note d =
+    match !bound with
+    | Some b when b <= d -> ()
+    | Some _ | None -> bound := Some d
+  in
+  let rec pairs = function
+    | [] -> (
+      match !bound with
+      | None -> B_safe
+      | Some d -> B_bounded d)
+    | a :: rest ->
+      let rec against = function
+        | [] -> pairs rest
+        | b :: more -> (
+          match pair_verdict a b with
+          | Safe -> against more
+          | Unsafe reason -> (
+            match pair_distance a b with
+            | Some d when abs d >= 2 ->
+              note (abs d);
+              against more
+            | Some _ | None -> B_unsafe reason))
+      in
+      against rest
+  in
+  pairs accesses

@@ -1,0 +1,24 @@
+(** Conservative data-dependence testing for loop vectorization (Section
+    III-B.b): a loop is vectorizable only when every dependence involving a
+    store is provably not carried.  Distinct array parameters are assumed
+    not to alias. *)
+
+type verdict =
+  | Safe
+  | Unsafe of string
+
+(** Verdict for one pair of accesses to (possibly) the same array. *)
+val pair_verdict : Access.t -> Access.t -> verdict
+
+(** Check every pair of references; [Unsafe] carries the first reason. *)
+val check : Access.t list -> verdict
+
+type bounded_verdict =
+  | B_safe
+  | B_bounded of int  (** smallest carried |distance|; always >= 2 *)
+  | B_unsafe of string
+
+(** Distance-aware check for the dependence-hint extension: a loop whose
+    only conflicts are constant carried distances of magnitude >= 2 is
+    vectorizable for any VF up to the smallest distance. *)
+val check_max_vf : Access.t list -> bounded_verdict

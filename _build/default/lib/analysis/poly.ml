@@ -1,0 +1,132 @@
+(* Polynomial normal form for integer subscript expressions.
+
+   A polynomial is a sum of monomials with integer coefficients plus a
+   constant, where a monomial is a product of variables (e.g. [i*n]).  This
+   canonical form lets the dependence and alignment analyses decide questions
+   like "is the difference of two subscripts a known constant?" for the
+   affine-with-symbolic-parameters subscripts that the kernels use
+   (e.g. [i*n + j + 1]). *)
+
+open Vapor_ir
+
+(* A monomial: the sorted list of its variables ([] is the constant term). *)
+type mono = string list
+
+type t = {
+  terms : (mono * int) list; (* sorted by monomial, no zero coeffs *)
+  const : int;
+}
+
+let const c = { terms = []; const = c }
+let zero = const 0
+let var v = { terms = [ [ v ], 1 ]; const = 0 }
+
+let compare_mono = compare
+
+let normalize terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (m, c) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl m) in
+      Hashtbl.replace tbl m (prev + c))
+    terms;
+  Hashtbl.fold (fun m c acc -> if c = 0 then acc else (m, c) :: acc) tbl []
+  |> List.sort (fun (m1, _) (m2, _) -> compare_mono m1 m2)
+
+let add a b =
+  { terms = normalize (a.terms @ b.terms); const = a.const + b.const }
+
+let scale k p =
+  if k = 0 then zero
+  else
+    {
+      terms = List.map (fun (m, c) -> m, c * k) p.terms;
+      const = p.const * k;
+    }
+
+let neg p = scale (-1) p
+let sub a b = add a (neg b)
+
+let mul a b =
+  let cross =
+    List.concat_map
+      (fun (m1, c1) ->
+        List.map (fun (m2, c2) -> List.sort compare (m1 @ m2), c1 * c2) b.terms)
+      a.terms
+  in
+  let a_const = List.map (fun (m, c) -> m, c * a.const) b.terms in
+  let b_const = List.map (fun (m, c) -> m, c * b.const) a.terms in
+  { terms = normalize (cross @ a_const @ b_const); const = a.const * b.const }
+
+let is_const p = p.terms = []
+let to_const p = if is_const p then Some p.const else None
+
+let equal a b = a.const = b.const && a.terms = b.terms
+
+(* Does the polynomial mention [v] at all? *)
+let uses_var v p = List.exists (fun (m, _) -> List.mem v m) p.terms
+
+(* Decompose [p] as [stride * v + rest] where [stride] is a known integer and
+   [rest] does not mention [v].  Fails when [v] occurs in a product with
+   another variable (symbolic stride) or with degree > 1. *)
+let linear_in v p =
+  let with_v, without_v =
+    List.partition (fun (m, _) -> List.mem v m) p.terms
+  in
+  let stride_of (m, c) =
+    match m with
+    | [ x ] when String.equal x v -> Some c
+    | _ -> None
+  in
+  match with_v with
+  | [] -> Some (0, p)
+  | [ term ] -> (
+    match stride_of term with
+    | Some stride -> Some (stride, { terms = without_v; const = p.const })
+    | None -> None)
+  | _ :: _ :: _ -> None
+
+(* The difference [a - b] when it is a known constant. *)
+let const_diff a b = to_const (sub a b)
+
+(* [known_mod m p]: the residue of [p] modulo [m] when it is independent of
+   every variable, i.e. when every monomial coefficient is divisible by [m].
+   Used for misalignment: e.g. [8*k + 2] is known to be 2 mod 8. *)
+let known_mod m p =
+  if m <= 0 then None
+  else if List.for_all (fun (_, c) -> c mod m = 0) p.terms then
+    Some (((p.const mod m) + m) mod m)
+  else None
+
+(* Translate an integer-typed IR expression to a polynomial.  [Convert]
+   between integer types is treated as transparent: subscripts are assumed
+   not to overflow their types, as in every production vectorizer. *)
+let rec of_expr (e : Expr.t) : t option =
+  match e with
+  | Expr.Int_lit (_, v) -> Some (const v)
+  | Expr.Var v -> Some (var v)
+  | Expr.Binop (Op.Add, a, b) -> map2 add a b
+  | Expr.Binop (Op.Sub, a, b) -> map2 sub a b
+  | Expr.Binop (Op.Mul, a, b) -> map2 mul a b
+  | Expr.Unop (Op.Neg, a) -> Option.map neg (of_expr a)
+  | Expr.Convert (ty, a) when Src_type.is_int ty -> of_expr a
+  | Expr.Float_lit _ | Expr.Load _ | Expr.Binop _ | Expr.Unop _
+  | Expr.Convert _ | Expr.Select _ ->
+    None
+
+and map2 f a b =
+  match of_expr a, of_expr b with
+  | Some pa, Some pb -> Some (f pa pb)
+  | (None | Some _), _ -> None
+
+let pp fmt p =
+  let pp_mono fmt = function
+    | [] -> Format.pp_print_string fmt "1"
+    | m -> Format.pp_print_string fmt (String.concat "*" m)
+  in
+  List.iter
+    (fun (m, c) -> Format.fprintf fmt "%+d*%a " c pp_mono m)
+    p.terms;
+  Format.fprintf fmt "%+d" p.const
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,45 @@
+(** Polynomial normal form for integer subscript expressions: sums of
+    variable-product monomials with integer coefficients.  The canonical
+    form lets dependence and alignment analyses answer questions like "is
+    the difference of two subscripts a known constant?" for subscripts with
+    symbolic parameters (e.g. [i*n + j + 1]). *)
+
+type mono = string list
+(** A monomial: the sorted list of its variables. *)
+
+type t = {
+  terms : (mono * int) list;
+  const : int;
+}
+
+val const : int -> t
+val zero : t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : int -> t -> t
+val is_const : t -> bool
+val to_const : t -> int option
+val equal : t -> t -> bool
+val uses_var : string -> t -> bool
+
+(** Decompose as [stride * v + rest] with a known integer [stride] and
+    [rest] free of [v]; [None] when [v] occurs nonlinearly or with a
+    symbolic coefficient. *)
+val linear_in : string -> t -> (int * t) option
+
+(** [a - b] when it is a known constant. *)
+val const_diff : t -> t -> int option
+
+(** Residue of the polynomial modulo [m], when independent of every
+    variable (every monomial coefficient divisible by [m]). *)
+val known_mod : int -> t -> int option
+
+(** Translate an integer-typed IR expression ([Convert]s between integer
+    types are transparent); [None] for non-polynomial shapes. *)
+val of_expr : Vapor_ir.Expr.t -> t option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,121 @@
+(* Classification of the scalar variables assigned inside a candidate loop:
+   reductions (sum/min/max accumulators), privates (defined before use every
+   iteration), or vectorization blockers. *)
+
+open Vapor_ir
+
+type reduction = {
+  var : string;
+  op : Op.binop; (* Add, Min or Max *)
+  rhs : Expr.t; (* the non-accumulator operand *)
+}
+
+type t =
+  | Reduction of reduction
+  | Private
+  | Blocker of string
+
+(* Match [v = v op e] / [v = e op v] with a reduction operator and [e] not
+   reading [v]. *)
+let reduction_pattern var (e : Expr.t) =
+  match e with
+  | Expr.Binop (op, Expr.Var v, rhs)
+    when String.equal v var && Op.is_reduction_op op
+         && not (Expr.uses_var var rhs) ->
+    Some { var; op; rhs }
+  | Expr.Binop (op, lhs, Expr.Var v)
+    when String.equal v var && Op.is_reduction_op op
+         && not (Expr.uses_var var lhs) ->
+    Some { var; op; rhs = lhs }
+  | _ -> None
+
+(* Occurrences of [var] in statement [s] other than as assignment target. *)
+let rec stmt_reads var (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (_, e) -> Expr.uses_var var e
+  | Stmt.Store (_, idx, v) -> Expr.uses_var var idx || Expr.uses_var var v
+  | Stmt.For { lo; hi; body; _ } ->
+    Expr.uses_var var lo || Expr.uses_var var hi
+    || List.exists (fun s -> stmt_reads var s) body
+    || List.mem var (Stmt.assigned_vars body)
+  | Stmt.If (c, t, e) ->
+    Expr.uses_var var c
+    || List.exists (fun s -> stmt_reads var s) t
+    || List.exists (fun s -> stmt_reads var s) e
+
+(* Classify variable [var] within the loop [body].
+
+   A variable is [Private] when the first statement touching it kills it
+   (assigns it without reading it): every iteration then starts fresh, and
+   any number of later sequential updates is fine — the variable becomes a
+   mutable vector temporary.  A [Reduction] is the single-assignment
+   [v = v op e] pattern whose value is not otherwise read in the loop.
+   Anything else blocks vectorization. *)
+let classify_var body var =
+  let assignments =
+    List.filter_map
+      (function
+        | Stmt.Assign (v, rhs) when String.equal v var -> Some rhs
+        | Stmt.Assign _ | Stmt.Store _ | Stmt.For _ | Stmt.If _ -> None)
+      body
+  in
+  let as_reduction () =
+    match assignments with
+    | [ rhs ] -> (
+      match reduction_pattern var rhs with
+      | Some red ->
+        let other_reads =
+          List.exists
+            (fun s ->
+              match s with
+              | Stmt.Assign (v, _) when String.equal v var -> false
+              | s -> stmt_reads var s)
+            body
+        in
+        if other_reads then
+          Blocker (var ^ ": reduction accumulator also read in loop")
+        else Reduction red
+      | None -> Blocker (var ^ ": reads its previous-iteration value"))
+    | [] | _ :: _ :: _ ->
+      Blocker (var ^ ": carried scalar with multiple assignments")
+  in
+  (* Find the first statement that touches [var]. *)
+  let rec scan = function
+    | [] -> Private (* never touched: invariant *)
+    | Stmt.Assign (v, rhs) :: _ when String.equal v var ->
+      if Expr.uses_var var rhs then as_reduction () else Private
+    | (Stmt.Assign _ | Stmt.Store _) as s :: rest ->
+      if stmt_reads var s then as_reduction () else scan rest
+    | (Stmt.For _ | Stmt.If _) as s :: rest ->
+      (* Compound statement: ordering inside is not tracked, so any touch
+         is treated as a read-first (conservative). *)
+      if stmt_reads var s
+         || List.mem var
+              (Stmt.assigned_vars [ s ])
+      then as_reduction ()
+      else scan rest
+  in
+  scan body
+
+(* Classify every variable assigned in [body], excluding [index] and the
+   loop-control variables in [exclude] (inner-loop indices in outer-loop
+   vectorization).  Returns reductions, privates and the first blocker. *)
+let classify ?(exclude = []) ~index body =
+  let vars =
+    Stmt.assigned_vars body
+    |> List.filter (fun v ->
+           (not (String.equal v index)) && not (List.mem v exclude))
+    |> List.sort_uniq String.compare
+  in
+  let reductions = ref [] in
+  let privates = ref [] in
+  let blocker = ref None in
+  List.iter
+    (fun v ->
+      match classify_var body v with
+      | Reduction r -> reductions := r :: !reductions
+      | Private -> privates := v :: !privates
+      | Blocker reason ->
+        if !blocker = None then blocker := Some reason)
+    vars;
+  List.rev !reductions, List.rev !privates, !blocker

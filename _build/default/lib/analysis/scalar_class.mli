@@ -1,0 +1,32 @@
+(** Classification of scalar variables assigned inside a candidate loop:
+    reduction accumulators, privates (killed at the top of every
+    iteration), or vectorization blockers. *)
+
+open Vapor_ir
+
+type reduction = {
+  var : string;
+  op : Op.binop; (** [Add], [Min] or [Max] *)
+  rhs : Expr.t; (** the non-accumulator operand *)
+}
+
+type t =
+  | Reduction of reduction
+  | Private
+  | Blocker of string
+
+(** Match [v = v op e] / [v = e op v] with a reduction operator and [e]
+    not reading [v]. *)
+val reduction_pattern : string -> Expr.t -> reduction option
+
+(** Classify one variable within a loop body. *)
+val classify_var : Stmt.t list -> string -> t
+
+(** Classify every variable assigned in the body, excluding the loop
+    [index] and the loop-control variables in [exclude].  Returns
+    (reductions, privates, first blocker if any). *)
+val classify :
+  ?exclude:string list ->
+  index:string ->
+  Stmt.t list ->
+  reduction list * string list * string option

@@ -1,0 +1,1 @@
+lib/frontend/ast.ml: Vapor_ir

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Format List Seq String Token Vapor_ir

@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Ast Expr Format Hashtbl Kernel List Op Parser Src_type Stmt String Vapor_ir

@@ -1,0 +1,41 @@
+(* Surface abstract syntax, before type checking.  Operators carry no types;
+   the checker in [Typecheck] inserts conversions and produces IR. *)
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Index of string * expr
+  | Binop of Vapor_ir.Op.binop * expr * expr
+  | Unop of Vapor_ir.Op.unop * expr
+  | Cast of Vapor_ir.Src_type.t * expr
+  | Ternary of expr * expr * expr
+  | Call of string * expr list (* min/max/abs *)
+
+type stmt =
+  | Assign of string * expr
+  | Op_assign of Vapor_ir.Op.binop * string * expr (* x += e, x -= e *)
+  | Store of string * expr * expr
+  | Op_store of Vapor_ir.Op.binop * string * expr * expr (* a[i] += e *)
+  | Decl of Vapor_ir.Src_type.t * string * expr option
+  | For of {
+      index : string;
+      lo : expr;
+      hi : expr;
+      body : stmt list;
+    }
+  | If of expr * stmt list * stmt list
+
+type param = {
+  p_name : string;
+  p_type : Vapor_ir.Src_type.t;
+  p_is_array : bool;
+}
+
+type kernel = {
+  k_name : string;
+  k_params : param list;
+  k_body : stmt list;
+}
+
+type program = kernel list

@@ -1,0 +1,185 @@
+(* Hand-written lexer for the kernel language.  Tracks line numbers for
+   error reporting; supports // and C block comments. *)
+
+exception Lex_error of string
+
+let lex_errorf fmt = Format.kasprintf (fun s -> raise (Lex_error s)) fmt
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let peek2 c =
+  if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' -> c.line <- c.line + 1
+  | Some _ | None -> ());
+  c.pos <- c.pos + 1
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident_char ch = is_ident_start ch || is_digit ch
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_ws c
+  | Some '/' when peek2 c = Some '/' ->
+    while peek c <> None && peek c <> Some '\n' do
+      advance c
+    done;
+    skip_ws c
+  | Some '/' when peek2 c = Some '*' ->
+    advance c;
+    advance c;
+    let rec inside () =
+      match peek c, peek2 c with
+      | Some '*', Some '/' ->
+        advance c;
+        advance c
+      | Some _, _ ->
+        advance c;
+        inside ()
+      | None, _ -> lex_errorf "line %d: unterminated comment" c.line
+    in
+    inside ();
+    skip_ws c
+  | Some _ | None -> ()
+
+let lex_number c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  let is_float =
+    match peek c with
+    | Some '.' ->
+      advance c;
+      while (match peek c with Some ch -> is_digit ch | None -> false) do
+        advance c
+      done;
+      true
+    | Some _ | None -> false
+  in
+  let is_float =
+    match peek c with
+    | Some ('e' | 'E') ->
+      advance c;
+      (match peek c with
+      | Some ('+' | '-') -> advance c
+      | Some _ | None -> ());
+      while (match peek c with Some ch -> is_digit ch | None -> false) do
+        advance c
+      done;
+      true
+    | Some _ | None -> is_float
+  in
+  (* Accept a trailing 'f' float suffix as in C. *)
+  let is_float =
+    match peek c with
+    | Some 'f' ->
+      advance c;
+      true
+    | Some _ | None -> is_float
+  in
+  let text =
+    String.sub c.src start (c.pos - start)
+    |> String.to_seq
+    |> Seq.filter (fun ch -> ch <> 'f')
+    |> String.of_seq
+  in
+  if is_float then Token.FLOAT (float_of_string text)
+  else Token.INT (int_of_string text)
+
+let keyword_or_ident text =
+  match text with
+  | "kernel" -> Token.KW_KERNEL
+  | "for" -> Token.KW_FOR
+  | "if" -> Token.KW_IF
+  | "else" -> Token.KW_ELSE
+  | "min" -> Token.KW_MIN
+  | "max" -> Token.KW_MAX
+  | "abs" -> Token.KW_ABS
+  | "sqrt" -> Token.KW_SQRT
+  | other -> (
+    match Vapor_ir.Src_type.of_string other with
+    | Some ty -> Token.TYPE ty
+    | None -> Token.IDENT other)
+
+let lex_ident c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_ident_char ch | None -> false) do
+    advance c
+  done;
+  keyword_or_ident (String.sub c.src start (c.pos - start))
+
+let next_token c =
+  skip_ws c;
+  match peek c with
+  | None -> Token.EOF
+  | Some ch when is_digit ch -> lex_number c
+  | Some ch when is_ident_start ch -> lex_ident c
+  | Some ch ->
+    let two tok =
+      advance c;
+      advance c;
+      tok
+    in
+    let one tok =
+      advance c;
+      tok
+    in
+    (match ch, peek2 c with
+    | '+', Some '=' -> two Token.PLUS_ASSIGN
+    | '+', Some '+' -> two Token.PLUSPLUS
+    | '-', Some '=' -> two Token.MINUS_ASSIGN
+    | '<', Some '<' -> two Token.SHL
+    | '>', Some '>' -> two Token.SHR
+    | '<', Some '=' -> two Token.LE
+    | '>', Some '=' -> two Token.GE
+    | '=', Some '=' -> two Token.EQ
+    | '!', Some '=' -> two Token.NE
+    | '(', _ -> one Token.LPAREN
+    | ')', _ -> one Token.RPAREN
+    | '{', _ -> one Token.LBRACE
+    | '}', _ -> one Token.RBRACE
+    | '[', _ -> one Token.LBRACKET
+    | ']', _ -> one Token.RBRACKET
+    | ';', _ -> one Token.SEMI
+    | ',', _ -> one Token.COMMA
+    | '=', _ -> one Token.ASSIGN
+    | '?', _ -> one Token.QUESTION
+    | ':', _ -> one Token.COLON
+    | '+', _ -> one Token.PLUS
+    | '-', _ -> one Token.MINUS
+    | '*', _ -> one Token.STAR
+    | '/', _ -> one Token.SLASH
+    | '&', _ -> one Token.AMP
+    | '|', _ -> one Token.PIPE
+    | '^', _ -> one Token.CARET
+    | '~', _ -> one Token.TILDE
+    | '<', _ -> one Token.LT
+    | '>', _ -> one Token.GT
+    | _ -> lex_errorf "line %d: unexpected character %C" c.line ch)
+
+(* Tokenize [src] entirely, returning tokens with their source lines. *)
+let tokenize src =
+  let c = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    skip_ws c;
+    let line = c.line in
+    match next_token c with
+    | Token.EOF -> List.rev ((Token.EOF, line) :: acc)
+    | tok -> go ((tok, line) :: acc)
+  in
+  go []

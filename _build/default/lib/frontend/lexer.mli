@@ -1,0 +1,9 @@
+(** Hand-written lexer for the kernel language; tracks line numbers and
+    supports // and C block comments. *)
+
+exception Lex_error of string
+
+(** Tokenize a whole source string; each token carries its line.  The list
+    always ends with [Token.EOF].
+    @raise Lex_error on unexpected characters or unterminated comments. *)
+val tokenize : string -> (Token.t * int) list

@@ -1,0 +1,406 @@
+(* Recursive-descent parser for the kernel language.  The grammar follows C
+   expression precedence restricted to the operators the IR supports. *)
+
+exception Parse_error of string
+
+let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = {
+  mutable toks : (Token.t * int) list;
+}
+
+let peek st =
+  match st.toks with
+  | (tok, _) :: _ -> tok
+  | [] -> Token.EOF
+
+let line st =
+  match st.toks with
+  | (_, line) :: _ -> line
+  | [] -> 0
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    parse_errorf "line %d: expected %s but found %s" (line st)
+      (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | other ->
+    parse_errorf "line %d: expected identifier but found %s" (line st)
+      (Token.to_string other)
+
+let expect_type st =
+  match peek st with
+  | Token.TYPE ty ->
+    advance st;
+    ty
+  | other ->
+    parse_errorf "line %d: expected type but found %s" (line st)
+      (Token.to_string other)
+
+(* Expression parsing, one level per precedence tier. *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_bitor st in
+  match peek st with
+  | Token.QUESTION ->
+    advance st;
+    let if_true = parse_expr st in
+    expect st Token.COLON;
+    let if_false = parse_ternary st in
+    Ast.Ternary (cond, if_true, if_false)
+  | _ -> cond
+
+and parse_bitor st =
+  let rec go acc =
+    match peek st with
+    | Token.PIPE ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Or, acc, parse_bitxor st))
+    | _ -> acc
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go acc =
+    match peek st with
+    | Token.CARET ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Xor, acc, parse_bitand st))
+    | _ -> acc
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go acc =
+    match peek st with
+    | Token.AMP ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.And, acc, parse_equality st))
+    | _ -> acc
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go acc =
+    match peek st with
+    | Token.EQ ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Eq, acc, parse_relational st))
+    | Token.NE ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go acc =
+    match peek st with
+    | Token.LT ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Lt, acc, parse_shift st))
+    | Token.LE ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Le, acc, parse_shift st))
+    | Token.GT ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Gt, acc, parse_shift st))
+    | Token.GE ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Ge, acc, parse_shift st))
+    | _ -> acc
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go acc =
+    match peek st with
+    | Token.SHL ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Shl, acc, parse_additive st))
+    | Token.SHR ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Shr, acc, parse_additive st))
+    | _ -> acc
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go acc =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Add, acc, parse_multiplicative st))
+    | Token.MINUS ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go acc =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Mul, acc, parse_unary st))
+    | Token.SLASH ->
+      advance st;
+      go (Ast.Binop (Vapor_ir.Op.Div, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Ast.Unop (Vapor_ir.Op.Neg, parse_unary st)
+  | Token.TILDE ->
+    advance st;
+    Ast.Unop (Vapor_ir.Op.Not, parse_unary st)
+  | Token.LPAREN when (match st.toks with
+                      | _ :: (Token.TYPE _, _) :: (Token.RPAREN, _) :: _ ->
+                        true
+                      | _ -> false) ->
+    advance st;
+    let ty = expect_type st in
+    expect st Token.RPAREN;
+    Ast.Cast (ty, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.INT v ->
+    advance st;
+    Ast.Int_lit v
+  | Token.FLOAT v ->
+    advance st;
+    Ast.Float_lit v
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.KW_MIN | Token.KW_MAX | Token.KW_ABS | Token.KW_SQRT ->
+    let name =
+      match peek st with
+      | Token.KW_MIN -> "min"
+      | Token.KW_MAX -> "max"
+      | Token.KW_SQRT -> "sqrt"
+      | _ -> "abs"
+    in
+    advance st;
+    expect st Token.LPAREN;
+    let args = parse_args st in
+    expect st Token.RPAREN;
+    Ast.Call (name, args)
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      Ast.Index (name, idx)
+    | _ -> Ast.Ident name)
+  | other ->
+    parse_errorf "line %d: unexpected token %s in expression" (line st)
+      (Token.to_string other)
+
+and parse_args st =
+  let first = parse_expr st in
+  let rec go acc =
+    match peek st with
+    | Token.COMMA ->
+      advance st;
+      go (parse_expr st :: acc)
+    | _ -> List.rev acc
+  in
+  go [ first ]
+
+(* Statements. *)
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Token.TYPE _ ->
+    let ty = expect_type st in
+    let name = expect_ident st in
+    let init =
+      match peek st with
+      | Token.ASSIGN ->
+        advance st;
+        Some (parse_expr st)
+      | _ -> None
+    in
+    expect st Token.SEMI;
+    Ast.Decl (ty, name, init)
+  | Token.KW_FOR -> parse_for st
+  | Token.KW_IF -> parse_if st
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.LBRACKET -> (
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      match peek st with
+      | Token.ASSIGN ->
+        advance st;
+        let value = parse_expr st in
+        expect st Token.SEMI;
+        Ast.Store (name, idx, value)
+      | Token.PLUS_ASSIGN ->
+        advance st;
+        let value = parse_expr st in
+        expect st Token.SEMI;
+        Ast.Op_store (Vapor_ir.Op.Add, name, idx, value)
+      | Token.MINUS_ASSIGN ->
+        advance st;
+        let value = parse_expr st in
+        expect st Token.SEMI;
+        Ast.Op_store (Vapor_ir.Op.Sub, name, idx, value)
+      | other ->
+        parse_errorf "line %d: expected assignment operator, found %s"
+          (line st) (Token.to_string other))
+    | Token.ASSIGN ->
+      advance st;
+      let value = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Assign (name, value)
+    | Token.PLUS_ASSIGN ->
+      advance st;
+      let value = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Op_assign (Vapor_ir.Op.Add, name, value)
+    | Token.MINUS_ASSIGN ->
+      advance st;
+      let value = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Op_assign (Vapor_ir.Op.Sub, name, value)
+    | other ->
+      parse_errorf "line %d: expected assignment after %s, found %s" (line st)
+        name (Token.to_string other))
+  | other ->
+    parse_errorf "line %d: unexpected token %s at start of statement"
+      (line st) (Token.to_string other)
+
+and parse_for st =
+  expect st Token.KW_FOR;
+  expect st Token.LPAREN;
+  (* Allow an optional induction-variable declaration: for (s32 i = 0; ...) *)
+  (match peek st with
+  | Token.TYPE _ -> advance st
+  | _ -> ());
+  let index = expect_ident st in
+  expect st Token.ASSIGN;
+  let lo = parse_expr st in
+  expect st Token.SEMI;
+  let index2 = expect_ident st in
+  if not (String.equal index index2) then
+    parse_errorf "line %d: loop condition tests %s, expected %s" (line st)
+      index2 index;
+  expect st Token.LT;
+  let hi = parse_expr st in
+  expect st Token.SEMI;
+  let index3 = expect_ident st in
+  if not (String.equal index index3) then
+    parse_errorf "line %d: loop increment updates %s, expected %s" (line st)
+      index3 index;
+  expect st Token.PLUSPLUS;
+  expect st Token.RPAREN;
+  let body = parse_block st in
+  Ast.For { index; lo; hi; body }
+
+and parse_if st =
+  expect st Token.KW_IF;
+  expect st Token.LPAREN;
+  let cond = parse_expr st in
+  expect st Token.RPAREN;
+  let then_branch = parse_block st in
+  let else_branch =
+    match peek st with
+    | Token.KW_ELSE ->
+      advance st;
+      (match peek st with
+      | Token.KW_IF -> [ parse_if st ]
+      | _ -> parse_block st)
+    | _ -> []
+  in
+  Ast.If (cond, then_branch, else_branch)
+
+and parse_block st =
+  expect st Token.LBRACE;
+  let rec go acc =
+    match peek st with
+    | Token.RBRACE ->
+      advance st;
+      List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_param st : Ast.param =
+  let p_type = expect_type st in
+  let p_name = expect_ident st in
+  let p_is_array =
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      expect st Token.RBRACKET;
+      true
+    | _ -> false
+  in
+  { Ast.p_name; p_type; p_is_array }
+
+let parse_kernel st : Ast.kernel =
+  expect st Token.KW_KERNEL;
+  let k_name = expect_ident st in
+  expect st Token.LPAREN;
+  let params =
+    match peek st with
+    | Token.RPAREN -> []
+    | _ ->
+      let first = parse_param st in
+      let rec go acc =
+        match peek st with
+        | Token.COMMA ->
+          advance st;
+          go (parse_param st :: acc)
+        | _ -> List.rev acc
+      in
+      go [ first ]
+  in
+  expect st Token.RPAREN;
+  let k_body = parse_block st in
+  { Ast.k_name; k_params = params; k_body }
+
+(* Parse a whole source file: a sequence of kernels. *)
+let parse_program src : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Token.EOF -> List.rev acc
+    | _ -> go (parse_kernel st :: acc)
+  in
+  go []
+
+(* Parse a source file expected to contain exactly one kernel. *)
+let parse_one src : Ast.kernel =
+  match parse_program src with
+  | [ k ] -> k
+  | ks -> parse_errorf "expected exactly one kernel, found %d" (List.length ks)

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the kernel language (C expression
+    precedence over the supported operators). *)
+
+exception Parse_error of string
+
+(** Parse a whole source file: a sequence of kernels. *)
+val parse_program : string -> Ast.program
+
+(** Parse a source file expected to contain exactly one kernel. *)
+val parse_one : string -> Ast.kernel

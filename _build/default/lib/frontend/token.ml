@@ -1,0 +1,91 @@
+(* Tokens of the kernel language. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_KERNEL
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | KW_MIN
+  | KW_MAX
+  | KW_ABS
+  | KW_SQRT
+  | TYPE of Vapor_ir.Src_type.t
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN (* = *)
+  | PLUS_ASSIGN (* += *)
+  | MINUS_ASSIGN (* -= *)
+  | PLUSPLUS (* ++ *)
+  | QUESTION
+  | COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let to_string = function
+  | INT v -> string_of_int v
+  | FLOAT v -> string_of_float v
+  | IDENT s -> s
+  | KW_KERNEL -> "kernel"
+  | KW_FOR -> "for"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_MIN -> "min"
+  | KW_MAX -> "max"
+  | KW_ABS -> "abs"
+  | KW_SQRT -> "sqrt"
+  | TYPE ty -> Vapor_ir.Src_type.to_string ty
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | PLUSPLUS -> "++"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,222 @@
+(* Type checker and lowering from surface AST to the scalar IR.
+
+   Follows C-style usual arithmetic conversions restricted to the IR's type
+   lattice: in a mixed binop the lower-rank operand is implicitly widened
+   (rank: floats above ints, larger sizes above smaller, unsigned above
+   signed at equal size).  Integer literals are polymorphic and adopt the
+   type of the other operand.  Assignments and stores implicitly convert to
+   the destination type, as in C. *)
+
+open Vapor_ir
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type env = {
+  scalars : (string, Src_type.t) Hashtbl.t;
+  arrays : (string, Src_type.t) Hashtbl.t;
+  mutable locals : (string * Src_type.t) list; (* reverse order *)
+}
+
+let rank ty =
+  let size = Src_type.size_of ty in
+  let float_bit = if Src_type.is_float ty then 1000 else 0 in
+  let unsigned_bit = if Src_type.is_signed ty then 0 else 1 in
+  float_bit + (size * 10) + unsigned_bit
+
+let common_type a b = if rank a >= rank b then a else b
+
+(* A typed IR expression together with a flag telling whether it is a bare
+   literal whose type may still be adapted to context. *)
+type typed = {
+  ir : Expr.t;
+  ty : Src_type.t;
+  is_literal : bool;
+}
+
+let retype_literal target t =
+  match t.ir with
+  | Expr.Int_lit (_, v) when Src_type.is_int target ->
+    Some { ir = Expr.Int_lit (target, v); ty = target; is_literal = true }
+  | Expr.Int_lit (_, v) ->
+    Some
+      {
+        ir = Expr.Float_lit (target, float_of_int v);
+        ty = target;
+        is_literal = true;
+      }
+  | Expr.Float_lit (_, v) when Src_type.is_float target ->
+    Some { ir = Expr.Float_lit (target, v); ty = target; is_literal = true }
+  | Expr.Float_lit _ | Expr.Var _ | Expr.Load _ | Expr.Binop _ | Expr.Unop _
+  | Expr.Convert _ | Expr.Select _ ->
+    None
+
+(* Convert [t] to type [target], retyping literals and otherwise inserting
+   an explicit IR conversion. *)
+let coerce target t =
+  if Src_type.equal t.ty target then t
+  else
+    match if t.is_literal then retype_literal target t else None with
+    | Some t' -> t'
+    | None ->
+      { ir = Expr.Convert (target, t.ir); ty = target; is_literal = false }
+
+let rec infer env (e : Ast.expr) : typed =
+  match e with
+  | Ast.Int_lit v ->
+    { ir = Expr.Int_lit (Src_type.I32, v); ty = Src_type.I32; is_literal = true }
+  | Ast.Float_lit v ->
+    {
+      ir = Expr.Float_lit (Src_type.F32, v);
+      ty = Src_type.F32;
+      is_literal = true;
+    }
+  | Ast.Ident name -> (
+    match Hashtbl.find_opt env.scalars name with
+    | Some ty -> { ir = Expr.Var name; ty; is_literal = false }
+    | None ->
+      if Hashtbl.mem env.arrays name then
+        errorf "array %s used as a scalar" name
+      else errorf "unbound variable %s" name)
+  | Ast.Index (arr, idx) -> (
+    match Hashtbl.find_opt env.arrays arr with
+    | Some elem ->
+      let idx = infer_int env "array subscript" idx in
+      { ir = Expr.Load (arr, idx); ty = elem; is_literal = false }
+    | None -> errorf "unbound array %s" arr)
+  | Ast.Binop (op, a, b) ->
+    let ta = infer env a and tb = infer env b in
+    if Op.is_bitwise op && (Src_type.is_float ta.ty || Src_type.is_float tb.ty)
+    then errorf "bitwise operator %s applied to float operands"
+        (Op.binop_to_string op);
+    let ty = common_type ta.ty tb.ty in
+    let ta = coerce ty ta and tb = coerce ty tb in
+    let result_ty = if Op.is_comparison op then Src_type.I32 else ty in
+    {
+      ir = Expr.Binop (op, ta.ir, tb.ir);
+      ty = result_ty;
+      is_literal = false;
+    }
+  | Ast.Unop (op, a) ->
+    let ta = infer env a in
+    if op = Op.Not && Src_type.is_float ta.ty then
+      errorf "bitwise not applied to float operand";
+    { ta with ir = Expr.Unop (op, ta.ir); is_literal = false }
+  | Ast.Cast (ty, a) ->
+    let ta = infer env a in
+    coerce ty { ta with is_literal = false }
+    |> fun t ->
+    (* A cast is explicit: even same-type casts stop literal adaptation. *)
+    { t with is_literal = false }
+  | Ast.Ternary (c, a, b) ->
+    let tc = infer env c in
+    let ta = infer env a and tb = infer env b in
+    let ty = common_type ta.ty tb.ty in
+    let ta = coerce ty ta and tb = coerce ty tb in
+    { ir = Expr.Select (tc.ir, ta.ir, tb.ir); ty; is_literal = false }
+  | Ast.Call ("abs", [ a ]) ->
+    let ta = infer env a in
+    { ta with ir = Expr.Unop (Op.Abs, ta.ir); is_literal = false }
+  | Ast.Call ("sqrt", [ a ]) ->
+    let ta = infer env a in
+    if not (Src_type.is_float ta.ty) then errorf "sqrt requires a float";
+    { ta with ir = Expr.Unop (Op.Sqrt, ta.ir); is_literal = false }
+  | Ast.Call (("min" | "max") as name, [ a; b ]) ->
+    let op = if String.equal name "min" then Op.Min else Op.Max in
+    let ta = infer env a and tb = infer env b in
+    let ty = common_type ta.ty tb.ty in
+    let ta = coerce ty ta and tb = coerce ty tb in
+    { ir = Expr.Binop (op, ta.ir, tb.ir); ty; is_literal = false }
+  | Ast.Call (name, args) ->
+    errorf "unknown function %s/%d" name (List.length args)
+
+and infer_int env what e =
+  let t = infer env e in
+  if Src_type.is_int t.ty then t.ir
+  else errorf "%s must have integer type, got %s" what (Src_type.to_string t.ty)
+
+let declare_scalar env name ty =
+  if Hashtbl.mem env.scalars name || Hashtbl.mem env.arrays name then
+    errorf "duplicate declaration of %s" name;
+  Hashtbl.replace env.scalars name ty
+
+let rec lower_stmt env (s : Ast.stmt) : Stmt.t list =
+  match s with
+  | Ast.Decl (ty, name, init) -> (
+    declare_scalar env name ty;
+    env.locals <- (name, ty) :: env.locals;
+    match init with
+    | None -> []
+    | Some e -> [ Stmt.Assign (name, (coerce ty (infer env e)).ir) ])
+  | Ast.Assign (name, e) -> (
+    match Hashtbl.find_opt env.scalars name with
+    | Some ty -> [ Stmt.Assign (name, (coerce ty (infer env e)).ir) ]
+    | None -> errorf "assignment to unbound variable %s" name)
+  | Ast.Op_assign (op, name, e) ->
+    lower_stmt env (Ast.Assign (name, Ast.Binop (op, Ast.Ident name, e)))
+  | Ast.Store (arr, idx, e) -> (
+    match Hashtbl.find_opt env.arrays arr with
+    | Some elem ->
+      let idx = infer_int env "store subscript" idx in
+      [ Stmt.Store (arr, idx, (coerce elem (infer env e)).ir) ]
+    | None -> errorf "store to unbound array %s" arr)
+  | Ast.Op_store (op, arr, idx, e) ->
+    lower_stmt env
+      (Ast.Store (arr, idx, Ast.Binop (op, Ast.Index (arr, idx), e)))
+  | Ast.For { index; lo; hi; body } ->
+    (* Loop indices are implicitly s32; reuse is allowed across sibling
+       loops, so only declare on first sight. *)
+    (match Hashtbl.find_opt env.scalars index with
+    | Some ty when Src_type.equal ty Src_type.I32 -> ()
+    | Some ty ->
+      errorf "loop index %s has type %s, expected s32" index
+        (Src_type.to_string ty)
+    | None -> Hashtbl.replace env.scalars index Src_type.I32);
+    let lo = infer_int env "loop bound" lo in
+    let hi = infer_int env "loop bound" hi in
+    let body = List.concat_map (lower_stmt env) body in
+    [ Stmt.For { Stmt.index; lo; hi; body } ]
+  | Ast.If (c, t, e) ->
+    let c = (infer env c).ir in
+    let t = List.concat_map (lower_stmt env) t in
+    let e = List.concat_map (lower_stmt env) e in
+    [ Stmt.If (c, t, e) ]
+
+(* Lower a surface kernel to a checked IR kernel. *)
+let lower_kernel (k : Ast.kernel) : Kernel.t =
+  let env =
+    { scalars = Hashtbl.create 16; arrays = Hashtbl.create 16; locals = [] }
+  in
+  let params =
+    List.map
+      (fun { Ast.p_name; p_type; p_is_array } ->
+        if p_is_array then begin
+          if Hashtbl.mem env.arrays p_name || Hashtbl.mem env.scalars p_name
+          then errorf "duplicate parameter %s" p_name;
+          Hashtbl.replace env.arrays p_name p_type;
+          Kernel.P_array (p_name, p_type)
+        end
+        else begin
+          declare_scalar env p_name p_type;
+          Kernel.P_scalar (p_name, p_type)
+        end)
+      k.Ast.k_params
+  in
+  let body = List.concat_map (lower_stmt env) k.Ast.k_body in
+  let kernel =
+    {
+      Kernel.name = k.Ast.k_name;
+      params;
+      locals = List.rev env.locals;
+      body;
+    }
+  in
+  Kernel.check kernel;
+  kernel
+
+(* Parse and lower a source file containing one kernel. *)
+let compile_one src = lower_kernel (Parser.parse_one src)
+
+(* Parse and lower a source file containing any number of kernels. *)
+let compile_program src = List.map lower_kernel (Parser.parse_program src)

@@ -1,0 +1,15 @@
+(** Type checker and lowering from surface AST to the scalar IR.  C-style
+    usual arithmetic conversions restricted to the IR's type lattice;
+    integer literals adopt the type of their context. *)
+
+exception Error of string
+
+(** Lower one parsed kernel; runs [Kernel.check] on the result.
+    @raise Error on type errors. *)
+val lower_kernel : Ast.kernel -> Vapor_ir.Kernel.t
+
+(** Parse and lower a source file containing exactly one kernel. *)
+val compile_one : string -> Vapor_ir.Kernel.t
+
+(** Parse and lower a source file containing any number of kernels. *)
+val compile_program : string -> Vapor_ir.Kernel.t list

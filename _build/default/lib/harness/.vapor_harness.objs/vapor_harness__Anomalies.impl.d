@@ -1,0 +1,1 @@
+lib/harness/anomalies.ml: List Vapor_machine

@@ -1,0 +1,1 @@
+lib/harness/anomalies.mli: Vapor_machine

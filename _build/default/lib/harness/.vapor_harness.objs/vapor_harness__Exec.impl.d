@@ -1,0 +1,1 @@
+lib/harness/exec.ml: Eval List Vapor_ir Vapor_jit Vapor_machine Vapor_targets Vapor_vecir

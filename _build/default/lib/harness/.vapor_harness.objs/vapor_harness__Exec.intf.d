@@ -1,0 +1,1 @@
+lib/harness/exec.mli: Buffer_ Eval Value Vapor_ir Vapor_jit Vapor_machine Vapor_targets

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Anomalies Flows List Option Vapor_jit Vapor_kernels Vapor_machine Vapor_targets Vapor_vecir Vapor_vectorizer

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Vapor_kernels Vapor_targets

@@ -1,0 +1,1 @@
+lib/harness/flows.mli: Vapor_jit Vapor_kernels Vapor_machine Vapor_targets Vapor_vecir Vapor_vectorizer

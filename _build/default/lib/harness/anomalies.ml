@@ -1,0 +1,26 @@
+(* Per-kernel run-time placement knowledge, driving the paper's versioning
+   anomalies (Section V).
+
+   Most kernels run on arrays the JIT's allocator placed itself, so
+   alignment guards resolve statically.  sad_s8 models the video use case
+   the paper describes: the frames are caller-supplied sub-buffers whose
+   alignment the JIT cannot know, so its guard must be tested dynamically —
+   and at run time one input is in fact misaligned, forcing the fallback
+   version. *)
+
+module Layout = Vapor_machine.Layout
+
+(* Arrays whose placement the runtime does not control, per kernel. *)
+let extern_arrays kernel_name =
+  match kernel_name with
+  | "sad_s8" -> [ "a", 0; "b", 1 ] (* b lands one byte off a 32B boundary *)
+  | _ -> []
+
+let known_aligned kernel_name arr =
+  not (List.mem_assoc arr (extern_arrays kernel_name))
+
+let policy kernel_name : Layout.policy =
+ fun arr ->
+  match List.assoc_opt arr (extern_arrays kernel_name) with
+  | Some k -> Layout.Offset k
+  | None -> Layout.Aligned

@@ -1,0 +1,7 @@
+(** Per-kernel runtime placement knowledge, driving the paper's versioning
+    anomalies: sad_s8's frames are caller-supplied sub-buffers the JIT
+    cannot align, so its guard is tested dynamically and fails. *)
+
+val extern_arrays : string -> (string * int) list
+val known_aligned : string -> string -> bool
+val policy : string -> Vapor_machine.Layout.policy

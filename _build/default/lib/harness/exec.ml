@@ -1,0 +1,52 @@
+(* End-to-end execution of compiled kernels on the simulated targets. *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+module Layout = Vapor_machine.Layout
+module Simulator = Vapor_machine.Simulator
+module Target = Vapor_targets.Target
+module Compile = Vapor_jit.Compile
+
+type run_result = {
+  cycles : int;
+  instructions : int;
+  compile_time_us : float;
+}
+
+let split_args (args : (string * Eval.arg) list) =
+  let arrays =
+    List.filter_map
+      (function
+        | n, Eval.Array b -> Some (n, b)
+        | _, Eval.Scalar _ -> None)
+      args
+  in
+  let scalars =
+    List.filter_map
+      (function
+        | n, Eval.Scalar v -> Some (n, v)
+        | _, Eval.Array _ -> None)
+      args
+  in
+  arrays, scalars
+
+(* Run a compiled kernel over the given arguments; array buffers are
+   updated in place from the final memory image. *)
+let run ?(policy = Layout.aligned_policy) (target : Target.t)
+    (compiled : Compile.t) ~(args : (string * Eval.arg) list) : run_result =
+  let arrays, scalars = split_args args in
+  let stack_bytes =
+    max Layout.default_stack_bytes
+      (compiled.Compile.mfun.Vapor_machine.Mfun.stack_bytes + 256)
+  in
+  let layout = Layout.plan ~stack_bytes ~policy arrays in
+  let mem = Layout.materialize layout arrays in
+  let r =
+    Simulator.run target layout mem compiled.Compile.mfun ~scalar_args:scalars
+  in
+  Layout.read_back layout mem arrays;
+  {
+    cycles = r.Simulator.r_cycles;
+    instructions = r.Simulator.r_instructions;
+    compile_time_us = compiled.Compile.compile_time_us;
+  }

@@ -1,0 +1,25 @@
+(** End-to-end execution of compiled kernels on the simulated targets. *)
+
+open Vapor_ir
+module Layout = Vapor_machine.Layout
+module Target = Vapor_targets.Target
+module Compile = Vapor_jit.Compile
+
+type run_result = {
+  cycles : int;
+  instructions : int;
+  compile_time_us : float;
+}
+
+val split_args :
+  (string * Eval.arg) list ->
+  (string * Buffer_.t) list * (string * Value.t) list
+
+(** Lay out memory per [policy], simulate, and copy results back into the
+    argument buffers. *)
+val run :
+  ?policy:Layout.policy ->
+  Target.t ->
+  Compile.t ->
+  args:(string * Eval.arg) list ->
+  run_result

@@ -1,0 +1,234 @@
+(* Reproduction of every figure and table in the paper's evaluation
+   (Section V), on the simulated targets. *)
+
+module Suite = Vapor_kernels.Suite
+module Target = Vapor_targets.Target
+module Profile = Vapor_jit.Profile
+module Compile = Vapor_jit.Compile
+module Options = Vapor_vectorizer.Options
+module Driver = Vapor_vectorizer.Driver
+module Iaca = Vapor_machine.Iaca
+module Encode = Vapor_vecir.Encode
+
+type row = {
+  kernel : string;
+  value : float;
+}
+
+let geo_mean = function
+  | [] -> nan
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+         /. float_of_int (List.length xs))
+
+let arith_mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let harmonic_mean = function
+  | [] -> nan
+  | xs ->
+    float_of_int (List.length xs)
+    /. List.fold_left (fun acc x -> acc +. (1.0 /. x)) 0.0 xs
+
+let dsp = Suite.dsp_kernels
+let polybench = Suite.polybench_kernels
+
+let anomalous_split_vector entry ~target ~profile ~scale =
+  Flows.split_vector
+    ~policy:(Anomalies.policy entry.Suite.name)
+    ~known_aligned:(Anomalies.known_aligned entry.Suite.name)
+    ~target ~profile entry ~scale
+
+(* --- Figure 5: Mono normalized vectorization impact ------------------- *)
+
+(* impact = (split speedup) / (native speedup) = (C/A) / (F/E).  Arrays
+   are allocator-placed (aligned): the paper's placement anomaly only
+   enters the gcc4cli comparison (Figure 6). *)
+let fig5_impact ~target ~scale entry =
+  let a = Flows.split_vector entry ~target ~profile:Profile.mono ~scale in
+  let c = Flows.split_scalar entry ~target ~profile:Profile.mono ~scale in
+  let e = Flows.native_vector ~target entry ~scale in
+  let f = Flows.native_scalar ~target entry ~scale in
+  let split_speedup = float_of_int c.Flows.cycles /. float_of_int a.Flows.cycles in
+  let native_speedup = float_of_int f.Flows.cycles /. float_of_int e.Flows.cycles in
+  split_speedup /. native_speedup
+
+let fig5 ~(target : Target.t) ~scale : row list * float =
+  let rows =
+    List.map
+      (fun entry ->
+        { kernel = entry.Suite.name; value = fig5_impact ~target ~scale entry })
+      dsp
+  in
+  let poly_avg =
+    arith_mean (List.map (fig5_impact ~target ~scale) polybench)
+  in
+  let rows = rows @ [ { kernel = "polybench_avg"; value = poly_avg } ] in
+  rows, arith_mean (List.map (fun r -> r.value) rows)
+
+(* --- Figure 6: gcc4cli normalized execution time ----------------------- *)
+
+(* ratio = split vectorized (D) / native vectorized; lower is better. *)
+let fig6_ratio ~target ~scale entry =
+  let d =
+    anomalous_split_vector entry ~target ~profile:Profile.gcc4cli ~scale
+  in
+  let e = Flows.native_vector ~target entry ~scale in
+  float_of_int d.Flows.cycles /. float_of_int e.Flows.cycles
+
+let fig6 ~(target : Target.t) ~scale : row list * float =
+  let rows =
+    List.map
+      (fun entry ->
+        { kernel = entry.Suite.name; value = fig6_ratio ~target ~scale entry })
+      (dsp @ polybench)
+  in
+  rows, harmonic_mean (List.map (fun r -> r.value) rows)
+
+(* --- Table 3: IACA cycles per iteration on AVX ------------------------- *)
+
+type table3_row = {
+  t3_kernel : string;
+  t3_native : float;
+  t3_split : float;
+}
+
+let table3 () : table3_row list =
+  let target = Vapor_targets.Avx.target in
+  List.filter_map
+    (fun entry ->
+      if not entry.Suite.in_table3 then None
+      else begin
+        let bytecode = (Flows.vectorized_bytecode entry).Driver.vkernel in
+        let native =
+          Compile.compile ~target ~profile:Profile.native bytecode
+        in
+        let split =
+          Compile.compile ~target ~profile:Profile.avx_split bytecode
+        in
+        let cycles c =
+          Option.value ~default:nan
+            (Iaca.vector_loop_cycles target c.Compile.mfun)
+        in
+        Some
+          {
+            t3_kernel = entry.Suite.name;
+            t3_native = cycles native;
+            t3_split = cycles split;
+          }
+      end)
+    Suite.all
+
+(* --- Section V-A.b: the alignment-hints ablation ----------------------- *)
+
+(* Degradation factor per kernel: cycles without alignment optimizations /
+   cycles with them, split flow on [target]. *)
+let ablation ~(target : Target.t) ~scale : row list * float =
+  let rows =
+    List.filter_map
+      (fun entry ->
+        let with_hints =
+          Flows.split_vector ~target ~profile:Profile.gcc4cli entry ~scale
+        in
+        let without =
+          Flows.split_vector ~opts:Options.no_hints ~target
+            ~profile:Profile.gcc4cli entry ~scale
+        in
+        if not with_hints.Flows.vectorized then None
+        else
+          Some
+            {
+              kernel = entry.Suite.name;
+              value =
+                float_of_int without.Flows.cycles
+                /. float_of_int with_hints.Flows.cycles;
+            })
+      dsp
+  in
+  rows, arith_mean (List.map (fun r -> r.value) rows)
+
+(* --- Section V-A.c: bytecode size and JIT compile time ----------------- *)
+
+type compile_stats_row = {
+  cs_kernel : string;
+  cs_size_ratio : float; (* vectorized bytecode / scalar bytecode bytes *)
+  cs_time_ratio_x86 : float; (* Mono JIT time ratio on SSE *)
+  cs_time_ratio_ppc : float; (* Mono JIT time ratio on AltiVec *)
+}
+
+let compile_stats () : compile_stats_row list * float * float * float =
+  let rows =
+    List.map
+      (fun entry ->
+        let r = Flows.vectorized_bytecode entry in
+        let size_ratio =
+          float_of_int (Encode.size r.Driver.vkernel)
+          /. float_of_int (Encode.size r.Driver.scalar_bytecode)
+        in
+        let time_ratio target =
+          let v =
+            Compile.compile ~target ~profile:Profile.mono r.Driver.vkernel
+          in
+          let s =
+            Compile.compile ~target ~profile:Profile.mono
+              r.Driver.scalar_bytecode
+          in
+          v.Compile.compile_time_us /. s.Compile.compile_time_us
+        in
+        {
+          cs_kernel = entry.Suite.name;
+          cs_size_ratio = size_ratio;
+          cs_time_ratio_x86 = time_ratio Vapor_targets.Sse.target;
+          cs_time_ratio_ppc = time_ratio Vapor_targets.Altivec.target;
+        })
+      (dsp @ polybench)
+  in
+  ( rows,
+    arith_mean (List.map (fun r -> r.cs_size_ratio) rows),
+    arith_mean (List.map (fun r -> r.cs_time_ratio_x86) rows),
+    arith_mean (List.map (fun r -> r.cs_time_ratio_ppc) rows) )
+
+(* --- design-choice ablations (DESIGN.md) -------------------------------- *)
+
+(* Slowdown factor from disabling one vectorizer design choice, for the
+   kernels that exercise it (split flow, gcc4cli, on [target]). *)
+type design_ablation_row = {
+  da_choice : string;
+  da_kernel : string;
+  da_factor : float; (* cycles without / cycles with *)
+}
+
+let design_ablations ~(target : Target.t) ~scale : design_ablation_row list =
+  let run ?opts name =
+    let entry = Suite.find name in
+    (Flows.split_vector ?opts ~target ~profile:Profile.gcc4cli entry ~scale)
+      .Flows.cycles
+  in
+  let cases =
+    [
+      "slp re-rolling", { Options.default with Options.slp = false },
+      [ "mix_streams_s16" ];
+      "dot_product idiom", { Options.default with Options.dot_product = false },
+      [ "sfir_s16"; "interp_s16" ];
+      "outer-loop vectorization", { Options.default with Options.outer = false },
+      [ "alvinn_s32fp" ];
+      "const-trip unrolling", { Options.default with Options.unroll_trip = 0 },
+      [ "convolve_s32" ];
+      "realignment reuse", { Options.default with Options.realign_reuse = false },
+      [ "jacobi_fp"; "mmm_fp" ];
+    ]
+  in
+  List.concat_map
+    (fun (choice, opts, kernels) ->
+      List.map
+        (fun name ->
+          let with_ = run name in
+          let without = run ~opts name in
+          {
+            da_choice = choice;
+            da_kernel = name;
+            da_factor = float_of_int without /. float_of_int with_;
+          })
+        kernels)
+    cases

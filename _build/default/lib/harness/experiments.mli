@@ -1,0 +1,63 @@
+(** Reproduction of every figure and table in the paper's evaluation
+    (Section V), on the simulated targets. *)
+
+module Suite = Vapor_kernels.Suite
+module Target = Vapor_targets.Target
+
+type row = {
+  kernel : string;
+  value : float;
+}
+
+val geo_mean : float list -> float
+val arith_mean : float list -> float
+val harmonic_mean : float list -> float
+
+(** One Figure-5 data point: (split speedup)/(native speedup) under the
+    Mono profile. *)
+val fig5_impact : target:Target.t -> scale:int -> Suite.entry -> float
+
+(** Figure 5: per-kernel rows (with polybench averaged) and the arithmetic
+    mean. *)
+val fig5 : target:Target.t -> scale:int -> row list * float
+
+(** One Figure-6 data point: split(gcc4cli)/native execution time, with the
+    placement anomalies applied. *)
+val fig6_ratio : target:Target.t -> scale:int -> Suite.entry -> float
+
+(** Figure 6: per-kernel rows and the harmonic mean. *)
+val fig6 : target:Target.t -> scale:int -> row list * float
+
+type table3_row = {
+  t3_kernel : string;
+  t3_native : float;
+  t3_split : float;
+}
+
+(** Table 3: IACA-style cycles per vector-loop iteration on AVX. *)
+val table3 : unit -> table3_row list
+
+(** Section V-A.b: degradation from disabling alignment optimizations. *)
+val ablation : target:Target.t -> scale:int -> row list * float
+
+type compile_stats_row = {
+  cs_kernel : string;
+  cs_size_ratio : float;
+  cs_time_ratio_x86 : float;
+  cs_time_ratio_ppc : float;
+}
+
+(** Section V-A.c: bytecode size and JIT-time ratios, with averages
+    (rows, size, x86 time, ppc time). *)
+val compile_stats : unit -> compile_stats_row list * float * float * float
+
+type design_ablation_row = {
+  da_choice : string;
+  da_kernel : string;
+  da_factor : float;  (** cycles without the design choice / cycles with *)
+}
+
+(** Slowdown from disabling each vectorizer design choice DESIGN.md calls
+    out, on the kernels that exercise it (split flow, gcc4cli). *)
+val design_ablations :
+  target:Target.t -> scale:int -> design_ablation_row list

@@ -1,0 +1,76 @@
+(* The compilation flows of Figure 4:
+
+     F  native scalar     : IR -> scalar bytecode -> native backend
+     E  native vectorized : IR -> vectorizer -> specialized native backend
+     C  split scalar      : scalar bytecode -> JIT (Mono / gcc4cli)
+     A/D split vectorized : vectorized bytecode -> JIT (Mono / gcc4cli)
+
+   All flows share the backend; they differ in the bytecode they consume,
+   the codegen profile, and what is resolved at compile time. *)
+
+module B = Vapor_vecir.Bytecode
+module Driver = Vapor_vectorizer.Driver
+module Options = Vapor_vectorizer.Options
+module Target = Vapor_targets.Target
+module Profile = Vapor_jit.Profile
+module Compile = Vapor_jit.Compile
+module Layout = Vapor_machine.Layout
+module Suite = Vapor_kernels.Suite
+
+type flow_result = {
+  cycles : int;
+  instructions : int;
+  compile_time_us : float;
+  vectorized : bool;
+}
+
+(* Cache of vectorization results per (kernel, options-tag). *)
+let vec_cache : (string, Driver.result) Hashtbl.t = Hashtbl.create 64
+
+let vectorized_bytecode ?(opts = Options.default) entry =
+  let tag =
+    Printf.sprintf "%s/%b%b%b%b%b%d" entry.Suite.name opts.Options.hints
+      opts.Options.slp opts.Options.outer opts.Options.dot_product
+      opts.Options.realign_reuse opts.Options.unroll_trip
+  in
+  match Hashtbl.find_opt vec_cache tag with
+  | Some r -> r
+  | None ->
+    let r = Driver.vectorize ~opts (Suite.kernel entry) in
+    Hashtbl.replace vec_cache tag r;
+    r
+
+let scalar_bytecode entry = (vectorized_bytecode entry).Driver.scalar_bytecode
+
+let run_flow ?(policy = Layout.aligned_policy)
+    ?(known_aligned = fun _ -> true) ~(target : Target.t)
+    ~(profile : Profile.t) ~(bytecode : B.vkernel) entry ~scale : flow_result
+    =
+  let compiled = Compile.compile ~known_aligned ~target ~profile bytecode in
+  let args = entry.Suite.args ~scale in
+  let r = Exec.run ~policy target compiled ~args in
+  {
+    cycles = r.Exec.cycles;
+    instructions = r.Exec.instructions;
+    compile_time_us = r.Exec.compile_time_us;
+    vectorized = Compile.any_vectorized compiled;
+  }
+
+(* Flow F: native scalar compilation. *)
+let native_scalar ~target entry ~scale =
+  run_flow ~target ~profile:Profile.native
+    ~bytecode:(scalar_bytecode entry) entry ~scale
+
+(* Flow E: native vectorized compilation (monolithic offline compiler). *)
+let native_vector ?opts ~target entry ~scale =
+  run_flow ~target ~profile:Profile.native
+    ~bytecode:(vectorized_bytecode ?opts entry).Driver.vkernel entry ~scale
+
+(* Flows C / A / D: the split pipeline under a JIT profile. *)
+let split_scalar ?policy ?known_aligned ~target ~profile entry ~scale =
+  run_flow ?policy ?known_aligned ~target ~profile
+    ~bytecode:(scalar_bytecode entry) entry ~scale
+
+let split_vector ?opts ?policy ?known_aligned ~target ~profile entry ~scale =
+  run_flow ?policy ?known_aligned ~target ~profile
+    ~bytecode:(vectorized_bytecode ?opts entry).Driver.vkernel entry ~scale

@@ -1,0 +1,59 @@
+(** The compilation flows of the paper's Figure 4, all sharing one backend:
+
+    - F: native scalar — scalar bytecode, native profile
+    - E: native vectorized — vectorized bytecode, native profile
+    - C/A/D: split scalar / split vectorized under a JIT profile *)
+
+module B = Vapor_vecir.Bytecode
+module Driver = Vapor_vectorizer.Driver
+module Options = Vapor_vectorizer.Options
+module Target = Vapor_targets.Target
+module Profile = Vapor_jit.Profile
+module Layout = Vapor_machine.Layout
+module Suite = Vapor_kernels.Suite
+
+type flow_result = {
+  cycles : int;
+  instructions : int;
+  compile_time_us : float;
+  vectorized : bool;  (** at least one region lowered as vector code *)
+}
+
+(** Offline-vectorize an entry (cached per options). *)
+val vectorized_bytecode : ?opts:Options.t -> Suite.entry -> Driver.result
+
+val scalar_bytecode : Suite.entry -> B.vkernel
+
+val run_flow :
+  ?policy:Layout.policy ->
+  ?known_aligned:(string -> bool) ->
+  target:Target.t ->
+  profile:Profile.t ->
+  bytecode:B.vkernel ->
+  Suite.entry ->
+  scale:int ->
+  flow_result
+
+val native_scalar : target:Target.t -> Suite.entry -> scale:int -> flow_result
+
+val native_vector :
+  ?opts:Options.t -> target:Target.t -> Suite.entry -> scale:int -> flow_result
+
+val split_scalar :
+  ?policy:Layout.policy ->
+  ?known_aligned:(string -> bool) ->
+  target:Target.t ->
+  profile:Profile.t ->
+  Suite.entry ->
+  scale:int ->
+  flow_result
+
+val split_vector :
+  ?opts:Options.t ->
+  ?policy:Layout.policy ->
+  ?known_aligned:(string -> bool) ->
+  target:Target.t ->
+  profile:Profile.t ->
+  Suite.entry ->
+  scale:int ->
+  flow_result

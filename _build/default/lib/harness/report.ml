@@ -1,0 +1,56 @@
+(* Text rendering of experiment results, in the shape of the paper's
+   figures and tables. *)
+
+let bar width v vmax =
+  let n =
+    if Float.is_nan v || vmax <= 0.0 then 0
+    else int_of_float (Float.min (float_of_int width) (v /. vmax *. float_of_int width))
+  in
+  String.make (max 0 n) '#'
+
+let print_rows ~title ~value_label ~mean_label ~mean (rows : Experiments.row list) =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let vmax =
+    List.fold_left (fun acc (r : Experiments.row) -> Float.max acc r.Experiments.value) 1.0 rows
+  in
+  List.iter
+    (fun (r : Experiments.row) ->
+      Printf.printf "  %-18s %6.2fx  %s\n" r.Experiments.kernel
+        r.Experiments.value
+        (bar 40 r.Experiments.value vmax))
+    rows;
+  Printf.printf "  %-18s %6.2fx   (%s)\n" mean_label mean value_label
+
+let print_table3 rows =
+  Printf.printf "\nTable 3: IACA-style cycles per vector-loop iteration (AVX)\n";
+  Printf.printf "===========================================================\n";
+  Printf.printf "  %-14s %8s %8s\n" "kernel" "native" "split";
+  List.iter
+    (fun (r : Experiments.table3_row) ->
+      Printf.printf "  %-14s %8.0f %8.0f\n" r.Experiments.t3_kernel
+        r.Experiments.t3_native r.Experiments.t3_split)
+    rows
+
+let print_compile_stats (rows, size_avg, x86_avg, ppc_avg) =
+  Printf.printf "\nBytecode size and JIT compile time (Section V-A.c)\n";
+  Printf.printf "===================================================\n";
+  Printf.printf "  %-18s %10s %12s %12s\n" "kernel" "size ratio" "jit-x86" "jit-ppc";
+  List.iter
+    (fun (r : Experiments.compile_stats_row) ->
+      Printf.printf "  %-18s %9.2fx %11.2fx %11.2fx\n" r.Experiments.cs_kernel
+        r.Experiments.cs_size_ratio r.Experiments.cs_time_ratio_x86
+        r.Experiments.cs_time_ratio_ppc)
+    rows;
+  Printf.printf "  %-18s %9.2fx %11.2fx %11.2fx\n" "average" size_avg x86_avg
+    ppc_avg
+
+let print_design_ablations (rows : Experiments.design_ablation_row list) =
+  Printf.printf "\nDesign-choice ablations (split flow, gcc4cli)\n";
+  Printf.printf "=============================================\n";
+  Printf.printf "  %-26s %-16s %s\n" "design choice disabled" "kernel"
+    "slowdown";
+  List.iter
+    (fun (r : Experiments.design_ablation_row) ->
+      Printf.printf "  %-26s %-16s %6.2fx\n" r.Experiments.da_choice
+        r.Experiments.da_kernel r.Experiments.da_factor)
+    rows

@@ -1,0 +1,1 @@
+lib/ir/buffer_.ml: Array Float Format Src_type Value

@@ -1,0 +1,1 @@
+lib/ir/buffer_.mli: Format Src_type Value

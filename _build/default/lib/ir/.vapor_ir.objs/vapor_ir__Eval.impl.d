@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Buffer_ Expr Format Hashtbl Kernel List Op Src_type Stmt Value

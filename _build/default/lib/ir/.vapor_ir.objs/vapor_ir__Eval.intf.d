@@ -1,0 +1,1 @@
+lib/ir/eval.mli: Buffer_ Hashtbl Kernel Value

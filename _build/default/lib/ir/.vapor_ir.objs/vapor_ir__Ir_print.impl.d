@@ -1,0 +1,1 @@
+lib/ir/ir_print.ml: Expr Format Kernel List Src_type Stmt String

@@ -1,0 +1,1 @@
+lib/ir/ir_print.mli: Format Kernel Stmt

@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Expr List Src_type Stmt

@@ -1,0 +1,1 @@
+lib/ir/src_type.ml: Format Int32

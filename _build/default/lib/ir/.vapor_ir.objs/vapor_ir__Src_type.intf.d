@@ -1,0 +1,1 @@
+lib/ir/src_type.mli: Format

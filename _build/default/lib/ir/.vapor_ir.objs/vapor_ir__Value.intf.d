@@ -1,0 +1,1 @@
+lib/ir/value.mli: Format Op Src_type

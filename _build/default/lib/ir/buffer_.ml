@@ -1,0 +1,100 @@
+(* Typed flat arrays backing kernel array parameters.
+
+   Integers are stored normalized; floats are stored at the declared
+   precision.  The machine simulator copies buffers into byte-addressable
+   memory and back, so buffers are also the currency of differential tests. *)
+
+type data =
+  | Ints of int array
+  | Floats of float array
+
+type t = {
+  elem : Src_type.t;
+  data : data;
+}
+
+let create elem n =
+  let data =
+    if Src_type.is_float elem then Floats (Array.make n 0.0)
+    else Ints (Array.make n 0)
+  in
+  { elem; data }
+
+let length b =
+  match b.data with
+  | Ints a -> Array.length a
+  | Floats a -> Array.length a
+
+let get b i =
+  match b.data with
+  | Ints a -> Value.Int a.(i)
+  | Floats a -> Value.Float a.(i)
+
+let set b i v =
+  match b.data, Value.normalize b.elem v with
+  | Ints a, Value.Int x -> a.(i) <- x
+  | Floats a, Value.Float x -> a.(i) <- x
+  | Ints _, Value.Float _ -> invalid_arg "Buffer_.set: float into int buffer"
+  | Floats _, Value.Int _ -> invalid_arg "Buffer_.set: int into float buffer"
+
+let of_ints elem xs =
+  let b = create elem (Array.length xs) in
+  Array.iteri (fun i x -> set b i (Value.Int x)) xs;
+  b
+
+let of_floats elem xs =
+  let b = create elem (Array.length xs) in
+  Array.iteri (fun i x -> set b i (Value.Float x)) xs;
+  b
+
+let init elem n f =
+  let b = create elem n in
+  for i = 0 to n - 1 do
+    set b i (f i)
+  done;
+  b
+
+let copy b =
+  let data =
+    match b.data with
+    | Ints a -> Ints (Array.copy a)
+    | Floats a -> Floats (Array.copy a)
+  in
+  { b with data }
+
+let to_values b = Array.init (length b) (get b)
+
+let equal a b =
+  Src_type.equal a.elem b.elem
+  && length a = length b
+  &&
+  let n = length a in
+  let rec go i = i >= n || (Value.equal (get a i) (get b i) && go (i + 1)) in
+  go 0
+
+(* Approximate equality for float buffers: relative tolerance [eps].
+   Int buffers compare exactly. *)
+let close ?(eps = 1e-6) a b =
+  Src_type.equal a.elem b.elem
+  && length a = length b
+  &&
+  let ok x y =
+    match x, y with
+    | Value.Int i, Value.Int j -> i = j
+    | Value.Float f, Value.Float g ->
+      Float.abs (f -. g) <= eps *. Float.max 1.0 (Float.max (Float.abs f) (Float.abs g))
+      || (Float.is_nan f && Float.is_nan g)
+    | Value.Int _, Value.Float _ | Value.Float _, Value.Int _ -> false
+  in
+  let n = length a in
+  let rec go i = i >= n || (ok (get a i) (get b i) && go (i + 1)) in
+  go 0
+
+let pp fmt b =
+  let n = length b in
+  Format.fprintf fmt "[%s x %d|" (Src_type.to_string b.elem) n;
+  for i = 0 to min n 16 - 1 do
+    Format.fprintf fmt " %a" Value.pp (get b i)
+  done;
+  if n > 16 then Format.fprintf fmt " ...";
+  Format.fprintf fmt " ]"

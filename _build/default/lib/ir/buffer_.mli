@@ -1,0 +1,36 @@
+(** Typed flat arrays backing kernel array parameters; the currency of
+    differential tests.  Stores normalize to the element type. *)
+
+type data =
+  | Ints of int array
+  | Floats of float array
+
+type t = {
+  elem : Src_type.t;
+  data : data;
+}
+
+(** Zero-initialized buffer of [n] elements. *)
+val create : Src_type.t -> int -> t
+
+val length : t -> int
+val get : t -> int -> Value.t
+
+(** Stores normalize the value to the buffer's element type.
+    @raise Invalid_argument on int/float kind mismatch. *)
+val set : t -> int -> Value.t -> unit
+
+val of_ints : Src_type.t -> int array -> t
+val of_floats : Src_type.t -> float array -> t
+val init : Src_type.t -> int -> (int -> Value.t) -> t
+val copy : t -> t
+val to_values : t -> Value.t array
+
+(** Exact equality (element type, length, every element). *)
+val equal : t -> t -> bool
+
+(** Relative-tolerance comparison for float buffers (default eps 1e-6);
+    integer buffers compare exactly. *)
+val close : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

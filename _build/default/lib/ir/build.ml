@@ -1,0 +1,30 @@
+(* Concise constructors for IR terms, used throughout tests and the
+   vectorizer's generated peel/epilogue code. *)
+
+let i32 v = Expr.Int_lit (Src_type.I32, v)
+let lit ty v = Expr.Int_lit (ty, v)
+let flit ty v = Expr.Float_lit (ty, v)
+let var v = Expr.Var v
+let load arr idx = Expr.Load (arr, idx)
+let ( + ) a b = Expr.Binop (Op.Add, a, b)
+let ( - ) a b = Expr.Binop (Op.Sub, a, b)
+let ( * ) a b = Expr.Binop (Op.Mul, a, b)
+let ( / ) a b = Expr.Binop (Op.Div, a, b)
+let ( < ) a b = Expr.Binop (Op.Lt, a, b)
+let ( >= ) a b = Expr.Binop (Op.Ge, a, b)
+let ( = ) a b = Expr.Binop (Op.Eq, a, b)
+let min_ a b = Expr.Binop (Op.Min, a, b)
+let max_ a b = Expr.Binop (Op.Max, a, b)
+let abs_ a = Expr.Unop (Op.Abs, a)
+let neg a = Expr.Unop (Op.Neg, a)
+let cvt ty a = Expr.Convert (ty, a)
+let assign v e = Stmt.Assign (v, e)
+let store arr idx v = Stmt.Store (arr, idx, v)
+let for_ index lo hi body = Stmt.For { Stmt.index; lo; hi; body }
+let if_ c t e = Stmt.If (c, t, e)
+
+let kernel ?(locals = []) name params body =
+  { Kernel.name; params; locals; body }
+
+let scalar n ty = Kernel.P_scalar (n, ty)
+let array n ty = Kernel.P_array (n, ty)

@@ -1,0 +1,132 @@
+(* Expressions of the scalar IR.
+
+   The IR is produced by the frontend type-checker, which inserts explicit
+   [Convert] nodes so that both operands of every [Binop] have the same
+   scalar type.  [type_of] recomputes types under that invariant. *)
+
+type t =
+  | Int_lit of Src_type.t * int
+  | Float_lit of Src_type.t * float
+  | Var of string
+  | Load of string * t (* array name, element index *)
+  | Binop of Op.binop * t * t
+  | Unop of Op.unop * t
+  | Convert of Src_type.t * t
+  | Select of t * t * t (* cond ? if_true : if_false *)
+
+type env = {
+  var_type : string -> Src_type.t;
+  array_elem : string -> Src_type.t;
+}
+
+exception Type_error of string
+
+let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let rec type_of env = function
+  | Int_lit (ty, _) -> ty
+  | Float_lit (ty, _) -> ty
+  | Var v -> env.var_type v
+  | Load (arr, _) -> env.array_elem arr
+  | Binop (op, a, b) ->
+    let ta = type_of env a and tb = type_of env b in
+    if not (Src_type.equal ta tb) then
+      type_errorf "operands of %s have types %s and %s"
+        (Op.binop_to_string op) (Src_type.to_string ta)
+        (Src_type.to_string tb);
+    if Op.is_comparison op then Src_type.I32 else ta
+  | Unop (_, a) -> type_of env a
+  | Convert (ty, _) -> ty
+  | Select (_, a, b) ->
+    let ta = type_of env a and tb = type_of env b in
+    if not (Src_type.equal ta tb) then
+      type_errorf "select branches have types %s and %s"
+        (Src_type.to_string ta) (Src_type.to_string tb);
+    ta
+
+(* Structural traversal helpers. *)
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> acc
+  | Load (_, idx) -> fold f acc idx
+  | Binop (_, a, b) -> fold f (fold f acc a) b
+  | Unop (_, a) -> fold f acc a
+  | Convert (_, a) -> fold f acc a
+  | Select (c, a, b) -> fold f (fold f (fold f acc c) a) b
+
+let rec map f e =
+  let e = f e in
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> e
+  | Load (arr, idx) -> Load (arr, map f idx)
+  | Binop (op, a, b) -> Binop (op, map f a, map f b)
+  | Unop (op, a) -> Unop (op, map f a)
+  | Convert (ty, a) -> Convert (ty, map f a)
+  | Select (c, a, b) -> Select (map f c, map f a, map f b)
+
+let vars e =
+  fold
+    (fun acc e ->
+      match e with
+      | Var v -> v :: acc
+      | Int_lit _ | Float_lit _ | Load _ | Binop _ | Unop _ | Convert _
+      | Select _ ->
+        acc)
+    [] e
+
+let loads e =
+  fold
+    (fun acc e ->
+      match e with
+      | Load (arr, idx) -> (arr, idx) :: acc
+      | Int_lit _ | Float_lit _ | Var _ | Binop _ | Unop _ | Convert _
+      | Select _ ->
+        acc)
+    [] e
+
+let uses_var name e = List.mem name (vars e)
+
+(* Substitute every occurrence of variable [name] by expression [by]. *)
+let subst_var name by e =
+  map
+    (function
+      | Var v when String.equal v name -> by
+      | other -> other)
+    e
+
+let rec equal a b =
+  match a, b with
+  | Int_lit (ta, va), Int_lit (tb, vb) -> Src_type.equal ta tb && va = vb
+  | Float_lit (ta, va), Float_lit (tb, vb) ->
+    Src_type.equal ta tb && Float.equal va vb
+  | Var a, Var b -> String.equal a b
+  | Load (aa, ia), Load (ab, ib) -> String.equal aa ab && equal ia ib
+  | Binop (oa, xa, ya), Binop (ob, xb, yb) ->
+    oa = ob && equal xa xb && equal ya yb
+  | Unop (oa, xa), Unop (ob, xb) -> oa = ob && equal xa xb
+  | Convert (ta, xa), Convert (tb, xb) -> Src_type.equal ta tb && equal xa xb
+  | Select (ca, xa, ya), Select (cb, xb, yb) ->
+    equal ca cb && equal xa xb && equal ya yb
+  | ( ( Int_lit _ | Float_lit _ | Var _ | Load _ | Binop _ | Unop _
+      | Convert _ | Select _ ),
+      _ ) ->
+    false
+
+let rec pp fmt = function
+  | Int_lit (_, v) -> Format.fprintf fmt "%d" v
+  | Float_lit (_, v) -> Format.fprintf fmt "%g" v
+  | Var v -> Format.pp_print_string fmt v
+  | Load (arr, idx) -> Format.fprintf fmt "%s[%a]" arr pp idx
+  | Binop ((Op.Min | Op.Max) as op, a, b) ->
+    Format.fprintf fmt "%s(%a, %a)" (Op.binop_to_string op) pp a pp b
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp a (Op.binop_to_string op) pp b
+  | Unop ((Op.Abs | Op.Sqrt) as op, a) ->
+    Format.fprintf fmt "%s(%a)" (Op.unop_to_string op) pp a
+  | Unop (op, a) -> Format.fprintf fmt "%s%a" (Op.unop_to_string op) pp a
+  | Convert (ty, a) -> Format.fprintf fmt "(%s)%a" (Src_type.to_string ty) pp a
+  | Select (c, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp c pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

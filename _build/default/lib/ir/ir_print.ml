@@ -1,0 +1,42 @@
+(* C-like pretty-printer for kernels, used by `vaporc dump-ir` and tests. *)
+
+let rec pp_stmt indent fmt (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Stmt.Assign (v, e) -> Format.fprintf fmt "%s%s = %a;" pad v Expr.pp e
+  | Stmt.Store (arr, idx, value) ->
+    Format.fprintf fmt "%s%s[%a] = %a;" pad arr Expr.pp idx Expr.pp value
+  | Stmt.For { index; lo; hi; body } ->
+    Format.fprintf fmt "%sfor (%s = %a; %s < %a; %s++) {@\n%a@\n%s}" pad index
+      Expr.pp lo index Expr.pp hi index (pp_body (indent + 2)) body pad
+  | Stmt.If (c, t, []) ->
+    Format.fprintf fmt "%sif (%a) {@\n%a@\n%s}" pad Expr.pp c
+      (pp_body (indent + 2)) t pad
+  | Stmt.If (c, t, e) ->
+    Format.fprintf fmt "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad Expr.pp c
+      (pp_body (indent + 2)) t pad (pp_body (indent + 2)) e pad
+
+and pp_body indent fmt stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@\n")
+    (pp_stmt indent) fmt stmts
+
+let pp_param fmt = function
+  | Kernel.P_scalar (n, ty) ->
+    Format.fprintf fmt "%s %s" (Src_type.to_string ty) n
+  | Kernel.P_array (n, ty) ->
+    Format.fprintf fmt "%s %s[]" (Src_type.to_string ty) n
+
+let pp_kernel fmt (k : Kernel.t) =
+  Format.fprintf fmt "kernel %s(%a) {@\n" k.Kernel.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       pp_param)
+    k.Kernel.params;
+  List.iter
+    (fun (v, ty) ->
+      Format.fprintf fmt "  %s %s;@\n" (Src_type.to_string ty) v)
+    k.Kernel.locals;
+  Format.fprintf fmt "%a@\n}@." (pp_body 2) k.Kernel.body
+
+let kernel_to_string k = Format.asprintf "%a" pp_kernel k

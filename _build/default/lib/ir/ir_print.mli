@@ -1,0 +1,8 @@
+(** C-like pretty-printer for IR kernels.  Printing and recompiling a
+    kernel preserves its semantics (tested). *)
+
+val pp_stmt : int -> Format.formatter -> Stmt.t -> unit
+val pp_body : int -> Format.formatter -> Stmt.t list -> unit
+val pp_param : Format.formatter -> Kernel.param -> unit
+val pp_kernel : Format.formatter -> Kernel.t -> unit
+val kernel_to_string : Kernel.t -> string

@@ -1,0 +1,93 @@
+(* A kernel: the unit of compilation, corresponding to one C function in the
+   paper's benchmark suite. *)
+
+type param =
+  | P_scalar of string * Src_type.t
+  | P_array of string * Src_type.t
+
+type t = {
+  name : string;
+  params : param list;
+  locals : (string * Src_type.t) list;
+  body : Stmt.t list;
+}
+
+let param_name = function
+  | P_scalar (n, _) -> n
+  | P_array (n, _) -> n
+
+let array_params k =
+  List.filter_map
+    (function
+      | P_array (n, ty) -> Some (n, ty)
+      | P_scalar _ -> None)
+    k.params
+
+let scalar_params k =
+  List.filter_map
+    (function
+      | P_scalar (n, ty) -> Some (n, ty)
+      | P_array _ -> None)
+    k.params
+
+(* Loop indices are declared implicitly with type s32.  [var_type] covers
+   scalar params, locals and any loop index appearing in the body. *)
+let rec loop_indices stmts =
+  List.concat_map
+    (function
+      | Stmt.Assign _ | Stmt.Store _ -> []
+      | Stmt.For { index; body; _ } -> index :: loop_indices body
+      | Stmt.If (_, t, e) -> loop_indices t @ loop_indices e)
+    stmts
+
+let typing_env k : Expr.env =
+  let scalars = scalar_params k @ k.locals in
+  let arrays = array_params k in
+  let indices = loop_indices k.body in
+  {
+    Expr.var_type =
+      (fun v ->
+        match List.assoc_opt v scalars with
+        | Some ty -> ty
+        | None ->
+          if List.mem v indices then Src_type.I32
+          else Expr.type_errorf "unbound variable %s" v);
+    Expr.array_elem =
+      (fun a ->
+        match List.assoc_opt a arrays with
+        | Some ty -> ty
+        | None -> Expr.type_errorf "unbound array %s" a);
+  }
+
+(* Structural well-formedness + type check.  Raises [Expr.Type_error]. *)
+let check k =
+  let env = typing_env k in
+  let check_expr e = ignore (Expr.type_of env e) in
+  let check_int_expr what e =
+    let ty = Expr.type_of env e in
+    if not (Src_type.is_int ty) then
+      Expr.type_errorf "%s must have integer type, got %s" what
+        (Src_type.to_string ty)
+  in
+  let rec check_stmt = function
+    | Stmt.Assign (v, e) ->
+      let tv = env.Expr.var_type v and te = Expr.type_of env e in
+      if not (Src_type.equal tv te) then
+        Expr.type_errorf "assignment to %s : %s from expression of type %s" v
+          (Src_type.to_string tv) (Src_type.to_string te)
+    | Stmt.Store (arr, idx, value) ->
+      check_int_expr "store index" idx;
+      let ta = env.Expr.array_elem arr and tv = Expr.type_of env value in
+      if not (Src_type.equal ta tv) then
+        Expr.type_errorf "store to %s : %s from expression of type %s" arr
+          (Src_type.to_string ta) (Src_type.to_string tv)
+    | Stmt.For { lo; hi; body; _ } ->
+      check_int_expr "loop bound" lo;
+      check_int_expr "loop bound" hi;
+      List.iter check_stmt body
+    | Stmt.If (c, t, e) ->
+      check_expr c;
+      List.iter check_stmt t;
+      List.iter check_stmt e
+  in
+  List.iter check_stmt k.body

@@ -1,0 +1,27 @@
+(** A kernel: the unit of compilation, one C-like function of the paper's
+    benchmark suite. *)
+
+type param =
+  | P_scalar of string * Src_type.t
+  | P_array of string * Src_type.t
+
+type t = {
+  name : string;
+  params : param list;
+  locals : (string * Src_type.t) list;
+  body : Stmt.t list;
+}
+
+val param_name : param -> string
+val array_params : t -> (string * Src_type.t) list
+val scalar_params : t -> (string * Src_type.t) list
+
+(** Loop index variables appearing in a statement list (implicitly s32). *)
+val loop_indices : Stmt.t list -> string list
+
+(** Typing environment covering params, locals and loop indices. *)
+val typing_env : t -> Expr.env
+
+(** Structural well-formedness and type check.
+    @raise Expr.Type_error when ill-typed. *)
+val check : t -> unit

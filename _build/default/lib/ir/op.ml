@@ -1,0 +1,70 @@
+(* Scalar operators of the kernel language and IR. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop =
+  | Neg
+  | Abs
+  | Not
+  | Sqrt
+
+let is_comparison = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> true
+  | Add | Sub | Mul | Div | Min | Max | And | Or | Xor | Shl | Shr -> false
+
+let is_bitwise = function
+  | And | Or | Xor | Shl | Shr -> true
+  | Add | Sub | Mul | Div | Min | Max | Eq | Ne | Lt | Le | Gt | Ge -> false
+
+(* Operators whose vector form is commutative+associative and therefore
+   usable as a loop reduction. *)
+let is_reduction_op = function
+  | Add | Min | Max -> true
+  | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge
+    ->
+    false
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Min -> "min"
+  | Max -> "max"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let unop_to_string = function
+  | Neg -> "-"
+  | Abs -> "abs"
+  | Not -> "~"
+  | Sqrt -> "sqrt"
+
+let pp_binop fmt op = Format.pp_print_string fmt (binop_to_string op)
+let pp_unop fmt op = Format.pp_print_string fmt (unop_to_string op)

@@ -1,0 +1,38 @@
+(** Scalar operators of the kernel language and IR. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop =
+  | Neg
+  | Abs
+  | Not
+  | Sqrt
+
+val is_comparison : binop -> bool
+val is_bitwise : binop -> bool
+
+(** Operators usable as loop reductions (commutative + associative with an
+    identity): [Add], [Min], [Max]. *)
+val is_reduction_op : binop -> bool
+
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+val pp_binop : Format.formatter -> binop -> unit
+val pp_unop : Format.formatter -> unop -> unit

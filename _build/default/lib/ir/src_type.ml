@@ -1,0 +1,106 @@
+(* Scalar element types of the kernel language.
+
+   Integer values are carried in OCaml's native [int] (63-bit) and
+   re-normalized to the declared width after every operation, so 8/16/32-bit
+   semantics are exact.  [I64] wraps at 63 bits; every evaluator in the
+   project shares this normalization, so differential tests remain exact. *)
+
+type t =
+  | I8
+  | I16
+  | I32
+  | I64
+  | U8
+  | U16
+  | U32
+  | F32
+  | F64
+
+let all = [ I8; I16; I32; I64; U8; U16; U32; F32; F64 ]
+
+let size_of = function
+  | I8 | U8 -> 1
+  | I16 | U16 -> 2
+  | I32 | U32 | F32 -> 4
+  | I64 | F64 -> 8
+
+let is_float = function
+  | F32 | F64 -> true
+  | I8 | I16 | I32 | I64 | U8 | U16 | U32 -> false
+
+let is_int t = not (is_float t)
+
+let is_signed = function
+  | I8 | I16 | I32 | I64 -> true
+  | U8 | U16 | U32 -> false
+  | F32 | F64 -> true
+
+let to_string = function
+  | I8 -> "s8"
+  | I16 -> "s16"
+  | I32 -> "s32"
+  | I64 -> "s64"
+  | U8 -> "u8"
+  | U16 -> "u16"
+  | U32 -> "u32"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let of_string = function
+  | "s8" | "char" -> Some I8
+  | "s16" | "short" -> Some I16
+  | "s32" | "int" -> Some I32
+  | "s64" | "long" -> Some I64
+  | "u8" | "uchar" -> Some U8
+  | "u16" | "ushort" -> Some U16
+  | "u32" | "uint" -> Some U32
+  | "f32" | "float" -> Some F32
+  | "f64" | "double" -> Some F64
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* Widening partner used by widen_mult / unpack idioms: the type with twice
+   the element size and the same signedness.  I64/F64 have no widening. *)
+let widen = function
+  | I8 -> Some I16
+  | I16 -> Some I32
+  | I32 -> Some I64
+  | U8 -> Some U16
+  | U16 -> Some U32
+  | U32 -> Some I64
+  | F32 -> Some F64
+  | I64 | F64 -> None
+
+(* Narrowing partner used by the pack idiom. *)
+let narrow = function
+  | I16 -> Some I8
+  | I32 -> Some I16
+  | I64 -> Some I32
+  | U16 -> Some U8
+  | U32 -> Some U16
+  | F64 -> Some F32
+  | I8 | U8 | F32 -> None
+
+(* Normalize an OCaml int to the two's-complement range of [t]. *)
+let normalize_int t v =
+  match t with
+  | I8 -> (v land 0xff) - (if v land 0x80 <> 0 then 0x100 else 0)
+  | I16 -> (v land 0xffff) - (if v land 0x8000 <> 0 then 0x10000 else 0)
+  | I32 ->
+    (v land 0xffffffff) - (if v land 0x80000000 <> 0 then 0x100000000 else 0)
+  | I64 -> v
+  | U8 -> v land 0xff
+  | U16 -> v land 0xffff
+  | U32 -> v land 0xffffffff
+  | F32 | F64 -> invalid_arg "Src_type.normalize_int: float type"
+
+(* Round a float to the precision of [t] (f32 goes through IEEE bits). *)
+let normalize_float t v =
+  match t with
+  | F32 -> Int32.float_of_bits (Int32.bits_of_float v)
+  | F64 -> v
+  | I8 | I16 | I32 | I64 | U8 | U16 | U32 ->
+    invalid_arg "Src_type.normalize_float: int type"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,52 @@
+(** Scalar element types of the kernel language and IR.
+
+    Integer values are carried in OCaml's native [int] and re-normalized to
+    the declared width after every operation, so 8/16/32-bit semantics are
+    exact ([I64] wraps at 63 bits, consistently across all evaluators). *)
+
+type t =
+  | I8
+  | I16
+  | I32
+  | I64
+  | U8
+  | U16
+  | U32
+  | F32
+  | F64
+
+val all : t list
+
+(** Size in bytes. *)
+val size_of : t -> int
+
+val is_float : t -> bool
+val is_int : t -> bool
+
+(** Floats count as signed. *)
+val is_signed : t -> bool
+
+val to_string : t -> string
+
+(** Parses both the short names ([s8], [f32], ...) and the C-like aliases
+    ([char], [int], [float], ...). *)
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** The type with twice the element size and the same signedness, used by
+    the widening idioms; [None] for 8-byte types. *)
+val widen : t -> t option
+
+(** The type with half the element size, used by the pack idiom. *)
+val narrow : t -> t option
+
+(** Normalize an integer to the two's-complement range of the type.
+    @raise Invalid_argument on float types. *)
+val normalize_int : t -> int -> int
+
+(** Round a float to the precision of the type (f32 via IEEE bits).
+    @raise Invalid_argument on integer types. *)
+val normalize_float : t -> float -> float
+
+val equal : t -> t -> bool

@@ -1,0 +1,61 @@
+(* Statements of the scalar IR: structured control flow only.
+
+   Loops are normalized counted loops: [index] runs from [lo] (inclusive) to
+   [hi] (exclusive) in steps of one.  Strided accesses are expressed in the
+   subscript (e.g. [y[2*i]]), matching what the vectorizer analyzes. *)
+
+type t =
+  | Assign of string * Expr.t
+  | Store of string * Expr.t * Expr.t (* array, index, value *)
+  | For of loop
+  | If of Expr.t * t list * t list
+
+and loop = {
+  index : string;
+  lo : Expr.t;
+  hi : Expr.t;
+  body : t list;
+}
+
+let rec fold_exprs f acc = function
+  | Assign (_, e) -> f acc e
+  | Store (_, idx, v) -> f (f acc idx) v
+  | For { lo; hi; body; _ } ->
+    List.fold_left (fold_exprs f) (f (f acc lo) hi) body
+  | If (c, t, e) ->
+    let acc = f acc c in
+    List.fold_left (fold_exprs f) (List.fold_left (fold_exprs f) acc t) e
+
+(* All array reads (arr, index) syntactically inside a statement list. *)
+let loads_of stmts =
+  List.fold_left
+    (fold_exprs (fun acc e -> Expr.loads e @ acc))
+    [] stmts
+
+(* All array writes (arr, index) syntactically inside a statement list. *)
+let rec stores_of stmts =
+  List.concat_map
+    (function
+      | Assign _ -> []
+      | Store (arr, idx, _) -> [ arr, idx ]
+      | For { body; _ } -> stores_of body
+      | If (_, t, e) -> stores_of t @ stores_of e)
+    stmts
+
+(* Variables assigned (scalar writes) anywhere inside a statement list. *)
+let rec assigned_vars stmts =
+  List.concat_map
+    (function
+      | Assign (v, _) -> [ v ]
+      | Store _ -> []
+      | For { index; body; _ } -> index :: assigned_vars body
+      | If (_, t, e) -> assigned_vars t @ assigned_vars e)
+    stmts
+
+(* Innermost loops: loops whose bodies contain no further loop. *)
+let rec contains_loop = function
+  | Assign _ | Store _ -> false
+  | For _ -> true
+  | If (_, t, e) -> List.exists contains_loop t || List.exists contains_loop e
+
+let is_innermost { body; _ } = not (List.exists contains_loop body)

@@ -1,0 +1,124 @@
+(* Dynamic scalar values shared by every evaluator in the project. *)
+
+type t =
+  | Int of int
+  | Float of float
+
+let to_int = function
+  | Int v -> v
+  | Float v -> int_of_float v
+
+let to_float = function
+  | Int v -> float_of_int v
+  | Float v -> v
+
+let zero ty = if Src_type.is_float ty then Float 0.0 else Int 0
+
+(* Re-normalize a raw value to the representable range/precision of [ty]. *)
+let normalize ty v =
+  match v with
+  | Int i -> Int (Src_type.normalize_int ty i)
+  | Float f -> Float (Src_type.normalize_float ty f)
+
+(* Conversion used by [Expr.Convert]: C-style semantics, i.e. float->int
+   truncates toward zero and int->float rounds to the target precision. *)
+let convert ~from ~into v =
+  ignore from;
+  if Src_type.is_float into then
+    Float (Src_type.normalize_float into (to_float v))
+  else
+    let raw =
+      match v with
+      | Int i -> i
+      | Float f -> int_of_float (Float.of_int 0 +. Float.trunc f)
+    in
+    Int (Src_type.normalize_int into raw)
+
+let shift_mask ty = (Src_type.size_of ty * 8) - 1
+
+(* Apply a binary operator at type [ty].  Comparisons yield Int 0/1.
+   Integer division truncates toward zero (C semantics); division by zero
+   raises [Division_by_zero] just as the source language would trap. *)
+let binop ty (op : Op.binop) a b =
+  if Src_type.is_float ty then begin
+    let x = to_float a and y = to_float b in
+    let r f = Float (Src_type.normalize_float ty f) in
+    match op with
+    | Op.Add -> r (x +. y)
+    | Op.Sub -> r (x -. y)
+    | Op.Mul -> r (x *. y)
+    | Op.Div -> r (x /. y)
+    | Op.Min -> r (Float.min x y)
+    | Op.Max -> r (Float.max x y)
+    | Op.Eq -> Int (if x = y then 1 else 0)
+    | Op.Ne -> Int (if x <> y then 1 else 0)
+    | Op.Lt -> Int (if x < y then 1 else 0)
+    | Op.Le -> Int (if x <= y then 1 else 0)
+    | Op.Gt -> Int (if x > y then 1 else 0)
+    | Op.Ge -> Int (if x >= y then 1 else 0)
+    | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr ->
+      invalid_arg "Value.binop: bitwise operator on float type"
+  end
+  else begin
+    let x = to_int a and y = to_int b in
+    let r i = Int (Src_type.normalize_int ty i) in
+    match op with
+    | Op.Add -> r (x + y)
+    | Op.Sub -> r (x - y)
+    | Op.Mul -> r (x * y)
+    | Op.Div -> if y = 0 then raise Division_by_zero else r (x / y)
+    | Op.Min -> r (min x y)
+    | Op.Max -> r (max x y)
+    | Op.And -> r (x land y)
+    | Op.Or -> r (x lor y)
+    | Op.Xor -> r (x lxor y)
+    | Op.Shl -> r (x lsl (y land shift_mask ty))
+    | Op.Shr ->
+      (* Arithmetic shift for signed types, logical for unsigned: the
+         normalization keeps unsigned values non-negative so [asr] is
+         logical there as well. *)
+      r (x asr (y land shift_mask ty))
+    | Op.Eq -> Int (if x = y then 1 else 0)
+    | Op.Ne -> Int (if x <> y then 1 else 0)
+    | Op.Lt -> Int (if x < y then 1 else 0)
+    | Op.Le -> Int (if x <= y then 1 else 0)
+    | Op.Gt -> Int (if x > y then 1 else 0)
+    | Op.Ge -> Int (if x >= y then 1 else 0)
+  end
+
+let unop ty (op : Op.unop) a =
+  if Src_type.is_float ty then begin
+    let x = to_float a in
+    let r f = Float (Src_type.normalize_float ty f) in
+    match op with
+    | Op.Neg -> r (-.x)
+    | Op.Abs -> r (Float.abs x)
+    | Op.Sqrt -> r (Float.sqrt x)
+    | Op.Not -> invalid_arg "Value.unop: bitwise not on float type"
+  end
+  else begin
+    let x = to_int a in
+    let r i = Int (Src_type.normalize_int ty i) in
+    match op with
+    | Op.Neg -> r (-x)
+    | Op.Abs -> r (abs x)
+    | Op.Not -> r (lnot x)
+    | Op.Sqrt -> invalid_arg "Value.unop: sqrt on int type"
+  end
+
+let is_true = function
+  | Int 0 -> false
+  | Int _ -> true
+  | Float f -> f <> 0.0
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y || (Float.is_nan x && Float.is_nan y)
+  | Int _, Float _ | Float _, Int _ -> false
+
+let pp fmt = function
+  | Int v -> Format.fprintf fmt "%d" v
+  | Float v -> Format.fprintf fmt "%h" v
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,1 @@
+lib/jit/compile.ml: Emit List Lower Profile Vapor_machine Vapor_targets Vapor_vecir

@@ -1,0 +1,1 @@
+lib/jit/compile.mli: Lower Profile Vapor_machine Vapor_targets Vapor_vecir

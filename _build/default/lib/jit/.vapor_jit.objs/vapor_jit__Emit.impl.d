@@ -1,0 +1,1 @@
+lib/jit/emit.ml: Array Format Hashtbl Kernel List Lower Op Profile Simplify Src_type String Value Vapor_ir Vapor_machine Vapor_targets Vapor_vecir

@@ -1,0 +1,1 @@
+lib/jit/lower.ml: Format Hashtbl List Op Option Printf Profile Simplify Src_type Vapor_ir Vapor_machine Vapor_targets Vapor_vecir

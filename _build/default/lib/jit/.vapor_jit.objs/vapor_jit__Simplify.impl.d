@@ -1,0 +1,1 @@
+lib/jit/simplify.ml: List Op Src_type Value Vapor_ir Vapor_vecir

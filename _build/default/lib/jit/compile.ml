@@ -1,0 +1,52 @@
+(* Top-level online compilation: analyze, emit, allocate registers, and
+   estimate JIT compilation time. *)
+
+module B = Vapor_vecir.Bytecode
+module Mfun = Vapor_machine.Mfun
+module Regalloc = Vapor_machine.Regalloc
+module Target = Vapor_targets.Target
+
+type t = {
+  mfun : Mfun.t;
+  (* per-region decisions, for reporting *)
+  decisions : Lower.decision list;
+  (* modeled JIT compilation time, microseconds: proportional to the
+     bytecode size processed (Section V-A.c) *)
+  compile_time_us : float;
+  bytecode_nodes : int;
+}
+
+let ns_per_node = 60.0
+
+(* Compile bytecode for [target] with codegen [profile].  [known_aligned]
+   tells which arrays the runtime's allocator controls (and thus aligns);
+   others need dynamic guard tests. *)
+let compile ?(known_aligned = fun _ -> true)
+    ?(known_disjoint = fun _ _ -> true) ~(target : Target.t)
+    ~(profile : Profile.t) (vk : B.vkernel) : t =
+  let an = Lower.analyze ~target ~profile ~known_aligned ~known_disjoint vk in
+  let mfun, nodes = Emit.run ~target ~profile ~an vk in
+  let cap n =
+    max 5 (int_of_float (float_of_int n *. profile.Profile.reg_fraction))
+  in
+  let budget =
+    {
+      Regalloc.b_gpr = cap target.Target.gprs;
+      b_fpr = cap target.Target.fprs;
+      b_vr = cap target.Target.vrs;
+    }
+  in
+  let mfun = Regalloc.run target budget mfun in
+  {
+    mfun;
+    decisions = List.map (fun (_, rg) -> rg.Lower.rg_decision) an.Lower.regions;
+    compile_time_us = float_of_int nodes *. ns_per_node /. 1000.0;
+    bytecode_nodes = nodes;
+  }
+
+let fully_vectorized t =
+  t.decisions <> []
+  && List.for_all (function Lower.Vectorize -> true | _ -> false) t.decisions
+
+let any_vectorized t =
+  List.exists (function Lower.Vectorize -> true | _ -> false) t.decisions

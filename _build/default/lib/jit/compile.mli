@@ -1,0 +1,33 @@
+(** Top-level online compilation: analyze, emit, allocate registers, and
+    model JIT compilation time. *)
+
+module B = Vapor_vecir.Bytecode
+module Mfun = Vapor_machine.Mfun
+module Target = Vapor_targets.Target
+
+type t = {
+  mfun : Mfun.t;
+  decisions : Lower.decision list;  (** per vector region, for reporting *)
+  compile_time_us : float;
+      (** modeled JIT time, proportional to the bytecode processed *)
+  bytecode_nodes : int;
+}
+
+(** Nanoseconds charged per bytecode node in the compile-time model. *)
+val ns_per_node : float
+
+(** Compile bytecode for a target under a codegen profile.
+    [known_aligned] tells which arrays the runtime allocator controls
+    (guards over others are tested dynamically). *)
+val compile :
+  ?known_aligned:(string -> bool) ->
+  ?known_disjoint:(string -> string -> bool) ->
+  target:Target.t ->
+  profile:Profile.t ->
+  B.vkernel ->
+  t
+
+(** All vector regions lowered as vector code (and at least one exists). *)
+val fully_vectorized : t -> bool
+
+val any_vectorized : t -> bool

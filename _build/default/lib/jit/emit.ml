@@ -1,0 +1,636 @@
+(* Machine-code emission from analyzed bytecode (the back half of the
+   online stage).  Produces a virtual-register [Mfun.t]; register
+   allocation under the profile's budget happens afterwards. *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+module Hint = Vapor_vecir.Hint
+module M = Vapor_machine.Minstr
+module Mfun = Vapor_machine.Mfun
+module Target = Vapor_targets.Target
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type ctx = {
+  target : Target.t;
+  profile : Profile.t;
+  an : Lower.analysis;
+  var_types : (string, Src_type.t) Hashtbl.t;
+  vvar_types : (string, Src_type.t) Hashtbl.t;
+  var_reg : (string, M.reg) Hashtbl.t;
+  vvar_reg : (string, M.reg) Hashtbl.t;
+  mutable n_gpr : int;
+  mutable n_fpr : int;
+  mutable n_vr : int;
+  mutable labels : int;
+  mutable code : M.t list; (* reversed *)
+  mutable nodes : int; (* bytecode nodes visited: JIT-time model *)
+  (* region context while emitting *)
+  mutable cur_region : Lower.region option;
+}
+
+let emit ctx i = ctx.code <- i :: ctx.code
+
+let fresh_gpr ctx =
+  let r = M.gpr ctx.n_gpr in
+  ctx.n_gpr <- ctx.n_gpr + 1;
+  r
+
+let fresh_fpr ctx =
+  let r = M.fpr ctx.n_fpr in
+  ctx.n_fpr <- ctx.n_fpr + 1;
+  r
+
+let fresh_vr ctx =
+  let r = M.vr ctx.n_vr in
+  ctx.n_vr <- ctx.n_vr + 1;
+  r
+
+let fresh_of_type ctx ty =
+  if Src_type.is_float ty then fresh_fpr ctx else fresh_gpr ctx
+
+let fresh_label ctx =
+  let l = ctx.labels in
+  ctx.labels <- l + 1;
+  l
+
+let var_reg ctx v ty =
+  match Hashtbl.find_opt ctx.var_reg v with
+  | Some r -> r
+  | None ->
+    let r = fresh_of_type ctx ty in
+    Hashtbl.replace ctx.var_reg v r;
+    r
+
+let vvar_reg ctx v =
+  match Hashtbl.find_opt ctx.vvar_reg v with
+  | Some r -> r
+  | None ->
+    let r = fresh_vr ctx in
+    Hashtbl.replace ctx.vvar_reg v r;
+    r
+
+let var_type ctx v =
+  match Hashtbl.find_opt ctx.var_types v with
+  | Some ty -> ty
+  | None -> errorf "unknown scalar variable %s" v
+
+(* --- scalar expression types ------------------------------------------- *)
+
+let rec stype ctx (e : B.sexpr) : Src_type.t =
+  match e with
+  | B.S_int (ty, _) | B.S_float (ty, _) -> ty
+  | B.S_var v -> var_type ctx v
+  | B.S_load (arr, _) -> var_type ctx ("[]" ^ arr)
+  | B.S_binop (op, a, _) ->
+    if Op.is_comparison op then Src_type.I32 else stype ctx a
+  | B.S_unop (_, a) -> stype ctx a
+  | B.S_convert (ty, _) -> ty
+  | B.S_select (_, a, _) -> stype ctx a
+  | B.S_get_vf _ | B.S_align_limit _ -> Src_type.I32
+  | B.S_loop_bound (a, _) -> stype ctx a
+  | B.S_reduc (_, ty, _) -> ty
+
+(* --- idiom materialization --------------------------------------------- *)
+
+(* Replace machine-dependent idioms by constants / selected bounds, then
+   fold constants when the profile does. *)
+let resolve ctx (e : B.sexpr) : B.sexpr =
+  let rec go (e : B.sexpr) : B.sexpr =
+    match e with
+    | B.S_get_vf ty | B.S_align_limit ty ->
+      B.S_int (Src_type.I32, Lower.lanes ctx.target ty)
+    | B.S_loop_bound (v, s) -> (
+      match Lower.bound_decision ctx.an v with
+      | Lower.Vectorize -> go v
+      | Lower.Scalarize _ -> go s)
+    | B.S_int _ | B.S_float _ | B.S_var _ -> e
+    | B.S_load (arr, i) -> B.S_load (arr, go i)
+    | B.S_binop (op, a, b) -> B.S_binop (op, go a, go b)
+    | B.S_unop (op, a) -> B.S_unop (op, go a)
+    | B.S_convert (ty, a) -> B.S_convert (ty, go a)
+    | B.S_select (c, a, b) -> B.S_select (go c, go a, go b)
+    | B.S_reduc (op, ty, v) -> B.S_reduc (op, ty, v)
+  in
+  let e = go e in
+  if ctx.profile.Profile.fold_constants then Simplify.fold e else e
+
+(* --- addressing --------------------------------------------------------- *)
+
+(* Split a (resolved) subscript into an optional register part and a
+   constant element offset. *)
+let rec split_subscript (e : B.sexpr) : B.sexpr option * int =
+  match e with
+  | B.S_int (_, c) -> None, c
+  | B.S_binop (Op.Add, a, B.S_int (_, c)) ->
+    let r, c' = split_subscript a in
+    r, c + c'
+  | B.S_binop (Op.Add, B.S_int (_, c), a) ->
+    let r, c' = split_subscript a in
+    r, c + c'
+  | B.S_binop (Op.Sub, a, B.S_int (_, c)) ->
+    let r, c' = split_subscript a in
+    r, c' - c
+  | e -> Some e, 0
+
+(* --- expression compilation -------------------------------------------- *)
+
+let rec compile_sexpr ctx (e : B.sexpr) : M.reg =
+  ctx.nodes <- ctx.nodes + 1;
+  match e with
+  | B.S_int (_, v) ->
+    let r = fresh_gpr ctx in
+    emit ctx (M.Li (r, v));
+    r
+  | B.S_float (_, v) ->
+    let r = fresh_fpr ctx in
+    emit ctx (M.Lfi (r, v));
+    r
+  | B.S_var v -> var_reg ctx v (var_type ctx v)
+  | B.S_load (arr, idx) ->
+    let ty = var_type ctx ("[]" ^ arr) in
+    let a = compile_address ctx ~elem:ty arr idx in
+    let r = fresh_of_type ctx ty in
+    emit ctx (M.Load (ty, r, a));
+    r
+  | B.S_binop (op, a, b) ->
+    let ty = stype ctx a in
+    let ra = compile_sexpr ctx a in
+    let rb = compile_sexpr ctx b in
+    if Op.is_comparison op then begin
+      let r = fresh_gpr ctx in
+      emit ctx (M.Scmp (op, ty, r, ra, rb));
+      r
+    end
+    else begin
+      let r = fresh_of_type ctx ty in
+      emit ctx (M.Sop (op, ty, r, ra, rb));
+      r
+    end
+  | B.S_unop (op, a) ->
+    let ty = stype ctx a in
+    let ra = compile_sexpr ctx a in
+    let r = fresh_of_type ctx ty in
+    emit ctx (M.Sunop (op, ty, r, ra));
+    r
+  | B.S_convert (ty, a) ->
+    let t1 = stype ctx a in
+    if Src_type.equal t1 ty then compile_sexpr ctx a
+    else begin
+      let ra = compile_sexpr ctx a in
+      let r = fresh_of_type ctx ty in
+      emit ctx (M.Cvt (t1, ty, r, ra));
+      r
+    end
+  | B.S_select (c, a, b) ->
+    let ty = stype ctx a in
+    let rc = compile_sexpr ctx c in
+    let ra = compile_sexpr ctx a in
+    let rb = compile_sexpr ctx b in
+    let r = fresh_of_type ctx ty in
+    emit ctx (M.Cmov (r, rc, ra, rb));
+    r
+  | B.S_get_vf _ | B.S_align_limit _ | B.S_loop_bound _ ->
+    errorf "unresolved idiom reached emission"
+  | B.S_reduc (op, ty, v) ->
+    let rv = compile_vexpr ctx v in
+    let r = fresh_of_type ctx ty in
+    emit ctx (M.Vreduce (op, ty, r, rv));
+    r
+
+and compile_address ctx ~elem arr (idx : B.sexpr) : M.addr =
+  let idx = resolve ctx idx in
+  let esize = Src_type.size_of elem in
+  if ctx.profile.Profile.fold_addressing then begin
+    match split_subscript idx with
+    | None, c -> { (M.plain_addr arr) with M.disp = c * esize }
+    | Some e, c ->
+      let r = compile_sexpr ctx e in
+      {
+        M.sym = arr;
+        base = None;
+        index = Some r;
+        scale = esize;
+        disp = c * esize;
+      }
+  end
+  else begin
+    (* Naive addressing: explicit byte-offset computation. *)
+    let r = compile_sexpr ctx idx in
+    let rs = fresh_gpr ctx in
+    emit ctx (M.Li (rs, esize));
+    let rb = fresh_gpr ctx in
+    emit ctx (M.Sop (Op.Mul, Src_type.I32, rb, r, rs));
+    { M.sym = arr; base = None; index = Some rb; scale = 1; disp = 0 }
+  end
+
+and compile_vexpr ctx (e : B.vexpr) : M.reg =
+  ctx.nodes <- ctx.nodes + 1;
+  let target = ctx.target in
+  let lib op instr =
+    if ctx.profile.Profile.lib_fallback && List.mem op target.Target.lib_ops
+    then M.Lib instr
+    else instr
+  in
+  match e with
+  | B.V_var v -> (
+    match ctx.cur_region with
+    | Some rg when Hashtbl.mem rg.Lower.rg_demoted v ->
+      (* demoted accumulator: reload from its slot at every read *)
+      let slot = Hashtbl.find rg.Lower.rg_demoted v in
+      let r = vvar_reg ctx v in
+      emit ctx (M.VReload (r, slot));
+      r
+    | _ -> vvar_reg ctx v)
+  | B.V_binop (op, ty, a, b) ->
+    let ra = compile_vexpr ctx a in
+    let rb = compile_vexpr ctx b in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vop (op, ty, r, ra, rb));
+    r
+  | B.V_unop (op, ty, a) ->
+    let ra = compile_vexpr ctx a in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vunop (op, ty, r, ra));
+    r
+  | B.V_shift (op, ty, a, amt) ->
+    let ra = compile_vexpr ctx a in
+    let ramt = compile_sexpr ctx (resolve ctx amt) in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vshift (op, ty, r, ra, ramt));
+    r
+  | B.V_init_uniform (ty, v) ->
+    let rv = compile_sexpr ctx (resolve ctx v) in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vsplat (ty, r, rv));
+    r
+  | B.V_init_affine (ty, v, inc) ->
+    let rv = compile_sexpr ctx (resolve ctx v) in
+    let inc =
+      match resolve ctx inc with
+      | B.S_int (_, i) -> i
+      | _ -> errorf "init_affine with non-constant increment"
+    in
+    let r = fresh_vr ctx in
+    emit ctx (M.Viota (ty, r, rv, inc));
+    r
+  | B.V_init_reduc (op, ty, v) ->
+    let ident = B.reduction_identity op ty in
+    let ri = fresh_of_type ctx ty in
+    (match ident with
+    | Value.Int i -> emit ctx (M.Li (ri, i))
+    | Value.Float f -> emit ctx (M.Lfi (ri, f)));
+    let rsplat = fresh_vr ctx in
+    emit ctx (M.Vsplat (ty, rsplat, ri));
+    let rv = compile_sexpr ctx (resolve ctx v) in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vinsert (ty, r, rsplat, 0, rv));
+    r
+  | B.V_aload (ty, arr, idx) ->
+    let a = compile_address ctx ~elem:ty arr idx in
+    let r = fresh_vr ctx in
+    emit ctx (M.VLoad (M.VM_aligned, ty, r, a));
+    r
+  | B.V_load (ty, arr, idx, hint) -> compile_vector_load ctx ty arr idx hint
+  | B.V_align_load (ty, arr, idx) ->
+    let a = compile_address ctx ~elem:ty arr idx in
+    if target.Target.explicit_realign then begin
+      let r = fresh_vr ctx in
+      emit ctx (M.VLoad (M.VM_aligned, ty, r, a));
+      r
+    end
+    else begin
+      (* No flooring loads: mask the effective address explicitly. *)
+      let raddr = fresh_gpr ctx in
+      emit ctx (M.Lea (raddr, a));
+      let rmask = fresh_gpr ctx in
+      emit ctx (M.Li (rmask, lnot (target.Target.vs - 1)));
+      let rfl = fresh_gpr ctx in
+      emit ctx (M.Sop (Op.And, Src_type.I64, rfl, raddr, rmask));
+      let r = fresh_vr ctx in
+      emit ctx
+        (M.VLoad
+           ( M.VM_aligned,
+             ty,
+             r,
+             { M.sym = ""; base = Some rfl; index = None; scale = 1; disp = 0 }
+           ));
+      r
+    end
+  | B.V_get_rt (ty, arr, idx, _) ->
+    let a = compile_address ctx ~elem:ty arr idx in
+    let r = fresh_vr ctx in
+    emit ctx (M.Lvsr (ty, r, a));
+    r
+  | B.V_realign { B.r_ty; r_v1; r_v2; r_rt; r_arr; r_idx; r_hint } ->
+    if Hint.aligned_for ~vs:target.Target.vs r_hint then begin
+      let a = compile_address ctx ~elem:r_ty r_arr r_idx in
+      let r = fresh_vr ctx in
+      emit ctx (M.VLoad (M.VM_aligned, r_ty, r, a));
+      r
+    end
+    else if target.Target.misaligned_load then begin
+      let a = compile_address ctx ~elem:r_ty r_arr r_idx in
+      let r = fresh_vr ctx in
+      emit ctx (M.VLoad (M.VM_misaligned, r_ty, r, a));
+      r
+    end
+    else if target.Target.explicit_realign then begin
+      let r1 = compile_vexpr ctx r_v1 in
+      let r2 = compile_vexpr ctx r_v2 in
+      let rt = compile_vexpr ctx r_rt in
+      let r = fresh_vr ctx in
+      emit ctx (M.Vperm (r_ty, r, r1, r2, rt));
+      r
+    end
+    else errorf "realign not lowerable (prescan bug)"
+  | B.V_widen_mult (h, ty, a, b) ->
+    let ra = compile_vexpr ctx a in
+    let rb = compile_vexpr ctx b in
+    let r = fresh_vr ctx in
+    let half = match h with B.Lo -> M.Lo | B.Hi -> M.Hi in
+    emit ctx (lib Target.Lib_widen_mult (M.Vwidenmul (half, ty, r, ra, rb)));
+    r
+  | B.V_dot_product (ty, a, b, acc) ->
+    let ra = compile_vexpr ctx a in
+    let rb = compile_vexpr ctx b in
+    let racc = compile_vexpr ctx acc in
+    if target.Target.has_dot_product then begin
+      let r = fresh_vr ctx in
+      emit ctx (M.Vdot (ty, r, ra, rb, racc));
+      r
+    end
+    else begin
+      (* Expand: pairwise sums of the widened products. *)
+      let w =
+        match Src_type.widen ty with
+        | Some w -> w
+        | None -> errorf "dot_product on unwidenable type"
+      in
+      let rlo = fresh_vr ctx in
+      emit ctx (M.Vwidenmul (M.Lo, ty, rlo, ra, rb));
+      let rhi = fresh_vr ctx in
+      emit ctx (M.Vwidenmul (M.Hi, ty, rhi, ra, rb));
+      let rev = fresh_vr ctx in
+      emit ctx (M.Vextract (w, 2, 0, rev, [ rlo; rhi ]));
+      let rod = fresh_vr ctx in
+      emit ctx (M.Vextract (w, 2, 1, rod, [ rlo; rhi ]));
+      let rsum = fresh_vr ctx in
+      emit ctx (M.Vop (Op.Add, w, rsum, rev, rod));
+      let r = fresh_vr ctx in
+      emit ctx (M.Vop (Op.Add, w, r, racc, rsum));
+      r
+    end
+  | B.V_unpack (h, ty, a) ->
+    let ra = compile_vexpr ctx a in
+    let r = fresh_vr ctx in
+    let half = match h with B.Lo -> M.Lo | B.Hi -> M.Hi in
+    emit ctx (M.Vunpack (half, ty, r, ra));
+    r
+  | B.V_pack (ty, a, b) ->
+    let ra = compile_vexpr ctx a in
+    let rb = compile_vexpr ctx b in
+    let r = fresh_vr ctx in
+    emit ctx (lib Target.Lib_pack (M.Vpack (ty, r, ra, rb)));
+    r
+  | B.V_cvt (t1, t2, a) ->
+    let ra = compile_vexpr ctx a in
+    let r = fresh_vr ctx in
+    emit ctx (lib Target.Lib_cvt (M.Vcvt (t1, t2, r, ra)));
+    r
+  | B.V_extract { B.e_ty; e_stride; e_offset; e_parts } ->
+    let rs = List.map (compile_vexpr ctx) e_parts in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vextract (e_ty, e_stride, e_offset, r, rs));
+    r
+  | B.V_interleave (h, ty, a, b) ->
+    let ra = compile_vexpr ctx a in
+    let rb = compile_vexpr ctx b in
+    let r = fresh_vr ctx in
+    let half = match h with B.Lo -> M.Lo | B.Hi -> M.Hi in
+    emit ctx (M.Vinterleave (half, ty, r, ra, rb));
+    r
+  | B.V_cmp (op, ty, a, b) ->
+    let ra = compile_vexpr ctx a in
+    let rb = compile_vexpr ctx b in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vcmp (op, ty, r, ra, rb));
+    r
+  | B.V_select (ty, m, a, b) ->
+    let rm = compile_vexpr ctx m in
+    let ra = compile_vexpr ctx a in
+    let rb = compile_vexpr ctx b in
+    let r = fresh_vr ctx in
+    emit ctx (M.Vsel (ty, r, rm, ra, rb));
+    r
+
+and compile_vector_load ctx ty arr idx hint : M.reg =
+  let target = ctx.target in
+  if Hint.aligned_for ~vs:target.Target.vs hint then begin
+    let a = compile_address ctx ~elem:ty arr idx in
+    let r = fresh_vr ctx in
+    emit ctx (M.VLoad (M.VM_aligned, ty, r, a));
+    r
+  end
+  else if target.Target.misaligned_load then begin
+    let a = compile_address ctx ~elem:ty arr idx in
+    let r = fresh_vr ctx in
+    emit ctx (M.VLoad (M.VM_misaligned, ty, r, a));
+    r
+  end
+  else if target.Target.explicit_realign then begin
+    (* Synthesize lvsr + two aligned loads + vperm. *)
+    let a = compile_address ctx ~elem:ty arr idx in
+    let a2 = { a with M.disp = a.M.disp + target.Target.vs } in
+    let r1 = fresh_vr ctx in
+    emit ctx (M.VLoad (M.VM_aligned, ty, r1, a));
+    let r2 = fresh_vr ctx in
+    emit ctx (M.VLoad (M.VM_aligned, ty, r2, a2));
+    let rt = fresh_vr ctx in
+    emit ctx (M.Lvsr (ty, rt, a));
+    let r = fresh_vr ctx in
+    emit ctx (M.Vperm (ty, r, r1, r2, rt));
+    r
+  end
+  else errorf "vector load not lowerable (prescan bug)"
+
+(* --- statement compilation --------------------------------------------- *)
+
+let zero_reg ctx =
+  let r = fresh_gpr ctx in
+  emit ctx (M.Li (r, 0));
+  r
+
+let rec compile_stmt ctx (s : B.vstmt) =
+  ctx.nodes <- ctx.nodes + 1;
+  match s with
+  | B.VS_assign (v, e) -> (
+    (* Dead-code elimination for scalarized regions (Section III-C.d): the
+       offline stage's generated bound/peel variables (named with '$') are
+       only consumed by vector code and already-resolved loop_bounds, so
+       when their region scalarizes, their computation is dropped. *)
+    let dead_header =
+      String.contains v '$'
+      &&
+      match Hashtbl.find_opt ctx.an.Lower.var_region v with
+      | Some rg -> (
+        match rg.Lower.rg_decision with
+        | Lower.Scalarize _ -> true
+        | Lower.Vectorize -> false)
+      | None -> false
+    in
+    if dead_header then ()
+    else
+      let ty = var_type ctx v in
+      let r = compile_sexpr ctx (resolve ctx e) in
+      let dst = var_reg ctx v ty in
+      emit ctx (M.Mov (dst, r)))
+  | B.VS_store (arr, idx, e) ->
+    let ty = var_type ctx ("[]" ^ arr) in
+    let r = compile_sexpr ctx (resolve ctx e) in
+    let a = compile_address ctx ~elem:ty arr idx in
+    emit ctx (M.Store (ty, a, r))
+  | B.VS_vassign (v, e) -> (
+    match ctx.cur_region with
+    | Some rg when Hashtbl.mem rg.Lower.rg_dead v -> () (* DCE *)
+    | _ ->
+      let r = compile_vexpr ctx e in
+      let dst = vvar_reg ctx v in
+      emit ctx (M.Mov (dst, r));
+      (match ctx.cur_region with
+      | Some rg when Hashtbl.mem rg.Lower.rg_demoted v ->
+        emit ctx (M.VSpill (Hashtbl.find rg.Lower.rg_demoted v, dst))
+      | _ -> ()))
+  | B.VS_vstore { B.st_arr; st_idx; st_ty; st_value; st_hint } ->
+    let r = compile_vexpr ctx st_value in
+    let a = compile_address ctx ~elem:st_ty st_arr st_idx in
+    let kind =
+      if Hint.aligned_for ~vs:ctx.target.Target.vs st_hint then M.VM_aligned
+      else if ctx.target.Target.misaligned_store then M.VM_misaligned
+      else errorf "vector store not lowerable (prescan bug)"
+    in
+    emit ctx (M.VStore (kind, st_ty, a, r))
+  | B.VS_for { index; lo; hi; step; body; _ } ->
+    let idx_ty = try var_type ctx index with _ -> Src_type.I32 in
+    Hashtbl.replace ctx.var_types index idx_ty;
+    let r_lo = compile_sexpr ctx (resolve ctx lo) in
+    let r_i = var_reg ctx index idx_ty in
+    emit ctx (M.Mov (r_i, r_lo));
+    let r_hi = compile_sexpr ctx (resolve ctx hi) in
+    let r_step = compile_sexpr ctx (resolve ctx step) in
+    let l_head = fresh_label ctx in
+    let l_end = fresh_label ctx in
+    emit ctx (M.Label l_head);
+    emit ctx (M.Br (Op.Ge, r_i, r_hi, l_end));
+    List.iter (compile_stmt ctx) body;
+    emit ctx (M.Sop (Op.Add, Src_type.I32, r_i, r_i, r_step));
+    emit ctx (M.Jmp l_head);
+    emit ctx (M.Label l_end)
+  | B.VS_if (c, vec, els) when Lower.is_sentinel c -> (
+    match Lower.region_of_if ctx.an vec with
+    | Some rg -> (
+      match rg.Lower.rg_decision with
+      | Lower.Vectorize ->
+        let saved = ctx.cur_region in
+        ctx.cur_region <- Some rg;
+        List.iter (compile_stmt ctx) vec;
+        ctx.cur_region <- saved
+      | Lower.Scalarize _ -> List.iter (compile_stmt ctx) els)
+    | None -> errorf "sentinel region not analyzed")
+  | B.VS_if (c, t, e) ->
+    let rc = compile_sexpr ctx (resolve ctx c) in
+    let rz = zero_reg ctx in
+    let l_else = fresh_label ctx in
+    let l_end = fresh_label ctx in
+    emit ctx (M.Br (Op.Eq, rc, rz, l_else));
+    List.iter (compile_stmt ctx) t;
+    emit ctx (M.Jmp l_end);
+    emit ctx (M.Label l_else);
+    List.iter (compile_stmt ctx) e;
+    emit ctx (M.Label l_end)
+  | B.VS_version ({ B.guard; vec; fallback } as v) -> (
+    match Lower.guard_res ctx.an v with
+    | Lower.G_static true -> List.iter (compile_stmt ctx) vec
+    | Lower.G_static false -> List.iter (compile_stmt ctx) fallback
+    | Lower.G_dynamic ->
+      let arrs =
+        match guard with
+        | B.G_arrays_aligned arrs -> arrs
+        | B.G_arrays_disjoint _ ->
+          errorf "disjointness guards are resolved statically"
+      in
+      (* runtime test: all array bases 32-byte aligned *)
+      let l_fb = fresh_label ctx in
+      let l_end = fresh_label ctx in
+      let rz = zero_reg ctx in
+      List.iter
+        (fun arr ->
+          let ra = fresh_gpr ctx in
+          emit ctx (M.Lea (ra, M.plain_addr arr));
+          let rm = fresh_gpr ctx in
+          emit ctx (M.Li (rm, 31));
+          let rr = fresh_gpr ctx in
+          emit ctx (M.Sop (Op.And, Src_type.I64, rr, ra, rm));
+          emit ctx (M.Br (Op.Ne, rr, rz, l_fb)))
+        arrs;
+      List.iter (compile_stmt ctx) vec;
+      emit ctx (M.Jmp l_end);
+      emit ctx (M.Label l_fb);
+      List.iter (compile_stmt ctx) fallback;
+      emit ctx (M.Label l_end))
+
+(* --- entry -------------------------------------------------------------- *)
+
+(* Emit a whole kernel under an analysis.  Returns the virtual-register
+   function and the number of bytecode nodes visited. *)
+let run ~(target : Target.t) ~(profile : Profile.t) ~(an : Lower.analysis)
+    (vk : B.vkernel) : Mfun.t * int =
+  let ctx =
+    {
+      target;
+      profile;
+      an;
+      var_types = Hashtbl.create 32;
+      vvar_types = Hashtbl.create 32;
+      var_reg = Hashtbl.create 32;
+      vvar_reg = Hashtbl.create 32;
+      n_gpr = 0;
+      n_fpr = 0;
+      n_vr = 0;
+      labels = 0;
+      code = [];
+      nodes = 0;
+      cur_region = None;
+    }
+  in
+  (* Types: params, array elements, locals, vector locals. *)
+  let param_regs = ref [] in
+  List.iter
+    (fun p ->
+      match p with
+      | Kernel.P_scalar (n, ty) ->
+        Hashtbl.replace ctx.var_types n ty;
+        let r = var_reg ctx n ty in
+        param_regs := (n, Mfun.In_reg r) :: !param_regs
+      | Kernel.P_array (n, ty) -> Hashtbl.replace ctx.var_types ("[]" ^ n) ty)
+    vk.B.params;
+  List.iter (fun (v, ty) -> Hashtbl.replace ctx.var_types v ty) vk.B.locals;
+  List.iter (fun (v, ty) -> Hashtbl.replace ctx.vvar_types v ty) vk.B.vlocals;
+  List.iter (compile_stmt ctx) vk.B.body;
+  ( {
+      Mfun.name = vk.B.name;
+      instrs = Array.of_list (List.rev ctx.code);
+      n_gpr = ctx.n_gpr;
+      n_fpr = ctx.n_fpr;
+      n_vr = max 1 ctx.n_vr;
+      param_regs = List.rev !param_regs;
+      fp_unit =
+        (if profile.Profile.x87_scalar_fp && target.Target.has_x87 then
+           Mfun.Fp_x87
+         else Mfun.Fp_scalar_simd);
+      stack_bytes = 0;
+      n_vspill = an.Lower.demote_slots;
+    },
+    ctx.nodes )

@@ -1,0 +1,629 @@
+(* The online compilation stage: lowering split-layer bytecode to machine
+   code for a concrete target (Section III-C).
+
+   Decisions are made per vector *region* — the `if (loop_bound(1,0))`
+   block emitted by the offline stage around each vectorized loop:
+
+   - materialize get_VF / get_align_limit as constants;
+   - resolve each region's loop_bound idioms to the vector or scalar bound,
+     depending on whether the region's vector code is supported by the
+     target (types, misaligned accesses);
+   - resolve version guards statically when the runtime controls array
+     placement (and the profile folds guards at this nesting level),
+     dynamically otherwise;
+   - map realignment idioms per target: aligned loads when hints prove
+     alignment, misaligned loads (SSE/NEON), or lvsr+vperm (AltiVec);
+     dead realignment machinery (align_load chains, tokens) is removed;
+   - scalarizing a region costs nothing: the epilogue loop becomes the
+     original scalar loop (Figure 3b). *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+module Hint = Vapor_vecir.Hint
+module M = Vapor_machine.Minstr
+module Mfun = Vapor_machine.Mfun
+module Target = Vapor_targets.Target
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type decision =
+  | Vectorize
+  | Scalarize of string
+
+(* --- region analysis --------------------------------------------------- *)
+
+let is_sentinel_literal (c : B.sexpr) =
+  match c with
+  | B.S_loop_bound (B.S_int (_, 1), B.S_int (_, 0)) -> true
+  | _ -> false
+
+(* A region sentinel is either the bare [loop_bound(1,0)] or that literal
+   conjoined with a machine-resolvable admissibility condition (the
+   dependence-distance hint: [get_VF(T) <= D]).  Returns the extra
+   condition, if any. *)
+let sentinel_parts (c : B.sexpr) : B.sexpr option option =
+  match c with
+  | _ when is_sentinel_literal c -> Some None
+  | B.S_binop (Op.And, s, extra) when is_sentinel_literal s -> Some (Some extra)
+  | _ -> None
+
+let is_sentinel c = sentinel_parts c <> None
+
+(* Statically evaluate a machine-resolvable condition by materializing the
+   VF idioms and constant-folding. *)
+let static_cond (target : Target.t) (e : B.sexpr) : bool option =
+  let rec materialize (e : B.sexpr) : B.sexpr =
+    match e with
+    | B.S_get_vf ty | B.S_align_limit ty ->
+      B.S_int (Src_type.I32, max 1 (target.Target.vs / Src_type.size_of ty))
+    | B.S_binop (op, a, b) -> B.S_binop (op, materialize a, materialize b)
+    | B.S_unop (op, a) -> B.S_unop (op, materialize a)
+    | B.S_select (c, a, b) ->
+      B.S_select (materialize c, materialize a, materialize b)
+    | B.S_convert (ty, a) -> B.S_convert (ty, materialize a)
+    | e -> e
+  in
+  match Simplify.fold (materialize e) with
+  | B.S_int (_, v) -> Some (v <> 0)
+  | _ -> None
+
+type region = {
+  rg_body : B.vstmt list; (* the sentinel if's vector part (physical id) *)
+  rg_decision : decision;
+  rg_dead : (string, unit) Hashtbl.t; (* dead vector vars after resolution *)
+  rg_demoted : (string, int) Hashtbl.t; (* demoted carried vars -> slot *)
+}
+
+type guard_res =
+  | G_static of bool
+  | G_dynamic
+
+type analysis = {
+  regions : (B.vstmt list * region) list; (* keyed by physical identity *)
+  var_region : (string, region) Hashtbl.t;
+  guards : (B.version * guard_res) list;
+  mutable demote_slots : int;
+}
+
+let lanes (target : Target.t) ty = max 1 (target.Target.vs / Src_type.size_of ty)
+
+(* Can this target express the access, given its hint? *)
+let load_ok (target : Target.t) hint =
+  Hint.aligned_for ~vs:target.Target.vs hint
+  || target.Target.misaligned_load
+  || target.Target.explicit_realign
+
+let store_ok (target : Target.t) hint =
+  Hint.aligned_for ~vs:target.Target.vs hint
+  || target.Target.misaligned_store
+
+(* Requirements scan of one region's vector statements. *)
+let region_requirements (target : Target.t) stmts : decision =
+  let fail = ref None in
+  let set reason = if !fail = None then fail := Some reason in
+  let check_ty ty =
+    if not (Target.supports_elem target ty) then
+      set (Printf.sprintf "no vector support for %s" (Src_type.to_string ty))
+  in
+  let rec vexpr (e : B.vexpr) =
+    match e with
+    | B.V_var _ -> ()
+    | B.V_binop (op, ty, a, b) ->
+      check_ty ty;
+      if op = Op.Div && Src_type.is_int ty then
+        set "no integer vector division";
+      vexpr a;
+      vexpr b
+    | B.V_unop (_, ty, a) ->
+      check_ty ty;
+      vexpr a
+    | B.V_shift (_, ty, a, _) ->
+      check_ty ty;
+      vexpr a
+    | B.V_init_uniform (ty, _) | B.V_init_affine (ty, _, _)
+    | B.V_init_reduc (_, ty, _) ->
+      check_ty ty
+    | B.V_aload (ty, _, _) -> check_ty ty
+    | B.V_load (ty, _, _, hint) ->
+      check_ty ty;
+      if not (load_ok target hint) then set "misaligned load unsupported"
+    | B.V_align_load (ty, _, _) | B.V_get_rt (ty, _, _, _) -> check_ty ty
+    | B.V_realign { B.r_ty; r_hint; r_v1; r_v2; r_rt; _ } ->
+      check_ty r_ty;
+      if not (load_ok target r_hint) then set "misaligned load unsupported";
+      vexpr r_v1;
+      vexpr r_v2;
+      vexpr r_rt
+    | B.V_widen_mult (_, ty, a, b) ->
+      check_ty ty;
+      (match Src_type.widen ty with
+      | Some w -> check_ty w
+      | None -> set "widen_mult on unwidenable type");
+      vexpr a;
+      vexpr b
+    | B.V_dot_product (ty, a, b, acc) ->
+      check_ty ty;
+      (match Src_type.widen ty with
+      | Some w -> check_ty w
+      | None -> set "dot_product on unwidenable type");
+      vexpr a;
+      vexpr b;
+      vexpr acc
+    | B.V_unpack (_, ty, a) ->
+      check_ty ty;
+      (match Src_type.widen ty with
+      | Some w -> check_ty w
+      | None -> set "unpack on unwidenable type");
+      vexpr a
+    | B.V_pack (ty, a, b) ->
+      check_ty ty;
+      vexpr a;
+      vexpr b
+    | B.V_cvt (f, t, a) ->
+      check_ty f;
+      check_ty t;
+      vexpr a
+    | B.V_extract { B.e_ty; e_parts; _ } ->
+      check_ty e_ty;
+      List.iter vexpr e_parts
+    | B.V_interleave (_, ty, a, b) ->
+      check_ty ty;
+      vexpr a;
+      vexpr b
+    | B.V_cmp (_, ty, a, b) ->
+      check_ty ty;
+      vexpr a;
+      vexpr b
+    | B.V_select (ty, m, a, b) ->
+      check_ty ty;
+      vexpr m;
+      vexpr a;
+      vexpr b
+  in
+  let rec sexpr (e : B.sexpr) =
+    match e with
+    | B.S_reduc (_, _, v) -> vexpr v
+    | B.S_load (_, i) -> sexpr i
+    | B.S_binop (_, a, b) ->
+      sexpr a;
+      sexpr b
+    | B.S_unop (_, a) | B.S_convert (_, a) -> sexpr a
+    | B.S_select (c, a, b) ->
+      sexpr c;
+      sexpr a;
+      sexpr b
+    | B.S_loop_bound (a, b) ->
+      sexpr a;
+      sexpr b
+    | B.S_int _ | B.S_float _ | B.S_var _ | B.S_get_vf _ | B.S_align_limit _
+      ->
+      ()
+  in
+  let rec stmt (s : B.vstmt) =
+    match s with
+    | B.VS_assign (_, e) -> sexpr e
+    | B.VS_store (_, i, v) ->
+      sexpr i;
+      sexpr v
+    | B.VS_vassign (_, e) -> vexpr e
+    | B.VS_vstore { B.st_ty; st_hint; st_value; st_idx; _ } ->
+      check_ty st_ty;
+      sexpr st_idx;
+      if not (store_ok target st_hint) then set "misaligned store unsupported";
+      vexpr st_value
+    | B.VS_for { body; lo; hi; step; _ } ->
+      sexpr lo;
+      sexpr hi;
+      sexpr step;
+      List.iter stmt body
+    | B.VS_if (c, t, e) ->
+      sexpr c;
+      List.iter stmt t;
+      List.iter stmt e
+    | B.VS_version { vec; fallback; _ } ->
+      List.iter stmt vec;
+      List.iter stmt fallback
+  in
+  if not (Target.has_simd target) then Scalarize "no SIMD support"
+  else begin
+    List.iter stmt stmts;
+    match !fail with
+    | Some reason -> Scalarize reason
+    | None -> Vectorize
+  end
+
+(* Variables mentioned anywhere in a statement list. *)
+let collect_vars stmts =
+  let acc = Hashtbl.create 16 in
+  let add v = Hashtbl.replace acc v () in
+  let rec sexpr (e : B.sexpr) =
+    match e with
+    | B.S_var v -> add v
+    | B.S_load (_, i) -> sexpr i
+    | B.S_binop (_, a, b) ->
+      sexpr a;
+      sexpr b
+    | B.S_unop (_, a) | B.S_convert (_, a) -> sexpr a
+    | B.S_select (c, a, b) ->
+      sexpr c;
+      sexpr a;
+      sexpr b
+    | B.S_loop_bound (a, b) ->
+      sexpr a;
+      sexpr b
+    | B.S_reduc (_, _, v) -> vexpr v
+    | B.S_int _ | B.S_float _ | B.S_get_vf _ | B.S_align_limit _ -> ()
+  and vexpr (e : B.vexpr) =
+    match e with
+    | B.V_var v -> add v
+    | B.V_binop (_, _, a, b)
+    | B.V_pack (_, a, b)
+    | B.V_interleave (_, _, a, b)
+    | B.V_widen_mult (_, _, a, b) ->
+      vexpr a;
+      vexpr b
+    | B.V_unop (_, _, a) | B.V_unpack (_, _, a) | B.V_cvt (_, _, a) -> vexpr a
+    | B.V_shift (_, _, a, amt) ->
+      vexpr a;
+      sexpr amt
+    | B.V_init_uniform (_, v) | B.V_init_reduc (_, _, v) -> sexpr v
+    | B.V_init_affine (_, v, i) ->
+      sexpr v;
+      sexpr i
+    | B.V_aload (_, _, i) | B.V_load (_, _, i, _) | B.V_align_load (_, _, i)
+    | B.V_get_rt (_, _, i, _) ->
+      sexpr i
+    | B.V_realign { B.r_v1; r_v2; r_rt; r_idx; _ } ->
+      vexpr r_v1;
+      vexpr r_v2;
+      vexpr r_rt;
+      sexpr r_idx
+    | B.V_dot_product (_, a, b, acc) | B.V_select (_, a, b, acc) ->
+      vexpr a;
+      vexpr b;
+      vexpr acc
+    | B.V_cmp (_, _, a, b) ->
+      vexpr a;
+      vexpr b
+    | B.V_extract { B.e_parts; _ } -> List.iter vexpr e_parts
+  and stmt (s : B.vstmt) =
+    match s with
+    | B.VS_assign (v, e) ->
+      add v;
+      sexpr e
+    | B.VS_store (_, i, v) ->
+      sexpr i;
+      sexpr v
+    | B.VS_vassign (v, e) ->
+      add v;
+      vexpr e
+    | B.VS_vstore { B.st_idx; st_value; _ } ->
+      sexpr st_idx;
+      vexpr st_value
+    | B.VS_for { index; lo; hi; step; body; _ } ->
+      add index;
+      sexpr lo;
+      sexpr hi;
+      sexpr step;
+      List.iter stmt body
+    | B.VS_if (c, t, e) ->
+      sexpr c;
+      List.iter stmt t;
+      List.iter stmt e
+    | B.VS_version { vec; fallback; _ } ->
+      List.iter stmt vec;
+      List.iter stmt fallback
+  in
+  List.iter stmt stmts;
+  acc
+
+(* Vector variables whose realignment role makes them dead once the target
+   resolves loads directly (SSE movdqu path): compute the live set under
+   the resolution, then report assignments to dead variables. *)
+let dead_vvars (target : Target.t) stmts =
+  (* does the lowering of this realign use v1/v2/rt? *)
+  let realign_uses_operands hint =
+    not (Hint.aligned_for ~vs:target.Target.vs hint)
+    && (not target.Target.misaligned_load)
+    && target.Target.explicit_realign
+  in
+  let live = Hashtbl.create 16 in
+  let changed = ref true in
+  let add v =
+    if not (Hashtbl.mem live v) then begin
+      Hashtbl.replace live v ();
+      changed := true
+    end
+  in
+  let rec vexpr ?(root_assign = None) (e : B.vexpr) =
+    ignore root_assign;
+    match e with
+    | B.V_var v -> add v
+    | B.V_binop (_, _, a, b)
+    | B.V_pack (_, a, b)
+    | B.V_interleave (_, _, a, b)
+    | B.V_widen_mult (_, _, a, b) ->
+      vexpr a;
+      vexpr b
+    | B.V_unop (_, _, a) | B.V_unpack (_, _, a) | B.V_cvt (_, _, a) -> vexpr a
+    | B.V_shift (_, _, a, _) -> vexpr a
+    | B.V_init_uniform _ | B.V_init_affine _ | B.V_init_reduc _
+    | B.V_aload _ | B.V_load _ | B.V_align_load _ | B.V_get_rt _ ->
+      ()
+    | B.V_realign { B.r_v1; r_v2; r_rt; r_hint; _ } ->
+      if realign_uses_operands r_hint then begin
+        vexpr r_v1;
+        vexpr r_v2;
+        vexpr r_rt
+      end
+    | B.V_dot_product (_, a, b, acc) | B.V_select (_, a, b, acc) ->
+      vexpr a;
+      vexpr b;
+      vexpr acc
+    | B.V_cmp (_, _, a, b) ->
+      vexpr a;
+      vexpr b
+    | B.V_extract { B.e_parts; _ } -> List.iter vexpr e_parts
+  in
+  let rec sexpr (e : B.sexpr) =
+    match e with
+    | B.S_reduc (_, _, v) -> vexpr v
+    | B.S_load (_, i) -> sexpr i
+    | B.S_binop (_, a, b) | B.S_loop_bound (a, b) ->
+      sexpr a;
+      sexpr b
+    | B.S_unop (_, a) | B.S_convert (_, a) -> sexpr a
+    | B.S_select (c, a, b) ->
+      sexpr c;
+      sexpr a;
+      sexpr b
+    | B.S_int _ | B.S_float _ | B.S_var _ | B.S_get_vf _ | B.S_align_limit _
+      ->
+      ()
+  in
+  let rec mark (s : B.vstmt) =
+    match s with
+    | B.VS_assign (_, e) -> sexpr e
+    | B.VS_store (_, i, v) ->
+      sexpr i;
+      sexpr v
+    | B.VS_vassign (v, e) -> if Hashtbl.mem live v then vexpr e
+    | B.VS_vstore { B.st_idx; st_value; _ } ->
+      sexpr st_idx;
+      vexpr st_value
+    | B.VS_for { lo; hi; step; body; _ } ->
+      sexpr lo;
+      sexpr hi;
+      sexpr step;
+      List.iter mark body
+    | B.VS_if (c, t, e) ->
+      sexpr c;
+      List.iter mark t;
+      List.iter mark e
+    | B.VS_version { vec; fallback; _ } ->
+      List.iter mark vec;
+      List.iter mark fallback
+  in
+  while !changed do
+    changed := false;
+    List.iter mark stmts
+  done;
+  let dead = Hashtbl.create 8 in
+  let rec find_dead (s : B.vstmt) =
+    match s with
+    | B.VS_vassign (v, _) ->
+      if not (Hashtbl.mem live v) then Hashtbl.replace dead v ()
+    | B.VS_for { body; _ } -> List.iter find_dead body
+    | B.VS_if (_, t, e) ->
+      List.iter find_dead t;
+      List.iter find_dead e
+    | B.VS_version { vec; fallback; _ } ->
+      List.iter find_dead vec;
+      List.iter find_dead fallback
+    | B.VS_assign _ | B.VS_store _ | B.VS_vstore _ -> ()
+  in
+  List.iter find_dead stmts;
+  dead
+
+(* Loop-carried vector variables of the region (read in a loop body before
+   being assigned there): the candidates for accumulator demotion. *)
+let carried_vvars stmts =
+  let carried = Hashtbl.create 8 in
+  let rec scan_loop_body body =
+    let assigned = Hashtbl.create 8 in
+    let uses_of e =
+      let acc = ref [] in
+      let rec vexpr (x : B.vexpr) =
+        match x with
+        | B.V_var v -> acc := v :: !acc
+        | B.V_binop (_, _, a, b)
+        | B.V_pack (_, a, b)
+        | B.V_interleave (_, _, a, b)
+        | B.V_widen_mult (_, _, a, b) ->
+          vexpr a;
+          vexpr b
+        | B.V_unop (_, _, a) | B.V_unpack (_, _, a) | B.V_cvt (_, _, a)
+        | B.V_shift (_, _, a, _) ->
+          vexpr a
+        | B.V_realign { B.r_v1; r_v2; r_rt; _ } ->
+          vexpr r_v1;
+          vexpr r_v2;
+          vexpr r_rt
+        | B.V_dot_product (_, a, b, c) | B.V_select (_, a, b, c) ->
+          vexpr a;
+          vexpr b;
+          vexpr c
+        | B.V_cmp (_, _, a, b) ->
+          vexpr a;
+          vexpr b
+        | B.V_extract { B.e_parts; _ } -> List.iter vexpr e_parts
+        | B.V_init_uniform _ | B.V_init_affine _ | B.V_init_reduc _
+        | B.V_aload _ | B.V_load _ | B.V_align_load _ | B.V_get_rt _ ->
+          ()
+      in
+      vexpr e;
+      !acc
+    in
+    List.iter
+      (fun (s : B.vstmt) ->
+        match s with
+        | B.VS_vassign (v, e) ->
+          List.iter
+            (fun u ->
+              if not (Hashtbl.mem assigned u) then Hashtbl.replace carried u ())
+            (uses_of e);
+          Hashtbl.replace assigned v ()
+        | B.VS_vstore { B.st_value; _ } ->
+          List.iter
+            (fun u ->
+              if not (Hashtbl.mem assigned u) then Hashtbl.replace carried u ())
+            (uses_of st_value)
+        | B.VS_for { body; _ } -> scan_loop_body body
+        | B.VS_if (_, t, e) ->
+          scan_loop_body t;
+          scan_loop_body e
+        | B.VS_assign _ | B.VS_store _ | B.VS_version _ -> ())
+      body
+  in
+  List.iter
+    (fun (s : B.vstmt) ->
+      match s with
+      | B.VS_for { body; _ } -> scan_loop_body body
+      | B.VS_if (_, t, e) ->
+        scan_loop_body t;
+        scan_loop_body e
+      | _ -> ())
+    stmts;
+  carried
+
+(* Analyze a kernel: discover regions and resolve guards. *)
+let analyze ~(target : Target.t) ~(profile : Profile.t) ~known_aligned
+    ~known_disjoint (vk : B.vkernel) : analysis =
+  let an =
+    {
+      regions = [];
+      var_region = Hashtbl.create 32;
+      guards = [];
+      demote_slots = 0;
+    }
+  in
+  let regions = ref [] in
+  let guards = ref [] in
+  let rec walk ~depth (stmts : B.vstmt list) =
+    List.iter
+      (fun (s : B.vstmt) ->
+        match s with
+        | B.VS_if (c, vec, _) when is_sentinel c ->
+          let admissible =
+            match sentinel_parts c with
+            | Some (Some extra) -> static_cond target extra <> Some false
+            | Some None | None -> true
+          in
+          let decision =
+            if not admissible then
+              Scalarize "VF exceeds the admissible dependence distance"
+            else region_requirements target vec
+          in
+          let dead =
+            match decision with
+            | Vectorize -> dead_vvars target vec
+            | Scalarize _ -> Hashtbl.create 1
+          in
+          let demoted = Hashtbl.create 4 in
+          (if decision = Vectorize && not profile.Profile.promote_accumulators
+           then
+             let carried = carried_vvars vec in
+             Hashtbl.iter
+               (fun v () ->
+                 if not (Hashtbl.mem dead v) then begin
+                   Hashtbl.replace demoted v an.demote_slots;
+                   an.demote_slots <- an.demote_slots + 1
+                 end)
+               carried);
+          let region =
+            { rg_body = vec; rg_decision = decision; rg_dead = dead;
+              rg_demoted = demoted }
+          in
+          regions := (vec, region) :: !regions;
+          Hashtbl.iter
+            (fun v () ->
+              if not (Hashtbl.mem an.var_region v) then
+                Hashtbl.replace an.var_region v region)
+            (collect_vars vec)
+        | B.VS_if (_, t, e) ->
+          walk ~depth t;
+          walk ~depth e
+        | B.VS_for { body; _ } -> walk ~depth:(depth + 1) body
+        | B.VS_version ({ B.guard; vec; fallback } as v) ->
+          let res =
+            match guard with
+            | B.G_arrays_aligned arrs ->
+              if List.for_all known_aligned arrs then
+                if depth = 0 || profile.Profile.fold_nested_guards then
+                  G_static true
+                else G_dynamic
+              else G_dynamic
+            | B.G_arrays_disjoint pairs ->
+              (* No machine test for range overlap is emitted: the runtime
+                 either knows its allocations are disjoint or conservatively
+                 takes the scalar fallback. *)
+              G_static (List.for_all (fun (a, b) -> known_disjoint a b) pairs)
+          in
+          let res =
+            (* The native compiler's alignment analysis fails on re-rolled
+               SLP groups: it emits the misaligned version outright. *)
+            if profile.Profile.native_slp_misaligned
+               && List.exists
+                    (fun (s : B.vstmt) ->
+                      match s with
+                      | B.VS_if (_, body, _) ->
+                        List.exists
+                          (function
+                            | B.VS_for { B.group; _ } -> group > 1
+                            | _ -> false)
+                          body
+                      | B.VS_for { B.group; _ } -> group > 1
+                      | _ -> false)
+                    vec
+            then G_static false
+            else res
+          in
+          guards := (v, res) :: !guards;
+          (match res with
+          | G_static true -> walk ~depth vec
+          | G_static false -> walk ~depth fallback
+          | G_dynamic ->
+            walk ~depth vec;
+            walk ~depth fallback)
+        | B.VS_assign _ | B.VS_store _ | B.VS_vassign _ | B.VS_vstore _ -> ())
+      stmts
+  in
+  walk ~depth:0 vk.B.body;
+  { an with regions = !regions; guards = !guards }
+
+let region_of_if an vec_part =
+  List.find_opt (fun (body, _) -> body == vec_part) an.regions
+  |> Option.map snd
+
+let guard_res an version =
+  match List.find_opt (fun (v, _) -> v == version) an.guards with
+  | Some (_, r) -> r
+  | None -> G_dynamic
+
+(* Decision governing a loop_bound expression, from the variables its
+   vector bound mentions. *)
+let bound_decision an (v : B.sexpr) =
+  let vars = collect_vars [ B.VS_assign ("$probe", v) ] in
+  let found = ref None in
+  Hashtbl.iter
+    (fun var () ->
+      if !found = None then
+        match Hashtbl.find_opt an.var_region var with
+        | Some rg -> found := Some rg.rg_decision
+        | None -> ())
+    vars;
+  match !found with
+  | Some d -> d
+  | None -> Vectorize (* bare sentinel handled at the VS_if itself *)

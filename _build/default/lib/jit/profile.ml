@@ -1,0 +1,75 @@
+(* Code-generator quality profiles.
+
+   The same lowering pipeline serves as the Mono JIT, the gcc4cli online
+   backend, and the monolithic native compiler; what differs is codegen
+   quality (Section IV): constant folding, addressing-mode folding, the
+   registers the allocator actually uses, the scalar FP unit, whether
+   version guards are resolved at compile time inside loop nests, and
+   whether loop-carried vector values are promoted to registers. *)
+
+type t = {
+  name : string;
+  fold_constants : bool;
+  fold_addressing : bool; (* [sym + index*scale + disp] vs explicit mul/add *)
+  x87_scalar_fp : bool; (* use the x87 stack for scalar FP (cost penalty) *)
+  reg_fraction : float;
+      (* fraction of the target's register files the allocator uses well:
+         Mono's lack of global allocation wastes registers on every
+         machine, but hurts less where the file is large (the paper's
+         PowerPC observation) *)
+  lib_fallback : bool;
+      (* lower idioms the immature backend lacks through library helpers
+         (the split NEON situation for dissolve/dct) *)
+  fold_nested_guards : bool;
+      (* resolve version guards statically even inside loop nests; Mono
+         cannot fold constants across a nested loop (Section V-A.a) *)
+  promote_accumulators : bool;
+      (* keep loop-carried vector values in registers; the GCC 4.4-based
+         split AVX flow lacked this (Section V-B, Table 3 discussion) *)
+  native_slp_misaligned : bool;
+      (* the native compiler's alignment analysis fails on SLP groups and
+         emits the misaligned version (the mix_streams anomaly) *)
+}
+
+(* The Mono JIT: lightweight, poor global register allocation, x87 scalar
+   floats, no constant folding across nested loops. *)
+let mono =
+  {
+    name = "mono";
+    fold_constants = false;
+    fold_addressing = false;
+    x87_scalar_fp = true;
+    reg_fraction = 0.5;
+    lib_fallback = true;
+    fold_nested_guards = false;
+    promote_accumulators = true;
+  native_slp_misaligned = false;
+  }
+
+(* The gcc4cli online backend: a full compiler running on bytecode. *)
+let gcc4cli =
+  {
+    name = "gcc4cli";
+    fold_constants = true;
+    fold_addressing = true;
+    x87_scalar_fp = false;
+    reg_fraction = 1.0;
+    lib_fallback = true;
+    fold_nested_guards = true;
+    promote_accumulators = true;
+    native_slp_misaligned = false;
+  }
+
+(* The monolithic native compiler (GCC with a fixed target). *)
+let native =
+  {
+    gcc4cli with
+    name = "native";
+    lib_fallback = false;
+    native_slp_misaligned = true;
+  }
+
+(* The GCC 4.4-based split flow used for AVX in Table 3: same quality as
+   gcc4cli except for vector accumulator promotion. *)
+let avx_split =
+  { gcc4cli with name = "avx-split"; promote_accumulators = false }

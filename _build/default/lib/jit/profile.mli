@@ -1,0 +1,28 @@
+(** Code-generator quality profiles.  One lowering pipeline serves as the
+    Mono JIT, the gcc4cli backend, and the monolithic native compiler;
+    profiles encode what differs (Section IV-V of the paper). *)
+
+type t = {
+  name : string;
+  fold_constants : bool;
+  fold_addressing : bool;
+      (** x86-style [sym + index*scale + disp] vs. explicit mul/add *)
+  x87_scalar_fp : bool;
+  reg_fraction : float;
+      (** fraction of the target's register files the allocator uses well *)
+  lib_fallback : bool;
+      (** lower unsupported idioms via library helpers (immature backends) *)
+  fold_nested_guards : bool;
+      (** resolve version guards statically inside loop nests (Mono
+          cannot: the paper's MMM observation) *)
+  promote_accumulators : bool;
+      (** keep loop-carried vector values in registers (the GCC 4.4 AVX
+          split flow did not: Table 3) *)
+  native_slp_misaligned : bool;
+      (** native alignment analysis fails on SLP groups (mix_streams) *)
+}
+
+val mono : t
+val gcc4cli : t
+val native : t
+val avx_split : t

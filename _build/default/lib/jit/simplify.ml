@@ -1,0 +1,84 @@
+(* Constant folding over bytecode scalar expressions, applied after idiom
+   materialization by profiles that fold constants.  Without it (Mono) the
+   materialized get_VF constants stay as runtime arithmetic. *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+
+let rec fold (e : B.sexpr) : B.sexpr =
+  match e with
+  | B.S_int _ | B.S_float _ | B.S_var _ | B.S_get_vf _ | B.S_align_limit _ ->
+    e
+  | B.S_load (arr, i) -> B.S_load (arr, fold i)
+  | B.S_convert (ty, a) -> (
+    match fold a with
+    | B.S_int (_, v) when Src_type.is_int ty ->
+      B.S_int (ty, Src_type.normalize_int ty v)
+    | a -> B.S_convert (ty, a))
+  | B.S_select (c, a, b) -> (
+    match fold c with
+    | B.S_int (_, v) -> if v <> 0 then fold a else fold b
+    | c -> B.S_select (c, fold a, fold b))
+  | B.S_loop_bound (v, s) -> B.S_loop_bound (fold v, fold s)
+  | B.S_reduc (op, ty, v) -> B.S_reduc (op, ty, v)
+  | B.S_unop (op, a) -> (
+    let a = fold a in
+    match op, a with
+    | Op.Neg, B.S_int (ty, v) -> B.S_int (ty, Src_type.normalize_int ty (-v))
+    | Op.Abs, B.S_int (ty, v) ->
+      B.S_int (ty, Src_type.normalize_int ty (abs v))
+    | (Op.Neg | Op.Abs | Op.Not | Op.Sqrt), _ -> B.S_unop (op, a))
+  | B.S_binop (op, a, b) -> (
+    let a = fold a and b = fold b in
+    match a, b with
+    | B.S_int (ty, x), B.S_int (_, y) when not (op = Op.Div && y = 0) -> (
+      match Value.binop ty op (Value.Int x) (Value.Int y) with
+      | Value.Int v -> B.S_int (ty, v)
+      | Value.Float _ -> B.S_binop (op, a, b))
+    | _ -> (
+      (* algebraic identities on integer expressions *)
+      match op, a, b with
+      | Op.Add, B.S_int (_, 0), e | Op.Add, e, B.S_int (_, 0) -> e
+      | Op.Sub, e, B.S_int (_, 0) -> e
+      | Op.Mul, B.S_int (_, 1), e | Op.Mul, e, B.S_int (_, 1) -> e
+      | Op.Mul, (B.S_int (_, 0) as z), _ | Op.Mul, _, (B.S_int (_, 0) as z) ->
+        z
+      | Op.Div, e, B.S_int (_, 1) -> e
+      | _ -> B.S_binop (op, a, b)))
+
+let rec fold_vexpr (e : B.vexpr) : B.vexpr =
+  match e with
+  | B.V_var _ -> e
+  | B.V_binop (op, ty, a, b) -> B.V_binop (op, ty, fold_vexpr a, fold_vexpr b)
+  | B.V_unop (op, ty, a) -> B.V_unop (op, ty, fold_vexpr a)
+  | B.V_shift (op, ty, a, amt) -> B.V_shift (op, ty, fold_vexpr a, fold amt)
+  | B.V_init_uniform (ty, v) -> B.V_init_uniform (ty, fold v)
+  | B.V_init_affine (ty, v, i) -> B.V_init_affine (ty, fold v, fold i)
+  | B.V_init_reduc (op, ty, v) -> B.V_init_reduc (op, ty, fold v)
+  | B.V_aload (ty, arr, i) -> B.V_aload (ty, arr, fold i)
+  | B.V_load (ty, arr, i, h) -> B.V_load (ty, arr, fold i, h)
+  | B.V_align_load (ty, arr, i) -> B.V_align_load (ty, arr, fold i)
+  | B.V_get_rt (ty, arr, i, h) -> B.V_get_rt (ty, arr, fold i, h)
+  | B.V_realign r ->
+    B.V_realign
+      {
+        r with
+        B.r_v1 = fold_vexpr r.B.r_v1;
+        r_v2 = fold_vexpr r.B.r_v2;
+        r_rt = fold_vexpr r.B.r_rt;
+        r_idx = fold r.B.r_idx;
+      }
+  | B.V_widen_mult (h, ty, a, b) ->
+    B.V_widen_mult (h, ty, fold_vexpr a, fold_vexpr b)
+  | B.V_dot_product (ty, a, b, acc) ->
+    B.V_dot_product (ty, fold_vexpr a, fold_vexpr b, fold_vexpr acc)
+  | B.V_unpack (h, ty, a) -> B.V_unpack (h, ty, fold_vexpr a)
+  | B.V_pack (ty, a, b) -> B.V_pack (ty, fold_vexpr a, fold_vexpr b)
+  | B.V_cvt (f, t, a) -> B.V_cvt (f, t, fold_vexpr a)
+  | B.V_extract e ->
+    B.V_extract { e with B.e_parts = List.map fold_vexpr e.B.e_parts }
+  | B.V_interleave (h, ty, a, b) ->
+    B.V_interleave (h, ty, fold_vexpr a, fold_vexpr b)
+  | B.V_cmp (op, ty, a, b) -> B.V_cmp (op, ty, fold_vexpr a, fold_vexpr b)
+  | B.V_select (ty, m, a, b) ->
+    B.V_select (ty, fold_vexpr m, fold_vexpr a, fold_vexpr b)

@@ -1,0 +1,1 @@
+lib/kernels/data.ml: Buffer_ Src_type Value Vapor_ir

@@ -1,0 +1,1 @@
+lib/kernels/data.mli: Buffer_ Src_type Vapor_ir

@@ -1,0 +1,1 @@
+lib/kernels/suite.ml: Buffer_ Char Data Eval Hashtbl Kernel Kernel_src List Src_type String Value Vapor_frontend Vapor_ir

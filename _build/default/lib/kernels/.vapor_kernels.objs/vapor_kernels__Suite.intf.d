@@ -1,0 +1,1 @@
+lib/kernels/suite.mli: Buffer_ Eval Kernel Vapor_ir

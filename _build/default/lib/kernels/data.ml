@@ -1,0 +1,53 @@
+(* Deterministic synthetic workload generation.
+
+   The paper uses UTDSP/Polybench inputs; we substitute a seeded xorshift
+   PRNG so every flow (reference interpreter, bytecode evaluator, machine
+   simulator) sees identical data and runs are reproducible. *)
+
+open Vapor_ir
+
+type rng = { mutable state : int }
+
+let rng seed = { state = (if seed = 0 then 0x9e3779b9 else seed land 0x3fffffffffffffff) }
+
+let next r =
+  (* xorshift on 62 bits, always positive. *)
+  let x = r.state in
+  let x = x lxor (x lsl 13) land 0x3fffffffffffffff in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) land 0x3fffffffffffffff in
+  r.state <- x;
+  x
+
+(* Uniform integer in [lo, hi] inclusive. *)
+let int_in r lo hi = lo + (next r mod (hi - lo + 1))
+
+(* Uniform float in [lo, hi). *)
+let float_in r lo hi =
+  lo +. ((hi -. lo) *. (float_of_int (next r land 0xffffff) /. 16777216.0))
+
+(* A buffer of [n] elements of [ty] filled with small values: ints stay in a
+   range that avoids overflow surprises in accumulations, floats in [-1,1). *)
+let buffer r ty n =
+  if Src_type.is_float ty then
+    Buffer_.init ty n (fun _ -> Value.Float (float_in r (-1.0) 1.0))
+  else
+    let lo, hi =
+      match ty with
+      | Src_type.I8 -> -100, 100
+      | Src_type.U8 -> 0, 200
+      | Src_type.I16 -> -1000, 1000
+      | Src_type.U16 -> 0, 2000
+      | Src_type.I32 | Src_type.I64 -> -10000, 10000
+      | Src_type.U32 -> 0, 20000
+      | Src_type.F32 | Src_type.F64 -> assert false
+    in
+    Buffer_.init ty n (fun _ -> Value.Int (int_in r lo hi))
+
+(* Strictly positive values, for buffers used as divisors. *)
+let positive_buffer r ty n =
+  if Src_type.is_float ty then
+    Buffer_.init ty n (fun _ -> Value.Float (float_in r 0.5 2.0))
+  else Buffer_.init ty n (fun _ -> Value.Int (int_in r 1 100))
+
+let zero_buffer ty n = Buffer_.create ty n

@@ -1,0 +1,19 @@
+(** Deterministic synthetic workload generation (seeded xorshift), so every
+    flow sees identical data and runs are reproducible. *)
+
+open Vapor_ir
+
+type rng
+
+val rng : int -> rng
+val next : rng -> int
+val int_in : rng -> int -> int -> int
+val float_in : rng -> float -> float -> float
+
+(** Small values: integers in overflow-safe ranges, floats in [-1, 1). *)
+val buffer : rng -> Src_type.t -> int -> Buffer_.t
+
+(** Strictly positive values, for divisor buffers. *)
+val positive_buffer : rng -> Src_type.t -> int -> Buffer_.t
+
+val zero_buffer : Src_type.t -> int -> Buffer_.t

@@ -1,0 +1,608 @@
+(* Source text of every benchmark kernel (Table 2 of the paper).
+
+   The DSP kernels come from the UTDSP-style suite the paper gathered; the
+   Polybench kernels follow Polybench 1.0 with the manual enabling
+   transformations the paper describes (loop interchange, transposed array
+   layout, scalar promotion) already applied in the source, since the paper
+   applied them to the baseline code by hand. *)
+
+let dissolve_s8 =
+  {|
+kernel dissolve_s8(s8 frame[], s8 alpha[], s8 out[], s32 n) {
+  for (i = 0; i < n; i++) {
+    out[i] = (s8)(((s16)frame[i] * (s16)alpha[i]) >> 7);
+  }
+}
+|}
+
+let sad_s8 =
+  {|
+kernel sad_s8(s8 a[], s8 b[], s32 out[], s32 n) {
+  s32 sad = 0;
+  for (i = 0; i < n; i++) {
+    sad += (s32)abs((s16)a[i] - (s16)b[i]);
+  }
+  out[0] = sad;
+}
+|}
+
+let sfir_s16 =
+  {|
+kernel sfir_s16(s16 x[], s16 h[], s32 out[], s32 m) {
+  s32 acc = 0;
+  for (i = 0; i < m; i++) {
+    acc += (s32)x[i] * (s32)h[i];
+  }
+  out[0] = acc;
+}
+|}
+
+let interp_s16 =
+  {|
+kernel interp_s16(s16 x[], s16 h[], s16 y[], s32 n, s32 m) {
+  for (j = 0; j < n; j++) {
+    s32 a0 = 0;
+    s32 a1 = 0;
+    for (i = 0; i < m; i++) {
+      a0 += (s32)x[j + i] * (s32)h[2 * i];
+      a1 += (s32)x[j + i] * (s32)h[2 * i + 1];
+    }
+    y[2 * j] = (s16)(a0 >> 15);
+    y[2 * j + 1] = (s16)(a1 >> 15);
+  }
+}
+|}
+
+let mix_streams_s16 =
+  {|
+kernel mix_streams_s16(s16 a[], s16 b[], s16 out[], s32 n) {
+  for (i = 0; i < n; i++) {
+    out[4 * i] = (s16)((a[4 * i] + b[4 * i]) >> 1);
+    out[4 * i + 1] = (s16)((a[4 * i + 1] + b[4 * i + 1]) >> 1);
+    out[4 * i + 2] = (s16)((a[4 * i + 2] + b[4 * i + 2]) >> 1);
+    out[4 * i + 3] = (s16)((a[4 * i + 3] + b[4 * i + 3]) >> 1);
+  }
+}
+|}
+
+let convolve_s32 =
+  {|
+kernel convolve_s32(s32 img[], s32 coef[], s32 out[], s32 w, s32 h) {
+  for (r = 0; r < h - 2; r++) {
+    for (c = 0; c < w - 2; c++) {
+      s32 acc = 0;
+      for (kr = 0; kr < 3; kr++) {
+        for (kc = 0; kc < 3; kc++) {
+          acc += img[(r + kr) * w + (c + kc)] * coef[kr * 3 + kc];
+        }
+      }
+      out[r * w + c] = acc;
+    }
+  }
+}
+|}
+
+let alvinn_s32fp =
+  {|
+kernel alvinn_s32fp(f32 w[], s32 act[], s32 delta[], s32 nout, s32 nin) {
+  for (j = 0; j < nout; j++) {
+    f32 sum = 0.0;
+    for (i = 0; i < nin; i++) {
+      sum += w[i * nout + j] * (f32)act[i];
+    }
+    delta[j] = (s32)sum;
+  }
+}
+|}
+
+let dct_s32fp =
+  {|
+kernel dct_s32fp(s32 blk[], f32 cosm[], f32 out[], s32 nblk) {
+  for (blki = 0; blki < nblk; blki++) {
+    for (u = 0; u < 8; u++) {
+      for (v = 0; v < 8; v++) {
+        f32 s = 0.0;
+        for (x = 0; x < 8; x++) {
+          for (y = 0; y < 8; y++) {
+            s += (f32)blk[blki * 64 + x * 8 + y] * cosm[u * 8 + x] * cosm[v * 8 + y];
+          }
+        }
+        out[blki * 64 + u * 8 + v] = s;
+      }
+    }
+  }
+}
+|}
+
+let dissolve_fp =
+  {|
+kernel dissolve_fp(f32 a[], f32 b[], f32 out[], f32 w, s32 n) {
+  for (i = 0; i < n; i++) {
+    out[i] = a[i] * w + b[i] * (1.0 - w);
+  }
+}
+|}
+
+let sfir_fp =
+  {|
+kernel sfir_fp(f32 x[], f32 h[], f32 out[], s32 m) {
+  f32 acc = 0.0;
+  for (i = 0; i < m; i++) {
+    acc += x[i] * h[i];
+  }
+  out[0] = acc;
+}
+|}
+
+let interp_fp =
+  {|
+kernel interp_fp(f32 x[], f32 h[], f32 y[], s32 n, s32 m) {
+  for (j = 0; j < n; j++) {
+    f32 a0 = 0.0;
+    f32 a1 = 0.0;
+    for (i = 0; i < m; i++) {
+      a0 += x[j + i] * h[2 * i];
+      a1 += x[j + i] * h[2 * i + 1];
+    }
+    y[2 * j] = a0;
+    y[2 * j + 1] = a1;
+  }
+}
+|}
+
+let mmm_fp =
+  {|
+kernel mmm_fp(f32 a[], f32 b[], f32 c[], s32 n) {
+  for (i = 0; i < n; i++) {
+    for (k = 0; k < n; k++) {
+      for (j = 0; j < n; j++) {
+        c[i * n + j] += a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+}
+|}
+
+let dscal_fp =
+  {|
+kernel dscal_fp(f32 x[], f32 a, s32 n) {
+  for (i = 0; i < n; i++) {
+    x[i] = a * x[i];
+  }
+}
+|}
+
+let saxpy_fp =
+  {|
+kernel saxpy_fp(f32 x[], f32 y[], f32 a, s32 n) {
+  for (i = 0; i < n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+|}
+
+let dscal_dp =
+  {|
+kernel dscal_dp(f64 x[], f64 a, s32 n) {
+  for (i = 0; i < n; i++) {
+    x[i] = a * x[i];
+  }
+}
+|}
+
+let saxpy_dp =
+  {|
+kernel saxpy_dp(f64 x[], f64 y[], f64 a, s32 n) {
+  for (i = 0; i < n; i++) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Polybench 1.0 kernels (f32, with enabling transformations applied). *)
+
+let correlation_fp =
+  {|
+kernel correlation_fp(f32 data[], f32 mean[], f32 stddev[], f32 corr[], s32 m, s32 n) {
+  // data is stored transposed: m variables, each with n contiguous samples.
+  for (j = 0; j < m; j++) {
+    f32 s = 0.0;
+    for (i = 0; i < n; i++) {
+      s += data[j * n + i];
+    }
+    mean[j] = s / (f32)n;
+    f32 v = 0.0;
+    for (i = 0; i < n; i++) {
+      f32 d = data[j * n + i] - mean[j];
+      v += d * d;
+    }
+    stddev[j] = sqrt(v / (f32)n);
+  }
+  for (j1 = 0; j1 < m; j1++) {
+    for (j2 = 0; j2 < m; j2++) {
+      f32 s2 = 0.0;
+      for (i = 0; i < n; i++) {
+        s2 += (data[j1 * n + i] - mean[j1]) * (data[j2 * n + i] - mean[j2]);
+      }
+      corr[j1 * m + j2] = s2 / ((f32)n * stddev[j1] * stddev[j2]);
+    }
+  }
+}
+|}
+
+let covariance_fp =
+  {|
+kernel covariance_fp(f32 data[], f32 mean[], f32 cov[], s32 m, s32 n) {
+  for (j = 0; j < m; j++) {
+    f32 s = 0.0;
+    for (i = 0; i < n; i++) {
+      s += data[j * n + i];
+    }
+    mean[j] = s / (f32)n;
+  }
+  for (j1 = 0; j1 < m; j1++) {
+    for (j2 = 0; j2 < m; j2++) {
+      f32 s2 = 0.0;
+      for (i = 0; i < n; i++) {
+        s2 += (data[j1 * n + i] - mean[j1]) * (data[j2 * n + i] - mean[j2]);
+      }
+      cov[j1 * m + j2] = s2 / (f32)n;
+    }
+  }
+}
+|}
+
+let two_mm_fp =
+  {|
+kernel two_mm_fp(f32 a[], f32 b[], f32 c[], f32 tmp[], f32 d[], f32 alpha, f32 beta, s32 n) {
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      tmp[i * n + j] = 0.0;
+    }
+    for (k = 0; k < n; k++) {
+      for (j = 0; j < n; j++) {
+        tmp[i * n + j] += alpha * a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      d[i * n + j] = d[i * n + j] * beta;
+    }
+    for (k = 0; k < n; k++) {
+      for (j = 0; j < n; j++) {
+        d[i * n + j] += tmp[i * n + k] * c[k * n + j];
+      }
+    }
+  }
+}
+|}
+
+let three_mm_fp =
+  {|
+kernel three_mm_fp(f32 a[], f32 b[], f32 c[], f32 d[], f32 e[], f32 f[], f32 g[], s32 n) {
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      e[i * n + j] = 0.0;
+      f[i * n + j] = 0.0;
+      g[i * n + j] = 0.0;
+    }
+  }
+  for (i = 0; i < n; i++) {
+    for (k = 0; k < n; k++) {
+      for (j = 0; j < n; j++) {
+        e[i * n + j] += a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+  for (i = 0; i < n; i++) {
+    for (k = 0; k < n; k++) {
+      for (j = 0; j < n; j++) {
+        f[i * n + j] += c[i * n + k] * d[k * n + j];
+      }
+    }
+  }
+  for (i = 0; i < n; i++) {
+    for (k = 0; k < n; k++) {
+      for (j = 0; j < n; j++) {
+        g[i * n + j] += e[i * n + k] * f[k * n + j];
+      }
+    }
+  }
+}
+|}
+
+let atax_fp =
+  {|
+kernel atax_fp(f32 a[], f32 x[], f32 y[], f32 tmp[], s32 nr, s32 nc) {
+  for (j = 0; j < nc; j++) {
+    y[j] = 0.0;
+  }
+  for (i = 0; i < nr; i++) {
+    f32 s = 0.0;
+    for (j = 0; j < nc; j++) {
+      s += a[i * nc + j] * x[j];
+    }
+    tmp[i] = s;
+    for (j = 0; j < nc; j++) {
+      y[j] += a[i * nc + j] * tmp[i];
+    }
+  }
+}
+|}
+
+let gesummv_fp =
+  {|
+kernel gesummv_fp(f32 a[], f32 b[], f32 x[], f32 y[], f32 alpha, f32 beta, s32 n) {
+  for (i = 0; i < n; i++) {
+    f32 sa = 0.0;
+    f32 sb = 0.0;
+    for (j = 0; j < n; j++) {
+      sa += a[i * n + j] * x[j];
+      sb += b[i * n + j] * x[j];
+    }
+    y[i] = alpha * sa + beta * sb;
+  }
+}
+|}
+
+let doitgen_fp =
+  {|
+kernel doitgen_fp(f32 a[], f32 c4[], f32 sum[], s32 nr, s32 nq, s32 np) {
+  for (r = 0; r < nr; r++) {
+    for (q = 0; q < nq; q++) {
+      for (p = 0; p < np; p++) {
+        sum[p] = 0.0;
+      }
+      for (s = 0; s < np; s++) {
+        for (p = 0; p < np; p++) {
+          sum[p] += a[r * nq * np + q * np + s] * c4[s * np + p];
+        }
+      }
+      for (p = 0; p < np; p++) {
+        a[r * nq * np + q * np + p] = sum[p];
+      }
+    }
+  }
+}
+|}
+
+let gemm_fp =
+  {|
+kernel gemm_fp(f32 a[], f32 b[], f32 c[], f32 alpha, f32 beta, s32 n) {
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      c[i * n + j] = c[i * n + j] * beta;
+    }
+    for (k = 0; k < n; k++) {
+      for (j = 0; j < n; j++) {
+        c[i * n + j] += alpha * a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+}
+|}
+
+let gemver_fp =
+  {|
+kernel gemver_fp(f32 a[], f32 u1[], f32 v1[], f32 u2[], f32 v2[], f32 w[], f32 x[], f32 y[], f32 z[], f32 alpha, f32 beta, s32 n) {
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      a[i * n + j] = a[i * n + j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (j = 0; j < n; j++) {
+    for (i = 0; i < n; i++) {
+      x[i] += beta * a[j * n + i] * y[j];
+    }
+  }
+  for (i = 0; i < n; i++) {
+    x[i] += z[i];
+  }
+  for (i = 0; i < n; i++) {
+    f32 s = 0.0;
+    for (j = 0; j < n; j++) {
+      s += a[i * n + j] * x[j];
+    }
+    w[i] += alpha * s;
+  }
+}
+|}
+
+let bicg_fp =
+  {|
+kernel bicg_fp(f32 a[], f32 r[], f32 s[], f32 p[], f32 q[], s32 nr, s32 nc) {
+  for (j = 0; j < nc; j++) {
+    s[j] = 0.0;
+  }
+  for (i = 0; i < nr; i++) {
+    f32 acc = 0.0;
+    for (j = 0; j < nc; j++) {
+      s[j] += r[i] * a[i * nc + j];
+      acc += a[i * nc + j] * p[j];
+    }
+    q[i] = acc;
+  }
+}
+|}
+
+let gramschmidt_fp =
+  {|
+kernel gramschmidt_fp(f32 a[], f32 rmat[], s32 nc, s32 nr) {
+  // a is stored transposed: nc column-vectors, each with nr contiguous entries.
+  for (k = 0; k < nc; k++) {
+    f32 nrm = 0.0;
+    for (i = 0; i < nr; i++) {
+      nrm += a[k * nr + i] * a[k * nr + i];
+    }
+    rmat[k * nc + k] = sqrt(nrm);
+    for (i = 0; i < nr; i++) {
+      a[k * nr + i] = a[k * nr + i] / rmat[k * nc + k];
+    }
+    for (j = k + 1; j < nc; j++) {
+      f32 s = 0.0;
+      for (i = 0; i < nr; i++) {
+        s += a[k * nr + i] * a[j * nr + i];
+      }
+      rmat[k * nc + j] = s;
+      for (i = 0; i < nr; i++) {
+        a[j * nr + i] = a[j * nr + i] - a[k * nr + i] * rmat[k * nc + j];
+      }
+    }
+  }
+}
+|}
+
+let lu_fp =
+  {|
+kernel lu_fp(f32 a[], s32 n) {
+  for (k = 0; k < n; k++) {
+    for (j = k + 1; j < n; j++) {
+      a[k * n + j] = a[k * n + j] / a[k * n + k];
+    }
+    for (i = k + 1; i < n; i++) {
+      for (j = k + 1; j < n; j++) {
+        a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j];
+      }
+    }
+  }
+}
+|}
+
+let ludcmp_fp =
+  {|
+kernel ludcmp_fp(f32 a[], f32 b[], f32 x[], f32 y[], s32 n) {
+  for (k = 0; k < n; k++) {
+    for (i = k + 1; i < n; i++) {
+      a[i * n + k] = a[i * n + k] / a[k * n + k];
+      for (j = k + 1; j < n; j++) {
+        a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j];
+      }
+    }
+  }
+  for (i = 0; i < n; i++) {
+    f32 s = b[i];
+    for (j = 0; j < i; j++) {
+      s -= a[i * n + j] * y[j];
+    }
+    y[i] = s;
+  }
+  for (i = 0; i < n; i++) {
+    f32 t = y[n - 1 - i];
+    for (j = n - i; j < n; j++) {
+      t -= a[(n - 1 - i) * n + j] * x[j];
+    }
+    x[n - 1 - i] = t / a[(n - 1 - i) * n + (n - 1 - i)];
+  }
+}
+|}
+
+let adi_fp =
+  {|
+kernel adi_fp(f32 x[], f32 a[], f32 b[], s32 n, s32 steps) {
+  for (t = 0; t < steps; t++) {
+    for (i = 0; i < n; i++) {
+      for (j = 1; j < n; j++) {
+        x[i * n + j] = x[i * n + j] - x[i * n + j - 1] * a[i * n + j] / b[i * n + j - 1];
+      }
+    }
+    for (i = 1; i < n; i++) {
+      for (j = 0; j < n; j++) {
+        x[i * n + j] = x[i * n + j] - x[(i - 1) * n + j] * a[i * n + j] / b[(i - 1) * n + j];
+      }
+    }
+  }
+}
+|}
+
+let jacobi_fp =
+  {|
+kernel jacobi_fp(f32 a[], f32 b[], s32 n, s32 steps) {
+  for (t = 0; t < steps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        b[i * n + j] = 0.2 * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1]
+                              + a[(i - 1) * n + j] + a[(i + 1) * n + j]);
+      }
+    }
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        a[i * n + j] = b[i * n + j];
+      }
+    }
+  }
+}
+|}
+
+let seidel_fp =
+  {|
+kernel seidel_fp(f32 a[], s32 n, s32 steps) {
+  for (t = 0; t < steps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        a[i * n + j] = (a[i * n + j - 1] + a[i * n + j] + a[i * n + j + 1]
+                        + a[(i - 1) * n + j] + a[(i + 1) * n + j]) / 5.0;
+      }
+    }
+  }
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Extension kernels: not part of the paper's Table 2, but exercising
+   split-layer features the paper describes (interleave stores, vector
+   select, dependence-distance hints). *)
+
+let stereo_gain =
+  {|
+kernel stereo_gain(f32 mono[], f32 stereo[], f32 gl, f32 gr, s32 n) {
+  for (i = 0; i < n; i++) {
+    stereo[2 * i] = mono[i] * gl;
+    stereo[2 * i + 1] = mono[i] * gr;
+  }
+}
+|}
+
+let cmul =
+  {|
+kernel cmul(f32 a[], f32 b[], f32 out[], s32 n) {
+  for (i = 0; i < n; i++) {
+    f32 ar = a[2 * i];
+    f32 ai = a[2 * i + 1];
+    f32 br = b[2 * i];
+    f32 bi = b[2 * i + 1];
+    out[2 * i] = ar * br - ai * bi;
+    out[2 * i + 1] = ar * bi + ai * br;
+  }
+}
+|}
+
+let clamp_fp =
+  {|
+kernel clamp_fp(f32 x[], f32 y[], f32 lo, f32 hi, s32 n) {
+  for (i = 0; i < n; i++) {
+    y[i] = x[i] < lo ? lo : (x[i] > hi ? hi : x[i]);
+  }
+}
+|}
+
+let relu_fp =
+  {|
+kernel relu_fp(f32 x[], s32 n) {
+  for (i = 0; i < n; i++) {
+    if (x[i] < 0.0) {
+      x[i] = 0.0;
+    }
+  }
+}
+|}
+
+let recurrence_fp =
+  {|
+kernel recurrence_fp(f32 x[], f32 a, f32 b, s32 n) {
+  for (i = 4; i < n; i++) {
+    x[i] = x[i - 4] * a + b;
+  }
+}
+|}

@@ -1,0 +1,729 @@
+(* The benchmark suite: kernel sources, workload builders and metadata.
+
+   [args ~scale] builds fresh argument buffers each call so flows can run
+   back-to-back on identical data.  Default sizes are scaled-down versions
+   of the paper's (Polybench at 128 would make the simulator runs slow);
+   the harness can pass a larger [scale]. *)
+
+open Vapor_ir
+
+type entry = {
+  name : string;
+  source : string;
+  features : string list;
+  polybench : bool;
+  (* Kernels present in Table 3 (AVX/IACA experiment). *)
+  in_table3 : bool;
+  args : scale:int -> (string * Eval.arg) list;
+}
+
+let s v = Eval.Scalar (Value.Int v)
+let f v = Eval.Scalar (Value.Float v)
+
+let parsed_cache : (string, Kernel.t) Hashtbl.t = Hashtbl.create 64
+
+(* Parse and type-check the kernel of [entry] (cached). *)
+let kernel entry =
+  match Hashtbl.find_opt parsed_cache entry.name with
+  | Some k -> k
+  | None ->
+    let k = Vapor_frontend.Typecheck.compile_one entry.source in
+    Hashtbl.replace parsed_cache entry.name k;
+    k
+
+let seed_of name = String.fold_left (fun acc c -> (acc * 31) + Char.code c) 7 name
+
+let dsp_kernels =
+  [
+    {
+      name = "dissolve_s8";
+      source = Kernel_src.dissolve_s8;
+      features = [ "widening multiplication"; "pack" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "dissolve_s8") in
+          let n = (200 * scale) + 3 in
+          [
+            "frame", Eval.Array (Data.buffer r Src_type.I8 n);
+            "alpha", Eval.Array (Data.buffer r Src_type.I8 n);
+            "out", Eval.Array (Data.zero_buffer Src_type.I8 n);
+            "n", s n;
+          ]);
+    };
+    {
+      name = "sad_s8";
+      source = Kernel_src.sad_s8;
+      features = [ "abs pattern"; "reduction"; "widening" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "sad_s8") in
+          let n = (240 * scale) + 7 in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.I8 n);
+            "b", Eval.Array (Data.buffer r Src_type.I8 n);
+            "out", Eval.Array (Data.zero_buffer Src_type.I32 4);
+            "n", s n;
+          ]);
+    };
+    {
+      name = "sfir_s16";
+      source = Kernel_src.sfir_s16;
+      features = [ "dot product"; "reduction" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "sfir_s16") in
+          let m = (160 * scale) + 5 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.I16 m);
+            "h", Eval.Array (Data.buffer r Src_type.I16 m);
+            "out", Eval.Array (Data.zero_buffer Src_type.I32 4);
+            "m", s m;
+          ]);
+    };
+    {
+      name = "interp_s16";
+      source = Kernel_src.interp_s16;
+      features = [ "strided access"; "dot product" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "interp_s16") in
+          let n = (20 * scale) + 1 and m = 16 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.I16 (n + m));
+            "h", Eval.Array (Data.buffer r Src_type.I16 (2 * m));
+            "y", Eval.Array (Data.zero_buffer Src_type.I16 (2 * n));
+            "n", s n;
+            "m", s m;
+          ]);
+    };
+    {
+      name = "mix_streams_s16";
+      source = Kernel_src.mix_streams_s16;
+      features = [ "SLP vectorization" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "mix_streams_s16") in
+          let n = (60 * scale) + 1 in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.I16 (4 * n));
+            "b", Eval.Array (Data.buffer r Src_type.I16 (4 * n));
+            "out", Eval.Array (Data.zero_buffer Src_type.I16 (4 * n));
+            "n", s n;
+          ]);
+    };
+    {
+      name = "convolve_s32";
+      source = Kernel_src.convolve_s32;
+      features = [ "reduction"; "2D"; "constant-trip unrolling" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "convolve_s32") in
+          let w = (16 * scale) + 3 in
+          let h = (12 * scale) + 3 in
+          [
+            "img", Eval.Array (Data.buffer r Src_type.I32 (w * h));
+            "coef", Eval.Array (Data.buffer r Src_type.I32 9);
+            "out", Eval.Array (Data.zero_buffer Src_type.I32 (w * h));
+            "w", s w;
+            "h", s h;
+          ]);
+    };
+    {
+      name = "alvinn_s32fp";
+      source = Kernel_src.alvinn_s32fp;
+      features = [ "outer-loop vectorization"; "type conversion" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "alvinn_s32fp") in
+          let nout = (24 * scale) + 2 and nin = 24 in
+          [
+            "w", Eval.Array (Data.buffer r Src_type.F32 (nin * nout));
+            "act", Eval.Array (Data.buffer r Src_type.I32 nin);
+            "delta", Eval.Array (Data.zero_buffer Src_type.I32 nout);
+            "nout", s nout;
+            "nin", s nin;
+          ]);
+    };
+    {
+      name = "dct_s32fp";
+      source = Kernel_src.dct_s32fp;
+      features = [ "outer loop"; "type conversion"; "short trip count" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "dct_s32fp") in
+          let nblk = 2 * scale in
+          [
+            "blk", Eval.Array (Data.buffer r Src_type.I32 (64 * nblk));
+            "cosm", Eval.Array (Data.buffer r Src_type.F32 64);
+            "out", Eval.Array (Data.zero_buffer Src_type.F32 (64 * nblk));
+            "nblk", s nblk;
+          ]);
+    };
+    {
+      name = "dissolve_fp";
+      source = Kernel_src.dissolve_fp;
+      features = [ "invariant (constant) operand" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "dissolve_fp") in
+          let n = (200 * scale) + 3 in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.F32 n);
+            "b", Eval.Array (Data.buffer r Src_type.F32 n);
+            "out", Eval.Array (Data.zero_buffer Src_type.F32 n);
+            "w", f 0.3;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "sfir_fp";
+      source = Kernel_src.sfir_fp;
+      features = [ "reduction" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "sfir_fp") in
+          let m = (160 * scale) + 5 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F32 m);
+            "h", Eval.Array (Data.buffer r Src_type.F32 m);
+            "out", Eval.Array (Data.zero_buffer Src_type.F32 4);
+            "m", s m;
+          ]);
+    };
+    {
+      name = "interp_fp";
+      source = Kernel_src.interp_fp;
+      features = [ "strided access"; "reduction" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "interp_fp") in
+          let n = (20 * scale) + 1 and m = 16 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F32 (n + m));
+            "h", Eval.Array (Data.buffer r Src_type.F32 (2 * m));
+            "y", Eval.Array (Data.zero_buffer Src_type.F32 (2 * n));
+            "n", s n;
+            "m", s m;
+          ]);
+    };
+    {
+      name = "mmm_fp";
+      source = Kernel_src.mmm_fp;
+      features = [ "matrix multiply"; "nested loops" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "mmm_fp") in
+          let n = 12 * scale in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.F32 (n * n));
+            "b", Eval.Array (Data.buffer r Src_type.F32 (n * n));
+            "c", Eval.Array (Data.zero_buffer Src_type.F32 (n * n));
+            "n", s n;
+          ]);
+    };
+    {
+      name = "dscal_fp";
+      source = Kernel_src.dscal_fp;
+      features = [ "BLAS scale" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "dscal_fp") in
+          let n = (220 * scale) + 5 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F32 n);
+            "a", f 1.01;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "saxpy_fp";
+      source = Kernel_src.saxpy_fp;
+      features = [ "BLAS axpy" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "saxpy_fp") in
+          let n = (220 * scale) + 5 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F32 n);
+            "y", Eval.Array (Data.buffer r Src_type.F32 n);
+            "a", f 0.7;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "dscal_dp";
+      source = Kernel_src.dscal_dp;
+      features = [ "BLAS scale"; "double precision" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "dscal_dp") in
+          let n = (220 * scale) + 5 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F64 n);
+            "a", f 1.01;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "saxpy_dp";
+      source = Kernel_src.saxpy_dp;
+      features = [ "BLAS axpy"; "double precision" ];
+      polybench = false;
+      in_table3 = true;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "saxpy_dp") in
+          let n = (220 * scale) + 5 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F64 n);
+            "y", Eval.Array (Data.buffer r Src_type.F64 n);
+            "a", f 0.7;
+            "n", s n;
+          ]);
+    };
+  ]
+
+let polybench_kernels =
+  let mat r n = Eval.Array (Data.buffer r Src_type.F32 (n * n)) in
+  let vec r n = Eval.Array (Data.buffer r Src_type.F32 n) in
+  let zmat n = Eval.Array (Data.zero_buffer Src_type.F32 (n * n)) in
+  let zvec n = Eval.Array (Data.zero_buffer Src_type.F32 n) in
+  [
+    {
+      name = "correlation_fp";
+      source = Kernel_src.correlation_fp;
+      features = [ "datamining" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "correlation_fp") in
+          let m = (8 * scale) + 1 and n = (16 * scale) + 3 in
+          [
+            "data", Eval.Array (Data.buffer r Src_type.F32 (m * n));
+            "mean", zvec m;
+            "stddev", zvec m;
+            "corr", zmat m;
+            "m", s m;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "covariance_fp";
+      source = Kernel_src.covariance_fp;
+      features = [ "datamining" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "covariance_fp") in
+          let m = (8 * scale) + 1 and n = (16 * scale) + 3 in
+          [
+            "data", Eval.Array (Data.buffer r Src_type.F32 (m * n));
+            "mean", zvec m;
+            "cov", zmat m;
+            "m", s m;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "2mm_fp";
+      source = Kernel_src.two_mm_fp;
+      features = [ "linear algebra" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "2mm_fp") in
+          let n = 8 * scale in
+          [
+            "a", mat r n;
+            "b", mat r n;
+            "c", mat r n;
+            "tmp", zmat n;
+            "d", mat r n;
+            "alpha", f 0.5;
+            "beta", f 0.25;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "3mm_fp";
+      source = Kernel_src.three_mm_fp;
+      features = [ "linear algebra" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "3mm_fp") in
+          let n = 8 * scale in
+          [
+            "a", mat r n;
+            "b", mat r n;
+            "c", mat r n;
+            "d", mat r n;
+            "e", zmat n;
+            "f", zmat n;
+            "g", zmat n;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "atax_fp";
+      source = Kernel_src.atax_fp;
+      features = [ "linear algebra" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "atax_fp") in
+          let nr = (12 * scale) + 1 and nc = (10 * scale) + 3 in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.F32 (nr * nc));
+            "x", vec r nc;
+            "y", zvec nc;
+            "tmp", zvec nr;
+            "nr", s nr;
+            "nc", s nc;
+          ]);
+    };
+    {
+      name = "gesummv_fp";
+      source = Kernel_src.gesummv_fp;
+      features = [ "linear algebra" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "gesummv_fp") in
+          let n = (12 * scale) + 3 in
+          [
+            "a", mat r n;
+            "b", mat r n;
+            "x", vec r n;
+            "y", zvec n;
+            "alpha", f 0.5;
+            "beta", f 0.25;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "doitgen_fp";
+      source = Kernel_src.doitgen_fp;
+      features = [ "linear algebra"; "3D" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "doitgen_fp") in
+          let nr = 2 * scale and nq = 2 * scale and np = (8 * scale) + 3 in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.F32 (nr * nq * np));
+            "c4", Eval.Array (Data.buffer r Src_type.F32 (np * np));
+            "sum", zvec np;
+            "nr", s nr;
+            "nq", s nq;
+            "np", s np;
+          ]);
+    };
+    {
+      name = "gemm_fp";
+      source = Kernel_src.gemm_fp;
+      features = [ "linear algebra" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "gemm_fp") in
+          let n = 8 * scale in
+          [
+            "a", mat r n;
+            "b", mat r n;
+            "c", mat r n;
+            "alpha", f 0.5;
+            "beta", f 0.25;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "gemver_fp";
+      source = Kernel_src.gemver_fp;
+      features = [ "linear algebra" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "gemver_fp") in
+          let n = (10 * scale) + 3 in
+          [
+            "a", mat r n;
+            "u1", vec r n;
+            "v1", vec r n;
+            "u2", vec r n;
+            "v2", vec r n;
+            "w", zvec n;
+            "x", zvec n;
+            "y", vec r n;
+            "z", vec r n;
+            "alpha", f 0.5;
+            "beta", f 0.25;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "bicg_fp";
+      source = Kernel_src.bicg_fp;
+      features = [ "linear algebra" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "bicg_fp") in
+          let nr = (12 * scale) + 1 and nc = (10 * scale) + 3 in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.F32 (nr * nc));
+            "r", vec r nr;
+            "s", zvec nc;
+            "p", vec r nc;
+            "q", zvec nr;
+            "nr", s nr;
+            "nc", s nc;
+          ]);
+    };
+    {
+      name = "gramschmidt_fp";
+      source = Kernel_src.gramschmidt_fp;
+      features = [ "linear algebra solver" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "gramschmidt_fp") in
+          let nc = (6 * scale) + 1 and nr = (12 * scale) + 3 in
+          [
+            "a", Eval.Array (Data.positive_buffer r Src_type.F32 (nc * nr));
+            "rmat", zmat nc;
+            "nc", s nc;
+            "nr", s nr;
+          ]);
+    };
+    {
+      name = "lu_fp";
+      source = Kernel_src.lu_fp;
+      features = [ "linear algebra solver"; "not vectorizable (skewing)" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "lu_fp") in
+          let n = (8 * scale) + 3 in
+          (* Diagonally dominant matrix keeps the elimination stable. *)
+          let a = Data.positive_buffer r Src_type.F32 (n * n) in
+          for i = 0 to n - 1 do
+            Buffer_.set a ((i * n) + i) (Value.Float (float_of_int n +. 1.0))
+          done;
+          [ "a", Eval.Array a; "n", s n ]);
+    };
+    {
+      name = "ludcmp_fp";
+      source = Kernel_src.ludcmp_fp;
+      features = [ "linear algebra solver"; "not vectorizable (skewing)" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "ludcmp_fp") in
+          let n = (8 * scale) + 3 in
+          let a = Data.positive_buffer r Src_type.F32 (n * n) in
+          for i = 0 to n - 1 do
+            Buffer_.set a ((i * n) + i) (Value.Float (float_of_int n +. 1.0))
+          done;
+          [
+            "a", Eval.Array a;
+            "b", vec r n;
+            "x", zvec n;
+            "y", zvec n;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "adi_fp";
+      source = Kernel_src.adi_fp;
+      features = [ "stencil"; "loop-carried dependences" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "adi_fp") in
+          let n = (10 * scale) + 3 and steps = 2 in
+          [
+            "x", mat r n;
+            "a", mat r n;
+            "b",
+            Eval.Array (Data.positive_buffer r Src_type.F32 (n * n));
+            "n", s n;
+            "steps", s steps;
+          ]);
+    };
+    {
+      name = "jacobi_fp";
+      source = Kernel_src.jacobi_fp;
+      features = [ "stencil"; "realignment" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "jacobi_fp") in
+          let n = (12 * scale) + 3 and steps = 2 in
+          [ "a", mat r n; "b", zmat n; "n", s n; "steps", s steps ]);
+    };
+    {
+      name = "seidel_fp";
+      source = Kernel_src.seidel_fp;
+      features = [ "stencil"; "not vectorizable (distance 1)" ];
+      polybench = true;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "seidel_fp") in
+          let n = (12 * scale) + 3 and steps = 2 in
+          [ "a", mat r n; "n", s n; "steps", s steps ]);
+    };
+  ]
+
+(* Extension kernels: features beyond the paper's Table 2 that its split
+   layer supports (interleaved stores, if-conversion/select, dependence
+   distance hints).  Not part of any reproduced figure. *)
+let extension_kernels =
+  [
+    {
+      name = "stereo_gain";
+      source = Kernel_src.stereo_gain;
+      features = [ "interleaved store" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "stereo_gain") in
+          let n = (150 * scale) + 7 in
+          [
+            "mono", Eval.Array (Data.buffer r Src_type.F32 n);
+            "stereo", Eval.Array (Data.zero_buffer Src_type.F32 (2 * n));
+            "gl", f 0.8;
+            "gr", f 0.6;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "cmul";
+      source = Kernel_src.cmul;
+      features = [ "interleaved load+store"; "complex arithmetic" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "cmul") in
+          let n = (120 * scale) + 5 in
+          [
+            "a", Eval.Array (Data.buffer r Src_type.F32 (2 * n));
+            "b", Eval.Array (Data.buffer r Src_type.F32 (2 * n));
+            "out", Eval.Array (Data.zero_buffer Src_type.F32 (2 * n));
+            "n", s n;
+          ]);
+    };
+    {
+      name = "clamp_fp";
+      source = Kernel_src.clamp_fp;
+      features = [ "vector select" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "clamp_fp") in
+          let n = (200 * scale) + 3 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F32 n);
+            "y", Eval.Array (Data.zero_buffer Src_type.F32 n);
+            "lo", f (-0.5);
+            "hi", f 0.5;
+            "n", s n;
+          ]);
+    };
+    {
+      name = "relu_fp";
+      source = Kernel_src.relu_fp;
+      features = [ "if-conversion" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "relu_fp") in
+          let n = (200 * scale) + 9 in
+          [ "x", Eval.Array (Data.buffer r Src_type.F32 n); "n", s n ]);
+    };
+    {
+      name = "recurrence_fp";
+      source = Kernel_src.recurrence_fp;
+      features = [ "dependence distance hint (max VF 4)" ];
+      polybench = false;
+      in_table3 = false;
+      args =
+        (fun ~scale ->
+          let r = Data.rng (seed_of "recurrence_fp") in
+          let n = (100 * scale) + 11 in
+          [
+            "x", Eval.Array (Data.buffer r Src_type.F32 n);
+            "a", f 0.5;
+            "b", f 0.25;
+            "n", s n;
+          ]);
+    };
+  ]
+
+let all = dsp_kernels @ polybench_kernels @ extension_kernels
+
+let find name =
+  match List.find_opt (fun e -> String.equal e.name name) all with
+  | Some e -> e
+  | None -> invalid_arg ("Suite.find: unknown kernel " ^ name)
+
+let names = List.map (fun e -> e.name) all
+
+(* Arrays of an argument list, in declaration order: the outputs compared by
+   differential tests (inputs are unmodified, so comparing all is fine). *)
+let arrays_of_args args =
+  List.filter_map
+    (function
+      | name, Eval.Array buf -> Some (name, buf)
+      | _, Eval.Scalar _ -> None)
+    args

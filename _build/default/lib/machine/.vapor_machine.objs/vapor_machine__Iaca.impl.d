@@ -1,0 +1,1 @@
+lib/machine/iaca.ml: Array Float List Mfun Minstr Option Regalloc Vapor_ir Vapor_targets

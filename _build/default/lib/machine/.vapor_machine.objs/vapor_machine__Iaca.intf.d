@@ -1,0 +1,1 @@
+lib/machine/iaca.mli: Mfun Minstr Vapor_targets

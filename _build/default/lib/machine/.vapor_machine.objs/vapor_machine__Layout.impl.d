@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Buffer_ Bytes Int32 Int64 List Printf Src_type String Value Vapor_ir

@@ -1,0 +1,1 @@
+lib/machine/layout.mli: Buffer_ Bytes Src_type Value Vapor_ir

@@ -1,0 +1,1 @@
+lib/machine/mfun.ml: Array Buffer Minstr Printf Vapor_ir

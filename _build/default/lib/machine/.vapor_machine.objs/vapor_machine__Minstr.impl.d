@@ -1,0 +1,1 @@
+lib/machine/minstr.ml: List Op Option Printf Src_type String Vapor_ir Vapor_targets

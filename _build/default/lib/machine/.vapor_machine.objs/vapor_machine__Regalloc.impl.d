@@ -1,0 +1,1 @@
+lib/machine/regalloc.ml: Array Hashtbl List Mfun Minstr Option Src_type Vapor_ir Vapor_targets

@@ -1,0 +1,1 @@
+lib/machine/simulator.ml: Array Bytes Format Hashtbl Layout List Mfun Minstr Op Src_type Value Vapor_ir Vapor_targets

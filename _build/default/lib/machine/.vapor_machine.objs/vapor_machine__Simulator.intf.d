@@ -1,0 +1,1 @@
+lib/machine/simulator.mli: Bytes Layout Mfun Value Vapor_ir Vapor_targets

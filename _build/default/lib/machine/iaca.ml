@@ -1,0 +1,124 @@
+(* Static loop-body throughput analysis, in the spirit of the Intel
+   Architecture Code Analyzer the paper uses for AVX (Table 3).
+
+   The analyzer finds innermost loop regions (backedges whose body contains
+   no further backedge), and estimates asymptotic cycles per iteration as a
+   port-pressure maximum over a 4-wide issue model:
+
+     max( ceil(uops / 4), ceil(memory ops / 2), multiplies, divides... )
+
+   matching how IACA reports "total throughput" for a loop body. *)
+
+module Target = Vapor_targets.Target
+module Op = Vapor_ir.Op
+
+type region = {
+  start_ : int;
+  stop : int;
+  instrs : Minstr.t list;
+  cycles : float;
+  has_vector : bool;
+}
+
+let issue_width = 4.0
+let mem_ports = 2.0
+
+let is_mem = function
+  | Minstr.Load _ | Minstr.Store _ | Minstr.VLoad _ | Minstr.VStore _
+  | Minstr.VSpill _ | Minstr.VReload _ ->
+    true
+  | _ -> false
+
+let rec is_mul_like = function
+  | Minstr.Sop ((Op.Mul | Op.Div), _, _, _, _)
+  | Minstr.Vop ((Op.Mul | Op.Div), _, _, _, _)
+  | Minstr.Vwidenmul _ | Minstr.Vdot _ ->
+    true
+  | Minstr.Lib i -> is_mul_like i
+  | _ -> false
+
+let rec is_vector_instr = function
+  | Minstr.VLoad _ | Minstr.VStore _ | Minstr.Vop _ | Minstr.Vunop _
+  | Minstr.Vshift _ | Minstr.Vsplat _ | Minstr.Viota _ | Minstr.Vinsert _
+  | Minstr.Vreduce _ | Minstr.Lvsr _ | Minstr.Vperm _ | Minstr.Vwidenmul _
+  | Minstr.Vdot _ | Minstr.Vunpack _ | Minstr.Vpack _ | Minstr.Vcvt _
+  | Minstr.Vextract _ | Minstr.Vinterleave _ | Minstr.VSpill _
+  | Minstr.VReload _ | Minstr.Vcmp _ | Minstr.Vsel _ ->
+    true
+  | Minstr.Lib i -> is_vector_instr i
+  | _ -> false
+
+let rec uops target = function
+  (* long-latency operations occupy their port for multiple cycles *)
+  | Minstr.Sop (Op.Div, ty, _, _, _) ->
+    if Vapor_ir.Src_type.is_float ty then
+      float_of_int target.Target.costs.Target.c_fp_div /. 2.0
+    else float_of_int target.Target.costs.Target.c_int_div /. 2.0
+  | Minstr.Vop (Op.Div, _, _, _, _) ->
+    float_of_int target.Target.costs.Target.c_vdiv /. 2.0
+  | Minstr.Lib i -> 4.0 +. uops target i (* helper call overhead *)
+  | Minstr.Label _ -> 0.0
+  | _ -> 1.0
+
+let analyze_region (target : Target.t) instrs lo hi =
+  let body = ref [] in
+  for pc = lo to hi do
+    body := instrs.(pc) :: !body
+  done;
+  let body = List.rev !body in
+  let total = List.fold_left (fun acc i -> acc +. uops target i) 0.0 body in
+  let mems =
+    List.fold_left (fun acc i -> if is_mem i then acc +. 1.0 else acc) 0.0 body
+  in
+  let muls =
+    List.fold_left
+      (fun acc i -> if is_mul_like i then acc +. 1.0 else acc)
+      0.0 body
+  in
+  let cycles =
+    Float.max
+      (Float.max (total /. issue_width) (mems /. mem_ports))
+      muls
+  in
+  {
+    start_ = lo;
+    stop = hi;
+    instrs = body;
+    cycles = Float.max 1.0 (Float.round cycles);
+    has_vector = List.exists is_vector_instr body;
+  }
+
+(* All innermost loop regions of a function. *)
+let innermost_regions (target : Target.t) (f : Mfun.t) : region list =
+  let backedges = Regalloc.loop_regions f.Mfun.instrs in
+  let innermost =
+    List.filter
+      (fun (lo, hi) ->
+        not
+          (List.exists
+             (fun (lo', hi') ->
+               (lo', hi') <> (lo, hi) && lo <= lo' && hi' <= hi)
+             backedges))
+      backedges
+  in
+  List.map (fun (lo, hi) -> analyze_region target f.Mfun.instrs lo hi) innermost
+
+(* Cycles per iteration of the main vector loop: the innermost region
+   containing vector instructions with the most instructions (the kernel's
+   hot loop).  Falls back to the largest scalar loop when no vector loop
+   exists. *)
+let vector_loop_cycles (target : Target.t) (f : Mfun.t) : float option =
+  let regions = innermost_regions target f in
+  let pick rs =
+    List.fold_left
+      (fun acc (r : region) ->
+        match acc with
+        | None -> Some r
+        | Some best ->
+          if List.length r.instrs > List.length best.instrs then Some r
+          else acc)
+      None rs
+  in
+  match pick (List.filter (fun r -> r.has_vector) regions) with
+  | Some r -> Some r.cycles
+  | None -> Option.map (fun (r : region) -> r.cycles) (pick regions)

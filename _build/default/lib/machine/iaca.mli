@@ -1,0 +1,21 @@
+(** Static loop-body throughput analysis in the spirit of the Intel
+    Architecture Code Analyzer the paper uses for its AVX table: estimated
+    asymptotic cycles per iteration of innermost loops under a 4-wide
+    issue model. *)
+
+module Target = Vapor_targets.Target
+
+type region = {
+  start_ : int;
+  stop : int;
+  instrs : Minstr.t list;
+  cycles : float;
+  has_vector : bool;
+}
+
+val innermost_regions : Target.t -> Mfun.t -> region list
+
+(** Cycles per iteration of the function's main vector loop (the largest
+    innermost region with vector instructions), falling back to the
+    largest scalar loop; [None] when the function has no loops. *)
+val vector_loop_cycles : Target.t -> Mfun.t -> float option

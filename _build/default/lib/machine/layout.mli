@@ -1,0 +1,46 @@
+(** Runtime memory layout: where the runtime places array arguments.  The
+    placement policy models the JIT's ability (or inability, for
+    caller-supplied buffers) to align arrays. *)
+
+open Vapor_ir
+
+type placement =
+  | Aligned  (** base on a 32-byte boundary (the allocator default) *)
+  | Offset of int  (** base displaced from a 32-byte boundary *)
+  | Same_as of string  (** aliases an earlier array (same base address) *)
+
+type policy = string -> placement
+
+val aligned_policy : policy
+
+type region = {
+  base : int;
+  bytes : int;
+  elem : Src_type.t;
+}
+
+type t = {
+  mutable regions : (string * region) list;
+  stack_base : int;
+  total_bytes : int;
+}
+
+val default_stack_bytes : int
+val slack : int
+
+(** Compute the layout; [stack_bytes] must cover the compiled function's
+    spill area. *)
+val plan : ?stack_bytes:int -> policy:policy -> (string * Buffer_.t) list -> t
+
+(** Byte address of an array symbol or ["$stack"].
+    @raise Invalid_argument on unknown symbols. *)
+val base_of : t -> string -> int
+
+val write_value : Bytes.t -> Src_type.t -> int -> Value.t -> unit
+val read_value : Bytes.t -> Src_type.t -> int -> Value.t
+
+(** Build the memory image with array arguments copied in. *)
+val materialize : t -> (string * Buffer_.t) list -> Bytes.t
+
+(** Copy memory contents back into the argument buffers after a run. *)
+val read_back : t -> Bytes.t -> (string * Buffer_.t) list -> unit

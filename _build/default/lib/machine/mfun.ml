@@ -1,0 +1,38 @@
+(* A compiled function: the unit executed by the simulator. *)
+
+type fp_unit =
+  | Fp_scalar_simd (* scalar FP through SSE-style scalar units *)
+  | Fp_x87 (* scalar FP through an x87-style stack (Mono on x86) *)
+
+(* Where the runtime seeds a scalar parameter before execution. *)
+type param_loc =
+  | In_reg of Minstr.reg
+  | In_stack of Vapor_ir.Src_type.t * int (* stack byte offset *)
+
+type t = {
+  name : string;
+  instrs : Minstr.t array;
+  n_gpr : int; (* virtual (pre-allocation) or physical register counts *)
+  n_fpr : int;
+  n_vr : int;
+  param_regs : (string * param_loc) list; (* scalar parameter seeding *)
+  fp_unit : fp_unit;
+  stack_bytes : int; (* spill area *)
+  n_vspill : int; (* raw vector spill slots *)
+}
+
+let nregs f (cls : Minstr.cls) =
+  match cls with
+  | Minstr.GPR -> f.n_gpr
+  | Minstr.FPR -> f.n_fpr
+  | Minstr.VR -> f.n_vr
+
+let to_string f =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "func %s (gpr=%d fpr=%d vr=%d stack=%d)\n"
+    f.name f.n_gpr f.n_fpr f.n_vr f.stack_bytes);
+  Array.iteri
+    (fun i ins ->
+      Buffer.add_string b (Printf.sprintf "%4d  %s\n" i (Minstr.to_string ins)))
+    f.instrs;
+  Buffer.contents b

@@ -1,0 +1,344 @@
+(* Linear-scan register allocation with spilling (Poletto & Sarkar style).
+
+   Intervals are [first occurrence, last occurrence] per virtual register,
+   conservatively extended to cover any loop region they partially overlap
+   (so loop-carried values stay live across backedges).  When the register
+   file is exhausted, the active interval with the furthest end is spilled
+   to a stack slot; spill code uses reserved scratch registers.
+
+   The number of *allocatable* registers is a code-generator quality knob:
+   the Mono profile exposes fewer, producing real spill traffic whose
+   cycles the simulator then charges — this is mechanism behind the
+   paper's "lack of proper global register allocation" effects. *)
+
+open Vapor_ir
+module Target = Vapor_targets.Target
+
+type budget = {
+  b_gpr : int;
+  b_fpr : int;
+  b_vr : int;
+}
+
+let budget_of_cls b (cls : Minstr.cls) =
+  match cls with
+  | Minstr.GPR -> b.b_gpr
+  | Minstr.FPR -> b.b_fpr
+  | Minstr.VR -> b.b_vr
+
+(* Loop regions: [start,stop] instruction index ranges of backedges. *)
+let loop_regions (instrs : Minstr.t array) =
+  let label_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun pc ins ->
+      match ins with
+      | Minstr.Label l -> Hashtbl.replace label_pos l pc
+      | _ -> ())
+    instrs;
+  let regions = ref [] in
+  Array.iteri
+    (fun pc ins ->
+      let target =
+        match ins with
+        | Minstr.Jmp l | Minstr.Br (_, _, _, l) -> Hashtbl.find_opt label_pos l
+        | _ -> None
+      in
+      match target with
+      | Some t when t < pc -> regions := (t, pc) :: !regions
+      | Some _ | None -> ())
+    instrs;
+  !regions
+
+type interval = {
+  vreg : int;
+  mutable start_ : int;
+  mutable stop : int;
+  mutable first_def : int; (* max_int when never defined (parameters) *)
+}
+
+(* Compute live intervals for class [cls], extended across loop backedges
+   only for values genuinely live across iterations:
+
+   - defined before a loop and used inside it: live until the loop's end
+     (the use recurs every iteration);
+   - used before being defined inside a loop (loop-carried): live across
+     the whole loop;
+   - temporaries defined then used within one iteration stay short.
+
+   [pinned] virtual registers (parameters, seeded before execution) are
+   live from entry. *)
+let intervals ?(pinned = []) cls (instrs : Minstr.t array) regions =
+  let tbl : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let touch ~is_def pc (r : Minstr.reg) =
+    if r.Minstr.cls = cls then begin
+      let iv =
+        match Hashtbl.find_opt tbl r.Minstr.id with
+        | Some iv -> iv
+        | None ->
+          let iv =
+            { vreg = r.Minstr.id; start_ = pc; stop = pc; first_def = max_int }
+          in
+          Hashtbl.replace tbl r.Minstr.id iv;
+          iv
+      in
+      if pc < iv.start_ then iv.start_ <- pc;
+      if pc > iv.stop then iv.stop <- pc;
+      if is_def && pc < iv.first_def then iv.first_def <- pc
+    end
+  in
+  Array.iteri
+    (fun pc ins ->
+      let defs, uses = Minstr.defs_uses ins in
+      List.iter (touch ~is_def:false pc) uses;
+      List.iter (touch ~is_def:true pc) defs)
+    instrs;
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt tbl id with
+      | Some iv -> iv.start_ <- 0
+      | None -> ())
+    pinned;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun _ iv ->
+        List.iter
+          (fun (lo, hi) ->
+            let uses_inside = iv.stop >= lo && iv.start_ <= hi in
+            if uses_inside then begin
+              let live_through = iv.start_ < lo (* defined before loop *) in
+              let carried =
+                (* first occurrence inside the loop is a use *)
+                iv.start_ >= lo && iv.first_def > iv.start_
+              in
+              if (live_through || carried) && hi > iv.stop then begin
+                iv.stop <- hi;
+                changed := true
+              end
+            end)
+          regions)
+      tbl
+  done;
+  Hashtbl.fold (fun _ iv acc -> iv :: acc) tbl []
+  |> List.sort (fun a b -> compare (a.start_, a.vreg) (b.start_, b.vreg))
+
+type assignment =
+  | Phys of int
+  | Slot of int (* stack slot index (per class) *)
+
+(* Allocate one class; returns assignment per vreg and slot count. *)
+let allocate_class ?pinned cls instrs regions nphys =
+  let ivs = intervals ?pinned cls instrs regions in
+  let assign : (int, assignment) Hashtbl.t = Hashtbl.create 64 in
+  let free = ref (List.init nphys (fun i -> i)) in
+  let active : interval list ref = ref [] in
+  let slots = ref 0 in
+  let expire pos =
+    let keep, dead = List.partition (fun iv -> iv.stop >= pos) !active in
+    List.iter
+      (fun iv ->
+        match Hashtbl.find_opt assign iv.vreg with
+        | Some (Phys p) -> free := p :: !free
+        | Some (Slot _) | None -> ())
+      dead;
+    active := keep
+  in
+  List.iter
+    (fun iv ->
+      expire iv.start_;
+      match !free with
+      | p :: rest ->
+        free := rest;
+        Hashtbl.replace assign iv.vreg (Phys p);
+        active := iv :: !active
+      | [] ->
+        (* Spill the active interval ending furthest away (or this one). *)
+        let victim =
+          List.fold_left
+            (fun acc cand -> if cand.stop > acc.stop then cand else acc)
+            iv !active
+        in
+        if victim == iv then begin
+          Hashtbl.replace assign iv.vreg (Slot !slots);
+          incr slots
+        end
+        else begin
+          let p =
+            match Hashtbl.find assign victim.vreg with
+            | Phys p -> p
+            | Slot _ -> assert false
+          in
+          Hashtbl.replace assign victim.vreg (Slot !slots);
+          incr slots;
+          Hashtbl.replace assign iv.vreg (Phys p);
+          active := iv :: List.filter (fun a -> a != victim) !active
+        end)
+    ivs;
+  assign, !slots
+
+(* Bytes per spill slot of a scalar class. *)
+let slot_bytes (cls : Minstr.cls) =
+  match cls with
+  | Minstr.GPR | Minstr.FPR -> 8
+  | Minstr.VR -> invalid_arg "slot_bytes: vectors use VSpill slots"
+
+(* The memory type used to spill a scalar register of a class. *)
+let spill_ty (cls : Minstr.cls) =
+  match cls with
+  | Minstr.GPR -> Src_type.I64
+  | Minstr.FPR -> Src_type.F64
+  | Minstr.VR -> invalid_arg "spill_ty: vectors use VSpill slots"
+
+(* Rewrite a function to physical registers, inserting spill code.
+   Returns the rewritten function. *)
+let run (target : Target.t) (budget : budget) (f : Mfun.t) : Mfun.t =
+  ignore target;
+  let instrs = f.Mfun.instrs in
+  let regions = loop_regions instrs in
+  (* Reserve scratch registers per class for spill rewriting (Vdot can
+     need four distinct vector operands). *)
+  let scratch_of (cls : Minstr.cls) =
+    match cls with
+    | Minstr.GPR | Minstr.FPR -> 3
+    | Minstr.VR -> 4
+  in
+  let pinned_of cls =
+    List.filter_map
+      (fun (_, loc) ->
+        match loc with
+        | Mfun.In_reg (r : Minstr.reg) when r.Minstr.cls = cls ->
+          Some r.Minstr.id
+        | Mfun.In_reg _ | Mfun.In_stack _ -> None)
+      f.Mfun.param_regs
+  in
+  let alloc_for cls nphys =
+    let usable = max 1 (nphys - scratch_of cls) in
+    allocate_class ~pinned:(pinned_of cls) cls instrs regions usable
+  in
+  let g_assign, g_slots = alloc_for Minstr.GPR (budget_of_cls budget Minstr.GPR) in
+  let f_assign, f_slots = alloc_for Minstr.FPR (budget_of_cls budget Minstr.FPR) in
+  let v_assign, v_slots = alloc_for Minstr.VR (budget_of_cls budget Minstr.VR) in
+  let assign_of (r : Minstr.reg) =
+    let tbl =
+      match r.Minstr.cls with
+      | Minstr.GPR -> g_assign
+      | Minstr.FPR -> f_assign
+      | Minstr.VR -> v_assign
+    in
+    match Hashtbl.find_opt tbl r.Minstr.id with
+    | Some a -> a
+    | None -> Phys 0 (* register never touched *)
+  in
+  (* Stack frame layout for scalar spills: [gpr slots][fpr slots].
+     Vector spills use the simulator's dedicated slot file (VSpill). *)
+  let gpr_off = 0 in
+  let fpr_off = gpr_off + (g_slots * slot_bytes Minstr.GPR) in
+  let stack_bytes = fpr_off + (f_slots * slot_bytes Minstr.FPR) in
+  let slot_addr (cls : Minstr.cls) slot =
+    let off =
+      match cls with
+      | Minstr.GPR -> gpr_off + (slot * slot_bytes cls)
+      | Minstr.FPR -> fpr_off + (slot * slot_bytes cls)
+      | Minstr.VR -> invalid_arg "slot_addr: vector"
+    in
+    { (Minstr.plain_addr "$stack") with Minstr.disp = off }
+  in
+  let slot_of r =
+    match assign_of r with
+    | Slot s -> s
+    | Phys _ -> assert false
+  in
+  (* Vector spill slots start above any demotion slots already present. *)
+  let vspill_base = f.Mfun.n_vspill in
+  let spill_load (r : Minstr.reg) scratch_reg =
+    match r.Minstr.cls with
+    | Minstr.VR -> Minstr.VReload (scratch_reg, vspill_base + slot_of r)
+    | cls -> Minstr.Load (spill_ty cls, scratch_reg, slot_addr cls (slot_of r))
+  in
+  let spill_store (r : Minstr.reg) scratch_reg =
+    match r.Minstr.cls with
+    | Minstr.VR -> Minstr.VSpill (vspill_base + slot_of r, scratch_reg)
+    | cls -> Minstr.Store (spill_ty cls, slot_addr cls (slot_of r), scratch_reg)
+  in
+  let usable cls = max 1 (budget_of_cls budget cls - scratch_of cls) in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  Array.iter
+    (fun ins ->
+      let defs, uses = Minstr.defs_uses ins in
+      (* Map spilled uses to scratch registers (assigned in order). *)
+      let next_scratch = Hashtbl.create 4 in
+      let scratch_for (r : Minstr.reg) =
+        let n =
+          Option.value ~default:0 (Hashtbl.find_opt next_scratch r.Minstr.cls)
+        in
+        Hashtbl.replace next_scratch r.Minstr.cls (n + 1);
+        if n >= scratch_of r.Minstr.cls then
+          invalid_arg "regalloc: out of scratch registers";
+        { r with Minstr.id = usable r.Minstr.cls + n }
+      in
+      let mapping : (Minstr.cls * int, Minstr.reg) Hashtbl.t = Hashtbl.create 4 in
+      (* Reloads for spilled uses. *)
+      List.iter
+        (fun (r : Minstr.reg) ->
+          match assign_of r with
+          | Phys _ -> ()
+          | Slot _ ->
+            if not (Hashtbl.mem mapping (r.Minstr.cls, r.Minstr.id)) then begin
+              let s = scratch_for r in
+              Hashtbl.replace mapping (r.Minstr.cls, r.Minstr.id) s;
+              emit (spill_load r s)
+            end)
+        uses;
+      (* Defs that are spilled also go through a scratch register. *)
+      let def_stores = ref [] in
+      List.iter
+        (fun (r : Minstr.reg) ->
+          match assign_of r with
+          | Phys _ -> ()
+          | Slot _ ->
+            let s =
+              match Hashtbl.find_opt mapping (r.Minstr.cls, r.Minstr.id) with
+              | Some s -> s
+              | None ->
+                let s = scratch_for r in
+                Hashtbl.replace mapping (r.Minstr.cls, r.Minstr.id) s;
+                s
+            in
+            def_stores := spill_store r s :: !def_stores)
+        defs;
+      let rewrite (r : Minstr.reg) =
+        match Hashtbl.find_opt mapping (r.Minstr.cls, r.Minstr.id) with
+        | Some s -> s
+        | None -> (
+          match assign_of r with
+          | Phys p -> { r with Minstr.id = p }
+          | Slot _ -> assert false)
+      in
+      emit (Minstr.map_regs rewrite ins);
+      List.iter emit !def_stores)
+    instrs;
+  let param_regs =
+    List.map
+      (fun (name, loc) ->
+        match loc with
+        | Mfun.In_stack _ -> name, loc
+        | Mfun.In_reg r -> (
+          match assign_of r with
+          | Phys p -> name, Mfun.In_reg { r with Minstr.id = p }
+          | Slot s ->
+            let ty = spill_ty r.Minstr.cls in
+            name, Mfun.In_stack (ty, (slot_addr r.Minstr.cls s).Minstr.disp)))
+      f.Mfun.param_regs
+  in
+  {
+    f with
+    Mfun.instrs = Array.of_list (List.rev !out);
+    n_gpr = budget.b_gpr;
+    n_fpr = budget.b_fpr;
+    n_vr = max 1 budget.b_vr;
+    param_regs;
+    stack_bytes;
+    n_vspill = f.Mfun.n_vspill + v_slots;
+  }

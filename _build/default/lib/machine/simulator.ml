@@ -1,0 +1,417 @@
+(* Executing simulator for the virtual machine ISA with per-instruction
+   cycle accounting.  This is the project's stand-in for the paper's
+   hardware targets: results must match the IR interpreter exactly (ints)
+   or up to reduction reassociation (floats); cycles implement the target
+   cost tables. *)
+
+open Vapor_ir
+module Target = Vapor_targets.Target
+
+exception Fault of string
+
+let faultf fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+
+type vval =
+  | VInt of int array
+  | VFloat of float array
+  | VUndef
+
+type state = {
+  target : Target.t;
+  layout : Layout.t;
+  mem : Bytes.t;
+  gpr : int array;
+  fpr : float array;
+  vr : vval array;
+  vspill : vval array; (* raw vector spill slots *)
+  mutable cycles : int;
+  mutable executed : int;
+}
+
+type result = {
+  r_cycles : int;
+  r_instructions : int;
+}
+
+let lanes st ty = max 1 (st.target.Target.vs / Src_type.size_of ty)
+
+let reg_index (r : Minstr.reg) = r.Minstr.id
+
+let get_gpr st r = st.gpr.(reg_index r)
+let set_gpr st r v = st.gpr.(reg_index r) <- v
+let get_fpr st r = st.fpr.(reg_index r)
+let set_fpr st r v = st.fpr.(reg_index r) <- v
+let get_vr st r =
+  match st.vr.(reg_index r) with
+  | VUndef -> faultf "use of undefined vector register v%d" (reg_index r)
+  | v -> v
+let set_vr st r v = st.vr.(reg_index r) <- v
+
+let get_scalar st ty r =
+  if Src_type.is_float ty then Value.Float (get_fpr st r)
+  else Value.Int (get_gpr st r)
+
+let set_scalar st ty r (v : Value.t) =
+  if Src_type.is_float ty then set_fpr st r (Value.to_float v)
+  else set_gpr st r (Value.to_int v)
+
+let effective st (a : Minstr.addr) =
+  let sym = if a.Minstr.sym = "" then 0 else Layout.base_of st.layout a.Minstr.sym in
+  let base = match a.Minstr.base with Some r -> get_gpr st r | None -> 0 in
+  let index =
+    match a.Minstr.index with
+    | Some r -> get_gpr st r * a.Minstr.scale
+    | None -> 0
+  in
+  sym + base + index + a.Minstr.disp
+
+let check_bounds st addr bytes what =
+  if addr < 0 || addr + bytes > Bytes.length st.mem then
+    faultf "%s at address %d (+%d) out of memory" what addr bytes
+
+(* Vector lane accessors built on Value for exact semantics sharing. *)
+let vval_get ty v l : Value.t =
+  let x =
+    match v with
+    | VInt a -> Value.Int a.(l)
+    | VFloat a -> Value.Float a.(l)
+    | VUndef -> faultf "lane read of undefined vector"
+  in
+  Value.normalize ty x
+
+let vval_lanes = function
+  | VInt a -> Array.length a
+  | VFloat a -> Array.length a
+  | VUndef -> 0
+
+let vval_of_values ty (vs : Value.t array) =
+  if Src_type.is_float ty then VFloat (Array.map Value.to_float vs)
+  else VInt (Array.map Value.to_int vs)
+
+let vload st kind ty a =
+  let ea = effective st a in
+  let vs = st.target.Target.vs in
+  let ea =
+    match kind with
+    | Minstr.VM_aligned ->
+      if ea mod vs <> 0 then
+        if st.target.Target.explicit_realign then ea / vs * vs (* lvx floors *)
+        else faultf "aligned vector access to misaligned address %d" ea
+      else ea
+    | Minstr.VM_misaligned -> ea
+  in
+  let m = lanes st ty in
+  let esize = Src_type.size_of ty in
+  check_bounds st ea (m * esize) "vector load";
+  vval_of_values ty
+    (Array.init m (fun l -> Layout.read_value st.mem ty (ea + (l * esize))))
+
+let vstore st kind ty a v =
+  let ea = effective st a in
+  let vs = st.target.Target.vs in
+  let ea =
+    match kind with
+    | Minstr.VM_aligned ->
+      if ea mod vs <> 0 then
+        if st.target.Target.explicit_realign then
+          faultf "aligned vector store to misaligned address %d" ea
+        else faultf "aligned vector store to misaligned address %d" ea
+      else ea
+    | Minstr.VM_misaligned -> ea
+  in
+  let m = lanes st ty in
+  let esize = Src_type.size_of ty in
+  check_bounds st ea (m * esize) "vector store";
+  if vval_lanes v <> m then
+    faultf "vector store of %d lanes, expected %d" (vval_lanes v) m;
+  for l = 0 to m - 1 do
+    Layout.write_value st.mem ty (ea + (l * esize)) (vval_get ty v l)
+  done
+
+let widen_exn ty =
+  match Src_type.widen ty with
+  | Some w -> w
+  | None -> faultf "widen of %s" (Src_type.to_string ty)
+
+let narrow_exn ty =
+  match Src_type.narrow ty with
+  | Some n -> n
+  | None -> faultf "narrow of %s" (Src_type.to_string ty)
+
+let half_off h m =
+  match h with
+  | Minstr.Lo -> 0
+  | Minstr.Hi -> m / 2
+
+(* Execute one instruction (no control flow, no cycle accounting). *)
+let rec exec st (i : Minstr.t) =
+  match i with
+  | Minstr.Li (d, v) -> set_gpr st d v
+  | Minstr.Lfi (d, v) -> set_fpr st d v
+  | Minstr.Mov (d, s) -> (
+    match d.Minstr.cls with
+    | Minstr.GPR -> set_gpr st d (get_gpr st s)
+    | Minstr.FPR -> set_fpr st d (get_fpr st s)
+    | Minstr.VR -> set_vr st d (get_vr st s))
+  | Minstr.Lea (d, a) -> set_gpr st d (effective st a)
+  | Minstr.Sop (op, ty, d, a, b) ->
+    set_scalar st ty d (Value.binop ty op (get_scalar st ty a) (get_scalar st ty b))
+  | Minstr.Sunop (op, ty, d, s) ->
+    set_scalar st ty d (Value.unop ty op (get_scalar st ty s))
+  | Minstr.Scmp (op, ty, d, a, b) ->
+    set_gpr st d
+      (Value.to_int
+         (Value.binop ty op (get_scalar st ty a) (get_scalar st ty b)))
+  | Minstr.Cmov (d, c, a, b) ->
+    let src = if get_gpr st c <> 0 then a else b in
+    exec st (Minstr.Mov (d, src))
+  | Minstr.Cvt (t1, t2, d, s) ->
+    set_scalar st t2 d (Value.convert ~from:t1 ~into:t2 (get_scalar st t1 s))
+  | Minstr.Load (ty, d, a) ->
+    let ea = effective st a in
+    check_bounds st ea (Src_type.size_of ty) "load";
+    set_scalar st ty d (Layout.read_value st.mem ty ea)
+  | Minstr.Store (ty, a, s) ->
+    let ea = effective st a in
+    check_bounds st ea (Src_type.size_of ty) "store";
+    Layout.write_value st.mem ty ea (get_scalar st ty s)
+  | Minstr.VLoad (k, ty, d, a) -> set_vr st d (vload st k ty a)
+  | Minstr.VStore (k, ty, a, s) -> vstore st k ty a (get_vr st s)
+  | Minstr.Vop (op, ty, d, a, b) ->
+    let va = get_vr st a and vb = get_vr st b in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l ->
+              Value.binop ty op (vval_get ty va l) (vval_get ty vb l))))
+  | Minstr.Vunop (op, ty, d, s) ->
+    let v = get_vr st s in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l -> Value.unop ty op (vval_get ty v l))))
+  | Minstr.Vshift (op, ty, d, s, amt) ->
+    let v = get_vr st s in
+    let a = Value.Int (get_gpr st amt) in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l -> Value.binop ty op (vval_get ty v l) a)))
+  | Minstr.Vsplat (ty, d, s) ->
+    let x = Value.normalize ty (get_scalar st ty s) in
+    set_vr st d (vval_of_values ty (Array.make (lanes st ty) x))
+  | Minstr.Viota (ty, d, s, inc) ->
+    let x = get_gpr st s in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init (lanes st ty) (fun l ->
+              Value.Int (Src_type.normalize_int ty (x + (l * inc))))))
+  | Minstr.Vinsert (ty, d, v, n, s) ->
+    let base = get_vr st v in
+    let m = lanes st ty in
+    if n < 0 || n >= m then faultf "vinsert lane %d out of %d" n m;
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l ->
+              if l = n then Value.normalize ty (get_scalar st ty s)
+              else vval_get ty base l)))
+  | Minstr.Vreduce (op, ty, d, s) ->
+    let v = get_vr st s in
+    let m = lanes st ty in
+    let acc = ref (vval_get ty v 0) in
+    for l = 1 to m - 1 do
+      acc := Value.binop ty op !acc (vval_get ty v l)
+    done;
+    set_scalar st ty d !acc
+  | Minstr.Lvsr (ty, d, a) ->
+    let ea = effective st a in
+    let vs = st.target.Target.vs in
+    let tok = ea mod vs / Src_type.size_of ty in
+    set_vr st d (VInt [| tok |])
+  | Minstr.Vperm (ty, d, a, b, t) ->
+    let va = get_vr st a and vb = get_vr st b in
+    let tok =
+      match get_vr st t with
+      | VInt [| tok |] -> tok
+      | VInt _ | VFloat _ | VUndef -> faultf "vperm with non-token register"
+    in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l ->
+              let p = tok + l in
+              if p < m then vval_get ty va p else vval_get ty vb (p - m))))
+  | Minstr.Vwidenmul (h, ty, d, a, b) ->
+    let w = widen_exn ty in
+    let va = get_vr st a and vb = get_vr st b in
+    let m = lanes st ty in
+    let off = half_off h m in
+    set_vr st d
+      (vval_of_values w
+         (Array.init (m / 2) (fun l ->
+              Value.binop w Op.Mul
+                (Value.convert ~from:ty ~into:w (vval_get ty va (off + l)))
+                (Value.convert ~from:ty ~into:w (vval_get ty vb (off + l))))))
+  | Minstr.Vdot (ty, d, a, b, acc) ->
+    let w = widen_exn ty in
+    let va = get_vr st a
+    and vb = get_vr st b
+    and vacc = get_vr st acc in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values w
+         (Array.init (m / 2) (fun l ->
+              let p j =
+                Value.binop w Op.Mul
+                  (Value.convert ~from:ty ~into:w (vval_get ty va ((2 * l) + j)))
+                  (Value.convert ~from:ty ~into:w (vval_get ty vb ((2 * l) + j)))
+              in
+              Value.binop w Op.Add (vval_get w vacc l)
+                (Value.binop w Op.Add (p 0) (p 1)))))
+  | Minstr.Vunpack (h, ty, d, s) ->
+    let w = widen_exn ty in
+    let v = get_vr st s in
+    let m = lanes st ty in
+    let off = half_off h m in
+    set_vr st d
+      (vval_of_values w
+         (Array.init (m / 2) (fun l ->
+              Value.convert ~from:ty ~into:w (vval_get ty v (off + l)))))
+  | Minstr.Vpack (ty, d, a, b) ->
+    let n = narrow_exn ty in
+    let va = get_vr st a and vb = get_vr st b in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values n
+         (Array.init (2 * m) (fun l ->
+              let x = if l < m then vval_get ty va l else vval_get ty vb (l - m) in
+              Value.convert ~from:ty ~into:n x)))
+  | Minstr.Vcvt (t1, t2, d, s) ->
+    let v = get_vr st s in
+    let m = lanes st t1 in
+    set_vr st d
+      (vval_of_values t2
+         (Array.init m (fun l ->
+              Value.convert ~from:t1 ~into:t2 (vval_get t1 v l))))
+  | Minstr.Vextract (ty, stride, offset, d, parts) ->
+    let ps = Array.of_list (List.map (get_vr st) parts) in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l ->
+              let p = offset + (l * stride) in
+              vval_get ty ps.(p / m) (p mod m))))
+  | Minstr.Vinterleave (h, ty, d, a, b) ->
+    let va = get_vr st a and vb = get_vr st b in
+    let m = lanes st ty in
+    let off = half_off h m in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l ->
+              if l mod 2 = 0 then vval_get ty va (off + (l / 2))
+              else vval_get ty vb (off + (l / 2)))))
+  | Minstr.Vcmp (op, ty, d, a, b) ->
+    let va = get_vr st a and vb = get_vr st b in
+    let m = lanes st ty in
+    set_vr st d
+      (VInt
+         (Array.init m (fun l ->
+              Value.to_int
+                (Value.binop ty op (vval_get ty va l) (vval_get ty vb l)))))
+  | Minstr.Vsel (ty, d, mask, a, b) ->
+    let vm = get_vr st mask in
+    let va = get_vr st a
+    and vb = get_vr st b in
+    let m = lanes st ty in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init m (fun l ->
+              if Value.to_int (vval_get Src_type.I64 vm l) <> 0 then
+                vval_get ty va l
+              else vval_get ty vb l)))
+  | Minstr.VSpill (slot, s) -> st.vspill.(slot) <- get_vr st s
+  | Minstr.VReload (d, slot) -> set_vr st d st.vspill.(slot)
+  | Minstr.Label _ | Minstr.Jmp _ | Minstr.Br _ ->
+    assert false (* handled by the driver loop *)
+  | Minstr.Lib inner -> exec st inner
+
+let is_scalar_fp = function
+  | Minstr.Sop (_, ty, _, _, _)
+  | Minstr.Sunop (_, ty, _, _)
+  | Minstr.Scmp (_, ty, _, _, _) ->
+    Src_type.is_float ty
+  | _ -> false
+
+(* Run a compiled function to completion.  [fuel] bounds the instruction
+   count (guards against codegen bugs producing infinite loops). *)
+let run ?(fuel = 200_000_000) (target : Target.t) (layout : Layout.t)
+    (mem : Bytes.t) (f : Mfun.t)
+    ~(scalar_args : (string * Value.t) list) : result =
+  let st =
+    {
+      target;
+      layout;
+      mem;
+      gpr = Array.make (max 1 f.Mfun.n_gpr) 0;
+      fpr = Array.make (max 1 f.Mfun.n_fpr) 0.0;
+      vr = Array.make (max 1 f.Mfun.n_vr) VUndef;
+      vspill = Array.make (max 1 f.Mfun.n_vspill) VUndef;
+      cycles = 0;
+      executed = 0;
+    }
+  in
+  (* Seed scalar parameters. *)
+  List.iter
+    (fun (name, loc) ->
+      match List.assoc_opt name scalar_args with
+      | Some v -> (
+        match (loc : Mfun.param_loc) with
+        | Mfun.In_reg r -> (
+          match r.Minstr.cls with
+          | Minstr.GPR -> set_gpr st r (Value.to_int v)
+          | Minstr.FPR -> set_fpr st r (Value.to_float v)
+          | Minstr.VR -> faultf "vector parameter %s" name)
+        | Mfun.In_stack (ty, off) ->
+          Layout.write_value st.mem ty (st.layout.Layout.stack_base + off) v)
+      | None -> faultf "missing scalar argument %s" name)
+    f.Mfun.param_regs;
+  (* Resolve labels. *)
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun pc ins ->
+      match ins with
+      | Minstr.Label l -> Hashtbl.replace labels l pc
+      | _ -> ())
+    f.Mfun.instrs;
+  let label_pc l =
+    match Hashtbl.find_opt labels l with
+    | Some pc -> pc
+    | None -> faultf "undefined label %d" l
+  in
+  let n = Array.length f.Mfun.instrs in
+  let pc = ref 0 in
+  let x87 = f.Mfun.fp_unit = Mfun.Fp_x87 in
+  while !pc < n do
+    if st.executed > fuel then faultf "fuel exhausted (infinite loop?)";
+    let ins = f.Mfun.instrs.(!pc) in
+    st.executed <- st.executed + 1;
+    let c =
+      if x87 && is_scalar_fp ins then target.Target.costs.Target.c_x87_fp_op
+      else Minstr.cost target ins
+    in
+    st.cycles <- st.cycles + c;
+    (match ins with
+    | Minstr.Label _ -> incr pc
+    | Minstr.Jmp l -> pc := label_pc l
+    | Minstr.Br (op, a, b, l) ->
+      let taken =
+        Value.is_true
+          (Value.binop Src_type.I64 op (Value.Int (get_gpr st a))
+             (Value.Int (get_gpr st b)))
+      in
+      if taken then pc := label_pc l else incr pc
+    | ins ->
+      exec st ins;
+      incr pc)
+  done;
+  { r_cycles = st.cycles; r_instructions = st.executed }

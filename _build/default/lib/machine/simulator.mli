@@ -1,0 +1,25 @@
+(** Executing simulator for the virtual machine ISA with per-instruction
+    cycle accounting: the stand-in for the paper's hardware targets. *)
+
+open Vapor_ir
+module Target = Vapor_targets.Target
+
+exception Fault of string
+
+type result = {
+  r_cycles : int;
+  r_instructions : int;
+}
+
+(** Run a compiled function to completion over a materialized memory
+    image.  [fuel] bounds the executed instruction count.
+    @raise Fault on alignment violations, out-of-bounds accesses, missing
+    arguments, undefined registers, or fuel exhaustion. *)
+val run :
+  ?fuel:int ->
+  Target.t ->
+  Layout.t ->
+  Bytes.t ->
+  Mfun.t ->
+  scalar_args:(string * Value.t) list ->
+  result

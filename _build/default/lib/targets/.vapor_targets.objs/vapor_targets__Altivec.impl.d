@@ -1,0 +1,1 @@
+lib/targets/altivec.ml: Src_type Target Vapor_ir

@@ -1,0 +1,1 @@
+lib/targets/avx.ml: Src_type Target Vapor_ir

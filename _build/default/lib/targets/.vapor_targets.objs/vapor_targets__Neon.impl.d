@@ -1,0 +1,1 @@
+lib/targets/neon.ml: Src_type Target Vapor_ir

@@ -1,0 +1,1 @@
+lib/targets/scalar_target.ml: Altivec Avx List Neon Sse String Target

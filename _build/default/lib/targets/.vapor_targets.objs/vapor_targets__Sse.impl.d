@@ -1,0 +1,1 @@
+lib/targets/sse.ml: Src_type Target Vapor_ir

@@ -1,0 +1,1 @@
+lib/targets/target.ml: List Src_type Vapor_ir

@@ -1,0 +1,35 @@
+(* AltiVec (PowerPC G5): 16-byte vectors, 8-to-32-bit element types only
+   (no doubles), strictly aligned memory accesses with lvsr/vperm
+   realignment for everything else. *)
+
+open Vapor_ir
+
+let target : Target.t =
+  {
+    Target.name = "altivec";
+    vs = 16;
+    vector_elems =
+      [
+        Src_type.I8; Src_type.I16; Src_type.I32; Src_type.U8; Src_type.U16;
+        Src_type.U32; Src_type.F32;
+      ];
+    misaligned_load = false;
+    misaligned_store = false;
+    explicit_realign = true;
+    has_dot_product = true (* vmsummbm / vmsumshm *);
+    has_x87 = false;
+    lib_ops = [];
+    gprs = 28 (* PowerPC: 32 GPRs minus reserved *);
+    fprs = 28;
+    vrs = 30;
+    costs =
+      {
+        Target.base_costs with
+        Target.c_vperm = 1;
+        c_lvsr = 1;
+        (* no misaligned accesses exist; costs unused but kept sane *)
+        c_vload_misaligned = 1000;
+        c_vstore_misaligned = 1000;
+        c_vdiv = 25 (* no vector FP divide: software refinement *);
+      };
+  }

@@ -1,0 +1,27 @@
+(* AVX: 32-byte vectors for single and double precision floating point
+   (the paper's AVX experiments are FP-only, via the SDE emulator and
+   IACA).  Misaligned accesses supported. *)
+
+open Vapor_ir
+
+let target : Target.t =
+  {
+    Target.name = "avx";
+    vs = 32;
+    vector_elems = [ Src_type.F32; Src_type.F64; Src_type.I32; Src_type.I64 ];
+    misaligned_load = true;
+    misaligned_store = true;
+    explicit_realign = false;
+    has_dot_product = false;
+    has_x87 = true;
+    lib_ops = [];
+    gprs = 15 (* x86-64 *);
+    fprs = 16;
+    vrs = 16;
+    costs =
+      {
+        Target.base_costs with
+        Target.c_vload_misaligned = 3;
+        c_vstore_misaligned = 4;
+      };
+  }

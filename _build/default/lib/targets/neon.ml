@@ -1,0 +1,37 @@
+(* NEON (ARM Cortex-A8), used in 64-bit mode as in the paper to exercise a
+   distinct vector size.  Misaligned and aligned accesses both supported.
+   The GCC NEON backend of the era was immature: vector narrowing (pack)
+   and int<->fp conversions fall back to library helpers, which is what
+   degrades dissolve and dct in Figure 6c. *)
+
+open Vapor_ir
+
+let target : Target.t =
+  {
+    Target.name = "neon";
+    vs = 8;
+    vector_elems =
+      [
+        Src_type.I8; Src_type.I16; Src_type.I32; Src_type.U8; Src_type.U16;
+        Src_type.U32; Src_type.F32;
+      ];
+    misaligned_load = true;
+    misaligned_store = true;
+    explicit_realign = false;
+    has_dot_product = true (* vmlal-based *);
+    has_x87 = false;
+    lib_ops = [ Target.Lib_pack; Target.Lib_cvt ];
+    gprs = 13;
+    fprs = 16;
+    vrs = 16;
+    costs =
+      {
+        Target.base_costs with
+        Target.c_vload_misaligned = 3;
+        c_vstore_misaligned = 4;
+        c_fp_op = 4 (* VFP-lite: slow scalar FP on the A8 *);
+        c_fp_mul = 5;
+        c_fp_div = 25;
+        c_fp_sqrt = 30;
+      };
+  }

@@ -1,0 +1,27 @@
+(* A target with no SIMD support at all: the bytecode must scalarize
+   (Section III-C.d). *)
+
+let target : Target.t =
+  {
+    Target.name = "scalar";
+    vs = 0;
+    vector_elems = [];
+    misaligned_load = false;
+    misaligned_store = false;
+    explicit_realign = false;
+    has_dot_product = false;
+    has_x87 = false;
+    lib_ops = [];
+    gprs = 13;
+    fprs = 16;
+    vrs = 0;
+    costs = Target.base_costs;
+  }
+
+let all_simd = [ Sse.target; Altivec.target; Neon.target; Avx.target ]
+let all = all_simd @ [ target ]
+
+let find name =
+  match List.find_opt (fun (t : Target.t) -> String.equal t.Target.name name) all with
+  | Some t -> t
+  | None -> invalid_arg ("unknown target " ^ name)

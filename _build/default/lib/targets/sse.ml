@@ -1,0 +1,31 @@
+(* SSE (Intel Core2-class, SSE/SSE2/SSE3/SSSE3): 16-byte vectors, 8-bit to
+   64-bit element types, misaligned accesses supported but slower than
+   aligned ones (movdqu vs movdqa). *)
+
+open Vapor_ir
+
+let target : Target.t =
+  {
+    Target.name = "sse";
+    vs = 16;
+    vector_elems =
+      [
+        Src_type.I8; Src_type.I16; Src_type.I32; Src_type.I64; Src_type.U8;
+        Src_type.U16; Src_type.U32; Src_type.F32; Src_type.F64;
+      ];
+    misaligned_load = true;
+    misaligned_store = true;
+    explicit_realign = false;
+    has_dot_product = true (* pmaddwd *);
+    has_x87 = true (* the scalar-FP trap Mono falls into *);
+    lib_ops = [];
+    gprs = 7 (* 32-bit x86: 8 GPRs minus the stack pointer *);
+    fprs = 8;
+    vrs = 8 (* xmm0-7 in 32-bit mode *);
+    costs =
+      {
+        Target.base_costs with
+        Target.c_vload_misaligned = 4;
+        c_vstore_misaligned = 5;
+      };
+  }

@@ -1,0 +1,112 @@
+(* SIMD target descriptors: the machine-dependent facts the online compiler
+   consults when materializing split-layer bytecode (Section IV-A). *)
+
+open Vapor_ir
+
+(* Per-instruction cycle costs (latency/throughput blend, calibrated to
+   first-order published numbers for each ISA generation). *)
+type costs = {
+  c_int_op : int;
+  c_int_mul : int;
+  c_int_div : int;
+  c_fp_op : int;
+  c_fp_mul : int;
+  c_fp_div : int;
+  c_fp_sqrt : int;
+  c_load : int; (* scalar memory access *)
+  c_store : int;
+  c_vload_aligned : int;
+  c_vload_misaligned : int;
+  c_vstore_aligned : int;
+  c_vstore_misaligned : int;
+  c_vop : int; (* elementwise add/sub/logic/min/max *)
+  c_vmul : int;
+  c_vdiv : int;
+  c_vperm : int; (* realignment permute / shuffle *)
+  c_lvsr : int; (* realignment token computation *)
+  c_vsplat : int;
+  c_vinsert : int;
+  c_viota : int;
+  c_vreduce : int; (* horizontal reduction *)
+  c_vpack : int;
+  c_vunpack : int;
+  c_vwiden_mult : int;
+  c_vdot : int;
+  c_vcvt : int;
+  c_vextract : int;
+  c_vinterleave : int;
+  c_branch : int;
+  c_move : int;
+  c_lea : int;
+  c_libcall : int; (* overhead of a per-element library helper call *)
+  c_x87_fp_op : int; (* scalar FP through the x87 stack (Mono on x86) *)
+}
+
+(* Vector idioms a backend may have to outsource to library helpers when
+   its code generator does not support them natively (the paper's NEON
+   dissolve/dct situation). *)
+type lib_op =
+  | Lib_pack (* vector narrowing *)
+  | Lib_cvt (* vector int<->fp conversion *)
+  | Lib_widen_mult
+  | Lib_dot_product
+
+type t = {
+  name : string;
+  vs : int; (* vector size in bytes; 0 = no SIMD support *)
+  vector_elems : Src_type.t list; (* element types with vector support *)
+  misaligned_load : bool;
+  misaligned_store : bool;
+  explicit_realign : bool; (* AltiVec-style lvsr + vperm *)
+  has_dot_product : bool;
+  has_x87 : bool; (* scalar FP may go through a x87-style stack *)
+  lib_ops : lib_op list; (* idioms lowered to library helpers *)
+  gprs : int; (* physical integer registers *)
+  fprs : int; (* physical scalar FP registers *)
+  vrs : int; (* physical vector registers *)
+  costs : costs;
+}
+
+let lanes t ty = max 1 (t.vs / Src_type.size_of ty)
+
+let supports_elem t ty = List.mem ty t.vector_elems
+
+let has_simd t = t.vs > 0
+
+let base_costs =
+  {
+    c_int_op = 1;
+    c_int_mul = 3;
+    c_int_div = 20;
+    c_fp_op = 2;
+    c_fp_mul = 3;
+    c_fp_div = 15;
+    c_fp_sqrt = 20;
+    c_load = 2;
+    c_store = 2;
+    c_vload_aligned = 2;
+    c_vload_misaligned = 4;
+    c_vstore_aligned = 2;
+    c_vstore_misaligned = 5;
+    c_vop = 1;
+    c_vmul = 3;
+    c_vdiv = 15;
+    c_vperm = 1;
+    c_lvsr = 1;
+    c_vsplat = 2;
+    c_vinsert = 2;
+    c_viota = 2;
+    c_vreduce = 4;
+    c_vpack = 1;
+    c_vunpack = 1;
+    c_vwiden_mult = 3;
+    c_vdot = 3;
+    c_vcvt = 3;
+    c_vextract = 2;
+    c_vinterleave = 1;
+    c_branch = 1;
+    c_move = 1;
+    c_lea = 1;
+    c_libcall = 12;
+    c_x87_fp_op = 5;
+  }

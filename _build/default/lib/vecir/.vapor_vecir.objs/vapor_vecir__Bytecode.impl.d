@@ -1,0 +1,1 @@
+lib/vecir/bytecode.ml: Expr Hint Kernel List Op Src_type Stmt Value Vapor_ir

@@ -1,0 +1,1 @@
+lib/vecir/bytecode.mli: Expr Hint Kernel Op Src_type Stmt Value Vapor_ir

@@ -1,0 +1,1 @@
+lib/vecir/encode.ml: Bytecode Char Hint Int64 Kernel List Op Printf Src_type Stdlib String Vapor_ir

@@ -1,0 +1,1 @@
+lib/vecir/encode.mli: Bytecode

@@ -1,0 +1,1 @@
+lib/vecir/hint.mli:

@@ -1,0 +1,1 @@
+lib/vecir/vec_print.ml: Bytecode Format Hint List Op Printf Src_type String Vapor_ir

@@ -1,0 +1,1 @@
+lib/vecir/vec_print.mli: Bytecode Format

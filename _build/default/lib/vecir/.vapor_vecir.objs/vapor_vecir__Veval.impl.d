@@ -1,0 +1,1 @@
+lib/vecir/veval.ml: Array Buffer_ Bytecode Eval Format Hashtbl Hint Kernel List Op Src_type Value Vapor_ir

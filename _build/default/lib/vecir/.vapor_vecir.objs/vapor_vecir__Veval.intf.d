@@ -1,0 +1,1 @@
+lib/vecir/veval.mli: Bytecode Eval Hashtbl Value Vapor_ir

@@ -1,0 +1,208 @@
+(* The split layer: vectorized bytecode exchanged between the offline
+   vectorizer and the online (JIT) compilers.
+
+   Vector sizes are parametric: a vector value holds [m = VS / sizeof T]
+   elements of its type [T], where VS is unknown until JIT time.  Machine
+   dependence is confined to the idioms of Table 1: [S_get_vf],
+   [S_align_limit], [S_loop_bound], the alignment [Hint.t]s on memory
+   accesses, and [VS_version] guards. *)
+
+open Vapor_ir
+
+type half =
+  | Lo
+  | Hi
+
+(* Scalar expressions (the bytecode keeps full scalar code for peel and
+   epilogue loops and for address arithmetic). *)
+type sexpr =
+  | S_int of Src_type.t * int
+  | S_float of Src_type.t * float
+  | S_var of string
+  | S_load of string * sexpr
+  | S_binop of Op.binop * sexpr * sexpr
+  | S_unop of Op.unop * sexpr
+  | S_convert of Src_type.t * sexpr
+  | S_select of sexpr * sexpr * sexpr
+  | S_get_vf of Src_type.t (* idiom: elements of T per vector register *)
+  | S_align_limit of Src_type.t (* idiom: alignment requirement, in elements *)
+  | S_loop_bound of sexpr * sexpr (* idiom: (vect_bound, scalar_bound) *)
+  | S_reduc of Op.binop * Src_type.t * vexpr (* idiom: reduc_plus/max/min *)
+
+(* Vector-producing expressions: each evaluates to one vector register. *)
+and vexpr =
+  | V_var of string
+  | V_binop of Op.binop * Src_type.t * vexpr * vexpr
+  | V_unop of Op.unop * Src_type.t * vexpr
+  | V_shift of Op.binop * Src_type.t * vexpr * sexpr (* Shl/Shr, uniform amt *)
+  | V_init_uniform of Src_type.t * sexpr
+  | V_init_affine of Src_type.t * sexpr * sexpr (* start value, increment *)
+  | V_init_reduc of Op.binop * Src_type.t * sexpr (* (val, identity...) *)
+  | V_aload of Src_type.t * string * sexpr (* guaranteed-aligned load *)
+  | V_load of Src_type.t * string * sexpr * Hint.t (* general (mis)aligned load *)
+  | V_align_load of Src_type.t * string * sexpr (* load from floor-aligned idx *)
+  | V_get_rt of Src_type.t * string * sexpr * Hint.t (* realignment token *)
+  | V_realign of realign
+  | V_widen_mult of half * Src_type.t * vexpr * vexpr (* ty = narrow source *)
+  | V_dot_product of Src_type.t * vexpr * vexpr * vexpr (* ty = source; acc *)
+  | V_unpack of half * Src_type.t * vexpr (* ty = narrow source *)
+  | V_pack of Src_type.t * vexpr * vexpr (* ty = wide source *)
+  | V_cvt of Src_type.t * Src_type.t * vexpr (* int<->fp, same size *)
+  | V_extract of extract
+  | V_interleave of half * Src_type.t * vexpr * vexpr
+  | V_cmp of Op.binop * Src_type.t * vexpr * vexpr
+      (* elementwise comparison at the operand type; produces a 0/1 mask *)
+  | V_select of Src_type.t * vexpr * vexpr * vexpr
+      (* per-lane select: mask ? a : b, at the value type *)
+
+and realign = {
+  r_ty : Src_type.t;
+  r_v1 : vexpr;
+  r_v2 : vexpr;
+  r_rt : vexpr;
+  r_arr : string;
+  r_idx : sexpr;
+  r_hint : Hint.t;
+}
+
+and extract = {
+  e_ty : Src_type.t;
+  e_stride : int;
+  e_offset : int;
+  e_parts : vexpr list; (* e_stride consecutive vectors *)
+}
+
+type guard =
+  (* version_guard: all listed arrays have 32-byte aligned bases. *)
+  | G_arrays_aligned of string list
+  (* version_guard: the listed array pairs do not overlap at run time (the
+     paper's runtime aliasing checks). *)
+  | G_arrays_disjoint of (string * string) list
+
+type loop_kind =
+  | L_scalar
+  | L_vector
+
+type vstmt =
+  | VS_assign of string * sexpr
+  | VS_store of string * sexpr * sexpr (* scalar store *)
+  | VS_vassign of string * vexpr
+  | VS_vstore of vstore
+  | VS_for of vloop
+  | VS_if of sexpr * vstmt list * vstmt list
+  | VS_version of version
+
+and vstore = {
+  st_arr : string;
+  st_idx : sexpr;
+  st_ty : Src_type.t;
+  st_value : vexpr;
+  st_hint : Hint.t;
+}
+
+and vloop = {
+  index : string;
+  lo : sexpr;
+  hi : sexpr;
+  step : sexpr;
+  kind : loop_kind;
+  group : int; (* SLP re-roll granularity (1 for ordinary loops) *)
+  body : vstmt list;
+}
+
+and version = {
+  guard : guard;
+  vec : vstmt list; (* version with valid hints *)
+  fallback : vstmt list; (* hints nulled (mod = 0) *)
+}
+
+type vkernel = {
+  name : string;
+  params : Kernel.param list;
+  locals : (string * Src_type.t) list; (* scalar variables *)
+  vlocals : (string * Src_type.t) list; (* vector variables (element type) *)
+  body : vstmt list;
+}
+
+(* Identity element of a reduction operator at type [ty]. *)
+let reduction_identity (op : Op.binop) (ty : Src_type.t) : Value.t =
+  match op with
+  | Op.Add -> Value.zero ty
+  | Op.Min ->
+    if Src_type.is_float ty then Value.Float infinity
+    else
+      let bits = Src_type.size_of ty * 8 in
+      if bits >= 63 then Value.Int max_int
+      else if Src_type.is_signed ty then Value.Int ((1 lsl (bits - 1)) - 1)
+      else Value.Int ((1 lsl bits) - 1)
+  | Op.Max ->
+    if Src_type.is_float ty then Value.Float neg_infinity
+    else
+      let bits = Src_type.size_of ty * 8 in
+      if bits >= 63 then Value.Int min_int
+      else if Src_type.is_signed ty then Value.Int (-(1 lsl (bits - 1)))
+      else Value.Int 0
+  | Op.Sub | Op.Mul | Op.Div | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr
+  | Op.Eq | Op.Ne | Op.Lt | Op.Le | Op.Gt | Op.Ge ->
+    invalid_arg "reduction_identity: not a reduction operator"
+
+(* Mechanical embedding of scalar IR expressions into bytecode scalar
+   expressions (used for peel/epilogue clones and subscripts). *)
+let rec sexpr_of_ir (e : Expr.t) : sexpr =
+  match e with
+  | Expr.Int_lit (ty, v) -> S_int (ty, v)
+  | Expr.Float_lit (ty, v) -> S_float (ty, v)
+  | Expr.Var v -> S_var v
+  | Expr.Load (arr, idx) -> S_load (arr, sexpr_of_ir idx)
+  | Expr.Binop (op, a, b) -> S_binop (op, sexpr_of_ir a, sexpr_of_ir b)
+  | Expr.Unop (op, a) -> S_unop (op, sexpr_of_ir a)
+  | Expr.Convert (ty, a) -> S_convert (ty, sexpr_of_ir a)
+  | Expr.Select (c, a, b) ->
+    S_select (sexpr_of_ir c, sexpr_of_ir a, sexpr_of_ir b)
+
+(* Scalar IR statements to bytecode statements (peel/epilogue clones). *)
+let rec vstmt_of_ir (s : Stmt.t) : vstmt =
+  match s with
+  | Stmt.Assign (v, e) -> VS_assign (v, sexpr_of_ir e)
+  | Stmt.Store (arr, idx, v) -> VS_store (arr, sexpr_of_ir idx, sexpr_of_ir v)
+  | Stmt.For { index; lo; hi; body } ->
+    VS_for
+      {
+        index;
+        lo = sexpr_of_ir lo;
+        hi = sexpr_of_ir hi;
+        step = S_int (Src_type.I32, 1);
+        kind = L_scalar;
+        group = 1;
+        body = List.map vstmt_of_ir body;
+      }
+  | Stmt.If (c, t, e) ->
+    VS_if (sexpr_of_ir c, List.map vstmt_of_ir t, List.map vstmt_of_ir e)
+
+(* Trivial all-scalar bytecode for a kernel: what the offline compiler
+   emits when it does not vectorize at all (also the baseline for the
+   bytecode-size experiment). *)
+let scalar_of_kernel (k : Kernel.t) : vkernel =
+  {
+    name = k.Kernel.name;
+    params = k.Kernel.params;
+    locals =
+      k.Kernel.locals
+      @ List.map (fun i -> i, Src_type.I32) (Kernel.loop_indices k.Kernel.body);
+    vlocals = [];
+    body = List.map vstmt_of_ir k.Kernel.body;
+  }
+
+(* Fold over every statement in a kernel body, entering loops, ifs and both
+   version branches. *)
+let rec fold_stmts f acc stmts =
+  List.fold_left
+    (fun acc s ->
+      let acc = f acc s in
+      match s with
+      | VS_for { body; _ } -> fold_stmts f acc body
+      | VS_if (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+      | VS_version { vec; fallback; _ } ->
+        fold_stmts f (fold_stmts f acc vec) fallback
+      | VS_assign _ | VS_store _ | VS_vassign _ | VS_vstore _ -> acc)
+    acc stmts

@@ -1,0 +1,150 @@
+(** The split layer: vectorized bytecode exchanged between the offline
+    vectorizer and the online (JIT) compilers.
+
+    Vector sizes are parametric: a vector value holds [m = VS / sizeof T]
+    elements of its type [T], where VS is unknown until JIT time.  Machine
+    dependence is confined to the idioms of the paper's Table 1:
+    [S_get_vf], [S_align_limit], [S_loop_bound], the alignment [Hint.t]s on
+    memory accesses, and [VS_version] guards. *)
+
+open Vapor_ir
+
+type half =
+  | Lo
+  | Hi
+
+(** Scalar expressions: the bytecode keeps full scalar code for peel and
+    epilogue loops and for address arithmetic. *)
+type sexpr =
+  | S_int of Src_type.t * int
+  | S_float of Src_type.t * float
+  | S_var of string
+  | S_load of string * sexpr
+  | S_binop of Op.binop * sexpr * sexpr
+  | S_unop of Op.unop * sexpr
+  | S_convert of Src_type.t * sexpr
+  | S_select of sexpr * sexpr * sexpr
+  | S_get_vf of Src_type.t  (** elements of T per vector register *)
+  | S_align_limit of Src_type.t  (** alignment requirement, in elements *)
+  | S_loop_bound of sexpr * sexpr  (** (vect_bound, scalar_bound) *)
+  | S_reduc of Op.binop * Src_type.t * vexpr  (** reduc_plus/max/min *)
+
+(** Vector-producing expressions: each evaluates to one vector register. *)
+and vexpr =
+  | V_var of string
+  | V_binop of Op.binop * Src_type.t * vexpr * vexpr
+  | V_unop of Op.unop * Src_type.t * vexpr
+  | V_shift of Op.binop * Src_type.t * vexpr * sexpr
+      (** Shl/Shr by a uniform amount *)
+  | V_init_uniform of Src_type.t * sexpr
+  | V_init_affine of Src_type.t * sexpr * sexpr  (** start, increment *)
+  | V_init_reduc of Op.binop * Src_type.t * sexpr
+      (** lane 0 = value, others = the operator's identity *)
+  | V_aload of Src_type.t * string * sexpr  (** guaranteed-aligned load *)
+  | V_load of Src_type.t * string * sexpr * Hint.t
+      (** general (mis)aligned load *)
+  | V_align_load of Src_type.t * string * sexpr
+      (** load from the floor-aligned address *)
+  | V_get_rt of Src_type.t * string * sexpr * Hint.t
+      (** realignment token (lvsr-style) *)
+  | V_realign of realign
+  | V_widen_mult of half * Src_type.t * vexpr * vexpr
+      (** ty = the narrow source type *)
+  | V_dot_product of Src_type.t * vexpr * vexpr * vexpr
+      (** pairwise widening multiply-accumulate (pmaddwd-style) *)
+  | V_unpack of half * Src_type.t * vexpr  (** ty = the narrow source *)
+  | V_pack of Src_type.t * vexpr * vexpr  (** ty = the wide source *)
+  | V_cvt of Src_type.t * Src_type.t * vexpr  (** same-size conversion *)
+  | V_extract of extract
+  | V_interleave of half * Src_type.t * vexpr * vexpr
+  | V_cmp of Op.binop * Src_type.t * vexpr * vexpr
+      (** elementwise comparison at the operand type; 0/1 mask *)
+  | V_select of Src_type.t * vexpr * vexpr * vexpr
+      (** per-lane [mask ? a : b] at the value type *)
+
+and realign = {
+  r_ty : Src_type.t;
+  r_v1 : vexpr;
+  r_v2 : vexpr;
+  r_rt : vexpr;
+  r_arr : string;
+  r_idx : sexpr;
+  r_hint : Hint.t;
+}
+
+and extract = {
+  e_ty : Src_type.t;
+  e_stride : int;
+  e_offset : int;
+  e_parts : vexpr list;  (** [e_stride] consecutive vectors *)
+}
+
+type guard =
+  | G_arrays_aligned of string list
+      (** all listed arrays have 32-byte aligned bases *)
+  | G_arrays_disjoint of (string * string) list
+      (** the listed array pairs do not overlap at run time *)
+
+type loop_kind =
+  | L_scalar
+  | L_vector
+
+type vstmt =
+  | VS_assign of string * sexpr
+  | VS_store of string * sexpr * sexpr  (** scalar store *)
+  | VS_vassign of string * vexpr
+  | VS_vstore of vstore
+  | VS_for of vloop
+  | VS_if of sexpr * vstmt list * vstmt list
+  | VS_version of version
+
+and vstore = {
+  st_arr : string;
+  st_idx : sexpr;
+  st_ty : Src_type.t;
+  st_value : vexpr;
+  st_hint : Hint.t;
+}
+
+and vloop = {
+  index : string;
+  lo : sexpr;
+  hi : sexpr;
+  step : sexpr;
+  kind : loop_kind;
+  group : int;  (** SLP re-roll granularity (1 for ordinary loops) *)
+  body : vstmt list;
+}
+
+and version = {
+  guard : guard;
+  vec : vstmt list;  (** version with valid hints *)
+  fallback : vstmt list;  (** hints nulled (mod = 0), or scalar code *)
+}
+
+type vkernel = {
+  name : string;
+  params : Kernel.param list;
+  locals : (string * Src_type.t) list;  (** scalar variables *)
+  vlocals : (string * Src_type.t) list;  (** vector variables (element type) *)
+  body : vstmt list;
+}
+
+(** Identity element of a reduction operator at a type (0 for Add, the
+    type's extremes for Min/Max).
+    @raise Invalid_argument for non-reduction operators. *)
+val reduction_identity : Op.binop -> Src_type.t -> Value.t
+
+(** Mechanical embedding of scalar IR expressions (used for peel/epilogue
+    clones and subscripts). *)
+val sexpr_of_ir : Expr.t -> sexpr
+
+val vstmt_of_ir : Stmt.t -> vstmt
+
+(** Trivial all-scalar bytecode for a kernel: what the offline compiler
+    emits when it does not vectorize (the baseline for size ratios). *)
+val scalar_of_kernel : Kernel.t -> vkernel
+
+(** Fold over every statement, entering loops, ifs and both version
+    branches. *)
+val fold_stmts : ('a -> vstmt -> 'a) -> 'a -> vstmt list -> 'a

@@ -1,0 +1,659 @@
+(* Binary encoding of bytecode kernels — the wire format of the split layer.
+
+   The paper embeds the vector idioms in CLI; we use a compact tagged
+   format (zig-zag varints, length-prefixed strings) so that the bytecode
+   compaction results (Section V-A.c) are measurable.  [decode (encode vk)]
+   is the identity, property-tested in the suite. *)
+
+open Vapor_ir
+open Bytecode
+
+exception Decode_error of string
+
+(* --- primitive writers --- *)
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let put_varint b v =
+  let v = ref (zigzag v) in
+  let continue_ = ref true in
+  while !continue_ do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Stdlib.Buffer.add_char b (Char.chr byte);
+      continue_ := false
+    end
+    else Stdlib.Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let put_string b s =
+  put_varint b (String.length s);
+  Stdlib.Buffer.add_string b s
+
+let put_float b f = Stdlib.Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let ty_tag = function
+  | Src_type.I8 -> 0
+  | Src_type.I16 -> 1
+  | Src_type.I32 -> 2
+  | Src_type.I64 -> 3
+  | Src_type.U8 -> 4
+  | Src_type.U16 -> 5
+  | Src_type.U32 -> 6
+  | Src_type.F32 -> 7
+  | Src_type.F64 -> 8
+
+let ty_of_tag = function
+  | 0 -> Src_type.I8
+  | 1 -> Src_type.I16
+  | 2 -> Src_type.I32
+  | 3 -> Src_type.I64
+  | 4 -> Src_type.U8
+  | 5 -> Src_type.U16
+  | 6 -> Src_type.U32
+  | 7 -> Src_type.F32
+  | 8 -> Src_type.F64
+  | n -> raise (Decode_error (Printf.sprintf "bad type tag %d" n))
+
+let binop_tag (op : Op.binop) =
+  match op with
+  | Op.Add -> 0
+  | Op.Sub -> 1
+  | Op.Mul -> 2
+  | Op.Div -> 3
+  | Op.Min -> 4
+  | Op.Max -> 5
+  | Op.And -> 6
+  | Op.Or -> 7
+  | Op.Xor -> 8
+  | Op.Shl -> 9
+  | Op.Shr -> 10
+  | Op.Eq -> 11
+  | Op.Ne -> 12
+  | Op.Lt -> 13
+  | Op.Le -> 14
+  | Op.Gt -> 15
+  | Op.Ge -> 16
+
+let binop_of_tag = function
+  | 0 -> Op.Add
+  | 1 -> Op.Sub
+  | 2 -> Op.Mul
+  | 3 -> Op.Div
+  | 4 -> Op.Min
+  | 5 -> Op.Max
+  | 6 -> Op.And
+  | 7 -> Op.Or
+  | 8 -> Op.Xor
+  | 9 -> Op.Shl
+  | 10 -> Op.Shr
+  | 11 -> Op.Eq
+  | 12 -> Op.Ne
+  | 13 -> Op.Lt
+  | 14 -> Op.Le
+  | 15 -> Op.Gt
+  | 16 -> Op.Ge
+  | n -> raise (Decode_error (Printf.sprintf "bad binop tag %d" n))
+
+let unop_tag = function
+  | Op.Neg -> 0
+  | Op.Abs -> 1
+  | Op.Not -> 2
+  | Op.Sqrt -> 3
+
+let unop_of_tag = function
+  | 0 -> Op.Neg
+  | 1 -> Op.Abs
+  | 2 -> Op.Not
+  | 3 -> Op.Sqrt
+  | n -> raise (Decode_error (Printf.sprintf "bad unop tag %d" n))
+
+let half_tag = function
+  | Lo -> 0
+  | Hi -> 1
+
+let half_of_tag = function
+  | 0 -> Lo
+  | 1 -> Hi
+  | n -> raise (Decode_error (Printf.sprintf "bad half tag %d" n))
+
+let put_hint b (h : Hint.t) =
+  match h with
+  | Hint.Unknown -> put_varint b 0
+  | Hint.Static mis ->
+    put_varint b 1;
+    put_varint b mis
+  | Hint.Peeled mis ->
+    put_varint b 2;
+    put_varint b mis
+
+(* --- expression / statement writers --- *)
+
+let rec put_sexpr b (e : sexpr) =
+  let tag t = put_varint b t in
+  match e with
+  | S_int (ty, v) ->
+    tag 0;
+    put_varint b (ty_tag ty);
+    put_varint b v
+  | S_float (ty, v) ->
+    tag 1;
+    put_varint b (ty_tag ty);
+    put_float b v
+  | S_var v ->
+    tag 2;
+    put_string b v
+  | S_load (arr, i) ->
+    tag 3;
+    put_string b arr;
+    put_sexpr b i
+  | S_binop (op, x, y) ->
+    tag 4;
+    put_varint b (binop_tag op);
+    put_sexpr b x;
+    put_sexpr b y
+  | S_unop (op, x) ->
+    tag 5;
+    put_varint b (unop_tag op);
+    put_sexpr b x
+  | S_convert (ty, x) ->
+    tag 6;
+    put_varint b (ty_tag ty);
+    put_sexpr b x
+  | S_select (c, x, y) ->
+    tag 7;
+    put_sexpr b c;
+    put_sexpr b x;
+    put_sexpr b y
+  | S_get_vf ty ->
+    tag 8;
+    put_varint b (ty_tag ty)
+  | S_align_limit ty ->
+    tag 9;
+    put_varint b (ty_tag ty)
+  | S_loop_bound (v, s) ->
+    tag 10;
+    put_sexpr b v;
+    put_sexpr b s
+  | S_reduc (op, ty, v) ->
+    tag 11;
+    put_varint b (binop_tag op);
+    put_varint b (ty_tag ty);
+    put_vexpr b v
+
+and put_vexpr b (e : vexpr) =
+  let tag t = put_varint b t in
+  match e with
+  | V_var v ->
+    tag 0;
+    put_string b v
+  | V_binop (op, ty, x, y) ->
+    tag 1;
+    put_varint b (binop_tag op);
+    put_varint b (ty_tag ty);
+    put_vexpr b x;
+    put_vexpr b y
+  | V_unop (op, ty, x) ->
+    tag 2;
+    put_varint b (unop_tag op);
+    put_varint b (ty_tag ty);
+    put_vexpr b x
+  | V_shift (op, ty, x, amt) ->
+    tag 3;
+    put_varint b (binop_tag op);
+    put_varint b (ty_tag ty);
+    put_vexpr b x;
+    put_sexpr b amt
+  | V_init_uniform (ty, v) ->
+    tag 4;
+    put_varint b (ty_tag ty);
+    put_sexpr b v
+  | V_init_affine (ty, v, i) ->
+    tag 5;
+    put_varint b (ty_tag ty);
+    put_sexpr b v;
+    put_sexpr b i
+  | V_init_reduc (op, ty, v) ->
+    tag 6;
+    put_varint b (binop_tag op);
+    put_varint b (ty_tag ty);
+    put_sexpr b v
+  | V_aload (ty, arr, i) ->
+    tag 7;
+    put_varint b (ty_tag ty);
+    put_string b arr;
+    put_sexpr b i
+  | V_load (ty, arr, i, h) ->
+    tag 8;
+    put_varint b (ty_tag ty);
+    put_string b arr;
+    put_sexpr b i;
+    put_hint b h
+  | V_align_load (ty, arr, i) ->
+    tag 9;
+    put_varint b (ty_tag ty);
+    put_string b arr;
+    put_sexpr b i
+  | V_get_rt (ty, arr, i, h) ->
+    tag 10;
+    put_varint b (ty_tag ty);
+    put_string b arr;
+    put_sexpr b i;
+    put_hint b h
+  | V_realign { r_ty; r_v1; r_v2; r_rt; r_arr; r_idx; r_hint } ->
+    tag 11;
+    put_varint b (ty_tag r_ty);
+    put_vexpr b r_v1;
+    put_vexpr b r_v2;
+    put_vexpr b r_rt;
+    put_string b r_arr;
+    put_sexpr b r_idx;
+    put_hint b r_hint
+  | V_widen_mult (h, ty, x, y) ->
+    tag 12;
+    put_varint b (half_tag h);
+    put_varint b (ty_tag ty);
+    put_vexpr b x;
+    put_vexpr b y
+  | V_dot_product (ty, x, y, acc) ->
+    tag 13;
+    put_varint b (ty_tag ty);
+    put_vexpr b x;
+    put_vexpr b y;
+    put_vexpr b acc
+  | V_unpack (h, ty, x) ->
+    tag 14;
+    put_varint b (half_tag h);
+    put_varint b (ty_tag ty);
+    put_vexpr b x
+  | V_pack (ty, x, y) ->
+    tag 15;
+    put_varint b (ty_tag ty);
+    put_vexpr b x;
+    put_vexpr b y
+  | V_cvt (f, t, x) ->
+    tag 16;
+    put_varint b (ty_tag f);
+    put_varint b (ty_tag t);
+    put_vexpr b x
+  | V_extract { e_ty; e_stride; e_offset; e_parts } ->
+    tag 17;
+    put_varint b (ty_tag e_ty);
+    put_varint b e_stride;
+    put_varint b e_offset;
+    put_varint b (List.length e_parts);
+    List.iter (put_vexpr b) e_parts
+  | V_interleave (h, ty, x, y) ->
+    tag 18;
+    put_varint b (half_tag h);
+    put_varint b (ty_tag ty);
+    put_vexpr b x;
+    put_vexpr b y
+  | V_cmp (op, ty, x, y) ->
+    tag 19;
+    put_varint b (binop_tag op);
+    put_varint b (ty_tag ty);
+    put_vexpr b x;
+    put_vexpr b y
+  | V_select (ty, m, x, y) ->
+    tag 20;
+    put_varint b (ty_tag ty);
+    put_vexpr b m;
+    put_vexpr b x;
+    put_vexpr b y
+
+let rec put_stmt b (s : vstmt) =
+  let tag t = put_varint b t in
+  match s with
+  | VS_assign (v, e) ->
+    tag 0;
+    put_string b v;
+    put_sexpr b e
+  | VS_store (arr, i, v) ->
+    tag 1;
+    put_string b arr;
+    put_sexpr b i;
+    put_sexpr b v
+  | VS_vassign (v, e) ->
+    tag 2;
+    put_string b v;
+    put_vexpr b e
+  | VS_vstore { st_arr; st_idx; st_ty; st_value; st_hint } ->
+    tag 3;
+    put_string b st_arr;
+    put_sexpr b st_idx;
+    put_varint b (ty_tag st_ty);
+    put_vexpr b st_value;
+    put_hint b st_hint
+  | VS_for { index; lo; hi; step; kind; group; body } ->
+    tag 4;
+    put_string b index;
+    put_sexpr b lo;
+    put_sexpr b hi;
+    put_sexpr b step;
+    put_varint b (match kind with L_scalar -> 0 | L_vector -> 1);
+    put_varint b group;
+    put_stmts b body
+  | VS_if (c, t, e) ->
+    tag 5;
+    put_sexpr b c;
+    put_stmts b t;
+    put_stmts b e
+  | VS_version { guard; vec; fallback } ->
+    tag 6;
+    (match guard with
+    | G_arrays_aligned arrs ->
+      put_varint b 0;
+      put_varint b (List.length arrs);
+      List.iter (put_string b) arrs
+    | G_arrays_disjoint pairs ->
+      put_varint b 1;
+      put_varint b (List.length pairs);
+      List.iter
+        (fun (x, y) ->
+          put_string b x;
+          put_string b y)
+        pairs);
+    put_stmts b vec;
+    put_stmts b fallback
+
+and put_stmts b stmts =
+  put_varint b (List.length stmts);
+  List.iter (put_stmt b) stmts
+
+let encode (vk : vkernel) : string =
+  let b = Stdlib.Buffer.create 1024 in
+  put_string b vk.name;
+  put_varint b (List.length vk.params);
+  List.iter
+    (fun p ->
+      match p with
+      | Kernel.P_scalar (n, ty) ->
+        put_varint b 0;
+        put_string b n;
+        put_varint b (ty_tag ty)
+      | Kernel.P_array (n, ty) ->
+        put_varint b 1;
+        put_string b n;
+        put_varint b (ty_tag ty))
+    vk.params;
+  let put_decls decls =
+    put_varint b (List.length decls);
+    List.iter
+      (fun (n, ty) ->
+        put_string b n;
+        put_varint b (ty_tag ty))
+      decls
+  in
+  put_decls vk.locals;
+  put_decls vk.vlocals;
+  put_stmts b vk.body;
+  Stdlib.Buffer.contents b
+
+(* --- reader --- *)
+
+type reader = {
+  data : string;
+  mutable pos : int;
+}
+
+let byte r =
+  if r.pos >= String.length r.data then raise (Decode_error "truncated input");
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_varint r =
+  let rec go shift acc =
+    let c = byte r in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  unzigzag (go 0 0)
+
+let get_string r =
+  let n = get_varint r in
+  if n < 0 || r.pos + n > String.length r.data then
+    raise (Decode_error "bad string length");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_float r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let get_ty r = ty_of_tag (get_varint r)
+
+let get_hint r : Hint.t =
+  match get_varint r with
+  | 0 -> Hint.Unknown
+  | 1 -> Hint.Static (get_varint r)
+  | 2 -> Hint.Peeled (get_varint r)
+  | n -> raise (Decode_error (Printf.sprintf "bad hint tag %d" n))
+
+let rec get_sexpr r : sexpr =
+  match get_varint r with
+  | 0 ->
+    let ty = get_ty r in
+    S_int (ty, get_varint r)
+  | 1 ->
+    let ty = get_ty r in
+    S_float (ty, get_float r)
+  | 2 -> S_var (get_string r)
+  | 3 ->
+    let arr = get_string r in
+    S_load (arr, get_sexpr r)
+  | 4 ->
+    let op = binop_of_tag (get_varint r) in
+    let x = get_sexpr r in
+    S_binop (op, x, get_sexpr r)
+  | 5 ->
+    let op = unop_of_tag (get_varint r) in
+    S_unop (op, get_sexpr r)
+  | 6 ->
+    let ty = get_ty r in
+    S_convert (ty, get_sexpr r)
+  | 7 ->
+    let c = get_sexpr r in
+    let x = get_sexpr r in
+    S_select (c, x, get_sexpr r)
+  | 8 -> S_get_vf (get_ty r)
+  | 9 -> S_align_limit (get_ty r)
+  | 10 ->
+    let v = get_sexpr r in
+    S_loop_bound (v, get_sexpr r)
+  | 11 ->
+    let op = binop_of_tag (get_varint r) in
+    let ty = get_ty r in
+    S_reduc (op, ty, get_vexpr r)
+  | n -> raise (Decode_error (Printf.sprintf "bad sexpr tag %d" n))
+
+and get_vexpr r : vexpr =
+  match get_varint r with
+  | 0 -> V_var (get_string r)
+  | 1 ->
+    let op = binop_of_tag (get_varint r) in
+    let ty = get_ty r in
+    let x = get_vexpr r in
+    V_binop (op, ty, x, get_vexpr r)
+  | 2 ->
+    let op = unop_of_tag (get_varint r) in
+    let ty = get_ty r in
+    V_unop (op, ty, get_vexpr r)
+  | 3 ->
+    let op = binop_of_tag (get_varint r) in
+    let ty = get_ty r in
+    let x = get_vexpr r in
+    V_shift (op, ty, x, get_sexpr r)
+  | 4 ->
+    let ty = get_ty r in
+    V_init_uniform (ty, get_sexpr r)
+  | 5 ->
+    let ty = get_ty r in
+    let v = get_sexpr r in
+    V_init_affine (ty, v, get_sexpr r)
+  | 6 ->
+    let op = binop_of_tag (get_varint r) in
+    let ty = get_ty r in
+    V_init_reduc (op, ty, get_sexpr r)
+  | 7 ->
+    let ty = get_ty r in
+    let arr = get_string r in
+    V_aload (ty, arr, get_sexpr r)
+  | 8 ->
+    let ty = get_ty r in
+    let arr = get_string r in
+    let i = get_sexpr r in
+    V_load (ty, arr, i, get_hint r)
+  | 9 ->
+    let ty = get_ty r in
+    let arr = get_string r in
+    V_align_load (ty, arr, get_sexpr r)
+  | 10 ->
+    let ty = get_ty r in
+    let arr = get_string r in
+    let i = get_sexpr r in
+    V_get_rt (ty, arr, i, get_hint r)
+  | 11 ->
+    let r_ty = get_ty r in
+    let r_v1 = get_vexpr r in
+    let r_v2 = get_vexpr r in
+    let r_rt = get_vexpr r in
+    let r_arr = get_string r in
+    let r_idx = get_sexpr r in
+    V_realign { r_ty; r_v1; r_v2; r_rt; r_arr; r_idx; r_hint = get_hint r }
+  | 12 ->
+    let h = half_of_tag (get_varint r) in
+    let ty = get_ty r in
+    let x = get_vexpr r in
+    V_widen_mult (h, ty, x, get_vexpr r)
+  | 13 ->
+    let ty = get_ty r in
+    let x = get_vexpr r in
+    let y = get_vexpr r in
+    V_dot_product (ty, x, y, get_vexpr r)
+  | 14 ->
+    let h = half_of_tag (get_varint r) in
+    let ty = get_ty r in
+    V_unpack (h, ty, get_vexpr r)
+  | 15 ->
+    let ty = get_ty r in
+    let x = get_vexpr r in
+    V_pack (ty, x, get_vexpr r)
+  | 16 ->
+    let f = get_ty r in
+    let t = get_ty r in
+    V_cvt (f, t, get_vexpr r)
+  | 17 ->
+    let e_ty = get_ty r in
+    let e_stride = get_varint r in
+    let e_offset = get_varint r in
+    let n = get_varint r in
+    let e_parts = List.init n (fun _ -> get_vexpr r) in
+    V_extract { e_ty; e_stride; e_offset; e_parts }
+  | 18 ->
+    let h = half_of_tag (get_varint r) in
+    let ty = get_ty r in
+    let x = get_vexpr r in
+    V_interleave (h, ty, x, get_vexpr r)
+  | 19 ->
+    let op = binop_of_tag (get_varint r) in
+    let ty = get_ty r in
+    let x = get_vexpr r in
+    V_cmp (op, ty, x, get_vexpr r)
+  | 20 ->
+    let ty = get_ty r in
+    let m = get_vexpr r in
+    let x = get_vexpr r in
+    V_select (ty, m, x, get_vexpr r)
+  | n -> raise (Decode_error (Printf.sprintf "bad vexpr tag %d" n))
+
+let rec get_stmt r : vstmt =
+  match get_varint r with
+  | 0 ->
+    let v = get_string r in
+    VS_assign (v, get_sexpr r)
+  | 1 ->
+    let arr = get_string r in
+    let i = get_sexpr r in
+    VS_store (arr, i, get_sexpr r)
+  | 2 ->
+    let v = get_string r in
+    VS_vassign (v, get_vexpr r)
+  | 3 ->
+    let st_arr = get_string r in
+    let st_idx = get_sexpr r in
+    let st_ty = get_ty r in
+    let st_value = get_vexpr r in
+    VS_vstore { st_arr; st_idx; st_ty; st_value; st_hint = get_hint r }
+  | 4 ->
+    let index = get_string r in
+    let lo = get_sexpr r in
+    let hi = get_sexpr r in
+    let step = get_sexpr r in
+    let kind =
+      match get_varint r with
+      | 0 -> L_scalar
+      | 1 -> L_vector
+      | n -> raise (Decode_error (Printf.sprintf "bad loop kind %d" n))
+    in
+    let group = get_varint r in
+    VS_for { index; lo; hi; step; kind; group; body = get_stmts r }
+  | 5 ->
+    let c = get_sexpr r in
+    let t = get_stmts r in
+    VS_if (c, t, get_stmts r)
+  | 6 ->
+    let guard =
+      match get_varint r with
+      | 0 ->
+        let n = get_varint r in
+        G_arrays_aligned (List.init n (fun _ -> get_string r))
+      | 1 ->
+        let n = get_varint r in
+        G_arrays_disjoint
+          (List.init n (fun _ ->
+               let x = get_string r in
+               x, get_string r))
+      | n -> raise (Decode_error (Printf.sprintf "bad guard tag %d" n))
+    in
+    let vec = get_stmts r in
+    VS_version { guard; vec; fallback = get_stmts r }
+  | n -> raise (Decode_error (Printf.sprintf "bad stmt tag %d" n))
+
+and get_stmts r = List.init (get_varint r) (fun _ -> get_stmt r)
+
+let decode (s : string) : vkernel =
+  let r = { data = s; pos = 0 } in
+  let name = get_string r in
+  let nparams = get_varint r in
+  let params =
+    List.init nparams (fun _ ->
+        match get_varint r with
+        | 0 ->
+          let n = get_string r in
+          Kernel.P_scalar (n, get_ty r)
+        | 1 ->
+          let n = get_string r in
+          Kernel.P_array (n, get_ty r)
+        | n -> raise (Decode_error (Printf.sprintf "bad param tag %d" n)))
+  in
+  let get_decls () =
+    List.init (get_varint r) (fun _ ->
+        let n = get_string r in
+        n, get_ty r)
+  in
+  let locals = get_decls () in
+  let vlocals = get_decls () in
+  let body = get_stmts r in
+  if r.pos <> String.length s then raise (Decode_error "trailing bytes");
+  { name; params; locals; vlocals; body }
+
+(* Encoded size in bytes, the paper's bytecode-compaction metric. *)
+let size vk = String.length (encode vk)

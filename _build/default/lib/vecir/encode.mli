@@ -1,0 +1,13 @@
+(** Binary wire format of the split layer (the paper embeds its idioms in
+    CLI; we use a compact tagged encoding so bytecode-compaction results
+    are measurable).  [decode (encode vk) = vk] is property-tested. *)
+
+exception Decode_error of string
+
+val encode : Bytecode.vkernel -> string
+
+(** @raise Decode_error on malformed input. *)
+val decode : string -> Bytecode.vkernel
+
+(** Encoded size in bytes: the paper's bytecode size metric. *)
+val size : Bytecode.vkernel -> int

@@ -1,0 +1,31 @@
+(* Alignment hints carried by vector memory accesses in the split layer
+   (the [mis]/[mod] arguments of the paper's realignment idioms).
+
+   Misalignment is expressed in bytes modulo 32 (the largest SIMD width;
+   Section III-B.c) and is relative to array bases, which the guarded
+   version of a loop may assume to be 32-byte aligned. *)
+
+type t =
+  | Unknown
+      (* mod = 0: no information; the JIT must emit a misaligned access *)
+  | Static of int
+      (* misalignment known statically, given 32B-aligned array bases *)
+  | Peeled of int
+      (* misalignment relative to an access aligned by the loop's runtime
+         peel prologue (0 for the peel driver itself) *)
+
+(* The byte misalignment promised by the hint, if any. *)
+let known_mis = function
+  | Unknown -> None
+  | Static mis | Peeled mis -> Some mis
+
+(* Is the access provably aligned for a vector size of [vs] bytes? *)
+let aligned_for ~vs hint =
+  match known_mis hint with
+  | Some mis -> mis mod vs = 0
+  | None -> false
+
+let to_string = function
+  | Unknown -> "mis=?,mod=0"
+  | Static mis -> Printf.sprintf "mis=%d,mod=32" mis
+  | Peeled mis -> Printf.sprintf "mis=%d,mod=32,peeled" mis

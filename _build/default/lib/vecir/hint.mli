@@ -1,0 +1,18 @@
+(** Alignment hints carried by vector memory accesses in the split layer
+    (the [mis]/[mod] arguments of the paper's realignment idioms).
+    Misalignment is expressed in bytes modulo 32, relative to array bases
+    the guarded loop version may assume 32-byte aligned. *)
+
+type t =
+  | Unknown  (** mod = 0: no information; a misaligned access is required *)
+  | Static of int  (** misalignment known statically under the guard *)
+  | Peeled of int
+      (** misalignment relative to an access aligned by the loop's runtime
+          peel prologue *)
+
+val known_mis : t -> int option
+
+(** Is the access provably aligned for a vector size of [vs] bytes? *)
+val aligned_for : vs:int -> t -> bool
+
+val to_string : t -> string

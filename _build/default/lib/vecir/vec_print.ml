@@ -1,0 +1,178 @@
+(* Textual rendering of vectorized bytecode, in the style of Figure 3a. *)
+
+open Vapor_ir
+open Bytecode
+
+let ty = Src_type.to_string
+
+let half_str = function
+  | Lo -> "lo"
+  | Hi -> "hi"
+
+let rec pp_sexpr fmt (e : sexpr) =
+  match e with
+  | S_int (_, v) -> Format.fprintf fmt "%d" v
+  | S_float (_, v) -> Format.fprintf fmt "%g" v
+  | S_var v -> Format.pp_print_string fmt v
+  | S_load (arr, i) -> Format.fprintf fmt "%s[%a]" arr pp_sexpr i
+  | S_binop ((Op.Min | Op.Max) as op, a, b) ->
+    Format.fprintf fmt "%s(%a, %a)" (Op.binop_to_string op) pp_sexpr a
+      pp_sexpr b
+  | S_binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_sexpr a (Op.binop_to_string op)
+      pp_sexpr b
+  | S_unop (op, a) -> Format.fprintf fmt "%s(%a)" (Op.unop_to_string op) pp_sexpr a
+  | S_convert (t, a) -> Format.fprintf fmt "(%s)%a" (ty t) pp_sexpr a
+  | S_select (c, a, b) ->
+    Format.fprintf fmt "(%a ? %a : %a)" pp_sexpr c pp_sexpr a pp_sexpr b
+  | S_get_vf t -> Format.fprintf fmt "get_VF(%s)" (ty t)
+  | S_align_limit t -> Format.fprintf fmt "get_align_limit(%s)" (ty t)
+  | S_loop_bound (v, s) ->
+    Format.fprintf fmt "loop_bound(%a, %a)" pp_sexpr v pp_sexpr s
+  | S_reduc (op, t, v) ->
+    let name =
+      match op with
+      | Op.Add -> "plus"
+      | Op.Min -> "min"
+      | Op.Max -> "max"
+      | _ -> "?"
+    in
+    Format.fprintf fmt "reduc_%s(%s, %a)" name (ty t) pp_vexpr v
+
+and pp_vexpr fmt (e : vexpr) =
+  match e with
+  | V_var v -> Format.pp_print_string fmt v
+  | V_binop (op, t, a, b) ->
+    let name =
+      match op with
+      | Op.Add -> "vadd"
+      | Op.Sub -> "vsub"
+      | Op.Mul -> "vmul"
+      | Op.Div -> "vdiv"
+      | Op.Min -> "vmin"
+      | Op.Max -> "vmax"
+      | Op.And -> "vand"
+      | Op.Or -> "vor"
+      | Op.Xor -> "vxor"
+      | _ -> "vop_" ^ Op.binop_to_string op
+    in
+    Format.fprintf fmt "%s(%s, %a, %a)" name (ty t) pp_vexpr a pp_vexpr b
+  | V_unop (op, t, a) ->
+    Format.fprintf fmt "v%s(%s, %a)" (Op.unop_to_string op) (ty t) pp_vexpr a
+  | V_shift (op, t, a, amt) ->
+    let name = if op = Op.Shl then "shift_left" else "shift_right" in
+    Format.fprintf fmt "%s(%s, %a, %a)" name (ty t) pp_vexpr a pp_sexpr amt
+  | V_init_uniform (t, v) ->
+    Format.fprintf fmt "init_uniform(%s, %a)" (ty t) pp_sexpr v
+  | V_init_affine (t, v, i) ->
+    Format.fprintf fmt "init_affine(%s, %a, %a)" (ty t) pp_sexpr v pp_sexpr i
+  | V_init_reduc (op, t, v) ->
+    Format.fprintf fmt "init_reduc(%s, %a, id_%s)" (ty t) pp_sexpr v
+      (Op.binop_to_string op)
+  | V_aload (t, arr, i) ->
+    Format.fprintf fmt "aload(%s, &%s[%a])" (ty t) arr pp_sexpr i
+  | V_load (t, arr, i, hint) ->
+    Format.fprintf fmt "vload(%s, &%s[%a], %s)" (ty t) arr pp_sexpr i
+      (Hint.to_string hint)
+  | V_align_load (t, arr, i) ->
+    Format.fprintf fmt "align_load(%s, &%s[%a])" (ty t) arr pp_sexpr i
+  | V_get_rt (t, arr, i, hint) ->
+    Format.fprintf fmt "get_rt(%s, &%s[%a], %s)" (ty t) arr pp_sexpr i
+      (Hint.to_string hint)
+  | V_realign { r_ty; r_v1; r_v2; r_rt; r_arr; r_idx; r_hint } ->
+    Format.fprintf fmt "realign_load(%a, %a, %a, &%s[%a], %s)" pp_vexpr r_v1
+      pp_vexpr r_v2 pp_vexpr r_rt r_arr pp_sexpr r_idx
+      (Hint.to_string r_hint);
+    ignore r_ty
+  | V_widen_mult (h, t, a, b) ->
+    Format.fprintf fmt "widen_mult_%s(%s, %a, %a)" (half_str h) (ty t)
+      pp_vexpr a pp_vexpr b
+  | V_dot_product (t, a, b, acc) ->
+    Format.fprintf fmt "dot_product(%s, %a, %a, %a)" (ty t) pp_vexpr a
+      pp_vexpr b pp_vexpr acc
+  | V_unpack (h, t, a) ->
+    Format.fprintf fmt "unpack_%s(%s, %a)" (half_str h) (ty t) pp_vexpr a
+  | V_pack (t, a, b) ->
+    Format.fprintf fmt "pack(%s, %a, %a)" (ty t) pp_vexpr a pp_vexpr b
+  | V_cvt (f, t, a) ->
+    let name =
+      if Src_type.is_float t then "cvt_int2fp" else "cvt_fp2int"
+    in
+    Format.fprintf fmt "%s(%s->%s, %a)" name (ty f) (ty t) pp_vexpr a
+  | V_extract { e_ty; e_stride; e_offset; e_parts } ->
+    Format.fprintf fmt "extract(%s, s=%d, off=%d" (ty e_ty) e_stride e_offset;
+    List.iter (fun p -> Format.fprintf fmt ", %a" pp_vexpr p) e_parts;
+    Format.fprintf fmt ")"
+  | V_interleave (h, t, a, b) ->
+    Format.fprintf fmt "interleave_%s(%s, %a, %a)" (half_str h) (ty t)
+      pp_vexpr a pp_vexpr b
+  | V_cmp (op, t, a, b) ->
+    Format.fprintf fmt "vcmp%s(%s, %a, %a)" (Op.binop_to_string op) (ty t)
+      pp_vexpr a pp_vexpr b
+  | V_select (t, m, a, b) ->
+    Format.fprintf fmt "vselect(%s, %a, %a, %a)" (ty t) pp_vexpr m pp_vexpr a
+      pp_vexpr b
+
+let pp_guard fmt = function
+  | G_arrays_aligned arrs ->
+    Format.fprintf fmt "version_guard_aligned(%s)" (String.concat ", " arrs)
+  | G_arrays_disjoint pairs ->
+    Format.fprintf fmt "version_guard_no_alias(%s)"
+      (String.concat ", "
+         (List.map (fun (a, b) -> a ^ "|" ^ b) pairs))
+
+let rec pp_stmt indent fmt (s : vstmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | VS_assign (v, e) -> Format.fprintf fmt "%s%s = %a;" pad v pp_sexpr e
+  | VS_store (arr, i, v) ->
+    Format.fprintf fmt "%s%s[%a] = %a;" pad arr pp_sexpr i pp_sexpr v
+  | VS_vassign (v, e) -> Format.fprintf fmt "%s%s = %a;" pad v pp_vexpr e
+  | VS_vstore { st_arr; st_idx; st_ty = _; st_value; st_hint } ->
+    Format.fprintf fmt "%svstore(&%s[%a], %a, %s);" pad st_arr pp_sexpr st_idx
+      pp_vexpr st_value (Hint.to_string st_hint)
+  | VS_for { index; lo; hi; step; kind; group; body } ->
+    let tag =
+      match kind with
+      | L_scalar -> "for"
+      | L_vector -> if group > 1 then Printf.sprintf "vfor<g%d>" group else "vfor"
+    in
+    Format.fprintf fmt "%s%s (%s = %a; %s < %a; %s += %a) {@\n%a@\n%s}" pad tag
+      index pp_sexpr lo index pp_sexpr hi index pp_sexpr step
+      (pp_body (indent + 2))
+      body pad
+  | VS_if (c, t, []) ->
+    Format.fprintf fmt "%sif (%a) {@\n%a@\n%s}" pad pp_sexpr c
+      (pp_body (indent + 2))
+      t pad
+  | VS_if (c, t, e) ->
+    Format.fprintf fmt "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_sexpr
+      c
+      (pp_body (indent + 2))
+      t pad
+      (pp_body (indent + 2))
+      e pad
+  | VS_version { guard; vec; fallback } ->
+    Format.fprintf fmt "%sif (%a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_guard
+      guard
+      (pp_body (indent + 2))
+      vec pad
+      (pp_body (indent + 2))
+      fallback pad
+
+and pp_body indent fmt stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@\n")
+    (pp_stmt indent) fmt stmts
+
+let pp_vkernel fmt (vk : vkernel) =
+  Format.fprintf fmt "vkernel %s {@\n" vk.name;
+  List.iter
+    (fun (v, t) -> Format.fprintf fmt "  %s %s;@\n" (ty t) v)
+    vk.locals;
+  List.iter
+    (fun (v, t) -> Format.fprintf fmt "  vector<%s> %s;@\n" (ty t) v)
+    vk.vlocals;
+  Format.fprintf fmt "%a@\n}@." (pp_body 2) vk.body
+
+let to_string vk = Format.asprintf "%a" pp_vkernel vk

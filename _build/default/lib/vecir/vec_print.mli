@@ -1,0 +1,8 @@
+(** Textual rendering of vectorized bytecode, in the style of the paper's
+    Figure 3a. *)
+
+val pp_sexpr : Format.formatter -> Bytecode.sexpr -> unit
+val pp_vexpr : Format.formatter -> Bytecode.vexpr -> unit
+val pp_stmt : int -> Format.formatter -> Bytecode.vstmt -> unit
+val pp_vkernel : Format.formatter -> Bytecode.vkernel -> unit
+val to_string : Bytecode.vkernel -> string

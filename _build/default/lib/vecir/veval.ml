@@ -1,0 +1,366 @@
+(* Reference evaluator for vectorized bytecode, parametric in the vector
+   size.  This is the semantic contract of the split layer: for any VS, the
+   bytecode must compute what the scalar kernel computes (up to float
+   reduction reassociation), and in scalarized mode the [loop_bound] idioms
+   must route execution through the scalar loops only.
+
+   The evaluator deliberately cross-checks the explicit realignment path
+   (align_load / get_rt / realign) against a direct load and fails loudly on
+   a mismatch — this is how vectorizer realignment bugs are caught. *)
+
+open Vapor_ir
+open Bytecode
+
+type mode =
+  | Vector of int (* vector size in bytes: 8, 16, or 32 *)
+  | Scalarized (* no SIMD: loop_bound selects scalar bounds *)
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type state = {
+  mode : mode;
+  guard_true : guard -> bool;
+  scalars : (string, Value.t) Hashtbl.t;
+  vectors : (string, Value.t array) Hashtbl.t;
+  arrays : (string, Buffer_.t) Hashtbl.t;
+}
+
+let vector_size st =
+  match st.mode with
+  | Vector vs -> vs
+  | Scalarized -> errorf "vector code reached in scalarized mode"
+
+(* Elements of type [ty] per vector register (m of Table 1). *)
+let lanes st ty = max 1 (vector_size st / Src_type.size_of ty)
+
+let find_array st arr =
+  match Hashtbl.find_opt st.arrays arr with
+  | Some b -> b
+  | None -> errorf "unbound array %s" arr
+
+let find_scalar st v =
+  match Hashtbl.find_opt st.scalars v with
+  | Some x -> x
+  | None -> errorf "uninitialized scalar %s" v
+
+let find_vector st v =
+  match Hashtbl.find_opt st.vectors v with
+  | Some x -> x
+  | None -> errorf "uninitialized vector %s" v
+
+(* Strict vector load: the whole window must be in bounds. *)
+let load_window st ty arr idx =
+  let buf = find_array st arr in
+  let m = lanes st ty in
+  if idx < 0 || idx + m > Buffer_.length buf then
+    errorf "vector load %s[%d..%d] out of bounds (length %d)" arr idx
+      (idx + m - 1) (Buffer_.length buf)
+  else Array.init m (fun l -> Buffer_.get buf (idx + l))
+
+(* Aligned-floor load: reads from the m-aligned address at or below [idx].
+   Lanes beyond the end of the array read the allocator's padding, modeled
+   as zero; [V_realign] never selects those lanes. *)
+let load_floor st ty arr idx =
+  let buf = find_array st arr in
+  let m = lanes st ty in
+  let base = idx / m * m in
+  Array.init m (fun l ->
+      let i = base + l in
+      if i >= 0 && i < Buffer_.length buf then Buffer_.get buf i
+      else Value.zero ty)
+
+(* Validate an alignment hint against the actual address (buffers model
+   32-byte aligned bases).  Static hints promise the residue mod 32; peeled
+   hints promise it only mod VS (the runtime peel aligns to one vector). *)
+let check_hint st ~what ~arr ~elem ~idx hint =
+  let byte = idx * Src_type.size_of elem in
+  let residue m v = ((v mod m) + m) mod m in
+  match (hint : Hint.t) with
+  | Hint.Unknown -> ()
+  | Hint.Static mis | Hint.Peeled mis ->
+    (* Accesses advance by multiples of VS bytes per vector iteration, so
+       only the residue mod VS is iteration-invariant; that is also all the
+       JIT consumes from the mod-32 hint. *)
+    let vs = vector_size st in
+    if residue vs byte <> residue vs mis then
+      errorf "%s %s[%d]: hint %s contradicts byte offset %d" what arr idx
+        (Hint.to_string hint) byte
+
+let half_range half m =
+  match half with
+  | Lo -> 0
+  | Hi -> m / 2
+
+let rec eval_sexpr st (e : sexpr) : Value.t =
+  match e with
+  | S_int (ty, v) -> Value.Int (Src_type.normalize_int ty v)
+  | S_float (ty, v) -> Value.Float (Src_type.normalize_float ty v)
+  | S_var v -> find_scalar st v
+  | S_load (arr, idx) ->
+    let buf = find_array st arr in
+    let i = Value.to_int (eval_sexpr st idx) in
+    if i < 0 || i >= Buffer_.length buf then
+      errorf "scalar load %s[%d] out of bounds" arr i
+    else Buffer_.get buf i
+  | S_binop (op, a, b) ->
+    let va = eval_sexpr st a and vb = eval_sexpr st b in
+    let ty =
+      match va, vb with
+      | Value.Float _, _ | _, Value.Float _ -> Src_type.F64
+      | Value.Int _, Value.Int _ -> Src_type.I64
+    in
+    Value.binop ty op va vb
+  | S_unop (op, a) ->
+    let va = eval_sexpr st a in
+    let ty =
+      match va with
+      | Value.Float _ -> Src_type.F64
+      | Value.Int _ -> Src_type.I64
+    in
+    Value.unop ty op va
+  | S_convert (ty, a) -> Value.convert ~from:ty ~into:ty (eval_sexpr st a)
+  | S_select (c, a, b) ->
+    if Value.is_true (eval_sexpr st c) then eval_sexpr st a
+    else eval_sexpr st b
+  | S_get_vf ty -> (
+    match st.mode with
+    | Vector _ -> Value.Int (lanes st ty)
+    | Scalarized -> Value.Int 1)
+  | S_align_limit ty -> (
+    match st.mode with
+    | Vector _ -> Value.Int (lanes st ty)
+    | Scalarized -> Value.Int 1)
+  | S_loop_bound (vect, scalar) -> (
+    match st.mode with
+    | Vector _ -> eval_sexpr st vect
+    | Scalarized -> eval_sexpr st scalar)
+  | S_reduc (op, ty, v) ->
+    let vec = eval_vexpr st v in
+    Array.fold_left
+      (fun acc x -> Value.binop ty op acc x)
+      (reduction_identity op ty) vec
+
+and eval_vexpr st (e : vexpr) : Value.t array =
+  match e with
+  | V_var v -> find_vector st v
+  | V_binop (op, ty, a, b) ->
+    let va = eval_vexpr st a and vb = eval_vexpr st b in
+    if Array.length va <> Array.length vb then
+      errorf "vector binop on mismatched lane counts %d vs %d"
+        (Array.length va) (Array.length vb);
+    Array.map2 (Value.binop ty op) va vb
+  | V_unop (op, ty, a) -> Array.map (Value.unop ty op) (eval_vexpr st a)
+  | V_shift (op, ty, a, amt) ->
+    let s = eval_sexpr st amt in
+    Array.map (fun x -> Value.binop ty op x s) (eval_vexpr st a)
+  | V_init_uniform (ty, v) ->
+    let x = Value.normalize ty (eval_sexpr st v) in
+    Array.make (lanes st ty) x
+  | V_init_affine (ty, v, inc) ->
+    let x = Value.to_int (eval_sexpr st v) in
+    let d = Value.to_int (eval_sexpr st inc) in
+    Array.init (lanes st ty) (fun l ->
+        Value.Int (Src_type.normalize_int ty (x + (l * d))))
+  | V_init_reduc (op, ty, v) ->
+    let x = Value.normalize ty (eval_sexpr st v) in
+    let ident = reduction_identity op ty in
+    Array.init (lanes st ty) (fun l -> if l = 0 then x else ident)
+  | V_aload (ty, arr, idx) ->
+    let i = Value.to_int (eval_sexpr st idx) in
+    let m = lanes st ty in
+    if i mod m <> 0 then
+      errorf "aload %s[%d] not aligned to %d elements" arr i m
+    else load_window st ty arr i
+  | V_load (ty, arr, idx, hint) ->
+    let i = Value.to_int (eval_sexpr st idx) in
+    check_hint st ~what:"vload" ~arr ~elem:ty ~idx:i hint;
+    load_window st ty arr i
+  | V_align_load (ty, arr, idx) ->
+    load_floor st ty arr (Value.to_int (eval_sexpr st idx))
+  | V_get_rt (ty, arr, idx, _hint) ->
+    ignore arr;
+    let i = Value.to_int (eval_sexpr st idx) in
+    let m = lanes st ty in
+    [| Value.Int (((i mod m) + m) mod m) |]
+  | V_realign { r_ty; r_v1; r_v2; r_rt; r_arr; r_idx; r_hint = _ } ->
+    let i = Value.to_int (eval_sexpr st r_idx) in
+    let direct = load_window st r_ty r_arr i in
+    (* Cross-check the explicit path: concat(v1,v2)[tok + l]. *)
+    let v1 = eval_vexpr st r_v1 and v2 = eval_vexpr st r_v2 in
+    let rt = eval_vexpr st r_rt in
+    let tok = Value.to_int rt.(0) in
+    let m = lanes st r_ty in
+    let explicit =
+      Array.init m (fun l ->
+          let p = tok + l in
+          if p < m then v1.(p) else v2.(p - m))
+    in
+    Array.iteri
+      (fun l x ->
+        if not (Value.equal x direct.(l)) then
+          errorf
+            "realign mismatch on %s[%d] lane %d: explicit %s vs direct %s"
+            r_arr i l (Value.to_string x)
+            (Value.to_string direct.(l)))
+      explicit;
+    direct
+  | V_widen_mult (half, ty, a, b) ->
+    let wide =
+      match Src_type.widen ty with
+      | Some w -> w
+      | None -> errorf "widen_mult on unwidenable type %s" (Src_type.to_string ty)
+    in
+    let va = eval_vexpr st a and vb = eval_vexpr st b in
+    let m = lanes st ty in
+    let off = half_range half m in
+    Array.init (m / 2) (fun l ->
+        let x = Value.convert ~from:ty ~into:wide va.(off + l) in
+        let y = Value.convert ~from:ty ~into:wide vb.(off + l) in
+        Value.binop wide Op.Mul x y)
+  | V_dot_product (ty, a, b, acc) ->
+    let wide =
+      match Src_type.widen ty with
+      | Some w -> w
+      | None -> errorf "dot_product on unwidenable type %s" (Src_type.to_string ty)
+    in
+    let va = eval_vexpr st a
+    and vb = eval_vexpr st b
+    and vacc = eval_vexpr st acc in
+    let m = lanes st ty in
+    Array.init (m / 2) (fun l ->
+        let w j =
+          let x = Value.convert ~from:ty ~into:wide va.((2 * l) + j) in
+          let y = Value.convert ~from:ty ~into:wide vb.((2 * l) + j) in
+          Value.binop wide Op.Mul x y
+        in
+        Value.binop wide Op.Add vacc.(l) (Value.binop wide Op.Add (w 0) (w 1)))
+  | V_unpack (half, ty, a) ->
+    let wide =
+      match Src_type.widen ty with
+      | Some w -> w
+      | None -> errorf "unpack on unwidenable type %s" (Src_type.to_string ty)
+    in
+    let va = eval_vexpr st a in
+    let m = lanes st ty in
+    let off = half_range half m in
+    Array.init (m / 2) (fun l -> Value.convert ~from:ty ~into:wide va.(off + l))
+  | V_pack (ty, a, b) ->
+    let narrow =
+      match Src_type.narrow ty with
+      | Some n -> n
+      | None -> errorf "pack on unnarrowable type %s" (Src_type.to_string ty)
+    in
+    let va = eval_vexpr st a and vb = eval_vexpr st b in
+    let m = lanes st ty in
+    Array.init (2 * m) (fun l ->
+        let x = if l < m then va.(l) else vb.(l - m) in
+        (* Demotion truncates, as in the scalar Convert. *)
+        Value.convert ~from:ty ~into:narrow x)
+  | V_cvt (from, into, a) ->
+    if Src_type.size_of from <> Src_type.size_of into then
+      errorf "cvt between different sizes %s -> %s" (Src_type.to_string from)
+        (Src_type.to_string into);
+    Array.map (Value.convert ~from ~into) (eval_vexpr st a)
+  | V_extract { e_ty; e_stride; e_offset; e_parts } ->
+    if List.length e_parts <> e_stride then
+      errorf "extract: %d parts for stride %d" (List.length e_parts) e_stride;
+    if e_offset < 0 || e_offset >= e_stride then
+      errorf "extract: offset %d out of range for stride %d" e_offset e_stride;
+    let parts = Array.of_list (List.map (eval_vexpr st) e_parts) in
+    let m = lanes st e_ty in
+    Array.init m (fun l ->
+        let p = e_offset + (l * e_stride) in
+        parts.(p / m).(p mod m))
+  | V_interleave (half, ty, a, b) ->
+    let va = eval_vexpr st a and vb = eval_vexpr st b in
+    let m = lanes st ty in
+    let off = half_range half m in
+    Array.init m (fun l ->
+        if l mod 2 = 0 then va.(off + (l / 2)) else vb.(off + (l / 2)))
+  | V_cmp (op, ty, a, b) ->
+    let va = eval_vexpr st a and vb = eval_vexpr st b in
+    Array.init (lanes st ty) (fun l -> Value.binop ty op va.(l) vb.(l))
+  | V_select (ty, mask, a, b) ->
+    let vm = eval_vexpr st mask in
+    let va = eval_vexpr st a
+    and vb = eval_vexpr st b in
+    Array.init (lanes st ty) (fun l ->
+        if Value.is_true vm.(l) then va.(l) else vb.(l))
+
+let rec exec_stmt st (s : vstmt) =
+  match s with
+  | VS_assign (v, e) -> Hashtbl.replace st.scalars v (eval_sexpr st e)
+  | VS_store (arr, idx, v) ->
+    let buf = find_array st arr in
+    let i = Value.to_int (eval_sexpr st idx) in
+    if i < 0 || i >= Buffer_.length buf then
+      errorf "scalar store %s[%d] out of bounds" arr i
+    else Buffer_.set buf i (eval_sexpr st v)
+  | VS_vassign (v, e) -> Hashtbl.replace st.vectors v (eval_vexpr st e)
+  | VS_vstore { st_arr; st_idx; st_ty; st_value; st_hint } ->
+    let buf = find_array st st_arr in
+    let i = Value.to_int (eval_sexpr st st_idx) in
+    let v = eval_vexpr st st_value in
+    let m = lanes st st_ty in
+    if Array.length v <> m then
+      errorf "vstore %s: value has %d lanes, expected %d" st_arr
+        (Array.length v) m;
+    if i < 0 || i + m > Buffer_.length buf then
+      errorf "vector store %s[%d..%d] out of bounds" st_arr i (i + m - 1);
+    check_hint st ~what:"vstore" ~arr:st_arr ~elem:st_ty ~idx:i st_hint;
+    Array.iteri (fun l x -> Buffer_.set buf (i + l) x) v
+  | VS_for { index; lo; hi; step; body; _ } ->
+    let lo = Value.to_int (eval_sexpr st lo) in
+    let hi = Value.to_int (eval_sexpr st hi) in
+    let i = ref lo in
+    while !i < hi do
+      Hashtbl.replace st.scalars index (Value.Int !i);
+      List.iter (exec_stmt st) body;
+      let step = Value.to_int (eval_sexpr st step) in
+      if step <= 0 then errorf "loop %s: non-positive step %d" index step;
+      i := !i + step
+    done
+  | VS_if (c, t, e) ->
+    if Value.is_true (eval_sexpr st c) then List.iter (exec_stmt st) t
+    else List.iter (exec_stmt st) e
+  | VS_version { guard; vec; fallback } -> (
+    match st.mode with
+    | Scalarized -> List.iter (exec_stmt st) vec
+    | Vector _ ->
+      if st.guard_true guard then List.iter (exec_stmt st) vec
+      else List.iter (exec_stmt st) fallback)
+
+(* Run a bytecode kernel.  [guard_true] decides version guards (default:
+   the JIT aligns every array, so alignment guards hold). *)
+let default_guard_true = function
+  | G_arrays_aligned _ | G_arrays_disjoint _ -> true
+
+let run ?(guard_true = default_guard_true) (vk : vkernel) ~mode
+    ~(args : (string * Eval.arg) list) =
+  let st =
+    {
+      mode;
+      guard_true;
+      scalars = Hashtbl.create 32;
+      vectors = Hashtbl.create 32;
+      arrays = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun p ->
+      let name = Kernel.param_name p in
+      match p, List.assoc_opt name args with
+      | Kernel.P_scalar (_, ty), Some (Eval.Scalar v) ->
+        Hashtbl.replace st.scalars name (Value.normalize ty v)
+      | Kernel.P_array _, Some (Eval.Array buf) ->
+        Hashtbl.replace st.arrays name buf
+      | _, Some _ -> errorf "argument kind mismatch for %s" name
+      | _, None -> errorf "missing argument %s" name)
+    vk.params;
+  List.iter
+    (fun (v, ty) -> Hashtbl.replace st.scalars v (Value.zero ty))
+    vk.locals;
+  List.iter (exec_stmt st) vk.body;
+  st.scalars

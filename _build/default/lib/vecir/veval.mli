@@ -1,0 +1,24 @@
+(** Reference evaluator for vectorized bytecode, parametric in the vector
+    size: the semantic contract of the split layer.  Cross-checks the
+    explicit realignment path against direct loads and validates alignment
+    hints, failing loudly on vectorizer bugs. *)
+
+open Vapor_ir
+
+type mode =
+  | Vector of int  (** vector size in bytes: 8, 16 or 32 *)
+  | Scalarized  (** no SIMD: loop_bound selects scalar bounds *)
+
+exception Error of string
+
+(** Run a bytecode kernel; array buffers are mutated in place.
+    [guard_true] decides version guards (default: every array aligned).
+    Returns the final scalar environment.
+    @raise Error on semantic violations (bad hints, misaligned aloads,
+    vector code reached when scalarized, out-of-bounds windows). *)
+val run :
+  ?guard_true:(Bytecode.guard -> bool) ->
+  Bytecode.vkernel ->
+  mode:mode ->
+  args:(string * Eval.arg) list ->
+  (string, Value.t) Hashtbl.t

@@ -1,0 +1,1 @@
+lib/vectorizer/driver.ml: Ifconv Inner Kernel List Options Outer Printf Slp Src_type Stmt String Unroll Vapor_ir Vapor_vecir Vgen

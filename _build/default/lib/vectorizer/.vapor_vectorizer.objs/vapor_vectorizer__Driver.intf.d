@@ -1,0 +1,1 @@
+lib/vectorizer/driver.mli: Options Vapor_ir Vapor_vecir

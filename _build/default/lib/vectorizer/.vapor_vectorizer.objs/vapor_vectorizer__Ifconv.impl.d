@@ -1,0 +1,1 @@
+lib/vectorizer/ifconv.ml: Expr Kernel List Op Option Stmt String Vapor_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/ifconv.mli: Vapor_ir

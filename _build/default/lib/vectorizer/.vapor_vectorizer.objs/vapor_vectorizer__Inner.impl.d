@@ -1,0 +1,1 @@
+lib/vectorizer/inner.ml: Array Expr Hashtbl List Op Option Options Printf Src_type Stmt String Vapor_analysis Vapor_ir Vapor_vecir Vgen

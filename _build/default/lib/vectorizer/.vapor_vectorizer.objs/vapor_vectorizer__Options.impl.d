@@ -1,0 +1,1 @@
+lib/vectorizer/options.ml:

@@ -1,0 +1,1 @@
+lib/vectorizer/outer.ml: Expr Hashtbl Inner List Options Src_type Stmt String Vapor_analysis Vapor_ir Vapor_vecir Vgen

@@ -1,0 +1,1 @@
+lib/vectorizer/slp.ml: Expr Float Fun List Op Option Src_type Stmt String Vapor_analysis Vapor_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/slp.mli: Stmt Vapor_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/unroll.ml: Expr Kernel List Src_type Stmt Vapor_analysis Vapor_ir

@@ -1,0 +1,1 @@
+lib/vectorizer/unroll.mli: Vapor_ir

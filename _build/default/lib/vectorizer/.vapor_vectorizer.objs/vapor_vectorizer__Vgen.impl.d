@@ -1,0 +1,1 @@
+lib/vectorizer/vgen.ml: Array Expr Format Hashtbl List Op Options Printf Src_type Stmt String Value Vapor_analysis Vapor_ir Vapor_vecir

@@ -1,0 +1,175 @@
+(* The offline vectorizer driver: pre-transforms (constant-trip unrolling,
+   SLP re-rolling), loop selection (innermost first, outer-loop as a
+   fallback), and bytecode assembly. *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+
+type loop_status =
+  | Vectorized of string list (* feature notes *)
+  | Not_vectorized of string (* reason *)
+
+type report_entry = {
+  loop_index : string;
+  depth : int;
+  status : loop_status;
+}
+
+type result = {
+  vkernel : B.vkernel;
+  report : report_entry list;
+  scalar_bytecode : B.vkernel; (* unvectorized baseline, for size ratios *)
+}
+
+let rec walk ~shared ~report ~depth (stmts : Stmt.t list) :
+    B.vstmt list * bool =
+  let any = ref false in
+  let out =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Stmt.Assign _ | Stmt.Store _ -> [ B.vstmt_of_ir s ]
+        | Stmt.If (c, t, e) ->
+          let t', at = walk ~shared ~report ~depth t in
+          let e', ae = walk ~shared ~report ~depth e in
+          if at || ae then any := true;
+          [ B.VS_if (B.sexpr_of_ir c, t', e') ]
+        | Stmt.For loop -> (
+          let vstmts, vectorized = walk_loop ~shared ~report ~depth loop in
+          if vectorized then any := true;
+          vstmts))
+      stmts
+  in
+  out, !any
+
+and walk_loop ~shared ~report ~depth (loop : Stmt.loop) : B.vstmt list * bool
+    =
+  let opts = shared.Inner.sh_opts in
+  let record status =
+    report :=
+      { loop_index = loop.Stmt.index; depth; status } :: !report
+  in
+  let scalar_wrap body_stmts =
+    [
+      B.VS_for
+        {
+          B.index = loop.Stmt.index;
+          lo = B.sexpr_of_ir loop.Stmt.lo;
+          hi = B.sexpr_of_ir loop.Stmt.hi;
+          step = B.S_int (Src_type.I32, 1);
+          kind = B.L_scalar;
+          group = 1;
+          body = body_stmts;
+        };
+    ]
+  in
+  if Stmt.is_innermost loop then begin
+    (* SLP re-roll first, then ordinary inner-loop vectorization. *)
+    let attempt =
+      if opts.Options.slp then
+        match Slp.reroll loop with
+        | Some { Slp.group; loop = rerolled } -> (
+          try Ok (Inner.vectorize ~shared ~group rerolled) with
+          | Vgen.Give_up _ -> (
+            (* fall back to the original shape *)
+            try Ok (Inner.vectorize ~shared loop)
+            with Vgen.Give_up reason -> Error reason)
+          | e -> raise e)
+        | None -> (
+          try Ok (Inner.vectorize ~shared loop)
+          with Vgen.Give_up reason -> Error reason)
+      else
+        try Ok (Inner.vectorize ~shared loop)
+        with Vgen.Give_up reason -> Error reason
+    in
+    match attempt with
+    | Ok { Inner.stmts; features } ->
+      record (Vectorized features);
+      stmts, true
+    | Error reason ->
+      record (Not_vectorized reason);
+      scalar_wrap (List.map B.vstmt_of_ir loop.Stmt.body), false
+  end
+  else begin
+    (* Prefer vectorizing contained inner loops; if none vectorizes, try
+       vectorizing this loop as an outer loop. *)
+    let inner_report = ref [] in
+    let body', inner_ok =
+      walk ~shared ~report:inner_report ~depth:(depth + 1) loop.Stmt.body
+    in
+    if inner_ok then begin
+      report := !inner_report @ !report;
+      record (Not_vectorized "inner loop vectorized instead");
+      scalar_wrap body', true
+    end
+    else
+      match Outer.vectorize ~shared loop with
+      | { Inner.stmts; features } ->
+        record (Vectorized features);
+        stmts, true
+      | exception Vgen.Give_up reason ->
+        report := !inner_report @ !report;
+        record (Not_vectorized ("outer: " ^ reason));
+        scalar_wrap body', false
+  end
+
+(* Vectorize a kernel into split-layer bytecode. *)
+let vectorize ?(opts = Options.default) (k : Kernel.t) : result =
+  let k = Unroll.run ~trip_limit:opts.Options.unroll_trip k in
+  let k = Ifconv.run k in
+  let env = Kernel.typing_env k in
+  let shared =
+    {
+      Inner.sh_opts = opts;
+      sh_env = env;
+      sh_counter = ref 0;
+      sh_kernel_reads = Inner.count_reads k.Kernel.body;
+      sh_locals = [];
+      sh_vlocals = [];
+    }
+  in
+  let report = ref [] in
+  let body, _ = walk ~shared ~report ~depth:0 k.Kernel.body in
+  let indices = Kernel.loop_indices k.Kernel.body in
+  let slp_indices =
+    (* virtual indices introduced by SLP re-rolling *)
+    List.filter_map
+      (fun (e : report_entry) ->
+        if String.length e.loop_index > 4
+           && String.sub e.loop_index (String.length e.loop_index - 4) 4
+              = "$slp"
+        then Some e.loop_index
+        else None)
+      !report
+  in
+  let vkernel =
+    {
+      B.name = k.Kernel.name;
+      params = k.Kernel.params;
+      locals =
+        k.Kernel.locals
+        @ List.map (fun i -> i, Src_type.I32) (indices @ slp_indices)
+        @ shared.Inner.sh_locals;
+      vlocals = shared.Inner.sh_vlocals;
+      body;
+    }
+  in
+  {
+    vkernel;
+    report = List.rev !report;
+    scalar_bytecode = B.scalar_of_kernel k;
+  }
+
+let status_to_string = function
+  | Vectorized features -> "vectorized: " ^ String.concat ", " features
+  | Not_vectorized reason -> "not vectorized: " ^ reason
+
+let report_to_string result =
+  String.concat "\n"
+    (List.map
+       (fun e ->
+         Printf.sprintf "%s%s: %s"
+           (String.make (2 * e.depth) ' ')
+           e.loop_index
+           (status_to_string e.status))
+       result.report)

@@ -1,0 +1,29 @@
+(** The offline vectorizer: pre-transforms (constant-trip unrolling, SLP
+    re-rolling), loop selection (innermost first, outer-loop fallback), and
+    split-layer bytecode assembly. *)
+
+module B = Vapor_vecir.Bytecode
+
+type loop_status =
+  | Vectorized of string list  (** feature notes *)
+  | Not_vectorized of string  (** reason *)
+
+type report_entry = {
+  loop_index : string;
+  depth : int;
+  status : loop_status;
+}
+
+type result = {
+  vkernel : B.vkernel;
+  report : report_entry list;
+  scalar_bytecode : B.vkernel;
+      (** unvectorized baseline, for size ratios and scalar flows *)
+}
+
+(** Vectorize a kernel into split-layer bytecode.  Never fails: loops that
+    cannot be vectorized are emitted as scalar code and reported. *)
+val vectorize : ?opts:Options.t -> Vapor_ir.Kernel.t -> result
+
+val status_to_string : loop_status -> string
+val report_to_string : result -> string

@@ -1,0 +1,145 @@
+(* If-conversion: turn branchy innermost-loop bodies into straight-line
+   selects so they can vectorize (the pre-processing transformation the
+   paper cites for SLP in the presence of control flow [24]).
+
+     if (c) { x = e1; } else { x = e2; }   =>   x = c ? e1 : e2
+     if (c) { a[i] = e; }                  =>   a[i] = c ? e : a[i]
+
+   Both branches become unconditionally evaluated, so the transformation
+   only applies when that is safe and cheap: branch statements are plain
+   assignments/stores, no target is read after an earlier write in the same
+   branch, no branch expression divides (a masked-off trap would become a
+   real one), and branches are short. *)
+
+open Vapor_ir
+
+let max_branch_stmts = 4
+
+(* Targets written by a branch, in order: either a scalar or an array cell
+   (compared syntactically). *)
+type target =
+  | T_var of string
+  | T_cell of string * Expr.t
+
+let target_equal a b =
+  match a, b with
+  | T_var x, T_var y -> String.equal x y
+  | T_cell (ax, ix), T_cell (ay, iy) -> String.equal ax ay && Expr.equal ix iy
+  | (T_var _ | T_cell _), _ -> false
+
+let rec expr_has_div (e : Expr.t) =
+  match e with
+  | Expr.Binop (Op.Div, _, _) -> true
+  | Expr.Binop (_, a, b) -> expr_has_div a || expr_has_div b
+  | Expr.Unop (_, a) | Expr.Convert (_, a) -> expr_has_div a
+  | Expr.Load (_, i) -> expr_has_div i
+  | Expr.Select (c, a, b) ->
+    expr_has_div c || expr_has_div a || expr_has_div b
+  | Expr.Int_lit _ | Expr.Float_lit _ | Expr.Var _ -> false
+
+let expr_reads_target t (e : Expr.t) =
+  match t with
+  | T_var v -> Expr.uses_var v e
+  | T_cell (arr, _) ->
+    (* conservative: any load from the array counts *)
+    List.exists (fun (a, _) -> String.equal a arr) (Expr.loads e)
+
+(* Extract a branch as an ordered (target, rhs) list, or None when the
+   branch does not qualify. *)
+let branch_updates stmts =
+  if List.length stmts > max_branch_stmts then None
+  else
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | Stmt.Assign (v, rhs) :: rest ->
+        if expr_has_div rhs then None
+        else if
+          (* the rhs must not read a target written earlier in the branch *)
+          List.exists (fun (t, _) -> expr_reads_target t rhs) acc
+          || List.exists (fun (t, _) -> target_equal t (T_var v)) acc
+        then None
+        else go ((T_var v, rhs) :: acc) rest
+      | Stmt.Store (arr, idx, rhs) :: rest ->
+        if expr_has_div rhs || expr_has_div idx then None
+        else if
+          List.exists
+            (fun (t, _) ->
+              expr_reads_target t rhs || expr_reads_target t idx
+              || target_equal t (T_cell (arr, idx)))
+            acc
+        then None
+        else go ((T_cell (arr, idx), rhs) :: acc) rest
+      | (Stmt.For _ | Stmt.If _) :: _ -> None
+    in
+    go [] stmts
+
+let current_value = function
+  | T_var v -> Expr.Var v
+  | T_cell (arr, idx) -> Expr.Load (arr, idx)
+
+let assign_to t rhs =
+  match t with
+  | T_var v -> Stmt.Assign (v, rhs)
+  | T_cell (arr, idx) -> Stmt.Store (arr, idx, rhs)
+
+(* Convert one If into selects, or return it unchanged. *)
+let convert_if c then_b else_b : Stmt.t list option =
+  if expr_has_div c then None
+  else
+    match branch_updates then_b, branch_updates else_b with
+    | Some ts, Some es ->
+      (* merge targets in order of first appearance *)
+      let targets =
+        List.fold_left
+          (fun acc (t, _) ->
+            if List.exists (target_equal t) acc then acc else acc @ [ t ])
+          [] (ts @ es)
+      in
+      let find side t =
+        Option.map snd (List.find_opt (fun (t', _) -> target_equal t t') side)
+      in
+      Some
+        (List.map
+           (fun t ->
+             let cur = current_value t in
+             let rhs_t = Option.value ~default:cur (find ts t) in
+             let rhs_e = Option.value ~default:cur (find es t) in
+             assign_to t (Expr.Select (c, rhs_t, rhs_e)))
+           targets)
+    | (None | Some _), _ -> None
+
+(* Apply inside innermost loop bodies only: the select evaluates both
+   sides, which only pays off under vectorization. *)
+let rec convert_stmts stmts =
+  List.concat_map
+    (fun (s : Stmt.t) ->
+      match s with
+      | Stmt.Assign _ | Stmt.Store _ -> [ s ]
+      | Stmt.If (c, t, e) -> (
+        match convert_if c t e with
+        | Some converted -> converted
+        | None -> [ Stmt.If (c, convert_stmts t, convert_stmts e) ])
+      | Stmt.For loop -> [ Stmt.For { loop with Stmt.body = walk loop } ])
+    stmts
+
+and walk (loop : Stmt.loop) =
+  if Stmt.is_innermost loop then convert_stmts loop.Stmt.body
+  else
+    List.map
+      (fun (s : Stmt.t) ->
+        match s with
+        | Stmt.For l -> Stmt.For { l with Stmt.body = walk l }
+        | Stmt.If (c, t, e) -> Stmt.If (c, convert_outer t, convert_outer e)
+        | Stmt.Assign _ | Stmt.Store _ -> s)
+      loop.Stmt.body
+
+and convert_outer stmts =
+  List.map
+    (fun (s : Stmt.t) ->
+      match s with
+      | Stmt.For l -> Stmt.For { l with Stmt.body = walk l }
+      | other -> other)
+    stmts
+
+let run (k : Kernel.t) : Kernel.t =
+  { k with Kernel.body = convert_outer k.Kernel.body }

@@ -1,0 +1,7 @@
+(** If-conversion: turn guarded updates in innermost loop bodies into
+    select expressions so they can vectorize.  Applies only when safe:
+    plain assignment/store branches, no read-after-write of a target
+    within a branch, and no division (a masked-off trap would become a
+    real one). *)
+
+val run : Vapor_ir.Kernel.t -> Vapor_ir.Kernel.t

@@ -1,0 +1,688 @@
+(* Inner-loop vectorization: analysis, alignment strategy, and assembly of
+   the peel / vector / epilogue structure with loop_bound idioms.
+
+   The generated shape (hints enabled) is:
+
+     vf = get_VF(Tmin);  pe = <peel end>;  ml = min(pe,hi);  mh = ml+((hi-ml)/vf)*vf;
+     if (version_guard_aligned(...)) {
+       if (loop_bound(1,0)) {            // present only in vector lowering
+         for (i = lo; i < ml; i++)  <scalar body>          // peel
+         <splats, realign preloads, reduction inits>
+         vfor (i = ml; i < mh; i += vf) <vector body>      // main
+         <reduction finalization>
+       }
+       for (i = loop_bound(mh, lo); i < hi; i++) <scalar body>  // epilogue
+     } else { <same, with hints nulled> }
+
+   When scalarized, loop_bound(mh,lo) = lo and loop_bound(1,0) = 0, so the
+   epilogue alone executes the original scalar loop — the paper's
+   requirement that scalarization incur no vectorization overheads. *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+module Hint = Vapor_vecir.Hint
+module Poly = Vapor_analysis.Poly
+module Access = Vapor_analysis.Access
+module Dependence = Vapor_analysis.Dependence
+module Scalar_class = Vapor_analysis.Scalar_class
+module Alignment = Vapor_analysis.Alignment
+open Vgen
+
+type shared = {
+  sh_opts : Options.t;
+  sh_env : Expr.env;
+  sh_counter : int ref;
+  (* reads of each variable in the whole kernel, to detect values escaping
+     the loop *)
+  sh_kernel_reads : (string, int) Hashtbl.t;
+  mutable sh_locals : (string * Src_type.t) list;
+  mutable sh_vlocals : (string * Src_type.t) list;
+}
+
+let count_reads stmts =
+  let tbl = Hashtbl.create 32 in
+  let bump v = Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)) in
+  let expr e = List.iter bump (Expr.vars e) in
+  List.iter
+    (fun s ->
+      Stmt.fold_exprs (fun () e -> expr e) () s)
+    stmts;
+  tbl
+
+let reads_of tbl v = Option.value ~default:0 (Hashtbl.find_opt tbl v)
+
+(* All scalar types participating in vector values of the body. *)
+let value_types env body =
+  let acc = ref [] in
+  let add ty = if not (List.mem ty !acc) then acc := ty :: !acc in
+  let rec expr e =
+    add (Expr.type_of env e);
+    match e with
+    | Expr.Int_lit _ | Expr.Float_lit _ | Expr.Var _ -> ()
+    | Expr.Load _ -> () (* subscripts are address code, not vector values *)
+    | Expr.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Expr.Unop (_, a) | Expr.Convert (_, a) -> expr a
+    | Expr.Select (c, a, b) ->
+      expr c;
+      expr a;
+      expr b
+  in
+  let rec stmt s =
+    match s with
+    | Stmt.Assign (v, e) ->
+      add (env.Expr.var_type v);
+      expr e
+    | Stmt.Store (arr, _, e) ->
+      add (env.Expr.array_elem arr);
+      expr e
+    | Stmt.For { body; _ } -> List.iter stmt body
+    | Stmt.If (_, t, e) ->
+      List.iter stmt t;
+      List.iter stmt e
+  in
+  List.iter stmt body;
+  !acc
+
+let smallest_type types =
+  match types with
+  | [] -> give_up "no vector values in loop"
+  | t :: ts ->
+    List.fold_left
+      (fun acc t -> if Src_type.size_of t < Src_type.size_of acc then t else acc)
+      t ts
+
+(* Interleave groups for strided loads: returns the populated table and
+   gives up on partial phase coverage. *)
+let build_strided_groups ~index (accesses : Access.t list) =
+  let tbl = Hashtbl.create 8 in
+  let strided =
+    List.filter_map
+      (fun (a : Access.t) ->
+        match a.Access.kind, a.Access.stride, a.Access.poly, a.Access.base with
+        | Access.Load, Access.Strided s, Some poly, Some base ->
+          Some (a, s, poly, base)
+        | _ -> None)
+      accesses
+  in
+  ignore index;
+  (* Partition into groups whose bases differ by a constant < stride. *)
+  let groups : (Access.t * int * Poly.t * Poly.t * int) list list ref = ref [] in
+  List.iter
+    (fun (a, s, poly, base) ->
+      let rec place = function
+        | [] ->
+          groups := [ a, s, poly, base, 0 ] :: !groups;
+          None
+        | g :: rest -> (
+          match g with
+          | ((a0 : Access.t), s0, _, base0, _) :: _
+            when s0 = s && String.equal a0.Access.arr a.Access.arr -> (
+            match Poly.const_diff base base0 with
+            | Some d when abs d < s -> Some (g, (a, s, poly, base, d))
+            | Some _ | None -> place rest)
+          | _ -> place rest)
+      in
+      match place !groups with
+      | None -> ()
+      | Some (g, m) ->
+        groups := (m :: g) :: List.filter (fun g' -> g' != g) !groups)
+    strided;
+  List.iter
+    (fun members ->
+      let s =
+        match members with
+        | (_, s, _, _, _) :: _ -> s
+        | [] -> assert false
+      in
+      let dmin =
+        List.fold_left (fun acc (_, _, _, _, d) -> min acc d) max_int members
+      in
+      let phases = List.map (fun (_, _, _, _, d) -> d - dmin) members in
+      let covered = List.sort_uniq compare phases in
+      if covered <> List.init s (fun i -> i) then
+        give_up "strided group with partial phase coverage (stride %d)" s;
+      let window =
+        match List.find_opt (fun (_, _, _, _, d) -> d = dmin) members with
+        | Some ((a : Access.t), _, _, _, _) -> a.Access.subscript
+        | None -> assert false
+      in
+      List.iter
+        (fun ((a : Access.t), _, poly, _, d) ->
+          let key = Printf.sprintf "%s[%s]" a.Access.arr (Vgen.poly_key poly) in
+          Hashtbl.replace tbl key (d - dmin, window))
+        members)
+    !groups;
+  tbl
+
+(* Stride-2 store groups, lowered through interleave_lo/hi.  Requirements:
+   exactly stride 2, complete phase coverage {0,1}, and no other accesses
+   to the stored array in the loop (buffering the first phase's lanes until
+   the second arrives must not reorder against reads). *)
+let build_strided_store_groups (accesses : Access.t list) =
+  let tbl = Hashtbl.create 4 in
+  let strided_stores =
+    List.filter_map
+      (fun (a : Access.t) ->
+        match a.Access.kind, a.Access.stride, a.Access.poly, a.Access.base with
+        | Access.Store, Access.Strided 2, Some poly, Some base ->
+          Some (a, poly, base)
+        | _ -> None)
+      accesses
+  in
+  let rec pair = function
+    | [] -> ()
+    | ((a0 : Access.t), p0, b0) :: rest -> (
+      let partner, others =
+        List.partition
+          (fun ((a : Access.t), _, b) ->
+            String.equal a.Access.arr a0.Access.arr
+            && (match Poly.const_diff b b0 with
+               | Some d -> abs d = 1
+               | None -> false))
+          rest
+      in
+      match partner with
+      | [ ((_ : Access.t), p1, b1) ] ->
+        let d = Option.get (Poly.const_diff b1 b0) in
+        let (lo_poly, lo_sub), (hi_poly, _) =
+          if d = 1 then (p0, a0.Access.subscript), (p1, a0.Access.subscript)
+          else (p1, a0.Access.subscript), (p0, a0.Access.subscript)
+        in
+        ignore hi_poly;
+        let gid = Printf.sprintf "%s#%s" a0.Access.arr (Vgen.poly_key lo_poly) in
+        let window =
+          (* the lane-0 window subscript: the lower phase's subscript *)
+          if d = 1 then a0.Access.subscript
+          else
+            match partner with
+            | [ (a1, _, _) ] -> a1.Access.subscript
+            | _ -> assert false
+        in
+        ignore lo_sub;
+        let add poly phase =
+          Hashtbl.replace tbl
+            (Printf.sprintf "%s[%s]" a0.Access.arr (Vgen.poly_key poly))
+            (phase, gid, window)
+        in
+        if d = 1 then begin
+          add p0 0;
+          add p1 1
+        end
+        else begin
+          add p0 1;
+          add p1 0
+        end;
+        pair others
+      | _ -> pair rest)
+  in
+  pair strided_stores;
+  tbl
+
+(* Alignment strategy: classify every unit-stride access stream and decide
+   between static hints and runtime peeling.  [lo_poly] is the loop's lower
+   bound, added to bases to get entry offsets. *)
+type align_plan = {
+  ap_hint_of : arr:string -> base:Poly.t option -> Hint.t;
+  ap_peel : (Src_type.t * Expr.t) option;
+      (* driver element type and its subscript expression (for the runtime
+         peel count) *)
+  ap_guard : string list ref;
+      (* arrays whose hints assume 32B-aligned bases; populated as hints
+         are handed out during generation, so read it afterwards *)
+}
+
+let no_hints_plan () =
+  {
+    ap_hint_of = (fun ~arr:_ ~base:_ -> Hint.Unknown);
+    ap_peel = None;
+    ap_guard = ref [];
+  }
+
+let make_align_plan ~(opts : Options.t) ~lo (accesses : Access.t list) =
+  if not opts.Options.hints then no_hints_plan ()
+  else
+    let lo_poly = Poly.of_expr lo in
+    let entry base =
+      match lo_poly with
+      | Some lp -> Some (Poly.add base lp)
+      | None -> None
+    in
+    let unit_accesses =
+      List.filter (fun (a : Access.t) -> a.Access.stride = Access.Unit) accesses
+    in
+    let driver =
+      match List.find_opt Access.is_store unit_accesses with
+      | Some s -> Some s
+      | None -> (
+        match unit_accesses with
+        | a :: _ -> Some a
+        | [] -> None)
+    in
+    match driver with
+    | None -> no_hints_plan ()
+    | Some d ->
+      let d_entry = Option.bind d.Access.base entry in
+      let static_mis =
+        Option.bind d_entry (Alignment.misalign_bytes ~elem:d.Access.elem)
+      in
+      (* Runtime peeling only pays for stores (the usual compiler policy);
+         load-only loops with unknown entry misalignment just use
+         misaligned accesses / runtime realignment. *)
+      let peel_mode = static_mis = None && Access.is_store d in
+      let guard = ref [] in
+      let add_guard arr = if not (List.mem arr !guard) then guard := arr :: !guard in
+      let hint_of ~arr ~base =
+        let elem_size a =
+          (* all accesses to one array share its element type *)
+          match List.find_opt (fun (x : Access.t) -> String.equal x.Access.arr a) accesses with
+          | Some x -> Src_type.size_of x.Access.elem
+          | None -> 0
+        in
+        match base with
+        | None -> Hint.Unknown
+        | Some base -> (
+          match static_mis with
+          | Some _ -> (
+            (* Static mode: each access's own entry misalignment. *)
+            match entry base with
+            | None -> Hint.Unknown
+            | Some e -> (
+              match
+                Alignment.misalign_bytes
+                  ~elem:
+                    (match
+                       List.find_opt
+                         (fun (x : Access.t) -> String.equal x.Access.arr arr)
+                         accesses
+                     with
+                    | Some x -> x.Access.elem
+                    | None -> d.Access.elem)
+                  e
+              with
+              | Some mis ->
+                add_guard arr;
+                Hint.Static mis
+              | None -> Hint.Unknown))
+          | None -> (
+            if not peel_mode then Hint.Unknown
+            else
+              (* Runtime-peel mode: hints relative to the peeled driver,
+                 valid for arrays with the driver's element size. *)
+              match d.Access.base with
+              | None -> Hint.Unknown
+              | Some dbase ->
+                if elem_size arr <> Src_type.size_of d.Access.elem then
+                  Hint.Unknown
+                else (
+                  match Poly.const_diff base dbase with
+                  | Some c ->
+                    add_guard arr;
+                    let b = c * Src_type.size_of d.Access.elem in
+                    Hint.Peeled (((b mod 32) + 32) mod 32)
+                  | None -> Hint.Unknown)))
+      in
+      let peel =
+        if not peel_mode then None
+        else begin
+          add_guard d.Access.arr;
+          Some (d.Access.elem, d.Access.subscript)
+        end
+      in
+      { ap_hint_of = hint_of; ap_peel = peel; ap_guard = guard }
+
+(* --- shared assembly helpers ------------------------------------------ *)
+
+let s_var v = B.S_var v
+let s_sub a b = B.S_binop (Op.Sub, a, b)
+let s_div a b = B.S_binop (Op.Div, a, b)
+let s_min a b = B.S_binop (Op.Min, a, b)
+let s_mod a b = s_sub a (s_mul (s_div a b) b)
+
+(* loop_bound(1, 0): 1 when lowering vectorized, 0 when scalarizing. *)
+let vector_mode_cond = B.S_loop_bound (s_int 1, s_int 0)
+
+let make_ctx ~(shared : shared) ~opts ~index ~tmin ~stored ~assigned
+    ~scalar_indices ~hint_of ~chains_allowed ~entry_var ~strided_groups
+    ?(strided_store_groups = Hashtbl.create 1) () =
+  {
+    opts;
+    index;
+    tmin;
+    env = shared.sh_env;
+    stored_arrays = stored;
+    assigned_vars = assigned;
+    scalar_indices;
+    hint_of;
+    chains_allowed;
+    entry_var;
+    fresh_counter = shared.sh_counter;
+    new_vlocals = [];
+    new_locals = [];
+    pre = [];
+    out = [];
+    splat_cache = Hashtbl.create 8;
+    load_cache = Hashtbl.create 8;
+    chains = Hashtbl.create 4;
+    vec_vars = Hashtbl.create 8;
+    reductions = Hashtbl.create 4;
+    strided_groups;
+    strided_store_groups;
+    pending_stores = Hashtbl.create 4;
+  }
+
+let flush_ctx (shared : shared) ctx =
+  shared.sh_locals <- ctx.new_locals @ shared.sh_locals;
+  shared.sh_vlocals <- ctx.new_vlocals @ shared.sh_vlocals
+
+(* --- the inner-loop vectorizer ----------------------------------------- *)
+
+type result = {
+  stmts : B.vstmt list;
+  features : string list;
+}
+
+(* Generate one version (vec or fallback) of the vectorized loop. *)
+let generate_version ~(shared : shared) ~opts ~(loop : Stmt.loop) ~group ~tmin
+    ~(reductions : Scalar_class.reduction list) ~(plan : align_plan)
+    ~strided_groups ~strided_store_groups ~(max_vf : int option) :
+    B.vstmt list =
+  let { Stmt.index; lo; hi; body } = loop in
+  let env = shared.sh_env in
+  let stored = List.sort_uniq String.compare (List.map fst (Stmt.stores_of body)) in
+  let assigned = List.sort_uniq String.compare (Stmt.assigned_vars body) in
+  let ctx =
+    make_ctx ~shared ~opts ~index ~tmin ~stored ~assigned ~scalar_indices:[]
+      ~hint_of:plan.ap_hint_of ~chains_allowed:opts.Options.realign_reuse
+      ~entry_var:None ~strided_groups ~strided_store_groups ()
+  in
+  let vf = fresh_scalar ctx "vf" Src_type.I32 in
+  let ml = fresh_scalar ctx "ml" Src_type.I32 in
+  let mh = fresh_scalar ctx "mh" Src_type.I32 in
+  let ctx = { ctx with entry_var = Some ml } in
+  let lo_s = B.sexpr_of_ir lo and hi_s = B.sexpr_of_ir hi in
+  (* Register reductions up front so body generation can update them. *)
+  List.iter
+    (fun (r : Scalar_class.reduction) ->
+      let acc_ty = env.Expr.var_type r.Scalar_class.var in
+      let dot =
+        if opts.Options.dot_product && r.Scalar_class.op = Op.Add then
+          match widen_mult_pattern ctx r.Scalar_class.rhs with
+          | Some (src_ty, _, _)
+            when Src_type.is_int src_ty
+                 && Src_type.widen src_ty = Some acc_ty ->
+            Some src_ty
+          | Some _ | None -> None
+        else None
+      in
+      let k =
+        match dot with
+        | Some src -> multiplicity ctx src
+        | None -> multiplicity ctx acc_ty
+      in
+      let slices =
+        Array.init k (fun _ -> fresh_vec ctx ("vacc_" ^ r.Scalar_class.var) acc_ty)
+      in
+      let rg = { rg_op = r.Scalar_class.op; rg_ty = acc_ty; rg_slices = slices; rg_dot = dot } in
+      Hashtbl.replace ctx.reductions r.Scalar_class.var rg;
+      reduction_init ctx r.Scalar_class.var rg)
+    reductions;
+  (* Vector body. *)
+  List.iter (vec_stmt ctx) body;
+  let vec_body = List.rev ctx.out in
+  let finals =
+    List.map
+      (fun (r : Scalar_class.reduction) ->
+        reduction_final ctx r.Scalar_class.var
+          (Hashtbl.find ctx.reductions r.Scalar_class.var))
+      reductions
+  in
+  (* Bounds. *)
+  let peel_end =
+    match plan.ap_peel with
+    | None -> lo_s
+    | Some (dty, dsub) ->
+      let al = B.S_align_limit dty in
+      let entry = B.sexpr_of_ir (Expr.subst_var index lo dsub) in
+      s_add lo_s (s_mod (s_sub al (s_mod entry al)) al)
+  in
+  (* With a dependence-distance hint, vector execution is admissible only
+     when VF does not exceed the distance; otherwise the JIT scalarizes
+     (mh collapses to ml so the epilogue covers everything). *)
+  let admissible =
+    (* expressed with the get_VF idiom itself so the online compiler can
+       resolve it statically per target *)
+    Option.map (fun d -> B.S_binop (Op.Le, B.S_get_vf tmin, s_int d)) max_vf
+  in
+  let mh_value =
+    s_add (s_var ml) (s_mul (s_div (s_sub hi_s (s_var ml)) (s_var vf)) (s_var vf))
+  in
+  let mh_value =
+    match admissible with
+    | None -> mh_value
+    | Some adm -> B.S_select (adm, mh_value, s_var ml)
+  in
+  let header =
+    [
+      B.VS_assign (vf, B.S_get_vf tmin);
+      B.VS_assign (ml, s_min peel_end hi_s);
+      B.VS_assign (mh, mh_value);
+    ]
+  in
+  let scalar_body = List.map B.vstmt_of_ir body in
+  let peel_loop =
+    B.VS_for
+      {
+        B.index;
+        lo = lo_s;
+        hi = s_var ml;
+        step = s_int 1;
+        kind = B.L_scalar;
+        group = 1;
+        body = scalar_body;
+      }
+  in
+  let main_loop =
+    B.VS_for
+      {
+        B.index;
+        lo = s_var ml;
+        hi = s_var mh;
+        step = s_var vf;
+        kind = B.L_vector;
+        group;
+        body = vec_body;
+      }
+  in
+  let epilogue =
+    B.VS_for
+      {
+        B.index;
+        lo = B.S_loop_bound (s_var mh, lo_s);
+        hi = hi_s;
+        step = s_int 1;
+        kind = B.L_scalar;
+        group = 1;
+        body = scalar_body;
+      }
+  in
+  flush_ctx shared ctx;
+  let sentinel =
+    match admissible with
+    | None -> vector_mode_cond
+    | Some adm -> B.S_binop (Op.And, vector_mode_cond, adm)
+  in
+  header
+  @ [
+      B.VS_if
+        (sentinel, (peel_loop :: List.rev ctx.pre) @ (main_loop :: finals), []);
+      epilogue;
+    ]
+
+(* Vectorize an innermost loop; raises [Vgen.Give_up] with a reason. *)
+let vectorize ~(shared : shared) ?(group = 1) (loop : Stmt.loop) : result =
+  let opts = shared.sh_opts in
+  let { Stmt.index; lo; hi; body } = loop in
+  let env = shared.sh_env in
+  (* 1. straight-line body *)
+  List.iter
+    (function
+      | Stmt.Assign _ | Stmt.Store _ -> ()
+      | Stmt.For _ -> give_up "nested loop in innermost body"
+      | Stmt.If _ -> give_up "control flow in loop body")
+    body;
+  (* 2. loop bounds must be loop-invariant *)
+  let assigned = Stmt.assigned_vars body in
+  List.iter
+    (fun e ->
+      if Expr.uses_var index e then give_up "loop bound uses the index";
+      if List.exists (fun v -> Expr.uses_var v e) assigned then
+        give_up "loop bound assigned in body")
+    [ lo; hi ];
+  (* 3. accesses *)
+  let accesses =
+    Access.collect ~index ~elem_of:env.Expr.array_elem body
+  in
+  let stored = List.sort_uniq String.compare (List.map fst (Stmt.stores_of body)) in
+  let strided_store_groups = build_strided_store_groups accesses in
+  List.iter
+    (fun (a : Access.t) ->
+      match a.Access.kind, a.Access.stride with
+      | Access.Store, Access.Unit -> ()
+      | Access.Store, Access.Strided 2
+        when Hashtbl.mem strided_store_groups
+               (Printf.sprintf "%s[%s]" a.Access.arr
+                  (match a.Access.poly with
+                  | Some p -> Vgen.poly_key p
+                  | None -> "?")) ->
+        (* grouped stride-2 store: the array must have no loads in the loop
+           (value buffering must not reorder against reads) *)
+        if
+          List.exists
+            (fun (l : Access.t) ->
+              l.Access.kind = Access.Load
+              && String.equal l.Access.arr a.Access.arr)
+            accesses
+        then give_up "loads from strided-stored array %s" a.Access.arr
+      | Access.Store, s ->
+        give_up "store to %s with %s stride" a.Access.arr
+          (Access.stride_to_string s)
+      | Access.Load, Access.Complex ->
+        give_up "load from %s with complex subscript" a.Access.arr
+      | Access.Load, Access.Invariant ->
+        if List.mem a.Access.arr stored then
+          give_up "invariant load from stored array %s" a.Access.arr
+      | Access.Load, (Access.Unit | Access.Strided _) -> ())
+    accesses;
+  let strided_groups = build_strided_groups ~index accesses in
+  (* 4. dependences; constant carried distances >= 2 become a max-VF
+     dependence hint instead of a rejection (Section III-B.b) *)
+  let max_vf =
+    match Dependence.check_max_vf accesses with
+    | Dependence.B_safe -> None
+    | Dependence.B_bounded d -> Some d
+    | Dependence.B_unsafe reason -> give_up "dependence: %s" reason
+  in
+  (* 5. scalars *)
+  let reductions, privates, blocker = Scalar_class.classify ~index body in
+  (match blocker with
+  | Some reason -> give_up "scalar: %s" reason
+  | None -> ());
+  (* Private values must not escape the loop. *)
+  let body_reads = count_reads body in
+  List.iter
+    (fun v ->
+      if reads_of shared.sh_kernel_reads v > reads_of body_reads v then
+        give_up "private %s is live after the loop" v)
+    privates;
+  (* 6. types *)
+  let types = value_types env body in
+  let tmin = smallest_type types in
+  (* 7. alignment plan *)
+  let plan = make_align_plan ~opts ~lo accesses in
+  let plan = if max_vf = None then plan else { plan with ap_peel = None } in
+  let vec_version =
+    generate_version ~shared ~opts ~loop ~group ~tmin ~reductions ~plan
+      ~strided_groups ~strided_store_groups ~max_vf
+  in
+  let stmts =
+    if opts.Options.hints && !(plan.ap_guard) <> [] then begin
+      let fallback =
+        generate_version ~shared ~opts:{ opts with Options.hints = false }
+          ~loop ~group ~tmin ~reductions ~plan:(no_hints_plan ())
+          ~strided_groups ~strided_store_groups ~max_vf
+      in
+      [
+        B.VS_version
+          {
+            B.guard = B.G_arrays_aligned (List.rev !(plan.ap_guard));
+            vec = vec_version;
+            fallback;
+          };
+      ]
+    end
+    else vec_version
+  in
+  (* Runtime aliasing checks: the vectorized versions above are only valid
+     when distinct array parameters do not overlap; when enabled, guard
+     them on disjointness with a scalar fallback. *)
+  let stmts =
+    if not opts.Options.alias_checks then stmts
+    else begin
+      let arrays =
+        List.sort_uniq String.compare
+          (List.map (fun (a : Access.t) -> a.Access.arr) accesses)
+      in
+      let pairs =
+        List.concat_map
+          (fun s ->
+            List.filter_map
+              (fun a -> if String.equal s a then None else Some (s, a))
+              arrays)
+          stored
+        |> List.sort_uniq compare
+        |> List.filter (fun (a, b) -> a < b || not (List.mem b stored))
+      in
+      if pairs = [] then stmts
+      else
+        [
+          B.VS_version
+            {
+              B.guard = B.G_arrays_disjoint pairs;
+              vec = stmts;
+              fallback =
+                [
+                  B.VS_for
+                    {
+                      B.index;
+                      lo = B.sexpr_of_ir lo;
+                      hi = B.sexpr_of_ir hi;
+                      step = B.S_int (Src_type.I32, 1);
+                      kind = B.L_scalar;
+                      group = 1;
+                      body = List.map B.vstmt_of_ir body;
+                    };
+                ];
+            };
+        ]
+    end
+  in
+  let features =
+    List.concat
+      [
+        (if reductions <> [] then [ "reduction" ] else []);
+        (if opts.Options.alias_checks then [ "alias-checks" ] else []);
+        (if Hashtbl.length strided_groups > 0 then [ "strided" ] else []);
+        (if Hashtbl.length strided_store_groups > 0 then
+           [ "interleaved-store" ]
+         else []);
+        (if group > 1 then [ Printf.sprintf "slp(g=%d)" group ] else []);
+        (if plan.ap_peel <> None then [ "runtime-peel" ] else []);
+        (match max_vf with
+        | Some d -> [ Printf.sprintf "max-vf=%d" d ]
+        | None -> []);
+        [ "tmin=" ^ Src_type.to_string tmin ];
+      ]
+  in
+  { stmts; features }

@@ -1,0 +1,37 @@
+(* Offline vectorizer configuration. *)
+
+type t = {
+  hints : bool;
+      (* emit alignment hints, versioning, peeling and optimized
+         realignment (disabling this is the Section V-A.b ablation) *)
+  slp : bool; (* straight-line (SLP) group re-rolling *)
+  outer : bool; (* outer-loop vectorization *)
+  unroll_trip : int; (* full unrolling threshold for constant trip counts *)
+  dot_product : bool; (* recognize the dot_product idiom *)
+  realign_reuse : bool;
+      (* software-pipelined realignment chains (Figure 2d data reuse);
+         disabled, explicit realignment reloads both vectors per access *)
+  alias_checks : bool;
+      (* version vectorized loops on runtime array disjointness; off by
+         default: array parameters behave like C99 restrict, as in the
+         paper's conservative configuration *)
+}
+
+let default =
+  {
+    hints = true;
+    slp = true;
+    outer = true;
+    unroll_trip = 4;
+    dot_product = true;
+    realign_reuse = true;
+    alias_checks = false;
+  }
+
+(* Alias-safe configuration: vectorized loops are guarded on runtime array
+   disjointness and fall back to scalar code when the runtime cannot prove
+   it (the paper's runtime aliasing checks). *)
+let with_alias_checks = { default with alias_checks = true }
+
+(* The ablation configuration of Section V-A.b: alignment machinery off. *)
+let no_hints = { default with hints = false }

@@ -1,0 +1,24 @@
+(** Offline vectorizer configuration. *)
+
+type t = {
+  hints : bool;
+      (** alignment hints, versioning, peeling and optimized realignment
+          (disabling this is the paper's Section V-A.b ablation) *)
+  slp : bool;  (** SLP group re-rolling *)
+  outer : bool;  (** outer-loop vectorization *)
+  unroll_trip : int;  (** full-unroll threshold for constant trip counts *)
+  dot_product : bool;  (** recognize the dot_product idiom *)
+  realign_reuse : bool;
+      (** software-pipelined realignment chains (Figure 2d data reuse) *)
+  alias_checks : bool;
+      (** version vectorized loops on runtime array disjointness *)
+}
+
+val default : t
+
+(** Guard vectorized loops on runtime array disjointness, falling back to
+    scalar code (the paper's runtime aliasing checks). *)
+val with_alias_checks : t
+
+(** The Section V-A.b ablation: all alignment machinery off. *)
+val no_hints : t

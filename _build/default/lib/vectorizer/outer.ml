@@ -1,0 +1,224 @@
+(* Outer-loop vectorization (Nuzman & Zaks, PACT'08): vectorize a non-
+   innermost loop directly, keeping contained inner loops scalar and
+   turning their bodies into vector code along the outer index.  Used when
+   the inner loop is not vectorizable (e.g. alvinn's in-loop reduction with
+   unit stride along the outer index only). *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+module Access = Vapor_analysis.Access
+module Dependence = Vapor_analysis.Dependence
+module Scalar_class = Vapor_analysis.Scalar_class
+open Vgen
+
+(* Indices of loops nested anywhere in [stmts]. *)
+let rec nested_indices stmts =
+  List.concat_map
+    (function
+      | Stmt.For { index; body; _ } -> index :: nested_indices body
+      | Stmt.If (_, t, e) -> nested_indices t @ nested_indices e
+      | Stmt.Assign _ | Stmt.Store _ -> [])
+    stmts
+
+let vectorize ~(shared : Inner.shared) (loop : Stmt.loop) : Inner.result =
+  let opts = shared.Inner.sh_opts in
+  let { Stmt.index; lo; hi; body } = loop in
+  let env = shared.Inner.sh_env in
+  if not opts.Options.outer then give_up "outer-loop vectorization disabled";
+  (* Structure: the body may contain inner loops, but only one level, and
+     their bodies must be straight-line. *)
+  List.iter
+    (fun s ->
+      match s with
+      | Stmt.Assign _ | Stmt.Store _ -> ()
+      | Stmt.If _ -> give_up "control flow in outer body"
+      | Stmt.For { body = ib; lo = ilo; hi = ihi; _ } ->
+        List.iter
+          (function
+            | Stmt.Assign _ | Stmt.Store _ -> ()
+            | Stmt.For _ -> give_up "more than two nesting levels"
+            | Stmt.If _ -> give_up "control flow in inner body")
+          ib;
+        List.iter
+          (fun e ->
+            if Expr.uses_var index e then
+              give_up "inner bounds depend on the outer index")
+          [ ilo; ihi ])
+    body;
+  if not (List.exists (function Stmt.For _ -> true | _ -> false) body) then
+    give_up "no inner loop (use inner-loop vectorization)";
+  let scalar_indices = nested_indices body in
+  (* Bounds invariance. *)
+  let assigned = Stmt.assigned_vars body in
+  List.iter
+    (fun e ->
+      if Expr.uses_var index e then give_up "loop bound uses the index";
+      if List.exists (fun v -> Expr.uses_var v e) assigned then
+        give_up "loop bound assigned in body")
+    [ lo; hi ];
+  (* Accesses along the outer index. *)
+  let accesses = Access.collect ~index ~elem_of:env.Expr.array_elem body in
+  let stored =
+    List.sort_uniq String.compare (List.map fst (Stmt.stores_of body))
+  in
+  List.iter
+    (fun (a : Access.t) ->
+      match a.Access.kind, a.Access.stride with
+      | Access.Store, Access.Unit -> ()
+      | Access.Store, s ->
+        give_up "store to %s with %s outer stride" a.Access.arr
+          (Access.stride_to_string s)
+      | Access.Load, (Access.Unit | Access.Invariant) -> ()
+      | Access.Load, Access.Strided _ ->
+        give_up "strided outer access to %s" a.Access.arr
+      | Access.Load, Access.Complex -> (
+        (* Subscripts like i*nout + j are linear in j with unit stride even
+           though they mention the scalar inner index; re-check linearity
+           treating inner indices as symbols. *)
+        match a.Access.poly with
+        | Some p -> (
+          match Vapor_analysis.Poly.linear_in index p with
+          | Some ((0 | 1), _) -> ()
+          | Some _ | None ->
+            give_up "complex outer subscript on %s" a.Access.arr)
+        | None -> give_up "non-polynomial subscript on %s" a.Access.arr))
+    accesses;
+  (match Dependence.check accesses with
+  | Dependence.Safe -> ()
+  | Dependence.Unsafe reason -> give_up "dependence: %s" reason);
+  (* Scalar classification across the region: no cross-lane reductions. *)
+  let reductions, privates, blocker =
+    Scalar_class.classify ~exclude:scalar_indices ~index body
+  in
+  (match blocker with
+  | Some reason -> give_up "scalar: %s" reason
+  | None -> ());
+  if reductions <> [] then
+    give_up "reduction across the outer loop is not lane-wise";
+  let body_reads = Inner.count_reads body in
+  List.iter
+    (fun v ->
+      if
+        (not (List.mem v scalar_indices))
+        && Inner.reads_of shared.Inner.sh_kernel_reads v
+           > Inner.reads_of body_reads v
+      then give_up "private %s is live after the loop" v)
+    privates;
+  let types = Inner.value_types env body in
+  let tmin = Inner.smallest_type types in
+  (* Alignment: static hints only (no peel across an outer loop). *)
+  let plan = Inner.make_align_plan ~opts ~lo accesses in
+  let plan = { plan with Inner.ap_peel = None } in
+  let generate (plan : Inner.align_plan) opts =
+    let ctx =
+      Inner.make_ctx ~shared ~opts ~index ~tmin ~stored
+        ~assigned:(List.filter (fun v -> not (List.mem v scalar_indices)) assigned)
+        ~scalar_indices ~hint_of:plan.Inner.ap_hint_of ~chains_allowed:false
+        ~entry_var:None ~strided_groups:(Hashtbl.create 1) ()
+    in
+    let vf = fresh_scalar ctx "vf" Src_type.I32 in
+    let mh = fresh_scalar ctx "mh" Src_type.I32 in
+    let lo_s = B.sexpr_of_ir lo and hi_s = B.sexpr_of_ir hi in
+    List.iter (vec_stmt ctx) body;
+    let vec_body = List.rev ctx.out in
+    let header =
+      [
+        B.VS_assign (vf, B.S_get_vf tmin);
+        B.VS_assign
+          ( mh,
+            s_add lo_s
+              (s_mul
+                 (Inner.s_div (Inner.s_sub hi_s lo_s) (Inner.s_var vf))
+                 (Inner.s_var vf)) );
+      ]
+    in
+    let main_loop =
+      B.VS_for
+        {
+          B.index;
+          lo = lo_s;
+          hi = Inner.s_var mh;
+          step = Inner.s_var vf;
+          kind = B.L_vector;
+          group = 1;
+          body = vec_body;
+        }
+    in
+    let epilogue =
+      B.VS_for
+        {
+          B.index;
+          lo = B.S_loop_bound (Inner.s_var mh, lo_s);
+          hi = hi_s;
+          step = s_int 1;
+          kind = B.L_scalar;
+          group = 1;
+          body = List.map B.vstmt_of_ir body;
+        }
+    in
+    Inner.flush_ctx shared ctx;
+    header
+    @ [
+        B.VS_if
+          (Inner.vector_mode_cond, List.rev ctx.pre @ [ main_loop ], []);
+        epilogue;
+      ]
+  in
+  let vec_version = generate plan opts in
+  let stmts =
+    if opts.Options.hints && !(plan.Inner.ap_guard) <> [] then
+      [
+        B.VS_version
+          {
+            B.guard = B.G_arrays_aligned (List.rev !(plan.Inner.ap_guard));
+            vec = vec_version;
+            fallback =
+              generate (Inner.no_hints_plan ())
+                { opts with Options.hints = false };
+          };
+      ]
+    else vec_version
+  in
+  (* Runtime aliasing checks, as in the inner-loop path. *)
+  let stmts =
+    if not opts.Options.alias_checks then stmts
+    else begin
+      let arrays =
+        List.sort_uniq String.compare
+          (List.map (fun (a : Access.t) -> a.Access.arr) accesses)
+      in
+      let pairs =
+        List.concat_map
+          (fun st ->
+            List.filter_map
+              (fun a -> if String.equal st a then None else Some (st, a))
+              arrays)
+          stored
+        |> List.sort_uniq compare
+        |> List.filter (fun (a, b) -> a < b || not (List.mem b stored))
+      in
+      if pairs = [] then stmts
+      else
+        [
+          B.VS_version
+            {
+              B.guard = B.G_arrays_disjoint pairs;
+              vec = stmts;
+              fallback =
+                [
+                  B.VS_for
+                    {
+                      B.index;
+                      lo = B.sexpr_of_ir lo;
+                      hi = B.sexpr_of_ir hi;
+                      step = s_int 1;
+                      kind = B.L_scalar;
+                      group = 1;
+                      body = List.map B.vstmt_of_ir body;
+                    };
+                ];
+            };
+        ]
+    end
+  in
+  { Inner.stmts; features = [ "outer-loop"; "tmin=" ^ Src_type.to_string tmin ] }

@@ -1,0 +1,164 @@
+(* Loop-aware SLP: re-rolling of isomorphic statement groups.
+
+   A loop whose body is a group of g isomorphic stores to consecutive
+   locations [g*i + 0 .. g*i + g-1], with every load group equally
+   consecutive, is rewritten into a unit-stride loop over a virtual element
+   index.  The re-rolled loop then vectorizes with the ordinary inner-loop
+   machinery — this is how mix_streams_s16's four-channel block becomes
+   vector code (Section II's SLP discussion). *)
+
+open Vapor_ir
+module Poly = Vapor_analysis.Poly
+
+type rerolled = {
+  group : int; (* g: statements merged per virtual iteration *)
+  loop : Stmt.loop; (* the rewritten unit-stride loop *)
+}
+
+(* Check that expressions [es] (one per group member t = 0..g-1) are
+   isomorphic: identical shapes and leaves, except loads whose subscripts
+   advance by exactly t elements.  Returns the representative expression
+   (member 0) rewritten for the virtual index, given [rebase] mapping a
+   member-0 subscript to the virtual form. *)
+let rec zip_group ~rebase (es : Expr.t list) : Expr.t option =
+  match es with
+  | [] -> None
+  | e0 :: rest ->
+    let arity_ok =
+      List.for_all
+        (fun e ->
+          match e0, e with
+          | Expr.Int_lit (t1, v1), Expr.Int_lit (t2, v2) ->
+            Src_type.equal t1 t2 && v1 = v2
+          | Expr.Float_lit (t1, v1), Expr.Float_lit (t2, v2) ->
+            Src_type.equal t1 t2 && Float.equal v1 v2
+          | Expr.Var a, Expr.Var b -> String.equal a b
+          | Expr.Load (a, _), Expr.Load (b, _) -> String.equal a b
+          | Expr.Binop (o1, _, _), Expr.Binop (o2, _, _) -> o1 = o2
+          | Expr.Unop (o1, _), Expr.Unop (o2, _) -> o1 = o2
+          | Expr.Convert (t1, _), Expr.Convert (t2, _) -> Src_type.equal t1 t2
+          | Expr.Select _, Expr.Select _ -> true
+          | ( ( Expr.Int_lit _ | Expr.Float_lit _ | Expr.Var _ | Expr.Load _
+              | Expr.Binop _ | Expr.Unop _ | Expr.Convert _ | Expr.Select _ ),
+              _ ) ->
+            false)
+        rest
+    in
+    if not arity_ok then None
+    else
+      let children e =
+        match e with
+        | Expr.Int_lit _ | Expr.Float_lit _ | Expr.Var _ -> []
+        | Expr.Load (_, i) -> [ i ]
+        | Expr.Binop (_, a, b) -> [ a; b ]
+        | Expr.Unop (_, a) | Expr.Convert (_, a) -> [ a ]
+        | Expr.Select (c, a, b) -> [ c; a; b ]
+      in
+      match e0 with
+      | Expr.Load (arr, idx0) ->
+        (* Subscripts must advance by exactly t for member t. *)
+        let ok =
+          List.for_all2
+            (fun t e ->
+              match e with
+              | Expr.Load (_, idx) -> (
+                match Poly.of_expr idx0, Poly.of_expr idx with
+                | Some p0, Some p -> Poly.const_diff p p0 = Some t
+                | (None | Some _), _ -> false)
+              | _ -> false)
+            (List.init (List.length rest) (fun t -> t + 1))
+            rest
+        in
+        if ok then Option.map (fun i -> Expr.Load (arr, i)) (rebase idx0)
+        else None
+      | Expr.Int_lit _ | Expr.Float_lit _ | Expr.Var _ -> Some e0
+      | Expr.Binop (op, _, _) -> (
+        let cs = List.map children es in
+        match
+          ( zip_group ~rebase (List.map (fun c -> List.nth c 0) cs),
+            zip_group ~rebase (List.map (fun c -> List.nth c 1) cs) )
+        with
+        | Some a, Some b -> Some (Expr.Binop (op, a, b))
+        | (None | Some _), _ -> None)
+      | Expr.Unop (op, _) ->
+        Option.map
+          (fun a -> Expr.Unop (op, a))
+          (zip_group ~rebase (List.map (fun e -> List.hd (children e)) es))
+      | Expr.Convert (ty, _) ->
+        Option.map
+          (fun a -> Expr.Convert (ty, a))
+          (zip_group ~rebase (List.map (fun e -> List.hd (children e)) es))
+      | Expr.Select _ -> None
+
+(* Try to re-roll loop [l] whose body is a complete isomorphic store group. *)
+let reroll (l : Stmt.loop) : rerolled option =
+  let { Stmt.index; lo; hi; body } = l in
+  let stores =
+    List.map
+      (function
+        | Stmt.Store (arr, idx, v) -> Some (arr, idx, v)
+        | Stmt.Assign _ | Stmt.For _ | Stmt.If _ -> None)
+      body
+  in
+  if List.exists Option.is_none stores then None
+  else
+    let stores = List.filter_map Fun.id stores in
+    let g = List.length stores in
+    if g < 2 then None
+    else
+      match stores with
+      | [] -> None
+      | (arr0, idx0, _) :: rest ->
+        let same_array =
+          List.for_all (fun (a, _, _) -> String.equal a arr0) rest
+        in
+        let p0 = Poly.of_expr idx0 in
+        let group_ok =
+          same_array
+          && (match p0 with
+             | Some p -> (
+               match Poly.linear_in index p with
+               | Some (s, _) -> s = g
+               | None -> false)
+             | None -> false)
+          && List.for_all2
+               (fun t (_, idx, _) ->
+                 match p0, Poly.of_expr idx with
+                 | Some p0, Some p -> Poly.const_diff p p0 = Some t
+                 | (None | Some _), _ -> false)
+               (List.init (g - 1) (fun t -> t + 1))
+               rest
+        in
+        if not group_ok then None
+        else
+          (* Virtual index ii = g*i + base; member-0 subscripts [sub] become
+             [ii + (sub - sub0)], valid when the difference is constant. *)
+          let ii = index ^ "$slp" in
+          let rebase sub =
+            match p0, Poly.of_expr sub with
+            | Some p0, Some p -> (
+              match Poly.const_diff p p0 with
+              | Some 0 -> Some (Expr.Var ii)
+              | Some d ->
+                Some
+                  (Expr.Binop
+                     (Op.Add, Expr.Var ii, Expr.Int_lit (Src_type.I32, d)))
+              | None -> None)
+            | (None | Some _), _ -> None
+          in
+          let values = List.map (fun (_, _, v) -> v) stores in
+          match zip_group ~rebase values with
+          | None -> None
+          | Some value ->
+            let at_index bound = Expr.subst_var index bound idx0 in
+            Some
+              {
+                group = g;
+                loop =
+                  {
+                    Stmt.index = ii;
+                    lo = at_index lo;
+                    hi = at_index hi;
+                    body = [ Stmt.Store (arr0, Expr.Var ii, value) ];
+                  };
+              }

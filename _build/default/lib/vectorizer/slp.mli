@@ -1,0 +1,13 @@
+(** Loop-aware SLP: re-rolling of complete isomorphic store groups
+    [g*i + 0 .. g*i + g-1] into a unit-stride loop over a virtual element
+    index, which then vectorizes with the ordinary inner-loop machinery
+    (mix_streams_s16). *)
+
+open Vapor_ir
+
+type rerolled = {
+  group : int;  (** statements merged per virtual iteration *)
+  loop : Stmt.loop;  (** the rewritten unit-stride loop *)
+}
+
+val reroll : Stmt.loop -> rerolled option

@@ -1,0 +1,50 @@
+(* Full unrolling of tiny constant-trip-count loops.
+
+   This enabling transformation turns e.g. convolve's 3x3 kernel loops into
+   straight-line code so that the surrounding column loop becomes the
+   innermost, vectorizable loop. *)
+
+open Vapor_ir
+
+let const_of e =
+  match Vapor_analysis.Poly.of_expr e with
+  | Some p -> Vapor_analysis.Poly.to_const p
+  | None -> None
+
+let rec unroll_stmt ~trip_limit (s : Stmt.t) : Stmt.t list =
+  match s with
+  | Stmt.Assign _ | Stmt.Store _ -> [ s ]
+  | Stmt.If (c, t, e) ->
+    [
+      Stmt.If
+        ( c,
+          List.concat_map (unroll_stmt ~trip_limit) t,
+          List.concat_map (unroll_stmt ~trip_limit) e );
+    ]
+  | Stmt.For { index; lo; hi; body } -> (
+    let body = List.concat_map (unroll_stmt ~trip_limit) body in
+    let flat =
+      List.for_all
+        (function
+          | Stmt.Assign _ | Stmt.Store _ -> true
+          | Stmt.For _ | Stmt.If _ -> false)
+        body
+    in
+    match const_of lo, const_of hi with
+    | Some l, Some h when flat && h - l >= 0 && h - l <= trip_limit ->
+      let subst_stmt i s =
+        let v = Expr.Int_lit (Src_type.I32, i) in
+        match s with
+        | Stmt.Assign (x, e) -> Stmt.Assign (x, Expr.subst_var index v e)
+        | Stmt.Store (arr, idx, e) ->
+          Stmt.Store (arr, Expr.subst_var index v idx, Expr.subst_var index v e)
+        | Stmt.For _ | Stmt.If _ -> assert false
+      in
+      List.concat_map
+        (fun i -> List.map (subst_stmt i) body)
+        (List.init (h - l) (fun k -> l + k))
+    | _ -> [ Stmt.For { index; lo; hi; body } ])
+
+(* Unroll all qualifying loops in a kernel body, innermost-first. *)
+let run ~trip_limit (k : Kernel.t) : Kernel.t =
+  { k with Kernel.body = List.concat_map (unroll_stmt ~trip_limit) k.Kernel.body }

@@ -1,0 +1,5 @@
+(** Full unrolling of tiny constant-trip-count loops: the enabling
+    transformation that turns convolve's 3x3 kernel loops into straight-
+    line code so the surrounding loop becomes innermost and vectorizable. *)
+
+val run : trip_limit:int -> Vapor_ir.Kernel.t -> Vapor_ir.Kernel.t

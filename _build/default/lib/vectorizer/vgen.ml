@@ -1,0 +1,649 @@
+(* Vector code generation: the shared machinery that turns scalar
+   expressions and statements of a vectorizable loop into split-layer
+   bytecode.
+
+   Mixed element widths follow the classic rule: with Tmin the smallest
+   type in the loop, VF = get_VF(Tmin), and a value of type T is carried in
+   k(T) = sizeof(T)/sizeof(Tmin) vector registers per iteration — a
+   target-independent count, which is what makes the bytecode VS-agnostic.
+   Widening produces 2k registers via unpack_lo/hi (or widen_mult), and
+   narrowing packs pairs. *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+module Hint = Vapor_vecir.Hint
+module Poly = Vapor_analysis.Poly
+module Access = Vapor_analysis.Access
+
+exception Give_up of string
+
+let give_up fmt = Format.kasprintf (fun s -> raise (Give_up s)) fmt
+
+type load_form =
+  | F_aload (* provably aligned for every VS *)
+  | F_realign of bool (* optimized realignment; true = use a reuse chain *)
+  | F_plain (* misaligned access, hints as given *)
+
+(* State of one optimized-realignment reuse chain (Figure 3a's va/vb/rt). *)
+type chain = {
+  ch_carry : string;
+  ch_rt : string;
+}
+
+type reduction_gen = {
+  rg_op : Op.binop;
+  rg_ty : Src_type.t; (* accumulator element type *)
+  rg_slices : string array;
+  rg_dot : Src_type.t option; (* Some src_ty when using dot_product *)
+}
+
+type t = {
+  opts : Options.t;
+  index : string; (* the vectorized loop index *)
+  tmin : Src_type.t;
+  env : Expr.env;
+  stored_arrays : string list;
+  assigned_vars : string list; (* scalars assigned in the region *)
+  scalar_indices : string list; (* inner-loop indices (outer mode): uniform *)
+  hint_of : arr:string -> base:Poly.t option -> Hint.t;
+  chains_allowed : bool;
+  entry_var : string option; (* main-loop entry index value, for preloads *)
+  fresh_counter : int ref;
+  mutable new_vlocals : (string * Src_type.t) list;
+  mutable new_locals : (string * Src_type.t) list;
+  mutable pre : B.vstmt list; (* reversed; emitted before the vector loop *)
+  mutable out : B.vstmt list; (* reversed; current emission point *)
+  splat_cache : (string, string) Hashtbl.t;
+  load_cache : (string, B.vexpr array) Hashtbl.t;
+  chains : (string, chain) Hashtbl.t;
+  vec_vars : (string, string array) Hashtbl.t;
+  reductions : (string, reduction_gen) Hashtbl.t;
+  (* strided interleave groups: access poly key -> (phase, window subscript
+     expression of the group's lowest member) *)
+  strided_groups : (string, int * Expr.t) Hashtbl.t;
+  (* stride-2 store groups: poly key -> (phase, group id, window subscript);
+     values are buffered until both phases arrive, then stored through
+     interleave_lo/hi *)
+  strided_store_groups : (string, int * string * Expr.t) Hashtbl.t;
+  pending_stores : (string, (Src_type.t * Expr.t * B.vexpr array) array) Hashtbl.t;
+}
+
+let fresh ctx prefix =
+  incr ctx.fresh_counter;
+  Printf.sprintf "%s$%d" prefix !(ctx.fresh_counter)
+
+let fresh_vec ctx prefix ty =
+  let name = fresh ctx prefix in
+  ctx.new_vlocals <- (name, ty) :: ctx.new_vlocals;
+  name
+
+let fresh_scalar ctx prefix ty =
+  let name = fresh ctx prefix in
+  ctx.new_locals <- (name, ty) :: ctx.new_locals;
+  name
+
+let emit ctx s = ctx.out <- s :: ctx.out
+let emit_pre ctx s = ctx.pre <- s :: ctx.pre
+
+let type_of ctx e = Expr.type_of ctx.env e
+
+(* Registers per value of type [ty] (see module comment). *)
+let multiplicity ctx ty =
+  let k = Src_type.size_of ty / Src_type.size_of ctx.tmin in
+  if k < 1 then
+    give_up "type %s narrower than loop's minimum type %s"
+      (Src_type.to_string ty) (Src_type.to_string ctx.tmin)
+  else k
+
+let s_int v = B.S_int (Src_type.I32, v)
+let s_add a b = B.S_binop (Op.Add, a, b)
+let s_mul a b = B.S_binop (Op.Mul, a, b)
+
+(* Element offset of slice [j] for type [ty]: j * get_VF(ty). *)
+let slice_idx ctx j ty subscript =
+  ignore ctx;
+  let base = B.sexpr_of_ir subscript in
+  if j = 0 then base else s_add base (s_mul (s_int j) (B.S_get_vf ty))
+
+let poly_key p = Poly.to_string p
+
+(* --- invariance ------------------------------------------------------- *)
+
+(* Lane-uniform: same value in every lane of the vectorized index. *)
+let rec lane_uniform ctx (e : Expr.t) =
+  match e with
+  | Expr.Int_lit _ | Expr.Float_lit _ -> true
+  | Expr.Var v ->
+    (not (String.equal v ctx.index))
+    && (List.mem v ctx.scalar_indices
+       || not (List.mem v ctx.assigned_vars))
+  | Expr.Load (arr, idx) ->
+    lane_uniform ctx idx && not (List.mem arr ctx.stored_arrays)
+  | Expr.Binop (_, a, b) -> lane_uniform ctx a && lane_uniform ctx b
+  | Expr.Unop (_, a) | Expr.Convert (_, a) -> lane_uniform ctx a
+  | Expr.Select (c, a, b) ->
+    lane_uniform ctx c && lane_uniform ctx a && lane_uniform ctx b
+
+(* Hoistable out of the whole region: lane-uniform and independent of the
+   region's scalar loop indices. *)
+let rec hoistable ctx (e : Expr.t) =
+  lane_uniform ctx e
+  &&
+  match e with
+  | Expr.Int_lit _ | Expr.Float_lit _ -> true
+  | Expr.Var v -> not (List.mem v ctx.scalar_indices)
+  | Expr.Load (_, idx) -> hoistable ctx idx
+  | Expr.Binop (_, a, b) -> hoistable ctx a && hoistable ctx b
+  | Expr.Unop (_, a) | Expr.Convert (_, a) -> hoistable ctx a
+  | Expr.Select (c, a, b) ->
+    hoistable ctx c && hoistable ctx a && hoistable ctx b
+
+(* Splat a lane-uniform expression; hoisted and cached when possible. *)
+let splat ctx ty (e : Expr.t) : B.vexpr array =
+  let k = multiplicity ctx ty in
+  let mk () = B.V_init_uniform (ty, B.sexpr_of_ir e) in
+  if hoistable ctx e then begin
+    let key = Src_type.to_string ty ^ ":" ^ Expr.to_string e in
+    let name =
+      match Hashtbl.find_opt ctx.splat_cache key with
+      | Some n -> n
+      | None ->
+        let n = fresh_vec ctx "vcst" ty in
+        emit_pre ctx (B.VS_vassign (n, mk ()));
+        Hashtbl.replace ctx.splat_cache key n;
+        n
+    in
+    Array.make k (B.V_var name)
+  end
+  else Array.make k (mk ())
+
+(* --- loads ------------------------------------------------------------ *)
+
+let load_form ctx hint ~stored =
+  if not ctx.opts.Options.hints then F_plain
+  else
+    match (hint : Hint.t) with
+    | Hint.Static 0 | Hint.Peeled 0 -> F_aload
+    | Hint.Static _ | Hint.Peeled _ | Hint.Unknown ->
+      if Hint.known_mis hint = None && not ctx.opts.Options.hints then F_plain
+      else F_realign (ctx.chains_allowed && not stored)
+
+(* Emit the k slice values for a unit-stride load. *)
+let unit_load ctx ty arr subscript base_poly : B.vexpr array =
+  let k = multiplicity ctx ty in
+  let hint = ctx.hint_of ~arr ~base:base_poly in
+  let stored = List.mem arr ctx.stored_arrays in
+  let key =
+    Printf.sprintf "%s[%s]" arr
+      (match base_poly with
+      | Some p -> poly_key p
+      | None -> Expr.to_string subscript)
+  in
+  match Hashtbl.find_opt ctx.load_cache key with
+  | Some slices -> slices
+  | None ->
+    let slices =
+      match load_form ctx hint ~stored with
+      | F_aload ->
+        Array.init k (fun j ->
+            B.V_aload (ty, arr, slice_idx ctx j ty subscript))
+      | F_plain ->
+        Array.init k (fun j ->
+            B.V_load (ty, arr, slice_idx ctx j ty subscript, Hint.Unknown))
+      | F_realign false ->
+        Array.init k (fun j ->
+            let idx = slice_idx ctx j ty subscript in
+            B.V_realign
+              {
+                B.r_ty = ty;
+                r_v1 = B.V_align_load (ty, arr, idx);
+                r_v2 = B.V_align_load (ty, arr, s_add idx (B.S_get_vf ty));
+                r_rt = B.V_get_rt (ty, arr, idx, hint);
+                r_arr = arr;
+                r_idx = idx;
+                r_hint = hint;
+              })
+      | F_realign true ->
+        (* Software-pipelined reuse: one carried aligned vector per stream,
+           k fresh aligned loads per iteration (Figure 2d generalized). *)
+        let chain =
+          match Hashtbl.find_opt ctx.chains key with
+          | Some c -> c
+          | None ->
+            let carry = fresh_vec ctx "va" ty in
+            let rt = fresh_vec ctx "rt" ty in
+            let entry =
+              match ctx.entry_var with
+              | Some v -> Expr.subst_var ctx.index (Expr.Var v) subscript
+              | None -> subscript
+            in
+            let entry_idx = B.sexpr_of_ir entry in
+            emit_pre ctx
+              (B.VS_vassign (rt, B.V_get_rt (ty, arr, entry_idx, hint)));
+            emit_pre ctx
+              (B.VS_vassign (carry, B.V_align_load (ty, arr, entry_idx)));
+            let c = { ch_carry = carry; ch_rt = rt } in
+            Hashtbl.replace ctx.chains key c;
+            c
+        in
+        let next =
+          Array.init k (fun j ->
+              let nv = fresh_vec ctx "vb" ty in
+              let idx = slice_idx ctx j ty subscript in
+              emit ctx
+                (B.VS_vassign
+                   (nv, B.V_align_load (ty, arr, s_add idx (B.S_get_vf ty))));
+              nv)
+        in
+        let slices =
+          Array.init k (fun j ->
+              let idx = slice_idx ctx j ty subscript in
+              let v1 =
+                if j = 0 then B.V_var chain.ch_carry
+                else B.V_var next.(j - 1)
+              in
+              let tmp = fresh_vec ctx "vx" ty in
+              emit ctx
+                (B.VS_vassign
+                   ( tmp,
+                     B.V_realign
+                       {
+                         B.r_ty = ty;
+                         r_v1 = v1;
+                         r_v2 = B.V_var next.(j);
+                         r_rt = B.V_var chain.ch_rt;
+                         r_arr = arr;
+                         r_idx = idx;
+                         r_hint = hint;
+                       } ));
+              B.V_var tmp)
+        in
+        emit ctx (B.VS_vassign (chain.ch_carry, B.V_var next.(k - 1)));
+        slices
+    in
+    (* Cache only loads from arrays that are not stored in the region: a
+       later store would make the cached value stale. *)
+    if not stored then Hashtbl.replace ctx.load_cache key slices;
+    slices
+
+(* Strided load through an interleave group prepared by the caller
+   ([strided_groups] maps the access's poly key to its phase and the
+   group's lane-0 window subscript). *)
+let strided_load ctx ty arr subscript stride poly : B.vexpr array =
+  let k = multiplicity ctx ty in
+  let key = Printf.sprintf "%s[%s]" arr (poly_key poly) in
+  match Hashtbl.find_opt ctx.strided_groups key with
+  | None -> give_up "strided access %s without a complete interleave group" key
+  | Some (phase, window) ->
+    ignore subscript;
+    Array.init k (fun j ->
+        let parts =
+          List.init stride (fun l ->
+              let off = (j * stride) + l in
+              let idx =
+                s_add (B.sexpr_of_ir window)
+                  (s_mul (s_int off) (B.S_get_vf ty))
+              in
+              let pkey = Printf.sprintf "%s#p%d" key off in
+              match Hashtbl.find_opt ctx.load_cache pkey with
+              | Some s -> s.(0)
+              | None ->
+                let tmp = fresh_vec ctx "vp" ty in
+                emit ctx
+                  (B.VS_vassign (tmp, B.V_load (ty, arr, idx, Hint.Unknown)));
+                Hashtbl.replace ctx.load_cache pkey [| B.V_var tmp |];
+                B.V_var tmp)
+        in
+        B.V_extract
+          { B.e_ty = ty; e_stride = stride; e_offset = phase; e_parts = parts })
+
+(* --- expressions ------------------------------------------------------ *)
+
+let same_size_int ty =
+  match ty with
+  | Src_type.F32 -> Src_type.I32
+  | Src_type.F64 -> Src_type.I64
+  | t -> t
+
+(* Recognize Mul(Convert(T2,a), Convert(T2,b)) with both operands of equal
+   narrow integer type T, T2 = widen T, and both lane-varying. *)
+let widen_mult_pattern ctx (e : Expr.t) =
+  match e with
+  | Expr.Binop (Op.Mul, Expr.Convert (t2, a), Expr.Convert (t2', b))
+    when Src_type.equal t2 t2' -> (
+    let ta = type_of ctx a and tb = type_of ctx b in
+    match Src_type.widen ta with
+    | Some w
+      when Src_type.equal ta tb && Src_type.is_int ta && Src_type.equal w t2
+           && (not (lane_uniform ctx a))
+           && not (lane_uniform ctx b) ->
+      Some (ta, a, b)
+    | Some _ | None -> None)
+  | _ -> None
+
+let rec vec_expr ctx (e : Expr.t) : B.vexpr array =
+  let ty = type_of ctx e in
+  if lane_uniform ctx e then splat ctx ty e
+  else
+    match e with
+    | Expr.Var v when String.equal v ctx.index ->
+      (* The index as a value: an affine vector per slice. *)
+      let k = multiplicity ctx ty in
+      if not (Src_type.is_int ty) then give_up "float-typed index";
+      Array.init k (fun j ->
+          let start =
+            if j = 0 then B.S_var ctx.index
+            else s_add (B.S_var ctx.index) (s_mul (s_int j) (B.S_get_vf ty))
+          in
+          B.V_init_affine (ty, start, s_int 1))
+    | Expr.Var v -> (
+      match Hashtbl.find_opt ctx.vec_vars v with
+      | Some slices -> Array.map (fun s -> B.V_var s) slices
+      | None -> give_up "scalar %s read before being vectorized" v)
+    | Expr.Load (arr, subscript) -> (
+      let elem = ctx.env.Expr.array_elem arr in
+      match Access.classify_subscript ~index:ctx.index subscript with
+      | _, Access.Unit, base -> unit_load ctx elem arr subscript base
+      | Some poly, Access.Strided s, _ ->
+        strided_load ctx elem arr subscript s poly
+      | None, Access.Strided _, _ ->
+        give_up "strided access with non-polynomial subscript on %s" arr
+      | _, Access.Invariant, _ ->
+        (* lane_uniform already handled non-stored arrays; reaching here
+           means the array is also stored in the region. *)
+        give_up "invariant load from stored array %s" arr
+      | _, Access.Complex, _ ->
+        give_up "complex subscript on %s (gather not supported)" arr)
+    | Expr.Binop ((Op.Shl | Op.Shr) as op, a, amt) ->
+      if not (lane_uniform ctx amt) then
+        give_up "vector shift by lane-varying amount";
+      let va = vec_expr ctx a in
+      Array.map (fun x -> B.V_shift (op, ty, x, B.sexpr_of_ir amt)) va
+    | Expr.Binop (op, _, _) when Op.is_comparison op ->
+      give_up "vector comparison not supported"
+    | Expr.Binop (op, a, b) -> (
+      match widen_mult_pattern ctx e with
+      | Some (src_ty, wa, wb) ->
+        let va = vec_expr ctx wa and vb = vec_expr ctx wb in
+        Array.concat
+          (List.init (Array.length va) (fun j ->
+               [|
+                 B.V_widen_mult (B.Lo, src_ty, va.(j), vb.(j));
+                 B.V_widen_mult (B.Hi, src_ty, va.(j), vb.(j));
+               |]))
+      | None ->
+        let va = vec_expr ctx a and vb = vec_expr ctx b in
+        Array.map2 (fun x y -> B.V_binop (op, ty, x, y)) va vb)
+    | Expr.Unop (op, a) ->
+      let va = vec_expr ctx a in
+      Array.map (fun x -> B.V_unop (op, ty, x)) va
+    | Expr.Convert (t2, a) -> vec_convert ctx t2 a
+    | Expr.Select (c, a, b) -> (
+      (* Vector select: the condition must be an elementwise comparison
+         whose operand width matches the value width (same lane count). *)
+      match c with
+      | Expr.Binop (op, x, y) when Op.is_comparison op ->
+        let cty = type_of ctx x in
+        if Src_type.size_of cty <> Src_type.size_of ty then
+          give_up "select condition width differs from value width";
+        let vx = vec_expr ctx x and vy = vec_expr ctx y in
+        let va = vec_expr ctx a and vb = vec_expr ctx b in
+        Array.init (Array.length va) (fun j ->
+            B.V_select (ty, B.V_cmp (op, cty, vx.(j), vy.(j)), va.(j), vb.(j)))
+      | _ -> give_up "select with a non-comparison condition")
+    | Expr.Int_lit _ | Expr.Float_lit _ ->
+      assert false (* literals are lane-uniform *)
+
+and vec_convert ctx t2 a : B.vexpr array =
+  let t1 = type_of ctx a in
+  let s1 = Src_type.size_of t1 and s2 = Src_type.size_of t2 in
+  if s1 = s2 then
+    let va = vec_expr ctx a in
+    if Src_type.equal t1 t2 then va
+    else Array.map (fun x -> B.V_cvt (t1, t2, x)) va
+  else if s2 = 2 * s1 then begin
+    (* Widen one step: unpack_lo/hi, then adjust with a same-size cvt when
+       the canonical widening partner differs from the target. *)
+    let w =
+      match Src_type.widen t1 with
+      | Some w -> w
+      | None -> give_up "cannot widen %s" (Src_type.to_string t1)
+    in
+    if Src_type.is_float t2 && Src_type.is_int t1 && not (Src_type.is_float w)
+    then
+      (* e.g. s16 -> f32: widen to s32 first, then convert. *)
+      vec_convert ctx t2 (Expr.Convert (w, a))
+    else
+      let va = vec_expr ctx a in
+      let unpacked =
+        Array.concat
+          (List.init (Array.length va) (fun j ->
+               [| B.V_unpack (B.Lo, t1, va.(j)); B.V_unpack (B.Hi, t1, va.(j)) |]))
+      in
+      if Src_type.equal w t2 then unpacked
+      else Array.map (fun x -> B.V_cvt (w, t2, x)) unpacked
+  end
+  else if s2 > s1 then
+    (* Multi-step widening via the canonical partner. *)
+    let w =
+      match Src_type.widen t1 with
+      | Some w -> w
+      | None -> give_up "cannot widen %s" (Src_type.to_string t1)
+    in
+    vec_convert ctx t2 (Expr.Convert (w, a))
+  else if 2 * s2 = s1 then begin
+    (* Narrow one step: floats first convert to the same-size integer
+       (truncation), then pack pairs. *)
+    if Src_type.is_float t1 && Src_type.is_int t2 then
+      vec_convert ctx t2 (Expr.Convert (same_size_int t1, a))
+    else
+      let n =
+        match Src_type.narrow t1 with
+        | Some n -> n
+        | None -> give_up "cannot narrow %s" (Src_type.to_string t1)
+      in
+      let va = vec_expr ctx a in
+      let k = Array.length va in
+      assert (k mod 2 = 0);
+      let packed =
+        Array.init (k / 2)
+          (fun j -> B.V_pack (t1, va.(2 * j), va.((2 * j) + 1)))
+      in
+      if Src_type.equal n t2 then packed
+      else Array.map (fun x -> B.V_cvt (n, t2, x)) packed
+  end
+  else
+    (* Multi-step narrowing. *)
+    let n =
+      match
+        if Src_type.is_float t1 && Src_type.is_int t2 then
+          Some (same_size_int t1)
+        else Src_type.narrow t1
+      with
+      | Some n -> n
+      | None -> give_up "cannot narrow %s" (Src_type.to_string t1)
+    in
+    vec_convert ctx t2 (Expr.Convert (n, a))
+
+(* --- statements ------------------------------------------------------- *)
+
+(* Identity literal of a reduction at [ty], as a bytecode scalar expr. *)
+let identity_sexpr op ty =
+  match B.reduction_identity op ty with
+  | Value.Int v -> B.S_int (ty, v)
+  | Value.Float v -> B.S_float (ty, v)
+
+let reduction_update ctx (rg : reduction_gen) (rhs : Expr.t) =
+  match rg.rg_dot with
+  | Some src_ty ->
+    let a, b =
+      match widen_mult_pattern ctx rhs with
+      | Some (_, a, b) -> a, b
+      | None -> assert false (* kind was decided from the same pattern *)
+    in
+    let va = vec_expr ctx a and vb = vec_expr ctx b in
+    Array.iteri
+      (fun j acc ->
+        emit ctx
+          (B.VS_vassign
+             (acc, B.V_dot_product (src_ty, va.(j), vb.(j), B.V_var acc))))
+      rg.rg_slices
+  | None ->
+    let vr = vec_expr ctx rhs in
+    Array.iteri
+      (fun j acc ->
+        emit ctx
+          (B.VS_vassign (acc, B.V_binop (rg.rg_op, rg.rg_ty, B.V_var acc, vr.(j)))))
+      rg.rg_slices
+
+(* Initialize reduction accumulators (before the vector loop). *)
+let reduction_init ctx var (rg : reduction_gen) =
+  Array.iteri
+    (fun j acc ->
+      let init =
+        if j = 0 then B.V_init_reduc (rg.rg_op, rg.rg_ty, B.S_var var)
+        else B.V_init_uniform (rg.rg_ty, identity_sexpr rg.rg_op rg.rg_ty)
+      in
+      emit_pre ctx (B.VS_vassign (acc, init)))
+    rg.rg_slices
+
+(* Fold accumulators back into the scalar (after the vector loop). *)
+let reduction_final _ctx var (rg : reduction_gen) : B.vstmt =
+  let combined =
+    Array.fold_left
+      (fun acc s ->
+        match acc with
+        | None -> Some (B.V_var s)
+        | Some v -> Some (B.V_binop (rg.rg_op, rg.rg_ty, v, B.V_var s)))
+      None rg.rg_slices
+  in
+  match combined with
+  | Some v -> B.VS_assign (var, B.S_reduc (rg.rg_op, rg.rg_ty, v))
+  | None -> assert false
+
+let rec vec_stmt ctx (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (v, rhs) -> (
+    match Hashtbl.find_opt ctx.reductions v with
+    | Some rg ->
+      let rhs' =
+        match Vapor_analysis.Scalar_class.reduction_pattern v rhs with
+        | Some { Vapor_analysis.Scalar_class.rhs; _ } -> rhs
+        | None -> assert false
+      in
+      reduction_update ctx rg rhs'
+    | None ->
+      let ty = ctx.env.Expr.var_type v in
+      let vr = vec_expr ctx rhs in
+      let slices =
+        match Hashtbl.find_opt ctx.vec_vars v with
+        | Some s -> s
+        | None ->
+          let s =
+            Array.init (Array.length vr) (fun _ -> fresh_vec ctx ("v" ^ v) ty)
+          in
+          Hashtbl.replace ctx.vec_vars v s;
+          s
+      in
+      Array.iteri (fun j x -> emit ctx (B.VS_vassign (slices.(j), x))) vr)
+  | Stmt.Store (arr, subscript, value) -> (
+    let elem = ctx.env.Expr.array_elem arr in
+    let poly, stride, base =
+      Access.classify_subscript ~index:ctx.index subscript
+    in
+    match stride with
+    | Access.Strided 2 -> (
+      (* A member of a complete stride-2 store group: buffer the value
+         slices; on the last member, merge lanes with interleave_lo/hi and
+         store two contiguous vectors per slice (Table 1's interleave). *)
+      let key =
+        match poly with
+        | Some p -> Printf.sprintf "%s[%s]" arr (poly_key p)
+        | None -> give_up "strided store with non-polynomial subscript"
+      in
+      match Hashtbl.find_opt ctx.strided_store_groups key with
+      | None -> give_up "strided store to %s without a complete group" arr
+      | Some (phase, group_id, window) ->
+        let vv = vec_expr ctx value in
+        let pending =
+          match Hashtbl.find_opt ctx.pending_stores group_id with
+          | Some p -> p
+          | None ->
+            let p = Array.make 2 (elem, window, [||]) in
+            Hashtbl.replace ctx.pending_stores group_id p;
+            p
+        in
+        pending.(phase) <- (elem, window, vv);
+        let (_, _, v0) = pending.(0) and (_, _, v1) = pending.(1) in
+        if Array.length v0 > 0 && Array.length v1 > 0 then begin
+          Hashtbl.remove ctx.pending_stores group_id;
+          let hint =
+            if ctx.opts.Options.hints then
+              ctx.hint_of ~arr ~base:None (* window alignment is dynamic *)
+            else Hint.Unknown
+          in
+          let m = B.S_get_vf elem in
+          Array.iteri
+            (fun j x0 ->
+              let lo = B.V_interleave (B.Lo, elem, x0, v1.(j)) in
+              let hi = B.V_interleave (B.Hi, elem, x0, v1.(j)) in
+              let widx off =
+                s_add (B.sexpr_of_ir window) (s_mul (s_int off) m)
+              in
+              emit ctx
+                (B.VS_vstore
+                   { B.st_arr = arr; st_idx = widx (2 * j); st_ty = elem;
+                     st_value = lo; st_hint = hint });
+              emit ctx
+                (B.VS_vstore
+                   { B.st_arr = arr; st_idx = widx ((2 * j) + 1);
+                     st_ty = elem; st_value = hi; st_hint = hint }))
+            v0
+        end)
+    | Access.Unit ->
+    let hint = ctx.hint_of ~arr ~base in
+    let hint = if ctx.opts.Options.hints then hint else Hint.Unknown in
+    let vv = vec_expr ctx value in
+    Array.iteri
+      (fun j x ->
+        emit ctx
+          (B.VS_vstore
+             {
+               B.st_arr = arr;
+               st_idx = slice_idx ctx j elem subscript;
+               st_ty = elem;
+               st_value = x;
+               st_hint = hint;
+             }))
+      vv;
+    (* Stores invalidate cached loads of the same array. *)
+    Hashtbl.iter
+      (fun key _ ->
+        if String.length key >= String.length arr
+           && String.sub key 0 (String.length arr) = arr
+        then Hashtbl.remove ctx.load_cache key)
+      (Hashtbl.copy ctx.load_cache)
+    | (Access.Invariant | Access.Strided _ | Access.Complex) as st ->
+      give_up "store to %s with %s stride" arr (Access.stride_to_string st))
+  | Stmt.For { index; lo; hi; body } ->
+    (* Only reachable in outer-loop mode: a lane-uniform inner loop whose
+       body is vectorized along the outer index. *)
+    if not (lane_uniform ctx lo && lane_uniform ctx hi) then
+      give_up "inner loop bounds vary across lanes";
+    let saved = ctx.out in
+    ctx.out <- [];
+    List.iter (vec_stmt ctx) body;
+    let inner_body = List.rev ctx.out in
+    ctx.out <- saved;
+    emit ctx
+      (B.VS_for
+         {
+           B.index;
+           lo = B.sexpr_of_ir lo;
+           hi = B.sexpr_of_ir hi;
+           step = s_int 1;
+           kind = B.L_scalar;
+           group = 1;
+           body = inner_body;
+         })
+  | Stmt.If _ -> give_up "control flow in vectorized body"

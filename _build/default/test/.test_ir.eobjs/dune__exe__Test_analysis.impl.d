@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Gen Kernel List Option Printf QCheck QCheck_alcotest Src_type Stmt Vapor_analysis Vapor_frontend Vapor_ir

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Buffer_ Eval Expr Ir_print Kernel List Op Printf QCheck QCheck_alcotest Src_type Stmt Value Vapor_frontend Vapor_ir Vapor_kernels

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Lazy List Printf Vapor_harness Vapor_jit Vapor_kernels Vapor_targets Vapor_vecir Vapor_vectorizer

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Buffer_ Expr List Op QCheck QCheck_alcotest Src_type Value Vapor_ir

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Buffer_ Eval Format List Printf Vapor_harness Vapor_ir Vapor_jit Vapor_kernels Vapor_targets

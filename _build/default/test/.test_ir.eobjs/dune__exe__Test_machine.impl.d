@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Buffer_ Bytes Eval List Op Src_type Value Vapor_harness Vapor_ir Vapor_jit Vapor_kernels Vapor_machine Vapor_targets

@@ -1,0 +1,1 @@
+test/test_vecir.ml: Alcotest Array Buffer_ Eval Fun Kernel List Op Printf QCheck QCheck_alcotest Src_type String Value Vapor_ir Vapor_vecir

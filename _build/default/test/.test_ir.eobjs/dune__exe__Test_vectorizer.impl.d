@@ -1,0 +1,1 @@
+test/test_vectorizer.ml: Alcotest Buffer_ Eval Format List Printf String Vapor_frontend Vapor_ir Vapor_kernels Vapor_vecir Vapor_vectorizer

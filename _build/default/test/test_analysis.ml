@@ -1,0 +1,227 @@
+(* Analysis-library tests: polynomial normal forms, access classification,
+   dependence verdicts, scalar classification, and alignment arithmetic. *)
+
+open Vapor_ir
+module Poly = Vapor_analysis.Poly
+module Access = Vapor_analysis.Access
+module Dependence = Vapor_analysis.Dependence
+module Scalar_class = Vapor_analysis.Scalar_class
+module Alignment = Vapor_analysis.Alignment
+module Fe = Vapor_frontend
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* Parse an expression in a context with arrays a,b and scalars i,j,k,n,m. *)
+let expr src =
+  let k =
+    Printf.sprintf
+      "kernel t(f32 a[], f32 b[], s32 i, s32 j, s32 k, s32 n, s32 m, s32 x) { x = %s; }"
+      src
+  in
+  match (Fe.Typecheck.compile_one k).Kernel.body with
+  | [ Stmt.Assign (_, e) ] -> e
+  | _ -> fail "bad expr fixture"
+
+let poly src =
+  match Poly.of_expr (expr src) with
+  | Some p -> p
+  | None -> fail ("not a polynomial: " ^ src)
+
+(* --- Poly --------------------------------------------------------------- *)
+
+let test_poly_const_diff () =
+  let cases =
+    [
+      "i * n + j + 1", "i * n + j", Some 1;
+      "j * n + i", "i * n + j", None;
+      "4 * i + 3", "4 * i", Some 3;
+      "(i + 1) * n", "i * n + n", Some 0;
+      "2 * (i + j)", "2 * i + 2 * j", Some 0;
+      "i * i", "i", None;
+    ]
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      check
+        (Alcotest.option Alcotest.int)
+        (a ^ " - " ^ b) expected
+        (Poly.const_diff (poly a) (poly b)))
+    cases
+
+let test_poly_linear_in () =
+  (match Poly.linear_in "i" (poly "i * n + j") with
+  | Some (0, _) | None -> () (* symbolic stride must not report linear *)
+  | Some (s, _) -> fail (Printf.sprintf "i*n reported stride %d in i" s));
+  (match Poly.linear_in "j" (poly "i * n + j") with
+  | Some (1, rest) ->
+    check (Alcotest.option Alcotest.int) "rest is i*n" None (Poly.to_const rest)
+  | _ -> fail "j stride");
+  (match Poly.linear_in "i" (poly "4 * i + 2") with
+  | Some (4, rest) ->
+    check (Alcotest.option Alcotest.int) "base" (Some 2) (Poly.to_const rest)
+  | _ -> fail "4i+2");
+  match Poly.linear_in "i" (poly "i * i") with
+  | None -> ()
+  | Some _ -> fail "quadratic must not be linear"
+
+let test_poly_known_mod () =
+  check (Alcotest.option Alcotest.int) "8k+2 mod 8" (Some 2)
+    (Poly.known_mod 8 (poly "8 * k + 2"));
+  check (Alcotest.option Alcotest.int) "8k+2 mod 16" None
+    (Poly.known_mod 16 (poly "8 * k + 2"));
+  check (Alcotest.option Alcotest.int) "-3 mod 8 positive" (Some 5)
+    (Poly.known_mod 8 (poly "8 * k - 3"));
+  check (Alcotest.option Alcotest.int) "k mod 8" None
+    (Poly.known_mod 8 (poly "k"))
+
+let test_poly_algebra () =
+  check Alcotest.bool "mul distributes" true
+    (Poly.equal
+       (poly "(i + 2) * (j + 3)")
+       (poly "i * j + 3 * i + 2 * j + 6"));
+  check Alcotest.bool "sub cancels" true
+    (Poly.equal (poly "i * n - i * n") Poly.zero)
+
+let prop_diff_self_zero =
+  QCheck.Test.make ~count:200 ~name:"p - p = 0"
+    QCheck.(list_of_size (Gen.int_range 0 4) (pair (int_range 0 2) (int_range (-5) 5)))
+    (fun terms ->
+      let vars = [| "i"; "j"; "n" |] in
+      let p =
+        List.fold_left
+          (fun acc (v, c) ->
+            Poly.add acc (Poly.scale c (Poly.var vars.(v))))
+          (Poly.const 7) terms
+      in
+      Poly.const_diff p p = Some 0)
+
+(* --- Access ------------------------------------------------------------- *)
+
+let elem_of _ = Src_type.F32
+
+let classify src =
+  let _, stride, _ = Access.classify_subscript ~index:"i" (expr src) in
+  Access.stride_to_string stride
+
+let test_access_classify () =
+  check Alcotest.string "unit" "unit" (classify "i + 3");
+  check Alcotest.string "unit with symbolic base" "unit" (classify "k * n + i");
+  check Alcotest.string "invariant" "invariant" (classify "j * n + 4");
+  check Alcotest.string "strided" "strided(2)" (classify "2 * i + 1");
+  check Alcotest.string "symbolic stride" "complex" (classify "i * n");
+  check Alcotest.string "negative" "complex" (classify "n - i")
+
+(* --- Dependence --------------------------------------------------------- *)
+
+let body_of src =
+  let k =
+    Printf.sprintf
+      "kernel t(f32 a[], f32 b[], s32 j, s32 k, s32 n, s32 m) { for (i = 0; i < n; i++) { %s } }"
+      src
+  in
+  match (Fe.Typecheck.compile_one k).Kernel.body with
+  | [ Stmt.For { body; _ } ] -> body
+  | _ -> fail "bad body fixture"
+
+let verdict src =
+  let accesses =
+    Access.collect ~index:"i" ~elem_of (body_of src)
+  in
+  match Dependence.check accesses with
+  | Dependence.Safe -> "safe"
+  | Dependence.Unsafe _ -> "unsafe"
+
+let test_dependence () =
+  check Alcotest.string "rmw same index" "safe"
+    (verdict "a[i] = a[i] + 1.0;");
+  check Alcotest.string "distance 1" "unsafe"
+    (verdict "a[i] = a[i - 1] + 1.0;");
+  check Alcotest.string "forward distance" "unsafe"
+    (verdict "a[i] = a[i + 2] + 1.0;");
+  check Alcotest.string "different arrays" "safe"
+    (verdict "a[i] = b[i + 5] + 1.0;");
+  check Alcotest.string "interleaved lanes never meet" "safe"
+    (verdict "a[2 * i] = a[2 * i + 1] + 1.0;");
+  check Alcotest.string "symbolic distance" "unsafe"
+    (verdict "a[i] = a[i + n] + 1.0;");
+  check Alcotest.string "invariant load of stored array" "unsafe"
+    (verdict "a[i] = a[k] + 1.0;");
+  check Alcotest.string "same fixed cell rmw" "safe"
+    (verdict "a[k] = a[k] + 1.0;")
+
+(* --- Scalar_class ------------------------------------------------------- *)
+
+let classify_scalars src =
+  let reductions, privates, blocker =
+    Scalar_class.classify ~index:"i" (body_of src)
+  in
+  ( List.map (fun r -> r.Scalar_class.var) reductions,
+    privates,
+    Option.is_some blocker )
+
+let test_scalar_class () =
+  let r, p, b = classify_scalars "j = j + 1;" in
+  check (Alcotest.list Alcotest.string) "sum reduction" [ "j" ] r;
+  check (Alcotest.list Alcotest.string) "no privates" [] p;
+  check Alcotest.bool "no blocker" false b;
+  let r, p, b = classify_scalars "k = 2; m = k + m;" in
+  check (Alcotest.list Alcotest.string) "m reduction" [ "m" ] r;
+  check (Alcotest.list Alcotest.string) "k private" [ "k" ] p;
+  check Alcotest.bool "no blocker" false b;
+  (* first touch is a kill, then self-updates: private, like convolve's acc *)
+  let r, p, b = classify_scalars "k = 0; k = k + 1; k = k + 2; a[i] = (f32)k;" in
+  check (Alcotest.list Alcotest.string) "no reductions" [] r;
+  check (Alcotest.list Alcotest.string) "k private" [ "k" ] p;
+  check Alcotest.bool "no blocker" false b;
+  (* read before any assignment: carried *)
+  let _, _, b = classify_scalars "a[i] = (f32)k; k = k + 1;" in
+  check Alcotest.bool "carried blocks" true b;
+  (* reduction accumulator also read: partial sums observable *)
+  let _, _, b = classify_scalars "j = j + 1; a[i] = (f32)j;" in
+  check Alcotest.bool "read accumulator blocks" true b;
+  (* min reduction *)
+  let r, _, _ = classify_scalars "m = min(m, k);" in
+  check (Alcotest.list Alcotest.string) "min reduction" [ "m" ] r;
+  (* mul is not a supported reduction *)
+  let _, _, b = classify_scalars "m = m * 2;" in
+  check Alcotest.bool "mul blocks" true b
+
+(* --- Alignment ---------------------------------------------------------- *)
+
+let test_alignment () =
+  check (Alcotest.option Alcotest.int) "f32 at 8k+2" (Some 8)
+    (Alignment.misalign_bytes ~elem:Src_type.F32 (poly "8 * k + 2"));
+  check (Alcotest.option Alcotest.int) "f32 at i" None
+    (Alignment.misalign_bytes ~elem:Src_type.F32 (poly "i"));
+  check (Alcotest.option Alcotest.int) "s8 at 3" (Some 3)
+    (Alignment.misalign_bytes ~elem:Src_type.I8 (poly "3"));
+  check (Alcotest.option Alcotest.int) "relative, symbolic base" (Some 4)
+    (Alignment.relative_misalign_bytes ~elem:Src_type.F32
+       ~anchor:(poly "i * n") (poly "i * n + 1"));
+  check (Alcotest.option Alcotest.int) "relative negative wraps" (Some 28)
+    (Alignment.relative_misalign_bytes ~elem:Src_type.F32
+       ~anchor:(poly "i * n") (poly "i * n - 1"));
+  check (Alcotest.option Alcotest.int) "relative unknown" None
+    (Alignment.relative_misalign_bytes ~elem:Src_type.F32
+       ~anchor:(poly "i * n") (poly "i * m"))
+
+let qsuite name tests = name, List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "poly",
+        [
+          Alcotest.test_case "const_diff" `Quick test_poly_const_diff;
+          Alcotest.test_case "linear_in" `Quick test_poly_linear_in;
+          Alcotest.test_case "known_mod" `Quick test_poly_known_mod;
+          Alcotest.test_case "algebra" `Quick test_poly_algebra;
+        ] );
+      qsuite "poly-props" [ prop_diff_self_zero ];
+      "access", [ Alcotest.test_case "classify" `Quick test_access_classify ];
+      "dependence", [ Alcotest.test_case "verdicts" `Quick test_dependence ];
+      ( "scalar_class",
+        [ Alcotest.test_case "classification" `Quick test_scalar_class ] );
+      "alignment", [ Alcotest.test_case "misalign" `Quick test_alignment ];
+    ]

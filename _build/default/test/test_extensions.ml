@@ -1,0 +1,330 @@
+(* Tests for the split-layer extensions beyond the paper's evaluated
+   feature set: interleaved (stride-2) stores, if-conversion with vector
+   select, and dependence-distance hints with per-target JIT decisions. *)
+
+open Vapor_ir
+module Suite = Vapor_kernels.Suite
+module Flows = Vapor_harness.Flows
+module Driver = Vapor_vectorizer.Driver
+module Profile = Vapor_jit.Profile
+module Compile = Vapor_jit.Compile
+module Fe = Vapor_frontend
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let sse = Vapor_targets.Sse.target
+let avx = Vapor_targets.Avx.target
+
+let features name =
+  let result = Driver.vectorize (Suite.kernel (Suite.find name)) in
+  List.concat_map
+    (fun (e : Driver.report_entry) ->
+      match e.Driver.status with
+      | Driver.Vectorized fs -> fs
+      | Driver.Not_vectorized _ -> [])
+    result.Driver.report
+
+let has_feature name f =
+  check Alcotest.bool
+    (Printf.sprintf "%s has %s (got: %s)" name f
+       (String.concat ", " (features name)))
+    true
+    (List.mem f (features name))
+
+(* --- interleaved stores -------------------------------------------------- *)
+
+let test_interleave_store_features () =
+  has_feature "stereo_gain" "interleaved-store";
+  has_feature "cmul" "interleaved-store";
+  has_feature "cmul" "strided"
+
+let test_interleave_store_speedup () =
+  let entry = Suite.find "stereo_gain" in
+  let v = Flows.split_vector ~target:sse ~profile:Profile.gcc4cli entry ~scale:2 in
+  let s = Flows.split_scalar ~target:sse ~profile:Profile.gcc4cli entry ~scale:2 in
+  check Alcotest.bool "vectorized" true v.Flows.vectorized;
+  let speedup = float_of_int s.Flows.cycles /. float_of_int v.Flows.cycles in
+  if speedup < 1.3 then
+    fail (Printf.sprintf "stereo_gain speedup only %.2fx" speedup)
+
+let test_incomplete_store_group_rejected () =
+  (* Only one phase stored: no complete group, must stay scalar. *)
+  let k =
+    Fe.Typecheck.compile_one
+      "kernel t(f32 a[], f32 b[], s32 n) { for (i = 0; i < n; i++) { b[2 * i] = a[i]; } }"
+  in
+  let r = Driver.vectorize k in
+  match r.Driver.report with
+  | [ { Driver.status = Driver.Not_vectorized _; _ } ] -> ()
+  | _ -> fail "expected rejection of a partial store group"
+
+let test_store_group_with_loads_rejected () =
+  (* Loads from the strided-stored array would be reordered by buffering. *)
+  let k =
+    Fe.Typecheck.compile_one
+      "kernel t(f32 b[], s32 n) { for (i = 0; i < n; i++) { b[2 * i] = 1.0; b[2 * i + 1] = b[2 * i + 4]; } }"
+  in
+  let r = Driver.vectorize k in
+  match r.Driver.report with
+  | [ { Driver.status = Driver.Not_vectorized _; _ } ] -> ()
+  | _ -> fail "expected rejection when the stored array is also loaded"
+
+(* --- if-conversion / vector select --------------------------------------- *)
+
+let test_select_vectorizes () =
+  has_feature "clamp_fp" "tmin=s32" |> ignore;
+  check Alcotest.bool "clamp vectorizes" true (features "clamp_fp" <> []);
+  check Alcotest.bool "relu vectorizes" true (features "relu_fp" <> [])
+
+let test_ifconv_semantics () =
+  (* Guarded update with an else branch and multiple targets. *)
+  let k =
+    Fe.Typecheck.compile_one
+      {|kernel t(f32 x[], f32 y[], s32 n) {
+          for (i = 0; i < n; i++) {
+            if (x[i] < 0.0) { y[i] = 0.0 - x[i]; } else { y[i] = x[i] * 2.0; }
+          }
+        }|}
+  in
+  let r = Driver.vectorize k in
+  (match r.Driver.report with
+  | [ { Driver.status = Driver.Vectorized _; _ } ] -> ()
+  | _ -> fail ("if/else did not vectorize: " ^ Driver.report_to_string r));
+  (* differential check through veval at several vector sizes *)
+  let n = 37 in
+  let x = Buffer_.init Src_type.F32 n (fun i -> Value.Float (float_of_int (i - 18))) in
+  let mk () =
+    [ "x", Eval.Array (Buffer_.copy x);
+      "y", Eval.Array (Buffer_.create Src_type.F32 n);
+      "n", Eval.Scalar (Value.Int n) ]
+  in
+  let ref_args = mk () in
+  ignore (Eval.run k ~args:ref_args);
+  List.iter
+    (fun vs ->
+      let args = mk () in
+      ignore
+        (Vapor_vecir.Veval.run r.Driver.vkernel
+           ~mode:(Vapor_vecir.Veval.Vector vs) ~args);
+      List.iter2
+        (fun (_, b1) (_, b2) ->
+          if not (Buffer_.equal b1 b2) then fail "if-conversion wrong result")
+        (Suite.arrays_of_args ref_args)
+        (Suite.arrays_of_args args))
+    [ 8; 16; 32 ]
+
+let test_ifconv_div_rejected () =
+  (* A division in a branch must block if-conversion (masked traps). *)
+  let k =
+    Fe.Typecheck.compile_one
+      {|kernel t(s32 x[], s32 n) {
+          for (i = 0; i < n; i++) {
+            if (x[i] > 0) { x[i] = 100 / x[i]; }
+          }
+        }|}
+  in
+  let r = Driver.vectorize k in
+  (match r.Driver.report with
+  | [ { Driver.status = Driver.Not_vectorized _; _ } ] -> ()
+  | _ -> fail "division inside a branch must not be if-converted");
+  (* and the kernel still runs correctly (scalar), including the x=0 case *)
+  let x = Buffer_.of_ints Src_type.I32 [| 5; 0; -3; 10 |] in
+  ignore
+    (Eval.run k
+       ~args:[ "x", Eval.Array x; "n", Eval.Scalar (Value.Int 4) ]);
+  check (Alcotest.list Alcotest.int) "scalar semantics intact"
+    [ 20; 0; -3; 10 ]
+    (Array.to_list (Array.map Value.to_int (Buffer_.to_values x)))
+
+(* --- dependence distance hints ------------------------------------------- *)
+
+let test_max_vf_feature () = has_feature "recurrence_fp" "max-vf=4"
+
+let test_max_vf_per_target () =
+  let entry = Suite.find "recurrence_fp" in
+  (* SSE: VF(f32)=4 <= 4 -> vector code. *)
+  let v_sse = Flows.split_vector ~target:sse ~profile:Profile.gcc4cli entry ~scale:2 in
+  check Alcotest.bool "sse vectorizes" true v_sse.Flows.vectorized;
+  (* AVX: VF(f32)=8 > 4 -> the JIT must scalarize, and at scalar cost. *)
+  let v_avx = Flows.split_vector ~target:avx ~profile:Profile.gcc4cli entry ~scale:2 in
+  check Alcotest.bool "avx scalarizes" false v_avx.Flows.vectorized;
+  let s_avx = Flows.split_scalar ~target:avx ~profile:Profile.gcc4cli entry ~scale:2 in
+  let ratio = float_of_int v_avx.Flows.cycles /. float_of_int s_avx.Flows.cycles in
+  if ratio > 1.05 then
+    fail (Printf.sprintf "AVX scalarization overhead %.2fx" ratio)
+
+let test_distance_one_still_rejected () =
+  let k =
+    Fe.Typecheck.compile_one
+      "kernel t(f32 x[], s32 n) { for (i = 1; i < n; i++) { x[i] = x[i - 1] + 1.0; } }"
+  in
+  let r = Driver.vectorize k in
+  match r.Driver.report with
+  | [ { Driver.status = Driver.Not_vectorized _; _ } ] -> ()
+  | _ -> fail "distance-1 recurrence must stay scalar"
+
+let test_min_distance_wins () =
+  (* Two carried distances: the hint must use the smaller one. *)
+  let k =
+    Fe.Typecheck.compile_one
+      {|kernel t(f32 x[], s32 n) {
+          for (i = 8; i < n; i++) { x[i] = x[i - 8] + x[i - 2]; }
+        }|}
+  in
+  let r = Driver.vectorize k in
+  let fs =
+    List.concat_map
+      (fun (e : Driver.report_entry) ->
+        match e.Driver.status with
+        | Driver.Vectorized fs -> fs
+        | Driver.Not_vectorized _ -> [])
+      r.Driver.report
+  in
+  check Alcotest.bool
+    ("max-vf=2 (got: " ^ String.concat ", " fs ^ ")")
+    true (List.mem "max-vf=2" fs)
+
+(* --- runtime alias checks ------------------------------------------------- *)
+
+let prop_kernel =
+  (* a[i+1] = b[i]: with a == b this is a cascading copy that vectorization
+     would break (whole windows are loaded before any store). *)
+  {|kernel prop(f32 b[], f32 a[], s32 n) {
+      for (i = 0; i < n - 1; i++) { a[i + 1] = b[i]; }
+    }|}
+
+let alias_ref n =
+  let buf = Buffer_.init Src_type.F32 n (fun i -> Value.Float (float_of_int i)) in
+  let k = Fe.Typecheck.compile_one prop_kernel in
+  ignore
+    (Eval.run k
+       ~args:
+         [ "b", Eval.Array buf; "a", Eval.Array buf;
+           "n", Eval.Scalar (Value.Int n) ]);
+  buf
+
+let test_alias_guard_bytecode () =
+  let k = Fe.Typecheck.compile_one prop_kernel in
+  let r =
+    Driver.vectorize ~opts:Vapor_vectorizer.Options.with_alias_checks k
+  in
+  let text = Vapor_vecir.Vec_print.to_string r.Driver.vkernel in
+  check Alcotest.bool "has no-alias guard" true
+    (let rec find i =
+       i + 22 <= String.length text
+       && (String.sub text i 22 = "version_guard_no_alias" || find (i + 1))
+     in
+     find 0)
+
+let test_alias_veval_fallback () =
+  (* Aliased buffers + guard answering false: the scalar fallback must
+     reproduce the cascade. *)
+  let n = 41 in
+  let expected = alias_ref n in
+  let k = Fe.Typecheck.compile_one prop_kernel in
+  let r =
+    Driver.vectorize ~opts:Vapor_vectorizer.Options.with_alias_checks k
+  in
+  let buf = Buffer_.init Src_type.F32 n (fun i -> Value.Float (float_of_int i)) in
+  ignore
+    (Vapor_vecir.Veval.run
+       ~guard_true:(function
+         | Vapor_vecir.Bytecode.G_arrays_disjoint _ -> false
+         | Vapor_vecir.Bytecode.G_arrays_aligned _ -> true)
+       r.Driver.vkernel ~mode:(Vapor_vecir.Veval.Vector 16)
+       ~args:
+         [ "b", Eval.Array buf; "a", Eval.Array buf;
+           "n", Eval.Scalar (Value.Int n) ]);
+  check Alcotest.bool "cascade preserved" true (Buffer_.equal expected buf)
+
+let test_alias_machine_fallback () =
+  (* End-to-end: aliased placement + a JIT that cannot prove disjointness
+     must produce the scalar cascade on the simulator. *)
+  let n = 41 in
+  let expected = alias_ref n in
+  let k = Fe.Typecheck.compile_one prop_kernel in
+  let r =
+    Driver.vectorize ~opts:Vapor_vectorizer.Options.with_alias_checks k
+  in
+  let compiled =
+    Compile.compile
+      ~known_disjoint:(fun _ _ -> false)
+      ~target:sse ~profile:Profile.gcc4cli r.Driver.vkernel
+  in
+  let b = Buffer_.init Src_type.F32 n (fun i -> Value.Float (float_of_int i)) in
+  let a = Buffer_.create Src_type.F32 n in
+  let policy name =
+    if name = "a" then Vapor_machine.Layout.Same_as "b"
+    else Vapor_machine.Layout.Aligned
+  in
+  ignore
+    (Vapor_harness.Exec.run ~policy sse compiled
+       ~args:
+         [ "b", Eval.Array b; "a", Eval.Array a;
+           "n", Eval.Scalar (Value.Int n) ]);
+  check Alcotest.bool "machine cascade preserved" true
+    (Buffer_.equal expected a)
+
+let test_alias_vector_when_disjoint () =
+  (* With disjoint buffers the guarded kernel still vectorizes and matches
+     the plain copy semantics. *)
+  let n = 41 in
+  let k = Fe.Typecheck.compile_one prop_kernel in
+  let r =
+    Driver.vectorize ~opts:Vapor_vectorizer.Options.with_alias_checks k
+  in
+  let b = Buffer_.init Src_type.F32 n (fun i -> Value.Float (float_of_int i)) in
+  let a = Buffer_.create Src_type.F32 n in
+  ignore
+    (Vapor_vecir.Veval.run r.Driver.vkernel
+       ~mode:(Vapor_vecir.Veval.Vector 16)
+       ~args:
+         [ "b", Eval.Array b; "a", Eval.Array a;
+           "n", Eval.Scalar (Value.Int n) ]);
+  let ok = ref true in
+  for i = 1 to n - 1 do
+    if not (Value.equal (Buffer_.get a i) (Value.Float (float_of_int (i - 1))))
+    then ok := false
+  done;
+  check Alcotest.bool "plain copy when disjoint" true !ok
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "interleaved-stores",
+        [
+          Alcotest.test_case "features" `Quick test_interleave_store_features;
+          Alcotest.test_case "speedup" `Quick test_interleave_store_speedup;
+          Alcotest.test_case "partial group rejected" `Quick
+            test_incomplete_store_group_rejected;
+          Alcotest.test_case "loads rejected" `Quick
+            test_store_group_with_loads_rejected;
+        ] );
+      ( "if-conversion",
+        [
+          Alcotest.test_case "select vectorizes" `Quick test_select_vectorizes;
+          Alcotest.test_case "if/else semantics" `Quick test_ifconv_semantics;
+          Alcotest.test_case "division rejected" `Quick
+            test_ifconv_div_rejected;
+        ] );
+      ( "alias-checks",
+        [
+          Alcotest.test_case "guard in bytecode" `Quick
+            test_alias_guard_bytecode;
+          Alcotest.test_case "veval fallback" `Quick
+            test_alias_veval_fallback;
+          Alcotest.test_case "machine fallback" `Quick
+            test_alias_machine_fallback;
+          Alcotest.test_case "vector when disjoint" `Quick
+            test_alias_vector_when_disjoint;
+        ] );
+      ( "dependence-hints",
+        [
+          Alcotest.test_case "feature" `Quick test_max_vf_feature;
+          Alcotest.test_case "per-target decision" `Quick
+            test_max_vf_per_target;
+          Alcotest.test_case "distance 1 rejected" `Quick
+            test_distance_one_still_rejected;
+          Alcotest.test_case "min distance wins" `Quick test_min_distance_wins;
+        ] );
+    ]

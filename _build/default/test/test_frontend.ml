@@ -1,0 +1,365 @@
+(* Frontend tests: lexing, parsing, type checking, and whole-suite
+   compile+evaluate smoke coverage. *)
+
+open Vapor_ir
+module Fe = Vapor_frontend
+module Suite = Vapor_kernels.Suite
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* --- Lexer --- *)
+
+let test_lex_simple () =
+  let toks = Fe.Lexer.tokenize "for (i = 0; i < n; i++) { x += 1.5; }" in
+  check Alcotest.int "token count" 20 (List.length toks)
+
+let test_lex_comments () =
+  let toks =
+    Fe.Lexer.tokenize "a = 1; // comment\n/* block\ncomment */ b = 2;"
+  in
+  let idents =
+    List.filter (function Fe.Token.IDENT _, _ -> true | _ -> false) toks
+  in
+  check Alcotest.int "two idents" 2 (List.length idents)
+
+let test_lex_float_forms () =
+  let floats src =
+    Fe.Lexer.tokenize src
+    |> List.filter_map (function Fe.Token.FLOAT f, _ -> Some f | _ -> None)
+  in
+  check (Alcotest.list (Alcotest.float 1e-9)) "float literals"
+    [ 0.2; 5.0; 1500.0 ]
+    (floats "0.2 5.0f 1.5e3")
+
+let test_lex_line_numbers () =
+  let toks = Fe.Lexer.tokenize "a\nb\nc" in
+  let lines = List.map snd toks in
+  check (Alcotest.list Alcotest.int) "line numbers" [ 1; 2; 3; 3 ] lines
+
+let test_lex_error () =
+  match Fe.Lexer.tokenize "a = $;" with
+  | _ -> fail "expected lex error"
+  | exception Fe.Lexer.Lex_error _ -> ()
+
+(* --- Parser --- *)
+
+let parse_expr_of src =
+  let k =
+    Printf.sprintf "kernel t(f32 a[], s32 n) { s32 x; x = %s; }" src
+  in
+  match Fe.Parser.parse_one k with
+  | { Fe.Ast.k_body = [ Fe.Ast.Decl _; Fe.Ast.Assign (_, e) ]; _ } -> e
+  | _ -> fail "unexpected parse shape"
+
+let test_parse_precedence () =
+  (match parse_expr_of "1 + 2 * 3" with
+  | Fe.Ast.Binop (Op.Add, Fe.Ast.Int_lit 1, Fe.Ast.Binop (Op.Mul, _, _)) -> ()
+  | _ -> fail "precedence: * binds tighter than +");
+  match parse_expr_of "1 << 2 + 3" with
+  | Fe.Ast.Binop (Op.Shl, Fe.Ast.Int_lit 1, Fe.Ast.Binop (Op.Add, _, _)) -> ()
+  | _ -> fail "precedence: + binds tighter than <<"
+
+let test_parse_cast_vs_paren () =
+  (match parse_expr_of "(s16)n" with
+  | Fe.Ast.Cast (Src_type.I16, Fe.Ast.Ident "n") -> ()
+  | _ -> fail "cast");
+  match parse_expr_of "(n)" with
+  | Fe.Ast.Ident "n" -> ()
+  | _ -> fail "parenthesized ident"
+
+let test_parse_ternary () =
+  match parse_expr_of "n < 3 ? 1 : 2" with
+  | Fe.Ast.Ternary (Fe.Ast.Binop (Op.Lt, _, _), _, _) -> ()
+  | _ -> fail "ternary"
+
+let test_parse_calls () =
+  (match parse_expr_of "min(1, 2)" with
+  | Fe.Ast.Call ("min", [ _; _ ]) -> ()
+  | _ -> fail "min call");
+  match parse_expr_of "abs(n)" with
+  | Fe.Ast.Call ("abs", [ _ ]) -> ()
+  | _ -> fail "abs call"
+
+let test_parse_for_mismatch () =
+  let src = "kernel t(s32 n) { for (i = 0; j < n; i++) { n = 1; } }" in
+  match Fe.Parser.parse_one src with
+  | _ -> fail "expected parse error for mismatched loop variable"
+  | exception Fe.Parser.Parse_error _ -> ()
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Fe.Parser.parse_one src with
+      | _ -> fail ("expected parse error: " ^ src)
+      | exception Fe.Parser.Parse_error _ -> ())
+    [
+      "kernel t(s32 n) { n = ; }";
+      "kernel t(s32 n) { for (i = 0; i < n; i--) { } }";
+      "kernel t(s32 n) { if n { } }";
+      "kernel t(s32 n) { n = 1 }";
+    ]
+
+(* --- Type checking --- *)
+
+let test_typecheck_literal_adapt () =
+  let k =
+    Fe.Typecheck.compile_one
+      "kernel t(f64 x[], s32 n) { for (i = 0; i < n; i++) { x[i] = x[i] * 2.0; } }"
+  in
+  (* The 2.0 literal must have been retyped to f64, with no Convert. *)
+  let rec has_convert (e : Expr.t) =
+    match e with
+    | Expr.Convert _ -> true
+    | Expr.Int_lit _ | Expr.Float_lit _ | Expr.Var _ -> false
+    | Expr.Load (_, i) -> has_convert i
+    | Expr.Binop (_, a, b) -> has_convert a || has_convert b
+    | Expr.Unop (_, a) -> has_convert a
+    | Expr.Select (c, a, b) -> has_convert c || has_convert a || has_convert b
+  in
+  match k.Kernel.body with
+  | [ Stmt.For { body = [ Stmt.Store (_, _, v) ]; _ } ] ->
+    check Alcotest.bool "no conversion inserted" false (has_convert v)
+  | _ -> fail "unexpected kernel shape"
+
+let test_typecheck_widening () =
+  let k =
+    Fe.Typecheck.compile_one
+      "kernel t(s16 x[], s32 y[], s32 n) { for (i = 0; i < n; i++) { y[i] = x[i] + y[i]; } }"
+  in
+  match k.Kernel.body with
+  | [ Stmt.For { body = [ Stmt.Store (_, _, Expr.Binop (Op.Add, a, _)) ]; _ } ]
+    ->
+    (match a with
+    | Expr.Convert (Src_type.I32, Expr.Load ("x", _)) -> ()
+    | _ -> fail "expected s16 operand widened to s32")
+  | _ -> fail "unexpected kernel shape"
+
+let test_typecheck_errors () =
+  List.iter
+    (fun src ->
+      match Fe.Typecheck.compile_one src with
+      | _ -> fail ("expected type error: " ^ src)
+      | exception Fe.Typecheck.Error _ -> ())
+    [
+      "kernel t(f32 x[], s32 n) { x = 3; }";
+      "kernel t(s32 n) { m = 3; }";
+      "kernel t(f32 x[], s32 n) { n = x[0] & 3; }";
+      "kernel t(s32 n, s32 n) { }";
+      "kernel t(s32 n) { s32 n; }";
+      "kernel t(f32 w, s32 n) { n = sqrt(n); }";
+      "kernel t(f32 x[], s32 n) { x[0.5] = 1.0; }";
+    ]
+
+let test_typecheck_sad_types () =
+  let k = Suite.kernel (Suite.find "sad_s8") in
+  Kernel.check k;
+  let env = Kernel.typing_env k in
+  check Alcotest.string "sad accumulates in s32" "s32"
+    (Src_type.to_string (env.Expr.var_type "sad"))
+
+(* --- Whole-suite compile & evaluate --- *)
+
+let eval_suite_case entry () =
+  let k = Suite.kernel entry in
+  Kernel.check k;
+  let args = entry.Suite.args ~scale:1 in
+  ignore (Eval.run k ~args);
+  (* Outputs must not all be zero for kernels that write arrays: guards
+     against degenerate workloads silently testing nothing. *)
+  let arrays = Suite.arrays_of_args args in
+  check Alcotest.bool
+    (entry.Suite.name ^ " produced data")
+    true
+    (List.exists
+       (fun (_, buf) ->
+         let n = Buffer_.length buf in
+         let rec nonzero i =
+           i < n
+           &&
+           match Buffer_.get buf i with
+           | Value.Int 0 | Value.Float 0.0 -> nonzero (i + 1)
+           | Value.Int _ | Value.Float _ -> true
+         in
+         nonzero 0)
+       arrays)
+
+let test_known_result_saxpy () =
+  let k = Fe.Typecheck.compile_one Vapor_kernels.Kernel_src.saxpy_fp in
+  let x = Buffer_.of_floats Src_type.F32 [| 1.0; 2.0; 3.0 |] in
+  let y = Buffer_.of_floats Src_type.F32 [| 10.0; 20.0; 30.0 |] in
+  ignore
+    (Eval.run k
+       ~args:
+         [
+           "x", Eval.Array x;
+           "y", Eval.Array y;
+           "a", Eval.Scalar (Value.Float 2.0);
+           "n", Eval.Scalar (Value.Int 3);
+         ]);
+  check (Alcotest.list (Alcotest.float 1e-6)) "saxpy result"
+    [ 12.0; 24.0; 36.0 ]
+    (Array.to_list
+       (Array.map Value.to_float (Buffer_.to_values y)))
+
+let test_known_result_sad () =
+  let k = Fe.Typecheck.compile_one Vapor_kernels.Kernel_src.sad_s8 in
+  let a = Buffer_.of_ints Src_type.I8 [| 1; -2; 3; 100 |] in
+  let b = Buffer_.of_ints Src_type.I8 [| 4; 2; -3; -100 |] in
+  let out = Buffer_.create Src_type.I32 1 in
+  ignore
+    (Eval.run k
+       ~args:
+         [
+           "a", Eval.Array a;
+           "b", Eval.Array b;
+           "out", Eval.Array out;
+           "n", Eval.Scalar (Value.Int 4);
+         ]);
+  check Alcotest.int "sad result" (3 + 4 + 6 + 200)
+    (Value.to_int (Buffer_.get out 0))
+
+let test_known_result_dissolve_s8 () =
+  let k = Fe.Typecheck.compile_one Vapor_kernels.Kernel_src.dissolve_s8 in
+  let frame = Buffer_.of_ints Src_type.I8 [| 100; -100; 64 |] in
+  let alpha = Buffer_.of_ints Src_type.I8 [| 127; 127; 0 |] in
+  let out = Buffer_.create Src_type.I8 3 in
+  ignore
+    (Eval.run k
+       ~args:
+         [
+           "frame", Eval.Array frame;
+           "alpha", Eval.Array alpha;
+           "out", Eval.Array out;
+           "n", Eval.Scalar (Value.Int 3);
+         ]);
+  check (Alcotest.list Alcotest.int) "dissolve result"
+    [ (100 * 127) asr 7; (-100 * 127) asr 7; 0 ]
+    (Array.to_list (Array.map Value.to_int (Buffer_.to_values out)))
+
+let test_pretty_print_roundtrip () =
+  (* Printing a compiled kernel and recompiling it must preserve meaning. *)
+  let entry = Suite.find "jacobi_fp" in
+  let k = Suite.kernel entry in
+  let printed = Ir_print.kernel_to_string k in
+  let k2 = Fe.Typecheck.compile_one printed in
+  let args1 = entry.Suite.args ~scale:1 in
+  let args2 = entry.Suite.args ~scale:1 in
+  ignore (Eval.run k ~args:args1);
+  ignore (Eval.run k2 ~args:args2);
+  List.iter2
+    (fun (n1, b1) (_, b2) ->
+      check Alcotest.bool ("array " ^ n1) true (Buffer_.equal b1 b2))
+    (Suite.arrays_of_args args1)
+    (Suite.arrays_of_args args2)
+
+(* --- property: print/reparse preserves expression semantics ------------- *)
+
+(* Random well-typed s32 expressions over variables {p, q, r}; avoid
+   division (by-zero) and shifts (width-dependent amounts are fine but keep
+   the space simple). *)
+let rec gen_expr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun v -> Fe.Ast.Int_lit v) (int_range (-100) 100);
+        oneofl [ Fe.Ast.Ident "p"; Fe.Ast.Ident "q"; Fe.Ast.Ident "r" ];
+      ]
+  else
+    let sub = gen_expr (depth - 1) in
+    oneof
+      [
+        gen_expr 0;
+        map3
+          (fun op a b -> Fe.Ast.Binop (op, a, b))
+          (oneofl Op.[ Add; Sub; Mul; Min; Max; And; Or; Xor ])
+          sub sub;
+        map (fun a -> Fe.Ast.Unop (Op.Neg, a)) sub;
+        map (fun a -> Fe.Ast.Call ("abs", [ a ])) sub;
+        map3 (fun c a b -> Fe.Ast.Ternary (Fe.Ast.Binop (Op.Lt, c, a), a, b)) sub sub sub;
+      ]
+
+let eval_assignment kernel p q r =
+  Eval.run_result kernel
+    ~args:
+      [
+        "p", Eval.Scalar (Value.Int p);
+        "q", Eval.Scalar (Value.Int q);
+        "r", Eval.Scalar (Value.Int r);
+      ]
+    ~result:"x"
+
+let prop_print_reparse =
+  QCheck.Test.make ~count:200 ~name:"print/reparse preserves semantics"
+    (QCheck.make
+       QCheck.Gen.(
+         quad (gen_expr 4) (int_range (-50) 50) (int_range (-50) 50)
+           (int_range (-50) 50)))
+    (fun (ast_expr, p, q, r) ->
+      (* lower the AST through the type checker via a synthetic kernel *)
+      let src_k =
+        { Fe.Ast.k_name = "t";
+          k_params =
+            [ { Fe.Ast.p_name = "p"; p_type = Src_type.I32; p_is_array = false };
+              { Fe.Ast.p_name = "q"; p_type = Src_type.I32; p_is_array = false };
+              { Fe.Ast.p_name = "r"; p_type = Src_type.I32; p_is_array = false } ];
+          k_body =
+            [ Fe.Ast.Decl (Src_type.I32, "x", None);
+              Fe.Ast.Assign ("x", ast_expr) ] }
+      in
+      let k1 = Fe.Typecheck.lower_kernel src_k in
+      (* print the lowered kernel and recompile from source text *)
+      let printed = Ir_print.kernel_to_string k1 in
+      let k2 = Fe.Typecheck.compile_one printed in
+      Value.equal (eval_assignment k1 p q r) (eval_assignment k2 p q r))
+
+let suite_cases =
+  List.map
+    (fun entry ->
+      Alcotest.test_case ("compile+eval " ^ entry.Suite.name) `Quick
+        (eval_suite_case entry))
+    Suite.all
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "simple" `Quick test_lex_simple;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "float forms" `Quick test_lex_float_forms;
+          Alcotest.test_case "line numbers" `Quick test_lex_line_numbers;
+          Alcotest.test_case "error" `Quick test_lex_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "cast vs paren" `Quick test_parse_cast_vs_paren;
+          Alcotest.test_case "ternary" `Quick test_parse_ternary;
+          Alcotest.test_case "calls" `Quick test_parse_calls;
+          Alcotest.test_case "loop var mismatch" `Quick test_parse_for_mismatch;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "literal adapts" `Quick
+            test_typecheck_literal_adapt;
+          Alcotest.test_case "widening insert" `Quick test_typecheck_widening;
+          Alcotest.test_case "errors" `Quick test_typecheck_errors;
+          Alcotest.test_case "sad types" `Quick test_typecheck_sad_types;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "saxpy known result" `Quick
+            test_known_result_saxpy;
+          Alcotest.test_case "sad known result" `Quick test_known_result_sad;
+          Alcotest.test_case "dissolve known result" `Quick
+            test_known_result_dissolve_s8;
+          Alcotest.test_case "pretty-print roundtrip" `Quick
+            test_pretty_print_roundtrip;
+        ] );
+      "suite", suite_cases;
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_print_reparse ] );
+    ]

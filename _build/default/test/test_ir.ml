@@ -1,0 +1,231 @@
+(* IR-level tests: scalar types, value semantics, buffers — including
+   QCheck properties for the normalization laws every evaluator relies on. *)
+
+open Vapor_ir
+
+let check = Alcotest.check
+
+(* --- Src_type ----------------------------------------------------------- *)
+
+let test_sizes () =
+  check Alcotest.int "s8" 1 (Src_type.size_of Src_type.I8);
+  check Alcotest.int "u16" 2 (Src_type.size_of Src_type.U16);
+  check Alcotest.int "f32" 4 (Src_type.size_of Src_type.F32);
+  check Alcotest.int "f64" 8 (Src_type.size_of Src_type.F64)
+
+let test_widen_narrow_inverse () =
+  List.iter
+    (fun ty ->
+      match Src_type.widen ty with
+      | Some w ->
+        check Alcotest.int
+          (Src_type.to_string ty ^ " widen doubles size")
+          (2 * Src_type.size_of ty) (Src_type.size_of w);
+        (match Src_type.narrow w with
+        | Some n ->
+          check Alcotest.int
+            (Src_type.to_string w ^ " narrow halves size")
+            (Src_type.size_of ty) (Src_type.size_of n)
+        | None -> Alcotest.fail "widened type must narrow back")
+      | None -> ())
+    Src_type.all
+
+let test_of_to_string_roundtrip () =
+  List.iter
+    (fun ty ->
+      check Alcotest.bool (Src_type.to_string ty) true
+        (Src_type.of_string (Src_type.to_string ty) = Some ty))
+    Src_type.all
+
+let test_normalize_known () =
+  check Alcotest.int "s8 128 wraps" (-128)
+    (Src_type.normalize_int Src_type.I8 128);
+  check Alcotest.int "s8 -129 wraps" 127
+    (Src_type.normalize_int Src_type.I8 (-129));
+  check Alcotest.int "u8 -1 wraps" 255 (Src_type.normalize_int Src_type.U8 (-1));
+  check Alcotest.int "s16 65535" (-1)
+    (Src_type.normalize_int Src_type.I16 65535);
+  check Alcotest.int "u32 keeps 2^31" 0x80000000
+    (Src_type.normalize_int Src_type.U32 0x80000000);
+  check Alcotest.int "s32 2^31 wraps" (-0x80000000)
+    (Src_type.normalize_int Src_type.I32 0x80000000)
+
+let int_types =
+  [ Src_type.I8; Src_type.I16; Src_type.I32; Src_type.U8; Src_type.U16;
+    Src_type.U32 ]
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~count:500 ~name:"normalize idempotent"
+    QCheck.(pair (int_range 0 5) int)
+    (fun (tyi, v) ->
+      let ty = List.nth int_types tyi in
+      let n1 = Src_type.normalize_int ty v in
+      Src_type.normalize_int ty n1 = n1)
+
+let prop_normalize_range =
+  QCheck.Test.make ~count:500 ~name:"normalize stays in range"
+    QCheck.(pair (int_range 0 5) int)
+    (fun (tyi, v) ->
+      let ty = List.nth int_types tyi in
+      let bits = Src_type.size_of ty * 8 in
+      let n = Src_type.normalize_int ty v in
+      if Src_type.is_signed ty then
+        n >= -(1 lsl (bits - 1)) && n < 1 lsl (bits - 1)
+      else n >= 0 && n < 1 lsl bits)
+
+let prop_normalize_congruent =
+  QCheck.Test.make ~count:500 ~name:"normalize congruent mod 2^bits"
+    QCheck.(pair (int_range 0 5) (int_range (-1000000) 1000000))
+    (fun (tyi, v) ->
+      let ty = List.nth int_types tyi in
+      let bits = Src_type.size_of ty * 8 in
+      let n = Src_type.normalize_int ty v in
+      (n - v) mod (1 lsl bits) = 0)
+
+let test_f32_precision () =
+  let x = Src_type.normalize_float Src_type.F32 0.1 in
+  check Alcotest.bool "f32 0.1 is rounded" true (x <> 0.1);
+  check (Alcotest.float 1e-8) "close to 0.1" 0.1 x;
+  check (Alcotest.float 0.0) "f64 identity" 0.1
+    (Src_type.normalize_float Src_type.F64 0.1)
+
+(* --- Value -------------------------------------------------------------- *)
+
+let test_value_binops () =
+  let i v = Value.Int v in
+  check Alcotest.int "s8 add wraps" (-126)
+    (Value.to_int (Value.binop Src_type.I8 Op.Add (i 100) (i 30)));
+  check Alcotest.int "div truncates" (-2)
+    (Value.to_int (Value.binop Src_type.I32 Op.Div (i (-7)) (i 3)));
+  check Alcotest.int "shr arithmetic" (-2)
+    (Value.to_int (Value.binop Src_type.I16 Op.Shr (i (-8)) (i 2)));
+  check Alcotest.int "u8 shr logical" 62
+    (Value.to_int (Value.binop Src_type.U8 Op.Shr (i 250) (i 2)));
+  check Alcotest.int "min" 3
+    (Value.to_int (Value.binop Src_type.I32 Op.Min (i 3) (i 9)));
+  check Alcotest.int "cmp lt" 1
+    (Value.to_int (Value.binop Src_type.I32 Op.Lt (i 3) (i 9)))
+
+let test_value_div_by_zero () =
+  match Value.binop Src_type.I32 Op.Div (Value.Int 1) (Value.Int 0) with
+  | _ -> Alcotest.fail "expected Division_by_zero"
+  | exception Division_by_zero -> ()
+
+let test_value_convert () =
+  check Alcotest.int "f32 -> s32 truncates toward zero" (-2)
+    (Value.to_int
+       (Value.convert ~from:Src_type.F32 ~into:Src_type.I32
+          (Value.Float (-2.9))));
+  check Alcotest.int "s32 -> s8 wraps" (-56)
+    (Value.to_int
+       (Value.convert ~from:Src_type.I32 ~into:Src_type.I8 (Value.Int 200)));
+  check (Alcotest.float 0.0) "s32 -> f64 exact" 123.0
+    (Value.to_float
+       (Value.convert ~from:Src_type.I32 ~into:Src_type.F64 (Value.Int 123)))
+
+let prop_abs_neg =
+  QCheck.Test.make ~count:300 ~name:"abs(neg x) = abs x (s32)"
+    QCheck.(int_range (-1000000) 1000000)
+    (fun v ->
+      let x = Value.Int v in
+      Value.equal
+        (Value.unop Src_type.I32 Op.Abs (Value.unop Src_type.I32 Op.Neg x))
+        (Value.unop Src_type.I32 Op.Abs x))
+
+let prop_add_commutes =
+  QCheck.Test.make ~count:300 ~name:"wrapped add commutes (s16)"
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      Value.equal
+        (Value.binop Src_type.I16 Op.Add (Value.Int a) (Value.Int b))
+        (Value.binop Src_type.I16 Op.Add (Value.Int b) (Value.Int a)))
+
+(* --- Buffer_ ------------------------------------------------------------ *)
+
+let test_buffer_set_normalizes () =
+  let b = Buffer_.create Src_type.I8 2 in
+  Buffer_.set b 0 (Value.Int 300);
+  check Alcotest.int "wrapped on store" 44 (Value.to_int (Buffer_.get b 0))
+
+let test_buffer_copy_independent () =
+  let b = Buffer_.of_ints Src_type.I32 [| 1; 2; 3 |] in
+  let c = Buffer_.copy b in
+  Buffer_.set c 0 (Value.Int 99);
+  check Alcotest.int "original unchanged" 1 (Value.to_int (Buffer_.get b 0));
+  check Alcotest.bool "copies differ after mutation" false (Buffer_.equal b c)
+
+let test_buffer_close () =
+  let a = Buffer_.of_floats Src_type.F32 [| 1.0; 2.0 |] in
+  let b = Buffer_.of_floats Src_type.F32 [| 1.0000001; 2.0 |] in
+  check Alcotest.bool "close" true (Buffer_.close ~eps:1e-5 a b);
+  check Alcotest.bool "not equal" false (Buffer_.equal a b);
+  let c = Buffer_.of_floats Src_type.F32 [| 1.1; 2.0 |] in
+  check Alcotest.bool "not close" false (Buffer_.close ~eps:1e-5 a c)
+
+(* --- Expr --------------------------------------------------------------- *)
+
+let env =
+  {
+    Expr.var_type = (fun v -> if v = "f" then Src_type.F32 else Src_type.I32);
+    Expr.array_elem = (fun _ -> Src_type.I16);
+  }
+
+let test_expr_types () =
+  let e = Expr.Binop (Op.Lt, Expr.Var "x", Expr.Var "y") in
+  check Alcotest.string "comparison is s32" "s32"
+    (Src_type.to_string (Expr.type_of env e));
+  let e = Expr.Convert (Src_type.F64, Expr.Load ("a", Expr.Var "x")) in
+  check Alcotest.string "convert type" "f64"
+    (Src_type.to_string (Expr.type_of env e))
+
+let test_expr_type_error () =
+  let e = Expr.Binop (Op.Add, Expr.Var "x", Expr.Var "f") in
+  match Expr.type_of env e with
+  | _ -> Alcotest.fail "expected type error"
+  | exception Expr.Type_error _ -> ()
+
+let test_expr_subst () =
+  let e = Expr.Binop (Op.Add, Expr.Var "i", Expr.Load ("a", Expr.Var "i")) in
+  let e' = Expr.subst_var "i" (Expr.Int_lit (Src_type.I32, 7)) e in
+  check Alcotest.bool "no i left" false (Expr.uses_var "i" e');
+  check Alcotest.string "printed" "(7 + a[7])" (Expr.to_string e')
+
+let qsuite name tests = name, List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "src_type",
+        [
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "widen/narrow" `Quick test_widen_narrow_inverse;
+          Alcotest.test_case "string roundtrip" `Quick
+            test_of_to_string_roundtrip;
+          Alcotest.test_case "normalize known" `Quick test_normalize_known;
+          Alcotest.test_case "f32 precision" `Quick test_f32_precision;
+        ] );
+      qsuite "src_type-props"
+        [ prop_normalize_idempotent; prop_normalize_range;
+          prop_normalize_congruent ];
+      ( "value",
+        [
+          Alcotest.test_case "binops" `Quick test_value_binops;
+          Alcotest.test_case "div by zero" `Quick test_value_div_by_zero;
+          Alcotest.test_case "convert" `Quick test_value_convert;
+        ] );
+      qsuite "value-props" [ prop_abs_neg; prop_add_commutes ];
+      ( "buffer",
+        [
+          Alcotest.test_case "set normalizes" `Quick
+            test_buffer_set_normalizes;
+          Alcotest.test_case "copy independent" `Quick
+            test_buffer_copy_independent;
+          Alcotest.test_case "close" `Quick test_buffer_close;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "types" `Quick test_expr_types;
+          Alcotest.test_case "type error" `Quick test_expr_type_error;
+          Alcotest.test_case "subst" `Quick test_expr_subst;
+        ] );
+    ]

@@ -1,0 +1,467 @@
+(* Split-layer tests: idiom semantics of the bytecode evaluator, the
+   loop_bound scalarization contract, hint checking, and a QCheck
+   round-trip property for the binary codec over random bytecode. *)
+
+open Vapor_ir
+module B = Vapor_vecir.Bytecode
+module Hint = Vapor_vecir.Hint
+module Veval = Vapor_vecir.Veval
+module Encode = Vapor_vecir.Encode
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* A minimal kernel shell around a bytecode body operating on arrays a,b,out
+   (f32 or as declared) and scalar n. *)
+let shell ?(params = []) ?(locals = []) ?(vlocals = []) body =
+  {
+    B.name = "t";
+    params;
+    locals;
+    vlocals;
+    body;
+  }
+
+let f32_arr name = Kernel.P_array (name, Src_type.F32)
+let i16_arr name = Kernel.P_array (name, Src_type.I16)
+
+let run ?guard_true vk ~mode ~args = Vapor_vecir.Veval.run ?guard_true vk ~mode ~args
+
+(* --- idiom semantics ---------------------------------------------------- *)
+
+let test_init_affine () =
+  let out = Buffer_.create Src_type.I32 8 in
+  let vk =
+    shell
+      ~params:[ Kernel.P_array ("out", Src_type.I32) ]
+      ~vlocals:[ "v", Src_type.I32 ]
+      [
+        B.VS_vassign
+          ("v", B.V_init_affine (Src_type.I32, B.S_int (Src_type.I32, 5),
+                                 B.S_int (Src_type.I32, 3)));
+        B.VS_vstore
+          { B.st_arr = "out"; st_idx = B.S_int (Src_type.I32, 0);
+            st_ty = Src_type.I32; st_value = B.V_var "v";
+            st_hint = Hint.Static 0 };
+      ]
+  in
+  ignore (run vk ~mode:(Veval.Vector 16) ~args:[ "out", Eval.Array out ]);
+  check (Alcotest.list Alcotest.int) "affine lanes" [ 5; 8; 11; 14 ]
+    (List.init 4 (fun i -> Value.to_int (Buffer_.get out i)))
+
+let test_init_reduc_and_reduce () =
+  let vk op expected =
+    let out = Buffer_.create Src_type.I32 1 in
+    let vk =
+      shell
+        ~params:[ Kernel.P_array ("out", Src_type.I32) ]
+        ~vlocals:[ "v", Src_type.I32 ]
+        [
+          B.VS_vassign
+            ("v", B.V_init_reduc (op, Src_type.I32, B.S_int (Src_type.I32, 42)));
+          B.VS_store
+            ( "out",
+              B.S_int (Src_type.I32, 0),
+              B.S_reduc (op, Src_type.I32, B.V_var "v") );
+        ]
+    in
+    ignore (run vk ~mode:(Veval.Vector 16) ~args:[ "out", Eval.Array out ]);
+    check Alcotest.int (Op.binop_to_string op) expected
+      (Value.to_int (Buffer_.get out 0))
+  in
+  vk Op.Add 42;
+  (* lane0 = 42, others = identity *)
+  vk Op.Min 42;
+  vk Op.Max 42
+
+let test_widen_mult_halves () =
+  (* widen_mult_lo/hi of s16 vectors at VS=16. *)
+  let a = Buffer_.of_ints Src_type.I16 [| 1; 2; 3; 4; 5; 6; 7; 8 |] in
+  let b = Buffer_.of_ints Src_type.I16 [| 10; 10; 10; 10; 20; 20; 20; 20 |] in
+  let out = Buffer_.create Src_type.I32 8 in
+  let load name = B.V_load (Src_type.I16, name, B.S_int (Src_type.I32, 0), Hint.Unknown) in
+  let vk =
+    shell
+      ~params:[ i16_arr "a"; i16_arr "b"; Kernel.P_array ("out", Src_type.I32) ]
+      [
+        B.VS_vstore
+          { B.st_arr = "out"; st_idx = B.S_int (Src_type.I32, 0);
+            st_ty = Src_type.I32;
+            st_value = B.V_widen_mult (B.Lo, Src_type.I16, load "a", load "b");
+            st_hint = Hint.Unknown };
+        B.VS_vstore
+          { B.st_arr = "out"; st_idx = B.S_int (Src_type.I32, 4);
+            st_ty = Src_type.I32;
+            st_value = B.V_widen_mult (B.Hi, Src_type.I16, load "a", load "b");
+            st_hint = Hint.Unknown };
+      ]
+  in
+  ignore
+    (run vk ~mode:(Veval.Vector 16)
+       ~args:
+         [ "a", Eval.Array a; "b", Eval.Array b; "out", Eval.Array out ]);
+  check (Alcotest.list Alcotest.int) "widened products"
+    [ 10; 20; 30; 40; 100; 120; 140; 160 ]
+    (List.init 8 (fun i -> Value.to_int (Buffer_.get out i)))
+
+let test_loop_bound_modes () =
+  (* for (i = loop_bound(8, 0); i < loop_bound(16, 4); i++) out[i] = 1 *)
+  let make () = Buffer_.create Src_type.I32 16 in
+  let vk =
+    shell
+      ~params:[ Kernel.P_array ("out", Src_type.I32) ]
+      ~locals:[ "i", Src_type.I32 ]
+      [
+        B.VS_for
+          {
+            B.index = "i";
+            lo = B.S_loop_bound (B.S_int (Src_type.I32, 8), B.S_int (Src_type.I32, 0));
+            hi = B.S_loop_bound (B.S_int (Src_type.I32, 16), B.S_int (Src_type.I32, 4));
+            step = B.S_int (Src_type.I32, 1);
+            kind = B.L_scalar;
+            group = 1;
+            body =
+              [
+                B.VS_store ("out", B.S_var "i", B.S_int (Src_type.I32, 1));
+              ];
+          };
+      ]
+  in
+  let vec = make () in
+  ignore (run vk ~mode:(Veval.Vector 16) ~args:[ "out", Eval.Array vec ]);
+  let sc = make () in
+  ignore (run vk ~mode:Veval.Scalarized ~args:[ "out", Eval.Array sc ]);
+  let ones b = List.filter_map (fun i ->
+      if Value.to_int (Buffer_.get b i) = 1 then Some i else None)
+      (List.init 16 Fun.id)
+  in
+  check (Alcotest.list Alcotest.int) "vector mode range" [8;9;10;11;12;13;14;15] (ones vec);
+  check (Alcotest.list Alcotest.int) "scalar mode range" [0;1;2;3] (ones sc)
+
+let test_scalarized_rejects_vector_code () =
+  let vk =
+    shell
+      ~params:[ f32_arr "a" ]
+      ~vlocals:[ "v", Src_type.F32 ]
+      [ B.VS_vassign ("v", B.V_load (Src_type.F32, "a", B.S_int (Src_type.I32, 0), Hint.Unknown)) ]
+  in
+  let a = Buffer_.create Src_type.F32 8 in
+  match run vk ~mode:Veval.Scalarized ~args:[ "a", Eval.Array a ] with
+  | _ -> fail "expected error for vector code in scalarized mode"
+  | exception Veval.Error _ -> ()
+
+let test_hint_violation_detected () =
+  let a = Buffer_.create Src_type.F32 8 in
+  let vk =
+    shell
+      ~params:[ f32_arr "a" ]
+      ~vlocals:[ "v", Src_type.F32 ]
+      [
+        B.VS_vassign
+          ("v", B.V_load (Src_type.F32, "a", B.S_int (Src_type.I32, 1),
+                          Hint.Static 0));
+      ]
+  in
+  match run vk ~mode:(Veval.Vector 16) ~args:[ "a", Eval.Array a ] with
+  | _ -> fail "expected hint contradiction"
+  | exception Veval.Error _ -> ()
+
+let test_aload_misaligned_rejected () =
+  let a = Buffer_.create Src_type.F32 8 in
+  let vk =
+    shell
+      ~params:[ f32_arr "a" ]
+      ~vlocals:[ "v", Src_type.F32 ]
+      [ B.VS_vassign ("v", B.V_aload (Src_type.F32, "a", B.S_int (Src_type.I32, 2))) ]
+  in
+  match run vk ~mode:(Veval.Vector 16) ~args:[ "a", Eval.Array a ] with
+  | _ -> fail "expected aload alignment error"
+  | exception Veval.Error _ -> ()
+
+let test_guard_selects_branch () =
+  let out = Buffer_.create Src_type.I32 1 in
+  let store v =
+    [ B.VS_store ("out", B.S_int (Src_type.I32, 0), B.S_int (Src_type.I32, v)) ]
+  in
+  let vk =
+    shell
+      ~params:[ Kernel.P_array ("out", Src_type.I32) ]
+      [
+        B.VS_version
+          { B.guard = B.G_arrays_aligned [ "out" ]; vec = store 1;
+            fallback = store 2 };
+      ]
+  in
+  ignore (run vk ~mode:(Veval.Vector 16) ~args:[ "out", Eval.Array out ]);
+  check Alcotest.int "guard true" 1 (Value.to_int (Buffer_.get out 0));
+  ignore
+    (run
+       ~guard_true:(fun _ -> false)
+       vk ~mode:(Veval.Vector 16) ~args:[ "out", Eval.Array out ]);
+  check Alcotest.int "guard false" 2 (Value.to_int (Buffer_.get out 0))
+
+(* --- codec: random-bytecode round trip ---------------------------------- *)
+
+let gen_ty =
+  QCheck.Gen.oneofl
+    [ Src_type.I8; Src_type.I16; Src_type.I32; Src_type.U8; Src_type.U16;
+      Src_type.F32; Src_type.F64 ]
+
+let gen_binop =
+  QCheck.Gen.oneofl Op.[ Add; Sub; Mul; Div; Min; Max; And; Or; Xor; Lt; Ge ]
+
+let gen_hint =
+  QCheck.Gen.(
+    oneof
+      [
+        return Hint.Unknown;
+        map (fun m -> Hint.Static m) (int_range 0 31);
+        map (fun m -> Hint.Peeled m) (int_range 0 31);
+      ])
+
+let gen_name = QCheck.Gen.(map (Printf.sprintf "v%d") (int_range 0 9))
+
+let rec gen_sexpr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map2 (fun ty v -> B.S_int (ty, v)) gen_ty (int_range (-1000) 1000);
+        map2 (fun ty v -> B.S_float (ty, v)) gen_ty (float_range (-10.0) 10.0);
+        map (fun n -> B.S_var n) gen_name;
+        map (fun ty -> B.S_get_vf ty) gen_ty;
+        map (fun ty -> B.S_align_limit ty) gen_ty;
+      ]
+  else
+    oneof
+      [
+        gen_sexpr 0;
+        map3 (fun op a b -> B.S_binop (op, a, b)) gen_binop
+          (gen_sexpr (depth - 1)) (gen_sexpr (depth - 1));
+        map2 (fun ty a -> B.S_convert (ty, a)) gen_ty (gen_sexpr (depth - 1));
+        map2 (fun a b -> B.S_loop_bound (a, b)) (gen_sexpr (depth - 1))
+          (gen_sexpr (depth - 1));
+        map2 (fun n i -> B.S_load (n, i)) gen_name (gen_sexpr (depth - 1));
+      ]
+
+let rec gen_vexpr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun n -> B.V_var n) gen_name;
+        map2 (fun ty v -> B.V_init_uniform (ty, v)) gen_ty (gen_sexpr 1);
+        map3
+          (fun ty n h -> B.V_load (ty, n, B.S_var "i", h))
+          gen_ty gen_name gen_hint;
+      ]
+  else
+    oneof
+      [
+        gen_vexpr 0;
+        map3 (fun op (ty, a) b -> B.V_binop (op, ty, a, b)) gen_binop
+          (pair gen_ty (gen_vexpr (depth - 1)))
+          (gen_vexpr (depth - 1));
+        map3
+          (fun h (ty, a) b ->
+            B.V_realign
+              { B.r_ty = ty; r_v1 = a; r_v2 = b;
+                r_rt = B.V_get_rt (ty, "a", B.S_var "i", h);
+                r_arr = "a"; r_idx = B.S_var "i"; r_hint = h })
+          gen_hint
+          (pair gen_ty (gen_vexpr (depth - 1)))
+          (gen_vexpr (depth - 1));
+        map2 (fun ty (a, b) -> B.V_pack (ty, a, b)) gen_ty
+          (pair (gen_vexpr (depth - 1)) (gen_vexpr (depth - 1)));
+        map
+          (fun parts ->
+            B.V_extract
+              { B.e_ty = Src_type.I16; e_stride = List.length parts;
+                e_offset = 0; e_parts = parts })
+          (list_size (int_range 1 3) (gen_vexpr 0));
+      ]
+
+let gen_stmt depth =
+  let open QCheck.Gen in
+  oneof
+    [
+      map2 (fun n e -> B.VS_assign (n, e)) gen_name (gen_sexpr depth);
+      map2 (fun n e -> B.VS_vassign (n, e)) gen_name (gen_vexpr depth);
+      map3
+        (fun n (ty, h) v ->
+          B.VS_vstore
+            { B.st_arr = n; st_idx = B.S_var "i"; st_ty = ty; st_value = v;
+              st_hint = h })
+        gen_name (pair gen_ty gen_hint) (gen_vexpr depth);
+    ]
+
+let gen_vkernel =
+  let open QCheck.Gen in
+  let* stmts = list_size (int_range 1 8) (gen_stmt 2) in
+  let* wrap = bool in
+  let body =
+    if wrap then
+      [
+        B.VS_for
+          { B.index = "i"; lo = B.S_int (Src_type.I32, 0);
+            hi = B.S_var "n"; step = B.S_get_vf Src_type.F32;
+            kind = B.L_vector; group = 2; body = stmts };
+        B.VS_version
+          { B.guard = B.G_arrays_aligned [ "a"; "b" ]; vec = stmts;
+            fallback = [ B.VS_if (B.S_var "n", stmts, []) ] };
+      ]
+    else stmts
+  in
+  return
+    (shell
+       ~params:[ f32_arr "a"; Kernel.P_scalar ("n", Src_type.I32) ]
+       ~locals:[ "i", Src_type.I32 ]
+       ~vlocals:[ "v0", Src_type.F32 ]
+       body)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"encode/decode round trip"
+    (QCheck.make gen_vkernel)
+    (fun vk -> Encode.decode (Encode.encode vk) = vk)
+
+let prop_codec_stable =
+  QCheck.Test.make ~count:100 ~name:"re-encoding is stable"
+    (QCheck.make gen_vkernel)
+    (fun vk ->
+      let e = Encode.encode vk in
+      Encode.encode (Encode.decode e) = e)
+
+let test_codec_truncation () =
+  let vk = shell ~params:[ f32_arr "a" ] [] in
+  let e = Encode.encode vk in
+  match Encode.decode (String.sub e 0 (String.length e - 1)) with
+  | _ -> fail "expected decode error on truncated input"
+  | exception Encode.Decode_error _ -> ()
+
+(* --- algebraic laws of the idioms, on random vectors -------------------- *)
+
+let gen_lanes = QCheck.Gen.(array_size (return 8) (int_range (-1000) 1000))
+
+let prop_interleave_extract_inverse =
+  QCheck.Test.make ~count:100 ~name:"extract even/odd of interleave = id"
+    (QCheck.make QCheck.Gen.(pair gen_lanes gen_lanes))
+    (fun (la, lb) ->
+      let a = Buffer_.of_ints Src_type.I16 (Array.map (fun v -> v land 0x7ff) la) in
+      let b = Buffer_.of_ints Src_type.I16 (Array.map (fun v -> v land 0x7ff) lb) in
+      let load n = B.V_load (Src_type.I16, n, B.S_int (Src_type.I32, 0), Hint.Unknown) in
+      let lo = B.V_interleave (B.Lo, Src_type.I16, load "a", load "b") in
+      let hi = B.V_interleave (B.Hi, Src_type.I16, load "a", load "b") in
+      let evens =
+        B.V_extract { B.e_ty = Src_type.I16; e_stride = 2; e_offset = 0;
+                      e_parts = [ lo; hi ] }
+      in
+      let odds =
+        B.V_extract { B.e_ty = Src_type.I16; e_stride = 2; e_offset = 1;
+                      e_parts = [ lo; hi ] }
+      in
+      let vk out_expr =
+        shell
+          ~params:[ i16_arr "a"; i16_arr "b"; i16_arr "out" ]
+          [ B.VS_vstore
+              { B.st_arr = "out"; st_idx = B.S_int (Src_type.I32, 0);
+                st_ty = Src_type.I16; st_value = out_expr;
+                st_hint = Hint.Unknown } ]
+      in
+      let run_one expr =
+        let out = Buffer_.create Src_type.I16 8 in
+        ignore
+          (run (vk expr) ~mode:(Veval.Vector 16)
+             ~args:[ "a", Eval.Array (Buffer_.copy a);
+                     "b", Eval.Array (Buffer_.copy b);
+                     "out", Eval.Array out ]);
+        out
+      in
+      Buffer_.equal (run_one evens) a && Buffer_.equal (run_one odds) b)
+
+let prop_pack_unpack_inverse =
+  QCheck.Test.make ~count:100 ~name:"pack(unpack_lo, unpack_hi) = id"
+    (QCheck.make gen_lanes)
+    (fun lanes ->
+      let a = Buffer_.of_ints Src_type.I16 lanes in
+      let load = B.V_load (Src_type.I16, "a", B.S_int (Src_type.I32, 0), Hint.Unknown) in
+      let packed =
+        B.V_pack
+          ( Src_type.I32,
+            B.V_unpack (B.Lo, Src_type.I16, load),
+            B.V_unpack (B.Hi, Src_type.I16, load) )
+      in
+      let out = Buffer_.create Src_type.I16 8 in
+      let vk =
+        shell
+          ~params:[ i16_arr "a"; i16_arr "out" ]
+          [ B.VS_vstore
+              { B.st_arr = "out"; st_idx = B.S_int (Src_type.I32, 0);
+                st_ty = Src_type.I16; st_value = packed;
+                st_hint = Hint.Unknown } ]
+      in
+      ignore
+        (run vk ~mode:(Veval.Vector 16)
+           ~args:[ "a", Eval.Array (Buffer_.copy a); "out", Eval.Array out ]);
+      Buffer_.equal out a)
+
+let prop_dot_product_is_pairwise =
+  QCheck.Test.make ~count:100 ~name:"dot_product = pairwise widen-mult sums"
+    (QCheck.make QCheck.Gen.(pair gen_lanes gen_lanes))
+    (fun (la, lb) ->
+      let a = Buffer_.of_ints Src_type.I16 la in
+      let b = Buffer_.of_ints Src_type.I16 lb in
+      let load n = B.V_load (Src_type.I16, n, B.S_int (Src_type.I32, 0), Hint.Unknown) in
+      let zero = B.V_init_uniform (Src_type.I32, B.S_int (Src_type.I32, 0)) in
+      let dot = B.V_dot_product (Src_type.I16, load "a", load "b", zero) in
+      let out = Buffer_.create Src_type.I32 4 in
+      let vk =
+        shell
+          ~params:[ i16_arr "a"; i16_arr "b"; Kernel.P_array ("out", Src_type.I32) ]
+          [ B.VS_vstore
+              { B.st_arr = "out"; st_idx = B.S_int (Src_type.I32, 0);
+                st_ty = Src_type.I32; st_value = dot; st_hint = Hint.Unknown } ]
+      in
+      ignore
+        (run vk ~mode:(Veval.Vector 16)
+           ~args:[ "a", Eval.Array a; "b", Eval.Array b;
+                   "out", Eval.Array out ]);
+      let ok = ref true in
+      for l = 0 to 3 do
+        let va i = Value.to_int (Buffer_.get a i) in
+        let vb i = Value.to_int (Buffer_.get b i) in
+        let expect = (va (2 * l) * vb (2 * l)) + (va ((2 * l) + 1) * vb ((2 * l) + 1)) in
+        if Value.to_int (Buffer_.get out l) <> Src_type.normalize_int Src_type.I32 expect
+        then ok := false
+      done;
+      !ok)
+
+let qsuite name tests = name, List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "vecir"
+    [
+      ( "idioms",
+        [
+          Alcotest.test_case "init_affine" `Quick test_init_affine;
+          Alcotest.test_case "init_reduc/reduce" `Quick
+            test_init_reduc_and_reduce;
+          Alcotest.test_case "widen_mult halves" `Quick
+            test_widen_mult_halves;
+          Alcotest.test_case "loop_bound modes" `Quick test_loop_bound_modes;
+          Alcotest.test_case "scalarized guard" `Quick
+            test_scalarized_rejects_vector_code;
+          Alcotest.test_case "hint violation" `Quick
+            test_hint_violation_detected;
+          Alcotest.test_case "aload misaligned" `Quick
+            test_aload_misaligned_rejected;
+          Alcotest.test_case "version guard" `Quick test_guard_selects_branch;
+        ] );
+      qsuite "codec-props" [ prop_codec_roundtrip; prop_codec_stable ];
+      qsuite "idiom-laws"
+        [
+          prop_interleave_extract_inverse; prop_pack_unpack_inverse;
+          prop_dot_product_is_pairwise;
+        ];
+      ( "codec",
+        [ Alcotest.test_case "truncation" `Quick test_codec_truncation ] );
+    ]

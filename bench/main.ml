@@ -72,7 +72,67 @@ let run_experiments () =
   R.print_compile_stats (E.compile_stats ())
 
 (* ---------------------------------------------------------------------- *)
-(* Part 2: Bechamel microbenchmarks of the pipeline stages that produce
+(* Part 2: the runtime subsystem — replay a standard seeded trace through
+   the tiered (interpreter -> JIT) runtime with the content-addressed code
+   cache, once per SIMD target, and report what a managed runtime
+   amortizes: JIT compile cost per invocation and cache hit rate.          *)
+
+module Service = Vapor_runtime.Service
+module Trace = Vapor_runtime.Trace
+
+let replay_trace_length = 400
+let replay_hotness = 3
+
+let run_replay () =
+  Printf.printf "\nTiered runtime replay (standard trace, %d events)\n"
+    replay_trace_length;
+  Printf.printf "=================================================\n";
+  Printf.printf
+    "(hotness threshold %d; cache 64 entries / 256 KiB; mono profile)\n\n"
+    replay_hotness;
+  let trace =
+    Trace.standard ~length:replay_trace_length ~n_targets:1 ()
+  in
+  let reports =
+    List.map
+      (fun target ->
+        let cfg =
+          {
+            (Service.default_config ~targets:[ target ]) with
+            Service.cfg_hotness = replay_hotness;
+          }
+        in
+        target, Service.replay cfg trace)
+      Vapor_targets.Scalar_target.all_simd
+  in
+  Printf.printf "  %-8s %6s %9s %9s %11s %11s %10s %9s\n" "target" "inv"
+    "hit rate" "evict" "cold us" "amort us" "amortized" "promoted";
+  List.iter
+    (fun ((target : Vapor_targets.Target.t), rp) ->
+      let promoted =
+        List.length
+          (List.filter
+             (fun (r : Service.kernel_row) -> r.Service.kr_promoted_at <> None)
+             rp.Service.rp_rows)
+      in
+      Printf.printf "  %-8s %6d %8.1f%% %9d %11.2f %11.3f %9.0fx %5d/%-3d\n"
+        target.Vapor_targets.Target.name rp.Service.rp_invocations
+        (100.0 *. rp.Service.rp_hit_rate)
+        rp.Service.rp_evictions rp.Service.rp_cold_compile_us
+        rp.Service.rp_amortized_us
+        (Service.amortization_factor rp)
+        promoted
+        (List.length rp.Service.rp_rows))
+    reports;
+  match reports with
+  | (target, rp) :: _ ->
+    Printf.printf "\ntier breakdown, %s (interpreter -> JIT promotion):\n"
+      target.Vapor_targets.Target.name;
+    Service.print_tier_table rp
+  | [] -> ()
+
+(* ---------------------------------------------------------------------- *)
+(* Part 3: Bechamel microbenchmarks of the pipeline stages that produce
    each table — offline vectorization, JIT compilation, simulation.        *)
 
 open Bechamel
@@ -145,4 +205,5 @@ let run_benchmarks () =
 let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
   run_experiments ();
+  run_replay ();
   if not quick then run_benchmarks ()

@@ -6,6 +6,7 @@
      vaporc lower -k saxpy_fp -t sse      online stage: machine code
      vaporc run -k saxpy_fp -t altivec    compile + simulate, print cycles
      vaporc stat -k saxpy_fp              bytecode size statistics
+     vaporc serve-replay -t sse           tiered runtime + code cache replay
      vaporc experiments                   regenerate the paper's figures
 
    Kernels come from the built-in suite (-k) or from a file containing
@@ -20,6 +21,9 @@ module Compile = Vapor_jit.Compile
 module Targets = Vapor_targets.Scalar_target
 module E = Vapor_harness.Experiments
 module R = Vapor_harness.Report
+module Trace = Vapor_runtime.Trace
+module Service = Vapor_runtime.Service
+module Stats = Vapor_runtime.Stats
 
 (* --- common arguments --------------------------------------------------- *)
 
@@ -246,6 +250,96 @@ let disasm_cmd =
        ~doc:"Decode a binary bytecode file and print it as text.")
     Term.(const run $ path_arg)
 
+let serve_replay_cmd =
+  let length_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "length" ] ~docv:"N" ~doc:"Number of trace events to replay.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Trace PRNG seed (replays are \
+                                        deterministic per seed).")
+  in
+  let hotness_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "hotness" ] ~docv:"N"
+          ~doc:"Interpreter invocations before a kernel body is promoted \
+                to the JIT tier.")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Code-cache entry budget (LRU beyond this).")
+  in
+  let cache_bytes_arg =
+    Arg.(
+      value & opt int (256 * 1024)
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:"Code-cache modeled byte budget (LRU beyond this).")
+  in
+  let rejuvenate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rejuvenate-to" ] ~docv:"TARGET"
+          ~doc:"Mid-replay, re-lower all cached code from the primary \
+                target to $(docv) and redirect traffic (Revec-style \
+                rejuvenation).")
+  in
+  let rejuvenate_at_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "rejuvenate-at" ] ~docv:"EVENT"
+          ~doc:"Trace event index at which rejuvenation fires.")
+  in
+  let kernels_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "kernels" ] ~docv:"NAMES"
+          ~doc:"Comma-separated suite kernels for the trace (default: the \
+                standard mix).")
+  in
+  let run target profile length seed hotness cache_entries cache_bytes
+      rejuvenate rejuvenate_at kernels =
+    let trace =
+      Trace.standard ~seed ?kernels ~length ~n_targets:1 ()
+    in
+    let cfg =
+      {
+        (Service.default_config ~targets:[ target ]) with
+        Service.cfg_profile = profile;
+        cfg_hotness = hotness;
+        cfg_max_entries = cache_entries;
+        cfg_max_bytes = cache_bytes;
+        cfg_rejuvenate =
+          Option.map
+            (fun name -> rejuvenate_at, target, Targets.find name)
+            rejuvenate;
+      }
+    in
+    let stats = Stats.create () in
+    let report = Service.replay ~stats cfg trace in
+    Printf.printf "serve-replay on %s (%s profile, hotness %d)\n"
+      target.Vapor_targets.Target.name profile.Profile.name hotness;
+    Service.print_report report;
+    Printf.printf "runtime metrics:\n%s" (Stats.to_table stats)
+  in
+  Cmd.v
+    (Cmd.info "serve-replay"
+       ~doc:
+         "Replay a seeded synthetic workload through the tiered runtime \
+          (interpreter -> JIT promotion, content-addressed code cache) and \
+          print throughput, amortized compile cost, and cache statistics.")
+    Term.(
+      const run $ target_arg $ profile_arg $ length_arg $ seed_arg
+      $ hotness_arg $ cache_entries_arg $ cache_bytes_arg $ rejuvenate_arg
+      $ rejuvenate_at_arg $ kernels_arg)
+
 let experiments_cmd =
   let run scale =
     let rows, mean = E.fig5 ~target:Vapor_targets.Sse.target ~scale in
@@ -297,7 +391,7 @@ let () =
     Cmd.group info
       [
         list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
-        encode_cmd; disasm_cmd; experiments_cmd;
+        encode_cmd; disasm_cmd; serve_replay_cmd; experiments_cmd;
       ]
   in
   let die msg =

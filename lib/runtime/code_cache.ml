@@ -1,0 +1,173 @@
+(* Bounded LRU cache of compiled kernel bodies, keyed by bytecode content
+   digest x target x profile.  See the .mli for the model. *)
+
+module B = Vapor_vecir.Bytecode
+module Encode = Vapor_vecir.Encode
+module Target = Vapor_targets.Target
+module Profile = Vapor_jit.Profile
+module Compile = Vapor_jit.Compile
+
+type entry = {
+  e_key : Digest.key;
+  e_compiled : Compile.t;
+  e_vk : B.vkernel;  (* kept for target rejuvenation *)
+  e_profile : Profile.t;
+  e_bytes : int;
+  mutable e_tick : int;  (* LRU clock value of the last use *)
+}
+
+type t = {
+  max_entries : int;
+  max_bytes : int;
+  st : Stats.t;
+  tbl : (Digest.key, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable bytes : int;
+}
+
+let create ?stats ?(max_entries = max_int) ?(max_bytes = max_int) () =
+  {
+    max_entries = max 1 max_entries;
+    max_bytes = max 1 max_bytes;
+    st = (match stats with Some s -> s | None -> Stats.create ());
+    tbl = Hashtbl.create 64;
+    tick = 0;
+    bytes = 0;
+  }
+
+type outcome =
+  | Hit
+  | Miss
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_tick <- t.tick
+
+(* Modeled resident footprint of one entry: the bytecode we retain for
+   rejuvenation plus ~4 bytes per emitted machine instruction. *)
+let entry_bytes vk (c : Compile.t) =
+  Encode.size vk + (4 * Array.length c.Compile.mfun.Vapor_machine.Mfun.instrs)
+
+let remove_entry t e =
+  Hashtbl.remove t.tbl e.e_key;
+  t.bytes <- t.bytes - e.e_bytes
+
+(* Evict least-recently-used entries until budgets hold.  A single entry
+   larger than max_bytes is allowed to stay (there is nothing smaller to
+   keep instead). *)
+let enforce_budget t =
+  let over () =
+    Hashtbl.length t.tbl > t.max_entries
+    || (t.bytes > t.max_bytes && Hashtbl.length t.tbl > 1)
+  in
+  while over () do
+    let lru =
+      Hashtbl.fold
+        (fun _ e acc ->
+          match acc with
+          | Some b when b.e_tick <= e.e_tick -> acc
+          | _ -> Some e)
+        t.tbl None
+    in
+    match lru with
+    | None -> assert false (* over () implies a non-empty table *)
+    | Some e ->
+      remove_entry t e;
+      Stats.incr t.st "cache.evictions"
+  done
+
+let insert t key vk profile compiled =
+  let e =
+    {
+      e_key = key;
+      e_compiled = compiled;
+      e_vk = vk;
+      e_profile = profile;
+      e_bytes = entry_bytes vk compiled;
+      e_tick = 0;
+    }
+  in
+  touch t e;
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old -> remove_entry t old
+  | None -> ());
+  Hashtbl.replace t.tbl key e;
+  t.bytes <- t.bytes + e.e_bytes;
+  Stats.incr t.st "cache.fills";
+  enforce_budget t
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    touch t e;
+    Stats.incr t.st "cache.hits";
+    Some e.e_compiled
+  | None ->
+    Stats.incr t.st "cache.misses";
+    None
+
+let find_or_compile ?digest ?(known_aligned = fun _ -> true) t
+    ~(target : Target.t) ~(profile : Profile.t) (vk : B.vkernel) =
+  let d = match digest with Some d -> d | None -> Digest.of_vkernel vk in
+  let key =
+    {
+      Digest.k_digest = d;
+      k_target = target.Target.name;
+      k_profile = profile.Profile.name;
+    }
+  in
+  match find t key with
+  | Some compiled -> compiled, Hit
+  | None ->
+    let compiled = Compile.compile ~known_aligned ~target ~profile vk in
+    Stats.observe t.st "cache.compile_us" compiled.Compile.compile_time_us;
+    insert t key vk profile compiled;
+    compiled, Miss
+
+let invalidate_target t ~(from_target : Target.t) ~(to_target : Target.t) =
+  let stale =
+    Hashtbl.fold
+      (fun _ e acc ->
+        if String.equal e.e_key.Digest.k_target from_target.Target.name then
+          e :: acc
+        else acc)
+      t.tbl []
+  in
+  let relowered =
+    List.fold_left
+      (fun n e ->
+        remove_entry t e;
+        let key =
+          { e.e_key with Digest.k_target = to_target.Target.name }
+        in
+        if Hashtbl.mem t.tbl key then n (* fresh code already present *)
+        else begin
+          let compiled =
+            Compile.compile ~target:to_target ~profile:e.e_profile e.e_vk
+          in
+          insert t key e.e_vk e.e_profile compiled;
+          Stats.incr t.st "cache.rejuvenations";
+          n + 1
+        end)
+      0 stale
+  in
+  enforce_budget t;
+  relowered
+
+let entry_count t = Hashtbl.length t.tbl
+let byte_count t = t.bytes
+let hits t = Stats.counter t.st "cache.hits"
+let misses t = Stats.counter t.st "cache.misses"
+let evictions t = Stats.counter t.st "cache.evictions"
+let fills t = Stats.counter t.st "cache.fills"
+let rejuvenations t = Stats.counter t.st "cache.rejuvenations"
+
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let stats t = t.st
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.bytes <- 0

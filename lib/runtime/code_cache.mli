@@ -1,0 +1,74 @@
+(** Bounded LRU cache of JIT-compiled kernel bodies, keyed by
+    {!Digest.key} = (bytecode content digest, target name, profile name).
+
+    This is the piece the paper's online stage takes for granted: a managed
+    runtime compiles vectorized bytecode once per target and reuses the
+    compiled body across millions of invocations.  The cache charges each
+    entry a modeled footprint (encoded bytecode bytes + 4 bytes per machine
+    instruction) against a byte budget, and also enforces an entry-count
+    budget; eviction is least-recently-used.
+
+    [invalidate_target] is the Revec-style rejuvenation hook: when a better
+    target becomes available (say the fleet upgrades from SSE to AVX),
+    surviving entries are re-lowered from their *bytecode* — which is
+    target-independent by construction — instead of being thrown away. *)
+
+module B := Vapor_vecir.Bytecode
+module Target := Vapor_targets.Target
+module Profile := Vapor_jit.Profile
+module Compile := Vapor_jit.Compile
+
+type t
+
+(** [create ()] uses an effectively unbounded budget. [stats] lets several
+    runtime components share one registry; counters are written under
+    [cache.*] names. *)
+val create : ?stats:Stats.t -> ?max_entries:int -> ?max_bytes:int -> unit -> t
+
+type outcome =
+  | Hit
+  | Miss  (** compiled now; the cold compile time was just paid *)
+
+(** Look up the compiled body for this (bytecode, target, profile); compile
+    and insert on miss, evicting LRU entries while over budget.  A
+    pre-computed [digest] skips re-encoding the bytecode on the hot path. *)
+val find_or_compile :
+  ?digest:Digest.t ->
+  ?known_aligned:(string -> bool) ->
+  t ->
+  target:Target.t ->
+  profile:Profile.t ->
+  B.vkernel ->
+  Compile.t * outcome
+
+(** Pure lookup: no compile, no insertion, but counted as a hit/miss and
+    LRU-refreshing on hit. *)
+val find : t -> Digest.key -> Compile.t option
+
+(** Re-lower every surviving entry compiled for [from_target] so it is
+    keyed (and compiled) for [to_target]; entries already present for
+    [to_target] win over rejuvenated ones.  Returns the number of entries
+    re-lowered.  Eviction applies afterwards if budgets are exceeded. *)
+val invalidate_target :
+  t -> from_target:Target.t -> to_target:Target.t -> int
+
+(** {2 Introspection} *)
+
+val entry_count : t -> int
+
+(** Modeled bytes currently charged. *)
+val byte_count : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val fills : t -> int
+val rejuvenations : t -> int
+
+(** [hits / (hits + misses)]; 0 when no lookups happened. *)
+val hit_rate : t -> float
+
+val stats : t -> Stats.t
+
+(** Drop every entry (budget and counters unchanged). *)
+val clear : t -> unit

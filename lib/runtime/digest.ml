@@ -1,0 +1,42 @@
+(* Content-addressed identity of split-layer bytecode: an MD5 of the
+   stable Encode wire format.  Keying compiled code by content rather than
+   by kernel name means re-vectorizing with different options naturally
+   misses the cache, while re-decoding the same .vbc naturally hits it. *)
+
+module B = Vapor_vecir.Bytecode
+module Encode = Vapor_vecir.Encode
+module Md5 = Stdlib.Digest
+
+type t = string (* 16 raw MD5 bytes *)
+
+let of_encoded bytes = Md5.string bytes
+let of_vkernel vk = of_encoded (Encode.encode vk)
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let to_hex = Md5.to_hex
+let short ?(n = 10) t = String.sub (to_hex t) 0 (min n 32)
+
+type key = {
+  k_digest : t;
+  k_target : string;
+  k_profile : string;
+}
+
+let key ~(target : Vapor_targets.Target.t)
+    ~(profile : Vapor_jit.Profile.t) vk =
+  {
+    k_digest = of_vkernel vk;
+    k_target = target.Vapor_targets.Target.name;
+    k_profile = profile.Vapor_jit.Profile.name;
+  }
+
+let key_equal a b =
+  equal a.k_digest b.k_digest
+  && String.equal a.k_target b.k_target
+  && String.equal a.k_profile b.k_profile
+
+let key_hash k = Hashtbl.hash (k.k_digest, k.k_target, k.k_profile)
+
+let key_to_string k =
+  Printf.sprintf "%s@%s/%s" (short k.k_digest) k.k_target k.k_profile

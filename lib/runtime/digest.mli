@@ -1,0 +1,45 @@
+(** Content-addressed identity of split-layer bytecode.
+
+    Compiled code is cached by *what the bytecode says*, not by the name of
+    the kernel it came from: two textually different kernels that vectorize
+    to identical bytecode share one cache entry, and any change to the
+    bytecode (different vectorizer options, different hints) yields a new
+    digest.  The digest is computed over the stable {!Vapor_vecir.Encode}
+    wire format, so it survives an encode/decode round trip by
+    construction. *)
+
+type t
+
+(** Digest of a kernel's encoded bytecode. *)
+val of_vkernel : Vapor_vecir.Bytecode.vkernel -> t
+
+(** Digest of already-encoded bytecode (e.g. a [.vbc] file's contents). *)
+val of_encoded : string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Lowercase hex, 32 characters. *)
+val to_hex : t -> string
+
+(** First [n] hex characters (for compact table rows). *)
+val short : ?n:int -> t -> string
+
+(** Full cache key: compiled code is valid only for one (bytecode, target,
+    codegen-profile) combination. *)
+type key = {
+  k_digest : t;
+  k_target : string;  (** {!Vapor_targets.Target.t} name *)
+  k_profile : string;  (** {!Vapor_jit.Profile.t} name *)
+}
+
+val key :
+  target:Vapor_targets.Target.t ->
+  profile:Vapor_jit.Profile.t ->
+  Vapor_vecir.Bytecode.vkernel ->
+  key
+
+val key_equal : key -> key -> bool
+val key_hash : key -> int
+val key_to_string : key -> string

@@ -1,0 +1,216 @@
+(* The replay service: a request driver over the tiered runtime. *)
+
+module Target = Vapor_targets.Target
+module Profile = Vapor_jit.Profile
+module Suite = Vapor_kernels.Suite
+module Flows = Vapor_harness.Flows
+module Driver = Vapor_vectorizer.Driver
+
+type config = {
+  cfg_targets : Target.t list;
+  cfg_profile : Profile.t;
+  cfg_hotness : int;
+  cfg_max_entries : int;
+  cfg_max_bytes : int;
+  cfg_rejuvenate : (int * Target.t * Target.t) option;
+}
+
+let default_config ~targets =
+  {
+    cfg_targets = targets;
+    cfg_profile = Profile.mono;
+    cfg_hotness = 3;
+    cfg_max_entries = 64;
+    cfg_max_bytes = 256 * 1024;
+    cfg_rejuvenate = None;
+  }
+
+type kernel_row = {
+  kr_kernel : string;
+  kr_target : string;
+  kr_digest : string;
+  kr_invocations : int;
+  kr_interp_runs : int;
+  kr_jit_runs : int;
+  kr_promoted_at : int option;
+  kr_cold_compile_us : float;
+}
+
+type report = {
+  rp_trace : string;
+  rp_invocations : int;
+  rp_interp_invocations : int;
+  rp_jit_invocations : int;
+  rp_total_cycles : int;
+  rp_interp_cycles : int;
+  rp_jit_cycles : int;
+  rp_total_compile_us : float;
+  rp_cold_compile_us : float;
+  rp_amortized_us : float;
+  rp_hits : int;
+  rp_misses : int;
+  rp_evictions : int;
+  rp_rejuvenations : int;
+  rp_hit_rate : float;
+  rp_rows : kernel_row list;
+  rp_stats : Stats.t;
+}
+
+let throughput rp =
+  if rp.rp_total_cycles = 0 then 0.0
+  else
+    float_of_int rp.rp_invocations
+    /. (float_of_int rp.rp_total_cycles /. 1_000_000.0)
+
+let amortization_factor rp =
+  if rp.rp_amortized_us <= 0.0 then Float.infinity
+  else rp.rp_cold_compile_us /. rp.rp_amortized_us
+
+(* Offline artifacts per kernel name: bytecode (via the Flows per-options
+   cache) and its content digest, computed once per replay. *)
+let bytecode_table kernels =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      let entry = Suite.find name in
+      let vk = (Flows.vectorized_bytecode entry).Driver.vkernel in
+      Hashtbl.replace tbl name (entry, vk, Digest.of_vkernel vk))
+    kernels;
+  tbl
+
+let replay ?stats (cfg : config) (trace : Trace.t) : report =
+  if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
+  let st = match stats with Some s -> s | None -> Stats.create () in
+  let cache =
+    Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
+      ~max_bytes:cfg.cfg_max_bytes ()
+  in
+  let tiered =
+    Tiered.create ~stats:st ~cache ~hotness_threshold:cfg.cfg_hotness ()
+  in
+  let table = bytecode_table trace.Trace.tr_kernels in
+  (* Mutable target mapping: rejuvenation redirects one slot. *)
+  let targets = Array.of_list cfg.cfg_targets in
+  let interp_inv = ref 0 and jit_inv = ref 0 in
+  let interp_cycles = ref 0 and jit_cycles = ref 0 in
+  let compile_us = ref 0.0 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      (match cfg.cfg_rejuvenate with
+      | Some (at, from_t, to_t) when at = ev.Trace.ev_index ->
+        ignore (Code_cache.invalidate_target cache ~from_target:from_t
+                  ~to_target:to_t);
+        ignore (Tiered.migrate_target tiered ~from_target:from_t
+                  ~to_target:to_t);
+        Array.iteri
+          (fun i t ->
+            if String.equal t.Target.name from_t.Target.name then
+              targets.(i) <- to_t)
+          targets
+      | _ -> ());
+      let entry, vk, digest = Hashtbl.find table ev.Trace.ev_kernel in
+      let target = targets.(ev.Trace.ev_target mod Array.length targets) in
+      let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
+      let r =
+        Tiered.invoke ~digest ~label:ev.Trace.ev_kernel tiered ~target
+          ~profile:cfg.cfg_profile vk ~args
+      in
+      (match r.Tiered.r_tier with
+      | Tiered.Interpreter ->
+        incr interp_inv;
+        interp_cycles := !interp_cycles + r.Tiered.r_cycles
+      | Tiered.Jit ->
+        incr jit_inv;
+        jit_cycles := !jit_cycles + r.Tiered.r_cycles);
+      compile_us := !compile_us +. r.Tiered.r_compile_us)
+    trace.Trace.tr_events;
+  let rows =
+    List.map
+      (fun (s : Tiered.kstate) ->
+        {
+          kr_kernel = s.Tiered.ks_label;
+          kr_target = s.Tiered.ks_key.Digest.k_target;
+          kr_digest = Digest.short s.Tiered.ks_key.Digest.k_digest;
+          kr_invocations = s.Tiered.ks_invocations;
+          kr_interp_runs = s.Tiered.ks_interp_runs;
+          kr_jit_runs = s.Tiered.ks_jit_runs;
+          kr_promoted_at =
+            (match
+               List.find_opt
+                 (fun (tr : Tiered.transition) -> tr.Tiered.to_tier = Tiered.Jit)
+                 s.Tiered.ks_transitions
+             with
+            | Some tr -> Some tr.Tiered.at_invocation
+            | None -> None);
+          kr_cold_compile_us = s.Tiered.ks_cold_compile_us;
+        })
+      (Tiered.states tiered)
+  in
+  let invocations = !interp_inv + !jit_inv in
+  let cold_weighted =
+    List.fold_left
+      (fun acc r -> acc +. (float_of_int r.kr_invocations *. r.kr_cold_compile_us))
+      0.0 rows
+  in
+  let cold_known =
+    List.fold_left
+      (fun acc r ->
+        if r.kr_cold_compile_us > 0.0 then acc + r.kr_invocations else acc)
+      0 rows
+  in
+  {
+    rp_trace = Trace.describe trace;
+    rp_invocations = invocations;
+    rp_interp_invocations = !interp_inv;
+    rp_jit_invocations = !jit_inv;
+    rp_total_cycles = !interp_cycles + !jit_cycles;
+    rp_interp_cycles = !interp_cycles;
+    rp_jit_cycles = !jit_cycles;
+    rp_total_compile_us = !compile_us;
+    rp_cold_compile_us =
+      (if cold_known = 0 then 0.0 else cold_weighted /. float_of_int cold_known);
+    rp_amortized_us =
+      (if invocations = 0 then 0.0
+       else !compile_us /. float_of_int invocations);
+    rp_hits = Code_cache.hits cache;
+    rp_misses = Code_cache.misses cache;
+    rp_evictions = Code_cache.evictions cache;
+    rp_rejuvenations = Code_cache.rejuvenations cache;
+    rp_hit_rate = Code_cache.hit_rate cache;
+    rp_rows = rows;
+    rp_stats = st;
+  }
+
+let print_tier_table rp =
+  Printf.printf "  %-16s %-8s %-12s %6s %7s %5s %9s %10s\n" "kernel" "target"
+    "digest" "inv" "interp" "jit" "promoted" "cold us";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-16s %-8s %-12s %6d %7d %5d %9s %10.1f\n" r.kr_kernel
+        r.kr_target r.kr_digest r.kr_invocations r.kr_interp_runs r.kr_jit_runs
+        (match r.kr_promoted_at with
+        | Some n -> Printf.sprintf "@%d" n
+        | None -> "-")
+        r.kr_cold_compile_us)
+    rp.rp_rows
+
+let print_report rp =
+  Printf.printf "replay: %s\n" rp.rp_trace;
+  Printf.printf "  invocations        %10d  (interp %d, jit %d)\n"
+    rp.rp_invocations rp.rp_interp_invocations rp.rp_jit_invocations;
+  Printf.printf "  modeled cycles     %10d  (interp %d, jit %d)\n"
+    rp.rp_total_cycles rp.rp_interp_cycles rp.rp_jit_cycles;
+  Printf.printf "  throughput         %10.1f  invocations / Mcycle\n"
+    (throughput rp);
+  Printf.printf "  compile time paid  %10.1f  us total\n" rp.rp_total_compile_us;
+  Printf.printf "  cold compile       %10.1f  us / invocation (uncached)\n"
+    rp.rp_cold_compile_us;
+  Printf.printf "  amortized compile  %10.3f  us / invocation (%.0fx cheaper)\n"
+    rp.rp_amortized_us (amortization_factor rp);
+  Printf.printf
+    "  code cache         hits %d  misses %d  evictions %d  rejuvenations %d  \
+     (hit rate %.1f%%)\n"
+    rp.rp_hits rp.rp_misses rp.rp_evictions rp.rp_rejuvenations
+    (100.0 *. rp.rp_hit_rate);
+  Printf.printf "tier breakdown:\n";
+  print_tier_table rp

@@ -1,0 +1,76 @@
+(** The replay service: drives a synthetic {!Trace} through the tiered
+    runtime and reports what a managed runtime would observe — aggregate
+    modeled throughput, amortized vs. cold JIT compile time, cache hit
+    rate, and the per-body tier breakdown.
+
+    Argument buffers are rebuilt deterministically per event from the
+    benchmark suite's seeded workload builders, so a replay with the same
+    config and trace prints byte-identical reports. *)
+
+module Target := Vapor_targets.Target
+module Profile := Vapor_jit.Profile
+
+type config = {
+  cfg_targets : Target.t list;  (** [ev_target] indexes into this list *)
+  cfg_profile : Profile.t;
+  cfg_hotness : int;  (** interpreter runs before JIT promotion *)
+  cfg_max_entries : int;  (** code-cache entry budget *)
+  cfg_max_bytes : int;  (** code-cache modeled-byte budget *)
+  cfg_rejuvenate : (int * Target.t * Target.t) option;
+      (** [(at_event, from, to)]: at event [at_event], re-lower cached
+          code from one target to another and redirect subsequent traffic
+          (the Revec rejuvenation scenario) *)
+}
+
+(** Mono-profile defaults: hotness 3, 64-entry / 256 KiB cache, no
+    rejuvenation. *)
+val default_config : targets:Target.t list -> config
+
+type kernel_row = {
+  kr_kernel : string;
+  kr_target : string;
+  kr_digest : string;  (** short content digest *)
+  kr_invocations : int;
+  kr_interp_runs : int;
+  kr_jit_runs : int;
+  kr_promoted_at : int option;  (** invocation index of the promotion *)
+  kr_cold_compile_us : float;
+}
+
+type report = {
+  rp_trace : string;  (** {!Trace.describe} of the replayed trace *)
+  rp_invocations : int;
+  rp_interp_invocations : int;
+  rp_jit_invocations : int;
+  rp_total_cycles : int;
+  rp_interp_cycles : int;
+  rp_jit_cycles : int;
+  rp_total_compile_us : float;  (** compile time actually paid *)
+  rp_cold_compile_us : float;
+      (** invocation-weighted mean cold (per-compile) time: what every
+          invocation would pay without the cache *)
+  rp_amortized_us : float;  (** [rp_total_compile_us / rp_invocations] *)
+  rp_hits : int;
+  rp_misses : int;
+  rp_evictions : int;
+  rp_rejuvenations : int;
+  rp_hit_rate : float;
+  rp_rows : kernel_row list;
+  rp_stats : Stats.t;
+}
+
+(** Invocations per million modeled cycles — the replay's throughput
+    figure of merit. *)
+val throughput : report -> float
+
+(** How much cheaper an average invocation's compile share is than a
+    cold compile ([rp_cold_compile_us / rp_amortized_us]). *)
+val amortization_factor : report -> float
+
+val replay : ?stats:Stats.t -> config -> Trace.t -> report
+
+(** Print the full report: summary, counters, and the tier table. *)
+val print_report : report -> unit
+
+(** Just the per-body tier table. *)
+val print_tier_table : report -> unit

@@ -1,0 +1,46 @@
+(** A small metrics registry shared by the runtime layer: monotonic
+    counters and value histograms, keyed by name.  The cache, the tiering
+    policy and the replay service all write into one registry so a single
+    table shows the whole runtime's behaviour. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+(** Add [by] (default 1) to a monotonic counter, creating it at 0. *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Current value; 0 for a counter never incremented. *)
+val counter : t -> string -> int
+
+(** {2 Histograms} *)
+
+(** Record one observation, creating the histogram on first use. *)
+val observe : t -> string -> float -> unit
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_mean : float;
+}
+
+(** [None] if nothing was observed under that name. *)
+val summary : t -> string -> summary option
+
+(** {2 Reporting} *)
+
+(** All counter names, sorted. *)
+val counter_names : t -> string list
+
+(** All histogram names, sorted. *)
+val histogram_names : t -> string list
+
+(** Render every counter and histogram as an aligned text table. *)
+val to_table : t -> string
+
+(** Forget everything (counters and histograms). *)
+val reset : t -> unit

@@ -1,0 +1,181 @@
+(* Tiered execution: interpret cold bodies, JIT hot ones through the code
+   cache, and record every tier transition. *)
+
+module B = Vapor_vecir.Bytecode
+module Encode = Vapor_vecir.Encode
+module Veval = Vapor_vecir.Veval
+module Target = Vapor_targets.Target
+module Profile = Vapor_jit.Profile
+module Compile = Vapor_jit.Compile
+module Eval = Vapor_ir.Eval
+module Buffer_ = Vapor_ir.Buffer_
+module Exec = Vapor_harness.Exec
+
+type tier =
+  | Interpreter
+  | Jit
+
+let tier_to_string = function
+  | Interpreter -> "interp"
+  | Jit -> "jit"
+
+type transition = {
+  at_invocation : int;
+  to_tier : tier;
+}
+
+type kstate = {
+  ks_key : Digest.key;
+  ks_label : string;
+  mutable ks_invocations : int;
+  mutable ks_interp_runs : int;
+  mutable ks_jit_runs : int;
+  mutable ks_tier : tier;
+  mutable ks_transitions : transition list;
+  mutable ks_cold_compile_us : float;
+}
+
+type t = {
+  cache : Code_cache.t;
+  threshold : int;
+  st : Stats.t;
+  states : (Digest.key, kstate) Hashtbl.t;
+}
+
+let create ?stats ~cache ~hotness_threshold () =
+  {
+    cache;
+    threshold = max 0 hotness_threshold;
+    st = (match stats with Some s -> s | None -> Code_cache.stats cache);
+    states = Hashtbl.create 32;
+  }
+
+type run = {
+  r_tier : tier;
+  r_cycles : int;
+  r_compile_us : float;
+  r_cache : Code_cache.outcome option;
+}
+
+(* First-order interpreter cost model: a fixed entry cost, a dispatch cost
+   per data element touched, and a decode cost per bytecode byte. *)
+let interp_cycles (vk : B.vkernel) ~args =
+  let elems =
+    List.fold_left
+      (fun acc (_, a) ->
+        match a with
+        | Eval.Array b -> acc + Buffer_.length b
+        | Eval.Scalar _ -> acc)
+      0 args
+  in
+  200 + (20 * elems) + (2 * Encode.size vk)
+
+let state_of t key label =
+  match Hashtbl.find_opt t.states key with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        ks_key = key;
+        ks_label = label;
+        ks_invocations = 0;
+        ks_interp_runs = 0;
+        ks_jit_runs = 0;
+        ks_tier = Interpreter;
+        ks_transitions = [];
+        ks_cold_compile_us = 0.0;
+      }
+    in
+    Hashtbl.replace t.states key s;
+    s
+
+let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
+    (vk : B.vkernel) ~args =
+  let d = match digest with Some d -> d | None -> Digest.of_vkernel vk in
+  let key =
+    {
+      Digest.k_digest = d;
+      k_target = target.Target.name;
+      k_profile = profile.Profile.name;
+    }
+  in
+  let label =
+    match label with Some l -> l | None -> vk.B.name
+  in
+  let s = state_of t key label in
+  s.ks_invocations <- s.ks_invocations + 1;
+  if s.ks_tier = Interpreter && s.ks_invocations > t.threshold then begin
+    s.ks_tier <- Jit;
+    s.ks_transitions <-
+      { at_invocation = s.ks_invocations; to_tier = Jit } :: s.ks_transitions;
+    Stats.incr t.st "tier.promotions"
+  end;
+  match s.ks_tier with
+  | Interpreter ->
+    let mode =
+      if Target.has_simd target then Veval.Vector target.Target.vs
+      else Veval.Scalarized
+    in
+    ignore (Veval.run vk ~mode ~args);
+    s.ks_interp_runs <- s.ks_interp_runs + 1;
+    Stats.incr t.st "tier.interp_runs";
+    let cycles = interp_cycles vk ~args in
+    Stats.observe t.st "tier.interp_cycles" (float_of_int cycles);
+    { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
+      r_cache = None }
+  | Jit ->
+    let compiled, outcome =
+      Code_cache.find_or_compile ~digest:d t.cache ~target ~profile vk
+    in
+    let charged =
+      match outcome with
+      | Code_cache.Miss ->
+        s.ks_cold_compile_us <- compiled.Compile.compile_time_us;
+        compiled.Compile.compile_time_us
+      | Code_cache.Hit ->
+        if s.ks_cold_compile_us = 0.0 then
+          (* compiled earlier (or by a sibling state); remember the cold
+             cost for amortization tables without re-charging it *)
+          s.ks_cold_compile_us <- compiled.Compile.compile_time_us;
+        0.0
+    in
+    let r = Exec.run target compiled ~args in
+    s.ks_jit_runs <- s.ks_jit_runs + 1;
+    Stats.incr t.st "tier.jit_runs";
+    Stats.observe t.st "tier.jit_cycles" (float_of_int r.Exec.cycles);
+    { r_tier = Jit; r_cycles = r.Exec.cycles; r_compile_us = charged;
+      r_cache = Some outcome }
+
+let migrate_target t ~(from_target : Target.t) ~(to_target : Target.t) =
+  let stale =
+    Hashtbl.fold
+      (fun _ s acc ->
+        if String.equal s.ks_key.Digest.k_target from_target.Target.name then
+          s :: acc
+        else acc)
+      t.states []
+  in
+  List.fold_left
+    (fun n s ->
+      Hashtbl.remove t.states s.ks_key;
+      let key = { s.ks_key with Digest.k_target = to_target.Target.name } in
+      if Hashtbl.mem t.states key then n
+      else begin
+        let s' = { s with ks_key = key; ks_cold_compile_us = 0.0 } in
+        (* hotness carries over: a promoted body stays promoted *)
+        Hashtbl.replace t.states key s';
+        Stats.incr t.st "tier.migrations";
+        n + 1
+      end)
+    0 stale
+
+let states t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.states []
+  |> List.sort (fun a b ->
+         compare
+           (a.ks_label, a.ks_key.Digest.k_target)
+           (b.ks_label, b.ks_key.Digest.k_target))
+
+let hotness_threshold t = t.threshold
+let cache t = t.cache
+let stats t = t.st

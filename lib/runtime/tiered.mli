@@ -1,0 +1,79 @@
+(** Tiered execution: cold kernels run through the {!Vapor_vecir.Veval}
+    bytecode interpreter; once a kernel body crosses the hotness threshold
+    it is promoted to JIT-compiled code obtained through the
+    {!Code_cache}.  Per-body tier state is keyed by the same
+    (digest, target, profile) key as the cache, so the same bytecode
+    running on two targets is tracked (and promoted) independently.
+
+    Interpreter invocations charge a modeled cost
+    [200 + 20*elements + 2*bytecode_bytes] cycles — a first-order
+    dispatch-per-element interpreter model — so the tier economics
+    (interpretation avoids the compile, JIT pays it once) are visible in
+    the replay reports without wall-clock nondeterminism. *)
+
+module B := Vapor_vecir.Bytecode
+module Target := Vapor_targets.Target
+module Profile := Vapor_jit.Profile
+module Eval := Vapor_ir.Eval
+
+type tier =
+  | Interpreter
+  | Jit
+
+val tier_to_string : tier -> string
+
+type transition = {
+  at_invocation : int;  (** 1-based invocation count when the switch fired *)
+  to_tier : tier;
+}
+
+(** Per-(bytecode, target, profile) execution state, for reporting. *)
+type kstate = {
+  ks_key : Digest.key;
+  ks_label : string;  (** kernel name, for tables *)
+  mutable ks_invocations : int;
+  mutable ks_interp_runs : int;
+  mutable ks_jit_runs : int;
+  mutable ks_tier : tier;
+  mutable ks_transitions : transition list;  (** newest first *)
+  mutable ks_cold_compile_us : float;  (** 0 until first compiled *)
+}
+
+type t
+
+(** [hotness_threshold] is the number of interpreter runs before
+    promotion; 0 promotes on the first invocation. *)
+val create :
+  ?stats:Stats.t -> cache:Code_cache.t -> hotness_threshold:int -> unit -> t
+
+type run = {
+  r_tier : tier;
+  r_cycles : int;  (** simulated (Jit) or modeled (Interpreter) cycles *)
+  r_compile_us : float;  (** compile time paid by THIS invocation *)
+  r_cache : Code_cache.outcome option;  (** [None] on interpreter runs *)
+}
+
+(** Execute one invocation, choosing the tier; array argument buffers are
+    mutated in place exactly as {!Vapor_harness.Exec.run} would. *)
+val invoke :
+  ?digest:Digest.t ->
+  ?label:string ->
+  t ->
+  target:Target.t ->
+  profile:Profile.t ->
+  B.vkernel ->
+  args:(string * Eval.arg) list ->
+  run
+
+(** Rekey all states on [from_target] to [to_target], preserving hotness
+    (the Revec rejuvenation companion of
+    {!Code_cache.invalidate_target}). Returns the number migrated. *)
+val migrate_target : t -> from_target:Target.t -> to_target:Target.t -> int
+
+val states : t -> kstate list
+val hotness_threshold : t -> int
+val cache : t -> Code_cache.t
+val stats : t -> Stats.t
+
+(** The modeled interpreter cost (exposed for tests). *)
+val interp_cycles : B.vkernel -> args:(string * Eval.arg) list -> int

@@ -1,0 +1,99 @@
+(* Seeded synthetic workload traces with Zipf-like kernel popularity. *)
+
+type event = {
+  ev_index : int;
+  ev_kernel : string;
+  ev_target : int;
+  ev_scale : int;
+}
+
+type t = {
+  tr_seed : int;
+  tr_kernels : string list;
+  tr_n_targets : int;
+  tr_events : event list;
+}
+
+(* --- splitmix64, self-contained for cross-version determinism ---------- *)
+
+let mix (state : int64 ref) : int64 =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform float in [0, 1): the top 53 bits of one splitmix64 draw. *)
+let rand_float state =
+  Int64.to_float (Int64.shift_right_logical (mix state) 11) /. 9007199254740992.0
+
+let rand_int state n =
+  if n <= 1 then 0 else min (n - 1) (int_of_float (rand_float state *. float_of_int n))
+
+(* Draw an index in [0, n) with weight 1/(i+1)^1.1: rank 0 dominates. *)
+let rand_zipf state n =
+  let weight i = 1.0 /. Float.pow (float_of_int (i + 1)) 1.1 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. weight i
+  done;
+  let x = rand_float state *. !total in
+  let rec pick i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weight i in
+      if x < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+(* ----------------------------------------------------------------------- *)
+
+let default_kernels =
+  [
+    "saxpy_fp"; "dscal_fp"; "sfir_fp"; "interp_s16"; "dissolve_s8";
+    "sad_s8"; "mix_streams_s16"; "jacobi_fp";
+  ]
+
+let standard ?(seed = 42) ?(kernels = default_kernels) ?(scales = [ 1; 2 ])
+    ~length ~n_targets () =
+  if kernels = [] then invalid_arg "Trace.standard: empty kernel list";
+  if length < 0 then invalid_arg "Trace.standard: negative length";
+  let n_targets = max 1 n_targets in
+  let state = ref (Int64.of_int seed) in
+  let kernels_a = Array.of_list kernels in
+  let scales_a = Array.of_list (if scales = [] then [ 1 ] else scales) in
+  let events =
+    List.init length (fun i ->
+        {
+          ev_index = i;
+          ev_kernel = kernels_a.(rand_zipf state (Array.length kernels_a));
+          ev_target = rand_int state n_targets;
+          ev_scale = scales_a.(rand_zipf state (Array.length scales_a));
+        })
+  in
+  { tr_seed = seed; tr_kernels = kernels; tr_n_targets = n_targets;
+    tr_events = events }
+
+let length t = List.length t.tr_events
+
+let popularity t =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace counts e.ev_kernel
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.ev_kernel)))
+    t.tr_events;
+  List.filter_map
+    (fun k ->
+      Option.map (fun n -> k, n) (Hashtbl.find_opt counts k))
+    t.tr_kernels
+
+let describe t =
+  Printf.sprintf "%d events, %d kernels, %d target(s), seed %d"
+    (length t) (List.length t.tr_kernels) t.tr_n_targets t.tr_seed

@@ -1,0 +1,46 @@
+(** Synthetic workload traces for the replay service: a seeded,
+    reproducible stream of kernel invocations with Zipf-like kernel
+    popularity (a few hot bodies, a long cold tail — the distribution that
+    makes tiering and caching worth having), mixed argument scales, and a
+    target index per event for multi-target replays.
+
+    The PRNG is a self-contained splitmix64 so traces are bit-identical
+    across OCaml versions; the same (seed, kernels, length, n_targets)
+    always produces the same trace. *)
+
+type event = {
+  ev_index : int;
+  ev_kernel : string;  (** benchmark-suite kernel name *)
+  ev_target : int;  (** index into the replay's target list *)
+  ev_scale : int;  (** workload scale factor for argument buffers *)
+}
+
+type t = {
+  tr_seed : int;
+  tr_kernels : string list;  (** popularity order: head is hottest *)
+  tr_n_targets : int;
+  tr_events : event list;
+}
+
+(** The default kernel mix: eight suite kernels spanning fp/integer,
+    saxpy-style streaming and stencil/matrix shapes. *)
+val default_kernels : string list
+
+(** Build a trace. [scales] (default [[1; 2]]) are drawn with the same
+    rank-weighted bias as kernels (small sizes dominate). *)
+val standard :
+  ?seed:int ->
+  ?kernels:string list ->
+  ?scales:int list ->
+  length:int ->
+  n_targets:int ->
+  unit ->
+  t
+
+val length : t -> int
+
+(** Invocation count per kernel name, in popularity order. *)
+val popularity : t -> (string * int) list
+
+(** One-line description for report headers. *)
+val describe : t -> string

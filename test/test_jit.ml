@@ -108,6 +108,61 @@ let scalar_target_case () =
   if ratio > 1.10 then
     fail (Printf.sprintf "scalarization overhead %.2fx > 1.10x" ratio)
 
+let compile_time_model_case () =
+  (* The modeled JIT time is exactly proportional to the bytecode nodes
+     processed: compile_time_us = bytecode_nodes * ns_per_node / 1000. *)
+  let module Compile = Vapor_jit.Compile in
+  List.iter
+    (fun name ->
+      let entry = Suite.find name in
+      let bytecode = (Flows.vectorized_bytecode entry).Vapor_vectorizer.Driver.vkernel in
+      let c =
+        Compile.compile ~target:Vapor_targets.Sse.target
+          ~profile:Profile.gcc4cli bytecode
+      in
+      if c.Compile.bytecode_nodes <= 0 then
+        fail (name ^ ": no bytecode nodes counted");
+      let expected =
+        float_of_int c.Compile.bytecode_nodes *. Compile.ns_per_node /. 1000.0
+      in
+      Alcotest.(check (float 1e-6))
+        (name ^ " compile time proportional to nodes")
+        expected c.Compile.compile_time_us)
+    [ "saxpy_fp"; "mmm_fp"; "interp_s16" ]
+
+let vectorized_predicates_case () =
+  (* On an all-Vectorize decision list the two predicates must agree. *)
+  let module Compile = Vapor_jit.Compile in
+  let module Lower = Vapor_jit.Lower in
+  let bytecode =
+    (Flows.vectorized_bytecode (Suite.find "saxpy_fp"))
+      .Vapor_vectorizer.Driver.vkernel
+  in
+  let c =
+    Compile.compile ~target:Vapor_targets.Sse.target ~profile:Profile.gcc4cli
+      bytecode
+  in
+  let all_vectorize =
+    c.Compile.decisions <> []
+    && List.for_all
+         (function Lower.Vectorize -> true | Lower.Scalarize _ -> false)
+         c.Compile.decisions
+  in
+  Alcotest.check Alcotest.bool "saxpy_fp sse lowers all-Vectorize" true
+    all_vectorize;
+  Alcotest.check Alcotest.bool "fully_vectorized" true
+    (Compile.fully_vectorized c);
+  Alcotest.check Alcotest.bool "any_vectorized agrees" true
+    (Compile.any_vectorized c);
+  (* and on the no-SIMD target both must be false *)
+  let c0 =
+    Compile.compile ~target:Targets.target ~profile:Profile.gcc4cli bytecode
+  in
+  Alcotest.check Alcotest.bool "scalar target not fully vectorized" false
+    (Compile.fully_vectorized c0);
+  Alcotest.check Alcotest.bool "scalar target not any vectorized" false
+    (Compile.any_vectorized c0)
+
 let altivec_dp_case () =
   (* AltiVec has no doubles: saxpy_dp must scalarize yet stay correct. *)
   let entry = Suite.find "saxpy_dp" in
@@ -128,5 +183,9 @@ let () =
             scalar_target_case;
           Alcotest.test_case "altivec doubles scalarize" `Quick
             altivec_dp_case;
+          Alcotest.test_case "compile time model" `Quick
+            compile_time_model_case;
+          Alcotest.test_case "vectorized predicates" `Quick
+            vectorized_predicates_case;
         ] );
     ]

@@ -131,6 +131,58 @@ let run_replay () =
     Service.print_tier_table rp
   | [] -> ()
 
+(* Part 2b: guarded execution under injected faults — the same trace with
+   the differential oracle checking every JIT run while bodies are
+   corrupted and compiles transiently fail.  The figure of merit is the
+   throughput cost of surviving every fault with zero wrong outputs.      *)
+
+module Tiered = Vapor_runtime.Tiered
+module Faults = Vapor_runtime.Faults
+
+let run_chaos_replay () =
+  Printf.printf "\nGuarded replay under injected faults (seeded chaos)\n";
+  Printf.printf "===================================================\n";
+  Printf.printf
+    "(oracle on every JIT run; 5%% body corruption, 25%% transient \
+     compile faults)\n\n";
+  let trace =
+    Trace.standard ~length:replay_trace_length ~n_targets:1 ()
+  in
+  Printf.printf "  %-8s %6s %8s %11s %11s %8s %8s %10s\n" "target" "inv"
+    "checks" "mismatches" "quarantines" "retries" "demoted" "thru cost";
+  List.iter
+    (fun (target : Vapor_targets.Target.t) ->
+      let healthy_cfg =
+        {
+          (Service.default_config ~targets:[ target ]) with
+          Service.cfg_hotness = replay_hotness;
+        }
+      in
+      let healthy = Service.replay healthy_cfg trace in
+      let faults = Faults.make (Faults.chaos_spec ~seed:1) in
+      let cfg =
+        {
+          healthy_cfg with
+          Service.cfg_guard =
+            {
+              Tiered.g_oracle = Some Tiered.oracle_always;
+              g_faults = Some faults;
+              g_retry_budget = 3;
+            };
+        }
+      in
+      let rp = Service.replay cfg trace in
+      let cost =
+        if Service.throughput rp <= 0.0 then Float.infinity
+        else Service.throughput healthy /. Service.throughput rp
+      in
+      Printf.printf "  %-8s %6d %8d %11d %11d %8d %8d %9.2fx\n"
+        target.Vapor_targets.Target.name rp.Service.rp_invocations
+        rp.Service.rp_oracle_checks rp.Service.rp_oracle_mismatches
+        rp.Service.rp_quarantines rp.Service.rp_retries
+        rp.Service.rp_demotions cost)
+    Vapor_targets.Scalar_target.all_simd
+
 (* ---------------------------------------------------------------------- *)
 (* Part 3: Bechamel microbenchmarks of the pipeline stages that produce
    each table — offline vectorization, JIT compilation, simulation.        *)
@@ -206,4 +258,5 @@ let () =
   let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
   run_experiments ();
   run_replay ();
+  run_chaos_replay ();
   if not quick then run_benchmarks ()

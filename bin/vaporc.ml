@@ -25,6 +25,29 @@ module Trace = Vapor_runtime.Trace
 module Service = Vapor_runtime.Service
 module Stats = Vapor_runtime.Stats
 
+(* --- name resolution ----------------------------------------------------
+   Unknown kernel/target names are user errors, not internal ones: print
+   the valid names and exit 2 (cmdliner reserves 124 for conversion
+   errors, so names are resolved here rather than in an Arg.conv). *)
+
+let die_unknown ~what ~given ~valid : 'a =
+  Printf.eprintf "vaporc: unknown %s '%s'\nvalid %ss are: %s\n" what given
+    what (String.concat ", " valid);
+  exit 2
+
+let resolve_target name =
+  try Targets.find name
+  with Invalid_argument _ ->
+    die_unknown ~what:"target" ~given:name
+      ~valid:
+        (List.map (fun t -> t.Vapor_targets.Target.name) Targets.all)
+
+let resolve_kernel name =
+  try Suite.find name
+  with Invalid_argument _ ->
+    die_unknown ~what:"kernel" ~given:name
+      ~valid:(List.map (fun e -> e.Suite.name) Suite.all)
+
 (* --- common arguments --------------------------------------------------- *)
 
 let kernel_arg =
@@ -40,15 +63,9 @@ let file_arg =
     & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Kernel-language source file.")
 
 let target_arg =
-  let the_target_conv =
-    Arg.conv
-      ((fun s ->
-         try Ok (Targets.find s) with Invalid_argument m -> Error (`Msg m)),
-       (fun fmt t -> Format.pp_print_string fmt t.Vapor_targets.Target.name))
-  in
   Arg.(
     value
-    & opt the_target_conv Vapor_targets.Sse.target
+    & opt string "sse"
     & info [ "t"; "target" ] ~docv:"TARGET"
         ~doc:"Target: sse, altivec, neon, avx, or scalar.")
 
@@ -92,7 +109,7 @@ let scale_arg =
 let load_kernel kernel file : Vapor_ir.Kernel.t * Suite.entry option =
   match kernel, file with
   | Some name, None ->
-    let entry = Suite.find name in
+    let entry = resolve_kernel name in
     Suite.kernel entry, Some entry
   | None, Some path ->
     let ic = open_in path in
@@ -146,6 +163,7 @@ let vectorize_cmd =
 
 let lower_cmd =
   let run kernel file no_hints target profile =
+    let target = resolve_target target in
     let k, _ = load_kernel kernel file in
     let result = Driver.vectorize ~opts:(opts_of no_hints false) k in
     let compiled = Compile.compile ~target ~profile result.Driver.vkernel in
@@ -169,7 +187,8 @@ let lower_cmd =
 
 let run_cmd =
   let run kernel no_hints target profile scale =
-    let entry = Suite.find (Option.value ~default:"saxpy_fp" kernel) in
+    let target = resolve_target target in
+    let entry = resolve_kernel (Option.value ~default:"saxpy_fp" kernel) in
     let module Flows = Vapor_harness.Flows in
     let r =
       Flows.split_vector
@@ -306,6 +325,10 @@ let serve_replay_cmd =
   in
   let run target profile length seed hotness cache_entries cache_bytes
       rejuvenate rejuvenate_at kernels =
+    let target = resolve_target target in
+    let kernels =
+      Option.map (List.map (fun n -> (resolve_kernel n).Suite.name)) kernels
+    in
     let trace =
       Trace.standard ~seed ?kernels ~length ~n_targets:1 ()
     in
@@ -318,7 +341,7 @@ let serve_replay_cmd =
         cfg_max_bytes = cache_bytes;
         cfg_rejuvenate =
           Option.map
-            (fun name -> rejuvenate_at, target, Targets.find name)
+            (fun name -> rejuvenate_at, target, resolve_target name)
             rejuvenate;
       }
     in
@@ -339,6 +362,166 @@ let serve_replay_cmd =
       const run $ target_arg $ profile_arg $ length_arg $ seed_arg
       $ hotness_arg $ cache_entries_arg $ cache_bytes_arg $ rejuvenate_arg
       $ rejuvenate_at_arg $ kernels_arg)
+
+let chaos_replay_cmd =
+  let length_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "length" ] ~docv:"N" ~doc:"Number of trace events to replay.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for BOTH the trace and the fault injector: the same \
+                seed reproduces the same faults at the same trace points.")
+  in
+  let hotness_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "hotness" ] ~docv:"N"
+          ~doc:"Interpreter invocations before a kernel body is promoted \
+                to the JIT tier.")
+  in
+  let no_faults_arg =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ]
+          ~doc:"Disable fault injection and the oracle entirely; the \
+                output is then byte-identical to serve-replay.")
+  in
+  let corrupt_rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "corrupt-rate" ] ~docv:"P"
+          ~doc:"Probability a cache-delivered body is corrupted.")
+  in
+  let compile_fault_rate_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "compile-fault-rate" ] ~docv:"P"
+          ~doc:"Probability a compile attempt takes an injected transient \
+                fault.")
+  in
+  let drop_simd_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drop-simd-at" ] ~docv:"EVENT"
+          ~doc:"Trace event index at which the serving target loses SIMD \
+                capability (rejuvenates down to scalar).")
+  in
+  let oracle_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "oracle-every" ] ~docv:"N"
+          ~doc:"Differential-oracle sampling period in JIT runs (1 checks \
+                every run, guaranteeing zero escaped wrong outputs).")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-budget" ] ~docv:"N"
+          ~doc:"Compile retry attempts against injected transient faults.")
+  in
+  let run target profile length seed hotness no_faults corrupt_rate
+      compile_fault_rate drop_simd_at oracle_every retry_budget =
+    let target = resolve_target target in
+    let trace = Trace.standard ~seed ~length ~n_targets:1 () in
+    let faults =
+      if no_faults then None
+      else
+        Some
+          (Vapor_runtime.Faults.make
+             {
+               Vapor_runtime.Faults.f_seed = seed;
+               f_corrupt_rate = corrupt_rate;
+               f_compile_fault_rate = compile_fault_rate;
+               f_max_transient = 2;
+               f_drop_simd_at = drop_simd_at;
+             })
+    in
+    let guard =
+      match faults with
+      | None -> Vapor_runtime.Tiered.no_guard
+      | Some f ->
+        {
+          Vapor_runtime.Tiered.g_oracle =
+            Some
+              {
+                Vapor_runtime.Tiered.op_first_run = true;
+                op_sample_every = max 1 oracle_every;
+              };
+          g_faults = Some f;
+          g_retry_budget = retry_budget;
+        }
+    in
+    let cfg =
+      {
+        (Service.default_config ~targets:[ target ]) with
+        Service.cfg_profile = profile;
+        cfg_hotness = hotness;
+        cfg_guard = guard;
+        cfg_drop_simd =
+          (if no_faults then None
+           else
+             Option.map (fun at -> at, Targets.find "scalar") drop_simd_at);
+      }
+    in
+    let stats = Stats.create () in
+    let report = Service.replay ~stats cfg trace in
+    (if no_faults then
+       (* No faults, no oracle: this IS a serve-replay, printed
+          byte-identically so the healthy path is provably unchanged. *)
+       Printf.printf "serve-replay on %s (%s profile, hotness %d)\n"
+         target.Vapor_targets.Target.name profile.Profile.name hotness
+     else begin
+       Printf.printf "chaos-replay on %s (%s profile, hotness %d, seed %d)\n"
+         target.Vapor_targets.Target.name profile.Profile.name hotness seed;
+       Printf.printf
+         "  faults: corrupt %.2f, compile-fault %.2f, drop-simd %s, \
+          oracle every %d run(s), retry budget %d\n"
+         corrupt_rate compile_fault_rate
+         (match drop_simd_at with
+         | Some at -> Printf.sprintf "@%d" at
+         | None -> "off")
+         (max 1 oracle_every) retry_budget
+     end);
+    Service.print_report report;
+    Printf.printf "runtime metrics:\n%s" (Stats.to_table stats);
+    match faults with
+    | None -> ()
+    | Some _ ->
+      let escaped =
+        report.Service.rp_oracle_mismatches - report.Service.rp_quarantines
+      in
+      if escaped > 0 then begin
+        Printf.printf
+          "chaos verdict: FAIL — %d mismatch(es) without quarantine\n"
+          escaped;
+        exit 1
+      end
+      else
+        Printf.printf
+          "chaos verdict: OK — every injected fault was absorbed \
+           (%d corrupted, %d injected compile faults, %d quarantines, \
+           %d retries, 0 wrong outputs)\n"
+          report.Service.rp_corrupted_bodies report.Service.rp_injected_compile
+          report.Service.rp_quarantines report.Service.rp_retries
+  in
+  Cmd.v
+    (Cmd.info "chaos-replay"
+       ~doc:
+         "Replay the standard trace while deterministically injecting \
+          faults (corrupted cached bodies, transient compile failures, \
+          mid-trace SIMD loss) with the differential oracle checking \
+          every JIT run: the runtime must absorb every fault with zero \
+          wrong outputs.")
+    Term.(
+      const run $ target_arg $ profile_arg $ length_arg $ seed_arg
+      $ hotness_arg $ no_faults_arg $ corrupt_rate_arg
+      $ compile_fault_rate_arg $ drop_simd_arg $ oracle_every_arg
+      $ retry_budget_arg)
 
 let experiments_cmd =
   let run scale =
@@ -391,7 +574,8 @@ let () =
     Cmd.group info
       [
         list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
-        encode_cmd; disasm_cmd; serve_replay_cmd; experiments_cmd;
+        encode_cmd; disasm_cmd; serve_replay_cmd; chaos_replay_cmd;
+        experiments_cmd;
       ]
   in
   let die msg =

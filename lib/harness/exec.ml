@@ -50,3 +50,26 @@ let run ?(policy = Layout.aligned_policy) (target : Target.t)
     instructions = r.Simulator.r_instructions;
     compile_time_us = compiled.Compile.compile_time_us;
   }
+
+type exec_error = {
+  ee_stage : [ `Plan | `Simulate ];
+  ee_reason : string;
+}
+
+let exec_error_to_string e =
+  Printf.sprintf "%s: %s"
+    (match e.ee_stage with `Plan -> "plan" | `Simulate -> "simulate")
+    e.ee_reason
+
+(* Typed-error execution.  The simulator only writes caller buffers in
+   [Layout.read_back] after a clean finish, so a fault mid-run leaves the
+   arguments exactly as they were — the caller can safely re-run through
+   the interpreter tier. *)
+let run_checked ?policy (target : Target.t) (compiled : Compile.t)
+    ~(args : (string * Eval.arg) list) : (run_result, exec_error) result =
+  match run ?policy target compiled ~args with
+  | r -> Ok r
+  | exception Invalid_argument msg ->
+    Error { ee_stage = `Plan; ee_reason = msg }
+  | exception Simulator.Fault msg ->
+    Error { ee_stage = `Simulate; ee_reason = msg }

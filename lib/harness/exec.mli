@@ -23,3 +23,22 @@ val run :
   Compile.t ->
   args:(string * Eval.arg) list ->
   run_result
+
+(** Typed execution failure: layout planning or a simulator fault. *)
+type exec_error = {
+  ee_stage : [ `Plan | `Simulate ];
+  ee_reason : string;
+}
+
+val exec_error_to_string : exec_error -> string
+
+(** Like {!run} but never raises on planning/simulation faults.  On
+    [Error] the argument buffers are untouched (results are only copied
+    back after a clean finish), so the caller can fall back to the
+    interpreter tier. *)
+val run_checked :
+  ?policy:Layout.policy ->
+  Target.t ->
+  Compile.t ->
+  args:(string * Eval.arg) list ->
+  (run_result, exec_error) result

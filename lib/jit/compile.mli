@@ -11,21 +11,49 @@ type t = {
   compile_time_us : float;
       (** modeled JIT time, proportional to the bytecode processed *)
   bytecode_nodes : int;
+  forced_scalar_regions : int list;
+      (** regions demoted to scalar by scalarize-on-failure recovery *)
 }
+
+(** Typed compile failure: the pipeline stage that failed and why. *)
+type lower_error = {
+  le_stage : [ `Lower | `Emit | `Regalloc | `Injected ];
+  le_reason : string;
+}
+
+type compile_result = (t, lower_error) result
+
+val stage_name : [ `Lower | `Emit | `Regalloc | `Injected ] -> string
+val lower_error_to_string : lower_error -> string
 
 (** Nanoseconds charged per bytecode node in the compile-time model. *)
 val ns_per_node : float
 
 (** Compile bytecode for a target under a codegen profile.
     [known_aligned] tells which arrays the runtime allocator controls
-    (guards over others are tested dynamically). *)
+    (guards over others are tested dynamically).  [force_scalar] demotes
+    regions (by discovery-order index) to scalar code.  Raises on
+    unloweable kernels; the runtime boundary uses {!compile_checked}. *)
 val compile :
+  ?force_scalar:(int -> bool) ->
   ?known_aligned:(string -> bool) ->
   ?known_disjoint:(string -> string -> bool) ->
   target:Target.t ->
   profile:Profile.t ->
   B.vkernel ->
   t
+
+(** Never-raising compilation with per-region scalarize-on-failure: a
+    failed compile retries with each vector region demoted to scalar in
+    turn, then fully scalarized; only a kernel that cannot compile even
+    scalar reports the (original) error. *)
+val compile_checked :
+  ?known_aligned:(string -> bool) ->
+  ?known_disjoint:(string -> string -> bool) ->
+  target:Target.t ->
+  profile:Profile.t ->
+  B.vkernel ->
+  compile_result
 
 (** All vector regions lowered as vector code (and at least one exists). *)
 val fully_vectorized : t -> bool

@@ -144,9 +144,12 @@ let rec compile_sexpr ctx (e : B.sexpr) : M.reg =
     let r = fresh_gpr ctx in
     emit ctx (M.Li (r, v));
     r
-  | B.S_float (_, v) ->
+  | B.S_float (ty, v) ->
     let r = fresh_fpr ctx in
-    emit ctx (M.Lfi (r, v));
+    (* Round the literal to its source type up front: the scalar FP
+       register bank is untyped doubles, so an unrounded F32 literal
+       would diverge from interpreter semantics by an ulp. *)
+    emit ctx (M.Lfi (r, Src_type.normalize_float ty v));
     r
   | B.S_var v -> var_reg ctx v (var_type ctx v)
   | B.S_load (arr, idx) ->
@@ -613,7 +616,7 @@ let run ~(target : Target.t) ~(profile : Profile.t) ~(an : Lower.analysis)
       | Kernel.P_scalar (n, ty) ->
         Hashtbl.replace ctx.var_types n ty;
         let r = var_reg ctx n ty in
-        param_regs := (n, Mfun.In_reg r) :: !param_regs
+        param_regs := (n, ty, Mfun.In_reg r) :: !param_regs
       | Kernel.P_array (n, ty) -> Hashtbl.replace ctx.var_types ("[]" ^ n) ty)
     vk.B.params;
   List.iter (fun (v, ty) -> Hashtbl.replace ctx.var_types v ty) vk.B.locals;

@@ -498,9 +498,13 @@ let carried_vvars stmts =
     stmts;
   carried
 
-(* Analyze a kernel: discover regions and resolve guards. *)
-let analyze ~(target : Target.t) ~(profile : Profile.t) ~known_aligned
-    ~known_disjoint (vk : B.vkernel) : analysis =
+(* Analyze a kernel: discover regions and resolve guards.  [force_scalar]
+   receives each region's discovery-order index and may demote it to
+   scalar code — the de-optimization hook behind per-region
+   scalarize-on-failure retries. *)
+let analyze ?(force_scalar = fun _ -> false) ~(target : Target.t)
+    ~(profile : Profile.t) ~known_aligned ~known_disjoint (vk : B.vkernel) :
+    analysis =
   let an =
     {
       regions = [];
@@ -511,6 +515,7 @@ let analyze ~(target : Target.t) ~(profile : Profile.t) ~known_aligned
   in
   let regions = ref [] in
   let guards = ref [] in
+  let next_region = ref 0 in
   let rec walk ~depth (stmts : B.vstmt list) =
     List.iter
       (fun (s : B.vstmt) ->
@@ -521,9 +526,13 @@ let analyze ~(target : Target.t) ~(profile : Profile.t) ~known_aligned
             | Some (Some extra) -> static_cond target extra <> Some false
             | Some None | None -> true
           in
+          let idx = !next_region in
+          incr next_region;
           let decision =
             if not admissible then
               Scalarize "VF exceeds the admissible dependence distance"
+            else if force_scalar idx then
+              Scalarize "de-optimized after lowering failure"
             else region_requirements target vec
           in
           let dead =

@@ -15,7 +15,10 @@ type t = {
   n_gpr : int; (* virtual (pre-allocation) or physical register counts *)
   n_fpr : int;
   n_vr : int;
-  param_regs : (string * param_loc) list; (* scalar parameter seeding *)
+  (* Scalar parameter seeding: name, declared source type (the runtime
+     normalizes incoming values to it, mirroring interpreter semantics),
+     and where the value lands. *)
+  param_regs : (string * Vapor_ir.Src_type.t * param_loc) list;
   fp_unit : fp_unit;
   stack_bytes : int; (* spill area *)
   n_vspill : int; (* raw vector spill slots *)

@@ -205,7 +205,7 @@ let run (target : Target.t) (budget : budget) (f : Mfun.t) : Mfun.t =
   in
   let pinned_of cls =
     List.filter_map
-      (fun (_, loc) ->
+      (fun (_, _, loc) ->
         match loc with
         | Mfun.In_reg (r : Minstr.reg) when r.Minstr.cls = cls ->
           Some r.Minstr.id
@@ -321,15 +321,15 @@ let run (target : Target.t) (budget : budget) (f : Mfun.t) : Mfun.t =
     instrs;
   let param_regs =
     List.map
-      (fun (name, loc) ->
+      (fun (name, sty, loc) ->
         match loc with
-        | Mfun.In_stack _ -> name, loc
+        | Mfun.In_stack _ -> name, sty, loc
         | Mfun.In_reg r -> (
           match assign_of r with
-          | Phys p -> name, Mfun.In_reg { r with Minstr.id = p }
+          | Phys p -> name, sty, Mfun.In_reg { r with Minstr.id = p }
           | Slot s ->
             let ty = spill_ty r.Minstr.cls in
-            name, Mfun.In_stack (ty, (slot_addr r.Minstr.cls s).Minstr.disp)))
+            name, sty, Mfun.In_stack (ty, (slot_addr r.Minstr.cls s).Minstr.disp)))
       f.Mfun.param_regs
   in
   {

@@ -362,9 +362,13 @@ let run ?(fuel = 200_000_000) (target : Target.t) (layout : Layout.t)
   in
   (* Seed scalar parameters. *)
   List.iter
-    (fun (name, loc) ->
+    (fun (name, sty, loc) ->
       match List.assoc_opt name scalar_args with
       | Some v -> (
+        (* Round to the declared parameter type at the call boundary,
+           exactly as the interpreter does on binding — an F32 argument
+           must not enter the register file at double precision. *)
+        let v = Value.normalize sty v in
         match (loc : Mfun.param_loc) with
         | Mfun.In_reg r -> (
           match r.Minstr.cls with

@@ -106,6 +106,13 @@ let find t key =
     Stats.incr t.st "cache.misses";
     None
 
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    remove_entry t e;
+    true
+  | None -> false
+
 let find_or_compile ?digest ?(known_aligned = fun _ -> true) t
     ~(target : Target.t) ~(profile : Profile.t) (vk : B.vkernel) =
   let d = match digest with Some d -> d | None -> Digest.of_vkernel vk in
@@ -141,14 +148,19 @@ let invalidate_target t ~(from_target : Target.t) ~(to_target : Target.t) =
           { e.e_key with Digest.k_target = to_target.Target.name }
         in
         if Hashtbl.mem t.tbl key then n (* fresh code already present *)
-        else begin
-          let compiled =
-            Compile.compile ~target:to_target ~profile:e.e_profile e.e_vk
-          in
-          insert t key e.e_vk e.e_profile compiled;
-          Stats.incr t.st "cache.rejuvenations";
-          n + 1
-        end)
+        else
+          match
+            Compile.compile_checked ~target:to_target ~profile:e.e_profile
+              e.e_vk
+          with
+          | Ok compiled ->
+            insert t key e.e_vk e.e_profile compiled;
+            Stats.incr t.st "cache.rejuvenations";
+            n + 1
+          | Error _ ->
+            (* Unloweable for the new target: drop the stale body; the
+               tiered runtime recompiles (or interprets) on next use. *)
+            n)
       0 stale
   in
   enforce_budget t;

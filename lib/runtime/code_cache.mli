@@ -45,6 +45,14 @@ val find_or_compile :
     LRU-refreshing on hit. *)
 val find : t -> Digest.key -> Compile.t option
 
+(** Insert (or replace) a compiled body, charging its modeled footprint
+    and evicting LRU entries while over budget.  Counted as a fill. *)
+val insert : t -> Digest.key -> B.vkernel -> Profile.t -> Compile.t -> unit
+
+(** Drop one entry (the quarantine hook); [true] if it was present.  Not
+    counted as an eviction — callers account for quarantines. *)
+val remove : t -> Digest.key -> bool
+
 (** Re-lower every surviving entry compiled for [from_target] so it is
     keyed (and compiled) for [to_target]; entries already present for
     [to_target] win over rejuvenated ones.  Returns the number of entries

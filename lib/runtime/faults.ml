@@ -1,0 +1,151 @@
+(* Deterministic fault injection for the guarded runtime.  Every fault is
+   drawn from one seeded splitmix64 stream, so a chaos replay with the
+   same seed injects the same faults at the same points in the trace —
+   quarantines and retries land identically run after run. *)
+
+module Op = Vapor_ir.Op
+module Minstr = Vapor_machine.Minstr
+module Mfun = Vapor_machine.Mfun
+module Compile = Vapor_jit.Compile
+
+type spec = {
+  f_seed : int;
+  f_corrupt_rate : float;  (* P(deliver a corrupted body from the cache) *)
+  f_compile_fault_rate : float;  (* P(injected lowering failure per attempt) *)
+  f_max_transient : int;  (* injected compile faults clear after N retries *)
+  f_drop_simd_at : int option;  (* trace index where SIMD capability drops *)
+}
+
+let default_spec =
+  {
+    f_seed = 1;
+    f_corrupt_rate = 0.0;
+    f_compile_fault_rate = 0.0;
+    f_max_transient = 2;
+    f_drop_simd_at = None;
+  }
+
+let chaos_spec ~seed =
+  {
+    f_seed = seed;
+    f_corrupt_rate = 0.05;
+    f_compile_fault_rate = 0.25;
+    f_max_transient = 2;
+    f_drop_simd_at = None;
+  }
+
+type t = {
+  spec : spec;
+  state : int64 ref;
+  mutable injected_compile : int;
+  mutable corrupted : int;
+}
+
+let make spec =
+  { spec; state = ref (Int64.of_int spec.f_seed); injected_compile = 0;
+    corrupted = 0 }
+
+let spec t = t.spec
+let injected_compile_count t = t.injected_compile
+let corrupted_count t = t.corrupted
+
+(* splitmix64, same constants as Trace's generator. *)
+let mix (state : int64 ref) : int64 =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_float t =
+  Int64.to_float (Int64.shift_right_logical (mix t.state) 11)
+  /. 9007199254740992.0
+
+(* Should this compile attempt fail with an injected (transient) fault?
+   The first draw decides whether the compile is fault-prone at all;
+   retries beyond [f_max_transient] always succeed, so a bounded retry
+   loop is guaranteed to converge. *)
+let injected_compile_fault t ~attempt : string option =
+  if t.spec.f_compile_fault_rate <= 0.0 then None
+  else if attempt > t.spec.f_max_transient then None
+  else if rand_float t < t.spec.f_compile_fault_rate then begin
+    t.injected_compile <- t.injected_compile + 1;
+    Some
+      (Printf.sprintf "injected transient compile fault (attempt %d)" attempt)
+  end
+  else None
+
+let should_corrupt t =
+  t.spec.f_corrupt_rate > 0.0 && rand_float t < t.spec.f_corrupt_rate
+
+(* Corrupt one machine body the way a bad cache line would: perturb the
+   first corruptible instruction (flip an arithmetic op, or nudge an
+   immediate).  Returns [None] when the body holds nothing corruptible.
+   The result still simulates — the point is a wrong answer the
+   differential oracle must catch, not a crash. *)
+let corrupt_mfun (f : Mfun.t) : Mfun.t option =
+  let flip (op : Op.binop) : Op.binop option =
+    match op with
+    | Op.Add -> Some Op.Sub
+    | Op.Sub -> Some Op.Add
+    | Op.Mul -> Some Op.Add
+    | Op.Min -> Some Op.Max
+    | Op.Max -> Some Op.Min
+    | _ -> None
+  in
+  (* Prefer datapath instructions whose perturbation is visible in the
+     output and cannot derail control flow: vector arithmetic first, then
+     scalar FP arithmetic, then an FP immediate, then scalar integer
+     multiplies (never loop-counter adds, which could spin forever). *)
+  let candidate pass (ins : Minstr.t) : Minstr.t option =
+    match pass, ins with
+    | 0, Minstr.Vop (op, ty, d, a, b) ->
+      Option.map (fun op' -> Minstr.Vop (op', ty, d, a, b)) (flip op)
+    | 1, Minstr.Sop (op, ty, d, a, b) when Vapor_ir.Src_type.is_float ty ->
+      Option.map (fun op' -> Minstr.Sop (op', ty, d, a, b)) (flip op)
+    | 2, Minstr.Lfi (d, v) -> Some (Minstr.Lfi (d, v +. 1.0))
+    | 3, Minstr.Sop (Op.Mul, ty, d, a, b) ->
+      Some (Minstr.Sop (Op.Add, ty, d, a, b))
+    | _ -> None
+  in
+  let try_pass pass =
+    let hit = ref None in
+    Array.iteri
+      (fun i ins ->
+        if !hit = None then
+          match candidate pass ins with
+          | Some ins' -> hit := Some (i, ins')
+          | None -> ())
+      f.Mfun.instrs;
+    !hit
+  in
+  let rec first_hit pass =
+    if pass > 3 then None
+    else
+      match try_pass pass with
+      | Some hit -> Some hit
+      | None -> first_hit (pass + 1)
+  in
+  match first_hit 0 with
+  | None -> None
+  | Some (i, ins') ->
+    let instrs = Array.copy f.Mfun.instrs in
+    instrs.(i) <- ins';
+    Some { f with Mfun.instrs }
+
+let corrupt t (c : Compile.t) : Compile.t option =
+  match corrupt_mfun c.Compile.mfun with
+  | Some mfun ->
+    t.corrupted <- t.corrupted + 1;
+    Some { c with Compile.mfun }
+  | None -> None
+
+(* Deterministic exponential backoff charged (in modeled microseconds)
+   before retry [attempt]; no wall clock involved. *)
+let backoff_us ~attempt = 5.0 *. (2.0 ** float_of_int (max 0 (attempt - 1)))

@@ -1,0 +1,58 @@
+(** Deterministic (seeded) fault injection for the guarded runtime: body
+    corruption, transient lowering failures, and mid-trace loss of SIMD
+    capability.  All draws come from one splitmix64 stream, so the same
+    seed reproduces the same faults at the same trace points — the
+    property the chaos-replay CI seeds rely on. *)
+
+module Mfun := Vapor_machine.Mfun
+module Compile := Vapor_jit.Compile
+
+type spec = {
+  f_seed : int;
+  f_corrupt_rate : float;
+      (** probability a cache-delivered body is corrupted *)
+  f_compile_fault_rate : float;
+      (** probability a compile attempt takes an injected transient fault *)
+  f_max_transient : int;
+      (** attempts beyond this always succeed, bounding the retry loop *)
+  f_drop_simd_at : int option;
+      (** trace index at which the serving target loses SIMD capability *)
+}
+
+(** All rates zero: a harness with no faults. *)
+val default_spec : spec
+
+(** The chaos-replay default: 5% corruption, 25% transient compile
+    faults, 2 transient retries. *)
+val chaos_spec : seed:int -> spec
+
+type t
+
+val make : spec -> t
+val spec : t -> spec
+
+(** Total injected compile faults so far. *)
+val injected_compile_count : t -> int
+
+(** Total corrupted bodies delivered so far. *)
+val corrupted_count : t -> int
+
+(** [Some reason] when compile attempt [attempt] (0 = first try) should
+    fail with an injected transient fault.  Attempts past
+    [f_max_transient] never fail. *)
+val injected_compile_fault : t -> attempt:int -> string option
+
+(** One draw against [f_corrupt_rate]. *)
+val should_corrupt : t -> bool
+
+(** Perturb the first corruptible instruction (arithmetic op flip or
+    immediate nudge); [None] if the body holds nothing corruptible.  The
+    corrupted body still simulates — it computes a wrong answer for the
+    differential oracle to catch. *)
+val corrupt_mfun : Mfun.t -> Mfun.t option
+
+val corrupt : t -> Compile.t -> Compile.t option
+
+(** Modeled exponential backoff (microseconds) charged before retry
+    [attempt]. *)
+val backoff_us : attempt:int -> float

@@ -13,6 +13,10 @@ type config = {
   cfg_max_entries : int;
   cfg_max_bytes : int;
   cfg_rejuvenate : (int * Target.t * Target.t) option;
+  cfg_guard : Tiered.guard;
+  (* At trace index N the serving fleet loses SIMD capability: every
+     SIMD target is rejuvenated down to the given scalar target. *)
+  cfg_drop_simd : (int * Target.t) option;
 }
 
 let default_config ~targets =
@@ -23,6 +27,8 @@ let default_config ~targets =
     cfg_max_entries = 64;
     cfg_max_bytes = 256 * 1024;
     cfg_rejuvenate = None;
+    cfg_guard = Tiered.no_guard;
+    cfg_drop_simd = None;
   }
 
 type kernel_row = {
@@ -34,6 +40,7 @@ type kernel_row = {
   kr_jit_runs : int;
   kr_promoted_at : int option;
   kr_cold_compile_us : float;
+  kr_quarantined : bool;
 }
 
 type report = {
@@ -52,9 +59,29 @@ type report = {
   rp_evictions : int;
   rp_rejuvenations : int;
   rp_hit_rate : float;
+  (* guarded-execution accounting; all zero on an unguarded replay *)
+  rp_oracle_checks : int;
+  rp_oracle_mismatches : int;
+  rp_quarantines : int;
+  rp_demotions : int;
+  rp_retries : int;
+  rp_exec_faults : int;
+  rp_compile_errors : int;
+  rp_scalarize_fallbacks : int;
+  rp_injected_compile : int;
+  rp_corrupted_bodies : int;
   rp_rows : kernel_row list;
   rp_stats : Stats.t;
 }
+
+(* Any guarded-execution activity at all?  Gates the report section so an
+   unguarded replay prints byte-identically to the pre-guard runtime. *)
+let guarded_activity rp =
+  rp.rp_oracle_checks > 0 || rp.rp_oracle_mismatches > 0
+  || rp.rp_quarantines > 0 || rp.rp_demotions > 0 || rp.rp_retries > 0
+  || rp.rp_exec_faults > 0 || rp.rp_compile_errors > 0
+  || rp.rp_scalarize_fallbacks > 0 || rp.rp_injected_compile > 0
+  || rp.rp_corrupted_bodies > 0
 
 let throughput rp =
   if rp.rp_total_cycles = 0 then 0.0
@@ -86,7 +113,8 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
       ~max_bytes:cfg.cfg_max_bytes ()
   in
   let tiered =
-    Tiered.create ~stats:st ~cache ~hotness_threshold:cfg.cfg_hotness ()
+    Tiered.create ~stats:st ~guard:cfg.cfg_guard ~cache
+      ~hotness_threshold:cfg.cfg_hotness ()
   in
   let table = bytecode_table trace.Trace.tr_kernels in
   (* Mutable target mapping: rejuvenation redirects one slot. *)
@@ -96,8 +124,7 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
   let compile_us = ref 0.0 in
   List.iter
     (fun (ev : Trace.event) ->
-      (match cfg.cfg_rejuvenate with
-      | Some (at, from_t, to_t) when at = ev.Trace.ev_index ->
+      let retarget ~from_t ~to_t =
         ignore (Code_cache.invalidate_target cache ~from_target:from_t
                   ~to_target:to_t);
         ignore (Tiered.migrate_target tiered ~from_target:from_t
@@ -107,6 +134,23 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
             if String.equal t.Target.name from_t.Target.name then
               targets.(i) <- to_t)
           targets
+      in
+      (match cfg.cfg_rejuvenate with
+      | Some (at, from_t, to_t) when at = ev.Trace.ev_index ->
+        retarget ~from_t ~to_t
+      | _ -> ());
+      (match cfg.cfg_drop_simd with
+      | Some (at, scalar_t) when at = ev.Trace.ev_index ->
+        (* The fleet loses its vector units: rejuvenate every SIMD
+           target down to scalar code, mid-trace. *)
+        let simd =
+          Array.to_list targets
+          |> List.filter Target.has_simd
+          |> List.sort_uniq (fun a b ->
+                 compare a.Target.name b.Target.name)
+        in
+        List.iter (fun from_t -> retarget ~from_t ~to_t:scalar_t) simd;
+        Stats.incr st "faults.simd_dropped"
       | _ -> ());
       let entry, vk, digest = Hashtbl.find table ev.Trace.ev_kernel in
       let target = targets.(ev.Trace.ev_target mod Array.length targets) in
@@ -143,6 +187,7 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
             | Some tr -> Some tr.Tiered.at_invocation
             | None -> None);
           kr_cold_compile_us = s.Tiered.ks_cold_compile_us;
+          kr_quarantined = s.Tiered.ks_quarantined;
         })
       (Tiered.states tiered)
   in
@@ -177,6 +222,16 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
     rp_evictions = Code_cache.evictions cache;
     rp_rejuvenations = Code_cache.rejuvenations cache;
     rp_hit_rate = Code_cache.hit_rate cache;
+    rp_oracle_checks = Stats.counter st "oracle.checks";
+    rp_oracle_mismatches = Stats.counter st "oracle.mismatches";
+    rp_quarantines = Stats.counter st "guard.quarantines";
+    rp_demotions = Stats.counter st "tier.demotions";
+    rp_retries = Stats.counter st "guard.retries";
+    rp_exec_faults = Stats.counter st "guard.exec_faults";
+    rp_compile_errors = Stats.counter st "guard.compile_errors";
+    rp_scalarize_fallbacks = Stats.counter st "guard.scalarize_fallbacks";
+    rp_injected_compile = Stats.counter st "faults.injected_compile";
+    rp_corrupted_bodies = Stats.counter st "faults.corrupted_bodies";
     rp_rows = rows;
     rp_stats = st;
   }
@@ -186,12 +241,13 @@ let print_tier_table rp =
     "digest" "inv" "interp" "jit" "promoted" "cold us";
   List.iter
     (fun r ->
-      Printf.printf "  %-16s %-8s %-12s %6d %7d %5d %9s %10.1f\n" r.kr_kernel
+      Printf.printf "  %-16s %-8s %-12s %6d %7d %5d %9s %10.1f%s\n" r.kr_kernel
         r.kr_target r.kr_digest r.kr_invocations r.kr_interp_runs r.kr_jit_runs
         (match r.kr_promoted_at with
         | Some n -> Printf.sprintf "@%d" n
         | None -> "-")
-        r.kr_cold_compile_us)
+        r.kr_cold_compile_us
+        (if r.kr_quarantined then "  QUARANTINED" else ""))
     rp.rp_rows
 
 let print_report rp =
@@ -212,5 +268,18 @@ let print_report rp =
      (hit rate %.1f%%)\n"
     rp.rp_hits rp.rp_misses rp.rp_evictions rp.rp_rejuvenations
     (100.0 *. rp.rp_hit_rate);
+  if guarded_activity rp then begin
+    Printf.printf "guarded execution:\n";
+    Printf.printf "  oracle checks      %10d  (mismatches caught %d)\n"
+      rp.rp_oracle_checks rp.rp_oracle_mismatches;
+    Printf.printf "  quarantines        %10d  (tier demotions %d)\n"
+      rp.rp_quarantines rp.rp_demotions;
+    Printf.printf "  compile retries    %10d  (injected faults %d, hard errors %d)\n"
+      rp.rp_retries rp.rp_injected_compile rp.rp_compile_errors;
+    Printf.printf "  exec faults        %10d  (corrupted bodies %d)\n"
+      rp.rp_exec_faults rp.rp_corrupted_bodies;
+    if rp.rp_scalarize_fallbacks > 0 then
+      Printf.printf "  scalarize fallbacks %9d\n" rp.rp_scalarize_fallbacks
+  end;
   Printf.printf "tier breakdown:\n";
   print_tier_table rp

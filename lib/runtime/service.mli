@@ -20,10 +20,17 @@ type config = {
       (** [(at_event, from, to)]: at event [at_event], re-lower cached
           code from one target to another and redirect subsequent traffic
           (the Revec rejuvenation scenario) *)
+  cfg_guard : Tiered.guard;
+      (** guarded-execution configuration; {!Tiered.no_guard} leaves the
+          healthy path byte-identical *)
+  cfg_drop_simd : (int * Target.t) option;
+      (** [(at_event, scalar)]: at event [at_event] every SIMD target is
+          rejuvenated down to [scalar] — the mid-trace capability-loss
+          fault *)
 }
 
 (** Mono-profile defaults: hotness 3, 64-entry / 256 KiB cache, no
-    rejuvenation. *)
+    rejuvenation, no guard. *)
 val default_config : targets:Target.t list -> config
 
 type kernel_row = {
@@ -35,6 +42,7 @@ type kernel_row = {
   kr_jit_runs : int;
   kr_promoted_at : int option;  (** invocation index of the promotion *)
   kr_cold_compile_us : float;
+  kr_quarantined : bool;
 }
 
 type report = {
@@ -55,9 +63,25 @@ type report = {
   rp_evictions : int;
   rp_rejuvenations : int;
   rp_hit_rate : float;
+  rp_oracle_checks : int;
+      (** differential-oracle re-executions (all zero when unguarded) *)
+  rp_oracle_mismatches : int;
+  rp_quarantines : int;
+  rp_demotions : int;
+  rp_retries : int;
+  rp_exec_faults : int;
+  rp_compile_errors : int;
+  rp_scalarize_fallbacks : int;
+  rp_injected_compile : int;
+  rp_corrupted_bodies : int;
   rp_rows : kernel_row list;
   rp_stats : Stats.t;
 }
+
+(** [true] when any guarded-execution counter is nonzero; gates the
+    guarded section of {!print_report} so unguarded reports are
+    byte-identical to the pre-guard runtime's. *)
+val guarded_activity : report -> bool
 
 (** Invocations per million modeled cycles — the replay's throughput
     figure of merit. *)

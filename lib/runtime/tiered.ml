@@ -33,21 +33,42 @@ type kstate = {
   mutable ks_tier : tier;
   mutable ks_transitions : transition list;
   mutable ks_cold_compile_us : float;
+  mutable ks_quarantined : bool;
 }
+
+(* When the differential oracle re-checks a JIT body against the
+   interpreter: on its first JIT run, and every [op_sample_every]-th run
+   after that (0 disables sampling). *)
+type oracle_policy = {
+  op_first_run : bool;
+  op_sample_every : int;
+}
+
+let oracle_always = { op_first_run = true; op_sample_every = 1 }
+
+type guard = {
+  g_oracle : oracle_policy option;
+  g_faults : Faults.t option;
+  g_retry_budget : int;
+}
+
+let no_guard = { g_oracle = None; g_faults = None; g_retry_budget = 3 }
 
 type t = {
   cache : Code_cache.t;
   threshold : int;
   st : Stats.t;
   states : (Digest.key, kstate) Hashtbl.t;
+  guard : guard;
 }
 
-let create ?stats ~cache ~hotness_threshold () =
+let create ?stats ?(guard = no_guard) ~cache ~hotness_threshold () =
   {
     cache;
     threshold = max 0 hotness_threshold;
     st = (match stats with Some s -> s | None -> Code_cache.stats cache);
     states = Hashtbl.create 32;
+    guard;
   }
 
 type run = {
@@ -84,10 +105,99 @@ let state_of t key label =
         ks_tier = Interpreter;
         ks_transitions = [];
         ks_cold_compile_us = 0.0;
+        ks_quarantined = false;
       }
     in
     Hashtbl.replace t.states key s;
     s
+
+let veval_mode (target : Target.t) =
+  if Target.has_simd target then Veval.Vector target.Target.vs
+  else Veval.Scalarized
+
+let copy_args args =
+  List.map
+    (fun (n, a) ->
+      match a with
+      | Eval.Scalar v -> n, Eval.Scalar v
+      | Eval.Array b -> n, Eval.Array (Buffer_.copy b))
+    args
+
+let array_args args =
+  List.filter_map
+    (function n, Eval.Array b -> Some (n, b) | _, Eval.Scalar _ -> None)
+    args
+
+let args_equal a b =
+  List.for_all2
+    (fun (_, b1) (_, b2) -> Buffer_.equal b1 b2)
+    (array_args a) (array_args b)
+
+(* Overwrite the caller's array buffers with the oracle's: after a
+   mismatch the interpreter's answer is the one the caller gets. *)
+let restore_args ~into ~from =
+  List.iter2
+    (fun (_, dst) (_, src) ->
+      for i = 0 to Buffer_.length dst - 1 do
+        Buffer_.set dst i (Buffer_.get src i)
+      done)
+    (array_args into) (array_args from)
+
+(* Evict the body and pin the kernel back to the interpreter tier: the
+   quarantine lifecycle.  A quarantined state is never re-promoted. *)
+let quarantine t (s : kstate) =
+  ignore (Code_cache.remove t.cache s.ks_key);
+  Stats.incr t.st "guard.quarantines";
+  s.ks_quarantined <- true;
+  if s.ks_tier = Jit then begin
+    s.ks_tier <- Interpreter;
+    s.ks_transitions <-
+      { at_invocation = s.ks_invocations; to_tier = Interpreter }
+      :: s.ks_transitions;
+    Stats.incr t.st "tier.demotions"
+  end
+
+(* One interpreter execution with tier bookkeeping. *)
+let interp_run t (s : kstate) ~(target : Target.t) vk ~args =
+  ignore (Veval.run vk ~mode:(veval_mode target) ~args);
+  s.ks_interp_runs <- s.ks_interp_runs + 1;
+  Stats.incr t.st "tier.interp_runs";
+  let cycles = interp_cycles vk ~args in
+  Stats.observe t.st "tier.interp_cycles" (float_of_int cycles);
+  cycles
+
+(* Compile with bounded retry against injected transient faults; the
+   backoff is modeled microseconds, accumulated into the charge for this
+   invocation.  Never raises: hard failures come back as [Error]. *)
+let compile_with_retry t ~(target : Target.t) ~(profile : Profile.t) vk :
+    (Compile.t * float, Compile.lower_error * float) result =
+  let rec go attempt backoff_charged =
+    let injected =
+      match t.guard.g_faults with
+      | Some f -> Faults.injected_compile_fault f ~attempt
+      | None -> None
+    in
+    match injected with
+    | Some reason ->
+      Stats.incr t.st "faults.injected_compile";
+      if attempt < t.guard.g_retry_budget then begin
+        Stats.incr t.st "guard.retries";
+        go (attempt + 1)
+          (backoff_charged +. Faults.backoff_us ~attempt:(attempt + 1))
+      end
+      else
+        Error
+          ({ Compile.le_stage = `Injected; le_reason = reason },
+           backoff_charged)
+    | None -> (
+      match Compile.compile_checked ~target ~profile vk with
+      | Ok c ->
+        if c.Compile.forced_scalar_regions <> [] then
+          Stats.incr t.st "guard.scalarize_fallbacks";
+        Ok (c, backoff_charged)
+      | Error e -> Error (e, backoff_charged))
+  in
+  go 0 0.0
 
 let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
     (vk : B.vkernel) ~args =
@@ -104,7 +214,11 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
   in
   let s = state_of t key label in
   s.ks_invocations <- s.ks_invocations + 1;
-  if s.ks_tier = Interpreter && s.ks_invocations > t.threshold then begin
+  if
+    s.ks_tier = Interpreter
+    && (not s.ks_quarantined)
+    && s.ks_invocations > t.threshold
+  then begin
     s.ks_tier <- Jit;
     s.ks_transitions <-
       { at_invocation = s.ks_invocations; to_tier = Jit } :: s.ks_transitions;
@@ -112,39 +226,122 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
   end;
   match s.ks_tier with
   | Interpreter ->
-    let mode =
-      if Target.has_simd target then Veval.Vector target.Target.vs
-      else Veval.Scalarized
-    in
-    ignore (Veval.run vk ~mode ~args);
-    s.ks_interp_runs <- s.ks_interp_runs + 1;
-    Stats.incr t.st "tier.interp_runs";
-    let cycles = interp_cycles vk ~args in
-    Stats.observe t.st "tier.interp_cycles" (float_of_int cycles);
+    let cycles = interp_run t s ~target vk ~args in
     { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
       r_cache = None }
-  | Jit ->
-    let compiled, outcome =
-      Code_cache.find_or_compile ~digest:d t.cache ~target ~profile vk
+  | Jit -> (
+    (* Obtain the body: cache lookup, else compile (with bounded retry
+       against injected transient faults) and insert.  Stats mirror
+       [Code_cache.find_or_compile] exactly on the clean path. *)
+    let fetched =
+      match Code_cache.find t.cache key with
+      | Some compiled -> Ok (compiled, Code_cache.Hit, 0.0)
+      | None -> (
+        match compile_with_retry t ~target ~profile vk with
+        | Ok (compiled, backoff_us) ->
+          Stats.observe t.st "cache.compile_us"
+            compiled.Compile.compile_time_us;
+          Code_cache.insert t.cache key vk profile compiled;
+          Ok (compiled, Code_cache.Miss, backoff_us)
+        | Error (err, backoff_us) -> Error (err, backoff_us))
     in
-    let charged =
-      match outcome with
-      | Code_cache.Miss ->
-        s.ks_cold_compile_us <- compiled.Compile.compile_time_us;
-        compiled.Compile.compile_time_us
-      | Code_cache.Hit ->
-        if s.ks_cold_compile_us = 0.0 then
-          (* compiled earlier (or by a sibling state); remember the cold
-             cost for amortization tables without re-charging it *)
+    match fetched with
+    | Error (_err, backoff_us) ->
+      (* Unloweable (or retries exhausted): de-optimize.  Pin the kernel
+         to the interpreter so the runtime stops re-attempting a compile
+         that cannot succeed. *)
+      Stats.incr t.st "guard.compile_errors";
+      quarantine t s;
+      let cycles = interp_run t s ~target vk ~args in
+      { r_tier = Interpreter; r_cycles = cycles;
+        r_compile_us = backoff_us; r_cache = None }
+    | Ok (compiled, outcome, backoff_us) -> (
+      let charged =
+        match outcome with
+        | Code_cache.Miss ->
           s.ks_cold_compile_us <- compiled.Compile.compile_time_us;
-        0.0
-    in
-    let r = Exec.run target compiled ~args in
-    s.ks_jit_runs <- s.ks_jit_runs + 1;
-    Stats.incr t.st "tier.jit_runs";
-    Stats.observe t.st "tier.jit_cycles" (float_of_int r.Exec.cycles);
-    { r_tier = Jit; r_cycles = r.Exec.cycles; r_compile_us = charged;
-      r_cache = Some outcome }
+          compiled.Compile.compile_time_us +. backoff_us
+        | Code_cache.Hit ->
+          if s.ks_cold_compile_us = 0.0 then
+            (* compiled earlier (or by a sibling state); remember the cold
+               cost for amortization tables without re-charging it *)
+            s.ks_cold_compile_us <- compiled.Compile.compile_time_us;
+          backoff_us
+      in
+      (* Fault injection: the cache may deliver a corrupted body. *)
+      let compiled =
+        match t.guard.g_faults with
+        | Some f when Faults.should_corrupt f -> (
+          match Faults.corrupt f compiled with
+          | Some bad ->
+            Stats.incr t.st "faults.corrupted_bodies";
+            bad
+          | None -> compiled)
+        | _ -> compiled
+      in
+      (* Differential oracle schedule: first JIT run of this body, then
+         every [op_sample_every]-th run. *)
+      let check =
+        match t.guard.g_oracle with
+        | None -> false
+        | Some p ->
+          (p.op_first_run && s.ks_jit_runs = 0)
+          || (p.op_sample_every > 0
+             && s.ks_jit_runs > 0
+             && s.ks_jit_runs mod p.op_sample_every = 0)
+      in
+      let reference = if check then Some (copy_args args) else None in
+      match Exec.run_checked target compiled ~args with
+      | Error _ee ->
+        (* The body faulted mid-simulation; caller buffers are untouched
+           (read-back only happens on a clean finish), so the interpreter
+           re-runs the invocation from the original inputs. *)
+        Stats.incr t.st "guard.exec_faults";
+        quarantine t s;
+        let cycles = interp_run t s ~target vk ~args in
+        { r_tier = Interpreter; r_cycles = cycles; r_compile_us = charged;
+          r_cache = Some outcome }
+      | Ok r -> (
+        s.ks_jit_runs <- s.ks_jit_runs + 1;
+        Stats.incr t.st "tier.jit_runs";
+        Stats.observe t.st "tier.jit_cycles" (float_of_int r.Exec.cycles);
+        match reference with
+        | None ->
+          { r_tier = Jit; r_cycles = r.Exec.cycles; r_compile_us = charged;
+            r_cache = Some outcome }
+        | Some ref_args ->
+          (* Re-execute through the interpreter and compare output
+             buffers bit-for-bit; the check's cost is charged to this
+             invocation.  A body fully de-optimized to scalar code is
+             checked against scalar semantics (vector-mode interpretation
+             would reassociate FP reductions). *)
+          Stats.incr t.st "oracle.checks";
+          let mode =
+            if
+              compiled.Compile.forced_scalar_regions <> []
+              && List.for_all
+                   (function
+                     | Vapor_jit.Lower.Scalarize _ -> true
+                     | Vapor_jit.Lower.Vectorize -> false)
+                   compiled.Compile.decisions
+            then Veval.Scalarized
+            else veval_mode target
+          in
+          ignore (Veval.run vk ~mode ~args:ref_args);
+          let check_cycles = interp_cycles vk ~args:ref_args in
+          if args_equal args ref_args then
+            { r_tier = Jit; r_cycles = r.Exec.cycles + check_cycles;
+              r_compile_us = charged; r_cache = Some outcome }
+          else begin
+            (* Wrong answer: quarantine the body and hand the caller the
+               interpreter's buffers — no wrong output escapes. *)
+            Stats.incr t.st "oracle.mismatches";
+            quarantine t s;
+            restore_args ~into:args ~from:ref_args;
+            { r_tier = Interpreter;
+              r_cycles = r.Exec.cycles + check_cycles;
+              r_compile_us = charged; r_cache = Some outcome }
+          end)))
 
 let migrate_target t ~(from_target : Target.t) ~(to_target : Target.t) =
   let stale =

@@ -37,14 +37,43 @@ type kstate = {
   mutable ks_tier : tier;
   mutable ks_transitions : transition list;  (** newest first *)
   mutable ks_cold_compile_us : float;  (** 0 until first compiled *)
+  mutable ks_quarantined : bool;
+      (** pinned to the interpreter after a quarantine; never re-promoted *)
 }
+
+(** When the differential oracle re-checks a JIT body against the
+    interpreter: on its first JIT run, and every [op_sample_every]-th run
+    after that (0 disables sampling). *)
+type oracle_policy = {
+  op_first_run : bool;
+  op_sample_every : int;
+}
+
+(** Check every JIT run — the chaos-replay setting. *)
+val oracle_always : oracle_policy
+
+(** The guarded-execution configuration: differential oracle schedule,
+    fault injector, and compile retry budget.  {!no_guard} (the default)
+    leaves the healthy path bit-for-bit unchanged. *)
+type guard = {
+  g_oracle : oracle_policy option;
+  g_faults : Faults.t option;
+  g_retry_budget : int;
+}
+
+val no_guard : guard
 
 type t
 
 (** [hotness_threshold] is the number of interpreter runs before
     promotion; 0 promotes on the first invocation. *)
 val create :
-  ?stats:Stats.t -> cache:Code_cache.t -> hotness_threshold:int -> unit -> t
+  ?stats:Stats.t ->
+  ?guard:guard ->
+  cache:Code_cache.t ->
+  hotness_threshold:int ->
+  unit ->
+  t
 
 type run = {
   r_tier : tier;

@@ -25,6 +25,12 @@ type state = {
   scalars : (string, Value.t) Hashtbl.t;
   vectors : (string, Value.t array) Hashtbl.t;
   arrays : (string, Buffer_.t) Hashtbl.t;
+  (* Static scalar types (params, locals, array elements under "[]name"):
+     scalar expressions evaluate AT their source type, exactly as the JIT's
+     typed machine ops do, so interpreter and compiled output agree
+     bit-for-bit — the property the runtime's differential oracle relies
+     on. *)
+  stypes : (string, Src_type.t) Hashtbl.t;
 }
 
 let vector_size st =
@@ -93,6 +99,33 @@ let half_range half m =
   | Lo -> 0
   | Hi -> m / 2
 
+(* The type a scalar expression is evaluated at — the same inference the
+   JIT's emitter performs (comparisons produce I32, operators take the
+   left operand's type).  Unknown variables fall back to the width of
+   their runtime value. *)
+let rec stype st (e : sexpr) : Src_type.t =
+  match e with
+  | S_int (ty, _) | S_float (ty, _) -> ty
+  | S_var v -> (
+    match Hashtbl.find_opt st.stypes v with
+    | Some ty -> ty
+    | None -> (
+      match find_scalar st v with
+      | Value.Float _ -> Src_type.F64
+      | Value.Int _ -> Src_type.I64))
+  | S_load (arr, _) -> (
+    match Hashtbl.find_opt st.stypes ("[]" ^ arr) with
+    | Some ty -> ty
+    | None -> (find_array st arr).Buffer_.elem)
+  | S_binop (op, a, _) ->
+    if Op.is_comparison op then Src_type.I32 else stype st a
+  | S_unop (_, a) -> stype st a
+  | S_convert (ty, _) -> ty
+  | S_select (_, a, _) -> stype st a
+  | S_get_vf _ | S_align_limit _ -> Src_type.I32
+  | S_loop_bound (a, _) -> stype st a
+  | S_reduc (_, ty, _) -> ty
+
 let rec eval_sexpr st (e : sexpr) : Value.t =
   match e with
   | S_int (ty, v) -> Value.Int (Src_type.normalize_int ty v)
@@ -106,20 +139,10 @@ let rec eval_sexpr st (e : sexpr) : Value.t =
     else Buffer_.get buf i
   | S_binop (op, a, b) ->
     let va = eval_sexpr st a and vb = eval_sexpr st b in
-    let ty =
-      match va, vb with
-      | Value.Float _, _ | _, Value.Float _ -> Src_type.F64
-      | Value.Int _, Value.Int _ -> Src_type.I64
-    in
-    Value.binop ty op va vb
+    Value.binop (stype st a) op va vb
   | S_unop (op, a) ->
     let va = eval_sexpr st a in
-    let ty =
-      match va with
-      | Value.Float _ -> Src_type.F64
-      | Value.Int _ -> Src_type.I64
-    in
-    Value.unop ty op va
+    Value.unop (stype st a) op va
   | S_convert (ty, a) -> Value.convert ~from:ty ~into:ty (eval_sexpr st a)
   | S_select (c, a, b) ->
     if Value.is_true (eval_sexpr st c) then eval_sexpr st a
@@ -312,6 +335,8 @@ let rec exec_stmt st (s : vstmt) =
     check_hint st ~what:"vstore" ~arr:st_arr ~elem:st_ty ~idx:i st_hint;
     Array.iteri (fun l x -> Buffer_.set buf (i + l) x) v
   | VS_for { index; lo; hi; step; body; _ } ->
+    if not (Hashtbl.mem st.stypes index) then
+      Hashtbl.replace st.stypes index Src_type.I32;
     let lo = Value.to_int (eval_sexpr st lo) in
     let hi = Value.to_int (eval_sexpr st hi) in
     let i = ref lo in
@@ -346,11 +371,15 @@ let run ?(guard_true = default_guard_true) (vk : vkernel) ~mode
       scalars = Hashtbl.create 32;
       vectors = Hashtbl.create 32;
       arrays = Hashtbl.create 16;
+      stypes = Hashtbl.create 32;
     }
   in
   List.iter
     (fun p ->
       let name = Kernel.param_name p in
+      (match p with
+      | Kernel.P_scalar (_, ty) -> Hashtbl.replace st.stypes name ty
+      | Kernel.P_array (n, ty) -> Hashtbl.replace st.stypes ("[]" ^ n) ty);
       match p, List.assoc_opt name args with
       | Kernel.P_scalar (_, ty), Some (Eval.Scalar v) ->
         Hashtbl.replace st.scalars name (Value.normalize ty v)
@@ -360,7 +389,9 @@ let run ?(guard_true = default_guard_true) (vk : vkernel) ~mode
       | _, None -> errorf "missing argument %s" name)
     vk.params;
   List.iter
-    (fun (v, ty) -> Hashtbl.replace st.scalars v (Value.zero ty))
+    (fun (v, ty) ->
+      Hashtbl.replace st.stypes v ty;
+      Hashtbl.replace st.scalars v (Value.zero ty))
     vk.locals;
   List.iter (exec_stmt st) vk.body;
   st.scalars

@@ -323,9 +323,38 @@ let serve_replay_cmd =
           ~doc:"Comma-separated suite kernels for the trace (default: the \
                 standard mix).")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Shard the replay across $(docv) OCaml domains (the trace is \
+                partitioned by kernel digest; the merged report is \
+                identical for any $(docv)).")
+  in
+  let engine_arg =
+    Arg.(
+      value & opt string "fast"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Execution engine: 'fast' (slot-compiled bodies and \
+                pre-resolved plans) or 'reference' (tree-walking \
+                interpreter and instruction-by-instruction simulator). \
+                Reports are identical; only wall-clock differs.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the report as JSON instead of the text tables.")
+  in
   let run target profile length seed hotness cache_entries cache_bytes
-      rejuvenate rejuvenate_at kernels =
+      rejuvenate rejuvenate_at kernels domains engine json =
     let target = resolve_target target in
+    let engine =
+      match Vapor_runtime.Tiered.engine_of_string engine with
+      | Some e -> e
+      | None ->
+        die_unknown ~what:"engine" ~given:engine ~valid:[ "fast"; "reference" ]
+    in
     let kernels =
       Option.map (List.map (fun n -> (resolve_kernel n).Suite.name)) kernels
     in
@@ -343,14 +372,18 @@ let serve_replay_cmd =
           Option.map
             (fun name -> rejuvenate_at, target, resolve_target name)
             rejuvenate;
+        cfg_engine = engine;
       }
     in
     let stats = Stats.create () in
-    let report = Service.replay ~stats cfg trace in
-    Printf.printf "serve-replay on %s (%s profile, hotness %d)\n"
-      target.Vapor_targets.Target.name profile.Profile.name hotness;
-    Service.print_report report;
-    Printf.printf "runtime metrics:\n%s" (Stats.to_table stats)
+    let report = Service.replay_sharded ~stats ~domains cfg trace in
+    if json then print_string (Service.report_to_json report)
+    else begin
+      Printf.printf "serve-replay on %s (%s profile, hotness %d)\n"
+        target.Vapor_targets.Target.name profile.Profile.name hotness;
+      Service.print_report report;
+      Printf.printf "runtime metrics:\n%s" (Stats.to_table stats)
+    end
   in
   Cmd.v
     (Cmd.info "serve-replay"
@@ -361,7 +394,8 @@ let serve_replay_cmd =
     Term.(
       const run $ target_arg $ profile_arg $ length_arg $ seed_arg
       $ hotness_arg $ cache_entries_arg $ cache_bytes_arg $ rejuvenate_arg
-      $ rejuvenate_at_arg $ kernels_arg)
+      $ rejuvenate_at_arg $ kernels_arg $ domains_arg $ engine_arg
+      $ json_arg)
 
 let chaos_replay_cmd =
   let length_arg =

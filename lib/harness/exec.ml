@@ -31,8 +31,10 @@ let split_args (args : (string * Eval.arg) list) =
   arrays, scalars
 
 (* Run a compiled kernel over the given arguments; array buffers are
-   updated in place from the final memory image. *)
-let run ?(policy = Layout.aligned_policy) (target : Target.t)
+   updated in place from the final memory image.  [simulate] picks the
+   engine: the prepared plan (fast, default) or the reference
+   instruction-by-instruction [Simulator.run]. *)
+let run_with ~simulate ?(policy = Layout.aligned_policy) (target : Target.t)
     (compiled : Compile.t) ~(args : (string * Eval.arg) list) : run_result =
   let arrays, scalars = split_args args in
   let stack_bytes =
@@ -41,15 +43,34 @@ let run ?(policy = Layout.aligned_policy) (target : Target.t)
   in
   let layout = Layout.plan ~stack_bytes ~policy arrays in
   let mem = Layout.materialize layout arrays in
-  let r =
-    Simulator.run target layout mem compiled.Compile.mfun ~scalar_args:scalars
-  in
+  let r : Simulator.result = simulate target compiled layout mem scalars in
   Layout.read_back layout mem arrays;
   {
     cycles = r.Simulator.r_cycles;
     instructions = r.Simulator.r_instructions;
     compile_time_us = compiled.Compile.compile_time_us;
   }
+
+let simulate_reference target (compiled : Compile.t) layout mem scalars =
+  Simulator.run target layout mem compiled.Compile.mfun ~scalar_args:scalars
+
+(* The plan is only valid for the target it was prepared for; a caller
+   simulating on a different target (cross-target what-ifs) falls back to
+   the reference engine. *)
+let simulate_fast (target : Target.t) (compiled : Compile.t) layout mem scalars
+    =
+  let plan = compiled.Compile.plan in
+  if (Simulator.plan_target plan).Target.name = target.Target.name then
+    Simulator.run_plan plan layout mem ~scalar_args:scalars
+  else simulate_reference target compiled layout mem scalars
+
+let run ?policy target compiled ~args =
+  run_with ~simulate:simulate_fast ?policy target compiled ~args
+
+(* The pre-plan execution path, kept as the baseline the fast engine is
+   measured against and as the engine for [--engine reference]. *)
+let run_reference ?policy target compiled ~args =
+  run_with ~simulate:simulate_reference ?policy target compiled ~args
 
 type exec_error = {
   ee_stage : [ `Plan | `Simulate ];
@@ -65,8 +86,10 @@ let exec_error_to_string e =
    [Layout.read_back] after a clean finish, so a fault mid-run leaves the
    arguments exactly as they were — the caller can safely re-run through
    the interpreter tier. *)
-let run_checked ?policy (target : Target.t) (compiled : Compile.t)
-    ~(args : (string * Eval.arg) list) : (run_result, exec_error) result =
+let run_checked ?(reference = false) ?policy (target : Target.t)
+    (compiled : Compile.t) ~(args : (string * Eval.arg) list) :
+    (run_result, exec_error) result =
+  let run = if reference then run_reference else run in
   match run ?policy target compiled ~args with
   | r -> Ok r
   | exception Invalid_argument msg ->

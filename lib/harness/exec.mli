@@ -16,8 +16,20 @@ val split_args :
   (string * Buffer_.t) list * (string * Value.t) list
 
 (** Lay out memory per [policy], simulate, and copy results back into the
-    argument buffers. *)
+    argument buffers.  Uses the pre-resolved execution plan when it matches
+    the target (the common case); cross-target simulation falls back to the
+    reference engine. *)
 val run :
+  ?policy:Layout.policy ->
+  Target.t ->
+  Compile.t ->
+  args:(string * Eval.arg) list ->
+  run_result
+
+(** The pre-plan execution path ([Simulator.run] on [mfun]): the baseline
+    the fast engine is benchmarked against, selectable at the service
+    boundary with [--engine reference]. *)
+val run_reference :
   ?policy:Layout.policy ->
   Target.t ->
   Compile.t ->
@@ -37,6 +49,7 @@ val exec_error_to_string : exec_error -> string
     back after a clean finish), so the caller can fall back to the
     interpreter tier. *)
 val run_checked :
+  ?reference:bool ->
   ?policy:Layout.policy ->
   Target.t ->
   Compile.t ->

@@ -4,10 +4,14 @@
 module B = Vapor_vecir.Bytecode
 module Mfun = Vapor_machine.Mfun
 module Regalloc = Vapor_machine.Regalloc
+module Simulator = Vapor_machine.Simulator
 module Target = Vapor_targets.Target
 
 type t = {
   mfun : Mfun.t;
+  (* pre-resolved execution plan for [mfun] on the compile target: labels,
+     costs and parameter binding resolved once, at compile time *)
+  plan : Simulator.plan;
   (* per-region decisions, for reporting *)
   decisions : Lower.decision list;
   (* modeled JIT compilation time, microseconds: proportional to the
@@ -66,6 +70,7 @@ let compile ?(force_scalar = fun _ -> false) ?(known_aligned = fun _ -> true)
   in
   {
     mfun;
+    plan = Simulator.prepare ~target mfun;
     decisions = List.map (fun (_, rg) -> rg.Lower.rg_decision) an.Lower.regions;
     compile_time_us = float_of_int nodes *. ns_per_node /. 1000.0;
     bytecode_nodes = nodes;

@@ -7,6 +7,8 @@ module Target = Vapor_targets.Target
 
 type t = {
   mfun : Mfun.t;
+  plan : Vapor_machine.Simulator.plan;
+      (** pre-resolved execution plan for [mfun] on the compile target *)
   decisions : Lower.decision list;  (** per vector region, for reporting *)
   compile_time_us : float;
       (** modeled JIT time, proportional to the bytecode processed *)

@@ -109,26 +109,106 @@ let read_value mem ty addr : Value.t =
   | Src_type.F64 ->
     Value.Float (Int64.float_of_bits (Bytes.get_int64_le mem addr))
 
-(* Build the memory image, copying array arguments in. *)
+(* Build the memory image, copying array arguments in.  The common
+   representations copy with unboxed per-type loops; any other pairing
+   (e.g. an int buffer materialized at a float element type) goes through
+   the boxed [write_value] loop with identical results. *)
 let materialize t (arrays : (string * Buffer_.t) list) : Bytes.t =
   let mem = Bytes.make t.total_bytes '\000' in
   List.iter
     (fun (name, buf) ->
       let r = List.assoc name t.regions in
-      let esize = Src_type.size_of r.elem in
-      for i = 0 to Buffer_.length buf - 1 do
-        write_value mem r.elem (r.base + (i * esize)) (Buffer_.get buf i)
-      done)
+      let base = r.base in
+      match r.elem, buf.Buffer_.data with
+      | Src_type.F32, Buffer_.Floats a ->
+        for i = 0 to Array.length a - 1 do
+          Bytes.set_int32_le mem (base + (i * 4)) (Int32.bits_of_float a.(i))
+        done
+      | Src_type.F64, Buffer_.Floats a ->
+        for i = 0 to Array.length a - 1 do
+          Bytes.set_int64_le mem (base + (i * 8)) (Int64.bits_of_float a.(i))
+        done
+      | (Src_type.I8 | Src_type.U8), Buffer_.Ints a ->
+        for i = 0 to Array.length a - 1 do
+          Bytes.set_uint8 mem (base + i) (a.(i) land 0xff)
+        done
+      | (Src_type.I16 | Src_type.U16), Buffer_.Ints a ->
+        for i = 0 to Array.length a - 1 do
+          Bytes.set_uint16_le mem (base + (i * 2)) (a.(i) land 0xffff)
+        done
+      | (Src_type.I32 | Src_type.U32), Buffer_.Ints a ->
+        for i = 0 to Array.length a - 1 do
+          Bytes.set_int32_le mem (base + (i * 4)) (Int32.of_int a.(i))
+        done
+      | Src_type.I64, Buffer_.Ints a ->
+        for i = 0 to Array.length a - 1 do
+          Bytes.set_int64_le mem (base + (i * 8)) (Int64.of_int a.(i))
+        done
+      | _ ->
+        let esize = Src_type.size_of r.elem in
+        for i = 0 to Buffer_.length buf - 1 do
+          write_value mem r.elem (base + (i * esize)) (Buffer_.get buf i)
+        done)
     arrays;
   mem
 
-(* Copy memory contents back into the argument buffers after a run. *)
+(* Copy memory contents back into the argument buffers after a run.  The
+   unboxed loops require the region and buffer element types to agree
+   (so [Buffer_.set]'s renormalization is the identity); otherwise the
+   boxed loop preserves the exact conversion semantics. *)
 let read_back t mem (arrays : (string * Buffer_.t) list) =
   List.iter
     (fun (name, buf) ->
       let r = List.assoc name t.regions in
-      let esize = Src_type.size_of r.elem in
-      for i = 0 to Buffer_.length buf - 1 do
-        Buffer_.set buf i (read_value mem r.elem (r.base + (i * esize)))
-      done)
+      let base = r.base in
+      let boxed () =
+        let esize = Src_type.size_of r.elem in
+        for i = 0 to Buffer_.length buf - 1 do
+          Buffer_.set buf i (read_value mem r.elem (base + (i * esize)))
+        done
+      in
+      if not (Src_type.equal r.elem buf.Buffer_.elem) then boxed ()
+      else
+        match r.elem, buf.Buffer_.data with
+        | Src_type.F32, Buffer_.Floats a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <- Int32.float_of_bits (Bytes.get_int32_le mem (base + (i * 4)))
+          done
+        | Src_type.F64, Buffer_.Floats a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <- Int64.float_of_bits (Bytes.get_int64_le mem (base + (i * 8)))
+          done
+        | Src_type.I8, Buffer_.Ints a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <- Src_type.normalize_int Src_type.I8 (Bytes.get_uint8 mem (base + i))
+          done
+        | Src_type.U8, Buffer_.Ints a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <- Bytes.get_uint8 mem (base + i)
+          done
+        | Src_type.I16, Buffer_.Ints a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <-
+              Src_type.normalize_int Src_type.I16
+                (Bytes.get_uint16_le mem (base + (i * 2)))
+          done
+        | Src_type.U16, Buffer_.Ints a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <- Bytes.get_uint16_le mem (base + (i * 2))
+          done
+        | Src_type.I32, Buffer_.Ints a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <- Int32.to_int (Bytes.get_int32_le mem (base + (i * 4)))
+          done
+        | Src_type.U32, Buffer_.Ints a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <-
+              Int32.to_int (Bytes.get_int32_le mem (base + (i * 4)))
+              land 0xffffffff
+          done
+        | Src_type.I64, Buffer_.Ints a ->
+          for i = 0 to Array.length a - 1 do
+            a.(i) <- Int64.to_int (Bytes.get_int64_le mem (base + (i * 8)))
+          done
+        | _ -> boxed ())
     arrays

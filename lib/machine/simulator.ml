@@ -18,8 +18,9 @@ type vval =
 
 type state = {
   target : Target.t;
-  layout : Layout.t;
-  mem : Bytes.t;
+  mutable layout : Layout.t; (* mutable so a prepared plan can reuse one
+                                scratch state across runs *)
+  mutable mem : Bytes.t;
   gpr : int array;
   fpr : float array;
   vr : vval array;
@@ -417,5 +418,1909 @@ let run ?(fuel = 200_000_000) (target : Target.t) (layout : Layout.t)
     | ins ->
       exec st ins;
       incr pc)
+  done;
+  { r_cycles = st.cycles; r_instructions = st.executed }
+
+(* ---------------------------------------------------------------------- *)
+(* Pre-resolved execution plans.
+
+   [prepare] does once, at JIT-compile time, everything [run] re-derives
+   on every invocation: label -> pc resolution, per-pc cycle costs (with
+   the x87 blending), parameter-binding closures, and symbol interning
+   for effective addresses.  The common scalar instructions additionally
+   compile to specialized closures that work on the raw register arrays;
+   everything else falls back to [exec] on the same state, so a plan is
+   cycle-, instruction-, fault- and bit-exact against [run] by
+   construction.  [run_plan] reuses one scratch state per plan — zero
+   per-run setup allocation. *)
+
+type plan = {
+  p_target : Target.t;
+  p_mfun : Mfun.t;
+  p_cost : int array; (* per-pc cycle cost, x87-blended *)
+  p_code : (state -> int) array; (* action; returns the next pc *)
+  p_syms : string array; (* interned address symbols *)
+  p_bases : int array; (* per-run resolved bases; min_int = unresolved *)
+  p_binders : (state -> (string * Value.t) list -> unit) array;
+  mutable p_state : state option; (* scratch, created on first run *)
+}
+
+let plan_target p = p.p_target
+
+(* Collect the address symbols an instruction can reference. *)
+let rec addr_syms (i : Minstr.t) : string list =
+  match i with
+  | Minstr.Lea (_, a)
+  | Minstr.Load (_, _, a)
+  | Minstr.Store (_, a, _)
+  | Minstr.VLoad (_, _, _, a)
+  | Minstr.VStore (_, _, a, _)
+  | Minstr.Lvsr (_, _, a) ->
+    if a.Minstr.sym = "" then [] else [ a.Minstr.sym ]
+  | Minstr.Lib inner -> addr_syms inner
+  | _ -> []
+
+let prepare ~(target : Target.t) (f : Mfun.t) : plan =
+  let instrs = f.Mfun.instrs in
+  (* Symbol interning: bases are resolved once per run, lazily faulting
+     with Layout.base_of's own exception only where [run] would. *)
+  let sym_tbl = Hashtbl.create 8 in
+  let sym_rev = ref [] in
+  let intern s =
+    match Hashtbl.find_opt sym_tbl s with
+    | Some k -> k
+    | None ->
+      let k = Hashtbl.length sym_tbl in
+      Hashtbl.add sym_tbl s k;
+      sym_rev := s :: !sym_rev;
+      k
+  in
+  Array.iter (fun ins -> List.iter (fun s -> ignore (intern s)) (addr_syms ins))
+    instrs;
+  let p_syms = Array.of_list (List.rev !sym_rev) in
+  let p_bases = Array.make (max 1 (Array.length p_syms)) min_int in
+  (* Label resolution (once, not per run). *)
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun pc ins ->
+      match ins with
+      | Minstr.Label l -> Hashtbl.replace labels l pc
+      | _ -> ())
+    instrs;
+  (* Per-pc cycle cost with the x87 blending [run] applies inline. *)
+  let x87 = f.Mfun.fp_unit = Mfun.Fp_x87 in
+  let p_cost =
+    Array.map
+      (fun ins ->
+        if x87 && is_scalar_fp ins then target.Target.costs.Target.c_x87_fp_op
+        else Minstr.cost target ins)
+      instrs
+  in
+  (* Effective-address closures over the interned base table. *)
+  let compile_addr (a : Minstr.addr) : state -> int =
+    let disp = a.Minstr.disp in
+    if a.Minstr.sym = "" then
+      (* No symbol: pure register arithmetic, no base lookup. *)
+      match a.Minstr.base, a.Minstr.index with
+      | None, None -> fun _ -> disp
+      | Some b, None ->
+        let ib = reg_index b in
+        fun st -> st.gpr.(ib) + disp
+      | None, Some i ->
+        let ii = reg_index i and sc = a.Minstr.scale in
+        fun st -> (st.gpr.(ii) * sc) + disp
+      | Some b, Some i ->
+        let ib = reg_index b and ii = reg_index i and sc = a.Minstr.scale in
+        fun st -> st.gpr.(ib) + (st.gpr.(ii) * sc) + disp
+    else begin
+      let k = intern a.Minstr.sym in
+      let sym = a.Minstr.sym in
+      let sym_fn st =
+        let b = p_bases.(k) in
+        if b = min_int then Layout.base_of st.layout sym else b
+      in
+      match a.Minstr.base, a.Minstr.index with
+      | None, None -> fun st -> sym_fn st + disp
+      | Some b, None ->
+        let ib = reg_index b in
+        fun st -> sym_fn st + st.gpr.(ib) + disp
+      | None, Some i ->
+        let ii = reg_index i and sc = a.Minstr.scale in
+        fun st -> sym_fn st + (st.gpr.(ii) * sc) + disp
+      | Some b, Some i ->
+        let ib = reg_index b and ii = reg_index i and sc = a.Minstr.scale in
+        fun st -> sym_fn st + st.gpr.(ib) + (st.gpr.(ii) * sc) + disp
+    end
+  in
+  let mem_len st = Bytes.length st.mem in
+  let vs = target.Target.vs in
+  let lanes_of ty = max 1 (vs / Src_type.size_of ty) in
+  let explicit_realign = target.Target.explicit_realign in
+  (* (mask, sign-bit) pair such that [Src_type.normalize_int ty v] equals
+     [let x = v land nm in if x land ns <> 0 then x - nm - 1 else x]:
+     ns = 0 for unsigned types, and i64 keeps every bit via nm = -1.
+     Lane loops write the normalization inline from these constants — a
+     per-lane call into Src_type would cost a call and a type dispatch on
+     each of the 8-16 lanes of the narrow integer kernels. *)
+  let norm_consts ty =
+    match ty with
+    | Src_type.I8 -> 0xff, 0x80
+    | Src_type.U8 -> 0xff, 0
+    | Src_type.I16 -> 0xffff, 0x8000
+    | Src_type.U16 -> 0xffff, 0
+    | Src_type.I32 -> 0xffffffff, 0x80000000
+    | Src_type.U32 -> 0xffffffff, 0
+    | Src_type.I64 -> -1, 0
+    | Src_type.F32 | Src_type.F64 ->
+      invalid_arg "Simulator.norm_consts: float type"
+  in
+  (* Specialized actions for the scalar-dominant instruction set; every
+     fast path reproduces exec's semantics (normalization, raw register
+     reads, fault messages) expression for expression.  [next] is pc+1.
+     Vector actions additionally dispatch on the runtime representation:
+     a register holding the expected kind runs an unboxed lane loop, any
+     other shape falls back to [exec] so mismatch faults stay identical. *)
+  let rec compile_action pc (ins : Minstr.t) : state -> int =
+    let next = pc + 1 in
+    let fallback ins = fun st -> exec st ins; next in
+    match ins with
+    | Minstr.Label _ -> fun _ -> next
+    | Minstr.Jmp l -> (
+      match Hashtbl.find_opt labels l with
+      | Some t -> fun _ -> t
+      | None -> fun _ -> faultf "undefined label %d" l)
+    | Minstr.Br (op, a, b, l) -> (
+      let ia = reg_index a and ib = reg_index b in
+      let target_pc = Hashtbl.find_opt labels l in
+      let goto st taken =
+        ignore st;
+        if taken then
+          match target_pc with
+          | Some t -> t
+          | None -> faultf "undefined label %d" l
+        else next
+      in
+      (* Br compares at I64, where normalization is the identity: the six
+         comparisons reduce to raw integer compares. *)
+      match op with
+      | Op.Eq -> fun st -> goto st (st.gpr.(ia) = st.gpr.(ib))
+      | Op.Ne -> fun st -> goto st (st.gpr.(ia) <> st.gpr.(ib))
+      | Op.Lt -> fun st -> goto st (st.gpr.(ia) < st.gpr.(ib))
+      | Op.Le -> fun st -> goto st (st.gpr.(ia) <= st.gpr.(ib))
+      | Op.Gt -> fun st -> goto st (st.gpr.(ia) > st.gpr.(ib))
+      | Op.Ge -> fun st -> goto st (st.gpr.(ia) >= st.gpr.(ib))
+      | _ ->
+        fun st ->
+          goto st
+            (Value.is_true
+               (Value.binop Src_type.I64 op
+                  (Value.Int st.gpr.(ia))
+                  (Value.Int st.gpr.(ib)))))
+    | Minstr.Li (d, v) ->
+      let id = reg_index d in
+      fun st -> st.gpr.(id) <- v; next
+    | Minstr.Lfi (d, v) ->
+      let id = reg_index d in
+      fun st -> st.fpr.(id) <- v; next
+    | Minstr.Mov (d, s) -> (
+      let id = reg_index d and is = reg_index s in
+      match d.Minstr.cls with
+      | Minstr.GPR -> fun st -> st.gpr.(id) <- st.gpr.(is); next
+      | Minstr.FPR -> fun st -> st.fpr.(id) <- st.fpr.(is); next
+      | Minstr.VR ->
+        fun st ->
+          (match st.vr.(is) with
+          | VUndef -> faultf "use of undefined vector register v%d" is
+          | v -> st.vr.(id) <- v);
+          next)
+    | Minstr.Cmov (d, c, a, b) -> (
+      let id = reg_index d and ic = reg_index c in
+      let ia = reg_index a and ib = reg_index b in
+      match d.Minstr.cls with
+      | Minstr.GPR ->
+        fun st ->
+          st.gpr.(id) <- st.gpr.(if st.gpr.(ic) <> 0 then ia else ib);
+          next
+      | Minstr.FPR ->
+        fun st ->
+          st.fpr.(id) <- st.fpr.(if st.gpr.(ic) <> 0 then ia else ib);
+          next
+      | Minstr.VR ->
+        fun st ->
+          let is = if st.gpr.(ic) <> 0 then ia else ib in
+          (match st.vr.(is) with
+          | VUndef -> faultf "use of undefined vector register v%d" is
+          | v -> st.vr.(id) <- v);
+          next)
+    | Minstr.Lea (d, a) ->
+      let id = reg_index d in
+      let ea = compile_addr a in
+      fun st -> st.gpr.(id) <- ea st; next
+    | Minstr.Sop (op, ty, d, a, b) when not (Src_type.is_float ty) -> (
+      let id = reg_index d and ia = reg_index a and ib = reg_index b in
+      let nz i = Src_type.normalize_int ty i in
+      let mask = (Src_type.size_of ty * 8) - 1 in
+      match op with
+      | Op.Add -> fun st -> st.gpr.(id) <- nz (st.gpr.(ia) + st.gpr.(ib)); next
+      | Op.Sub -> fun st -> st.gpr.(id) <- nz (st.gpr.(ia) - st.gpr.(ib)); next
+      | Op.Mul -> fun st -> st.gpr.(id) <- nz (st.gpr.(ia) * st.gpr.(ib)); next
+      | Op.Div ->
+        fun st ->
+          let y = st.gpr.(ib) in
+          if y = 0 then raise Division_by_zero
+          else st.gpr.(id) <- nz (st.gpr.(ia) / y);
+          next
+      | Op.Min -> fun st -> st.gpr.(id) <- nz (min st.gpr.(ia) st.gpr.(ib)); next
+      | Op.Max -> fun st -> st.gpr.(id) <- nz (max st.gpr.(ia) st.gpr.(ib)); next
+      | Op.And -> fun st -> st.gpr.(id) <- nz (st.gpr.(ia) land st.gpr.(ib)); next
+      | Op.Or -> fun st -> st.gpr.(id) <- nz (st.gpr.(ia) lor st.gpr.(ib)); next
+      | Op.Xor -> fun st -> st.gpr.(id) <- nz (st.gpr.(ia) lxor st.gpr.(ib)); next
+      | Op.Shl ->
+        fun st ->
+          st.gpr.(id) <- nz (st.gpr.(ia) lsl (st.gpr.(ib) land mask));
+          next
+      | Op.Shr ->
+        fun st ->
+          st.gpr.(id) <- nz (st.gpr.(ia) asr (st.gpr.(ib) land mask));
+          next
+      (* Comparisons store the raw 0/1 (Value.binop does not normalize
+         comparison results). *)
+      | Op.Eq -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) = st.gpr.(ib) then 1 else 0); next
+      | Op.Ne -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) <> st.gpr.(ib) then 1 else 0); next
+      | Op.Lt -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) < st.gpr.(ib) then 1 else 0); next
+      | Op.Le -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) <= st.gpr.(ib) then 1 else 0); next
+      | Op.Gt -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) > st.gpr.(ib) then 1 else 0); next
+      | Op.Ge -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) >= st.gpr.(ib) then 1 else 0); next)
+    | Minstr.Sop (op, ty, d, a, b) -> (
+      (* float scalar ops; comparisons land 1.0/0.0 in the FPR via
+         set_scalar's to_float on Value.Int. *)
+      let id = reg_index d and ia = reg_index a and ib = reg_index b in
+      let n32 = ty = Src_type.F32 in
+      match op with
+      | Op.Add ->
+        fun st ->
+          let z = st.fpr.(ia) +. st.fpr.(ib) in
+          st.fpr.(id) <-
+            (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+          next
+      | Op.Sub ->
+        fun st ->
+          let z = st.fpr.(ia) -. st.fpr.(ib) in
+          st.fpr.(id) <-
+            (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+          next
+      | Op.Mul ->
+        fun st ->
+          let z = st.fpr.(ia) *. st.fpr.(ib) in
+          st.fpr.(id) <-
+            (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+          next
+      | Op.Div ->
+        fun st ->
+          let z = st.fpr.(ia) /. st.fpr.(ib) in
+          st.fpr.(id) <-
+            (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+          next
+      | Op.Min ->
+        fun st ->
+          let z = Float.min st.fpr.(ia) st.fpr.(ib) in
+          st.fpr.(id) <-
+            (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+          next
+      | Op.Max ->
+        fun st ->
+          let z = Float.max st.fpr.(ia) st.fpr.(ib) in
+          st.fpr.(id) <-
+            (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+          next
+      | Op.Eq -> fun st -> st.fpr.(id) <- (if st.fpr.(ia) = st.fpr.(ib) then 1.0 else 0.0); next
+      | Op.Ne -> fun st -> st.fpr.(id) <- (if st.fpr.(ia) <> st.fpr.(ib) then 1.0 else 0.0); next
+      | Op.Lt -> fun st -> st.fpr.(id) <- (if st.fpr.(ia) < st.fpr.(ib) then 1.0 else 0.0); next
+      | Op.Le -> fun st -> st.fpr.(id) <- (if st.fpr.(ia) <= st.fpr.(ib) then 1.0 else 0.0); next
+      | Op.Gt -> fun st -> st.fpr.(id) <- (if st.fpr.(ia) > st.fpr.(ib) then 1.0 else 0.0); next
+      | Op.Ge -> fun st -> st.fpr.(id) <- (if st.fpr.(ia) >= st.fpr.(ib) then 1.0 else 0.0); next
+      | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr -> fallback ins)
+    | Minstr.Sunop (op, ty, d, s) -> (
+      let id = reg_index d and is = reg_index s in
+      if Src_type.is_float ty then
+        let n32 = ty = Src_type.F32 in
+        match op with
+        | Op.Neg ->
+          fun st ->
+            let z = -.st.fpr.(is) in
+            st.fpr.(id) <-
+              (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+            next
+        | Op.Abs ->
+          fun st ->
+            let z = Float.abs st.fpr.(is) in
+            st.fpr.(id) <-
+              (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+            next
+        | Op.Sqrt ->
+          fun st ->
+            let z = Float.sqrt st.fpr.(is) in
+            st.fpr.(id) <-
+              (if n32 then Int32.float_of_bits (Int32.bits_of_float z) else z);
+            next
+        | Op.Not -> fallback ins
+      else
+        let nz i = Src_type.normalize_int ty i in
+        match op with
+        | Op.Neg -> fun st -> st.gpr.(id) <- nz (-st.gpr.(is)); next
+        | Op.Abs -> fun st -> st.gpr.(id) <- nz (abs st.gpr.(is)); next
+        | Op.Not -> fun st -> st.gpr.(id) <- nz (lnot st.gpr.(is)); next
+        | Op.Sqrt -> fallback ins)
+    | Minstr.Scmp (op, ty, d, a, b) when Op.is_comparison op -> (
+      let id = reg_index d and ia = reg_index a and ib = reg_index b in
+      if Src_type.is_float ty then
+        match op with
+        | Op.Eq -> fun st -> st.gpr.(id) <- (if st.fpr.(ia) = st.fpr.(ib) then 1 else 0); next
+        | Op.Ne -> fun st -> st.gpr.(id) <- (if st.fpr.(ia) <> st.fpr.(ib) then 1 else 0); next
+        | Op.Lt -> fun st -> st.gpr.(id) <- (if st.fpr.(ia) < st.fpr.(ib) then 1 else 0); next
+        | Op.Le -> fun st -> st.gpr.(id) <- (if st.fpr.(ia) <= st.fpr.(ib) then 1 else 0); next
+        | Op.Gt -> fun st -> st.gpr.(id) <- (if st.fpr.(ia) > st.fpr.(ib) then 1 else 0); next
+        | Op.Ge -> fun st -> st.gpr.(id) <- (if st.fpr.(ia) >= st.fpr.(ib) then 1 else 0); next
+        | _ -> fallback ins
+      else
+        match op with
+        | Op.Eq -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) = st.gpr.(ib) then 1 else 0); next
+        | Op.Ne -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) <> st.gpr.(ib) then 1 else 0); next
+        | Op.Lt -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) < st.gpr.(ib) then 1 else 0); next
+        | Op.Le -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) <= st.gpr.(ib) then 1 else 0); next
+        | Op.Gt -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) > st.gpr.(ib) then 1 else 0); next
+        | Op.Ge -> fun st -> st.gpr.(id) <- (if st.gpr.(ia) >= st.gpr.(ib) then 1 else 0); next
+        | _ -> fallback ins)
+    | Minstr.Cvt (t1, t2, d, s) -> (
+      let id = reg_index d and is = reg_index s in
+      match Src_type.is_float t1, Src_type.is_float t2 with
+      | true, true ->
+        fun st -> st.fpr.(id) <- Src_type.normalize_float t2 st.fpr.(is); next
+      | true, false ->
+        fun st ->
+          st.gpr.(id) <-
+            Src_type.normalize_int t2
+              (int_of_float (Float.of_int 0 +. Float.trunc st.fpr.(is)));
+          next
+      | false, true ->
+        fun st ->
+          st.fpr.(id) <- Src_type.normalize_float t2 (float_of_int st.gpr.(is));
+          next
+      | false, false ->
+        fun st -> st.gpr.(id) <- Src_type.normalize_int t2 st.gpr.(is); next)
+    | Minstr.Load (ty, d, a) -> (
+      let id = reg_index d in
+      let ea = compile_addr a in
+      let sz = Src_type.size_of ty in
+      (* Unboxed per-type reads, same byte formats as [Layout.read_value]. *)
+      match ty with
+      | Src_type.I8 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.gpr.(id) <-
+            Src_type.normalize_int Src_type.I8 (Bytes.get_uint8 st.mem addr);
+          next
+      | Src_type.U8 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.gpr.(id) <- Bytes.get_uint8 st.mem addr;
+          next
+      | Src_type.I16 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.gpr.(id) <-
+            Src_type.normalize_int Src_type.I16
+              (Bytes.get_uint16_le st.mem addr);
+          next
+      | Src_type.U16 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.gpr.(id) <- Bytes.get_uint16_le st.mem addr;
+          next
+      | Src_type.I32 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.gpr.(id) <- Int32.to_int (Bytes.get_int32_le st.mem addr);
+          next
+      | Src_type.U32 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.gpr.(id) <-
+            Int32.to_int (Bytes.get_int32_le st.mem addr) land 0xffffffff;
+          next
+      | Src_type.I64 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.gpr.(id) <- Int64.to_int (Bytes.get_int64_le st.mem addr);
+          next
+      | Src_type.F32 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.fpr.(id) <- Int32.float_of_bits (Bytes.get_int32_le st.mem addr);
+          next
+      | Src_type.F64 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "load" addr sz;
+          st.fpr.(id) <- Int64.float_of_bits (Bytes.get_int64_le st.mem addr);
+          next)
+    | Minstr.Store (ty, a, s) -> (
+      let is = reg_index s in
+      let ea = compile_addr a in
+      let sz = Src_type.size_of ty in
+      (* Unboxed per-type writes, same byte formats as [Layout.write_value]. *)
+      match ty with
+      | Src_type.I8 | Src_type.U8 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "store" addr sz;
+          Bytes.set_uint8 st.mem addr (st.gpr.(is) land 0xff);
+          next
+      | Src_type.I16 | Src_type.U16 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "store" addr sz;
+          Bytes.set_uint16_le st.mem addr (st.gpr.(is) land 0xffff);
+          next
+      | Src_type.I32 | Src_type.U32 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "store" addr sz;
+          Bytes.set_int32_le st.mem addr (Int32.of_int st.gpr.(is));
+          next
+      | Src_type.I64 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "store" addr sz;
+          Bytes.set_int64_le st.mem addr (Int64.of_int st.gpr.(is));
+          next
+      | Src_type.F32 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "store" addr sz;
+          Bytes.set_int32_le st.mem addr (Int32.bits_of_float st.fpr.(is));
+          next
+      | Src_type.F64 ->
+        fun st ->
+          let addr = ea st in
+          if addr < 0 || addr + sz > mem_len st then
+            faultf "%s at address %d (+%d) out of memory" "store" addr sz;
+          Bytes.set_int64_le st.mem addr (Int64.bits_of_float st.fpr.(is));
+          next)
+    | Minstr.VSpill (slot, s) ->
+      let is = reg_index s in
+      fun st ->
+        (match st.vr.(is) with
+        | VUndef -> faultf "use of undefined vector register v%d" is
+        | v -> st.vspill.(slot) <- v);
+        next
+    | Minstr.VReload (d, slot) ->
+      let id = reg_index d in
+      fun st -> st.vr.(id) <- st.vspill.(slot); next
+    | Minstr.Lib inner -> (
+      (* Lib executes its payload; control flow inside Lib is as illegal
+         here as in exec (assert false), so route it through exec. *)
+      match inner with
+      | Minstr.Label _ | Minstr.Jmp _ | Minstr.Br _ -> fallback ins
+      | _ -> compile_action pc inner)
+    | Minstr.VLoad (k, ty, d, a) ->
+      let id = reg_index d in
+      let ea_of = compile_addr a in
+      let m = lanes_of ty in
+      let esize = Src_type.size_of ty in
+      let bytes = m * esize in
+      let align : int -> int =
+        match k with
+        | Minstr.VM_misaligned -> fun ea -> ea
+        | Minstr.VM_aligned ->
+          if explicit_realign then fun ea -> ea / vs * vs (* lvx floors *)
+          else
+            fun ea ->
+              if ea mod vs <> 0 then
+                faultf "aligned vector access to misaligned address %d" ea
+              else ea
+      in
+      let read : Bytes.t -> int -> vval =
+        match ty with
+        | Src_type.F32 ->
+          fun mem ea ->
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              r.(l) <-
+                Int32.float_of_bits (Bytes.get_int32_le mem (ea + (l * 4)))
+            done;
+            VFloat r
+        | Src_type.F64 ->
+          fun mem ea ->
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              r.(l) <-
+                Int64.float_of_bits (Bytes.get_int64_le mem (ea + (l * 8)))
+            done;
+            VFloat r
+        | Src_type.I8 ->
+          fun mem ea ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              let v = Bytes.get_uint8 mem (ea + l) in
+              r.(l) <- v - (if v land 0x80 <> 0 then 0x100 else 0)
+            done;
+            VInt r
+        | Src_type.U8 ->
+          fun mem ea ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              r.(l) <- Bytes.get_uint8 mem (ea + l)
+            done;
+            VInt r
+        | Src_type.I16 ->
+          fun mem ea ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              let v = Bytes.get_uint16_le mem (ea + (l * 2)) in
+              r.(l) <- v - (if v land 0x8000 <> 0 then 0x10000 else 0)
+            done;
+            VInt r
+        | Src_type.U16 ->
+          fun mem ea ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              r.(l) <- Bytes.get_uint16_le mem (ea + (l * 2))
+            done;
+            VInt r
+        | Src_type.I32 ->
+          fun mem ea ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              r.(l) <- Int32.to_int (Bytes.get_int32_le mem (ea + (l * 4)))
+            done;
+            VInt r
+        | Src_type.U32 ->
+          fun mem ea ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              r.(l) <-
+                Int32.to_int (Bytes.get_int32_le mem (ea + (l * 4)))
+                land 0xffffffff
+            done;
+            VInt r
+        | Src_type.I64 ->
+          fun mem ea ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              r.(l) <- Int64.to_int (Bytes.get_int64_le mem (ea + (l * 8)))
+            done;
+            VInt r
+      in
+      fun st ->
+        let ea = align (ea_of st) in
+        if ea < 0 || ea + bytes > mem_len st then
+          faultf "%s at address %d (+%d) out of memory" "vector load" ea bytes;
+        st.vr.(id) <- read st.mem ea;
+        next
+    | Minstr.VStore (k, ty, a, s) ->
+      let isrc = reg_index s in
+      let ea_of = compile_addr a in
+      let m = lanes_of ty in
+      let esize = Src_type.size_of ty in
+      let bytes = m * esize in
+      let is_f = Src_type.is_float ty in
+      let align : int -> int =
+        match k with
+        | Minstr.VM_misaligned -> fun ea -> ea
+        | Minstr.VM_aligned ->
+          fun ea ->
+            if ea mod vs <> 0 then
+              faultf "aligned vector store to misaligned address %d" ea
+            else ea
+      in
+      let check st lanes =
+        let ea = align (ea_of st) in
+        if ea < 0 || ea + bytes > mem_len st then
+          faultf "%s at address %d (+%d) out of memory" "vector store" ea bytes;
+        if lanes <> m then
+          faultf "vector store of %d lanes, expected %d" lanes m;
+        ea
+      in
+      let write_f : Bytes.t -> int -> float array -> unit =
+        match ty with
+        | Src_type.F32 ->
+          fun mem ea fa ->
+            for l = 0 to m - 1 do
+              Bytes.set_int32_le mem (ea + (l * 4)) (Int32.bits_of_float fa.(l))
+            done
+        | Src_type.F64 ->
+          fun mem ea fa ->
+            for l = 0 to m - 1 do
+              Bytes.set_int64_le mem (ea + (l * 8)) (Int64.bits_of_float fa.(l))
+            done
+        | _ -> fun _ _ _ -> assert false
+      in
+      let write_i : Bytes.t -> int -> int array -> unit =
+        match ty with
+        | Src_type.I8 | Src_type.U8 ->
+          fun mem ea xa ->
+            for l = 0 to m - 1 do
+              Bytes.set_uint8 mem (ea + l) (xa.(l) land 0xff)
+            done
+        | Src_type.I16 | Src_type.U16 ->
+          fun mem ea xa ->
+            for l = 0 to m - 1 do
+              Bytes.set_uint16_le mem (ea + (l * 2)) (xa.(l) land 0xffff)
+            done
+        | Src_type.I32 | Src_type.U32 ->
+          fun mem ea xa ->
+            for l = 0 to m - 1 do
+              Bytes.set_int32_le mem (ea + (l * 4)) (Int32.of_int xa.(l))
+            done
+        | Src_type.I64 ->
+          fun mem ea xa ->
+            for l = 0 to m - 1 do
+              Bytes.set_int64_le mem (ea + (l * 8)) (Int64.of_int xa.(l))
+            done
+        | _ -> fun _ _ _ -> assert false
+      in
+      fun st ->
+        (match st.vr.(isrc) with
+        | VFloat fa when is_f ->
+          write_f st.mem (check st (Array.length fa)) fa
+        | VInt xa when not is_f ->
+          write_i st.mem (check st (Array.length xa)) xa
+        | _ -> exec st ins);
+        next
+    | Minstr.Vop (op, ty, d, a, b) ->
+      let id = reg_index d and ia = reg_index a and ib = reg_index b in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then begin
+        (* The normalize-to-f32 round trip is written inline in every lane
+           loop: called through a closure it would box three floats per
+           lane, inline the whole chain stays unboxed.  [n32] selects f32
+           rounding; for f64 the conditional is the identity. *)
+        let n32 = ty = Src_type.F32 in
+        let mk (body : float array -> float array -> float array -> unit) =
+          fun st ->
+            (match st.vr.(ia), st.vr.(ib) with
+            | VFloat xa, VFloat xb ->
+              let r = Array.make m 0.0 in
+              body xa xb r;
+              st.vr.(id) <- VFloat r
+            | _, _ -> exec st ins);
+            next
+        in
+        let arith (body : float array -> float array -> float array -> unit) =
+          mk body
+        in
+        match op with
+        | Op.Add ->
+          arith (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = x +. y in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Sub ->
+          arith (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = x -. y in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Mul ->
+          arith (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = x *. y in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Div ->
+          arith (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = x /. y in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Min ->
+          arith (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = Float.min x y in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Max ->
+          arith (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = Float.max x y in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        (* Comparisons land raw 0/1 converted to float lanes. *)
+        | Op.Eq ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                r.(l) <- (if x = y then 1.0 else 0.0)
+              done)
+        | Op.Ne ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                r.(l) <- (if x <> y then 1.0 else 0.0)
+              done)
+        | Op.Lt ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                r.(l) <- (if x < y then 1.0 else 0.0)
+              done)
+        | Op.Le ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                r.(l) <- (if x <= y then 1.0 else 0.0)
+              done)
+        | Op.Gt ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                r.(l) <- (if x > y then 1.0 else 0.0)
+              done)
+        | Op.Ge ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                r.(l) <- (if x >= y then 1.0 else 0.0)
+              done)
+        | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr -> fallback ins
+      end
+      else begin
+        (* Per-lane normalization written inline as mask arithmetic:
+           normalize_int ty v == let x = v land nm in
+                                 if x land ns <> 0 then x - nm - 1 else x
+           with ns = 0 for unsigned types (and i64, where nm = -1 keeps
+           every bit).  Calling Src_type.normalize_int per lane would
+           cost a cross-module call and a type dispatch on each of the
+           8-16 lanes of the narrow integer kernels. *)
+        let nm, ns = norm_consts ty in
+        let mask = (Src_type.size_of ty * 8) - 1 in
+        let mk (body : int array -> int array -> int array -> unit) =
+          fun st ->
+            (match st.vr.(ia), st.vr.(ib) with
+            | VInt xa, VInt xb ->
+              let r = Array.make m 0 in
+              body xa xb r;
+              st.vr.(id) <- VInt r
+            | _, _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Add ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = (x + y) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Sub ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = (x - y) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Mul ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = x * y land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Div ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                if y = 0 then raise Division_by_zero;
+                let z = x / y land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Min ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = (if x <= y then x else y) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Max ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = (if x >= y then x else y) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.And ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = x land y land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Or ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = (x lor y) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Xor ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = x lxor y land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Shl ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = x lsl (y land mask) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Shr ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = x asr (y land mask) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Eq ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                r.(l) <- (if x = y then 1 else 0)
+              done)
+        | Op.Ne ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                r.(l) <- (if x <> y then 1 else 0)
+              done)
+        | Op.Lt ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                r.(l) <- (if x < y then 1 else 0)
+              done)
+        | Op.Le ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                r.(l) <- (if x <= y then 1 else 0)
+              done)
+        | Op.Gt ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                r.(l) <- (if x > y then 1 else 0)
+              done)
+        | Op.Ge ->
+          mk (fun xa xb r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                r.(l) <- (if x >= y then 1 else 0)
+              done)
+      end
+    | Minstr.Vunop (op, ty, d, s) ->
+      let id = reg_index d and is_ = reg_index s in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then begin
+        let n32 = ty = Src_type.F32 in
+        let mk (body : float array -> float array -> unit) =
+          fun st ->
+            (match st.vr.(is_) with
+            | VFloat xa ->
+              let r = Array.make m 0.0 in
+              body xa r;
+              st.vr.(id) <- VFloat r
+            | _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Neg ->
+          mk (fun xa r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                in
+                let z = -.x in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Abs ->
+          mk (fun xa r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                in
+                let z = Float.abs x in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Sqrt ->
+          mk (fun xa r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                in
+                let z = Float.sqrt x in
+                r.(l) <-
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done)
+        | Op.Not -> fallback ins
+      end
+      else begin
+        let nm, ns = norm_consts ty in
+        let mk (body : int array -> int array -> unit) =
+          fun st ->
+            (match st.vr.(is_) with
+            | VInt xa ->
+              let r = Array.make m 0 in
+              body xa r;
+              st.vr.(id) <- VInt r
+            | _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Neg ->
+          mk (fun xa r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let z = -x land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Abs ->
+          mk (fun xa r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let z = (if x < 0 then -x else x) land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Not ->
+          mk (fun xa r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let z = lnot x land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Sqrt -> fallback ins
+      end
+    | Minstr.Vshift (op, ty, d, s, amt) ->
+      if Src_type.is_float ty then fallback ins
+      else begin
+        let id = reg_index d and is_ = reg_index s in
+        let iamt = reg_index amt in
+        let m = lanes_of ty in
+        let nm, ns = norm_consts ty in
+        let mask = (Src_type.size_of ty * 8) - 1 in
+        let mk (body : int array -> int -> int array -> unit) =
+          fun st ->
+            (match st.vr.(is_) with
+            | VInt xa ->
+              let y = st.gpr.(iamt) land mask in
+              let r = Array.make m 0 in
+              body xa y r;
+              st.vr.(id) <- VInt r
+            | _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Shl ->
+          mk (fun xa y r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let z = x lsl y land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | Op.Shr ->
+          mk (fun xa y r ->
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let z = x asr y land nm in
+                r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+              done)
+        | _ -> fallback ins
+      end
+    | Minstr.Vsplat (ty, d, s) ->
+      let id = reg_index d and is_ = reg_index s in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then
+        let nf v = Src_type.normalize_float ty v in
+        fun st ->
+          st.vr.(id) <- VFloat (Array.make m (nf st.fpr.(is_)));
+          next
+      else
+        let nz i = Src_type.normalize_int ty i in
+        fun st ->
+          st.vr.(id) <- VInt (Array.make m (nz st.gpr.(is_)));
+          next
+    | Minstr.Viota (ty, d, s, inc) ->
+      if Src_type.is_float ty then fallback ins
+      else
+        let id = reg_index d and is_ = reg_index s in
+        let m = lanes_of ty in
+        let nm, ns = norm_consts ty in
+        fun st ->
+          let x = st.gpr.(is_) in
+          let r = Array.make m 0 in
+          for l = 0 to m - 1 do
+            let z = (x + (l * inc)) land nm in
+            r.(l) <- (if z land ns <> 0 then z - nm - 1 else z)
+          done;
+          st.vr.(id) <- VInt r;
+          next
+    | Minstr.Vreduce (op, ty, d, s) ->
+      let id = reg_index d and is_ = reg_index s in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then begin
+        let n32 = ty = Src_type.F32 in
+        let mk (body : float array -> float) =
+          fun st ->
+            (match st.vr.(is_) with
+            | VFloat xa -> st.fpr.(id) <- body xa
+            | _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Add ->
+          mk (fun xa ->
+              let x0 = xa.(0) in
+              let acc =
+                ref
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float x0)
+                   else x0)
+              in
+              for l = 1 to m - 1 do
+                let y = xa.(l) in
+                let y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = !acc +. y in
+                acc :=
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done;
+              !acc)
+        | Op.Mul ->
+          mk (fun xa ->
+              let x0 = xa.(0) in
+              let acc =
+                ref
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float x0)
+                   else x0)
+              in
+              for l = 1 to m - 1 do
+                let y = xa.(l) in
+                let y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = !acc *. y in
+                acc :=
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done;
+              !acc)
+        | Op.Min ->
+          mk (fun xa ->
+              let x0 = xa.(0) in
+              let acc =
+                ref
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float x0)
+                   else x0)
+              in
+              for l = 1 to m - 1 do
+                let y = xa.(l) in
+                let y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = Float.min !acc y in
+                acc :=
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done;
+              !acc)
+        | Op.Max ->
+          mk (fun xa ->
+              let x0 = xa.(0) in
+              let acc =
+                ref
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float x0)
+                   else x0)
+              in
+              for l = 1 to m - 1 do
+                let y = xa.(l) in
+                let y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = Float.max !acc y in
+                acc :=
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done;
+              !acc)
+        | Op.Sub ->
+          mk (fun xa ->
+              let x0 = xa.(0) in
+              let acc =
+                ref
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float x0)
+                   else x0)
+              in
+              for l = 1 to m - 1 do
+                let y = xa.(l) in
+                let y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = !acc -. y in
+                acc :=
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done;
+              !acc)
+        | Op.Div ->
+          mk (fun xa ->
+              let x0 = xa.(0) in
+              let acc =
+                ref
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float x0)
+                   else x0)
+              in
+              for l = 1 to m - 1 do
+                let y = xa.(l) in
+                let y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                let z = !acc /. y in
+                acc :=
+                  (if n32 then Int32.float_of_bits (Int32.bits_of_float z)
+                   else z)
+              done;
+              !acc)
+        | _ -> fallback ins
+      end
+      else begin
+        let nm, ns = norm_consts ty in
+        let mk (f : int -> int -> int) =
+          fun st ->
+            (match st.vr.(is_) with
+            | VInt xa ->
+              let x0 = xa.(0) land nm in
+              let acc = ref (if x0 land ns <> 0 then x0 - nm - 1 else x0) in
+              for l = 1 to m - 1 do
+                let y = xa.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                let z = f !acc y land nm in
+                acc := (if z land ns <> 0 then z - nm - 1 else z)
+              done;
+              st.gpr.(id) <- !acc
+            | _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Add -> mk (fun x y -> x + y)
+        | Op.Sub -> mk (fun x y -> x - y)
+        | Op.Mul -> mk (fun x y -> x * y)
+        | Op.Min -> mk (fun x y -> if x <= y then x else y)
+        | Op.Max -> mk (fun x y -> if x >= y then x else y)
+        | Op.And -> mk (fun x y -> x land y)
+        | Op.Or -> mk (fun x y -> x lor y)
+        | Op.Xor -> mk (fun x y -> x lxor y)
+        | _ -> fallback ins
+      end
+    | Minstr.Vcmp (op, ty, d, a, b) when Op.is_comparison op ->
+      let id = reg_index d and ia = reg_index a and ib = reg_index b in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then begin
+        let n32 = ty = Src_type.F32 in
+        let mk (f : float -> float -> bool) =
+          fun st ->
+            (match st.vr.(ia), st.vr.(ib) with
+            | VFloat xa, VFloat xb ->
+              let r = Array.make m 0 in
+              for l = 0 to m - 1 do
+                let x = xa.(l) and y = xb.(l) in
+                let x =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                  else x
+                and y =
+                  if n32 then Int32.float_of_bits (Int32.bits_of_float y)
+                  else y
+                in
+                r.(l) <- (if f x y then 1 else 0)
+              done;
+              st.vr.(id) <- VInt r
+            | _, _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Eq -> mk (fun x y -> x = y)
+        | Op.Ne -> mk (fun x y -> x <> y)
+        | Op.Lt -> mk (fun x y -> x < y)
+        | Op.Le -> mk (fun x y -> x <= y)
+        | Op.Gt -> mk (fun x y -> x > y)
+        | Op.Ge -> mk (fun x y -> x >= y)
+        | _ -> fallback ins
+      end
+      else begin
+        let nm, ns = norm_consts ty in
+        let mk (f : int -> int -> bool) =
+          fun st ->
+            (match st.vr.(ia), st.vr.(ib) with
+            | VInt xa, VInt xb ->
+              let r = Array.make m 0 in
+              for l = 0 to m - 1 do
+                let x = xa.(l) land nm in
+                let x = if x land ns <> 0 then x - nm - 1 else x in
+                let y = xb.(l) land nm in
+                let y = if y land ns <> 0 then y - nm - 1 else y in
+                r.(l) <- (if f x y then 1 else 0)
+              done;
+              st.vr.(id) <- VInt r
+            | _, _ -> exec st ins);
+            next
+        in
+        match op with
+        | Op.Eq -> mk (fun x y -> x = y)
+        | Op.Ne -> mk (fun x y -> x <> y)
+        | Op.Lt -> mk (fun x y -> x < y)
+        | Op.Le -> mk (fun x y -> x <= y)
+        | Op.Gt -> mk (fun x y -> x > y)
+        | Op.Ge -> mk (fun x y -> x >= y)
+        | _ -> fallback ins
+      end
+    | Minstr.Vsel (ty, d, mask, a, b) ->
+      let id = reg_index d and im = reg_index mask in
+      let ia = reg_index a and ib = reg_index b in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then
+        let n32 = ty = Src_type.F32 in
+        fun st ->
+          (match st.vr.(im), st.vr.(ia), st.vr.(ib) with
+          | VInt mv, VFloat xa, VFloat xb ->
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              let v = if mv.(l) <> 0 then xa.(l) else xb.(l) in
+              r.(l) <-
+                (if n32 then Int32.float_of_bits (Int32.bits_of_float v)
+                 else v)
+            done;
+            st.vr.(id) <- VFloat r
+          | _ -> exec st ins);
+          next
+      else
+        let nm, ns = norm_consts ty in
+        fun st ->
+          (match st.vr.(im), st.vr.(ia), st.vr.(ib) with
+          | VInt mv, VInt xa, VInt xb ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              let v = (if mv.(l) <> 0 then xa.(l) else xb.(l)) land nm in
+              r.(l) <- (if v land ns <> 0 then v - nm - 1 else v)
+            done;
+            st.vr.(id) <- VInt r
+          | _ -> exec st ins);
+          next
+    | Minstr.Vperm (ty, d, a, b, t) ->
+      let id = reg_index d and ia = reg_index a and ib = reg_index b in
+      let it = reg_index t in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then
+        let n32 = ty = Src_type.F32 in
+        fun st ->
+          (match st.vr.(ia), st.vr.(ib), st.vr.(it) with
+          | VFloat xa, VFloat xb, VInt [| tok |] ->
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              let p = tok + l in
+              let v = if p < m then xa.(p) else xb.(p - m) in
+              r.(l) <-
+                (if n32 then Int32.float_of_bits (Int32.bits_of_float v)
+                 else v)
+            done;
+            st.vr.(id) <- VFloat r
+          | _ -> exec st ins);
+          next
+      else
+        let nm, ns = norm_consts ty in
+        fun st ->
+          (match st.vr.(ia), st.vr.(ib), st.vr.(it) with
+          | VInt xa, VInt xb, VInt [| tok |] ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              let p = tok + l in
+              let v = (if p < m then xa.(p) else xb.(p - m)) land nm in
+              r.(l) <- (if v land ns <> 0 then v - nm - 1 else v)
+            done;
+            st.vr.(id) <- VInt r
+          | _ -> exec st ins);
+          next
+    | Minstr.Lvsr (ty, d, a) ->
+      let id = reg_index d in
+      let ea_of = compile_addr a in
+      let esize = Src_type.size_of ty in
+      fun st ->
+        st.vr.(id) <- VInt [| ea_of st mod vs / esize |];
+        next
+    | Minstr.Vwidenmul (h, ty, d, a, b) -> (
+      match Src_type.widen ty with
+      | None -> fallback ins (* widen_exn faults at execution *)
+      | Some w when Src_type.is_float ty || Src_type.is_float w -> fallback ins
+      | Some w ->
+        let id = reg_index d and ia = reg_index a and ib = reg_index b in
+        let m = lanes_of ty in
+        let off = half_off h m in
+        let nm, ns = norm_consts ty in
+        let wm, ws = norm_consts w in
+        fun st ->
+          (match st.vr.(ia), st.vr.(ib) with
+          | VInt xa, VInt xb ->
+            let r = Array.make (m / 2) 0 in
+            for l = 0 to (m / 2) - 1 do
+              let x = xa.(off + l) land nm in
+              let x = if x land ns <> 0 then x - nm - 1 else x in
+              let x = x land wm in
+              let x = if x land ws <> 0 then x - wm - 1 else x in
+              let y = xb.(off + l) land nm in
+              let y = if y land ns <> 0 then y - nm - 1 else y in
+              let y = y land wm in
+              let y = if y land ws <> 0 then y - wm - 1 else y in
+              let z = x * y land wm in
+              r.(l) <- (if z land ws <> 0 then z - wm - 1 else z)
+            done;
+            st.vr.(id) <- VInt r
+          | _, _ -> exec st ins);
+          next)
+    | Minstr.Vdot (ty, d, a, b, acc) -> (
+      match Src_type.widen ty with
+      | None -> fallback ins
+      | Some w when Src_type.is_float ty || Src_type.is_float w -> fallback ins
+      | Some w ->
+        let id = reg_index d and ia = reg_index a and ib = reg_index b in
+        let iacc = reg_index acc in
+        let m = lanes_of ty in
+        let nm, ns = norm_consts ty in
+        let wm, ws = norm_consts w in
+        fun st ->
+          (match st.vr.(ia), st.vr.(ib), st.vr.(iacc) with
+          | VInt xa, VInt xb, VInt xc ->
+            let r = Array.make (m / 2) 0 in
+            for l = 0 to (m / 2) - 1 do
+              let x = xa.(2 * l) land nm in
+              let x = if x land ns <> 0 then x - nm - 1 else x in
+              let x = x land wm in
+              let x = if x land ws <> 0 then x - wm - 1 else x in
+              let y = xb.(2 * l) land nm in
+              let y = if y land ns <> 0 then y - nm - 1 else y in
+              let y = y land wm in
+              let y = if y land ws <> 0 then y - wm - 1 else y in
+              let p0 = x * y land wm in
+              let p0 = if p0 land ws <> 0 then p0 - wm - 1 else p0 in
+              let x = xa.((2 * l) + 1) land nm in
+              let x = if x land ns <> 0 then x - nm - 1 else x in
+              let x = x land wm in
+              let x = if x land ws <> 0 then x - wm - 1 else x in
+              let y = xb.((2 * l) + 1) land nm in
+              let y = if y land ns <> 0 then y - nm - 1 else y in
+              let y = y land wm in
+              let y = if y land ws <> 0 then y - wm - 1 else y in
+              let p1 = x * y land wm in
+              let p1 = if p1 land ws <> 0 then p1 - wm - 1 else p1 in
+              let acc = xc.(l) land wm in
+              let acc = if acc land ws <> 0 then acc - wm - 1 else acc in
+              let s = (p0 + p1) land wm in
+              let s = if s land ws <> 0 then s - wm - 1 else s in
+              let z = (acc + s) land wm in
+              r.(l) <- (if z land ws <> 0 then z - wm - 1 else z)
+            done;
+            st.vr.(id) <- VInt r
+          | _ -> exec st ins);
+          next)
+    | Minstr.Vunpack (h, ty, d, s) -> (
+      match Src_type.widen ty with
+      | None -> fallback ins
+      | Some w when Src_type.is_float ty || Src_type.is_float w -> fallback ins
+      | Some w ->
+        let id = reg_index d and is_ = reg_index s in
+        let m = lanes_of ty in
+        let off = half_off h m in
+        let nm, ns = norm_consts ty in
+        let wm, ws = norm_consts w in
+        fun st ->
+          (match st.vr.(is_) with
+          | VInt xa ->
+            let r = Array.make (m / 2) 0 in
+            for l = 0 to (m / 2) - 1 do
+              let x = xa.(off + l) land nm in
+              let x = if x land ns <> 0 then x - nm - 1 else x in
+              let x = x land wm in
+              r.(l) <- (if x land ws <> 0 then x - wm - 1 else x)
+            done;
+            st.vr.(id) <- VInt r
+          | _ -> exec st ins);
+          next)
+    | Minstr.Vpack (ty, d, a, b) -> (
+      match Src_type.narrow ty with
+      | None -> fallback ins (* narrow_exn faults at execution *)
+      | Some nt when Src_type.is_float ty || Src_type.is_float nt ->
+        fallback ins
+      | Some nt ->
+        let id = reg_index d and ia = reg_index a and ib = reg_index b in
+        let m = lanes_of ty in
+        let nm, ns = norm_consts ty in
+        let pm, ps = norm_consts nt in
+        fun st ->
+          (match st.vr.(ia), st.vr.(ib) with
+          | VInt xa, VInt xb ->
+            let r = Array.make (2 * m) 0 in
+            for l = 0 to (2 * m) - 1 do
+              let x = (if l < m then xa.(l) else xb.(l - m)) land nm in
+              let x = if x land ns <> 0 then x - nm - 1 else x in
+              let x = x land pm in
+              r.(l) <- (if x land ps <> 0 then x - pm - 1 else x)
+            done;
+            st.vr.(id) <- VInt r
+          | _, _ -> exec st ins);
+          next)
+    | Minstr.Vcvt (t1, t2, d, s) -> (
+      let id = reg_index d and is_ = reg_index s in
+      let m = lanes_of t1 in
+      match Src_type.is_float t1, Src_type.is_float t2 with
+      | false, false ->
+        let nm, ns = norm_consts t1 in
+        let pm, ps = norm_consts t2 in
+        fun st ->
+          (match st.vr.(is_) with
+          | VInt xa ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              let x = xa.(l) land nm in
+              let x = if x land ns <> 0 then x - nm - 1 else x in
+              let x = x land pm in
+              r.(l) <- (if x land ps <> 0 then x - pm - 1 else x)
+            done;
+            st.vr.(id) <- VInt r
+          | _ -> exec st ins);
+          next
+      | true, true ->
+        let n32a = t1 = Src_type.F32 and n32b = t2 = Src_type.F32 in
+        fun st ->
+          (match st.vr.(is_) with
+          | VFloat xa ->
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              let x = xa.(l) in
+              let x =
+                if n32a then Int32.float_of_bits (Int32.bits_of_float x)
+                else x
+              in
+              r.(l) <-
+                (if n32b then Int32.float_of_bits (Int32.bits_of_float x)
+                 else x)
+            done;
+            st.vr.(id) <- VFloat r
+          | _ -> exec st ins);
+          next
+      | _ -> fallback ins)
+    | Minstr.Vinterleave (h, ty, d, a, b) ->
+      let id = reg_index d and ia = reg_index a and ib = reg_index b in
+      let m = lanes_of ty in
+      let off = half_off h m in
+      if Src_type.is_float ty then
+        let n32 = ty = Src_type.F32 in
+        fun st ->
+          (match st.vr.(ia), st.vr.(ib) with
+          | VFloat xa, VFloat xb ->
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              let v =
+                if l mod 2 = 0 then xa.(off + (l / 2)) else xb.(off + (l / 2))
+              in
+              r.(l) <-
+                (if n32 then Int32.float_of_bits (Int32.bits_of_float v)
+                 else v)
+            done;
+            st.vr.(id) <- VFloat r
+          | _, _ -> exec st ins);
+          next
+      else
+        let nm, ns = norm_consts ty in
+        fun st ->
+          (match st.vr.(ia), st.vr.(ib) with
+          | VInt xa, VInt xb ->
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              let v =
+                (if l mod 2 = 0 then xa.(off + (l / 2))
+                 else xb.(off + (l / 2)))
+                land nm
+              in
+              r.(l) <- (if v land ns <> 0 then v - nm - 1 else v)
+            done;
+            st.vr.(id) <- VInt r
+          | _, _ -> exec st ins);
+          next
+    | Minstr.Vextract (ty, stride, offset, d, parts) ->
+      let id = reg_index d in
+      let ids = Array.of_list (List.map reg_index parts) in
+      let k = Array.length ids in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then
+        let n32 = ty = Src_type.F32 in
+        fun st ->
+          let ok = ref true in
+          let ps = Array.make (max 1 k) [||] in
+          for j = 0 to k - 1 do
+            match st.vr.(ids.(j)) with
+            | VFloat a -> ps.(j) <- a
+            | _ -> ok := false
+          done;
+          if not !ok then exec st ins
+          else begin
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              let p = offset + (l * stride) in
+              let v = ps.(p / m).(p mod m) in
+              r.(l) <-
+                (if n32 then Int32.float_of_bits (Int32.bits_of_float v)
+                 else v)
+            done;
+            st.vr.(id) <- VFloat r
+          end;
+          next
+      else
+        let nm, ns = norm_consts ty in
+        fun st ->
+          let ok = ref true in
+          let ps = Array.make (max 1 k) [||] in
+          for j = 0 to k - 1 do
+            match st.vr.(ids.(j)) with
+            | VInt a -> ps.(j) <- a
+            | _ -> ok := false
+          done;
+          if not !ok then exec st ins
+          else begin
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              let p = offset + (l * stride) in
+              let v = ps.(p / m).(p mod m) land nm in
+              r.(l) <- (if v land ns <> 0 then v - nm - 1 else v)
+            done;
+            st.vr.(id) <- VInt r
+          end;
+          next
+    | Minstr.Vinsert (ty, d, v, n, s) ->
+      let id = reg_index d and iv = reg_index v and is_ = reg_index s in
+      let m = lanes_of ty in
+      if Src_type.is_float ty then
+        let n32 = ty = Src_type.F32 in
+        fun st ->
+          (match st.vr.(iv) with
+          | VFloat xa ->
+            if n < 0 || n >= m then faultf "vinsert lane %d out of %d" n m;
+            let r = Array.make m 0.0 in
+            for l = 0 to m - 1 do
+              let x = if l = n then st.fpr.(is_) else xa.(l) in
+              r.(l) <-
+                (if n32 then Int32.float_of_bits (Int32.bits_of_float x)
+                 else x)
+            done;
+            st.vr.(id) <- VFloat r
+          | _ -> exec st ins);
+          next
+      else
+        let nz i = Src_type.normalize_int ty i in
+        fun st ->
+          (match st.vr.(iv) with
+          | VInt xa ->
+            if n < 0 || n >= m then faultf "vinsert lane %d out of %d" n m;
+            let r = Array.make m 0 in
+            for l = 0 to m - 1 do
+              r.(l) <- nz (if l = n then st.gpr.(is_) else xa.(l))
+            done;
+            st.vr.(id) <- VInt r
+          | _ -> exec st ins);
+          next
+    | Minstr.Scmp _ | Minstr.Vcmp _ -> fallback ins
+  in
+  let p_code = Array.mapi compile_action instrs in
+  (* Parameter binders: per-name closures that keep List.assoc_opt (the
+     argument list varies per run) but pre-resolve type, class and
+     location.  Same faults, same normalization as [run]. *)
+  let p_binders =
+    Array.of_list
+      (List.map
+         (fun (name, sty, loc) ->
+           match (loc : Mfun.param_loc) with
+           | Mfun.In_reg r -> (
+             let id = reg_index r in
+             match r.Minstr.cls with
+             | Minstr.GPR ->
+               fun st args ->
+                 (match List.assoc_opt name args with
+                 | Some v ->
+                   st.gpr.(id) <- Value.to_int (Value.normalize sty v)
+                 | None -> faultf "missing scalar argument %s" name)
+             | Minstr.FPR ->
+               fun st args ->
+                 (match List.assoc_opt name args with
+                 | Some v ->
+                   st.fpr.(id) <- Value.to_float (Value.normalize sty v)
+                 | None -> faultf "missing scalar argument %s" name)
+             | Minstr.VR ->
+               fun _ args ->
+                 (match List.assoc_opt name args with
+                 | Some _ -> faultf "vector parameter %s" name
+                 | None -> faultf "missing scalar argument %s" name))
+           | Mfun.In_stack (ty, off) ->
+             fun st args ->
+               (match List.assoc_opt name args with
+               | Some v ->
+                 let v = Value.normalize sty v in
+                 Layout.write_value st.mem ty
+                   (st.layout.Layout.stack_base + off)
+                   v
+               | None -> faultf "missing scalar argument %s" name))
+         f.Mfun.param_regs)
+  in
+  {
+    p_target = target;
+    p_mfun = f;
+    p_cost;
+    p_code;
+    p_syms;
+    p_bases;
+    p_binders;
+    p_state = None;
+  }
+
+let run_plan ?(fuel = 200_000_000) (p : plan) (layout : Layout.t)
+    (mem : Bytes.t) ~(scalar_args : (string * Value.t) list) : result =
+  let f = p.p_mfun in
+  let st =
+    match p.p_state with
+    | Some st ->
+      st.layout <- layout;
+      st.mem <- mem;
+      Array.fill st.gpr 0 (Array.length st.gpr) 0;
+      Array.fill st.fpr 0 (Array.length st.fpr) 0.0;
+      Array.fill st.vr 0 (Array.length st.vr) VUndef;
+      Array.fill st.vspill 0 (Array.length st.vspill) VUndef;
+      st.cycles <- 0;
+      st.executed <- 0;
+      st
+    | None ->
+      let st =
+        {
+          target = p.p_target;
+          layout;
+          mem;
+          gpr = Array.make (max 1 f.Mfun.n_gpr) 0;
+          fpr = Array.make (max 1 f.Mfun.n_fpr) 0.0;
+          vr = Array.make (max 1 f.Mfun.n_vr) VUndef;
+          vspill = Array.make (max 1 f.Mfun.n_vspill) VUndef;
+          cycles = 0;
+          executed = 0;
+        }
+      in
+      p.p_state <- Some st;
+      st
+  in
+  (* Resolve symbol bases for this run; failures are recorded and only
+     surface (as Layout.base_of's own exception) if an address actually
+     uses the symbol, exactly as in [run]. *)
+  for k = 0 to Array.length p.p_syms - 1 do
+    p.p_bases.(k) <-
+      (match Layout.base_of layout p.p_syms.(k) with
+      | b -> b
+      | exception Invalid_argument _ -> min_int)
+  done;
+  let binders = p.p_binders in
+  for k = 0 to Array.length binders - 1 do
+    binders.(k) st scalar_args
+  done;
+  let code = p.p_code and cost = p.p_cost in
+  let n = Array.length code in
+  let pc = ref 0 in
+  while !pc < n do
+    if st.executed > fuel then faultf "fuel exhausted (infinite loop?)";
+    st.executed <- st.executed + 1;
+    st.cycles <- st.cycles + cost.(!pc);
+    pc := code.(!pc) st
   done;
   { r_cycles = st.cycles; r_instructions = st.executed }

@@ -23,3 +23,26 @@ val run :
   Mfun.t ->
   scalar_args:(string * Value.t) list ->
   result
+
+(** A pre-resolved execution plan for one compiled function on one target:
+    labels resolved to pcs, per-pc costs (x87-blended) precomputed,
+    parameter binding compiled to closures, common scalar instructions
+    specialized.  Bit-, cycle-, instruction- and fault-exact against
+    [run]; built once at JIT-compile time and reused for every
+    invocation with zero per-run setup allocation. *)
+type plan
+
+val prepare : target:Target.t -> Mfun.t -> plan
+
+(** The target the plan's costs and lane counts were resolved for. *)
+val plan_target : plan -> Target.t
+
+(** Run a prepared plan; same contract and faults as [run].  Not
+    re-entrant: each plan owns one scratch machine state. *)
+val run_plan :
+  ?fuel:int ->
+  plan ->
+  Layout.t ->
+  Bytes.t ->
+  scalar_args:(string * Value.t) list ->
+  result

@@ -6,6 +6,7 @@
 module Op = Vapor_ir.Op
 module Minstr = Vapor_machine.Minstr
 module Mfun = Vapor_machine.Mfun
+module Simulator = Vapor_machine.Simulator
 module Compile = Vapor_jit.Compile
 
 type spec = {
@@ -143,7 +144,11 @@ let corrupt t (c : Compile.t) : Compile.t option =
   match corrupt_mfun c.Compile.mfun with
   | Some mfun ->
     t.corrupted <- t.corrupted + 1;
-    Some { c with Compile.mfun }
+    (* Re-prepare the execution plan: the fast engine runs the plan, not
+       the instruction array, so a corruption that left the stale plan in
+       place would be invisible to it. *)
+    let target = Simulator.plan_target c.Compile.plan in
+    Some { c with Compile.mfun; plan = Simulator.prepare ~target mfun }
   | None -> None
 
 (* Deterministic exponential backoff charged (in modeled microseconds)

@@ -17,6 +17,7 @@ type config = {
   (* At trace index N the serving fleet loses SIMD capability: every
      SIMD target is rejuvenated down to the given scalar target. *)
   cfg_drop_simd : (int * Target.t) option;
+  cfg_engine : Tiered.engine;
 }
 
 let default_config ~targets =
@@ -29,6 +30,7 @@ let default_config ~targets =
     cfg_rejuvenate = None;
     cfg_guard = Tiered.no_guard;
     cfg_drop_simd = None;
+    cfg_engine = Tiered.Fast;
   }
 
 type kernel_row = {
@@ -105,24 +107,25 @@ let bytecode_table kernels =
     kernels;
   tbl
 
-let replay ?stats (cfg : config) (trace : Trace.t) : report =
-  if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
-  let st = match stats with Some s -> s | None -> Stats.create () in
-  let cache =
-    Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
-      ~max_bytes:cfg.cfg_max_bytes ()
-  in
-  let tiered =
-    Tiered.create ~stats:st ~guard:cfg.cfg_guard ~cache
-      ~hotness_threshold:cfg.cfg_hotness ()
-  in
-  let table = bytecode_table trace.Trace.tr_kernels in
-  (* Mutable target mapping: rejuvenation redirects one slot. *)
+(* Per-event accounting record: the unit both the single-domain replay
+   and the sharded driver accumulate reports from.  Keeping the merge in
+   trace order makes the merged report independent of the shard count. *)
+type event_record = {
+  er_index : int;
+  er_tier : Tiered.tier;
+  er_cycles : int;
+  er_compile_us : float;
+}
+
+(* Drive [events] (a subsequence of one trace, in trace order) through one
+   tiered runtime.  Triggers (rejuvenation, SIMD drop) fire at the first
+   owned event at or past their index, so a shard that does not own the
+   exact trigger event still switches at the same point in its own
+   subsequence. *)
+let run_events ~cache ~tiered ~table ~(st : Stats.t) (cfg : config) events =
   let targets = Array.of_list cfg.cfg_targets in
-  let interp_inv = ref 0 and jit_inv = ref 0 in
-  let interp_cycles = ref 0 and jit_cycles = ref 0 in
-  let compile_us = ref 0.0 in
-  List.iter
+  let rejuvenated = ref false and dropped = ref false in
+  List.map
     (fun (ev : Trace.event) ->
       let retarget ~from_t ~to_t =
         ignore (Code_cache.invalidate_target cache ~from_target:from_t
@@ -136,13 +139,16 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
           targets
       in
       (match cfg.cfg_rejuvenate with
-      | Some (at, from_t, to_t) when at = ev.Trace.ev_index ->
+      | Some (at, from_t, to_t)
+        when (not !rejuvenated) && ev.Trace.ev_index >= at ->
+        rejuvenated := true;
         retarget ~from_t ~to_t
       | _ -> ());
       (match cfg.cfg_drop_simd with
-      | Some (at, scalar_t) when at = ev.Trace.ev_index ->
+      | Some (at, scalar_t) when (not !dropped) && ev.Trace.ev_index >= at ->
         (* The fleet loses its vector units: rejuvenate every SIMD
            target down to scalar code, mid-trace. *)
+        dropped := true;
         let simd =
           Array.to_list targets
           |> List.filter Target.has_simd
@@ -159,38 +165,55 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
         Tiered.invoke ~digest ~label:ev.Trace.ev_kernel tiered ~target
           ~profile:cfg.cfg_profile vk ~args
       in
-      (match r.Tiered.r_tier with
+      {
+        er_index = ev.Trace.ev_index;
+        er_tier = r.Tiered.r_tier;
+        er_cycles = r.Tiered.r_cycles;
+        er_compile_us = r.Tiered.r_compile_us;
+      })
+    events
+
+let rows_of tiered =
+  List.map
+    (fun (s : Tiered.kstate) ->
+      {
+        kr_kernel = s.Tiered.ks_label;
+        kr_target = s.Tiered.ks_key.Digest.k_target;
+        kr_digest = Digest.short s.Tiered.ks_key.Digest.k_digest;
+        kr_invocations = s.Tiered.ks_invocations;
+        kr_interp_runs = s.Tiered.ks_interp_runs;
+        kr_jit_runs = s.Tiered.ks_jit_runs;
+        kr_promoted_at =
+          (match
+             List.find_opt
+               (fun (tr : Tiered.transition) -> tr.Tiered.to_tier = Tiered.Jit)
+               s.Tiered.ks_transitions
+           with
+          | Some tr -> Some tr.Tiered.at_invocation
+          | None -> None);
+        kr_cold_compile_us = s.Tiered.ks_cold_compile_us;
+        kr_quarantined = s.Tiered.ks_quarantined;
+      })
+    (Tiered.states tiered)
+
+(* Fold event records (in trace order — float accumulation order matters
+   for byte-stable reports) and rows into the report. *)
+let report_of ~trace_desc ~(records : event_record list) ~rows ~hits ~misses
+    ~evictions ~rejuvenations ~hit_rate ~(st : Stats.t) : report =
+  let interp_inv = ref 0 and jit_inv = ref 0 in
+  let interp_cycles = ref 0 and jit_cycles = ref 0 in
+  let compile_us = ref 0.0 in
+  List.iter
+    (fun er ->
+      (match er.er_tier with
       | Tiered.Interpreter ->
         incr interp_inv;
-        interp_cycles := !interp_cycles + r.Tiered.r_cycles
+        interp_cycles := !interp_cycles + er.er_cycles
       | Tiered.Jit ->
         incr jit_inv;
-        jit_cycles := !jit_cycles + r.Tiered.r_cycles);
-      compile_us := !compile_us +. r.Tiered.r_compile_us)
-    trace.Trace.tr_events;
-  let rows =
-    List.map
-      (fun (s : Tiered.kstate) ->
-        {
-          kr_kernel = s.Tiered.ks_label;
-          kr_target = s.Tiered.ks_key.Digest.k_target;
-          kr_digest = Digest.short s.Tiered.ks_key.Digest.k_digest;
-          kr_invocations = s.Tiered.ks_invocations;
-          kr_interp_runs = s.Tiered.ks_interp_runs;
-          kr_jit_runs = s.Tiered.ks_jit_runs;
-          kr_promoted_at =
-            (match
-               List.find_opt
-                 (fun (tr : Tiered.transition) -> tr.Tiered.to_tier = Tiered.Jit)
-                 s.Tiered.ks_transitions
-             with
-            | Some tr -> Some tr.Tiered.at_invocation
-            | None -> None);
-          kr_cold_compile_us = s.Tiered.ks_cold_compile_us;
-          kr_quarantined = s.Tiered.ks_quarantined;
-        })
-      (Tiered.states tiered)
-  in
+        jit_cycles := !jit_cycles + er.er_cycles);
+      compile_us := !compile_us +. er.er_compile_us)
+    records;
   let invocations = !interp_inv + !jit_inv in
   let cold_weighted =
     List.fold_left
@@ -204,7 +227,7 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
       0 rows
   in
   {
-    rp_trace = Trace.describe trace;
+    rp_trace = trace_desc;
     rp_invocations = invocations;
     rp_interp_invocations = !interp_inv;
     rp_jit_invocations = !jit_inv;
@@ -217,11 +240,11 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
     rp_amortized_us =
       (if invocations = 0 then 0.0
        else !compile_us /. float_of_int invocations);
-    rp_hits = Code_cache.hits cache;
-    rp_misses = Code_cache.misses cache;
-    rp_evictions = Code_cache.evictions cache;
-    rp_rejuvenations = Code_cache.rejuvenations cache;
-    rp_hit_rate = Code_cache.hit_rate cache;
+    rp_hits = hits;
+    rp_misses = misses;
+    rp_evictions = evictions;
+    rp_rejuvenations = rejuvenations;
+    rp_hit_rate = hit_rate;
     rp_oracle_checks = Stats.counter st "oracle.checks";
     rp_oracle_mismatches = Stats.counter st "oracle.mismatches";
     rp_quarantines = Stats.counter st "guard.quarantines";
@@ -236,50 +259,256 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
     rp_stats = st;
   }
 
-let print_tier_table rp =
-  Printf.printf "  %-16s %-8s %-12s %6s %7s %5s %9s %10s\n" "kernel" "target"
-    "digest" "inv" "interp" "jit" "promoted" "cold us";
+let replay ?stats (cfg : config) (trace : Trace.t) : report =
+  if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
+  let st = match stats with Some s -> s | None -> Stats.create () in
+  let cache =
+    Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
+      ~max_bytes:cfg.cfg_max_bytes ()
+  in
+  let tiered =
+    Tiered.create ~stats:st ~guard:cfg.cfg_guard ~engine:cfg.cfg_engine ~cache
+      ~hotness_threshold:cfg.cfg_hotness ()
+  in
+  let table = bytecode_table trace.Trace.tr_kernels in
+  let records = run_events ~cache ~tiered ~table ~st cfg trace.Trace.tr_events in
+  report_of ~trace_desc:(Trace.describe trace) ~records ~rows:(rows_of tiered)
+    ~hits:(Code_cache.hits cache) ~misses:(Code_cache.misses cache)
+    ~evictions:(Code_cache.evictions cache)
+    ~rejuvenations:(Code_cache.rejuvenations cache)
+    ~hit_rate:(Code_cache.hit_rate cache) ~st
+
+(* Domain-parallel replay: the trace is partitioned by kernel digest so
+   every invocation of one bytecode body lands in the same shard — tier
+   state, the code cache, and slot bodies need no cross-domain sharing.
+   Each shard runs its own tiered runtime over its own subsequence of the
+   trace; per-event records are merged back in trace order and per-shard
+   metric registries are pooled, so the merged report is identical for
+   any shard count (and, when each shard's cache stays under budget — no
+   cross-kernel evictions — identical to the single-domain replay).
+
+   Guarded sharding is deterministic per (seed, domains): each shard
+   derives its own fault stream from the injector's seed and the shard
+   index, so fault placement differs from the single-domain stream but
+   replays identically run after run. *)
+let replay_sharded ?stats ?(domains = 1) (cfg : config) (trace : Trace.t) :
+    report =
+  if domains <= 1 then replay ?stats cfg trace
+  else begin
+    if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
+    (* Vectorize (and parse) every kernel on this domain: the shared memo
+       tables behind [bytecode_table] are read-only afterwards. *)
+    let table = bytecode_table trace.Trace.tr_kernels in
+    let shard_of =
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun name (_, _, d) ->
+          Hashtbl.replace tbl name (Digest.hash d mod domains))
+        table;
+      fun name -> Hashtbl.find tbl name
+    in
+    let parts = Array.make domains [] in
+    List.iter
+      (fun (ev : Trace.event) ->
+        let i = shard_of ev.Trace.ev_kernel in
+        parts.(i) <- ev :: parts.(i))
+      trace.Trace.tr_events;
+    let parts = Array.map List.rev parts in
+    let shard_guard i =
+      match cfg.cfg_guard.Tiered.g_faults with
+      | None -> cfg.cfg_guard
+      | Some f ->
+        let spec = Faults.spec f in
+        {
+          cfg.cfg_guard with
+          Tiered.g_faults =
+            Some (Faults.make { spec with Faults.f_seed = spec.Faults.f_seed + (31 * i) });
+        }
+    in
+    let run_shard i () =
+      let st = Stats.create () in
+      let cache =
+        Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
+          ~max_bytes:cfg.cfg_max_bytes ()
+      in
+      let tiered =
+        Tiered.create ~stats:st ~guard:(shard_guard i) ~engine:cfg.cfg_engine
+          ~cache ~hotness_threshold:cfg.cfg_hotness ()
+      in
+      let records = run_events ~cache ~tiered ~table ~st cfg parts.(i) in
+      ( records,
+        rows_of tiered,
+        ( Code_cache.hits cache,
+          Code_cache.misses cache,
+          Code_cache.evictions cache,
+          Code_cache.rejuvenations cache ),
+        st )
+    in
+    let results =
+      Array.init domains (fun i -> Domain.spawn (run_shard i))
+      |> Array.map Domain.join
+    in
+    let records =
+      Array.to_list results
+      |> List.concat_map (fun (r, _, _, _) -> r)
+      |> List.sort (fun a b -> compare a.er_index b.er_index)
+    in
+    let rows =
+      Array.to_list results
+      |> List.concat_map (fun (_, r, _, _) -> r)
+      |> List.sort (fun a b ->
+             compare (a.kr_kernel, a.kr_target) (b.kr_kernel, b.kr_target))
+    in
+    let hits, misses, evictions, rejuvenations =
+      Array.fold_left
+        (fun (h, m, e, r) (_, _, (h', m', e', r'), _) ->
+          h + h', m + m', e + e', r + r')
+        (0, 0, 0, 0) results
+    in
+    let st = match stats with Some s -> s | None -> Stats.create () in
+    Array.iter (fun (_, _, _, shard_st) -> Stats.merge_into ~dst:st shard_st)
+      results;
+    let hit_rate =
+      if hits + misses = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    report_of ~trace_desc:(Trace.describe trace) ~records ~rows ~hits ~misses
+      ~evictions ~rejuvenations ~hit_rate ~st
+  end
+
+let tier_table_to_string rp =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "  %-16s %-8s %-12s %6s %7s %5s %9s %10s\n" "kernel"
+    "target" "digest" "inv" "interp" "jit" "promoted" "cold us";
   List.iter
     (fun r ->
-      Printf.printf "  %-16s %-8s %-12s %6d %7d %5d %9s %10.1f%s\n" r.kr_kernel
-        r.kr_target r.kr_digest r.kr_invocations r.kr_interp_runs r.kr_jit_runs
+      Printf.bprintf buf "  %-16s %-8s %-12s %6d %7d %5d %9s %10.1f%s\n"
+        r.kr_kernel r.kr_target r.kr_digest r.kr_invocations r.kr_interp_runs
+        r.kr_jit_runs
         (match r.kr_promoted_at with
         | Some n -> Printf.sprintf "@%d" n
         | None -> "-")
         r.kr_cold_compile_us
         (if r.kr_quarantined then "  QUARANTINED" else ""))
-    rp.rp_rows
+    rp.rp_rows;
+  Buffer.contents buf
 
-let print_report rp =
-  Printf.printf "replay: %s\n" rp.rp_trace;
-  Printf.printf "  invocations        %10d  (interp %d, jit %d)\n"
+let print_tier_table rp = print_string (tier_table_to_string rp)
+
+let report_to_string rp =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "replay: %s\n" rp.rp_trace;
+  Printf.bprintf buf "  invocations        %10d  (interp %d, jit %d)\n"
     rp.rp_invocations rp.rp_interp_invocations rp.rp_jit_invocations;
-  Printf.printf "  modeled cycles     %10d  (interp %d, jit %d)\n"
+  Printf.bprintf buf "  modeled cycles     %10d  (interp %d, jit %d)\n"
     rp.rp_total_cycles rp.rp_interp_cycles rp.rp_jit_cycles;
-  Printf.printf "  throughput         %10.1f  invocations / Mcycle\n"
+  Printf.bprintf buf "  throughput         %10.1f  invocations / Mcycle\n"
     (throughput rp);
-  Printf.printf "  compile time paid  %10.1f  us total\n" rp.rp_total_compile_us;
-  Printf.printf "  cold compile       %10.1f  us / invocation (uncached)\n"
+  Printf.bprintf buf "  compile time paid  %10.1f  us total\n"
+    rp.rp_total_compile_us;
+  Printf.bprintf buf "  cold compile       %10.1f  us / invocation (uncached)\n"
     rp.rp_cold_compile_us;
-  Printf.printf "  amortized compile  %10.3f  us / invocation (%.0fx cheaper)\n"
+  Printf.bprintf buf
+    "  amortized compile  %10.3f  us / invocation (%.0fx cheaper)\n"
     rp.rp_amortized_us (amortization_factor rp);
-  Printf.printf
+  Printf.bprintf buf
     "  code cache         hits %d  misses %d  evictions %d  rejuvenations %d  \
      (hit rate %.1f%%)\n"
     rp.rp_hits rp.rp_misses rp.rp_evictions rp.rp_rejuvenations
     (100.0 *. rp.rp_hit_rate);
   if guarded_activity rp then begin
-    Printf.printf "guarded execution:\n";
-    Printf.printf "  oracle checks      %10d  (mismatches caught %d)\n"
+    Printf.bprintf buf "guarded execution:\n";
+    Printf.bprintf buf "  oracle checks      %10d  (mismatches caught %d)\n"
       rp.rp_oracle_checks rp.rp_oracle_mismatches;
-    Printf.printf "  quarantines        %10d  (tier demotions %d)\n"
+    Printf.bprintf buf "  quarantines        %10d  (tier demotions %d)\n"
       rp.rp_quarantines rp.rp_demotions;
-    Printf.printf "  compile retries    %10d  (injected faults %d, hard errors %d)\n"
+    Printf.bprintf buf
+      "  compile retries    %10d  (injected faults %d, hard errors %d)\n"
       rp.rp_retries rp.rp_injected_compile rp.rp_compile_errors;
-    Printf.printf "  exec faults        %10d  (corrupted bodies %d)\n"
+    Printf.bprintf buf "  exec faults        %10d  (corrupted bodies %d)\n"
       rp.rp_exec_faults rp.rp_corrupted_bodies;
     if rp.rp_scalarize_fallbacks > 0 then
-      Printf.printf "  scalarize fallbacks %9d\n" rp.rp_scalarize_fallbacks
+      Printf.bprintf buf "  scalarize fallbacks %9d\n" rp.rp_scalarize_fallbacks
   end;
-  Printf.printf "tier breakdown:\n";
-  print_tier_table rp
+  Printf.bprintf buf "tier breakdown:\n";
+  Buffer.add_string buf (tier_table_to_string rp);
+  Buffer.contents buf
+
+let print_report rp = print_string (report_to_string rp)
+
+(* --- JSON rendering ---------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %.17g round-trips every float and never prints OCaml's non-JSON "inf"
+   unguarded; infinities are clamped to nulls. *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    "null"
+  else Printf.sprintf "%.17g" f
+
+let report_to_json rp =
+  let buf = Buffer.create 2048 in
+  let field name value = Printf.bprintf buf "  %S: %s,\n" name value in
+  Buffer.add_string buf "{\n";
+  field "trace" (Printf.sprintf "%S" (json_escape rp.rp_trace));
+  field "invocations" (string_of_int rp.rp_invocations);
+  field "interp_invocations" (string_of_int rp.rp_interp_invocations);
+  field "jit_invocations" (string_of_int rp.rp_jit_invocations);
+  field "total_cycles" (string_of_int rp.rp_total_cycles);
+  field "interp_cycles" (string_of_int rp.rp_interp_cycles);
+  field "jit_cycles" (string_of_int rp.rp_jit_cycles);
+  field "throughput_inv_per_mcycle" (json_float (throughput rp));
+  field "total_compile_us" (json_float rp.rp_total_compile_us);
+  field "cold_compile_us" (json_float rp.rp_cold_compile_us);
+  field "amortized_us" (json_float rp.rp_amortized_us);
+  field "cache_hits" (string_of_int rp.rp_hits);
+  field "cache_misses" (string_of_int rp.rp_misses);
+  field "cache_evictions" (string_of_int rp.rp_evictions);
+  field "cache_rejuvenations" (string_of_int rp.rp_rejuvenations);
+  field "cache_hit_rate" (json_float rp.rp_hit_rate);
+  field "oracle_checks" (string_of_int rp.rp_oracle_checks);
+  field "oracle_mismatches" (string_of_int rp.rp_oracle_mismatches);
+  field "quarantines" (string_of_int rp.rp_quarantines);
+  field "corrupted_bodies" (string_of_int rp.rp_corrupted_bodies);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf buf
+        "    {\"kernel\": \"%s\", \"target\": \"%s\", \"digest\": \"%s\", \
+         \"invocations\": %d, \"interp_runs\": %d, \"jit_runs\": %d, \
+         \"cold_compile_us\": %s, \"quarantined\": %b}%s\n"
+        (json_escape r.kr_kernel) (json_escape r.kr_target)
+        (json_escape r.kr_digest) r.kr_invocations r.kr_interp_runs
+        r.kr_jit_runs
+        (json_float r.kr_cold_compile_us)
+        r.kr_quarantined
+        (if i = List.length rp.rp_rows - 1 then "" else ","))
+    rp.rp_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"counters\": {\n";
+  let names = Stats.counter_names rp.rp_stats in
+  List.iteri
+    (fun i name ->
+      Printf.bprintf buf "    \"%s\": %d%s\n" (json_escape name)
+        (Stats.counter rp.rp_stats name)
+        (if i = List.length names - 1 then "" else ","))
+    names;
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -27,6 +27,10 @@ type config = {
       (** [(at_event, scalar)]: at event [at_event] every SIMD target is
           rejuvenated down to [scalar] — the mid-trace capability-loss
           fault *)
+  cfg_engine : Tiered.engine;
+      (** which execution engine serves invocations; {!Tiered.Fast} (the
+          default) is report-identical to {!Tiered.Reference}, only
+          wall-clock differs *)
 }
 
 (** Mono-profile defaults: hotness 3, 64-entry / 256 KiB cache, no
@@ -93,8 +97,26 @@ val amortization_factor : report -> float
 
 val replay : ?stats:Stats.t -> config -> Trace.t -> report
 
+(** Domain-parallel replay: partitions the trace by kernel digest across
+    [domains] OCaml domains, runs an independent tiered runtime per shard,
+    and merges per-event records back in trace order — the merged report
+    is identical for any [domains] value (and, when no cache evictions
+    occur, identical to {!replay}).  [domains <= 1] delegates to {!replay}
+    unchanged.  When guarded, each shard derives its own deterministic
+    fault stream from the injector seed and the shard index. *)
+val replay_sharded : ?stats:Stats.t -> ?domains:int -> config -> Trace.t -> report
+
+(** The full report as a string: summary, guarded section (when active),
+    and the tier table — exactly what {!print_report} prints. *)
+val report_to_string : report -> string
+
+(** The report (plus the registry's counters) as a JSON object. *)
+val report_to_json : report -> string
+
 (** Print the full report: summary, counters, and the tier table. *)
 val print_report : report -> unit
+
+val tier_table_to_string : report -> string
 
 (** Just the per-body tier table. *)
 val print_tier_table : report -> unit

@@ -94,3 +94,26 @@ let to_table t =
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.histos
+
+(* Pool [src] into [dst]: counters add, histograms merge count/sum and
+   take the min/max envelope.  Pooled means are exact, so a report built
+   from per-shard registries matches the single-registry run. *)
+let merge_into ~(dst : t) (src : t) =
+  Hashtbl.iter (fun name r -> incr ~by:!r dst name) src.counters;
+  Hashtbl.iter
+    (fun name (h : histo) ->
+      match Hashtbl.find_opt dst.histos name with
+      | Some d ->
+        d.h_count <- d.h_count + h.h_count;
+        d.h_sum <- d.h_sum +. h.h_sum;
+        d.h_min <- Float.min d.h_min h.h_min;
+        d.h_max <- Float.max d.h_max h.h_max
+      | None ->
+        Hashtbl.replace dst.histos name
+          {
+            h_count = h.h_count;
+            h_sum = h.h_sum;
+            h_min = h.h_min;
+            h_max = h.h_max;
+          })
+    src.histos

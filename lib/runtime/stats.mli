@@ -44,3 +44,8 @@ val to_table : t -> string
 
 (** Forget everything (counters and histograms). *)
 val reset : t -> unit
+
+(** Pool [src] into [dst]: counters sum, histograms merge (count and sum
+    add; min/max take the envelope).  Used by the sharded replay driver to
+    fold per-domain registries into one report. *)
+val merge_into : dst:t -> t -> unit

@@ -4,6 +4,7 @@
 module B = Vapor_vecir.Bytecode
 module Encode = Vapor_vecir.Encode
 module Veval = Vapor_vecir.Veval
+module Vfast = Vapor_vecir.Vfast
 module Target = Vapor_targets.Target
 module Profile = Vapor_jit.Profile
 module Compile = Vapor_jit.Compile
@@ -54,21 +55,52 @@ type guard = {
 
 let no_guard = { g_oracle = None; g_faults = None; g_retry_budget = 3 }
 
+(* Which execution engine serves invocations.  [Fast] (the default) runs
+   slot-compiled bytecode bodies in the interpreter tier and pre-resolved
+   plans in the JIT tier; [Reference] runs the tree-walking Veval and the
+   instruction-by-instruction Simulator.run — the baseline the fast engine
+   is benchmarked (and differentially checked) against. *)
+type engine =
+  | Reference
+  | Fast
+
+let engine_to_string = function
+  | Reference -> "reference"
+  | Fast -> "fast"
+
+let engine_of_string = function
+  | "reference" -> Some Reference
+  | "fast" -> Some Fast
+  | _ -> None
+
 type t = {
   cache : Code_cache.t;
   threshold : int;
   st : Stats.t;
   states : (Digest.key, kstate) Hashtbl.t;
   guard : guard;
+  engine : engine;
+  (* slot-compiled interpreter bodies, cached per (bytecode, eval mode);
+     the mode key is the vector size in bytes, 0 for scalarized *)
+  slot_bodies : (Digest.t * int, Vfast.compiled) Hashtbl.t;
+  (* plain fields, not Stats counters: the report layer must stay
+     byte-identical between engines *)
+  mutable slot_compiles : int;
+  mutable slot_hits : int;
 }
 
-let create ?stats ?(guard = no_guard) ~cache ~hotness_threshold () =
+let create ?stats ?(guard = no_guard) ?(engine = Fast) ~cache
+    ~hotness_threshold () =
   {
     cache;
     threshold = max 0 hotness_threshold;
     st = (match stats with Some s -> s | None -> Code_cache.stats cache);
     states = Hashtbl.create 32;
     guard;
+    engine;
+    slot_bodies = Hashtbl.create 32;
+    slot_compiles = 0;
+    slot_hits = 0;
   }
 
 type run = {
@@ -157,14 +189,86 @@ let quarantine t (s : kstate) =
     Stats.incr t.st "tier.demotions"
   end
 
-(* One interpreter execution with tier bookkeeping. *)
-let interp_run t (s : kstate) ~(target : Target.t) vk ~args =
-  ignore (Veval.run vk ~mode:(veval_mode target) ~args);
+let mode_key = function
+  | Veval.Vector vs -> vs
+  | Veval.Scalarized -> 0
+
+let slot_body t ~digest ~mode vk =
+  let key = digest, mode_key mode in
+  match Hashtbl.find_opt t.slot_bodies key with
+  | Some c ->
+    t.slot_hits <- t.slot_hits + 1;
+    c
+  | None ->
+    let c = Vfast.compile vk ~mode in
+    t.slot_compiles <- t.slot_compiles + 1;
+    Hashtbl.replace t.slot_bodies key c;
+    c
+
+(* One interpreter execution with tier bookkeeping.  The fast engine runs
+   the slot-compiled body (cached per bytecode digest and mode); the
+   reference engine — and any quarantined kernel — runs Veval.  The
+   modeled cycle charge is the same either way: the model prices the
+   abstract interpreter, not our implementation of it.
+
+   Under a guard, slot bodies get the same treatment as JIT bodies: the
+   fault injector may corrupt the delivered body, and the differential
+   oracle re-runs the reference interpreter on a copy of the arguments
+   (first run, then sampled) — on a mismatch the body is evicted, the
+   kernel quarantined, and the caller gets the reference answer. *)
+let interp_run t (s : kstate) ~digest ~(target : Target.t) vk ~args =
+  let mode = veval_mode target in
+  let cycles = interp_cycles vk ~args in
+  let extra =
+    if t.engine = Reference || s.ks_quarantined then begin
+      ignore (Veval.run vk ~mode ~args);
+      0
+    end
+    else begin
+      let body = slot_body t ~digest ~mode vk in
+      let body =
+        match t.guard.g_faults with
+        | Some f when Faults.should_corrupt f ->
+          Stats.incr t.st "faults.corrupted_bodies";
+          Vfast.corrupt body
+        | _ -> body
+      in
+      let check =
+        match t.guard.g_oracle with
+        | None -> false
+        | Some p ->
+          (p.op_first_run && s.ks_interp_runs = 0)
+          || (p.op_sample_every > 0
+             && s.ks_interp_runs > 0
+             && s.ks_interp_runs mod p.op_sample_every = 0)
+      in
+      if not check then begin
+        ignore (Vfast.run body ~args);
+        0
+      end
+      else begin
+        (* Differential check against the reference interpreter — always
+           Veval, never another compiled body. *)
+        let ref_args = copy_args args in
+        ignore (Vfast.run body ~args);
+        Stats.incr t.st "oracle.checks";
+        ignore (Veval.run vk ~mode ~args:ref_args);
+        let check_cycles = interp_cycles vk ~args:ref_args in
+        if args_equal args ref_args then check_cycles
+        else begin
+          Stats.incr t.st "oracle.mismatches";
+          Hashtbl.remove t.slot_bodies (digest, mode_key mode);
+          quarantine t s;
+          restore_args ~into:args ~from:ref_args;
+          check_cycles
+        end
+      end
+    end
+  in
   s.ks_interp_runs <- s.ks_interp_runs + 1;
   Stats.incr t.st "tier.interp_runs";
-  let cycles = interp_cycles vk ~args in
   Stats.observe t.st "tier.interp_cycles" (float_of_int cycles);
-  cycles
+  cycles + extra
 
 (* Compile with bounded retry against injected transient faults; the
    backoff is modeled microseconds, accumulated into the charge for this
@@ -226,7 +330,7 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
   end;
   match s.ks_tier with
   | Interpreter ->
-    let cycles = interp_run t s ~target vk ~args in
+    let cycles = interp_run t s ~digest:d ~target vk ~args in
     { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
       r_cache = None }
   | Jit -> (
@@ -252,7 +356,7 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
          that cannot succeed. *)
       Stats.incr t.st "guard.compile_errors";
       quarantine t s;
-      let cycles = interp_run t s ~target vk ~args in
+      let cycles = interp_run t s ~digest:d ~target vk ~args in
       { r_tier = Interpreter; r_cycles = cycles;
         r_compile_us = backoff_us; r_cache = None }
     | Ok (compiled, outcome, backoff_us) -> (
@@ -291,14 +395,17 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
              && s.ks_jit_runs mod p.op_sample_every = 0)
       in
       let reference = if check then Some (copy_args args) else None in
-      match Exec.run_checked target compiled ~args with
+      match
+        Exec.run_checked ~reference:(t.engine = Reference) target compiled
+          ~args
+      with
       | Error _ee ->
         (* The body faulted mid-simulation; caller buffers are untouched
            (read-back only happens on a clean finish), so the interpreter
            re-runs the invocation from the original inputs. *)
         Stats.incr t.st "guard.exec_faults";
         quarantine t s;
-        let cycles = interp_run t s ~target vk ~args in
+        let cycles = interp_run t s ~digest:d ~target vk ~args in
         { r_tier = Interpreter; r_cycles = cycles; r_compile_us = charged;
           r_cache = Some outcome }
       | Ok r -> (
@@ -376,3 +483,6 @@ let states t =
 let hotness_threshold t = t.threshold
 let cache t = t.cache
 let stats t = t.st
+let engine t = t.engine
+let slot_compiles t = t.slot_compiles
+let slot_hits t = t.slot_hits

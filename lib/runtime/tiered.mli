@@ -63,6 +63,19 @@ type guard = {
 
 val no_guard : guard
 
+(** Which execution engine serves invocations.  [Fast] (the default) runs
+    slot-compiled bytecode bodies in the interpreter tier and pre-resolved
+    plans in the JIT tier; [Reference] runs the tree-walking interpreter
+    and the instruction-by-instruction simulator — the baseline the fast
+    engine is benchmarked (and differentially checked) against.  Results
+    and reports are identical between engines; only wall-clock differs. *)
+type engine =
+  | Reference
+  | Fast
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
 type t
 
 (** [hotness_threshold] is the number of interpreter runs before
@@ -70,6 +83,7 @@ type t
 val create :
   ?stats:Stats.t ->
   ?guard:guard ->
+  ?engine:engine ->
   cache:Code_cache.t ->
   hotness_threshold:int ->
   unit ->
@@ -103,6 +117,14 @@ val states : t -> kstate list
 val hotness_threshold : t -> int
 val cache : t -> Code_cache.t
 val stats : t -> Stats.t
+val engine : t -> engine
+
+(** Slot-compilation telemetry (plain fields, deliberately outside
+    {!Stats}: the metrics table must stay byte-identical between
+    engines). *)
+val slot_compiles : t -> int
+
+val slot_hits : t -> int
 
 (** The modeled interpreter cost (exposed for tests). *)
 val interp_cycles : B.vkernel -> args:(string * Eval.arg) list -> int

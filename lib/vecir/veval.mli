@@ -11,6 +11,10 @@ type mode =
 
 exception Error of string
 
+(** The default guard decision: every version guard holds (the JIT aligns
+    every array, so alignment guards are true). *)
+val default_guard_true : Bytecode.guard -> bool
+
 (** Run a bytecode kernel; array buffers are mutated in place.
     [guard_true] decides version guards (default: every array aligned).
     Returns the final scalar environment.

@@ -1,0 +1,703 @@
+(* Slot-compiled fast path for vectorized bytecode.
+
+   [compile] resolves every scalar/vector/array name (and every statically
+   known scalar type) in a kernel to an integer slot, then turns each
+   statement into an OCaml closure over flat arrays.  Running a compiled
+   body does no hashing and no tree walking.
+
+   The reference [Veval] stays the semantic oracle: a compiled body must
+   agree with it bit-for-bit — same values, same faults, same fault
+   messages, raised at the same evaluation points.  Every error format
+   string below is copied verbatim from veval.ml, and evaluation order
+   (operand before type inference, bounds check before value evaluation,
+   hint check placement, ...) mirrors the reference case by case.
+
+   The one semantic subtlety is Veval's *runtime* type registration: a
+   [VS_for] registers its index as I32 in [stypes] at execution time, so a
+   use of that variable is typed I32 after the loop has started but falls
+   back to its value's width before.  We mirror this with per-run
+   [rtypes]/[rbound] arrays updated by the compiled loop closure. *)
+
+open Vapor_ir
+open Bytecode
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Veval.Error s)) fmt
+
+type env = {
+  guard_true : guard -> bool;
+  scalars : Value.t array;
+  sbound : bool array;
+  vectors : Value.t array array;
+  vbound : bool array; (* legit empty vectors exist; never use [||] as flag *)
+  arrays : Buffer_.t array;
+  abound : bool array;
+  (* Runtime-registered scalar types (loop indices), mirroring Veval's
+     exec-time stypes updates. *)
+  rtypes : Src_type.t array;
+  rbound : bool array;
+}
+
+type ctx = {
+  vs : int; (* vector size in bytes; 0 = scalarized *)
+  sslots : (string, int) Hashtbl.t;
+  vslots : (string, int) Hashtbl.t;
+  aslots : (string, int) Hashtbl.t;
+  statics : (string, Src_type.t) Hashtbl.t;
+  mutable snames : string list; (* reversed *)
+  mutable ns : int;
+  mutable nv : int;
+  mutable na : int;
+}
+
+let sslot ctx name =
+  match Hashtbl.find_opt ctx.sslots name with
+  | Some s -> s
+  | None ->
+    let s = ctx.ns in
+    Hashtbl.add ctx.sslots name s;
+    ctx.snames <- name :: ctx.snames;
+    ctx.ns <- s + 1;
+    s
+
+let vslot ctx name =
+  match Hashtbl.find_opt ctx.vslots name with
+  | Some s -> s
+  | None ->
+    let s = ctx.nv in
+    Hashtbl.add ctx.vslots name s;
+    ctx.nv <- s + 1;
+    s
+
+let aslot ctx name =
+  match Hashtbl.find_opt ctx.aslots name with
+  | Some s -> s
+  | None ->
+    let s = ctx.na in
+    Hashtbl.add ctx.aslots name s;
+    ctx.na <- s + 1;
+    s
+
+let lanes ctx ty =
+  if ctx.vs = 0 then errorf "vector code reached in scalarized mode"
+  else max 1 (ctx.vs / Src_type.size_of ty)
+
+let get_scalar env s name =
+  if env.sbound.(s) then env.scalars.(s)
+  else errorf "uninitialized scalar %s" name
+
+let get_vector env s name =
+  if env.vbound.(s) then env.vectors.(s)
+  else errorf "uninitialized vector %s" name
+
+let get_array env s name =
+  if env.abound.(s) then env.arrays.(s) else errorf "unbound array %s" name
+
+(* The scalar-expression evaluation type, resolved as far as compile time
+   allows.  [Dslot]/[Darr] defer to run time exactly where Veval's [stype]
+   would consult runtime state. *)
+type tyk =
+  | K of Src_type.t
+  | Dslot of int * string
+  | Darr of int * string
+
+let force_ty env = function
+  | K ty -> ty
+  | Dslot (s, name) ->
+    if env.rbound.(s) then env.rtypes.(s)
+    else (
+      match get_scalar env s name with
+      | Value.Float _ -> Src_type.F64
+      | Value.Int _ -> Src_type.I64)
+  | Darr (s, name) -> (get_array env s name).Buffer_.elem
+
+let rec cstype ctx (e : sexpr) : tyk =
+  match e with
+  | S_int (ty, _) | S_float (ty, _) -> K ty
+  | S_var v -> (
+    match Hashtbl.find_opt ctx.statics v with
+    | Some ty -> K ty
+    | None -> Dslot (sslot ctx v, v))
+  | S_load (arr, _) -> (
+    match Hashtbl.find_opt ctx.statics ("[]" ^ arr) with
+    | Some ty -> K ty
+    | None -> Darr (aslot ctx arr, arr))
+  | S_binop (op, a, _) ->
+    if Op.is_comparison op then K Src_type.I32 else cstype ctx a
+  | S_unop (_, a) -> cstype ctx a
+  | S_convert (ty, _) -> K ty
+  | S_select (_, a, _) -> cstype ctx a
+  | S_get_vf _ | S_align_limit _ -> K Src_type.I32
+  | S_loop_bound (a, _) -> cstype ctx a
+  | S_reduc (_, ty, _) -> K ty
+
+let half_range half m =
+  match half with
+  | Lo -> 0
+  | Hi -> m / 2
+
+let load_window ctx env ty a arr idx =
+  let buf = get_array env a arr in
+  let m = lanes ctx ty in
+  if idx < 0 || idx + m > Buffer_.length buf then
+    errorf "vector load %s[%d..%d] out of bounds (length %d)" arr idx
+      (idx + m - 1) (Buffer_.length buf)
+  else Array.init m (fun l -> Buffer_.get buf (idx + l))
+
+let load_floor ctx env ty zero a arr idx =
+  ignore ty;
+  let buf = get_array env a arr in
+  let m = lanes ctx ty in
+  let base = idx / m * m in
+  Array.init m (fun l ->
+      let i = base + l in
+      if i >= 0 && i < Buffer_.length buf then Buffer_.get buf i else zero)
+
+(* Alignment-hint validation, hint resolved at compile time.  [Unknown]
+   compiles to nothing; static/peeled hints keep the runtime residue check
+   (which also reproduces the scalarized-mode fault from [vector_size]). *)
+let compile_hint ctx ~what ~arr ~elem (hint : Hint.t) : env -> int -> unit =
+  match hint with
+  | Hint.Unknown -> fun _ _ -> ()
+  | Hint.Static mis | Hint.Peeled mis ->
+    let hs = Hint.to_string hint in
+    let esz = Src_type.size_of elem in
+    fun _env idx ->
+      let byte = idx * esz in
+      let residue m v = ((v mod m) + m) mod m in
+      let vs =
+        if ctx.vs = 0 then errorf "vector code reached in scalarized mode"
+        else ctx.vs
+      in
+      if residue vs byte <> residue vs mis then
+        errorf "%s %s[%d]: hint %s contradicts byte offset %d" what arr idx hs
+          byte
+
+let rec compile_sexpr ctx (e : sexpr) : env -> Value.t =
+  match e with
+  | S_int (ty, v) ->
+    let c = Value.Int (Src_type.normalize_int ty v) in
+    fun _ -> c
+  | S_float (ty, v) ->
+    let c = Value.Float (Src_type.normalize_float ty v) in
+    fun _ -> c
+  | S_var v ->
+    let s = sslot ctx v in
+    fun env -> get_scalar env s v
+  | S_load (arr, idx) ->
+    let a = aslot ctx arr in
+    let cidx = compile_sexpr ctx idx in
+    fun env ->
+      let buf = get_array env a arr in
+      let i = Value.to_int (cidx env) in
+      if i < 0 || i >= Buffer_.length buf then
+        errorf "scalar load %s[%d] out of bounds" arr i
+      else Buffer_.get buf i
+  | S_binop (op, a, b) -> (
+    let ca = compile_sexpr ctx a in
+    let cb = compile_sexpr ctx b in
+    (* The binop evaluates at the left operand's type (not the I32 a
+       *parent* comparison would see) — cstype of [a], like Veval. *)
+    match cstype ctx a with
+    | K ty ->
+      fun env ->
+        let va = ca env in
+        let vb = cb env in
+        Value.binop ty op va vb
+    | tk ->
+      fun env ->
+        let va = ca env in
+        let vb = cb env in
+        Value.binop (force_ty env tk) op va vb)
+  | S_unop (op, a) -> (
+    let ca = compile_sexpr ctx a in
+    match cstype ctx a with
+    | K ty -> fun env -> Value.unop ty op (ca env)
+    | tk ->
+      fun env ->
+        let va = ca env in
+        Value.unop (force_ty env tk) op va)
+  | S_convert (ty, a) ->
+    let ca = compile_sexpr ctx a in
+    fun env -> Value.convert ~from:ty ~into:ty (ca env)
+  | S_select (c, a, b) ->
+    let cc = compile_sexpr ctx c in
+    let ca = compile_sexpr ctx a in
+    let cb = compile_sexpr ctx b in
+    fun env -> if Value.is_true (cc env) then ca env else cb env
+  | S_get_vf ty | S_align_limit ty ->
+    let c =
+      if ctx.vs = 0 then Value.Int 1
+      else Value.Int (max 1 (ctx.vs / Src_type.size_of ty))
+    in
+    fun _ -> c
+  | S_loop_bound (vect, scalar) ->
+    (* Mode is fixed at compile time; only the selected bound is compiled
+       (Veval only ever evaluates the selected one). *)
+    if ctx.vs = 0 then compile_sexpr ctx scalar else compile_sexpr ctx vect
+  | S_reduc (op, ty, v) ->
+    let cv = compile_vexpr ctx v in
+    let ident =
+      match reduction_identity op ty with
+      | i -> Ok i
+      | exception e -> Error e
+    in
+    fun env ->
+      let vec = cv env in
+      let init =
+        match ident with
+        | Ok i -> i
+        | Error e -> raise e
+      in
+      Array.fold_left (fun acc x -> Value.binop ty op acc x) init vec
+
+and compile_vexpr ctx (e : vexpr) : env -> Value.t array =
+  match e with
+  | V_var v ->
+    let s = vslot ctx v in
+    fun env -> get_vector env s v
+  | V_binop (op, ty, a, b) ->
+    let ca = compile_vexpr ctx a in
+    let cb = compile_vexpr ctx b in
+    fun env ->
+      let va = ca env in
+      let vb = cb env in
+      if Array.length va <> Array.length vb then
+        errorf "vector binop on mismatched lane counts %d vs %d"
+          (Array.length va) (Array.length vb);
+      Array.map2 (Value.binop ty op) va vb
+  | V_unop (op, ty, a) ->
+    let ca = compile_vexpr ctx a in
+    fun env -> Array.map (Value.unop ty op) (ca env)
+  | V_shift (op, ty, a, amt) ->
+    let ca = compile_vexpr ctx a in
+    let camt = compile_sexpr ctx amt in
+    fun env ->
+      let s = camt env in
+      Array.map (fun x -> Value.binop ty op x s) (ca env)
+  | V_init_uniform (ty, v) ->
+    let cv = compile_sexpr ctx v in
+    fun env ->
+      let x = Value.normalize ty (cv env) in
+      Array.make (lanes ctx ty) x
+  | V_init_affine (ty, v, inc) ->
+    let cv = compile_sexpr ctx v in
+    let cinc = compile_sexpr ctx inc in
+    fun env ->
+      let x = Value.to_int (cv env) in
+      let d = Value.to_int (cinc env) in
+      Array.init (lanes ctx ty) (fun l ->
+          Value.Int (Src_type.normalize_int ty (x + (l * d))))
+  | V_init_reduc (op, ty, v) ->
+    let cv = compile_sexpr ctx v in
+    let ident =
+      match reduction_identity op ty with
+      | i -> Ok i
+      | exception e -> Error e
+    in
+    fun env ->
+      let x = Value.normalize ty (cv env) in
+      let ident =
+        match ident with
+        | Ok i -> i
+        | Error e -> raise e
+      in
+      Array.init (lanes ctx ty) (fun l -> if l = 0 then x else ident)
+  | V_aload (ty, arr, idx) ->
+    let a = aslot ctx arr in
+    let cidx = compile_sexpr ctx idx in
+    fun env ->
+      let i = Value.to_int (cidx env) in
+      let m = lanes ctx ty in
+      if i mod m <> 0 then
+        errorf "aload %s[%d] not aligned to %d elements" arr i m
+      else load_window ctx env ty a arr i
+  | V_load (ty, arr, idx, hint) ->
+    let a = aslot ctx arr in
+    let cidx = compile_sexpr ctx idx in
+    let check = compile_hint ctx ~what:"vload" ~arr ~elem:ty hint in
+    fun env ->
+      let i = Value.to_int (cidx env) in
+      check env i;
+      load_window ctx env ty a arr i
+  | V_align_load (ty, arr, idx) ->
+    let a = aslot ctx arr in
+    let cidx = compile_sexpr ctx idx in
+    let zero = Value.zero ty in
+    fun env -> load_floor ctx env ty zero a arr (Value.to_int (cidx env))
+  | V_get_rt (ty, _arr, idx, _hint) ->
+    let cidx = compile_sexpr ctx idx in
+    fun env ->
+      let i = Value.to_int (cidx env) in
+      let m = lanes ctx ty in
+      [| Value.Int (((i mod m) + m) mod m) |]
+  | V_realign { r_ty; r_v1; r_v2; r_rt; r_arr; r_idx; r_hint = _ } ->
+    let a = aslot ctx r_arr in
+    let cidx = compile_sexpr ctx r_idx in
+    let cv1 = compile_vexpr ctx r_v1 in
+    let cv2 = compile_vexpr ctx r_v2 in
+    let crt = compile_vexpr ctx r_rt in
+    fun env ->
+      let i = Value.to_int (cidx env) in
+      let direct = load_window ctx env r_ty a r_arr i in
+      let v1 = cv1 env in
+      let v2 = cv2 env in
+      let rt = crt env in
+      let tok = Value.to_int rt.(0) in
+      let m = lanes ctx r_ty in
+      let explicit =
+        Array.init m (fun l ->
+            let p = tok + l in
+            if p < m then v1.(p) else v2.(p - m))
+      in
+      Array.iteri
+        (fun l x ->
+          if not (Value.equal x direct.(l)) then
+            errorf
+              "realign mismatch on %s[%d] lane %d: explicit %s vs direct %s"
+              r_arr i l (Value.to_string x)
+              (Value.to_string direct.(l)))
+        explicit;
+      direct
+  | V_widen_mult (half, ty, a, b) -> (
+    match Src_type.widen ty with
+    | None ->
+      fun _ ->
+        errorf "widen_mult on unwidenable type %s" (Src_type.to_string ty)
+    | Some wide ->
+      let ca = compile_vexpr ctx a in
+      let cb = compile_vexpr ctx b in
+      fun env ->
+        let va = ca env in
+        let vb = cb env in
+        let m = lanes ctx ty in
+        let off = half_range half m in
+        Array.init (m / 2) (fun l ->
+            let x = Value.convert ~from:ty ~into:wide va.(off + l) in
+            let y = Value.convert ~from:ty ~into:wide vb.(off + l) in
+            Value.binop wide Op.Mul x y))
+  | V_dot_product (ty, a, b, acc) -> (
+    match Src_type.widen ty with
+    | None ->
+      fun _ ->
+        errorf "dot_product on unwidenable type %s" (Src_type.to_string ty)
+    | Some wide ->
+      let ca = compile_vexpr ctx a in
+      let cb = compile_vexpr ctx b in
+      let cacc = compile_vexpr ctx acc in
+      fun env ->
+        let va = ca env in
+        let vb = cb env in
+        let vacc = cacc env in
+        let m = lanes ctx ty in
+        Array.init (m / 2) (fun l ->
+            let w j =
+              let x = Value.convert ~from:ty ~into:wide va.((2 * l) + j) in
+              let y = Value.convert ~from:ty ~into:wide vb.((2 * l) + j) in
+              Value.binop wide Op.Mul x y
+            in
+            Value.binop wide Op.Add vacc.(l)
+              (Value.binop wide Op.Add (w 0) (w 1))))
+  | V_unpack (half, ty, a) -> (
+    match Src_type.widen ty with
+    | None ->
+      fun _ -> errorf "unpack on unwidenable type %s" (Src_type.to_string ty)
+    | Some wide ->
+      let ca = compile_vexpr ctx a in
+      fun env ->
+        let va = ca env in
+        let m = lanes ctx ty in
+        let off = half_range half m in
+        Array.init (m / 2) (fun l ->
+            Value.convert ~from:ty ~into:wide va.(off + l)))
+  | V_pack (ty, a, b) -> (
+    match Src_type.narrow ty with
+    | None ->
+      fun _ -> errorf "pack on unnarrowable type %s" (Src_type.to_string ty)
+    | Some narrow ->
+      let ca = compile_vexpr ctx a in
+      let cb = compile_vexpr ctx b in
+      fun env ->
+        let va = ca env in
+        let vb = cb env in
+        let m = lanes ctx ty in
+        Array.init (2 * m) (fun l ->
+            let x = if l < m then va.(l) else vb.(l - m) in
+            Value.convert ~from:ty ~into:narrow x))
+  | V_cvt (from, into, a) ->
+    if Src_type.size_of from <> Src_type.size_of into then fun _ ->
+      errorf "cvt between different sizes %s -> %s" (Src_type.to_string from)
+        (Src_type.to_string into)
+    else
+      let ca = compile_vexpr ctx a in
+      fun env -> Array.map (Value.convert ~from ~into) (ca env)
+  | V_extract { e_ty; e_stride; e_offset; e_parts } ->
+    if List.length e_parts <> e_stride then fun _ ->
+      errorf "extract: %d parts for stride %d" (List.length e_parts) e_stride
+    else if e_offset < 0 || e_offset >= e_stride then fun _ ->
+      errorf "extract: offset %d out of range for stride %d" e_offset e_stride
+    else
+      let cparts = Array.of_list (List.map (compile_vexpr ctx) e_parts) in
+      fun env ->
+        let parts = Array.map (fun c -> c env) cparts in
+        let m = lanes ctx e_ty in
+        Array.init m (fun l ->
+            let p = e_offset + (l * e_stride) in
+            parts.(p / m).(p mod m))
+  | V_interleave (half, ty, a, b) ->
+    let ca = compile_vexpr ctx a in
+    let cb = compile_vexpr ctx b in
+    fun env ->
+      let va = ca env in
+      let vb = cb env in
+      let m = lanes ctx ty in
+      let off = half_range half m in
+      Array.init m (fun l ->
+          if l mod 2 = 0 then va.(off + (l / 2)) else vb.(off + (l / 2)))
+  | V_cmp (op, ty, a, b) ->
+    let ca = compile_vexpr ctx a in
+    let cb = compile_vexpr ctx b in
+    fun env ->
+      let va = ca env in
+      let vb = cb env in
+      Array.init (lanes ctx ty) (fun l -> Value.binop ty op va.(l) vb.(l))
+  | V_select (ty, mask, a, b) ->
+    let cm = compile_vexpr ctx mask in
+    let ca = compile_vexpr ctx a in
+    let cb = compile_vexpr ctx b in
+    fun env ->
+      let vm = cm env in
+      let va = ca env in
+      let vb = cb env in
+      Array.init (lanes ctx ty) (fun l ->
+          if Value.is_true vm.(l) then va.(l) else vb.(l))
+
+and compile_stmt ctx (s : vstmt) : env -> unit =
+  match s with
+  | VS_assign (v, e) ->
+    let sv = sslot ctx v in
+    let ce = compile_sexpr ctx e in
+    fun env ->
+      let x = ce env in
+      env.scalars.(sv) <- x;
+      env.sbound.(sv) <- true
+  | VS_store (arr, idx, v) ->
+    let a = aslot ctx arr in
+    let cidx = compile_sexpr ctx idx in
+    let cv = compile_sexpr ctx v in
+    fun env ->
+      let buf = get_array env a arr in
+      let i = Value.to_int (cidx env) in
+      if i < 0 || i >= Buffer_.length buf then
+        errorf "scalar store %s[%d] out of bounds" arr i
+      else Buffer_.set buf i (cv env)
+  | VS_vassign (v, e) ->
+    let sv = vslot ctx v in
+    let ce = compile_vexpr ctx e in
+    fun env ->
+      let x = ce env in
+      env.vectors.(sv) <- x;
+      env.vbound.(sv) <- true
+  | VS_vstore { st_arr; st_idx; st_ty; st_value; st_hint } ->
+    let a = aslot ctx st_arr in
+    let cidx = compile_sexpr ctx st_idx in
+    let cv = compile_vexpr ctx st_value in
+    let check = compile_hint ctx ~what:"vstore" ~arr:st_arr ~elem:st_ty st_hint in
+    fun env ->
+      let buf = get_array env a st_arr in
+      let i = Value.to_int (cidx env) in
+      let v = cv env in
+      let m = lanes ctx st_ty in
+      if Array.length v <> m then
+        errorf "vstore %s: value has %d lanes, expected %d" st_arr
+          (Array.length v) m;
+      if i < 0 || i + m > Buffer_.length buf then
+        errorf "vector store %s[%d..%d] out of bounds" st_arr i (i + m - 1);
+      check env i;
+      Array.iteri (fun l x -> Buffer_.set buf (i + l) x) v
+  | VS_for { index; lo; hi; step; body; _ } ->
+    let si = sslot ctx index in
+    let static = Hashtbl.mem ctx.statics index in
+    let clo = compile_sexpr ctx lo in
+    let chi = compile_sexpr ctx hi in
+    let cstep = compile_sexpr ctx step in
+    let cbody = compile_body ctx body in
+    fun env ->
+      if (not static) && not env.rbound.(si) then begin
+        env.rtypes.(si) <- Src_type.I32;
+        env.rbound.(si) <- true
+      end;
+      let lo = Value.to_int (clo env) in
+      let hi = Value.to_int (chi env) in
+      let i = ref lo in
+      while !i < hi do
+        env.scalars.(si) <- Value.Int !i;
+        env.sbound.(si) <- true;
+        cbody env;
+        let step = Value.to_int (cstep env) in
+        if step <= 0 then errorf "loop %s: non-positive step %d" index step;
+        i := !i + step
+      done
+  | VS_if (c, t, e) ->
+    let cc = compile_sexpr ctx c in
+    let ct = compile_body ctx t in
+    let ce = compile_body ctx e in
+    fun env -> if Value.is_true (cc env) then ct env else ce env
+  | VS_version { guard; vec; fallback } ->
+    (* Scalarized mode always takes the vec branch (Veval does); only in
+       vector mode is the guard consulted at run time. *)
+    if ctx.vs = 0 then compile_body ctx vec
+    else
+      let cvec = compile_body ctx vec in
+      let cfb = compile_body ctx fallback in
+      fun env -> if env.guard_true guard then cvec env else cfb env
+
+and compile_body ctx stmts : env -> unit =
+  match stmts with
+  | [] -> fun _ -> ()
+  | [ s ] -> compile_stmt ctx s
+  | _ ->
+    let cs = Array.of_list (List.map (compile_stmt ctx) stmts) in
+    let n = Array.length cs in
+    fun env ->
+      for k = 0 to n - 1 do
+        cs.(k) env
+      done
+
+type compiled = {
+  c_mode : Veval.mode;
+  c_run :
+    (guard -> bool) ->
+    (string * Eval.arg) list ->
+    (string, Value.t) Hashtbl.t;
+}
+
+let mode c = c.c_mode
+
+let compile (vk : vkernel) ~(mode : Veval.mode) : compiled =
+  let vs =
+    match mode with
+    | Veval.Vector n -> n
+    | Veval.Scalarized -> 0
+  in
+  let ctx =
+    {
+      vs;
+      sslots = Hashtbl.create 32;
+      vslots = Hashtbl.create 32;
+      aslots = Hashtbl.create 16;
+      statics = Hashtbl.create 32;
+      snames = [];
+      ns = 0;
+      nv = 0;
+      na = 0;
+    }
+  in
+  (* Parameter binding mirrors Veval.run: same match, same error messages,
+     checked per parameter in declaration order. *)
+  let param_binders =
+    List.map
+      (fun p ->
+        let name = Kernel.param_name p in
+        (match p with
+        | Kernel.P_scalar (_, ty) -> Hashtbl.replace ctx.statics name ty
+        | Kernel.P_array (n, ty) -> Hashtbl.replace ctx.statics ("[]" ^ n) ty);
+        match p with
+        | Kernel.P_scalar (_, ty) ->
+          let s = sslot ctx name in
+          fun env args ->
+            (match List.assoc_opt name args with
+            | Some (Eval.Scalar v) ->
+              env.scalars.(s) <- Value.normalize ty v;
+              env.sbound.(s) <- true
+            | Some _ -> errorf "argument kind mismatch for %s" name
+            | None -> errorf "missing argument %s" name)
+        | Kernel.P_array _ ->
+          let a = aslot ctx name in
+          fun env args ->
+            (match List.assoc_opt name args with
+            | Some (Eval.Array buf) ->
+              env.arrays.(a) <- buf;
+              env.abound.(a) <- true
+            | Some _ -> errorf "argument kind mismatch for %s" name
+            | None -> errorf "missing argument %s" name))
+      vk.params
+  in
+  let local_binders =
+    List.map
+      (fun (v, ty) ->
+        Hashtbl.replace ctx.statics v ty;
+        let s = sslot ctx v in
+        let zero = Value.zero ty in
+        fun env ->
+          env.scalars.(s) <- zero;
+          env.sbound.(s) <- true)
+      vk.locals
+  in
+  (* Statics are complete (params + locals) before the body is compiled,
+     exactly as Veval's stypes are seeded before the body runs. *)
+  let cbody = compile_body ctx vk.body in
+  let snames = Array.of_list (List.rev ctx.snames) in
+  let ns = ctx.ns and nv = ctx.nv and na = ctx.na in
+  let param_binders = Array.of_list param_binders in
+  let local_binders = Array.of_list local_binders in
+  let dummy = Buffer_.create Src_type.I32 0 in
+  let c_run guard_true args =
+    let env =
+      {
+        guard_true;
+        scalars = Array.make ns (Value.Int 0);
+        sbound = Array.make ns false;
+        vectors = Array.make nv [||];
+        vbound = Array.make nv false;
+        arrays = Array.make na dummy;
+        abound = Array.make na false;
+        rtypes = Array.make ns Src_type.I32;
+        rbound = Array.make ns false;
+      }
+    in
+    Array.iter (fun b -> b env args) param_binders;
+    Array.iter (fun b -> b env) local_binders;
+    cbody env;
+    let out = Hashtbl.create 32 in
+    Array.iteri
+      (fun s name ->
+        if env.sbound.(s) then Hashtbl.replace out name env.scalars.(s))
+      snames;
+    out
+  in
+  { c_mode = mode; c_run }
+
+let run ?(guard_true = Veval.default_guard_true) c ~args =
+  c.c_run guard_true args
+
+(* Perturb the first non-empty array argument's element 0 after a normal
+   run: a deterministic wrong answer for the differential oracle to catch
+   (the fast-path analogue of Faults.corrupt on a machine body). *)
+let corrupt (c : compiled) : compiled =
+  let perturb args =
+    let rec go = function
+      | [] -> ()
+      | (_, Eval.Array buf) :: rest ->
+        if Buffer_.length buf > 0 then
+          let v' =
+            match Buffer_.get buf 0 with
+            | Value.Int i -> Value.Int (lnot i)
+            | Value.Float f ->
+              if Float.is_nan f then Value.Float 0.0
+              else if f = 0.0 then Value.Float 1.0
+              else Value.Float (-.f)
+          in
+          Buffer_.set buf 0 v'
+        else go rest
+      | _ :: rest -> go rest
+    in
+    go args
+  in
+  {
+    c with
+    c_run =
+      (fun guard_true args ->
+        let r = c.c_run guard_true args in
+        perturb args;
+        r);
+  }

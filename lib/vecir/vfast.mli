@@ -1,0 +1,31 @@
+(* Slot-compiled fast path for vectorized bytecode: a one-time pass that
+   resolves every name to an integer slot and compiles statements to
+   closures over flat arrays.  Bit-for-bit equivalent to [Veval] — same
+   results, same [Veval.Error] faults with the same messages — but without
+   per-run hashing or tree walking.  [Veval] remains the semantic oracle;
+   differential checks must always compare against it, never against
+   another compiled body. *)
+
+type compiled
+
+(* The mode the body was compiled for. *)
+val mode : compiled -> Veval.mode
+
+(* Compile a kernel for one evaluation mode (vector size or scalarized).
+   Compilation itself never faults; malformed bytecode faults at run time
+   exactly where [Veval] would. *)
+val compile : Bytecode.vkernel -> mode:Veval.mode -> compiled
+
+(* Run a compiled body.  Same contract as [Veval.run]: binds arguments,
+   zeroes locals, executes, and returns the final scalar bindings.
+   [guard_true] decides version guards (default: all hold). *)
+val run :
+  ?guard_true:(Bytecode.guard -> bool) ->
+  compiled ->
+  args:(string * Vapor_ir.Eval.arg) list ->
+  (string, Vapor_ir.Value.t) Hashtbl.t
+
+(* A deliberately wrong variant of a compiled body: runs normally, then
+   perturbs the first non-empty array argument.  Used by fault injection
+   to prove the differential oracle catches corrupted fast-path bodies. *)
+val corrupt : compiled -> compiled

@@ -430,6 +430,73 @@ let bench_oracle () =
   in
   unguarded, guarded, guarded /. unguarded
 
+(* ---------------------------------------------------------------------- *)
+(* Part 5: the JIT cost profiler — per-target aggregates of the per-stage
+   compile pipeline costs over the whole suite.  Wall-clock stage sums are
+   measured; code bytes, modeled compile time, and the amortized compile
+   share come from the runtime's deterministic cost models.               *)
+
+module Jit_report = Vapor_harness.Jit_report
+
+type jit_profile_summary = {
+  jp_target : string;
+  jp_kernels : int;
+  jp_stage_ns : float;  (* lower+emit+regalloc+prepare, summed *)
+  jp_code_bytes : int;
+  jp_model_us : float;
+  jp_mean_share : float;  (* mean compile share at 1000 invocations *)
+}
+
+let run_jit_profile () =
+  Printf.printf "\nJIT cost profile (per-target aggregates over the suite)\n";
+  Printf.printf "=======================================================\n";
+  Printf.printf
+    "(stage ns = lower+emit+regalloc+prepare wall time, summed; share = \n\
+    \ modeled compile share of total cost after 1000 invocations)\n\n%!";
+  let summaries =
+    List.map
+      (fun (target : Vapor_targets.Target.t) ->
+        let rows =
+          Jit_report.run ~repeats:1 ~targets:[ target ]
+            ~profile:Profile.gcc4cli ()
+        in
+        let open Jit_report in
+        let n = List.length rows in
+        let stage_ns =
+          List.fold_left
+            (fun a r ->
+              a +. r.jr_lower_ns +. r.jr_emit_ns +. r.jr_regalloc_ns
+              +. r.jr_prepare_ns)
+            0.0 rows
+        in
+        let bytes = List.fold_left (fun a r -> a + r.jr_code_bytes) 0 rows in
+        let model_us =
+          List.fold_left (fun a r -> a +. r.jr_compile_us) 0.0 rows
+        in
+        let share =
+          List.fold_left (fun a r -> a +. r.jr_compile_share) 0.0 rows
+          /. float_of_int (max 1 n)
+        in
+        {
+          jp_target = target.Vapor_targets.Target.name;
+          jp_kernels = n;
+          jp_stage_ns = stage_ns;
+          jp_code_bytes = bytes;
+          jp_model_us = model_us;
+          jp_mean_share = share;
+        })
+      Vapor_targets.Scalar_target.all
+  in
+  Printf.printf "  %-8s %8s %14s %11s %11s %11s\n" "target" "kernels"
+    "stage ns" "code bytes" "model us" "mean share";
+  List.iter
+    (fun s ->
+      Printf.printf "  %-8s %8d %14.0f %11d %11.1f %10.2f%%\n" s.jp_target
+        s.jp_kernels s.jp_stage_ns s.jp_code_bytes s.jp_model_us
+        (100.0 *. s.jp_mean_share))
+    summaries;
+  summaries
+
 let run_fastpath_bench ~json () =
   Printf.printf "\nFast-path engine wall-clock benchmark\n";
   Printf.printf "=====================================\n";
@@ -480,6 +547,7 @@ let run_fastpath_bench ~json () =
     Printf.printf "FAIL: sharded replay reports differ across domain counts\n";
     exit 1
   end;
+  let jit_rows = run_jit_profile () in
   if json then begin
     let buf = Buffer.create 1024 in
     Printf.bprintf buf "{\n";
@@ -518,8 +586,20 @@ let run_fastpath_bench ~json () =
     Printf.bprintf buf "  ],\n";
     Printf.bprintf buf
       "  \"oracle\": {\"unguarded_s\": %.4f, \"guarded_s\": %.4f, \
-       \"overhead_factor\": %.2f}\n"
+       \"overhead_factor\": %.2f},\n"
       unguarded_s guarded_s overhead;
+    Printf.bprintf buf "  \"jit_profile\": [\n";
+    List.iteri
+      (fun i s ->
+        Printf.bprintf buf
+          "    {\"target\": \"%s\", \"kernels\": %d, \"stage_ns\": %.0f, \
+           \"code_bytes\": %d, \"model_compile_us\": %.1f, \
+           \"mean_compile_share\": %.6f}%s\n"
+          s.jp_target s.jp_kernels s.jp_stage_ns s.jp_code_bytes s.jp_model_us
+          s.jp_mean_share
+          (if i = List.length jit_rows - 1 then "" else ","))
+      jit_rows;
+    Printf.bprintf buf "  ]\n";
     Printf.bprintf buf "}\n";
     let oc = open_out "BENCH.json" in
     output_string oc (Buffer.contents buf);

@@ -7,6 +7,7 @@
      vaporc run -k saxpy_fp -t altivec    compile + simulate, print cycles
      vaporc stat -k saxpy_fp              bytecode size statistics
      vaporc serve-replay -t sse           tiered runtime + code cache replay
+     vaporc jit-report                    JIT cost profiler, per kernel/target
      vaporc experiments                   regenerate the paper's figures
 
    Kernels come from the built-in suite (-k) or from a file containing
@@ -346,8 +347,39 @@ let serve_replay_cmd =
       & info [ "json" ]
           ~doc:"Print the report as JSON instead of the text tables.")
   in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured span trace of the replay to $(docv) as \
+             JSONL: one replay_event root span per trace event, with \
+             cache_lookup/compile/exec/oracle child spans and \
+             pipeline-stage leaf spans beneath it.")
+  in
+  let trace_det_arg =
+    Arg.(
+      value & flag
+      & info [ "trace-deterministic" ]
+          ~doc:
+            "Omit wall-clock fields from the span trace, leaving only the \
+             deterministic ordinal clock — the trace is then \
+             byte-identical for any --domains value.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export the metrics registry (counters, histograms, and \
+             observability gauges) to $(docv): Prometheus text format, or \
+             JSON when $(docv) ends in .json.")
+  in
   let run target profile length seed hotness cache_entries cache_bytes
-      rejuvenate rejuvenate_at kernels domains engine json =
+      rejuvenate rejuvenate_at kernels domains engine json trace_out
+      trace_deterministic metrics_out =
     let target = resolve_target target in
     let engine =
       match Vapor_runtime.Tiered.engine_of_string engine with
@@ -376,7 +408,26 @@ let serve_replay_cmd =
       }
     in
     let stats = Stats.create () in
-    let report = Service.replay_sharded ~stats ~domains cfg trace in
+    let tracer =
+      match trace_out with
+      | None -> Vapor_obs.Tracer.disabled
+      | Some _ -> Vapor_obs.Tracer.create ~wall:(not trace_deterministic) ()
+    in
+    let report = Service.replay_sharded ~stats ~tracer ~domains cfg trace in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Vapor_obs.Tracer.to_jsonl tracer);
+        close_out oc)
+      trace_out;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (if Filename.check_suffix path ".json" then Stats.to_json stats
+           else Stats.to_prometheus stats);
+        close_out oc)
+      metrics_out;
     if json then print_string (Service.report_to_json report)
     else begin
       Printf.printf "serve-replay on %s (%s profile, hotness %d)\n"
@@ -395,7 +446,7 @@ let serve_replay_cmd =
       const run $ target_arg $ profile_arg $ length_arg $ seed_arg
       $ hotness_arg $ cache_entries_arg $ cache_bytes_arg $ rejuvenate_arg
       $ rejuvenate_at_arg $ kernels_arg $ domains_arg $ engine_arg
-      $ json_arg)
+      $ json_arg $ trace_out_arg $ trace_det_arg $ metrics_out_arg)
 
 let chaos_replay_cmd =
   let length_arg =
@@ -557,6 +608,73 @@ let chaos_replay_cmd =
       $ compile_fault_rate_arg $ drop_simd_arg $ oracle_every_arg
       $ retry_budget_arg)
 
+let jit_report_cmd =
+  let targets_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "t"; "targets" ] ~docv:"NAMES"
+          ~doc:"Comma-separated targets to profile (default: all).")
+  in
+  let kernels_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "k"; "kernels" ] ~docv:"NAMES"
+          ~doc:"Comma-separated suite kernels (default: the whole suite).")
+  in
+  let invocations_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "invocations" ] ~docv:"N"
+          ~doc:
+            "Invocation count for the amortized compile-share column \
+             (modeled compile time vs N modeled executions).")
+  in
+  let repeats_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:"Wall-clock timing repeats per kernel; the best is reported.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the rows as JSON instead of a table.")
+  in
+  let run targets profile kernels invocations repeats scale json =
+    let targets =
+      match targets with
+      | Some names -> List.map resolve_target names
+      | None -> Targets.all
+    in
+    let kernels =
+      Option.map (List.map (fun n -> (resolve_kernel n).Suite.name)) kernels
+    in
+    let rows =
+      Vapor_harness.Jit_report.run ~repeats ~invocations ~scale ?kernels
+        ~targets ~profile ()
+    in
+    if json then print_string (Vapor_harness.Jit_report.to_json rows)
+    else begin
+      Printf.printf
+        "jit-report (%s profile, compile share at %d invocations)\n"
+        profile.Profile.name invocations;
+      print_string
+        (Vapor_harness.Jit_report.table_to_string ~invocations rows)
+    end
+  in
+  Cmd.v
+    (Cmd.info "jit-report"
+       ~doc:
+         "Profile the online compiler: per (kernel, target), the chosen \
+          vectorization factor, alignment strategy, guard resolution, \
+          per-stage compile times (lower/emit/regalloc/prepare), code \
+          footprint, and the amortized compile share after N invocations.")
+    Term.(
+      const run $ targets_arg $ profile_arg $ kernels_arg $ invocations_arg
+      $ repeats_arg $ scale_arg $ json_arg)
+
 let experiments_cmd =
   let run scale =
     let rows, mean = E.fig5 ~target:Vapor_targets.Sse.target ~scale in
@@ -609,7 +727,7 @@ let () =
       [
         list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
         encode_cmd; disasm_cmd; serve_replay_cmd; chaos_replay_cmd;
-        experiments_cmd;
+        jit_report_cmd; experiments_cmd;
       ]
   in
   let die msg =

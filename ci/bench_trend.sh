@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Compare a freshly generated BENCH.json against the committed
+# bench/baseline.json:
+#   bench_trend.sh BASELINE.json CURRENT.json
+#
+# Fails only on:
+#   1. structural/schema drift — the set of JSON paths differs, so a field
+#      was added, removed, or renamed without refreshing the baseline;
+#   2. a >10x regression on a throughput/latency field (events/s dropped
+#      below baseline/10, or micro-bench ns grew past baseline*10).
+# Ordinary run-to-run noise on shared CI runners never trips this gate.
+set -euo pipefail
+
+baseline="${1:?usage: bench_trend.sh BASELINE.json CURRENT.json}"
+current="${2:?usage: bench_trend.sh BASELINE.json CURRENT.json}"
+
+jq -e . "$baseline" > /dev/null || { echo "FAIL: $baseline is not valid JSON"; exit 1; }
+jq -e . "$current"  > /dev/null || { echo "FAIL: $current is not valid JSON"; exit 1; }
+
+# --- structural drift -------------------------------------------------------
+# Array indices are normalised to [] so adding a benchmark row is fine, but
+# changing the shape of rows (or top-level sections) is drift.
+shape() {
+  jq -c '[paths | map(if type == "number" then "[]" else . end) | join("/")]
+         | unique' "$1"
+}
+if ! diff <(shape "$baseline") <(shape "$current") > /tmp/bench_shape.diff; then
+  echo "FAIL: BENCH.json structure drifted from bench/baseline.json"
+  echo "       (refresh the baseline if the schema change is intentional)"
+  cat /tmp/bench_shape.diff
+  exit 1
+fi
+
+# --- >10x regression --------------------------------------------------------
+# Pair baseline/current rows by their identifying keys, then compare the
+# throughput fields ("higher is better": events/s must not fall below
+# baseline/10) and the micro ns fields ("lower is better": must not grow
+# past baseline*10).
+regressions=$(jq -rn --slurpfile base "$baseline" --slurpfile cur "$current" '
+  def hib(section; key; field):
+    ($base[0][section] // []
+     | map({(.[key] | tostring): .[field]}) | add // {}) as $b
+    | ($cur[0][section] // [])[]
+    | (.[key] | tostring) as $k
+    | select($b[$k] != null and $b[$k] > 0 and .[field] < $b[$k] / 10)
+    | "\(section)[\($k)].\(field): \($b[$k]) -> \(.[field])";
+  def micro_lib:
+    ($base[0].micro // {}) as $b
+    | ($cur[0].micro // {}) | to_entries[]
+    | select(.key | endswith("_ns_per_run"))
+    | select($b[.key] != null and $b[.key] > 0
+             and .value > $b[.key] * 10)
+    | "micro.\(.key): \($b[.key]) -> \(.value)";
+  [ hib("replay"; "target"; "fast_events_per_s"),
+    hib("domains"; "domains"; "events_per_s"),
+    micro_lib ]
+  | .[]' 2>/dev/null || true)
+
+if [ -n "$regressions" ]; then
+  echo "FAIL: >10x regression vs bench/baseline.json:"
+  echo "$regressions"
+  exit 1
+fi
+
+echo "OK: BENCH.json matches baseline structure, no >10x regression"

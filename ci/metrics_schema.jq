@@ -1,0 +1,18 @@
+# Schema for `vaporc serve-replay --metrics out.json`
+# (jq -e -f ci/metrics_schema.jq out.json).
+#
+# The registry must export the three sections; counters are monotonic so
+# every value must be a non-negative integer; histogram summaries must be
+# internally consistent (count >= 0, min <= max, count*min <= sum).
+
+(has("counters") and has("gauges") and has("histograms"))
+and (.counters | type == "object"
+     and ([.[]] | all(type == "number" and . >= 0 and . == floor)))
+and (.gauges | type == "object" and ([.[]] | all(type == "number")))
+and (.histograms | type == "object"
+     and ([.[]]
+          | all(has("count") and has("sum") and has("min") and has("max")
+                and has("mean")
+                and (.count | type == "number" and . >= 0)
+                and (.min <= .max)
+                and ((.count * .min) <= (.sum + 1e-9)))))

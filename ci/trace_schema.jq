@@ -1,0 +1,25 @@
+# Schema for `vaporc serve-replay --trace` JSONL output, applied to the
+# slurped event array (jq -e -s -f ci/trace_schema.jq trace.jsonl).
+#
+# Every line must be a well-formed span event, and every root (one `ev`
+# key per replayed trace event) must be balanced on the deterministic
+# ordinal clock: it opens with (ord 0, depth 0, ph B), closes at depth 0,
+# and holds exactly as many begins as ends.
+
+def valid_event:
+  (.ev | type == "number" and . >= 0)
+  and (.ord | type == "number" and . >= 0)
+  and (.depth | type == "number" and . >= 0)
+  and (.ph == "B" or .ph == "E")
+  and (.name | type == "string" and length > 0)
+  and ((has("attrs") | not) or (.attrs | type == "object"))
+  and ((has("wall_ns") | not) or (.wall_ns | type == "number"));
+
+(length > 0)
+and all(.[]; valid_event)
+and (group_by(.ev)
+     | all(.[];
+           ((map(select(.ph == "B")) | length)
+            == (map(select(.ph == "E")) | length))
+           and (.[0].ph == "B" and .[0].ord == 0 and .[0].depth == 0)
+           and (.[-1].ph == "E" and .[-1].depth == 0)))

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Validate `vaporc serve-replay --metrics` output in both formats:
+#   validate_metrics.sh METRICS.prom METRICS.json
+# The JSON export is checked against the checked-in jq schema (sections
+# present, counters non-negative integers, histogram summaries coherent);
+# the Prometheus text export is checked line-by-line against the
+# exposition format, and its counter samples must be non-negative.
+set -euo pipefail
+
+prom="${1:?usage: validate_metrics.sh METRICS.prom METRICS.json}"
+json="${2:?usage: validate_metrics.sh METRICS.prom METRICS.json}"
+here="$(cd "$(dirname "$0")" && pwd)"
+
+test -s "$prom" || { echo "FAIL: $prom is empty"; exit 1; }
+test -s "$json" || { echo "FAIL: $json is empty"; exit 1; }
+
+# --- Prometheus text format -------------------------------------------------
+# Allowed lines: '# TYPE <name> counter|gauge|summary' or '<name> <number>'.
+bad=$(grep -nvE '^((# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary))|([a-zA-Z_:][a-zA-Z0-9_:]* -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?))$' "$prom" || true)
+if [ -n "$bad" ]; then
+  echo "FAIL: malformed prometheus line(s) in $prom:"
+  echo "$bad"
+  exit 1
+fi
+
+# Counter samples must be non-negative (take names from their TYPE lines).
+awk '
+  $1 == "#" && $2 == "TYPE" && $4 == "counter" { counter[$3] = 1; next }
+  $1 in counter && $2 + 0 < 0 {
+    printf "FAIL: negative counter %s = %s\n", $1, $2; bad = 1
+  }
+  END { exit bad }
+' "$prom"
+
+# --- JSON export ------------------------------------------------------------
+jq -e -f "$here/metrics_schema.jq" "$json" > /dev/null \
+  || { echo "FAIL: $json violates ci/metrics_schema.jq"; exit 1; }
+
+echo "OK: $prom + $json (format, schema, counters non-negative)"

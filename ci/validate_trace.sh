@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Validate a `vaporc serve-replay --trace` JSONL file against the
+# checked-in schema: every line parses as JSON, required fields are
+# present and typed, and every root's begin/end spans balance.
+set -euo pipefail
+
+trace="${1:?usage: validate_trace.sh TRACE.jsonl}"
+here="$(cd "$(dirname "$0")" && pwd)"
+
+test -s "$trace" || { echo "FAIL: $trace is empty"; exit 1; }
+
+# jq -s slurps the JSONL into one array (and fails on any malformed line);
+# the schema filter must then evaluate to true.
+jq -e -s -f "$here/trace_schema.jq" "$trace" > /dev/null \
+  || { echo "FAIL: $trace violates ci/trace_schema.jq"; exit 1; }
+
+echo "OK: $trace ($(wc -l < "$trace") span lines, schema + nesting valid)"

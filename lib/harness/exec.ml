@@ -36,14 +36,19 @@ let split_args (args : (string * Eval.arg) list) =
    instruction-by-instruction [Simulator.run]. *)
 let run_with ~simulate ?(policy = Layout.aligned_policy) (target : Target.t)
     (compiled : Compile.t) ~(args : (string * Eval.arg) list) : run_result =
+  let module Stage = Vapor_obs.Stage in
   let arrays, scalars = split_args args in
   let stack_bytes =
     max Layout.default_stack_bytes
       (compiled.Compile.mfun.Vapor_machine.Mfun.stack_bytes + 256)
   in
+  let t0 = Stage.start () in
   let layout = Layout.plan ~stack_bytes ~policy arrays in
   let mem = Layout.materialize layout arrays in
+  Stage.record "layout" t0;
+  let t0 = Stage.start () in
   let r : Simulator.result = simulate target compiled layout mem scalars in
+  Stage.record "simulate" t0;
   Layout.read_back layout mem arrays;
   {
     cycles = r.Simulator.r_cycles;

@@ -1,0 +1,56 @@
+(** The JIT cost profiler: compile suite kernels per target with
+    {!Vapor_obs.Stage} timers installed and tabulate the online
+    compiler's decisions (VF, alignment strategy, guard resolution)
+    against its costs (per-stage wall ns, code bytes, modeled compile
+    time, amortized compile share).
+
+    Wall-clock columns are measured (best of [repeats]); the VF, guard,
+    footprint, modeled-time, and cycle columns are deterministic — they
+    come from the same models the replay runtime charges. *)
+
+module Target := Vapor_targets.Target
+module Profile := Vapor_jit.Profile
+module Suite := Vapor_kernels.Suite
+
+type row = {
+  jr_kernel : string;
+  jr_target : string;
+  jr_vf : int;  (** lanes of the narrowest vectorized type; 1 = scalar *)
+  jr_align : string;  (** aligned | misaligned | realign | peeled | none *)
+  jr_guards_static : int;  (** guards resolved at JIT time *)
+  jr_guards_dynamic : int;  (** guards left as runtime tests *)
+  jr_lower_ns : float;
+  jr_emit_ns : float;
+  jr_regalloc_ns : float;
+  jr_prepare_ns : float;
+  jr_code_bytes : int;  (** cache-charged footprint of the body *)
+  jr_compile_us : float;  (** modeled JIT time *)
+  jr_exec_cycles : int;  (** one simulated invocation at [scale] *)
+  jr_compile_share : float;
+      (** compile share of total modeled cost after [invocations] runs,
+          pricing a modeled cycle at 1 ns *)
+}
+
+val profile_kernel :
+  ?repeats:int ->
+  ?invocations:int ->
+  ?scale:int ->
+  target:Target.t ->
+  profile:Profile.t ->
+  Suite.entry ->
+  row
+
+(** All [kernels] (default: the whole suite) on all [targets], in
+    (target, kernel) order. *)
+val run :
+  ?repeats:int ->
+  ?invocations:int ->
+  ?scale:int ->
+  ?kernels:string list ->
+  targets:Target.t list ->
+  profile:Profile.t ->
+  unit ->
+  row list
+
+val table_to_string : ?invocations:int -> row list -> string
+val to_json : row list -> string

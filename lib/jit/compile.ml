@@ -48,11 +48,16 @@ let ns_per_node = 60.0
 let compile ?(force_scalar = fun _ -> false) ?(known_aligned = fun _ -> true)
     ?(known_disjoint = fun _ _ -> true) ~(target : Target.t)
     ~(profile : Profile.t) (vk : B.vkernel) : t =
+  let module Stage = Vapor_obs.Stage in
+  let t0 = Stage.start () in
   let an =
     Lower.analyze ~force_scalar ~target ~profile ~known_aligned
       ~known_disjoint vk
   in
+  Stage.record "lower" t0;
+  let t0 = Stage.start () in
   let mfun, nodes = Emit.run ~target ~profile ~an vk in
+  Stage.record "emit" t0;
   let cap n =
     max 5 (int_of_float (float_of_int n *. profile.Profile.reg_fraction))
   in
@@ -63,7 +68,9 @@ let compile ?(force_scalar = fun _ -> false) ?(known_aligned = fun _ -> true)
       b_vr = cap target.Target.vrs;
     }
   in
+  let t0 = Stage.start () in
   let mfun = Regalloc.run target budget mfun in
+  Stage.record "regalloc" t0;
   let n_regions = List.length an.Lower.regions in
   let forced =
     List.filter force_scalar (List.init n_regions (fun i -> i))

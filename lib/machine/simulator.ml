@@ -461,6 +461,7 @@ let rec addr_syms (i : Minstr.t) : string list =
   | _ -> []
 
 let prepare ~(target : Target.t) (f : Mfun.t) : plan =
+  let stage_t0 = Vapor_obs.Stage.start () in
   let instrs = f.Mfun.instrs in
   (* Symbol interning: bases are resolved once per run, lazily faulting
      with Layout.base_of's own exception only where [run] would. *)
@@ -2258,16 +2259,20 @@ let prepare ~(target : Target.t) (f : Mfun.t) : plan =
                | None -> faultf "missing scalar argument %s" name))
          f.Mfun.param_regs)
   in
-  {
-    p_target = target;
-    p_mfun = f;
-    p_cost;
-    p_code;
-    p_syms;
-    p_bases;
-    p_binders;
-    p_state = None;
-  }
+  let plan =
+    {
+      p_target = target;
+      p_mfun = f;
+      p_cost;
+      p_code;
+      p_syms;
+      p_bases;
+      p_binders;
+      p_state = None;
+    }
+  in
+  Vapor_obs.Stage.record "prepare" stage_t0;
+  plan
 
 let run_plan ?(fuel = 200_000_000) (p : plan) (layout : Layout.t)
     (mem : Bytes.t) ~(scalar_args : (string * Value.t) list) : result =

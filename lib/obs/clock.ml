@@ -1,0 +1,6 @@
+(* Wall-clock source for the observability layer.  [gettimeofday] is the
+   portable choice in this tree (bench already links Unix); tracing treats
+   it as best-effort monotonic — deterministic trace mode drops wall
+   fields entirely, so clock quality never affects byte-identity. *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9

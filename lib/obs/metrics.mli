@@ -1,0 +1,90 @@
+(** The metrics registry shared by the whole toolchain: monotonic
+    counters, value histograms, and gauges, keyed by name.  The runtime's
+    cache, tiering policy, replay service, and fault injector all write
+    into one registry so a single table (or export) shows the system's
+    behaviour.
+
+    [Vapor_runtime.Stats] re-exports this module unchanged; the registry
+    lives here so lower layers (jit, machine, vecir) can also depend on
+    it without a cycle.
+
+    Byte-identity contract: {!to_table} renders counters and histograms
+    only — exactly the pre-observability format — so setting gauges never
+    perturbs replay reports.  Gauges appear in {!to_prometheus} and
+    {!to_json}. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+(** Add [by] (default 1) to a monotonic counter, creating it at 0. *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Current value; 0 for a counter never incremented. *)
+val counter : t -> string -> int
+
+(** {2 Histograms} *)
+
+(** Record one observation, creating the histogram on first use. *)
+val observe : t -> string -> float -> unit
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_mean : float;
+}
+
+(** [None] if nothing was observed under that name. *)
+val summary : t -> string -> summary option
+
+(** {2 Gauges} *)
+
+(** Set a gauge to a point-in-time value (creates it on first use). *)
+val set_gauge : t -> string -> float -> unit
+
+(** Add to a gauge (creates it at [v]); the pooling primitive for
+    count-like gauges. *)
+val add_gauge : t -> string -> float -> unit
+
+(** [None] if the gauge was never set. *)
+val gauge : t -> string -> float option
+
+(** {2 Reporting} *)
+
+(** All counter names, sorted. *)
+val counter_names : t -> string list
+
+(** All histogram names, sorted. *)
+val histogram_names : t -> string list
+
+(** All gauge names, sorted. *)
+val gauge_names : t -> string list
+
+(** Render every counter and histogram as an aligned text table (gauges
+    excluded — see the byte-identity contract above). *)
+val to_table : t -> string
+
+(** Forget everything (counters, histograms, and gauges). *)
+val reset : t -> unit
+
+(** Pool [src] into [dst]: counters sum, histograms merge (count and sum
+    add; min/max take the envelope), gauges add.  Used by the sharded
+    replay driver to fold per-domain registries into one report.  Ratio
+    gauges (rates) must be recomputed after the merge. *)
+val merge_into : dst:t -> t -> unit
+
+(** {2 Exports} *)
+
+(** Prometheus text exposition format: counters as [counter], gauges as
+    [gauge], histograms as [summary] ([_count]/[_sum]/[_min]/[_max]).
+    Names are sanitized ([.] and [-] become [_]) and prefixed
+    (default ["vapor_"]). *)
+val to_prometheus : ?prefix:string -> t -> string
+
+(** The registry as one JSON object:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
+val to_json : t -> string

@@ -1,0 +1,42 @@
+(** Per-stage cost timers for the JIT pipeline — free when disabled.
+
+    Instrumented sites bracket each pipeline stage with
+    [let t0 = Stage.start () in ... ; Stage.record "lower" t0].  With no
+    sink installed (the default), both calls return without touching the
+    clock, so production paths pay a domain-local load and a branch.
+
+    The sink is domain-local ([Domain.DLS]): each domain of the sharded
+    replay installs its own, so concurrent shards never share state. *)
+
+type sink = { on_stage : string -> float -> unit }
+    (** called with (stage name, duration in ns) at each stage end *)
+
+(** Install (or clear) this domain's sink. *)
+val set_sink : sink option -> unit
+
+val sink : unit -> sink option
+val enabled : unit -> bool
+
+(** Install [s] for the duration of the callback only; the previous sink
+    is restored even on exceptions. *)
+val with_sink : sink option -> (unit -> 'a) -> 'a
+
+(** Stage-start timestamp (ns), or 0.0 with no sink installed. *)
+val start : unit -> float
+
+(** Report a stage's duration to the sink; no-op with none installed. *)
+val record : string -> float -> unit
+
+(** {2 Aggregating sink}
+
+    Sums duration and counts occurrences per stage name — the JIT cost
+    profiler's collector. *)
+
+type agg
+
+val agg_create : unit -> agg
+val agg_sink : agg -> sink
+val agg_ns : agg -> string -> float
+val agg_count : agg -> string -> int
+val agg_reset : agg -> unit
+val agg_names : agg -> string list

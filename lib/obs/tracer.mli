@@ -1,0 +1,73 @@
+(** Structured span tracing for the replay runtime: nestable spans
+    emitted as JSONL begin/end pairs, grouped into one *root* per
+    replayed trace event and ordered by a deterministic ordinal clock.
+
+    Span identity is positional — [(ev, ord)] — not temporal: [ord]
+    counts emitted lines within a root and resets at each root begin, so
+    a trace's span structure depends only on the runtime decisions taken
+    per event.  Optional [wall_ns] fields carry best-effort wall-clock
+    timestamps and are omitted in deterministic mode ([create
+    ~wall:false]), which makes the export byte-identical across
+    [--domains 1/2/4] (shard tracers are pooled with {!absorb};
+    {!to_jsonl} orders roots by event index).
+
+    The {!disabled} tracer is a shared no-op singleton: every operation
+    on it returns immediately, so instrumentation is free unless a
+    [--trace] flag built a real tracer. *)
+
+type value =
+  | S of string
+  | I of int
+  | F of float
+  | Bool of bool
+
+type t
+
+(** The shared no-op tracer (every operation returns immediately). *)
+val disabled : t
+
+(** [wall] (default true) includes wall-clock fields; pass [false] for
+    deterministic traces. *)
+val create : ?wall:bool -> unit -> t
+
+(** A fresh tracer with the same configuration and empty buffers — the
+    per-shard tracer of the domain-parallel replay.  [sub disabled] is
+    [disabled]. *)
+val sub : t -> t
+
+(** [true] unless this is (a sub of) {!disabled}.  Guard attribute-list
+    construction with this to keep disabled paths allocation-free. *)
+val on : t -> bool
+
+val wall_clock : t -> bool
+
+(** Spans discarded because no root was open. *)
+val dropped : t -> int
+
+(** Open a root span keyed by trace-event index [ev]; resets the ordinal
+    clock.  An unbalanced second [root_begin] closes the previous root. *)
+val root_begin : t -> ev:int -> name:string -> (string * value) list -> unit
+
+(** Close the current root (closing any abandoned child spans first) and
+    archive its lines under its event key. *)
+val root_end : t -> ?attrs:(string * value) list -> name:string -> unit -> unit
+
+(** Open a child span; dropped (and counted) if no root is open. *)
+val span_begin : t -> name:string -> (string * value) list -> unit
+
+val span_end : t -> ?attrs:(string * value) list -> name:string -> unit -> unit
+
+(** A complete leaf span reported after the fact, as consecutive B/E
+    lines ([dur_ns] reconstructs the begin timestamp in wall mode). *)
+val leaf : t -> name:string -> dur_ns:float -> unit
+
+(** A {!Stage} sink that streams pipeline-stage timings into this tracer
+    as leaf spans; [None] for the disabled tracer. *)
+val stage_sink : t -> Stage.sink option
+
+(** Pool a finished shard tracer's roots into [into]. *)
+val absorb : into:t -> t -> unit
+
+(** The full trace as JSONL, roots ordered by event index; [""] for the
+    disabled tracer. *)
+val to_jsonl : t -> string

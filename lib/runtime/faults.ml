@@ -40,15 +40,21 @@ type t = {
   state : int64 ref;
   mutable injected_compile : int;
   mutable corrupted : int;
+  (* draw counters, for the observability gauges: how many times each
+     fault point consulted the stream (fired or not) *)
+  mutable corrupt_draws : int;
+  mutable compile_draws : int;
 }
 
 let make spec =
   { spec; state = ref (Int64.of_int spec.f_seed); injected_compile = 0;
-    corrupted = 0 }
+    corrupted = 0; corrupt_draws = 0; compile_draws = 0 }
 
 let spec t = t.spec
 let injected_compile_count t = t.injected_compile
 let corrupted_count t = t.corrupted
+let corrupt_draws t = t.corrupt_draws
+let compile_fault_draws t = t.compile_draws
 
 (* splitmix64, same constants as Trace's generator. *)
 let mix (state : int64 ref) : int64 =
@@ -75,7 +81,10 @@ let rand_float t =
 let injected_compile_fault t ~attempt : string option =
   if t.spec.f_compile_fault_rate <= 0.0 then None
   else if attempt > t.spec.f_max_transient then None
-  else if rand_float t < t.spec.f_compile_fault_rate then begin
+  else if begin
+    t.compile_draws <- t.compile_draws + 1;
+    rand_float t < t.spec.f_compile_fault_rate
+  end then begin
     t.injected_compile <- t.injected_compile + 1;
     Some
       (Printf.sprintf "injected transient compile fault (attempt %d)" attempt)
@@ -83,7 +92,11 @@ let injected_compile_fault t ~attempt : string option =
   else None
 
 let should_corrupt t =
-  t.spec.f_corrupt_rate > 0.0 && rand_float t < t.spec.f_corrupt_rate
+  t.spec.f_corrupt_rate > 0.0
+  && begin
+    t.corrupt_draws <- t.corrupt_draws + 1;
+    rand_float t < t.spec.f_corrupt_rate
+  end
 
 (* Corrupt one machine body the way a bad cache line would: perturb the
    first corruptible instruction (flip an arithmetic op, or nudge an

@@ -37,6 +37,13 @@ val injected_compile_count : t -> int
 (** Total corrupted bodies delivered so far. *)
 val corrupted_count : t -> int
 
+(** How many times the corruption point consulted the stream (fired or
+    not) — an observability gauge, not part of any report. *)
+val corrupt_draws : t -> int
+
+(** Same for the injected-compile-fault point. *)
+val compile_fault_draws : t -> int
+
 (** [Some reason] when compile attempt [attempt] (0 = first try) should
     fail with an injected transient fault.  Attempts past
     [f_max_transient] never fail. *)

@@ -5,6 +5,8 @@ module Profile = Vapor_jit.Profile
 module Suite = Vapor_kernels.Suite
 module Flows = Vapor_harness.Flows
 module Driver = Vapor_vectorizer.Driver
+module Tracer = Vapor_obs.Tracer
+module Stage = Vapor_obs.Stage
 
 type config = {
   cfg_targets : Target.t list;
@@ -161,10 +163,26 @@ let run_events ~cache ~tiered ~table ~(st : Stats.t) (cfg : config) events =
       let entry, vk, digest = Hashtbl.find table ev.Trace.ev_kernel in
       let target = targets.(ev.Trace.ev_target mod Array.length targets) in
       let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
+      let tr = Tiered.tracer tiered in
+      if Tracer.on tr then
+        Tracer.root_begin tr ~ev:ev.Trace.ev_index ~name:"replay_event"
+          [
+            "kernel", Tracer.S ev.Trace.ev_kernel;
+            "target", Tracer.S target.Target.name;
+            "scale", Tracer.I ev.Trace.ev_scale;
+          ];
       let r =
         Tiered.invoke ~digest ~label:ev.Trace.ev_kernel tiered ~target
           ~profile:cfg.cfg_profile vk ~args
       in
+      if Tracer.on tr then
+        Tracer.root_end tr
+          ~attrs:
+            [
+              "tier", Tracer.S (Tiered.tier_to_string r.Tiered.r_tier);
+              "cycles", Tracer.I r.Tiered.r_cycles;
+            ]
+          ~name:"replay_event" ();
       {
         er_index = ev.Trace.ev_index;
         er_tier = r.Tiered.r_tier;
@@ -259,7 +277,42 @@ let report_of ~trace_desc ~(records : event_record list) ~rows ~hits ~misses
     rp_stats = st;
   }
 
-let replay ?stats (cfg : config) (trace : Trace.t) : report =
+(* Observability gauges, recorded once a replay finishes.  Deliberately
+   gauges, not counters: [Stats.to_table] renders counters and histograms
+   only, so reports stay byte-identical whether or not anyone exports
+   metrics.  Count-like gauges pool additively under [Stats.merge_into];
+   the [slot.hit_rate] ratio is recomputed after any merge. *)
+let record_gauges ~cache ~tiered ~(guard : Tiered.guard) (st : Stats.t) =
+  Stats.add_gauge st "cache.bytes"
+    (float_of_int (Code_cache.byte_count cache));
+  Stats.add_gauge st "cache.entries"
+    (float_of_int (Code_cache.entry_count cache));
+  Stats.add_gauge st "slot.compiles"
+    (float_of_int (Tiered.slot_compiles tiered));
+  Stats.add_gauge st "slot.hits" (float_of_int (Tiered.slot_hits tiered));
+  let quarantined =
+    List.fold_left
+      (fun n (s : Tiered.kstate) ->
+        if s.Tiered.ks_quarantined then n + 1 else n)
+      0 (Tiered.states tiered)
+  in
+  Stats.add_gauge st "tier.quarantined_kernels" (float_of_int quarantined);
+  match guard.Tiered.g_faults with
+  | Some f ->
+    Stats.add_gauge st "faults.corrupt_draws"
+      (float_of_int (Faults.corrupt_draws f));
+    Stats.add_gauge st "faults.compile_fault_draws"
+      (float_of_int (Faults.compile_fault_draws f))
+  | None -> ()
+
+let finalize_gauges (st : Stats.t) =
+  let v name = Option.value ~default:0.0 (Stats.gauge st name) in
+  let compiles = v "slot.compiles" and hits = v "slot.hits" in
+  if compiles +. hits > 0.0 then
+    Stats.set_gauge st "slot.hit_rate" (hits /. (compiles +. hits))
+
+let replay ?stats ?(tracer = Tracer.disabled) (cfg : config) (trace : Trace.t)
+    : report =
   if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
   let st = match stats with Some s -> s | None -> Stats.create () in
   let cache =
@@ -267,11 +320,16 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
       ~max_bytes:cfg.cfg_max_bytes ()
   in
   let tiered =
-    Tiered.create ~stats:st ~guard:cfg.cfg_guard ~engine:cfg.cfg_engine ~cache
-      ~hotness_threshold:cfg.cfg_hotness ()
+    Tiered.create ~stats:st ~guard:cfg.cfg_guard ~engine:cfg.cfg_engine ~tracer
+      ~cache ~hotness_threshold:cfg.cfg_hotness ()
   in
   let table = bytecode_table trace.Trace.tr_kernels in
-  let records = run_events ~cache ~tiered ~table ~st cfg trace.Trace.tr_events in
+  let records =
+    Stage.with_sink (Tracer.stage_sink tracer) (fun () ->
+        run_events ~cache ~tiered ~table ~st cfg trace.Trace.tr_events)
+  in
+  record_gauges ~cache ~tiered ~guard:cfg.cfg_guard st;
+  finalize_gauges st;
   report_of ~trace_desc:(Trace.describe trace) ~records ~rows:(rows_of tiered)
     ~hits:(Code_cache.hits cache) ~misses:(Code_cache.misses cache)
     ~evictions:(Code_cache.evictions cache)
@@ -291,9 +349,9 @@ let replay ?stats (cfg : config) (trace : Trace.t) : report =
    derives its own fault stream from the injector's seed and the shard
    index, so fault placement differs from the single-domain stream but
    replays identically run after run. *)
-let replay_sharded ?stats ?(domains = 1) (cfg : config) (trace : Trace.t) :
-    report =
-  if domains <= 1 then replay ?stats cfg trace
+let replay_sharded ?stats ?(tracer = Tracer.disabled) ?(domains = 1)
+    (cfg : config) (trace : Trace.t) : report =
+  if domains <= 1 then replay ?stats ~tracer cfg trace
   else begin
     if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
     (* Vectorize (and parse) every kernel on this domain: the shared memo
@@ -327,22 +385,31 @@ let replay_sharded ?stats ?(domains = 1) (cfg : config) (trace : Trace.t) :
     in
     let run_shard i () =
       let st = Stats.create () in
+      let shard_tr = Tracer.sub tracer in
+      let guard = shard_guard i in
       let cache =
         Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
           ~max_bytes:cfg.cfg_max_bytes ()
       in
       let tiered =
-        Tiered.create ~stats:st ~guard:(shard_guard i) ~engine:cfg.cfg_engine
+        Tiered.create ~stats:st ~guard ~engine:cfg.cfg_engine ~tracer:shard_tr
           ~cache ~hotness_threshold:cfg.cfg_hotness ()
       in
-      let records = run_events ~cache ~tiered ~table ~st cfg parts.(i) in
+      (* The stage sink is domain-local, so each shard streams its own
+         pipeline-stage timings into its own tracer. *)
+      let records =
+        Stage.with_sink (Tracer.stage_sink shard_tr) (fun () ->
+            run_events ~cache ~tiered ~table ~st cfg parts.(i))
+      in
+      record_gauges ~cache ~tiered ~guard st;
       ( records,
         rows_of tiered,
         ( Code_cache.hits cache,
           Code_cache.misses cache,
           Code_cache.evictions cache,
           Code_cache.rejuvenations cache ),
-        st )
+        st,
+        shard_tr )
     in
     let results =
       Array.init domains (fun i -> Domain.spawn (run_shard i))
@@ -350,24 +417,28 @@ let replay_sharded ?stats ?(domains = 1) (cfg : config) (trace : Trace.t) :
     in
     let records =
       Array.to_list results
-      |> List.concat_map (fun (r, _, _, _) -> r)
+      |> List.concat_map (fun (r, _, _, _, _) -> r)
       |> List.sort (fun a b -> compare a.er_index b.er_index)
     in
     let rows =
       Array.to_list results
-      |> List.concat_map (fun (_, r, _, _) -> r)
+      |> List.concat_map (fun (_, r, _, _, _) -> r)
       |> List.sort (fun a b ->
              compare (a.kr_kernel, a.kr_target) (b.kr_kernel, b.kr_target))
     in
     let hits, misses, evictions, rejuvenations =
       Array.fold_left
-        (fun (h, m, e, r) (_, _, (h', m', e', r'), _) ->
+        (fun (h, m, e, r) (_, _, (h', m', e', r'), _, _) ->
           h + h', m + m', e + e', r + r')
         (0, 0, 0, 0) results
     in
     let st = match stats with Some s -> s | None -> Stats.create () in
-    Array.iter (fun (_, _, _, shard_st) -> Stats.merge_into ~dst:st shard_st)
+    Array.iter
+      (fun (_, _, _, shard_st, shard_tr) ->
+        Stats.merge_into ~dst:st shard_st;
+        Tracer.absorb ~into:tracer shard_tr)
       results;
+    finalize_gauges st;
     let hit_rate =
       if hits + misses = 0 then 0.0
       else float_of_int hits /. float_of_int (hits + misses)

@@ -95,7 +95,17 @@ val throughput : report -> float
     cold compile ([rp_cold_compile_us / rp_amortized_us]). *)
 val amortization_factor : report -> float
 
-val replay : ?stats:Stats.t -> config -> Trace.t -> report
+(** [tracer] (default {!Vapor_obs.Tracer.disabled}) records one
+    [replay_event] root span per trace event, with the tiered runtime's
+    child spans and pipeline-stage leaf spans beneath it; a {!Stage} sink
+    streaming into the tracer is installed for the replay's duration.
+    After the replay, observability gauges ([cache.bytes],
+    [cache.entries], [slot.compiles], [slot.hits], [slot.hit_rate],
+    [tier.quarantined_kernels], and fault-draw counts when guarded) are
+    recorded on the registry — gauges never appear in
+    {!Stats.to_table}, so reports are unaffected. *)
+val replay :
+  ?stats:Stats.t -> ?tracer:Vapor_obs.Tracer.t -> config -> Trace.t -> report
 
 (** Domain-parallel replay: partitions the trace by kernel digest across
     [domains] OCaml domains, runs an independent tiered runtime per shard,
@@ -103,8 +113,17 @@ val replay : ?stats:Stats.t -> config -> Trace.t -> report
     is identical for any [domains] value (and, when no cache evictions
     occur, identical to {!replay}).  [domains <= 1] delegates to {!replay}
     unchanged.  When guarded, each shard derives its own deterministic
-    fault stream from the injector seed and the shard index. *)
-val replay_sharded : ?stats:Stats.t -> ?domains:int -> config -> Trace.t -> report
+    fault stream from the injector seed and the shard index.  Each shard
+    traces into its own {!Vapor_obs.Tracer.sub} of [tracer], absorbed
+    back after the join; with wall-clock off the pooled trace is
+    byte-identical for any [domains] value. *)
+val replay_sharded :
+  ?stats:Stats.t ->
+  ?tracer:Vapor_obs.Tracer.t ->
+  ?domains:int ->
+  config ->
+  Trace.t ->
+  report
 
 (** The full report as a string: summary, guarded section (when active),
     and the tier table — exactly what {!print_report} prints. *)

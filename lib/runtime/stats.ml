@@ -1,119 +1,6 @@
-(* Monotonic counters + histograms for the runtime layer. *)
+(* The runtime's metrics registry.  The implementation moved to
+   [Vapor_obs.Metrics] (so the jit/machine/vecir layers can write into
+   the same registry without a dependency cycle); this module re-exports
+   it under the historical name every runtime component uses. *)
 
-type histo = {
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-}
-
-type t = {
-  counters : (string, int ref) Hashtbl.t;
-  histos : (string, histo) Hashtbl.t;
-}
-
-let create () = { counters = Hashtbl.create 16; histos = Hashtbl.create 16 }
-
-let incr ?(by = 1) t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.replace t.counters name (ref by)
-
-let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> !r
-  | None -> 0
-
-let observe t name v =
-  match Hashtbl.find_opt t.histos name with
-  | Some h ->
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_min <- Float.min h.h_min v;
-    h.h_max <- Float.max h.h_max v
-  | None ->
-    Hashtbl.replace t.histos name
-      { h_count = 1; h_sum = v; h_min = v; h_max = v }
-
-type summary = {
-  s_count : int;
-  s_sum : float;
-  s_min : float;
-  s_max : float;
-  s_mean : float;
-}
-
-let summary t name =
-  match Hashtbl.find_opt t.histos name with
-  | None -> None
-  | Some h ->
-    Some
-      {
-        s_count = h.h_count;
-        s_sum = h.h_sum;
-        s_min = h.h_min;
-        s_max = h.h_max;
-        s_mean = h.h_sum /. float_of_int (max 1 h.h_count);
-      }
-
-let sorted_keys tbl =
-  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
-
-let counter_names t = sorted_keys t.counters
-let histogram_names t = sorted_keys t.histos
-
-let to_table t =
-  let buf = Buffer.create 256 in
-  let cs = counter_names t in
-  if cs <> [] then begin
-    Buffer.add_string buf "  counters\n";
-    List.iter
-      (fun name ->
-        Buffer.add_string buf
-          (Printf.sprintf "    %-32s %10d\n" name (counter t name)))
-      cs
-  end;
-  let hs = histogram_names t in
-  if hs <> [] then begin
-    Buffer.add_string buf "  histograms";
-    Buffer.add_string buf
-      (Printf.sprintf "  %-22s %8s %12s %12s %12s\n" "" "count" "mean" "min"
-         "max");
-    List.iter
-      (fun name ->
-        match summary t name with
-        | None -> ()
-        | Some s ->
-          Buffer.add_string buf
-            (Printf.sprintf "    %-32s %8d %12.2f %12.2f %12.2f\n" name
-               s.s_count s.s_mean s.s_min s.s_max))
-      hs
-  end;
-  Buffer.contents buf
-
-let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.histos
-
-(* Pool [src] into [dst]: counters add, histograms merge count/sum and
-   take the min/max envelope.  Pooled means are exact, so a report built
-   from per-shard registries matches the single-registry run. *)
-let merge_into ~(dst : t) (src : t) =
-  Hashtbl.iter (fun name r -> incr ~by:!r dst name) src.counters;
-  Hashtbl.iter
-    (fun name (h : histo) ->
-      match Hashtbl.find_opt dst.histos name with
-      | Some d ->
-        d.h_count <- d.h_count + h.h_count;
-        d.h_sum <- d.h_sum +. h.h_sum;
-        d.h_min <- Float.min d.h_min h.h_min;
-        d.h_max <- Float.max d.h_max h.h_max
-      | None ->
-        Hashtbl.replace dst.histos name
-          {
-            h_count = h.h_count;
-            h_sum = h.h_sum;
-            h_min = h.h_min;
-            h_max = h.h_max;
-          })
-    src.histos
+include Vapor_obs.Metrics

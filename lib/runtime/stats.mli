@@ -1,51 +1,15 @@
 (** A small metrics registry shared by the runtime layer: monotonic
-    counters and value histograms, keyed by name.  The cache, the tiering
-    policy and the replay service all write into one registry so a single
-    table shows the whole runtime's behaviour. *)
+    counters, value histograms, and gauges, keyed by name.  The cache,
+    the tiering policy and the replay service all write into one registry
+    so a single table shows the whole runtime's behaviour.
 
-type t
+    This is a re-export of {!Vapor_obs.Metrics} — the implementation
+    lives in the observability layer so the jit/machine/vecir stages can
+    share the registry — and the types are equal: a [Stats.t] can be
+    passed anywhere a [Metrics.t] is expected (Prometheus/JSON export,
+    gauge updates, pooling). *)
 
-val create : unit -> t
-
-(** {2 Counters} *)
-
-(** Add [by] (default 1) to a monotonic counter, creating it at 0. *)
-val incr : ?by:int -> t -> string -> unit
-
-(** Current value; 0 for a counter never incremented. *)
-val counter : t -> string -> int
-
-(** {2 Histograms} *)
-
-(** Record one observation, creating the histogram on first use. *)
-val observe : t -> string -> float -> unit
-
-type summary = {
-  s_count : int;
-  s_sum : float;
-  s_min : float;
-  s_max : float;
-  s_mean : float;
-}
-
-(** [None] if nothing was observed under that name. *)
-val summary : t -> string -> summary option
-
-(** {2 Reporting} *)
-
-(** All counter names, sorted. *)
-val counter_names : t -> string list
-
-(** All histogram names, sorted. *)
-val histogram_names : t -> string list
-
-(** Render every counter and histogram as an aligned text table. *)
-val to_table : t -> string
-
-(** Forget everything (counters and histograms). *)
-val reset : t -> unit
-
-(** Pool [src] into [dst]: counters sum, histograms merge (count and sum
-    add; min/max take the envelope).  Used by the sharded replay driver to
-    fold per-domain registries into one report. *)
-val merge_into : dst:t -> t -> unit
+include
+  module type of Vapor_obs.Metrics
+    with type t = Vapor_obs.Metrics.t
+     and type summary = Vapor_obs.Metrics.summary

@@ -11,6 +11,7 @@ module Compile = Vapor_jit.Compile
 module Eval = Vapor_ir.Eval
 module Buffer_ = Vapor_ir.Buffer_
 module Exec = Vapor_harness.Exec
+module Tracer = Vapor_obs.Tracer
 
 type tier =
   | Interpreter
@@ -80,6 +81,7 @@ type t = {
   states : (Digest.key, kstate) Hashtbl.t;
   guard : guard;
   engine : engine;
+  tracer : Tracer.t;
   (* slot-compiled interpreter bodies, cached per (bytecode, eval mode);
      the mode key is the vector size in bytes, 0 for scalarized *)
   slot_bodies : (Digest.t * int, Vfast.compiled) Hashtbl.t;
@@ -89,8 +91,8 @@ type t = {
   mutable slot_hits : int;
 }
 
-let create ?stats ?(guard = no_guard) ?(engine = Fast) ~cache
-    ~hotness_threshold () =
+let create ?stats ?(guard = no_guard) ?(engine = Fast)
+    ?(tracer = Tracer.disabled) ~cache ~hotness_threshold () =
   {
     cache;
     threshold = max 0 hotness_threshold;
@@ -98,6 +100,7 @@ let create ?stats ?(guard = no_guard) ?(engine = Fast) ~cache
     states = Hashtbl.create 32;
     guard;
     engine;
+    tracer;
     slot_bodies = Hashtbl.create 32;
     slot_compiles = 0;
     slot_hits = 0;
@@ -328,9 +331,14 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
       { at_invocation = s.ks_invocations; to_tier = Jit } :: s.ks_transitions;
     Stats.incr t.st "tier.promotions"
   end;
+  let tr = t.tracer in
   match s.ks_tier with
   | Interpreter ->
+    if Tracer.on tr then
+      Tracer.span_begin tr ~name:"exec" [ "tier", Tracer.S "interp" ];
     let cycles = interp_run t s ~digest:d ~target vk ~args in
+    if Tracer.on tr then
+      Tracer.span_end tr ~attrs:[ "cycles", Tracer.I cycles ] ~name:"exec" ();
     { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
       r_cache = None }
   | Jit -> (
@@ -338,16 +346,41 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
        against injected transient faults) and insert.  Stats mirror
        [Code_cache.find_or_compile] exactly on the clean path. *)
     let fetched =
+      if Tracer.on tr then Tracer.span_begin tr ~name:"cache_lookup" [];
       match Code_cache.find t.cache key with
-      | Some compiled -> Ok (compiled, Code_cache.Hit, 0.0)
+      | Some compiled ->
+        if Tracer.on tr then
+          Tracer.span_end tr
+            ~attrs:[ "outcome", Tracer.S "hit" ]
+            ~name:"cache_lookup" ();
+        Ok (compiled, Code_cache.Hit, 0.0)
       | None -> (
+        if Tracer.on tr then begin
+          Tracer.span_end tr
+            ~attrs:[ "outcome", Tracer.S "miss" ]
+            ~name:"cache_lookup" ();
+          Tracer.span_begin tr ~name:"compile" []
+        end;
         match compile_with_retry t ~target ~profile vk with
         | Ok (compiled, backoff_us) ->
           Stats.observe t.st "cache.compile_us"
             compiled.Compile.compile_time_us;
           Code_cache.insert t.cache key vk profile compiled;
+          if Tracer.on tr then
+            Tracer.span_end tr
+              ~attrs:
+                [
+                  "result", Tracer.S "ok";
+                  "compile_us", Tracer.F compiled.Compile.compile_time_us;
+                ]
+              ~name:"compile" ();
           Ok (compiled, Code_cache.Miss, backoff_us)
-        | Error (err, backoff_us) -> Error (err, backoff_us))
+        | Error (err, backoff_us) ->
+          if Tracer.on tr then
+            Tracer.span_end tr
+              ~attrs:[ "result", Tracer.S "error" ]
+              ~name:"compile" ();
+          Error (err, backoff_us))
     in
     match fetched with
     | Error (_err, backoff_us) ->
@@ -395,10 +428,26 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
              && s.ks_jit_runs mod p.op_sample_every = 0)
       in
       let reference = if check then Some (copy_args args) else None in
-      match
-        Exec.run_checked ~reference:(t.engine = Reference) target compiled
-          ~args
-      with
+      let exec_result =
+        if Tracer.on tr then
+          Tracer.span_begin tr ~name:"exec" [ "tier", Tracer.S "jit" ];
+        let r =
+          Exec.run_checked ~reference:(t.engine = Reference) target compiled
+            ~args
+        in
+        (if Tracer.on tr then
+           match r with
+           | Ok ok ->
+             Tracer.span_end tr
+               ~attrs:[ "cycles", Tracer.I ok.Exec.cycles ]
+               ~name:"exec" ()
+           | Error ee ->
+             Tracer.span_end tr
+               ~attrs:[ "fault", Tracer.S (Exec.exec_error_to_string ee) ]
+               ~name:"exec" ());
+        r
+      in
+      match exec_result with
       | Error _ee ->
         (* The body faulted mid-simulation; caller buffers are untouched
            (read-back only happens on a clean finish), so the interpreter
@@ -434,9 +483,15 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
             then Veval.Scalarized
             else veval_mode target
           in
+          if Tracer.on tr then Tracer.span_begin tr ~name:"oracle" [];
           ignore (Veval.run vk ~mode ~args:ref_args);
           let check_cycles = interp_cycles vk ~args:ref_args in
-          if args_equal args ref_args then
+          let matched = args_equal args ref_args in
+          if Tracer.on tr then
+            Tracer.span_end tr
+              ~attrs:[ "match", Tracer.Bool matched ]
+              ~name:"oracle" ();
+          if matched then
             { r_tier = Jit; r_cycles = r.Exec.cycles + check_cycles;
               r_compile_us = charged; r_cache = Some outcome }
           else begin
@@ -484,5 +539,6 @@ let hotness_threshold t = t.threshold
 let cache t = t.cache
 let stats t = t.st
 let engine t = t.engine
+let tracer t = t.tracer
 let slot_compiles t = t.slot_compiles
 let slot_hits t = t.slot_hits

@@ -79,11 +79,15 @@ val engine_of_string : string -> engine option
 type t
 
 (** [hotness_threshold] is the number of interpreter runs before
-    promotion; 0 promotes on the first invocation. *)
+    promotion; 0 promotes on the first invocation.  [tracer] (default
+    {!Vapor_obs.Tracer.disabled}) receives child spans — [cache_lookup],
+    [compile], [exec], [oracle] — under whatever root the caller has
+    open. *)
 val create :
   ?stats:Stats.t ->
   ?guard:guard ->
   ?engine:engine ->
+  ?tracer:Vapor_obs.Tracer.t ->
   cache:Code_cache.t ->
   hotness_threshold:int ->
   unit ->
@@ -118,6 +122,7 @@ val hotness_threshold : t -> int
 val cache : t -> Code_cache.t
 val stats : t -> Stats.t
 val engine : t -> engine
+val tracer : t -> Vapor_obs.Tracer.t
 
 (** Slot-compilation telemetry (plain fields, deliberately outside
     {!Stats}: the metrics table must stay byte-identical between

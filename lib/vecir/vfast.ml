@@ -574,6 +574,7 @@ type compiled = {
 let mode c = c.c_mode
 
 let compile (vk : vkernel) ~(mode : Veval.mode) : compiled =
+  let stage_t0 = Vapor_obs.Stage.start () in
   let vs =
     match mode with
     | Veval.Vector n -> n
@@ -665,7 +666,9 @@ let compile (vk : vkernel) ~(mode : Veval.mode) : compiled =
       snames;
     out
   in
-  { c_mode = mode; c_run }
+  let c = { c_mode = mode; c_run } in
+  Vapor_obs.Stage.record "slot_compile" stage_t0;
+  c
 
 let run ?(guard_true = Veval.default_guard_true) c ~args =
   c.c_run guard_true args

@@ -430,6 +430,70 @@ let bench_oracle () =
   in
   unguarded, guarded, guarded /. unguarded
 
+(* Part 4b: the persistent code store — cold (empty store, every body
+   JIT-compiled and published) vs warm (every body loaded from disk, zero
+   real compiles).  Hotness 0 and a short trace keep compilation a large
+   share of the cold run, so the warm win is the store's, not noise.      *)
+
+module Store = Vapor_store.Store
+module Stats = Vapor_runtime.Stats
+
+let store_bench_length = 120
+
+type store_bench = {
+  sb_events : int;
+  sb_cold_s : float;
+  sb_warm_s : float;
+  sb_warm_real_compiles : int;
+  sb_warm_hit_rate : float;
+  sb_identical : bool;
+}
+
+let bench_store () =
+  let target = Vapor_targets.Sse.target in
+  let trace = Trace.standard ~length:store_bench_length ~n_targets:1 () in
+  let cfg store =
+    {
+      (replay_cfg ~engine:Tiered.Fast ~guard:Tiered.no_guard target) with
+      Service.cfg_hotness = 0;
+      cfg_store = Some store;
+    }
+  in
+  let open_store dir =
+    match Store.open_store ~create:true dir with
+    | Ok s -> s
+    | Error m -> failwith ("bench store: " ^ m)
+  in
+  (* Cold: each sample gets a virgin store directory. *)
+  let cold_report = ref "" in
+  let cold_s =
+    best_of_3 (fun () ->
+        let s = open_store (Filename.temp_dir "vapor_bench_store" ".cold") in
+        cold_report := Service.report_to_string (Service.replay (cfg s) trace))
+  in
+  (* Warm: populate one store, then replay against reopened handles so
+     every sample pays the real disk reads a fresh process would. *)
+  let dir = Filename.temp_dir "vapor_bench_store" ".warm" in
+  ignore (Service.replay (cfg (open_store dir)) trace);
+  let warm_report = ref "" and warm_stats = ref (Stats.create ()) in
+  let warm_s =
+    best_of_3 (fun () ->
+        let st = Stats.create () in
+        warm_report :=
+          Service.report_to_string
+            (Service.replay ~stats:st (cfg (open_store dir)) trace);
+        warm_stats := st)
+  in
+  let gauge name = Option.value ~default:0.0 (Stats.gauge !warm_stats name) in
+  {
+    sb_events = store_bench_length;
+    sb_cold_s = cold_s;
+    sb_warm_s = warm_s;
+    sb_warm_real_compiles = int_of_float (gauge "jit.real_compiles");
+    sb_warm_hit_rate = gauge "store.hit_rate";
+    sb_identical = String.equal !cold_report !warm_report;
+  }
+
 (* ---------------------------------------------------------------------- *)
 (* Part 5: the JIT cost profiler — per-target aggregates of the per-stage
    compile pipeline costs over the whole suite.  Wall-clock stage sums are
@@ -547,6 +611,22 @@ let run_fastpath_bench ~json () =
     Printf.printf "FAIL: sharded replay reports differ across domain counts\n";
     exit 1
   end;
+  let sb = bench_store () in
+  let per_s x = float_of_int sb.sb_events /. x in
+  Printf.printf
+    "\n  persistent store (%d events, hotness 0): cold %.0f ev/s -> warm \
+     %.0f ev/s (%.2fx)\n"
+    sb.sb_events (per_s sb.sb_cold_s) (per_s sb.sb_warm_s)
+    (sb.sb_cold_s /. sb.sb_warm_s);
+  Printf.printf
+    "  warm run: %d real compiles, store hit rate %.2f, report %s\n%!"
+    sb.sb_warm_real_compiles sb.sb_warm_hit_rate
+    (if sb.sb_identical then "identical" else "DIFFERS");
+  if sb.sb_warm_real_compiles <> 0 || not sb.sb_identical then begin
+    Printf.printf
+      "FAIL: warm store replay must recompile nothing and match cold\n";
+    exit 1
+  end;
   let jit_rows = run_jit_profile () in
   if json then begin
     let buf = Buffer.create 1024 in
@@ -588,6 +668,14 @@ let run_fastpath_bench ~json () =
       "  \"oracle\": {\"unguarded_s\": %.4f, \"guarded_s\": %.4f, \
        \"overhead_factor\": %.2f},\n"
       unguarded_s guarded_s overhead;
+    Printf.bprintf buf
+      "  \"store\": {\"events\": %d, \"cold_events_per_s\": %.0f, \
+       \"warm_events_per_s\": %.0f, \"warm_speedup\": %.2f, \
+       \"warm_real_compiles\": %d, \"warm_hit_rate\": %.2f, \
+       \"report_identical\": %b},\n"
+      sb.sb_events (per_s sb.sb_cold_s) (per_s sb.sb_warm_s)
+      (sb.sb_cold_s /. sb.sb_warm_s)
+      sb.sb_warm_real_compiles sb.sb_warm_hit_rate sb.sb_identical;
     Printf.bprintf buf "  \"jit_profile\": [\n";
     List.iteri
       (fun i s ->

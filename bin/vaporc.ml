@@ -25,6 +25,7 @@ module R = Vapor_harness.Report
 module Trace = Vapor_runtime.Trace
 module Service = Vapor_runtime.Service
 module Stats = Vapor_runtime.Stats
+module Store = Vapor_store.Store
 
 (* --- name resolution ----------------------------------------------------
    Unknown kernel/target names are user errors, not internal ones: print
@@ -48,6 +49,17 @@ let resolve_kernel name =
   with Invalid_argument _ ->
     die_unknown ~what:"kernel" ~given:name
       ~valid:(List.map (fun e -> e.Suite.name) Suite.all)
+
+(* A bad --store path is a user error like an unknown name: exit 2 with
+   the reason.  Replay commands create a missing directory ([create]);
+   `vaporc cache` never does — verifying or listing a store that isn't
+   there must not conjure an empty one. *)
+let open_store_or_die ?max_entries ?max_bytes ~create path =
+  match Store.open_store ?max_entries ?max_bytes ~create path with
+  | Ok s -> s
+  | Error msg ->
+    Printf.eprintf "vaporc: %s\n" msg;
+    exit 2
 
 (* --- common arguments --------------------------------------------------- *)
 
@@ -377,10 +389,22 @@ let serve_replay_cmd =
              observability gauges) to $(docv): Prometheus text format, or \
              JSON when $(docv) ends in .json.")
   in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent code store: in-memory cache misses probe $(docv) \
+             before compiling, and every compile publishes write-through, \
+             so a second run over the same workload performs zero JIT \
+             compiles.  Created if missing.")
+  in
   let run target profile length seed hotness cache_entries cache_bytes
       rejuvenate rejuvenate_at kernels domains engine json trace_out
-      trace_deterministic metrics_out =
+      trace_deterministic metrics_out store_dir =
     let target = resolve_target target in
+    let store = Option.map (open_store_or_die ~create:true) store_dir in
     let engine =
       match Vapor_runtime.Tiered.engine_of_string engine with
       | Some e -> e
@@ -405,6 +429,7 @@ let serve_replay_cmd =
             (fun name -> rejuvenate_at, target, resolve_target name)
             rejuvenate;
         cfg_engine = engine;
+        cfg_store = store;
       }
     in
     let stats = Stats.create () in
@@ -446,7 +471,8 @@ let serve_replay_cmd =
       const run $ target_arg $ profile_arg $ length_arg $ seed_arg
       $ hotness_arg $ cache_entries_arg $ cache_bytes_arg $ rejuvenate_arg
       $ rejuvenate_at_arg $ kernels_arg $ domains_arg $ engine_arg
-      $ json_arg $ trace_out_arg $ trace_det_arg $ metrics_out_arg)
+      $ json_arg $ trace_out_arg $ trace_det_arg $ metrics_out_arg
+      $ store_arg)
 
 let chaos_replay_cmd =
   let length_arg =
@@ -509,9 +535,30 @@ let chaos_replay_cmd =
       & info [ "retry-budget" ] ~docv:"N"
           ~doc:"Compile retry attempts against injected transient faults.")
   in
+  let store_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent code store to replay against (created if missing); \
+             combine with --store-corrupt-rate to exercise the \
+             disk-corruption path.")
+  in
+  let store_corrupt_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "store-corrupt-rate" ] ~docv:"P"
+          ~doc:
+            "Probability a persistent-store read comes back with mangled \
+             bytes; the store's checksum verification must detect it, \
+             quarantine the entry, and recompile.")
+  in
   let run target profile length seed hotness no_faults corrupt_rate
-      compile_fault_rate drop_simd_at oracle_every retry_budget =
+      compile_fault_rate drop_simd_at oracle_every retry_budget store_dir
+      store_corrupt_rate =
     let target = resolve_target target in
+    let store = Option.map (open_store_or_die ~create:true) store_dir in
     let trace = Trace.standard ~seed ~length ~n_targets:1 () in
     let faults =
       if no_faults then None
@@ -524,6 +571,7 @@ let chaos_replay_cmd =
                f_compile_fault_rate = compile_fault_rate;
                f_max_transient = 2;
                f_drop_simd_at = drop_simd_at;
+               f_store_corrupt_rate = store_corrupt_rate;
              })
     in
     let guard =
@@ -551,6 +599,7 @@ let chaos_replay_cmd =
           (if no_faults then None
            else
              Option.map (fun at -> at, Targets.find "scalar") drop_simd_at);
+        cfg_store = store;
       }
     in
     let stats = Stats.create () in
@@ -570,7 +619,10 @@ let chaos_replay_cmd =
          (match drop_simd_at with
          | Some at -> Printf.sprintf "@%d" at
          | None -> "off")
-         (max 1 oracle_every) retry_budget
+         (max 1 oracle_every) retry_budget;
+       if store_corrupt_rate > 0.0 then
+         Printf.printf "  store faults: corrupt %.2f on probe reads\n"
+           store_corrupt_rate
      end);
     Service.print_report report;
     Printf.printf "runtime metrics:\n%s" (Stats.to_table stats);
@@ -606,7 +658,132 @@ let chaos_replay_cmd =
       const run $ target_arg $ profile_arg $ length_arg $ seed_arg
       $ hotness_arg $ no_faults_arg $ corrupt_rate_arg
       $ compile_fault_rate_arg $ drop_simd_arg $ oracle_every_arg
-      $ retry_budget_arg)
+      $ retry_budget_arg $ store_dir_arg $ store_corrupt_rate_arg)
+
+(* --- vaporc cache: persistent-store maintenance -------------------------
+   None of these create a store: pointing them at a missing or unusable
+   directory is a user error (exit 2), per the unknown-name convention —
+   `cache verify` silently conjuring an empty store would report a
+   corrupted one as clean. *)
+
+let cache_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "The persistent code store to operate on.  Never created: a \
+             missing or unusable $(docv) exits 2.")
+  in
+  let hex_short k =
+    let h = String.concat ""
+        (List.map (Printf.sprintf "%02x")
+           (List.init (String.length k.Store.sk_digest) (fun i ->
+                Char.code k.Store.sk_digest.[i])))
+    in
+    String.sub h 0 (min 10 (String.length h))
+  in
+  let summary s =
+    Printf.printf "%d valid entries (%d bytes), %d quarantined\n"
+      (Store.entry_count s) (Store.byte_count s) (Store.quarantined_count s)
+  in
+  let ls_cmd =
+    let run path =
+      let s = open_store_or_die ~create:false path in
+      let rows = Store.rows s in
+      if rows <> [] then begin
+        Printf.printf "%-12s %-8s %-9s %-18s %8s %6s  %s\n" "digest" "target"
+          "profile" "kernel" "bytes" "tick" "status";
+        List.iter
+          (fun (r : Store.index_row) ->
+            Printf.printf "%-12s %-8s %-9s %-18s %8d %6d  %s\n"
+              (hex_short r.Store.ix_key)
+              r.Store.ix_key.Store.sk_target r.Store.ix_key.Store.sk_profile
+              (Option.value ~default:"-" (Store.row_kernel_name s r))
+              r.Store.ix_bytes r.Store.ix_tick
+              (match r.Store.ix_status with
+              | Store.Valid -> "valid"
+              | Store.Quarantined -> "QUARANTINED"))
+          rows
+      end;
+      summary s
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List every store entry (valid and quarantined).")
+      Term.(const run $ store_arg)
+  in
+  let verify_cmd =
+    let run path =
+      let s = open_store_or_die ~create:false path in
+      let failures = Store.verify s in
+      List.iter
+        (fun (k, reason) ->
+          Printf.printf "FAIL %s: %s\n" (Store.key_to_string k) reason)
+        failures;
+      summary s;
+      if failures = [] then print_endline "verify: OK"
+      else begin
+        Printf.printf "verify: %d corrupt entr%s quarantined\n"
+          (List.length failures)
+          (if List.length failures = 1 then "y" else "ies");
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-check every valid entry against its checksum and key; \
+            quarantine failures and exit 1 if any were found.")
+      Term.(const run $ store_arg)
+  in
+  let gc_cmd =
+    let max_entries_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-entries" ] ~docv:"N"
+            ~doc:"Entry budget to enforce (default: the store's own).")
+    in
+    let max_bytes_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"BYTES"
+            ~doc:"Payload-byte budget to enforce (default: the store's own).")
+    in
+    let run path max_entries max_bytes =
+      let s = open_store_or_die ~create:false path in
+      let evicted = Store.gc ?max_entries ?max_bytes s in
+      Printf.printf "gc: evicted %d entr%s\n" evicted
+        (if evicted = 1 then "y" else "ies");
+      summary s
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Evict least-recently-used entries beyond the budgets and sweep \
+            leftover staging directories.")
+      Term.(const run $ store_arg $ max_entries_arg $ max_bytes_arg)
+  in
+  let clear_cmd =
+    let run path =
+      let s = open_store_or_die ~create:false path in
+      Store.clear s;
+      print_endline "cleared";
+      summary s
+    in
+    Cmd.v
+      (Cmd.info "clear"
+         ~doc:"Delete every entry (and quarantined file) in the store.")
+      Term.(const run $ store_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain a persistent code store (see serve-replay \
+          --store).")
+    [ ls_cmd; verify_cmd; gc_cmd; clear_cmd ]
 
 let jit_report_cmd =
   let targets_arg =
@@ -727,7 +904,7 @@ let () =
       [
         list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
         encode_cmd; disasm_cmd; serve_replay_cmd; chaos_replay_cmd;
-        jit_report_cmd; experiments_cmd;
+        cache_cmd; jit_report_cmd; experiments_cmd;
       ]
   in
   let die msg =

@@ -51,14 +51,32 @@ regressions=$(jq -rn --slurpfile base "$baseline" --slurpfile cur "$current" '
     | select($b[.key] != null and $b[.key] > 0
              and .value > $b[.key] * 10)
     | "micro.\(.key): \($b[.key]) -> \(.value)";
+  def store_hib:
+    ($base[0].store // {}) as $b
+    | ($cur[0].store // {})
+    | select($b.warm_events_per_s != null and $b.warm_events_per_s > 0
+             and (.warm_events_per_s // 0) < $b.warm_events_per_s / 10)
+    | "store.warm_events_per_s: \($b.warm_events_per_s) -> \(.warm_events_per_s)";
   [ hib("replay"; "target"; "fast_events_per_s"),
     hib("domains"; "domains"; "events_per_s"),
+    store_hib,
     micro_lib ]
   | .[]' 2>/dev/null || true)
 
 if [ -n "$regressions" ]; then
   echo "FAIL: >10x regression vs bench/baseline.json:"
   echo "$regressions"
+  exit 1
+fi
+
+# --- store correctness (not a trend: these are hard invariants) -------------
+# A warm store replay must recompile nothing and reproduce the cold report.
+if [ "$(jq -r '.store.warm_real_compiles // "missing"' "$current")" != "0" ]; then
+  echo "FAIL: store.warm_real_compiles != 0 (warm replay recompiled)"
+  exit 1
+fi
+if [ "$(jq -r '.store.report_identical // "missing"' "$current")" != "true" ]; then
+  echo "FAIL: store.report_identical != true (warm report diverged)"
   exit 1
 fi
 

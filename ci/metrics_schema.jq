@@ -3,12 +3,17 @@
 #
 # The registry must export the three sections; counters are monotonic so
 # every value must be a non-negative integer; histogram summaries must be
-# internally consistent (count >= 0, min <= max, count*min <= sum).
+# internally consistent (count >= 0, min <= max, count*min <= sum); the
+# persistent-store gauges (store.*) are whole-store facts and can never
+# be negative.
 
 (has("counters") and has("gauges") and has("histograms"))
 and (.counters | type == "object"
      and ([.[]] | all(type == "number" and . >= 0 and . == floor)))
 and (.gauges | type == "object" and ([.[]] | all(type == "number")))
+and (.gauges | to_entries
+     | map(select(.key | startswith("store.")))
+     | all(.value >= 0))
 and (.histograms | type == "object"
      and ([.[]]
           | all(has("count") and has("sum") and has("min") and has("max")

@@ -32,8 +32,32 @@ awk '
   END { exit bad }
 ' "$prom"
 
+# Store gauges are whole-store facts: never negative, in either export.
+awk '
+  $1 == "#" && $2 == "TYPE" && $3 ~ /^vapor_store_/ { store[$3] = 1; next }
+  $1 in store && $2 + 0 < 0 {
+    printf "FAIL: negative store gauge %s = %s\n", $1, $2; bad = 1
+  }
+  END { exit bad }
+' "$prom"
+
 # --- JSON export ------------------------------------------------------------
 jq -e -f "$here/metrics_schema.jq" "$json" > /dev/null \
   || { echo "FAIL: $json violates ci/metrics_schema.jq"; exit 1; }
 
-echo "OK: $prom + $json (format, schema, counters non-negative)"
+# --- cross-export consistency ----------------------------------------------
+# Every store.* gauge in the JSON export must also be exposed in the
+# Prometheus text (as vapor_store_*): the two exports come from one
+# registry and must not drift.
+missing=$(jq -r '.gauges | keys[] | select(startswith("store."))' "$json" \
+  | while read -r g; do
+      pn="vapor_$(echo "$g" | tr '.-' '__')"
+      grep -q "^$pn " "$prom" || echo "$g ($pn)"
+    done)
+if [ -n "$missing" ]; then
+  echo "FAIL: store gauges in $json missing from $prom:"
+  echo "$missing"
+  exit 1
+fi
+
+echo "OK: $prom + $json (format, schema, counters and store gauges valid)"

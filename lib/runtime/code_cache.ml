@@ -16,6 +16,11 @@ type entry = {
   mutable e_tick : int;  (* LRU clock value of the last use *)
 }
 
+type evict_reason =
+  | Lru
+  | Replaced
+  | Invalidated
+
 type t = {
   max_entries : int;
   max_bytes : int;
@@ -23,6 +28,11 @@ type t = {
   tbl : (Digest.key, entry) Hashtbl.t;
   mutable tick : int;
   mutable bytes : int;
+  mutable on_evict : evict_reason -> Digest.key -> unit;
+  mutable real_compiles : int;
+      (* actual Compile.compile calls, as opposed to bodies installed
+         from a persistent store; a plain field (not a Stats counter) so
+         warm runs keep reports byte-identical to cold ones *)
 }
 
 let create ?stats ?(max_entries = max_int) ?(max_bytes = max_int) () =
@@ -33,7 +43,13 @@ let create ?stats ?(max_entries = max_int) ?(max_bytes = max_int) () =
     tbl = Hashtbl.create 64;
     tick = 0;
     bytes = 0;
+    on_evict = (fun _ _ -> ());
+    real_compiles = 0;
   }
+
+let set_on_evict t f = t.on_evict <- f
+let real_compiles t = t.real_compiles
+let note_real_compile t = t.real_compiles <- t.real_compiles + 1
 
 type outcome =
   | Hit
@@ -73,7 +89,8 @@ let enforce_budget t =
     | None -> assert false (* over () implies a non-empty table *)
     | Some e ->
       remove_entry t e;
-      Stats.incr t.st "cache.evictions"
+      Stats.incr t.st "cache.evictions";
+      t.on_evict Lru e.e_key
   done
 
 let insert t key vk profile compiled =
@@ -89,7 +106,9 @@ let insert t key vk profile compiled =
   in
   touch t e;
   (match Hashtbl.find_opt t.tbl key with
-  | Some old -> remove_entry t old
+  | Some old ->
+    remove_entry t old;
+    t.on_evict Replaced old.e_key
   | None -> ());
   Hashtbl.replace t.tbl key e;
   t.bytes <- t.bytes + e.e_bytes;
@@ -127,6 +146,7 @@ let find_or_compile ?digest ?(known_aligned = fun _ -> true) t
   | Some compiled -> compiled, Hit
   | None ->
     let compiled = Compile.compile ~known_aligned ~target ~profile vk in
+    note_real_compile t;
     Stats.observe t.st "cache.compile_us" compiled.Compile.compile_time_us;
     insert t key vk profile compiled;
     compiled, Miss
@@ -144,6 +164,10 @@ let invalidate_target t ~(from_target : Target.t) ~(to_target : Target.t) =
     List.fold_left
       (fun n e ->
         remove_entry t e;
+        (* The fix for the silent-drop bug: stale entries now leave a
+           stats trace and fire the hook, whether or not they relower. *)
+        Stats.incr t.st "cache.invalidations";
+        t.on_evict Invalidated e.e_key;
         let key =
           { e.e_key with Digest.k_target = to_target.Target.name }
         in
@@ -154,6 +178,7 @@ let invalidate_target t ~(from_target : Target.t) ~(to_target : Target.t) =
               e.e_vk
           with
           | Ok compiled ->
+            note_real_compile t;
             insert t key e.e_vk e.e_profile compiled;
             Stats.incr t.st "cache.rejuvenations";
             n + 1
@@ -173,6 +198,7 @@ let misses t = Stats.counter t.st "cache.misses"
 let evictions t = Stats.counter t.st "cache.evictions"
 let fills t = Stats.counter t.st "cache.fills"
 let rejuvenations t = Stats.counter t.st "cache.rejuvenations"
+let invalidations t = Stats.counter t.st "cache.invalidations"
 
 let hit_rate t =
   let h = hits t and m = misses t in

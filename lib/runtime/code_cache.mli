@@ -25,6 +25,18 @@ type t
     [cache.*] names. *)
 val create : ?stats:Stats.t -> ?max_entries:int -> ?max_bytes:int -> unit -> t
 
+(** Why an entry left the cache, for the {!set_on_evict} hook. *)
+type evict_reason =
+  | Lru  (** budget eviction *)
+  | Replaced  (** overwritten by a fresh insert for the same key *)
+  | Invalidated  (** dropped by {!invalidate_target} *)
+
+(** Register the single eviction/invalidation observer (latest wins).
+    Fires after the entry is gone, with the reason; the write-through
+    store tier uses it, and it is the stats trace [invalidate_target]
+    used to lack. *)
+val set_on_evict : t -> (evict_reason -> Digest.key -> unit) -> unit
+
 type outcome =
   | Hit
   | Miss  (** compiled now; the cold compile time was just paid *)
@@ -72,6 +84,20 @@ val misses : t -> int
 val evictions : t -> int
 val fills : t -> int
 val rejuvenations : t -> int
+
+(** Entries dropped by {!invalidate_target} (counter
+    [cache.invalidations]). *)
+val invalidations : t -> int
+
+(** Actual [Compile.compile] calls through this cache — excludes bodies
+    installed from a persistent store, so a warm run reports 0.  A plain
+    field rather than a [Stats] counter: it differs between cold and
+    warm runs, and reports must not. *)
+val real_compiles : t -> int
+
+(** Count a compile performed by a caller that installs via {!insert}
+    (the tiered runtime's retry/scalarization path). *)
+val note_real_compile : t -> unit
 
 (** [hits / (hits + misses)]; 0 when no lookups happened. *)
 val hit_rate : t -> float

@@ -15,6 +15,8 @@ let equal = String.equal
 let compare = String.compare
 let hash = Hashtbl.hash
 let to_hex = Md5.to_hex
+let raw t = t
+let of_raw s = s
 let short ?(n = 10) t = String.sub (to_hex t) 0 (min n 32)
 
 type key = {

@@ -23,6 +23,13 @@ val hash : t -> int
 (** Lowercase hex, 32 characters. *)
 val to_hex : t -> string
 
+(** The 16 raw MD5 bytes — the persistent store's key component, chosen
+    so [Stdlib.Digest.string (Encode.encode vk)] re-derives it. *)
+val raw : t -> string
+
+(** Inverse of {!raw}; no validation beyond length is possible. *)
+val of_raw : string -> t
+
 (** First [n] hex characters (for compact table rows). *)
 val short : ?n:int -> t -> string
 

@@ -15,6 +15,8 @@ type spec = {
   f_compile_fault_rate : float;  (* P(injected lowering failure per attempt) *)
   f_max_transient : int;  (* injected compile faults clear after N retries *)
   f_drop_simd_at : int option;  (* trace index where SIMD capability drops *)
+  f_store_corrupt_rate : float;
+      (* P(a persistent-store read comes back with mangled bytes) *)
 }
 
 let default_spec =
@@ -24,6 +26,7 @@ let default_spec =
     f_compile_fault_rate = 0.0;
     f_max_transient = 2;
     f_drop_simd_at = None;
+    f_store_corrupt_rate = 0.0;
   }
 
 let chaos_spec ~seed =
@@ -33,6 +36,7 @@ let chaos_spec ~seed =
     f_compile_fault_rate = 0.25;
     f_max_transient = 2;
     f_drop_simd_at = None;
+    f_store_corrupt_rate = 0.0;
   }
 
 type t = {
@@ -44,17 +48,22 @@ type t = {
      fault point consulted the stream (fired or not) *)
   mutable corrupt_draws : int;
   mutable compile_draws : int;
+  mutable store_draws : int;
+  mutable store_corrupted : int;
 }
 
 let make spec =
   { spec; state = ref (Int64.of_int spec.f_seed); injected_compile = 0;
-    corrupted = 0; corrupt_draws = 0; compile_draws = 0 }
+    corrupted = 0; corrupt_draws = 0; compile_draws = 0; store_draws = 0;
+    store_corrupted = 0 }
 
 let spec t = t.spec
 let injected_compile_count t = t.injected_compile
 let corrupted_count t = t.corrupted
 let corrupt_draws t = t.corrupt_draws
 let compile_fault_draws t = t.compile_draws
+let store_corrupt_draws t = t.store_draws
+let store_corrupted_count t = t.store_corrupted
 
 (* splitmix64, same constants as Trace's generator. *)
 let mix (state : int64 ref) : int64 =
@@ -96,6 +105,31 @@ let should_corrupt t =
   && begin
     t.corrupt_draws <- t.corrupt_draws + 1;
     rand_float t < t.spec.f_corrupt_rate
+  end
+
+let should_corrupt_store t =
+  t.spec.f_store_corrupt_rate > 0.0
+  && begin
+    t.store_draws <- t.store_draws + 1;
+    rand_float t < t.spec.f_store_corrupt_rate
+  end
+
+(* Mangle the bytes a store probe read from disk, the way a flipped bit
+   or torn write would: XOR one byte at a stream-chosen offset.  The
+   store's checksum verification is expected to reject the result. *)
+let mangle_store_bytes t bytes =
+  t.store_corrupted <- t.store_corrupted + 1;
+  if String.length bytes = 0 then bytes
+  else begin
+    let off =
+      Int64.to_int
+        (Int64.rem
+           (Int64.shift_right_logical (mix t.state) 1)
+           (Int64.of_int (String.length bytes)))
+    in
+    let b = Bytes.of_string bytes in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x5A));
+    Bytes.to_string b
   end
 
 (* Corrupt one machine body the way a bad cache line would: perturb the

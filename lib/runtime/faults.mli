@@ -17,6 +17,9 @@ type spec = {
       (** attempts beyond this always succeed, bounding the retry loop *)
   f_drop_simd_at : int option;
       (** trace index at which the serving target loses SIMD capability *)
+  f_store_corrupt_rate : float;
+      (** probability a persistent-store probe reads mangled bytes; the
+          store's checksum layer must detect and quarantine *)
 }
 
 (** All rates zero: a harness with no faults. *)
@@ -44,6 +47,12 @@ val corrupt_draws : t -> int
 (** Same for the injected-compile-fault point. *)
 val compile_fault_draws : t -> int
 
+(** Same for the store-read corruption point. *)
+val store_corrupt_draws : t -> int
+
+(** Total store reads actually mangled so far. *)
+val store_corrupted_count : t -> int
+
 (** [Some reason] when compile attempt [attempt] (0 = first try) should
     fail with an injected transient fault.  Attempts past
     [f_max_transient] never fail. *)
@@ -51,6 +60,13 @@ val injected_compile_fault : t -> attempt:int -> string option
 
 (** One draw against [f_corrupt_rate]. *)
 val should_corrupt : t -> bool
+
+(** One draw against [f_store_corrupt_rate]. *)
+val should_corrupt_store : t -> bool
+
+(** XOR one stream-chosen byte of a store read — the disk-corruption
+    chaos mode.  Checksum verification downstream must reject it. *)
+val mangle_store_bytes : t -> string -> string
 
 (** Perturb the first corruptible instruction (arithmetic op flip or
     immediate nudge); [None] if the body holds nothing corruptible.  The

@@ -7,6 +7,7 @@ module Flows = Vapor_harness.Flows
 module Driver = Vapor_vectorizer.Driver
 module Tracer = Vapor_obs.Tracer
 module Stage = Vapor_obs.Stage
+module Store = Vapor_store.Store
 
 type config = {
   cfg_targets : Target.t list;
@@ -20,6 +21,10 @@ type config = {
      SIMD target is rejuvenated down to the given scalar target. *)
   cfg_drop_simd : (int * Target.t) option;
   cfg_engine : Tiered.engine;
+  (* Persistent second tier, shared across processes and across the
+     domains of a sharded replay (one session per domain, merged by a
+     single writer after the join). *)
+  cfg_store : Store.t option;
 }
 
 let default_config ~targets =
@@ -33,6 +38,7 @@ let default_config ~targets =
     cfg_guard = Tiered.no_guard;
     cfg_drop_simd = None;
     cfg_engine = Tiered.Fast;
+    cfg_store = None;
   }
 
 type kernel_row = {
@@ -134,6 +140,12 @@ let run_events ~cache ~tiered ~table ~(st : Stats.t) (cfg : config) events =
                   ~to_target:to_t);
         ignore (Tiered.migrate_target tiered ~from_target:from_t
                   ~to_target:to_t);
+        (* The persistent tier quarantines the stale target too, at
+           merge time (Revec: never silently serve stale code). *)
+        (match Tiered.store tiered with
+        | Some ss ->
+          Store.defer_invalidate ss ~from_target:from_t.Target.name
+        | None -> ());
         Array.iteri
           (fun i t ->
             if String.equal t.Target.name from_t.Target.name then
@@ -287,6 +299,17 @@ let record_gauges ~cache ~tiered ~(guard : Tiered.guard) (st : Stats.t) =
     (float_of_int (Code_cache.byte_count cache));
   Stats.add_gauge st "cache.entries"
     (float_of_int (Code_cache.entry_count cache));
+  (* Gauge views of the eviction lifecycle (the counters of the same
+     events live under cache.evictions / cache.invalidations; distinct
+     gauge names keep the Prometheus TYPE lines collision-free). *)
+  Stats.add_gauge st "cache.evicted_entries"
+    (float_of_int (Code_cache.evictions cache));
+  Stats.add_gauge st "cache.invalidated_entries"
+    (float_of_int (Code_cache.invalidations cache));
+  (* Plain field, never a counter: a warm (store-served) run differs
+     from a cold one here, and reports must not. *)
+  Stats.add_gauge st "jit.real_compiles"
+    (float_of_int (Code_cache.real_compiles cache));
   Stats.add_gauge st "slot.compiles"
     (float_of_int (Tiered.slot_compiles tiered));
   Stats.add_gauge st "slot.hits" (float_of_int (Tiered.slot_hits tiered));
@@ -302,7 +325,11 @@ let record_gauges ~cache ~tiered ~(guard : Tiered.guard) (st : Stats.t) =
     Stats.add_gauge st "faults.corrupt_draws"
       (float_of_int (Faults.corrupt_draws f));
     Stats.add_gauge st "faults.compile_fault_draws"
-      (float_of_int (Faults.compile_fault_draws f))
+      (float_of_int (Faults.compile_fault_draws f));
+    Stats.add_gauge st "faults.store_corrupt_draws"
+      (float_of_int (Faults.store_corrupt_draws f));
+    Stats.add_gauge st "faults.store_corrupted"
+      (float_of_int (Faults.store_corrupted_count f))
   | None -> ()
 
 let finalize_gauges (st : Stats.t) =
@@ -310,6 +337,26 @@ let finalize_gauges (st : Stats.t) =
   let compiles = v "slot.compiles" and hits = v "slot.hits" in
   if compiles +. hits > 0.0 then
     Stats.set_gauge st "slot.hit_rate" (hits /. (compiles +. hits))
+
+(* Store gauges are recorded once, post-merge, from the store's own
+   counters — they are whole-store facts, not per-shard ones, so they
+   use [set_gauge] (idempotent) rather than pooling. *)
+let record_store_gauges ~(store : Store.t) (st : Stats.t) =
+  let c = Store.counters store in
+  let set n v = Stats.set_gauge st n (float_of_int v) in
+  set "store.probes" c.Store.c_probes;
+  set "store.hits" c.Store.c_hits;
+  set "store.misses" c.Store.c_misses;
+  set "store.verify_fails" c.Store.c_verify_fails;
+  set "store.publishes" c.Store.c_publishes;
+  set "store.quarantined" c.Store.c_quarantined;
+  set "store.gc_evictions" c.Store.c_gc_evictions;
+  set "store.entries" (Store.entry_count store);
+  set "store.bytes" (Store.byte_count store);
+  if c.Store.c_hits + c.Store.c_misses > 0 then
+    Stats.set_gauge st "store.hit_rate"
+      (float_of_int c.Store.c_hits
+      /. float_of_int (c.Store.c_hits + c.Store.c_misses))
 
 let replay ?stats ?(tracer = Tracer.disabled) (cfg : config) (trace : Trace.t)
     : report =
@@ -319,9 +366,10 @@ let replay ?stats ?(tracer = Tracer.disabled) (cfg : config) (trace : Trace.t)
     Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
       ~max_bytes:cfg.cfg_max_bytes ()
   in
+  let session = Option.map (Store.session ~id:0) cfg.cfg_store in
   let tiered =
     Tiered.create ~stats:st ~guard:cfg.cfg_guard ~engine:cfg.cfg_engine ~tracer
-      ~cache ~hotness_threshold:cfg.cfg_hotness ()
+      ?store:session ~cache ~hotness_threshold:cfg.cfg_hotness ()
   in
   let table = bytecode_table trace.Trace.tr_kernels in
   let records =
@@ -330,6 +378,11 @@ let replay ?stats ?(tracer = Tracer.disabled) (cfg : config) (trace : Trace.t)
   in
   record_gauges ~cache ~tiered ~guard:cfg.cfg_guard st;
   finalize_gauges st;
+  (match cfg.cfg_store, session with
+  | Some store, Some ss ->
+    Store.merge store [ ss ];
+    record_store_gauges ~store st
+  | _ -> ());
   report_of ~trace_desc:(Trace.describe trace) ~records ~rows:(rows_of tiered)
     ~hits:(Code_cache.hits cache) ~misses:(Code_cache.misses cache)
     ~evictions:(Code_cache.evictions cache)
@@ -383,6 +436,14 @@ let replay_sharded ?stats ?(tracer = Tracer.disabled) ?(domains = 1)
             Some (Faults.make { spec with Faults.f_seed = spec.Faults.f_seed + (31 * i) });
         }
     in
+    (* Sessions are created on this domain, before the spawn: each shard
+       probes the frozen index and stages into its private dir; the
+       single-writer merge happens after the join. *)
+    let sessions =
+      match cfg.cfg_store with
+      | None -> [||]
+      | Some store -> Array.init domains (fun i -> Store.session ~id:i store)
+    in
     let run_shard i () =
       let st = Stats.create () in
       let shard_tr = Tracer.sub tracer in
@@ -393,6 +454,7 @@ let replay_sharded ?stats ?(tracer = Tracer.disabled) ?(domains = 1)
       in
       let tiered =
         Tiered.create ~stats:st ~guard ~engine:cfg.cfg_engine ~tracer:shard_tr
+          ?store:(if sessions = [||] then None else Some sessions.(i))
           ~cache ~hotness_threshold:cfg.cfg_hotness ()
       in
       (* The stage sink is domain-local, so each shard streams its own
@@ -439,6 +501,11 @@ let replay_sharded ?stats ?(tracer = Tracer.disabled) ?(domains = 1)
         Tracer.absorb ~into:tracer shard_tr)
       results;
     finalize_gauges st;
+    (match cfg.cfg_store with
+    | Some store ->
+      Store.merge store (Array.to_list sessions);
+      record_store_gauges ~store st
+    | None -> ());
     let hit_rate =
       if hits + misses = 0 then 0.0
       else float_of_int hits /. float_of_int (hits + misses)

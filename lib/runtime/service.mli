@@ -31,10 +31,17 @@ type config = {
       (** which execution engine serves invocations; {!Tiered.Fast} (the
           default) is report-identical to {!Tiered.Reference}, only
           wall-clock differs *)
+  cfg_store : Vapor_store.Store.t option;
+      (** persistent code store probed on in-memory cache misses and
+          published to after every compile; one session per domain,
+          merged by a single writer after the run.  Store hits are
+          accounted exactly like compiles (the stored modeled compile
+          time is charged), so a warm run's report is byte-identical to
+          a cold run's while [jit.real_compiles] stays 0 *)
 }
 
 (** Mono-profile defaults: hotness 3, 64-entry / 256 KiB cache, no
-    rejuvenation, no guard. *)
+    rejuvenation, no guard, no persistent store. *)
 val default_config : targets:Target.t list -> config
 
 type kernel_row = {
@@ -100,10 +107,12 @@ val amortization_factor : report -> float
     child spans and pipeline-stage leaf spans beneath it; a {!Stage} sink
     streaming into the tracer is installed for the replay's duration.
     After the replay, observability gauges ([cache.bytes],
-    [cache.entries], [slot.compiles], [slot.hits], [slot.hit_rate],
-    [tier.quarantined_kernels], and fault-draw counts when guarded) are
-    recorded on the registry — gauges never appear in
-    {!Stats.to_table}, so reports are unaffected. *)
+    [cache.entries], [cache.evicted_entries],
+    [cache.invalidated_entries], [jit.real_compiles], [slot.compiles],
+    [slot.hits], [slot.hit_rate], [tier.quarantined_kernels],
+    fault-draw counts when guarded, and [store.*] when a persistent
+    store is configured) are recorded on the registry — gauges never
+    appear in {!Stats.to_table}, so reports are unaffected. *)
 val replay :
   ?stats:Stats.t -> ?tracer:Vapor_obs.Tracer.t -> config -> Trace.t -> report
 

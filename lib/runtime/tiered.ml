@@ -12,6 +12,7 @@ module Eval = Vapor_ir.Eval
 module Buffer_ = Vapor_ir.Buffer_
 module Exec = Vapor_harness.Exec
 module Tracer = Vapor_obs.Tracer
+module Store = Vapor_store.Store
 
 type tier =
   | Interpreter
@@ -82,6 +83,9 @@ type t = {
   guard : guard;
   engine : engine;
   tracer : Tracer.t;
+  store : Vapor_store.Store.session option;
+      (* write-through persistent tier: probed on in-memory miss,
+         published after every real compile *)
   (* slot-compiled interpreter bodies, cached per (bytecode, eval mode);
      the mode key is the vector size in bytes, 0 for scalarized *)
   slot_bodies : (Digest.t * int, Vfast.compiled) Hashtbl.t;
@@ -92,7 +96,7 @@ type t = {
 }
 
 let create ?stats ?(guard = no_guard) ?(engine = Fast)
-    ?(tracer = Tracer.disabled) ~cache ~hotness_threshold () =
+    ?(tracer = Tracer.disabled) ?store ~cache ~hotness_threshold () =
   {
     cache;
     threshold = max 0 hotness_threshold;
@@ -101,6 +105,7 @@ let create ?stats ?(guard = no_guard) ?(engine = Fast)
     guard;
     engine;
     tracer;
+    store;
     slot_bodies = Hashtbl.create 32;
     slot_compiles = 0;
     slot_hits = 0;
@@ -299,12 +304,59 @@ let compile_with_retry t ~(target : Target.t) ~(profile : Profile.t) vk :
     | None -> (
       match Compile.compile_checked ~target ~profile vk with
       | Ok c ->
+        Code_cache.note_real_compile t.cache;
         if c.Compile.forced_scalar_regions <> [] then
           Stats.incr t.st "guard.scalarize_fallbacks";
         Ok (c, backoff_charged)
       | Error e -> Error (e, backoff_charged))
   in
   go 0 0.0
+
+let store_key (key : Digest.key) =
+  {
+    Store.sk_digest = Digest.raw key.Digest.k_digest;
+    sk_target = key.Digest.k_target;
+    sk_profile = key.Digest.k_profile;
+  }
+
+(* Second-tier fetch: probe the persistent store on an in-memory miss.
+   The fault injector may mangle the bytes read from disk (the
+   disk-corruption chaos mode); the store's checksum layer detects it
+   and the probe comes back [Corrupt], which falls through to a real
+   compile exactly like a miss. *)
+let store_fetch t ~(target : Target.t) key : Compile.t option =
+  match t.store with
+  | None -> None
+  | Some ss ->
+    let tr = t.tracer in
+    if Tracer.on tr then Tracer.span_begin tr ~name:"store_probe" [];
+    let mangle =
+      match t.guard.g_faults with
+      | Some f when Faults.should_corrupt_store f ->
+        Some (Faults.mangle_store_bytes f)
+      | _ -> None
+    in
+    let res = Store.probe ?mangle ss ~target (store_key key) in
+    let outcome, compiled =
+      match res with
+      | Store.Hit e -> "hit", Some e.Store.en_compiled
+      | Store.Miss -> "miss", None
+      | Store.Corrupt _ -> "corrupt", None
+    in
+    if Tracer.on tr then
+      Tracer.span_end tr
+        ~attrs:[ "outcome", Tracer.S outcome ]
+        ~name:"store_probe" ();
+    compiled
+
+let store_publish t key vk compiled =
+  match t.store with
+  | None -> ()
+  | Some ss ->
+    let tr = t.tracer in
+    if Tracer.on tr then Tracer.span_begin tr ~name:"store_publish" [];
+    Store.publish ss (store_key key) vk compiled;
+    if Tracer.on tr then Tracer.span_end tr ~name:"store_publish" ()
 
 let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
     (vk : B.vkernel) ~args =
@@ -355,32 +407,45 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
             ~name:"cache_lookup" ();
         Ok (compiled, Code_cache.Hit, 0.0)
       | None -> (
-        if Tracer.on tr then begin
+        if Tracer.on tr then
           Tracer.span_end tr
             ~attrs:[ "outcome", Tracer.S "miss" ]
             ~name:"cache_lookup" ();
-          Tracer.span_begin tr ~name:"compile" []
-        end;
-        match compile_with_retry t ~target ~profile vk with
-        | Ok (compiled, backoff_us) ->
+        match store_fetch t ~target key with
+        | Some compiled ->
+          (* Warm start: account the store hit exactly like a compile —
+             charge and observe the stored *modeled* compile time, count
+             the scalarize fallback, insert — so the warm report is
+             byte-identical to the cold one while no compile runs. *)
+          if compiled.Compile.forced_scalar_regions <> [] then
+            Stats.incr t.st "guard.scalarize_fallbacks";
           Stats.observe t.st "cache.compile_us"
             compiled.Compile.compile_time_us;
           Code_cache.insert t.cache key vk profile compiled;
-          if Tracer.on tr then
-            Tracer.span_end tr
-              ~attrs:
-                [
-                  "result", Tracer.S "ok";
-                  "compile_us", Tracer.F compiled.Compile.compile_time_us;
-                ]
-              ~name:"compile" ();
-          Ok (compiled, Code_cache.Miss, backoff_us)
-        | Error (err, backoff_us) ->
-          if Tracer.on tr then
-            Tracer.span_end tr
-              ~attrs:[ "result", Tracer.S "error" ]
-              ~name:"compile" ();
-          Error (err, backoff_us))
+          Ok (compiled, Code_cache.Miss, 0.0)
+        | None -> (
+          if Tracer.on tr then Tracer.span_begin tr ~name:"compile" [];
+          match compile_with_retry t ~target ~profile vk with
+          | Ok (compiled, backoff_us) ->
+            Stats.observe t.st "cache.compile_us"
+              compiled.Compile.compile_time_us;
+            Code_cache.insert t.cache key vk profile compiled;
+            if Tracer.on tr then
+              Tracer.span_end tr
+                ~attrs:
+                  [
+                    "result", Tracer.S "ok";
+                    "compile_us", Tracer.F compiled.Compile.compile_time_us;
+                  ]
+                ~name:"compile" ();
+            store_publish t key vk compiled;
+            Ok (compiled, Code_cache.Miss, backoff_us)
+          | Error (err, backoff_us) ->
+            if Tracer.on tr then
+              Tracer.span_end tr
+                ~attrs:[ "result", Tracer.S "error" ]
+                ~name:"compile" ();
+            Error (err, backoff_us)))
     in
     match fetched with
     | Error (_err, backoff_us) ->
@@ -537,6 +602,7 @@ let states t =
 
 let hotness_threshold t = t.threshold
 let cache t = t.cache
+let store t = t.store
 let stats t = t.st
 let engine t = t.engine
 let tracer t = t.tracer

@@ -81,13 +81,22 @@ type t
 (** [hotness_threshold] is the number of interpreter runs before
     promotion; 0 promotes on the first invocation.  [tracer] (default
     {!Vapor_obs.Tracer.disabled}) receives child spans — [cache_lookup],
-    [compile], [exec], [oracle] — under whatever root the caller has
-    open. *)
+    [compile], [exec], [oracle], and with a store also [store_probe] /
+    [store_publish] — under whatever root the caller has open.
+
+    [store] plugs in the persistent second tier: an in-memory miss
+    probes the store before compiling, and every real compile publishes
+    write-through.  A store hit is accounted exactly like a compile
+    (the stored modeled compile time is charged and observed, the
+    scalarize fallback counted), so a warm run's report is
+    byte-identical to a cold run's while {!Code_cache.real_compiles}
+    stays 0. *)
 val create :
   ?stats:Stats.t ->
   ?guard:guard ->
   ?engine:engine ->
   ?tracer:Vapor_obs.Tracer.t ->
+  ?store:Vapor_store.Store.session ->
   cache:Code_cache.t ->
   hotness_threshold:int ->
   unit ->
@@ -120,6 +129,7 @@ val migrate_target : t -> from_target:Target.t -> to_target:Target.t -> int
 val states : t -> kstate list
 val hotness_threshold : t -> int
 val cache : t -> Code_cache.t
+val store : t -> Vapor_store.Store.session option
 val stats : t -> Stats.t
 val engine : t -> engine
 val tracer : t -> Vapor_obs.Tracer.t

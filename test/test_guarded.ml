@@ -319,6 +319,7 @@ let chaos_config ~seed =
         f_compile_fault_rate = 0.25;
         f_max_transient = 2;
         f_drop_simd_at = None;
+        f_store_corrupt_rate = 0.0;
       }
   in
   {

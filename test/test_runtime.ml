@@ -166,6 +166,44 @@ let cache_rejuvenation_case () =
   in
   check_bool "old target no longer cached" true (o = Cache.Miss)
 
+let cache_evict_hook_case () =
+  let seen = ref [] in
+  let cache = Cache.create ~max_entries:2 () in
+  Cache.set_on_evict cache (fun reason key -> seen := (reason, key) :: !seen);
+  let key_of name = D.key ~target:sse ~profile:Profile.mono (bytecode name) in
+  let saw reason name =
+    List.exists
+      (fun (r, k) -> r = reason && D.key_equal k (key_of name))
+      !seen
+  in
+  let compile name =
+    ignore
+      (Cache.find_or_compile cache ~target:sse ~profile:Profile.mono
+         (bytecode name))
+  in
+  compile "saxpy_fp";
+  compile "dscal_fp";
+  compile "sfir_fp";
+  check_bool "budget eviction fires the hook" true (saw Cache.Lru "saxpy_fp");
+  (* Replacing an entry under its own key reports Replaced, not Lru. *)
+  let vk = bytecode "sfir_fp" in
+  let key = key_of "sfir_fp" in
+  (match Cache.find cache key with
+  | Some c -> Cache.insert cache key vk Profile.mono c
+  | None -> fail "sfir_fp should be resident");
+  check_bool "replacement fires the hook" true (saw Cache.Replaced "sfir_fp");
+  (* invalidate_target no longer drops entries silently: each stale body
+     fires the hook and bumps cache.invalidations, even though it is
+     re-lowered rather than discarded. *)
+  let before = List.length !seen in
+  let relowered = Cache.invalidate_target cache ~from_target:sse ~to_target:avx in
+  check_int "both stale entries invalidated" 2
+    (List.length !seen - before);
+  check_int "relowered under the new target" 2 relowered;
+  check_int "invalidations counted" 2 (Cache.invalidations cache);
+  check_bool "hook saw the invalidation" true
+    (List.exists (fun (r, _) -> r = Cache.Invalidated) !seen)
+
 (* --- tiered execution --------------------------------------------------- *)
 
 let copy_args args =
@@ -365,6 +403,7 @@ let () =
           Alcotest.test_case "lru eviction" `Quick cache_lru_eviction_case;
           Alcotest.test_case "byte budget" `Quick cache_byte_budget_case;
           Alcotest.test_case "rejuvenation" `Quick cache_rejuvenation_case;
+          Alcotest.test_case "eviction hook" `Quick cache_evict_hook_case;
         ] );
       ( "tiered",
         [

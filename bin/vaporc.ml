@@ -26,6 +26,9 @@ module Trace = Vapor_runtime.Trace
 module Service = Vapor_runtime.Service
 module Stats = Vapor_runtime.Stats
 module Store = Vapor_store.Store
+module Serve = Vapor_serve.Serve
+module Workload = Vapor_serve.Workload
+module Ingress = Vapor_serve.Ingress
 
 (* --- name resolution ----------------------------------------------------
    Unknown kernel/target names are user errors, not internal ones: print
@@ -554,24 +557,65 @@ let chaos_replay_cmd =
              bytes; the store's checksum verification must detect it, \
              quarantine the entry, and recompile.")
   in
+  let streams_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "streams" ] ~docv:"N"
+          ~doc:
+            "Drive the chaos workload through the serving engine split \
+             across $(docv) streams (0 = plain replay).  Enables the \
+             serving-shaped faults below and extends the verdict with \
+             lost-event accounting.")
+  in
+  let stall_rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "stall-rate" ] ~docv:"P"
+          ~doc:
+            "Probability the consumer of a served response stalls, \
+             holding its lane (serving mode only).")
+  in
+  let disconnect_rate_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "disconnect-rate" ] ~docv:"P"
+          ~doc:
+            "Probability (per stream) of a mid-stream disconnect \
+             (serving mode only).")
+  in
+  let deadline_exhaust_rate_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "deadline-exhaust-rate" ] ~docv:"P"
+          ~doc:
+            "Probability (per dispatched event) that its deadline budget \
+             is burned before execution (serving mode only).")
+  in
   let run target profile length seed hotness no_faults corrupt_rate
       compile_fault_rate drop_simd_at oracle_every retry_budget store_dir
-      store_corrupt_rate =
+      store_corrupt_rate streams stall_rate disconnect_rate
+      deadline_exhaust_rate =
     let target = resolve_target target in
     let store = Option.map (open_store_or_die ~create:true) store_dir in
     let trace = Trace.standard ~seed ~length ~n_targets:1 () in
+    let serving = streams > 0 in
     let faults =
       if no_faults then None
       else
         Some
           (Vapor_runtime.Faults.make
              {
-               Vapor_runtime.Faults.f_seed = seed;
+               Vapor_runtime.Faults.default_spec with
+               f_seed = seed;
                f_corrupt_rate = corrupt_rate;
                f_compile_fault_rate = compile_fault_rate;
                f_max_transient = 2;
                f_drop_simd_at = drop_simd_at;
                f_store_corrupt_rate = store_corrupt_rate;
+               f_stall_rate = (if serving then stall_rate else 0.0);
+               f_disconnect_rate = (if serving then disconnect_rate else 0.0);
+               f_deadline_exhaust_rate =
+                 (if serving then deadline_exhaust_rate else 0.0);
              })
     in
     let guard =
@@ -603,48 +647,89 @@ let chaos_replay_cmd =
       }
     in
     let stats = Stats.create () in
-    let report = Service.replay ~stats cfg trace in
-    (if no_faults then
-       (* No faults, no oracle: this IS a serve-replay, printed
-          byte-identically so the healthy path is provably unchanged. *)
-       Printf.printf "serve-replay on %s (%s profile, hotness %d)\n"
-         target.Vapor_targets.Target.name profile.Profile.name hotness
-     else begin
-       Printf.printf "chaos-replay on %s (%s profile, hotness %d, seed %d)\n"
-         target.Vapor_targets.Target.name profile.Profile.name hotness seed;
-       Printf.printf
-         "  faults: corrupt %.2f, compile-fault %.2f, drop-simd %s, \
-          oracle every %d run(s), retry budget %d\n"
-         corrupt_rate compile_fault_rate
-         (match drop_simd_at with
-         | Some at -> Printf.sprintf "@%d" at
-         | None -> "off")
-         (max 1 oracle_every) retry_budget;
-       if store_corrupt_rate > 0.0 then
-         Printf.printf "  store faults: corrupt %.2f on probe reads\n"
-           store_corrupt_rate
-     end);
-    Service.print_report report;
-    Printf.printf "runtime metrics:\n%s" (Stats.to_table stats);
-    match faults with
-    | None -> ()
-    | Some _ ->
-      let escaped =
-        report.Service.rp_oracle_mismatches - report.Service.rp_quarantines
-      in
-      if escaped > 0 then begin
+    if serving then begin
+      let wl = Workload.of_trace ~streams trace in
+      let serve_cfg = { (Serve.default_cfg cfg) with Serve.sv_faults = faults } in
+      let rep = Serve.run ~stats serve_cfg wl in
+      Printf.printf
+        "chaos-serve on %s (%s profile, hotness %d, seed %d, %d streams)\n"
+        target.Vapor_targets.Target.name profile.Profile.name hotness seed
+        streams;
+      if not no_faults then
         Printf.printf
-          "chaos verdict: FAIL — %d mismatch(es) without quarantine\n"
-          escaped;
+          "  faults: corrupt %.2f, compile-fault %.2f, stall %.2f, \
+           disconnect %.2f, deadline-exhaust %.2f\n"
+          corrupt_rate compile_fault_rate stall_rate disconnect_rate
+          deadline_exhaust_rate;
+      Serve.print_report rep;
+      Printf.printf "runtime metrics:\n%s" (Stats.to_table stats);
+      let escaped =
+        rep.Serve.sr_service.Service.rp_oracle_mismatches
+        - rep.Serve.sr_service.Service.rp_quarantines
+      in
+      let mismatch_escape = Option.is_some faults && escaped > 0 in
+      if mismatch_escape || rep.Serve.sr_lost <> 0 then begin
+        Printf.printf
+          "chaos verdict: FAIL — %d mismatch(es) without quarantine, %d \
+           lost event(s) outside shedding/timeout/disconnect accounting\n"
+          (max 0 escaped) rep.Serve.sr_lost;
         exit 1
       end
       else
         Printf.printf
-          "chaos verdict: OK — every injected fault was absorbed \
-           (%d corrupted, %d injected compile faults, %d quarantines, \
-           %d retries, 0 wrong outputs)\n"
-          report.Service.rp_corrupted_bodies report.Service.rp_injected_compile
-          report.Service.rp_quarantines report.Service.rp_retries
+          "chaos verdict: OK — every arrival accounted (%d answered, %d \
+           shed, %d timed out, %d disconnected, 0 lost, 0 wrong outputs)\n"
+          rep.Serve.sr_answered
+          (rep.Serve.sr_shed_ingress + rep.Serve.sr_shed_overload)
+          (rep.Serve.sr_deadline_misses + rep.Serve.sr_stream_deadline_misses
+         + rep.Serve.sr_injected_exhaustions)
+          rep.Serve.sr_disconnected
+    end
+    else begin
+      let report = Service.replay ~stats cfg trace in
+      (if no_faults then
+         (* No faults, no oracle: this IS a serve-replay, printed
+            byte-identically so the healthy path is provably unchanged. *)
+         Printf.printf "serve-replay on %s (%s profile, hotness %d)\n"
+           target.Vapor_targets.Target.name profile.Profile.name hotness
+       else begin
+         Printf.printf "chaos-replay on %s (%s profile, hotness %d, seed %d)\n"
+           target.Vapor_targets.Target.name profile.Profile.name hotness seed;
+         Printf.printf
+           "  faults: corrupt %.2f, compile-fault %.2f, drop-simd %s, \
+            oracle every %d run(s), retry budget %d\n"
+           corrupt_rate compile_fault_rate
+           (match drop_simd_at with
+           | Some at -> Printf.sprintf "@%d" at
+           | None -> "off")
+           (max 1 oracle_every) retry_budget;
+         if store_corrupt_rate > 0.0 then
+           Printf.printf "  store faults: corrupt %.2f on probe reads\n"
+             store_corrupt_rate
+       end);
+      Service.print_report report;
+      Printf.printf "runtime metrics:\n%s" (Stats.to_table stats);
+      match faults with
+      | None -> ()
+      | Some _ ->
+        let escaped =
+          report.Service.rp_oracle_mismatches - report.Service.rp_quarantines
+        in
+        if escaped > 0 then begin
+          Printf.printf
+            "chaos verdict: FAIL — %d mismatch(es) without quarantine\n"
+            escaped;
+          exit 1
+        end
+        else
+          Printf.printf
+            "chaos verdict: OK — every injected fault was absorbed \
+             (%d corrupted, %d injected compile faults, %d quarantines, \
+             %d retries, 0 wrong outputs)\n"
+            report.Service.rp_corrupted_bodies
+            report.Service.rp_injected_compile report.Service.rp_quarantines
+            report.Service.rp_retries
+    end
   in
   Cmd.v
     (Cmd.info "chaos-replay"
@@ -658,7 +743,554 @@ let chaos_replay_cmd =
       const run $ target_arg $ profile_arg $ length_arg $ seed_arg
       $ hotness_arg $ no_faults_arg $ corrupt_rate_arg
       $ compile_fault_rate_arg $ drop_simd_arg $ oracle_every_arg
-      $ retry_budget_arg $ store_dir_arg $ store_corrupt_rate_arg)
+      $ retry_budget_arg $ store_dir_arg $ store_corrupt_rate_arg
+      $ streams_arg $ stall_rate_arg $ disconnect_rate_arg
+      $ deadline_exhaust_rate_arg)
+
+(* --- vaporc serve / serve-bench: the resilient serving layer ------------
+   Both drive the same deterministic virtual-time engine (lib/serve), so
+   CI needs no sockets: serve-bench synthesizes a multi-stream load from
+   the seeded trace generator; serve executes a line-based script (from
+   stdin or --script) describing streams and events. *)
+
+let backlog_of n = if n <= 0 then None else Some n
+
+let resolve_policy name =
+  match Ingress.policy_of_string name with
+  | Some p -> p
+  | None -> die_unknown ~what:"policy" ~given:name ~valid:[ "block"; "shed" ]
+
+let serve_verdict (rep : Serve.report) ~chaos =
+  let escaped =
+    rep.Serve.sr_service.Service.rp_oracle_mismatches
+    - rep.Serve.sr_service.Service.rp_quarantines
+  in
+  if (chaos && escaped > 0) || rep.Serve.sr_lost <> 0 then begin
+    Printf.printf
+      "serve verdict: FAIL — %d mismatch(es) without quarantine, %d lost \
+       event(s)\n"
+      (max 0 escaped) rep.Serve.sr_lost;
+    exit 1
+  end
+  else
+    Printf.printf
+      "serve verdict: OK — every arrival accounted (%d answered, %d shed, \
+       %d timed out, %d disconnected, 0 lost)\n"
+      rep.Serve.sr_answered
+      (rep.Serve.sr_shed_ingress + rep.Serve.sr_shed_overload)
+      (rep.Serve.sr_deadline_misses + rep.Serve.sr_stream_deadline_misses
+     + rep.Serve.sr_injected_exhaustions)
+      rep.Serve.sr_disconnected
+
+let serve_bench_cmd =
+  let length_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "length" ] ~docv:"N" ~doc:"Number of trace events to serve.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for the trace and (under --chaos) the fault injector.")
+  in
+  let hotness_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "hotness" ] ~docv:"N"
+          ~doc:"Interpreter invocations before JIT promotion.")
+  in
+  let kernels_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "kernels" ] ~docv:"NAMES"
+          ~doc:"Comma-separated suite kernels (default: the standard mix).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Session-pool shards; the report is identical for any N.")
+  in
+  let streams_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "streams" ] ~docv:"N"
+          ~doc:"Concurrent ingress streams the trace is split across.")
+  in
+  let lanes_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "lanes" ] ~docv:"N"
+          ~doc:"Concurrency lanes (virtual service slots).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Global in-flight admission budget.")
+  in
+  let backlog_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:
+            "Global queued-event watermark; above it the lowest-priority \
+             shed-policy queues are trimmed (0 = never trim).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-cap" ] ~docv:"N" ~doc:"Per-stream ingress queue bound.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "block"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Backpressure policy when a queue fills: 'block' (producer \
+             stalls) or 'shed' (drop and account).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"CYCLES"
+          ~doc:
+            "Per-event deadline: an event queued longer than $(docv) \
+             virtual cycles times out with its buffers untouched.")
+  in
+  let stream_deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stream-deadline" ] ~docv:"CYCLES"
+          ~doc:"Absolute virtual-cycle cutoff applied to every stream.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "interval" ] ~docv:"CYCLES"
+          ~doc:
+            "Virtual cycles between successive arrivals (0 floods \
+             everything at t=0 — the overload setting).")
+  in
+  let priority_levels_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "priority-levels" ] ~docv:"N"
+          ~doc:
+            "Spread streams across $(docv) priority levels; sheds hit the \
+             lowest priority first.")
+  in
+  let breaker_threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive failures (mismatch, fault, or timeout) that open \
+             a kernel's circuit breaker.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "breaker-cooldown" ] ~docv:"CYCLES"
+          ~doc:"Virtual cycles an open breaker dwells before its probe.")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject the serving chaos mix (corrupt bodies, transient \
+             compile faults, consumer stalls, disconnects, deadline \
+             exhaustion) with the differential oracle on.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Persistent code store (created if missing).")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export the metrics registry (including serve.* gauges) to \
+             $(docv): Prometheus text format, or JSON when $(docv) ends \
+             in .json.")
+  in
+  let run target profile length seed hotness kernels domains streams lanes
+      budget backlog queue_cap policy deadline stream_deadline interval
+      priority_levels breaker_threshold breaker_cooldown chaos store_dir
+      metrics_out =
+    let target = resolve_target target in
+    let policy = resolve_policy policy in
+    let store = Option.map (open_store_or_die ~create:true) store_dir in
+    let kernels =
+      Option.map (List.map (fun n -> (resolve_kernel n).Suite.name)) kernels
+    in
+    let trace = Trace.standard ~seed ?kernels ~length ~n_targets:1 () in
+    let faults =
+      if chaos then
+        Some (Vapor_runtime.Faults.make
+                (Vapor_runtime.Faults.serve_chaos_spec ~seed))
+      else None
+    in
+    let guard =
+      match faults with
+      | None -> Vapor_runtime.Tiered.no_guard
+      | Some f ->
+        {
+          Vapor_runtime.Tiered.g_oracle = Some Vapor_runtime.Tiered.oracle_always;
+          g_faults = Some f;
+          g_retry_budget = 3;
+        }
+    in
+    let cfg =
+      {
+        (Service.default_config ~targets:[ target ]) with
+        Service.cfg_profile = profile;
+        cfg_hotness = hotness;
+        cfg_guard = guard;
+        cfg_store = store;
+      }
+    in
+    let serve_cfg =
+      {
+        Serve.sv_service = cfg;
+        sv_domains = domains;
+        sv_lanes = lanes;
+        sv_budget = budget;
+        sv_backlog = backlog_of backlog;
+        sv_faults = faults;
+        sv_breaker_threshold = breaker_threshold;
+        sv_breaker_cooldown = breaker_cooldown;
+      }
+    in
+    let wl =
+      Workload.of_trace ~streams ~policy ~queue_cap ?deadline
+        ?stream_deadline ~interval ~priority_levels trace
+    in
+    let stats = Stats.create () in
+    let rep = Serve.run ~stats serve_cfg wl in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (if Filename.check_suffix path ".json" then Stats.to_json stats
+           else Stats.to_prometheus stats);
+        close_out oc)
+      metrics_out;
+    Printf.printf "serve-bench on %s (%s profile, hotness %d, seed %d)\n"
+      target.Vapor_targets.Target.name profile.Profile.name hotness seed;
+    Serve.print_report rep;
+    Printf.printf "runtime metrics:\n%s" (Stats.to_table stats);
+    serve_verdict rep ~chaos
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive a deterministic multi-stream load through the serving \
+          layer (bounded ingress queues, admission budget, deadlines, \
+          per-kernel circuit breakers, graceful drain) entirely \
+          in-process over virtual time — no sockets, byte-identical \
+          output per seed and flags.")
+    Term.(
+      const run $ target_arg $ profile_arg $ length_arg $ seed_arg
+      $ hotness_arg $ kernels_arg $ domains_arg $ streams_arg $ lanes_arg
+      $ budget_arg $ backlog_arg $ queue_cap_arg $ policy_arg
+      $ deadline_arg $ stream_deadline_arg $ interval_arg
+      $ priority_levels_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+      $ chaos_arg $ store_arg $ metrics_out_arg)
+
+(* The serve script language, one directive per line ('#' comments):
+
+     stream <id> [priority=N] [policy=block|shed] [cap=N]
+                 [deadline=N] [stream-deadline=N]
+     event <stream-id> <kernel> [at=CYCLES] [scale=N]
+     drain
+
+   Stream ids must be dense (0..n-1).  Events keep their input order as
+   the global sequence; arrivals are sorted by (at, sequence).  'drain'
+   (optional) ends the script; serving always finishes with the full
+   graceful drain. *)
+
+let parse_serve_script lines =
+  let streams = Hashtbl.create 8 in
+  let events = ref [] in
+  let n_events = ref 0 in
+  let fail lineno msg =
+    Printf.eprintf "vaporc serve: line %d: %s\n" lineno msg;
+    exit 2
+  in
+  let kv_int lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "expected an integer, got '%s'" s)
+  in
+  let split_kv lineno tok =
+    match String.index_opt tok '=' with
+    | None -> fail lineno (Printf.sprintf "expected key=value, got '%s'" tok)
+    | Some i ->
+      ( String.sub tok 0 i,
+        String.sub tok (i + 1) (String.length tok - i - 1) )
+  in
+  let done_ = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let toks =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun t -> t <> "")
+      in
+      if (not !done_) && toks <> [] then
+        match toks with
+        | [ "drain" ] -> done_ := true
+        | "stream" :: id :: opts ->
+          let id = kv_int lineno id in
+          let priority = ref 0 in
+          let policy = ref Ingress.Block in
+          let cap = ref 16 in
+          let deadline = ref None in
+          let stream_deadline = ref None in
+          List.iter
+            (fun tok ->
+              let k, v = split_kv lineno tok in
+              match k with
+              | "priority" -> priority := kv_int lineno v
+              | "policy" -> policy := resolve_policy v
+              | "cap" -> cap := kv_int lineno v
+              | "deadline" -> deadline := Some (kv_int lineno v)
+              | "stream-deadline" ->
+                stream_deadline := Some (kv_int lineno v)
+              | _ -> fail lineno (Printf.sprintf "unknown stream option '%s'" k))
+            opts;
+          Hashtbl.replace streams id
+            (Workload.stream ~id ~priority:!priority ~policy:!policy
+               ~queue_cap:!cap ?deadline:!deadline
+               ?stream_deadline:!stream_deadline ())
+        | "event" :: sid :: kernel :: opts ->
+          let sid = kv_int lineno sid in
+          let at = ref 0 in
+          let scale = ref 2 in
+          List.iter
+            (fun tok ->
+              let k, v = split_kv lineno tok in
+              match k with
+              | "at" -> at := kv_int lineno v
+              | "scale" -> scale := kv_int lineno v
+              | _ -> fail lineno (Printf.sprintf "unknown event option '%s'" k))
+            opts;
+          let kernel = (resolve_kernel kernel).Suite.name in
+          events := (!at, !n_events, sid, kernel, !scale) :: !events;
+          incr n_events
+        | cmd :: _ ->
+          fail lineno (Printf.sprintf "unknown directive '%s'" cmd)
+        | [] -> ())
+    lines;
+  let events = List.rev !events in
+  (* Dense stream table: every referenced id must exist (or be declared);
+     undeclared referenced ids get the defaults. *)
+  List.iter
+    (fun (_, _, sid, _, _) ->
+      if not (Hashtbl.mem streams sid) then
+        Hashtbl.replace streams sid (Workload.stream ~id:sid ()))
+    events;
+  let n_streams = Hashtbl.length streams in
+  let wl_streams =
+    Array.init n_streams (fun i ->
+        match Hashtbl.find_opt streams i with
+        | Some s -> s
+        | None ->
+          Printf.eprintf
+            "vaporc serve: stream ids must be dense 0..%d (missing %d)\n"
+            (n_streams - 1) i;
+          exit 2)
+  in
+  let sorted =
+    List.stable_sort
+      (fun (at1, seq1, _, _, _) (at2, seq2, _, _, _) ->
+        match compare at1 at2 with 0 -> compare seq1 seq2 | c -> c)
+      events
+  in
+  let stream_seqs = Array.make (max 1 n_streams) 0 in
+  let arrivals =
+    List.map
+      (fun (at, seq, sid, kernel, scale) ->
+        let k = stream_seqs.(sid) in
+        stream_seqs.(sid) <- k + 1;
+        {
+          Workload.ar_at = at;
+          ar_seq = seq;
+          ar_stream = sid;
+          ar_stream_seq = k;
+          ar_event =
+            {
+              Trace.ev_index = seq;
+              ev_kernel = kernel;
+              ev_target = 0;
+              ev_scale = scale;
+            };
+        })
+      sorted
+  in
+  let kernels =
+    List.sort_uniq compare
+      (List.map (fun (_, _, _, k, _) -> k) events)
+  in
+  {
+    Workload.wl_desc =
+      Printf.sprintf "serve-script(%d events, %d streams)" !n_events
+        n_streams;
+    wl_kernels = kernels;
+    wl_streams;
+    wl_arrivals = Array.of_list arrivals;
+  }
+
+let serve_cmd =
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Serve script to execute (default: read from stdin).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Session-pool shards; the report is identical for any N.")
+  in
+  let lanes_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "lanes" ] ~docv:"N" ~doc:"Concurrency lanes.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "budget" ] ~docv:"N" ~doc:"Global in-flight admission budget.")
+  in
+  let backlog_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Global backlog watermark (0 = never trim).")
+  in
+  let hotness_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "hotness" ] ~docv:"N"
+          ~doc:"Interpreter invocations before JIT promotion.")
+  in
+  let breaker_threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:"Consecutive failures that open a kernel's breaker.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "breaker-cooldown" ] ~docv:"CYCLES"
+          ~doc:"Virtual cycles an open breaker dwells before its probe.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Persistent code store (created if missing).")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export the metrics registry (including serve.* gauges) to \
+             $(docv): Prometheus text, or JSON for .json paths.")
+  in
+  let run target profile script domains lanes budget backlog hotness
+      breaker_threshold breaker_cooldown store_dir metrics_out =
+    let target = resolve_target target in
+    let store = Option.map (open_store_or_die ~create:true) store_dir in
+    let lines =
+      match script with
+      | Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        String.split_on_char '\n' src
+      | None ->
+        let rec read acc =
+          match input_line stdin with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        read []
+    in
+    let wl = parse_serve_script lines in
+    if Array.length wl.Workload.wl_arrivals = 0 then begin
+      Printf.eprintf "vaporc serve: the script contains no events\n";
+      exit 2
+    end;
+    let cfg =
+      {
+        (Service.default_config ~targets:[ target ]) with
+        Service.cfg_profile = profile;
+        cfg_hotness = hotness;
+        cfg_store = store;
+      }
+    in
+    let serve_cfg =
+      {
+        Serve.sv_service = cfg;
+        sv_domains = domains;
+        sv_lanes = lanes;
+        sv_budget = budget;
+        sv_backlog = backlog_of backlog;
+        sv_faults = None;
+        sv_breaker_threshold = breaker_threshold;
+        sv_breaker_cooldown = breaker_cooldown;
+      }
+    in
+    let stats = Stats.create () in
+    let rep = Serve.run ~stats serve_cfg wl in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (if Filename.check_suffix path ".json" then Stats.to_json stats
+           else Stats.to_prometheus stats);
+        close_out oc)
+      metrics_out;
+    Serve.print_report rep;
+    serve_verdict rep ~chaos:false
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a scripted stream workload ('stream'/'event'/'drain' \
+          lines from stdin or --script) through the resilient serving \
+          layer and print the drain report.  The same virtual-time \
+          engine as serve-bench: deterministic, no sockets.")
+    Term.(
+      const run $ target_arg $ profile_arg $ script_arg $ domains_arg
+      $ lanes_arg $ budget_arg $ backlog_arg $ hotness_arg
+      $ breaker_threshold_arg $ breaker_cooldown_arg $ store_arg
+      $ metrics_out_arg)
 
 (* --- vaporc cache: persistent-store maintenance -------------------------
    None of these create a store: pointing them at a missing or unusable
@@ -904,7 +1536,8 @@ let () =
       [
         list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
         encode_cmd; disasm_cmd; serve_replay_cmd; chaos_replay_cmd;
-        cache_cmd; jit_report_cmd; experiments_cmd;
+        serve_bench_cmd; serve_cmd; cache_cmd; jit_report_cmd;
+        experiments_cmd;
       ]
   in
   let die msg =

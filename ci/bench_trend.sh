@@ -57,9 +57,16 @@ regressions=$(jq -rn --slurpfile base "$baseline" --slurpfile cur "$current" '
     | select($b.warm_events_per_s != null and $b.warm_events_per_s > 0
              and (.warm_events_per_s // 0) < $b.warm_events_per_s / 10)
     | "store.warm_events_per_s: \($b.warm_events_per_s) -> \(.warm_events_per_s)";
+  def serve_hib:
+    ($base[0].serve // {}) as $b
+    | ($cur[0].serve // {})
+    | select($b.events_per_s != null and $b.events_per_s > 0
+             and (.events_per_s // 0) < $b.events_per_s / 10)
+    | "serve.events_per_s: \($b.events_per_s) -> \(.events_per_s)";
   [ hib("replay"; "target"; "fast_events_per_s"),
     hib("domains"; "domains"; "events_per_s"),
     store_hib,
+    serve_hib,
     micro_lib ]
   | .[]' 2>/dev/null || true)
 
@@ -80,4 +87,49 @@ if [ "$(jq -r '.store.report_identical // "missing"' "$current")" != "true" ]; t
   exit 1
 fi
 
+# --- serving correctness (hard invariants, like the store's) ----------------
+# The drained serve report must match a plain replay byte-for-byte, lose no
+# events, and conserve every arrival under serving-shaped chaos.
+if [ "$(jq -r '.serve.lost // "missing"' "$current")" != "0" ]; then
+  echo "FAIL: serve.lost != 0 (serving layer lost events)"
+  exit 1
+fi
+if [ "$(jq -r '.serve.report_identical // "missing"' "$current")" != "true" ]; then
+  echo "FAIL: serve.report_identical != true (drained report diverged from replay)"
+  exit 1
+fi
+if [ "$(jq -r '.serve.chaos_conserved // "missing"' "$current")" != "true" ]; then
+  echo "FAIL: serve.chaos_conserved != true (chaos run leaked events or mismatches)"
+  exit 1
+fi
+
+# --- multi-domain scaling (cores-aware) -------------------------------------
+# pool_run clamps spawned OS domains to the machine's core count, so the
+# 4-domain target only applies where 4 cores existed when BENCH.json was
+# generated.  On smaller runners the gate degrades to a no-regression floor:
+# sharding must never cost more than ~15% against single-domain replay.
+cores=$(jq -r '.cores // 1' "$current")
+ratio=$(jq -r '
+  (.domains // []) as $d
+  | ($d | map(select(.domains == 1)) | .[0].events_per_s) as $one
+  | ($d | map(select(.domains == 4)) | .[0].events_per_s) as $four
+  | if ($one // 0) > 0 and ($four // 0) > 0 then $four / $one else "missing" end
+' "$current")
+if [ "$ratio" = "missing" ]; then
+  echo "FAIL: domains curve missing 1- or 4-domain row"
+  exit 1
+fi
+if [ "$cores" -ge 4 ]; then
+  if ! jq -en --argjson r "$ratio" '$r >= 1.5' > /dev/null; then
+    echo "FAIL: 4-domain replay only ${ratio}x of single-domain (need >= 1.5x on ${cores} cores)"
+    exit 1
+  fi
+else
+  if ! jq -en --argjson r "$ratio" '$r >= 0.85' > /dev/null; then
+    echo "FAIL: 4-domain replay regressed to ${ratio}x of single-domain (floor 0.85x on ${cores} cores)"
+    exit 1
+  fi
+fi
+
 echo "OK: BENCH.json matches baseline structure, no >10x regression"
+echo "OK: serving invariants hold; domains 4/1 ratio ${ratio}x on ${cores} cores"

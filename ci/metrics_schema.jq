@@ -1,11 +1,15 @@
-# Schema for `vaporc serve-replay --metrics out.json`
+# Schema for `vaporc serve-replay --metrics out.json` (and the serving
+# commands `vaporc serve` / `vaporc serve-bench`):
 # (jq -e -f ci/metrics_schema.jq out.json).
 #
 # The registry must export the three sections; counters are monotonic so
 # every value must be a non-negative integer; histogram summaries must be
 # internally consistent (count >= 0, min <= max, count*min <= sum); the
 # persistent-store gauges (store.*) are whole-store facts and can never
-# be negative.
+# be negative; the serving gauges (serve.*) are per-run drain facts —
+# non-negative whole numbers, and when a serving run exported them the
+# conservation identity must balance: every admitted arrival is answered,
+# shed, timed out, or disconnected — serve.lost is identically zero.
 
 (has("counters") and has("gauges") and has("histograms"))
 and (.counters | type == "object"
@@ -14,6 +18,20 @@ and (.gauges | type == "object" and ([.[]] | all(type == "number")))
 and (.gauges | to_entries
      | map(select(.key | startswith("store.")))
      | all(.value >= 0))
+and (.gauges | to_entries
+     | map(select(.key | startswith("serve.")))
+     | all(.value >= 0 and (.value == (.value | floor))))
+and (.gauges
+     | if has("serve.total") then
+         (."serve.lost" // 0) == 0
+         and ."serve.total"
+             == ((."serve.answered" // 0) + (."serve.shed_ingress" // 0)
+                 + (."serve.shed_overload" // 0)
+                 + (."serve.deadline_misses" // 0)
+                 + (."serve.stream_deadline_misses" // 0)
+                 + (."serve.injected_exhaustions" // 0)
+                 + (."serve.disconnected" // 0))
+       else true end)
 and (.histograms | type == "object"
      and ([.[]]
           | all(has("count") and has("sum") and has("min") and has("max")

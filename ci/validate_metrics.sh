@@ -46,16 +46,17 @@ jq -e -f "$here/metrics_schema.jq" "$json" > /dev/null \
   || { echo "FAIL: $json violates ci/metrics_schema.jq"; exit 1; }
 
 # --- cross-export consistency ----------------------------------------------
-# Every store.* gauge in the JSON export must also be exposed in the
-# Prometheus text (as vapor_store_*): the two exports come from one
-# registry and must not drift.
-missing=$(jq -r '.gauges | keys[] | select(startswith("store."))' "$json" \
+# Every store.* and serve.* gauge in the JSON export must also be exposed
+# in the Prometheus text (as vapor_store_* / vapor_serve_*): the two
+# exports come from one registry and must not drift.
+missing=$(jq -r '.gauges | keys[]
+                 | select(startswith("store.") or startswith("serve."))' "$json" \
   | while read -r g; do
       pn="vapor_$(echo "$g" | tr '.-' '__')"
       grep -q "^$pn " "$prom" || echo "$g ($pn)"
     done)
 if [ -n "$missing" ]; then
-  echo "FAIL: store gauges in $json missing from $prom:"
+  echo "FAIL: store/serve gauges in $json missing from $prom:"
   echo "$missing"
   exit 1
 fi

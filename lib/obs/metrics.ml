@@ -59,6 +59,11 @@ let add_gauge t name v =
   | Some r -> r := !r +. v
   | None -> Hashtbl.replace t.gauges name (ref v)
 
+let max_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
 let gauge t name =
   match Hashtbl.find_opt t.gauges name with
   | Some r -> Some !r

@@ -50,6 +50,10 @@ val set_gauge : t -> string -> float -> unit
     count-like gauges. *)
 val add_gauge : t -> string -> float -> unit
 
+(** Raise a gauge to [v] if [v] is larger (creates it at [v]); the
+    recording primitive for high-water marks such as peak queue depth. *)
+val max_gauge : t -> string -> float -> unit
+
 (** [None] if the gauge was never set. *)
 val gauge : t -> string -> float option
 

@@ -17,6 +17,12 @@ type spec = {
   f_drop_simd_at : int option;  (* trace index where SIMD capability drops *)
   f_store_corrupt_rate : float;
       (* P(a persistent-store read comes back with mangled bytes) *)
+  (* serving-shaped faults, exercised by the serve engine *)
+  f_stall_rate : float;  (* P(the consumer of a response stalls) *)
+  f_stall_ticks : int;  (* virtual-cycle length of one consumer stall *)
+  f_disconnect_rate : float;  (* P(a stream disconnects mid-run), per stream *)
+  f_deadline_exhaust_rate : float;
+      (* P(a dispatched event's remaining deadline budget is burned) *)
 }
 
 let default_spec =
@@ -27,16 +33,30 @@ let default_spec =
     f_max_transient = 2;
     f_drop_simd_at = None;
     f_store_corrupt_rate = 0.0;
+    f_stall_rate = 0.0;
+    f_stall_ticks = 50_000;
+    f_disconnect_rate = 0.0;
+    f_deadline_exhaust_rate = 0.0;
   }
 
 let chaos_spec ~seed =
   {
+    default_spec with
     f_seed = seed;
     f_corrupt_rate = 0.05;
     f_compile_fault_rate = 0.25;
     f_max_transient = 2;
-    f_drop_simd_at = None;
-    f_store_corrupt_rate = 0.0;
+  }
+
+(* The serve-bench chaos default: the compile/corruption chaos above plus
+   the serving-shaped faults — slow consumers, mid-stream disconnects,
+   and deadline-budget exhaustion. *)
+let serve_chaos_spec ~seed =
+  {
+    (chaos_spec ~seed) with
+    f_stall_rate = 0.05;
+    f_disconnect_rate = 0.2;
+    f_deadline_exhaust_rate = 0.02;
   }
 
 type t = {
@@ -50,12 +70,19 @@ type t = {
   mutable compile_draws : int;
   mutable store_draws : int;
   mutable store_corrupted : int;
+  mutable stall_draws : int;
+  mutable stalls : int;
+  mutable disconnect_draws : int;
+  mutable disconnects : int;
+  mutable deadline_draws : int;
+  mutable deadline_exhausts : int;
 }
 
 let make spec =
   { spec; state = ref (Int64.of_int spec.f_seed); injected_compile = 0;
     corrupted = 0; corrupt_draws = 0; compile_draws = 0; store_draws = 0;
-    store_corrupted = 0 }
+    store_corrupted = 0; stall_draws = 0; stalls = 0; disconnect_draws = 0;
+    disconnects = 0; deadline_draws = 0; deadline_exhausts = 0 }
 
 let spec t = t.spec
 let injected_compile_count t = t.injected_compile
@@ -64,6 +91,12 @@ let corrupt_draws t = t.corrupt_draws
 let compile_fault_draws t = t.compile_draws
 let store_corrupt_draws t = t.store_draws
 let store_corrupted_count t = t.store_corrupted
+let stall_draws t = t.stall_draws
+let stall_count t = t.stalls
+let disconnect_draws t = t.disconnect_draws
+let disconnect_count t = t.disconnects
+let deadline_exhaust_draws t = t.deadline_draws
+let deadline_exhaust_count t = t.deadline_exhausts
 
 (* splitmix64, same constants as Trace's generator. *)
 let mix (state : int64 ref) : int64 =
@@ -112,6 +145,57 @@ let should_corrupt_store t =
   && begin
     t.store_draws <- t.store_draws + 1;
     rand_float t < t.spec.f_store_corrupt_rate
+  end
+
+(* Serving-shaped fault points.  Each draws from the same splitmix64
+   stream as every other fault point, so one seed fixes the whole chaos
+   schedule: stalls, disconnects, and budget burns land at the same
+   serve-loop steps run after run. *)
+
+(* [Some ticks] when the consumer of the response just produced stalls
+   for [ticks] virtual cycles (the slow-consumer fault: the worker slot
+   stays busy while the response drains). *)
+let consumer_stall t : int option =
+  if t.spec.f_stall_rate <= 0.0 then None
+  else if begin
+    t.stall_draws <- t.stall_draws + 1;
+    rand_float t < t.spec.f_stall_rate
+  end then begin
+    t.stalls <- t.stalls + 1;
+    Some (max 1 t.spec.f_stall_ticks)
+  end
+  else None
+
+(* One draw per stream (at admission of its first event): does this
+   stream disconnect mid-run?  [Some frac] gives the position in the
+   stream's own event sequence (fraction in (0,1)) past which every
+   event is lost to the disconnect — all of them must still be
+   accounted, never silently dropped. *)
+let stream_disconnect t : float option =
+  if t.spec.f_disconnect_rate <= 0.0 then None
+  else if begin
+    t.disconnect_draws <- t.disconnect_draws + 1;
+    rand_float t < t.spec.f_disconnect_rate
+  end then begin
+    t.disconnects <- t.disconnects + 1;
+    (* strictly inside (0,1): at least one event survives, at least the
+       last is lost *)
+    Some (0.1 +. (0.8 *. rand_float t))
+  end
+  else None
+
+(* One draw per dispatched event: is its remaining deadline budget
+   burned (the deadline-budget-exhaustion fault)?  The serve loop turns
+   this into a typed timeout with buffers untouched. *)
+let deadline_exhausted t : bool =
+  t.spec.f_deadline_exhaust_rate > 0.0
+  && begin
+    t.deadline_draws <- t.deadline_draws + 1;
+    if rand_float t < t.spec.f_deadline_exhaust_rate then begin
+      t.deadline_exhausts <- t.deadline_exhausts + 1;
+      true
+    end
+    else false
   end
 
 (* Mangle the bytes a store probe read from disk, the way a flipped bit

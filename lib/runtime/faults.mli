@@ -20,6 +20,16 @@ type spec = {
   f_store_corrupt_rate : float;
       (** probability a persistent-store probe reads mangled bytes; the
           store's checksum layer must detect and quarantine *)
+  f_stall_rate : float;
+      (** probability the consumer of a serve response stalls, holding its
+          worker slot for [f_stall_ticks] virtual cycles *)
+  f_stall_ticks : int;
+      (** virtual-cycle length of one consumer stall *)
+  f_disconnect_rate : float;
+      (** probability (per stream) that the stream disconnects mid-run *)
+  f_deadline_exhaust_rate : float;
+      (** probability (per dispatched event) that its remaining deadline
+          budget is burned before execution starts *)
 }
 
 (** All rates zero: a harness with no faults. *)
@@ -28,6 +38,11 @@ val default_spec : spec
 (** The chaos-replay default: 5% corruption, 25% transient compile
     faults, 2 transient retries. *)
 val chaos_spec : seed:int -> spec
+
+(** The serve-bench chaos default: {!chaos_spec} plus the serving-shaped
+    faults (5% consumer stalls, 20% stream disconnects, 2% deadline
+    budget exhaustion). *)
+val serve_chaos_spec : seed:int -> spec
 
 type t
 
@@ -53,6 +68,17 @@ val store_corrupt_draws : t -> int
 (** Total store reads actually mangled so far. *)
 val store_corrupted_count : t -> int
 
+(** Draw/fire counters for the serving-shaped fault points, mirroring the
+    pairs above — serve chaos accounting relies on these to prove no lost
+    event escaped. *)
+
+val stall_draws : t -> int
+val stall_count : t -> int
+val disconnect_draws : t -> int
+val disconnect_count : t -> int
+val deadline_exhaust_draws : t -> int
+val deadline_exhaust_count : t -> int
+
 (** [Some reason] when compile attempt [attempt] (0 = first try) should
     fail with an injected transient fault.  Attempts past
     [f_max_transient] never fail. *)
@@ -63,6 +89,20 @@ val should_corrupt : t -> bool
 
 (** One draw against [f_store_corrupt_rate]. *)
 val should_corrupt_store : t -> bool
+
+(** One draw against [f_stall_rate]: [Some ticks] when the consumer of
+    the response just produced stalls for [ticks] virtual cycles. *)
+val consumer_stall : t -> int option
+
+(** One draw against [f_disconnect_rate] (made once per stream):
+    [Some frac] when the stream disconnects after fraction [frac] of its
+    own events, [frac] strictly inside (0,1). *)
+val stream_disconnect : t -> float option
+
+(** One draw against [f_deadline_exhaust_rate] (made per dispatched
+    event): [true] when the event's remaining deadline budget is burned
+    before it executes. *)
+val deadline_exhausted : t -> bool
 
 (** XOR one stream-chosen byte of a store read — the disk-corruption
     chaos mode.  Checksum verification downstream must reject it. *)

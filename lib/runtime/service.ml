@@ -123,85 +123,272 @@ type event_record = {
   er_tier : Tiered.tier;
   er_cycles : int;
   er_compile_us : float;
+  er_outcome : Tiered.run_outcome;
 }
 
-(* Drive [events] (a subsequence of one trace, in trace order) through one
-   tiered runtime.  Triggers (rejuvenation, SIMD drop) fire at the first
-   owned event at or past their index, so a shard that does not own the
-   exact trigger event still switches at the same point in its own
-   subsequence. *)
-let run_events ~cache ~tiered ~table ~(st : Stats.t) (cfg : config) events =
-  let targets = Array.of_list cfg.cfg_targets in
-  let rejuvenated = ref false and dropped = ref false in
-  List.map
-    (fun (ev : Trace.event) ->
-      let retarget ~from_t ~to_t =
-        ignore (Code_cache.invalidate_target cache ~from_target:from_t
-                  ~to_target:to_t);
-        ignore (Tiered.migrate_target tiered ~from_target:from_t
-                  ~to_target:to_t);
-        (* The persistent tier quarantines the stale target too, at
-           merge time (Revec: never silently serve stale code). *)
-        (match Tiered.store tiered with
-        | Some ss ->
-          Store.defer_invalidate ss ~from_target:from_t.Target.name
-        | None -> ());
-        Array.iteri
-          (fun i t ->
-            if String.equal t.Target.name from_t.Target.name then
-              targets.(i) <- to_t)
-          targets
-      in
-      (match cfg.cfg_rejuvenate with
-      | Some (at, from_t, to_t)
-        when (not !rejuvenated) && ev.Trace.ev_index >= at ->
-        rejuvenated := true;
-        retarget ~from_t ~to_t
-      | _ -> ());
-      (match cfg.cfg_drop_simd with
-      | Some (at, scalar_t) when (not !dropped) && ev.Trace.ev_index >= at ->
-        (* The fleet loses its vector units: rejuvenate every SIMD
-           target down to scalar code, mid-trace. *)
-        dropped := true;
-        let simd =
-          Array.to_list targets
-          |> List.filter Target.has_simd
-          |> List.sort_uniq (fun a b ->
-                 compare a.Target.name b.Target.name)
-        in
-        List.iter (fun from_t -> retarget ~from_t ~to_t:scalar_t) simd;
-        Stats.incr st "faults.simd_dropped"
-      | _ -> ());
-      let entry, vk, digest = Hashtbl.find table ev.Trace.ev_kernel in
-      let target = targets.(ev.Trace.ev_target mod Array.length targets) in
-      let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
-      let tr = Tiered.tracer tiered in
-      if Tracer.on tr then
-        Tracer.root_begin tr ~ev:ev.Trace.ev_index ~name:"replay_event"
+(* --- session pools ----------------------------------------------------- *)
+
+(* One fully private replay session: its own metrics registry, code
+   cache, tiered runtime, store session, tracer, bytecode table, target
+   array, and trigger state.  Nothing here is shared with any other
+   shard, so shards run on any OS domain — or interleave on one — with
+   no synchronization on the hot path.  (The previous sharded driver
+   shared the bytecode table and spawned one OS domain per logical
+   shard unconditionally; on a box with fewer cores than shards the
+   stop-the-world minor-GC synchronization across oversubscribed
+   domains made 4-way replay slower than 1-way.) *)
+type shard = {
+  sh_index : int;
+  sh_stats : Stats.t;
+  sh_cache : Code_cache.t;
+  sh_tiered : Tiered.t;
+  sh_tracer : Tracer.t;
+  sh_guard : Tiered.guard;
+  sh_table :
+    (string, Suite.entry * Vapor_vecir.Bytecode.vkernel * Digest.t) Hashtbl.t;
+  sh_targets : Target.t array;
+  mutable sh_rejuvenated : bool;
+  mutable sh_dropped : bool;
+}
+
+type pool = {
+  pl_cfg : config;
+  pl_table :
+    (string, Suite.entry * Vapor_vecir.Bytecode.vkernel * Digest.t) Hashtbl.t;
+  pl_shards : shard array;
+  pl_sessions : Store.session array;  (* [||] when no store *)
+  pl_tracer : Tracer.t;  (* the parent tracer shard subs absorb into *)
+}
+
+let pool_create ?(tracer = Tracer.disabled) ?(shards = 1) (cfg : config)
+    ~kernels : pool =
+  if cfg.cfg_targets = [] then invalid_arg "Service.pool_create: no targets";
+  let shards = max 1 shards in
+  (* Vectorize (and parse) every kernel once, on this domain; each shard
+     gets a private copy of the table (the values are immutable). *)
+  let table = bytecode_table kernels in
+  let sessions =
+    match cfg.cfg_store with
+    | None -> [||]
+    | Some store -> Array.init shards (fun i -> Store.session ~id:i store)
+  in
+  (* Guarded sharding is deterministic per (seed, shards): each shard
+     derives its own fault stream from the injector's seed and the shard
+     index.  A single shard keeps the caller's injector object so its
+     counters stay observable. *)
+  let shard_guard i =
+    if shards = 1 then cfg.cfg_guard
+    else
+      match cfg.cfg_guard.Tiered.g_faults with
+      | None -> cfg.cfg_guard
+      | Some f ->
+        let spec = Faults.spec f in
+        {
+          cfg.cfg_guard with
+          Tiered.g_faults =
+            Some
+              (Faults.make
+                 { spec with Faults.f_seed = spec.Faults.f_seed + (31 * i) });
+        }
+  in
+  let mk i =
+    let st = Stats.create () in
+    let guard = shard_guard i in
+    let cache =
+      Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
+        ~max_bytes:cfg.cfg_max_bytes ()
+    in
+    let sh_tracer = if shards = 1 then tracer else Tracer.sub tracer in
+    let tiered =
+      Tiered.create ~stats:st ~guard ~engine:cfg.cfg_engine ~tracer:sh_tracer
+        ?store:(if sessions = [||] then None else Some sessions.(i))
+        ~cache ~hotness_threshold:cfg.cfg_hotness ()
+    in
+    {
+      sh_index = i;
+      sh_stats = st;
+      sh_cache = cache;
+      sh_tiered = tiered;
+      sh_tracer;
+      sh_guard = guard;
+      sh_table = Hashtbl.copy table;
+      sh_targets = Array.of_list cfg.cfg_targets;
+      sh_rejuvenated = false;
+      sh_dropped = false;
+    }
+  in
+  {
+    pl_cfg = cfg;
+    pl_table = table;
+    pl_shards = Array.init shards mk;
+    pl_sessions = sessions;
+    pl_tracer = tracer;
+  }
+
+let pool_shards pool = Array.length pool.pl_shards
+let pool_config pool = pool.pl_cfg
+
+let pool_digest pool ~kernel =
+  let _, _, d = Hashtbl.find pool.pl_table kernel in
+  d
+
+(* Deterministic LPT balance: aggregate per-digest event counts, walk
+   digests heaviest first (ties broken by digest order), assign each to
+   the currently least-loaded shard.  Replaces hash-mod partitioning,
+   whose skew could leave shards nearly idle.  Keyed by digest, not
+   kernel name, so two names that vectorize to the same bytecode always
+   land on the same shard — their tier state is shared. *)
+let pool_assign pool ~(weights : (string * int) list) =
+  let n = Array.length pool.pl_shards in
+  let by_digest = Hashtbl.create 16 in
+  List.iter
+    (fun (kernel, count) ->
+      let d = pool_digest pool ~kernel in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt by_digest d) in
+      Hashtbl.replace by_digest d (prev + count))
+    weights;
+  let digests =
+    Hashtbl.fold (fun d c acc -> (d, c) :: acc) by_digest []
+    |> List.sort (fun (d1, c1) (d2, c2) ->
+           match compare c2 c1 with
+           | 0 -> Digest.compare d1 d2
+           | cmp -> cmp)
+  in
+  let loads = Array.make n 0 in
+  let assign = Hashtbl.create 16 in
+  List.iter
+    (fun (d, c) ->
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if loads.(i) < loads.(!best) then best := i
+      done;
+      loads.(!best) <- loads.(!best) + c;
+      Hashtbl.replace assign d !best)
+    digests;
+  fun kernel ->
+    Option.value ~default:0
+      (Hashtbl.find_opt assign (pool_digest pool ~kernel))
+
+(* Drive one event through one shard's tiered runtime.  Triggers
+   (rejuvenation, SIMD drop) fire at the first owned event at or past
+   their index, so a shard that does not own the exact trigger event
+   still switches at the same point in its own subsequence.
+   [interp_only] / [force_oracle] pass through to {!Tiered.invoke} — the
+   serving layer's breaker-open and half-open-probe modes. *)
+let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
+  let sh = pool.pl_shards.(shard) in
+  let cfg = pool.pl_cfg in
+  let retarget ~from_t ~to_t =
+    ignore
+      (Code_cache.invalidate_target sh.sh_cache ~from_target:from_t
+         ~to_target:to_t);
+    ignore
+      (Tiered.migrate_target sh.sh_tiered ~from_target:from_t ~to_target:to_t);
+    (* The persistent tier quarantines the stale target too, at merge
+       time (Revec: never silently serve stale code). *)
+    (match Tiered.store sh.sh_tiered with
+    | Some ss -> Store.defer_invalidate ss ~from_target:from_t.Target.name
+    | None -> ());
+    Array.iteri
+      (fun i t ->
+        if String.equal t.Target.name from_t.Target.name then
+          sh.sh_targets.(i) <- to_t)
+      sh.sh_targets
+  in
+  (match cfg.cfg_rejuvenate with
+  | Some (at, from_t, to_t)
+    when (not sh.sh_rejuvenated) && ev.Trace.ev_index >= at ->
+    sh.sh_rejuvenated <- true;
+    retarget ~from_t ~to_t
+  | _ -> ());
+  (match cfg.cfg_drop_simd with
+  | Some (at, scalar_t) when (not sh.sh_dropped) && ev.Trace.ev_index >= at ->
+    (* The fleet loses its vector units: rejuvenate every SIMD target
+       down to scalar code, mid-trace. *)
+    sh.sh_dropped <- true;
+    let simd =
+      Array.to_list sh.sh_targets
+      |> List.filter Target.has_simd
+      |> List.sort_uniq (fun a b -> compare a.Target.name b.Target.name)
+    in
+    List.iter (fun from_t -> retarget ~from_t ~to_t:scalar_t) simd;
+    Stats.incr sh.sh_stats "faults.simd_dropped"
+  | _ -> ());
+  let entry, vk, digest = Hashtbl.find sh.sh_table ev.Trace.ev_kernel in
+  let target =
+    sh.sh_targets.(ev.Trace.ev_target mod Array.length sh.sh_targets)
+  in
+  let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
+  let tr = sh.sh_tracer in
+  let invoke () =
+    if Tracer.on tr then
+      Tracer.root_begin tr ~ev:ev.Trace.ev_index ~name:"replay_event"
+        [
+          "kernel", Tracer.S ev.Trace.ev_kernel;
+          "target", Tracer.S target.Target.name;
+          "scale", Tracer.I ev.Trace.ev_scale;
+        ];
+    let r =
+      Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
+        ?force_oracle sh.sh_tiered ~target ~profile:cfg.cfg_profile vk ~args
+    in
+    if Tracer.on tr then
+      Tracer.root_end tr
+        ~attrs:
           [
-            "kernel", Tracer.S ev.Trace.ev_kernel;
-            "target", Tracer.S target.Target.name;
-            "scale", Tracer.I ev.Trace.ev_scale;
-          ];
-      let r =
-        Tiered.invoke ~digest ~label:ev.Trace.ev_kernel tiered ~target
-          ~profile:cfg.cfg_profile vk ~args
+            "tier", Tracer.S (Tiered.tier_to_string r.Tiered.r_tier);
+            "cycles", Tracer.I r.Tiered.r_cycles;
+          ]
+        ~name:"replay_event" ();
+    {
+      er_index = ev.Trace.ev_index;
+      er_tier = r.Tiered.r_tier;
+      er_cycles = r.Tiered.r_cycles;
+      er_compile_us = r.Tiered.r_compile_us;
+      er_outcome = r.Tiered.r_outcome;
+    }
+  in
+  (* The stage sink is domain-local; install it per event so shards can
+     interleave on one domain (the serving loop) and still stream their
+     pipeline-stage timings into their own tracer. *)
+  if Tracer.on tr then Stage.with_sink (Tracer.stage_sink tr) invoke
+  else invoke ()
+
+(* Run the partitioned events: shard [i] processes [parts.(i)] in order.
+   Logical shards are scheduling-independent, so at most
+   [Domain.recommended_domain_count] OS domains are spawned and extra
+   shards fold onto them round-robin — oversubscribing domains past the
+   core count only adds stop-the-world GC synchronization (the cause of
+   the old negative scaling), never parallelism.  Records merge back in
+   trace order, so the result is independent of the worker layout. *)
+let pool_run pool (parts : Trace.event list array) =
+  let n = Array.length pool.pl_shards in
+  if Array.length parts <> n then
+    invalid_arg "Service.pool_run: one event list per shard required";
+  let run i = List.map (fun ev -> shard_step pool ~shard:i ev) parts.(i) in
+  let results =
+    let workers = max 1 (min n (Domain.recommended_domain_count ())) in
+    if workers = 1 then Array.init n run
+    else begin
+      let out = Array.make n [] in
+      let worker p () =
+        let acc = ref [] in
+        let i = ref p in
+        while !i < n do
+          acc := (!i, run !i) :: !acc;
+          i := !i + workers
+        done;
+        !acc
       in
-      if Tracer.on tr then
-        Tracer.root_end tr
-          ~attrs:
-            [
-              "tier", Tracer.S (Tiered.tier_to_string r.Tiered.r_tier);
-              "cycles", Tracer.I r.Tiered.r_cycles;
-            ]
-          ~name:"replay_event" ();
-      {
-        er_index = ev.Trace.ev_index;
-        er_tier = r.Tiered.r_tier;
-        er_cycles = r.Tiered.r_cycles;
-        er_compile_us = r.Tiered.r_compile_us;
-      })
-    events
+      Array.init workers (fun p -> Domain.spawn (worker p))
+      |> Array.iter (fun d ->
+             List.iter (fun (i, recs) -> out.(i) <- recs) (Domain.join d));
+      out
+    end
+  in
+  Array.to_list results
+  |> List.concat
+  |> List.sort (fun a b -> compare a.er_index b.er_index)
 
 let rows_of tiered =
   List.map
@@ -351,6 +538,7 @@ let record_store_gauges ~(store : Store.t) (st : Stats.t) =
   set "store.publishes" c.Store.c_publishes;
   set "store.quarantined" c.Store.c_quarantined;
   set "store.gc_evictions" c.Store.c_gc_evictions;
+  set "store.torn_healed" c.Store.c_torn_healed;
   set "store.entries" (Store.entry_count store);
   set "store.bytes" (Store.byte_count store);
   if c.Store.c_hits + c.Store.c_misses > 0 then
@@ -358,66 +546,84 @@ let record_store_gauges ~(store : Store.t) (st : Stats.t) =
       (float_of_int c.Store.c_hits
       /. float_of_int (c.Store.c_hits + c.Store.c_misses))
 
+(* Fold the pool into its final report: record per-shard gauges, pool
+   registries, absorb shard tracers, run the single-writer store merge,
+   and aggregate cache counters.  Call once, after all events ran. *)
+let pool_report ?stats pool ~trace_desc ~(records : event_record list) :
+    report =
+  let shards = pool.pl_shards in
+  Array.iter
+    (fun sh ->
+      record_gauges ~cache:sh.sh_cache ~tiered:sh.sh_tiered ~guard:sh.sh_guard
+        sh.sh_stats)
+    shards;
+  let st = match stats with Some s -> s | None -> Stats.create () in
+  Array.iter
+    (fun sh ->
+      Stats.merge_into ~dst:st sh.sh_stats;
+      (* a single shard traces straight into the parent tracer *)
+      if Array.length shards > 1 then
+        Tracer.absorb ~into:pool.pl_tracer sh.sh_tracer)
+    shards;
+  finalize_gauges st;
+  (match pool.pl_cfg.cfg_store with
+  | Some store ->
+    Store.merge store (Array.to_list pool.pl_sessions);
+    record_store_gauges ~store st
+  | None -> ());
+  let rows =
+    Array.to_list shards
+    |> List.concat_map (fun sh -> rows_of sh.sh_tiered)
+    |> List.sort (fun a b ->
+           compare (a.kr_kernel, a.kr_target) (b.kr_kernel, b.kr_target))
+  in
+  let sum f = Array.fold_left (fun acc sh -> acc + f sh.sh_cache) 0 shards in
+  let hits = sum Code_cache.hits and misses = sum Code_cache.misses in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  report_of ~trace_desc ~records ~rows ~hits ~misses
+    ~evictions:(sum Code_cache.evictions)
+    ~rejuvenations:(sum Code_cache.rejuvenations)
+    ~hit_rate ~st
+
 let replay ?stats ?(tracer = Tracer.disabled) (cfg : config) (trace : Trace.t)
     : report =
-  if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
-  let st = match stats with Some s -> s | None -> Stats.create () in
-  let cache =
-    Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
-      ~max_bytes:cfg.cfg_max_bytes ()
+  let pool =
+    pool_create ~tracer ~shards:1 cfg ~kernels:trace.Trace.tr_kernels
   in
-  let session = Option.map (Store.session ~id:0) cfg.cfg_store in
-  let tiered =
-    Tiered.create ~stats:st ~guard:cfg.cfg_guard ~engine:cfg.cfg_engine ~tracer
-      ?store:session ~cache ~hotness_threshold:cfg.cfg_hotness ()
-  in
-  let table = bytecode_table trace.Trace.tr_kernels in
-  let records =
-    Stage.with_sink (Tracer.stage_sink tracer) (fun () ->
-        run_events ~cache ~tiered ~table ~st cfg trace.Trace.tr_events)
-  in
-  record_gauges ~cache ~tiered ~guard:cfg.cfg_guard st;
-  finalize_gauges st;
-  (match cfg.cfg_store, session with
-  | Some store, Some ss ->
-    Store.merge store [ ss ];
-    record_store_gauges ~store st
-  | _ -> ());
-  report_of ~trace_desc:(Trace.describe trace) ~records ~rows:(rows_of tiered)
-    ~hits:(Code_cache.hits cache) ~misses:(Code_cache.misses cache)
-    ~evictions:(Code_cache.evictions cache)
-    ~rejuvenations:(Code_cache.rejuvenations cache)
-    ~hit_rate:(Code_cache.hit_rate cache) ~st
+  let records = pool_run pool [| trace.Trace.tr_events |] in
+  pool_report ?stats pool ~trace_desc:(Trace.describe trace) ~records
 
 (* Domain-parallel replay: the trace is partitioned by kernel digest so
    every invocation of one bytecode body lands in the same shard — tier
    state, the code cache, and slot bodies need no cross-domain sharing.
-   Each shard runs its own tiered runtime over its own subsequence of the
-   trace; per-event records are merged back in trace order and per-shard
-   metric registries are pooled, so the merged report is identical for
-   any shard count (and, when each shard's cache stays under budget — no
-   cross-kernel evictions — identical to the single-domain replay).
-
-   Guarded sharding is deterministic per (seed, domains): each shard
-   derives its own fault stream from the injector's seed and the shard
-   index, so fault placement differs from the single-domain stream but
-   replays identically run after run. *)
+   Shard assignment balances per-digest event counts (LPT) and the pool
+   clamps spawned OS domains to the core count; per-event records merge
+   back in trace order, so the merged report is identical for any shard
+   count and any core count (and, when each shard's cache stays under
+   budget — no cross-kernel evictions — identical to the single-domain
+   replay). *)
 let replay_sharded ?stats ?(tracer = Tracer.disabled) ?(domains = 1)
     (cfg : config) (trace : Trace.t) : report =
   if domains <= 1 then replay ?stats ~tracer cfg trace
   else begin
-    if cfg.cfg_targets = [] then invalid_arg "Service.replay: no targets";
-    (* Vectorize (and parse) every kernel on this domain: the shared memo
-       tables behind [bytecode_table] are read-only afterwards. *)
-    let table = bytecode_table trace.Trace.tr_kernels in
-    let shard_of =
-      let tbl = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun name (_, _, d) ->
-          Hashtbl.replace tbl name (Digest.hash d mod domains))
-        table;
-      fun name -> Hashtbl.find tbl name
+    let pool =
+      pool_create ~tracer ~shards:domains cfg ~kernels:trace.Trace.tr_kernels
     in
+    let weights =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (ev : Trace.event) ->
+          let prev =
+            Option.value ~default:0 (Hashtbl.find_opt tbl ev.Trace.ev_kernel)
+          in
+          Hashtbl.replace tbl ev.Trace.ev_kernel (prev + 1))
+        trace.Trace.tr_events;
+      Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+    in
+    let shard_of = pool_assign pool ~weights in
     let parts = Array.make domains [] in
     List.iter
       (fun (ev : Trace.event) ->
@@ -425,93 +631,8 @@ let replay_sharded ?stats ?(tracer = Tracer.disabled) ?(domains = 1)
         parts.(i) <- ev :: parts.(i))
       trace.Trace.tr_events;
     let parts = Array.map List.rev parts in
-    let shard_guard i =
-      match cfg.cfg_guard.Tiered.g_faults with
-      | None -> cfg.cfg_guard
-      | Some f ->
-        let spec = Faults.spec f in
-        {
-          cfg.cfg_guard with
-          Tiered.g_faults =
-            Some (Faults.make { spec with Faults.f_seed = spec.Faults.f_seed + (31 * i) });
-        }
-    in
-    (* Sessions are created on this domain, before the spawn: each shard
-       probes the frozen index and stages into its private dir; the
-       single-writer merge happens after the join. *)
-    let sessions =
-      match cfg.cfg_store with
-      | None -> [||]
-      | Some store -> Array.init domains (fun i -> Store.session ~id:i store)
-    in
-    let run_shard i () =
-      let st = Stats.create () in
-      let shard_tr = Tracer.sub tracer in
-      let guard = shard_guard i in
-      let cache =
-        Code_cache.create ~stats:st ~max_entries:cfg.cfg_max_entries
-          ~max_bytes:cfg.cfg_max_bytes ()
-      in
-      let tiered =
-        Tiered.create ~stats:st ~guard ~engine:cfg.cfg_engine ~tracer:shard_tr
-          ?store:(if sessions = [||] then None else Some sessions.(i))
-          ~cache ~hotness_threshold:cfg.cfg_hotness ()
-      in
-      (* The stage sink is domain-local, so each shard streams its own
-         pipeline-stage timings into its own tracer. *)
-      let records =
-        Stage.with_sink (Tracer.stage_sink shard_tr) (fun () ->
-            run_events ~cache ~tiered ~table ~st cfg parts.(i))
-      in
-      record_gauges ~cache ~tiered ~guard st;
-      ( records,
-        rows_of tiered,
-        ( Code_cache.hits cache,
-          Code_cache.misses cache,
-          Code_cache.evictions cache,
-          Code_cache.rejuvenations cache ),
-        st,
-        shard_tr )
-    in
-    let results =
-      Array.init domains (fun i -> Domain.spawn (run_shard i))
-      |> Array.map Domain.join
-    in
-    let records =
-      Array.to_list results
-      |> List.concat_map (fun (r, _, _, _, _) -> r)
-      |> List.sort (fun a b -> compare a.er_index b.er_index)
-    in
-    let rows =
-      Array.to_list results
-      |> List.concat_map (fun (_, r, _, _, _) -> r)
-      |> List.sort (fun a b ->
-             compare (a.kr_kernel, a.kr_target) (b.kr_kernel, b.kr_target))
-    in
-    let hits, misses, evictions, rejuvenations =
-      Array.fold_left
-        (fun (h, m, e, r) (_, _, (h', m', e', r'), _, _) ->
-          h + h', m + m', e + e', r + r')
-        (0, 0, 0, 0) results
-    in
-    let st = match stats with Some s -> s | None -> Stats.create () in
-    Array.iter
-      (fun (_, _, _, shard_st, shard_tr) ->
-        Stats.merge_into ~dst:st shard_st;
-        Tracer.absorb ~into:tracer shard_tr)
-      results;
-    finalize_gauges st;
-    (match cfg.cfg_store with
-    | Some store ->
-      Store.merge store (Array.to_list sessions);
-      record_store_gauges ~store st
-    | None -> ());
-    let hit_rate =
-      if hits + misses = 0 then 0.0
-      else float_of_int hits /. float_of_int (hits + misses)
-    in
-    report_of ~trace_desc:(Trace.describe trace) ~records ~rows ~hits ~misses
-      ~evictions ~rejuvenations ~hit_rate ~st
+    let records = pool_run pool parts in
+    pool_report ?stats pool ~trace_desc:(Trace.describe trace) ~records
   end
 
 let tier_table_to_string rp =

@@ -94,6 +94,79 @@ type report = {
     byte-identical to the pre-guard runtime's. *)
 val guarded_activity : report -> bool
 
+(** {2 Session pools}
+
+    The reusable unit under both the sharded replay and the serving
+    layer: [shards] fully private replay sessions (each with its own
+    metrics registry, code cache, tiered runtime, store session, tracer
+    and trigger state — no shared mutable state on the hot path), plus
+    the merge machinery that folds them into one {!report}. *)
+
+type pool
+
+(** Per-event accounting record, the unit reports are accumulated from.
+    [er_outcome] carries the guard verdict for the serving layer's
+    circuit breaker. *)
+type event_record = {
+  er_index : int;
+  er_tier : Tiered.tier;
+  er_cycles : int;
+  er_compile_us : float;
+  er_outcome : Tiered.run_outcome;
+}
+
+(** Build a pool of [shards] (default 1) private sessions over the named
+    kernels.  Kernels are vectorized once and each shard gets a private
+    table copy.  When guarded with more than one shard, shard [i]'s
+    fault stream is re-seeded deterministically from the injector seed
+    and [i]; a single shard keeps the caller's injector object. *)
+val pool_create :
+  ?tracer:Vapor_obs.Tracer.t ->
+  ?shards:int ->
+  config ->
+  kernels:string list ->
+  pool
+
+val pool_shards : pool -> int
+val pool_config : pool -> config
+
+(** Content digest of a kernel's vectorized bytecode (raises [Not_found]
+    for a kernel the pool was not created with). *)
+val pool_digest : pool -> kernel:string -> Digest.t
+
+(** Deterministic balanced shard assignment: aggregates [weights]
+    (kernel name, expected event count) by digest and assigns digests to
+    shards heaviest-first onto the least-loaded shard (LPT). Two kernel
+    names sharing one bytecode digest always land together. *)
+val pool_assign : pool -> weights:(string * int) list -> string -> int
+
+(** Drive one event through one shard.  [interp_only] / [force_oracle]
+    pass through to {!Tiered.invoke} (breaker-open serving and the
+    half-open probe).  Safe to interleave shards on one domain; a shard
+    must never be stepped from two domains concurrently. *)
+val shard_step :
+  ?interp_only:bool ->
+  ?force_oracle:bool ->
+  pool ->
+  shard:int ->
+  Trace.event ->
+  event_record
+
+(** Run [parts.(i)] through shard [i], spawning at most
+    [Domain.recommended_domain_count] OS domains (extra logical shards
+    fold onto them round-robin — oversubscription past the core count
+    only costs GC synchronization).  Returns all records sorted in trace
+    order, independent of the worker layout. *)
+val pool_run : pool -> Trace.event list array -> event_record list
+
+(** Fold the pool into its final report: per-shard gauges recorded,
+    registries pooled into [stats] (fresh if omitted), shard tracers
+    absorbed, the single-writer store merge run.  Call once, after all
+    events have run. *)
+val pool_report :
+  ?stats:Stats.t -> pool -> trace_desc:string -> records:event_record list ->
+  report
+
 (** Invocations per million modeled cycles — the replay's throughput
     figure of merit. *)
 val throughput : report -> float
@@ -117,15 +190,17 @@ val replay :
   ?stats:Stats.t -> ?tracer:Vapor_obs.Tracer.t -> config -> Trace.t -> report
 
 (** Domain-parallel replay: partitions the trace by kernel digest across
-    [domains] OCaml domains, runs an independent tiered runtime per shard,
-    and merges per-event records back in trace order — the merged report
-    is identical for any [domains] value (and, when no cache evictions
-    occur, identical to {!replay}).  [domains <= 1] delegates to {!replay}
-    unchanged.  When guarded, each shard derives its own deterministic
-    fault stream from the injector seed and the shard index.  Each shard
-    traces into its own {!Vapor_obs.Tracer.sub} of [tracer], absorbed
-    back after the join; with wall-clock off the pooled trace is
-    byte-identical for any [domains] value. *)
+    [domains] logical shards (balanced by per-digest event count), runs
+    an independent session per shard on at most
+    [Domain.recommended_domain_count] OS domains, and merges per-event
+    records back in trace order — the merged report is identical for any
+    [domains] value and any core count (and, when no cache evictions
+    occur, identical to {!replay}).  [domains <= 1] delegates to
+    {!replay} unchanged.  When guarded, each shard derives its own
+    deterministic fault stream from the injector seed and the shard
+    index.  Each shard traces into its own {!Vapor_obs.Tracer.sub} of
+    [tracer], absorbed back after the join; with wall-clock off the
+    pooled trace is byte-identical for any [domains] value. *)
 val replay_sharded :
   ?stats:Stats.t ->
   ?tracer:Vapor_obs.Tracer.t ->

@@ -111,11 +111,27 @@ let create ?stats ?(guard = no_guard) ?(engine = Fast)
     slot_hits = 0;
   }
 
+(* What the guard machinery concluded about this invocation — the signal
+   the serving layer's per-digest circuit breaker consumes.  [Clean] also
+   covers unguarded runs (nothing checked, nothing failed). *)
+type run_outcome =
+  | Clean
+  | Oracle_mismatch
+  | Exec_fault
+  | Compile_error
+
+let run_outcome_to_string = function
+  | Clean -> "clean"
+  | Oracle_mismatch -> "oracle_mismatch"
+  | Exec_fault -> "exec_fault"
+  | Compile_error -> "compile_error"
+
 type run = {
   r_tier : tier;
   r_cycles : int;
   r_compile_us : float;
   r_cache : Code_cache.outcome option;
+  r_outcome : run_outcome;
 }
 
 (* First-order interpreter cost model: a fixed entry cost, a dispatch cost
@@ -224,13 +240,14 @@ let slot_body t ~digest ~mode vk =
    oracle re-runs the reference interpreter on a copy of the arguments
    (first run, then sampled) — on a mismatch the body is evicted, the
    kernel quarantined, and the caller gets the reference answer. *)
-let interp_run t (s : kstate) ~digest ~(target : Target.t) vk ~args =
+let interp_run ?(force_check = false) t (s : kstate) ~digest
+    ~(target : Target.t) vk ~args =
   let mode = veval_mode target in
   let cycles = interp_cycles vk ~args in
-  let extra =
+  let extra, mismatched =
     if t.engine = Reference || s.ks_quarantined then begin
       ignore (Veval.run vk ~mode ~args);
-      0
+      0, false
     end
     else begin
       let body = slot_body t ~digest ~mode vk in
@@ -242,6 +259,8 @@ let interp_run t (s : kstate) ~digest ~(target : Target.t) vk ~args =
         | _ -> body
       in
       let check =
+        force_check
+        ||
         match t.guard.g_oracle with
         | None -> false
         | Some p ->
@@ -252,7 +271,7 @@ let interp_run t (s : kstate) ~digest ~(target : Target.t) vk ~args =
       in
       if not check then begin
         ignore (Vfast.run body ~args);
-        0
+        0, false
       end
       else begin
         (* Differential check against the reference interpreter — always
@@ -262,13 +281,13 @@ let interp_run t (s : kstate) ~digest ~(target : Target.t) vk ~args =
         Stats.incr t.st "oracle.checks";
         ignore (Veval.run vk ~mode ~args:ref_args);
         let check_cycles = interp_cycles vk ~args:ref_args in
-        if args_equal args ref_args then check_cycles
+        if args_equal args ref_args then check_cycles, false
         else begin
           Stats.incr t.st "oracle.mismatches";
           Hashtbl.remove t.slot_bodies (digest, mode_key mode);
           quarantine t s;
           restore_args ~into:args ~from:ref_args;
-          check_cycles
+          check_cycles, true
         end
       end
     end
@@ -276,7 +295,7 @@ let interp_run t (s : kstate) ~digest ~(target : Target.t) vk ~args =
   s.ks_interp_runs <- s.ks_interp_runs + 1;
   Stats.incr t.st "tier.interp_runs";
   Stats.observe t.st "tier.interp_cycles" (float_of_int cycles);
-  cycles + extra
+  cycles + extra, mismatched
 
 (* Compile with bounded retry against injected transient faults; the
    backoff is modeled microseconds, accumulated into the charge for this
@@ -358,8 +377,8 @@ let store_publish t key vk compiled =
     Store.publish ss (store_key key) vk compiled;
     if Tracer.on tr then Tracer.span_end tr ~name:"store_publish" ()
 
-let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
-    (vk : B.vkernel) ~args =
+let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false) t
+    ~(target : Target.t) ~(profile : Profile.t) (vk : B.vkernel) ~args =
   let d = match digest with Some d -> d | None -> Digest.of_vkernel vk in
   let key =
     {
@@ -384,15 +403,22 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
     Stats.incr t.st "tier.promotions"
   end;
   let tr = t.tracer in
-  match s.ks_tier with
+  (* [interp_only] forces the interpreter path for this invocation without
+     demoting the kernel (breaker-open serving); promotion bookkeeping
+     above still ran, so hotness accrues normally and the kernel resumes
+     JIT serving the moment the caller stops forcing. *)
+  match (if interp_only then Interpreter else s.ks_tier) with
   | Interpreter ->
     if Tracer.on tr then
       Tracer.span_begin tr ~name:"exec" [ "tier", Tracer.S "interp" ];
-    let cycles = interp_run t s ~digest:d ~target vk ~args in
+    let cycles, mismatched =
+      interp_run ~force_check:force_oracle t s ~digest:d ~target vk ~args
+    in
     if Tracer.on tr then
       Tracer.span_end tr ~attrs:[ "cycles", Tracer.I cycles ] ~name:"exec" ();
     { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
-      r_cache = None }
+      r_cache = None;
+      r_outcome = (if mismatched then Oracle_mismatch else Clean) }
   | Jit -> (
     (* Obtain the body: cache lookup, else compile (with bounded retry
        against injected transient faults) and insert.  Stats mirror
@@ -454,9 +480,10 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
          that cannot succeed. *)
       Stats.incr t.st "guard.compile_errors";
       quarantine t s;
-      let cycles = interp_run t s ~digest:d ~target vk ~args in
+      let cycles, _ = interp_run t s ~digest:d ~target vk ~args in
       { r_tier = Interpreter; r_cycles = cycles;
-        r_compile_us = backoff_us; r_cache = None }
+        r_compile_us = backoff_us; r_cache = None;
+        r_outcome = Compile_error }
     | Ok (compiled, outcome, backoff_us) -> (
       let charged =
         match outcome with
@@ -484,6 +511,8 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
       (* Differential oracle schedule: first JIT run of this body, then
          every [op_sample_every]-th run. *)
       let check =
+        force_oracle
+        ||
         match t.guard.g_oracle with
         | None -> false
         | Some p ->
@@ -519,9 +548,9 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
            re-runs the invocation from the original inputs. *)
         Stats.incr t.st "guard.exec_faults";
         quarantine t s;
-        let cycles = interp_run t s ~digest:d ~target vk ~args in
+        let cycles, _ = interp_run t s ~digest:d ~target vk ~args in
         { r_tier = Interpreter; r_cycles = cycles; r_compile_us = charged;
-          r_cache = Some outcome }
+          r_cache = Some outcome; r_outcome = Exec_fault }
       | Ok r -> (
         s.ks_jit_runs <- s.ks_jit_runs + 1;
         Stats.incr t.st "tier.jit_runs";
@@ -529,7 +558,7 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
         match reference with
         | None ->
           { r_tier = Jit; r_cycles = r.Exec.cycles; r_compile_us = charged;
-            r_cache = Some outcome }
+            r_cache = Some outcome; r_outcome = Clean }
         | Some ref_args ->
           (* Re-execute through the interpreter and compare output
              buffers bit-for-bit; the check's cost is charged to this
@@ -558,7 +587,8 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
               ~name:"oracle" ();
           if matched then
             { r_tier = Jit; r_cycles = r.Exec.cycles + check_cycles;
-              r_compile_us = charged; r_cache = Some outcome }
+              r_compile_us = charged; r_cache = Some outcome;
+              r_outcome = Clean }
           else begin
             (* Wrong answer: quarantine the body and hand the caller the
                interpreter's buffers — no wrong output escapes. *)
@@ -567,7 +597,8 @@ let invoke ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
             restore_args ~into:args ~from:ref_args;
             { r_tier = Interpreter;
               r_cycles = r.Exec.cycles + check_cycles;
-              r_compile_us = charged; r_cache = Some outcome }
+              r_compile_us = charged; r_cache = Some outcome;
+              r_outcome = Oracle_mismatch }
           end)))
 
 let migrate_target t ~(from_target : Target.t) ~(to_target : Target.t) =

@@ -102,18 +102,45 @@ val create :
   unit ->
   t
 
+(** What the guard machinery concluded about an invocation — the signal
+    the serving layer's per-digest circuit breaker consumes.  [Clean]
+    also covers unguarded runs (nothing checked, nothing failed); the
+    other three each imply the kernel was quarantined and the caller got
+    the interpreter's answer. *)
+type run_outcome =
+  | Clean
+  | Oracle_mismatch
+  | Exec_fault
+  | Compile_error
+
+val run_outcome_to_string : run_outcome -> string
+
 type run = {
   r_tier : tier;
   r_cycles : int;  (** simulated (Jit) or modeled (Interpreter) cycles *)
   r_compile_us : float;  (** compile time paid by THIS invocation *)
   r_cache : Code_cache.outcome option;  (** [None] on interpreter runs *)
+  r_outcome : run_outcome;
 }
 
 (** Execute one invocation, choosing the tier; array argument buffers are
-    mutated in place exactly as {!Vapor_harness.Exec.run} would. *)
+    mutated in place exactly as {!Vapor_harness.Exec.run} would.
+
+    [interp_only] (default false) forces the interpreter path for this
+    invocation without demoting the kernel — promotion bookkeeping still
+    runs, so hotness accrues and JIT serving resumes the moment the
+    caller stops forcing (the breaker-open serving mode).
+
+    [force_oracle] (default false) forces a differential check on this
+    invocation regardless of the guard's sampling policy (including no
+    policy at all) — the breaker's half-open probe.  Quarantined kernels
+    and the [Reference] engine's interpreter tier already run the
+    reference semantics, so forcing is a no-op there. *)
 val invoke :
   ?digest:Digest.t ->
   ?label:string ->
+  ?interp_only:bool ->
+  ?force_oracle:bool ->
   t ->
   target:Target.t ->
   profile:Profile.t ->

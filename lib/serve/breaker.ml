@@ -1,0 +1,130 @@
+(* Per-kernel-digest circuit breaker: the serving layer's escalation of
+   the runtime's oracle quarantine.  A digest that keeps producing
+   mismatches, faults, or timeouts is cut over to interpreter-only
+   serving (Open); after a virtual-time cooldown one probe runs with a
+   forced differential check (Half_open); a clean probe closes the
+   breaker, a failed one re-opens it with a doubled cooldown.
+
+   All times are virtual cycles supplied by the engine — no wall clock —
+   so the breaker's whole life cycle is deterministic per workload. *)
+
+module Digest = Vapor_runtime.Digest
+
+type state =
+  | Closed
+  | Open
+  | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type entry = {
+  mutable e_state : state;
+  mutable e_fails : int;  (* consecutive failures while Closed *)
+  mutable e_opened_at : int;
+  mutable e_cooldown : int;
+}
+
+type t = {
+  threshold : int;
+  base_cooldown : int;
+  tbl : (Digest.t, entry) Hashtbl.t;
+  mutable opens : int;
+  mutable closes : int;
+  mutable half_opens : int;
+}
+
+let create ?(threshold = 3) ?(cooldown = 1_000_000) () =
+  {
+    threshold = max 1 threshold;
+    base_cooldown = max 1 cooldown;
+    tbl = Hashtbl.create 16;
+    opens = 0;
+    closes = 0;
+    half_opens = 0;
+  }
+
+let entry t d =
+  match Hashtbl.find_opt t.tbl d with
+  | Some e -> e
+  | None ->
+    let e =
+      { e_state = Closed; e_fails = 0; e_opened_at = 0; e_cooldown = 0 }
+    in
+    Hashtbl.replace t.tbl d e;
+    e
+
+let state t d =
+  match Hashtbl.find_opt t.tbl d with
+  | Some e -> e.e_state
+  | None -> Closed
+
+type mode =
+  | Normal
+  | Interp_only
+  | Probe
+
+(* How the next invocation of [d] must be served at virtual time [now].
+   An Open breaker whose cooldown has elapsed transitions to Half_open
+   here and asks for a probe. *)
+let mode t d ~now =
+  match Hashtbl.find_opt t.tbl d with
+  | None -> Normal
+  | Some e -> (
+    match e.e_state with
+    | Closed -> Normal
+    | Half_open -> Probe
+    | Open ->
+      if now >= e.e_opened_at + e.e_cooldown then begin
+        e.e_state <- Half_open;
+        t.half_opens <- t.half_opens + 1;
+        Probe
+      end
+      else Interp_only)
+
+let record t d ~now ~ok =
+  let e = entry t d in
+  match e.e_state with
+  | Closed ->
+    if ok then e.e_fails <- 0
+    else begin
+      e.e_fails <- e.e_fails + 1;
+      if e.e_fails >= t.threshold then begin
+        e.e_state <- Open;
+        e.e_opened_at <- now;
+        e.e_cooldown <- t.base_cooldown;
+        t.opens <- t.opens + 1
+      end
+    end
+  | Half_open ->
+    if ok then begin
+      e.e_state <- Closed;
+      e.e_fails <- 0;
+      e.e_cooldown <- t.base_cooldown;
+      t.closes <- t.closes + 1
+    end
+    else begin
+      (* failed probe: back to Open, doubled cooldown *)
+      e.e_state <- Open;
+      e.e_opened_at <- now;
+      e.e_cooldown <- 2 * max t.base_cooldown e.e_cooldown;
+      t.opens <- t.opens + 1
+    end
+  | Open ->
+    (* failures observed while serving interpreter-only (e.g. a timeout
+       that never executed) neither extend nor shorten the cooldown:
+       only the probe decides. *)
+    ()
+
+let open_count t =
+  Hashtbl.fold
+    (fun _ e n -> if e.e_state = Open || e.e_state = Half_open then n + 1 else n)
+    t.tbl 0
+
+let opens t = t.opens
+let closes t = t.closes
+let half_opens t = t.half_opens
+let threshold t = t.threshold
+let cooldown t = t.base_cooldown

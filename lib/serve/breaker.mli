@@ -1,0 +1,53 @@
+(** Per-kernel-digest circuit breaker — the serving layer's escalation
+    of the runtime's oracle quarantine.
+
+    Life cycle: [Closed] (normal serving; consecutive failures counted)
+    → after [threshold] consecutive failures [Open] (serve
+    interpreter-only) → after [cooldown] virtual cycles [Half_open]
+    (one probe with a forced differential check) → clean probe closes,
+    failed probe re-opens with a doubled cooldown.
+
+    All times are virtual cycles supplied by the caller, so the whole
+    life cycle is deterministic per workload. *)
+
+module Digest := Vapor_runtime.Digest
+
+type state =
+  | Closed
+  | Open
+  | Half_open
+
+val state_to_string : state -> string
+
+type t
+
+(** [threshold] consecutive failures open the breaker (default 3);
+    [cooldown] is the Open dwell in virtual cycles (default 1e6). *)
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
+
+val state : t -> Digest.t -> state
+
+type mode =
+  | Normal  (** serve through the normal tiered path *)
+  | Interp_only  (** breaker open: force the interpreter tier *)
+  | Probe  (** half-open: serve normally with a forced oracle check *)
+
+(** How the next invocation of the digest must be served at virtual time
+    [now].  An [Open] breaker whose cooldown elapsed transitions to
+    [Half_open] here and asks for a probe. *)
+val mode : t -> Digest.t -> now:int -> mode
+
+(** Feed an invocation verdict back ([ok = false] for an oracle
+    mismatch, exec fault, compile error, or deadline timeout). *)
+val record : t -> Digest.t -> now:int -> ok:bool -> unit
+
+(** Digests currently [Open] or [Half_open]. *)
+val open_count : t -> int
+
+(** Transition totals (for the [serve.breaker_*] gauges). *)
+val opens : t -> int
+
+val closes : t -> int
+val half_opens : t -> int
+val threshold : t -> int
+val cooldown : t -> int

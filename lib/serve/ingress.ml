@@ -1,0 +1,76 @@
+(* Bounded per-stream ingress queue with an explicit backpressure policy.
+   Everything is plain deterministic data: the serving engine drives it
+   from virtual time, so a full queue either stalls the producer (Block)
+   or drops the offered element (Shed) — identically run after run. *)
+
+type policy =
+  | Block
+  | Shed
+
+let policy_to_string = function
+  | Block -> "block"
+  | Shed -> "shed"
+
+let policy_of_string = function
+  | "block" -> Some Block
+  | "shed" -> Some Shed
+  | _ -> None
+
+type 'a t = {
+  cap : int;
+  policy : policy;
+  q : 'a Queue.t;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable blocked : int;
+}
+
+let create ~cap ~policy =
+  {
+    cap = max 1 cap;
+    policy;
+    q = Queue.create ();
+    accepted = 0;
+    shed = 0;
+    blocked = 0;
+  }
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let is_full t = Queue.length t.q >= t.cap
+let capacity t = t.cap
+let policy t = t.policy
+
+type offer_result =
+  | Accepted
+  | Would_block
+  | Dropped
+
+let offer t x =
+  if not (is_full t) then begin
+    Queue.push x t.q;
+    t.accepted <- t.accepted + 1;
+    Accepted
+  end
+  else
+    match t.policy with
+    | Block ->
+      t.blocked <- t.blocked + 1;
+      Would_block
+    | Shed ->
+      t.shed <- t.shed + 1;
+      Dropped
+
+let pop t = Queue.take_opt t.q
+let peek t = Queue.peek_opt t.q
+
+(* Overload trim: drop the oldest queued element (the one closest to its
+   deadline — it would be first to time out anyway).  Only meaningful for
+   [Shed]-policy queues; the engine never trims [Block] queues.  The
+   caller does the accounting (overload sheds are counted separately
+   from ingress-overflow sheds). *)
+let drop_oldest t = Queue.take_opt t.q
+
+let accepted_count t = t.accepted
+let shed_count t = t.shed
+let blocked_count t = t.blocked

@@ -1,0 +1,41 @@
+(** Bounded per-stream ingress queue with an explicit backpressure
+    policy.  A full queue either stalls the producer ([Block] — the
+    offer reports {!Would_block} and the serving engine retries it at a
+    later virtual time) or drops the offered element ([Shed] — counted,
+    never silent).  Plain deterministic data; no locks, no wall clock. *)
+
+type policy =
+  | Block  (** producer stalls until the queue has room *)
+  | Shed  (** overflow is dropped (and accounted) instead of stalling *)
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type 'a t
+
+val create : cap:int -> policy:policy -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val capacity : 'a t -> int
+val policy : 'a t -> policy
+
+type offer_result =
+  | Accepted
+  | Would_block  (** [Block] policy, queue full: retry later *)
+  | Dropped  (** [Shed] policy, queue full: element shed *)
+
+val offer : 'a t -> 'a -> offer_result
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+(** Drop the oldest queued element (overload trim; it is the element
+    closest to its deadline).  The caller accounts the drop — it does
+    not count toward {!shed_count}. *)
+val drop_oldest : 'a t -> 'a option
+
+val accepted_count : 'a t -> int
+val shed_count : 'a t -> int
+
+(** How many offers reported {!Would_block}. *)
+val blocked_count : 'a t -> int

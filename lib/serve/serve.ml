@@ -1,0 +1,506 @@
+(* The serving engine: a deterministic discrete-event simulation over
+   virtual time.  Streams feed bounded ingress queues; an admission gate
+   enforces a global in-flight budget; [sv_lanes] concurrency lanes model
+   response service time in virtual cycles.  Executions happen inline, in
+   global dispatch order, on the session pool's shards — so the embedded
+   replay report is byte-identical for any [sv_domains] value, and (for a
+   permissive config) byte-identical to [Service.replay_sharded] over the
+   same trace.
+
+   Nothing here reads the wall clock or spawns a domain: the engine IS
+   the reference semantics, which is what lets CI assert byte-identity
+   and exact conservation (every arrival is answered, shed, timed out,
+   or disconnected — never lost). *)
+
+module Service = Vapor_runtime.Service
+module Tiered = Vapor_runtime.Tiered
+module Faults = Vapor_runtime.Faults
+module Trace = Vapor_runtime.Trace
+module Stats = Vapor_runtime.Stats
+
+type cfg = {
+  sv_service : Service.config;
+  sv_domains : int;  (** session-pool shards (report-invariant) *)
+  sv_lanes : int;  (** concurrency lanes (virtual service slots) *)
+  sv_budget : int;  (** global in-flight admission budget *)
+  sv_backlog : int option;
+      (** global queued-event watermark; above it the engine trims
+          lowest-priority [Shed] queues ([None] = never trim) *)
+  sv_faults : Faults.t option;  (** serving-shaped fault injector *)
+  sv_breaker_threshold : int;
+  sv_breaker_cooldown : int;
+}
+
+let default_cfg service =
+  {
+    sv_service = service;
+    sv_domains = 1;
+    sv_lanes = 2;
+    sv_budget = 8;
+    sv_backlog = None;
+    sv_faults = None;
+    sv_breaker_threshold = 3;
+    sv_breaker_cooldown = 1_000_000;
+  }
+
+type timeout_kind =
+  | Event_deadline
+  | Stream_deadline
+  | Injected_exhaustion
+
+type report = {
+  sr_desc : string;
+  sr_streams : int;
+  sr_lanes : int;
+  sr_domains : int;
+  sr_total : int;
+  sr_answered : int;
+  sr_shed_ingress : int;
+  sr_shed_overload : int;
+  sr_deadline_misses : int;
+  sr_stream_deadline_misses : int;
+  sr_injected_exhaustions : int;
+  sr_disconnected : int;
+  sr_blocked : int;
+  sr_stalls : int;
+  sr_stall_cycles : int;
+  sr_peak_queue : int;
+  sr_peak_in_flight : int;
+  sr_breaker_opens : int;
+  sr_breaker_closes : int;
+  sr_breaker_half_opens : int;
+  sr_breaker_open_at_drain : int;
+  sr_interp_only : int;
+  sr_probes : int;
+  sr_virtual_cycles : int;
+  sr_lost : int;
+  sr_service : Service.report;
+}
+
+(* Conservation: every arrival must be accounted exactly once. *)
+let lost ~total ~answered ~shed_ingress ~shed_overload ~deadline_misses
+    ~stream_deadline_misses ~injected_exhaustions ~disconnected =
+  total
+  - (answered + shed_ingress + shed_overload + deadline_misses
+   + stream_deadline_misses + injected_exhaustions + disconnected)
+
+let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
+  let ns = Array.length wl.Workload.wl_streams in
+  let shards = max 1 cfg.sv_domains in
+  let lanes = max 1 cfg.sv_lanes in
+  let budget = max 1 cfg.sv_budget in
+  let pool =
+    match tracer with
+    | Some tracer ->
+      Service.pool_create ~tracer ~shards cfg.sv_service
+        ~kernels:wl.Workload.wl_kernels
+    | None ->
+      Service.pool_create ~shards cfg.sv_service
+        ~kernels:wl.Workload.wl_kernels
+  in
+  let assign =
+    if shards <= 1 then fun _ -> 0
+    else Service.pool_assign pool ~weights:(Workload.weights wl)
+  in
+  let digest_cache = Hashtbl.create 16 in
+  let digest_of kernel =
+    match Hashtbl.find_opt digest_cache kernel with
+    | Some d -> d
+    | None ->
+      let d = Service.pool_digest pool ~kernel in
+      Hashtbl.replace digest_cache kernel d;
+      d
+  in
+  let breaker =
+    Breaker.create ~threshold:cfg.sv_breaker_threshold
+      ~cooldown:cfg.sv_breaker_cooldown ()
+  in
+  (* Per-stream arrival slices, in stream order. *)
+  let per_stream =
+    let buckets = Array.make ns [] in
+    Array.iter
+      (fun a ->
+        buckets.(a.Workload.ar_stream) <- a :: buckets.(a.Workload.ar_stream))
+      wl.Workload.wl_arrivals;
+    Array.map (fun l -> Array.of_list (List.rev l)) buckets
+  in
+  (* Mid-stream disconnects: one draw per stream, in id order, before any
+     per-event draw — a fixed point in the splitmix64 stream. *)
+  let cut =
+    Array.init ns (fun s ->
+        match cfg.sv_faults with
+        | None -> None
+        | Some f -> (
+          match Faults.stream_disconnect f with
+          | None -> None
+          | Some frac ->
+            let n = Array.length per_stream.(s) in
+            Some (max 1 (int_of_float (frac *. float_of_int n)))))
+  in
+  let queues =
+    Array.map
+      (fun (st : Workload.stream) ->
+        Ingress.create ~cap:st.Workload.st_queue_cap
+          ~policy:st.Workload.st_policy)
+      wl.Workload.wl_streams
+  in
+  let cursors = Array.make ns 0 in
+  let dispatch_q : Workload.arrival Queue.t = Queue.create () in
+  let lane_busy = Array.make lanes false in
+  let lane_free = Array.make lanes 0 in
+  let now = ref 0 in
+  let in_flight = ref 0 in
+  let answered = ref 0 in
+  let shed_overload = ref 0 in
+  let deadline_misses = ref 0 in
+  let stream_deadline_misses = ref 0 in
+  let injected_exhaustions = ref 0 in
+  let disconnected = ref 0 in
+  let stalls = ref 0 in
+  let stall_cycles = ref 0 in
+  let interp_only_served = ref 0 in
+  let probes = ref 0 in
+  let peak_queue = ref 0 in
+  let peak_in_flight = ref 0 in
+  let records = ref [] in
+
+  let total_queued () =
+    Array.fold_left (fun acc q -> acc + Ingress.length q) 0 queues
+  in
+  let work_remains () =
+    !in_flight > 0
+    || (not (Queue.is_empty dispatch_q))
+    || Array.exists (fun q -> not (Ingress.is_empty q)) queues
+    || Array.exists
+         (fun s -> cursors.(s) < Array.length per_stream.(s))
+         (Array.init ns (fun s -> s))
+  in
+  let release () =
+    let progressed = ref false in
+    for l = 0 to lanes - 1 do
+      if lane_busy.(l) && lane_free.(l) <= !now then begin
+        lane_busy.(l) <- false;
+        decr in_flight;
+        progressed := true
+      end
+    done;
+    !progressed
+  in
+  let ingest () =
+    let progressed = ref false in
+    for s = 0 to ns - 1 do
+      let arr = per_stream.(s) in
+      let continue_ = ref true in
+      while !continue_ && cursors.(s) < Array.length arr do
+        let a = arr.(cursors.(s)) in
+        if a.Workload.ar_at > !now then continue_ := false
+        else if
+          match cut.(s) with
+          | Some c -> a.Workload.ar_stream_seq >= c
+          | None -> false
+        then begin
+          incr disconnected;
+          cursors.(s) <- cursors.(s) + 1;
+          progressed := true
+        end
+        else
+          match Ingress.offer queues.(s) a with
+          | Ingress.Accepted ->
+            cursors.(s) <- cursors.(s) + 1;
+            progressed := true
+          | Ingress.Dropped ->
+            (* the queue's own shed counter accounts it *)
+            cursors.(s) <- cursors.(s) + 1;
+            progressed := true
+          | Ingress.Would_block -> continue_ := false
+      done
+    done;
+    if !progressed then peak_queue := max !peak_queue (total_queued ());
+    !progressed
+  in
+  (* Overload trim: above the global backlog watermark, drop the oldest
+     event from the lowest-priority non-empty Shed-policy queue (ties:
+     highest stream id sheds first).  Block-policy queues are never
+     trimmed — their backpressure already reached the producer. *)
+  let trim () =
+    match cfg.sv_backlog with
+    | None -> false
+    | Some watermark ->
+      let progressed = ref false in
+      let continue_ = ref true in
+      while !continue_ && total_queued () > watermark do
+        let victim = ref (-1) in
+        let victim_prio = ref max_int in
+        for s = 0 to ns - 1 do
+          if
+            Ingress.policy queues.(s) = Ingress.Shed
+            && not (Ingress.is_empty queues.(s))
+          then begin
+            let p = wl.Workload.wl_streams.(s).Workload.st_priority in
+            if p <= !victim_prio then begin
+              victim := s;
+              victim_prio := p
+            end
+          end
+        done;
+        if !victim < 0 then continue_ := false
+        else begin
+          (match Ingress.drop_oldest queues.(!victim) with
+          | Some _ -> incr shed_overload
+          | None -> ());
+          progressed := true
+        end
+      done;
+      !progressed
+  in
+  (* Admission: highest priority wins; within a priority class the event
+     with the globally lowest sequence number goes first — so with equal
+     priorities and room everywhere, dispatch order IS trace order. *)
+  let admit () =
+    let progressed = ref false in
+    let continue_ = ref true in
+    while !continue_ && !in_flight < budget do
+      let best = ref (-1) in
+      let best_prio = ref min_int in
+      let best_seq = ref max_int in
+      for s = 0 to ns - 1 do
+        match Ingress.peek queues.(s) with
+        | None -> ()
+        | Some head ->
+          let p = wl.Workload.wl_streams.(s).Workload.st_priority in
+          if
+            p > !best_prio
+            || (p = !best_prio && head.Workload.ar_seq < !best_seq)
+          then begin
+            best := s;
+            best_prio := p;
+            best_seq := head.Workload.ar_seq
+          end
+      done;
+      if !best < 0 then continue_ := false
+      else begin
+        (match Ingress.pop queues.(!best) with
+        | Some a ->
+          Queue.push a dispatch_q;
+          incr in_flight;
+          peak_in_flight := max !peak_in_flight !in_flight
+        | None -> ());
+        progressed := true
+      end
+    done;
+    !progressed
+  in
+  let check_timeout (a : Workload.arrival) : timeout_kind option =
+    let st = wl.Workload.wl_streams.(a.Workload.ar_stream) in
+    match st.Workload.st_stream_deadline with
+    | Some sd when !now > sd -> Some Stream_deadline
+    | _ -> (
+      match st.Workload.st_deadline with
+      | Some d when !now - a.Workload.ar_at > d -> Some Event_deadline
+      | _ -> (
+        match cfg.sv_faults with
+        | Some f when Faults.deadline_exhausted f -> Some Injected_exhaustion
+        | _ -> None))
+  in
+  let dispatch () =
+    let progressed = ref false in
+    for l = 0 to lanes - 1 do
+      let continue_ = ref true in
+      while !continue_ && (not lane_busy.(l)) && not (Queue.is_empty dispatch_q)
+      do
+        match Queue.take_opt dispatch_q with
+        | None -> continue_ := false
+        | Some a ->
+          progressed := true;
+          let ev = a.Workload.ar_event in
+          let digest = digest_of ev.Trace.ev_kernel in
+          (match check_timeout a with
+          | Some kind ->
+            (* Timed out before execution: buffers untouched, the slot is
+               returned, and the breaker hears about it. *)
+            (match kind with
+            | Event_deadline -> incr deadline_misses
+            | Stream_deadline -> incr stream_deadline_misses
+            | Injected_exhaustion -> incr injected_exhaustions);
+            Breaker.record breaker digest ~now:!now ~ok:false;
+            decr in_flight
+          | None ->
+            let mode = Breaker.mode breaker digest ~now:!now in
+            let interp_only = mode = Breaker.Interp_only in
+            let force_oracle = mode = Breaker.Probe in
+            if interp_only then incr interp_only_served;
+            if force_oracle then incr probes;
+            let shard = assign ev.Trace.ev_kernel in
+            let r =
+              Service.shard_step ~interp_only ~force_oracle pool ~shard ev
+            in
+            records := r :: !records;
+            incr answered;
+            Breaker.record breaker digest ~now:!now
+              ~ok:(r.Service.er_outcome = Tiered.Clean);
+            let stall =
+              match cfg.sv_faults with
+              | None -> 0
+              | Some f -> (
+                match Faults.consumer_stall f with
+                | None -> 0
+                | Some ticks ->
+                  incr stalls;
+                  stall_cycles := !stall_cycles + ticks;
+                  ticks)
+            in
+            lane_busy.(l) <- true;
+            lane_free.(l) <- !now + max 1 r.Service.er_cycles + stall)
+      done
+    done;
+    !progressed
+  in
+  let advance () =
+    let next = ref max_int in
+    for s = 0 to ns - 1 do
+      if cursors.(s) < Array.length per_stream.(s) then begin
+        let at = per_stream.(s).(cursors.(s)).Workload.ar_at in
+        if at > !now && at < !next then next := at
+      end
+    done;
+    for l = 0 to lanes - 1 do
+      if lane_busy.(l) && lane_free.(l) > !now && lane_free.(l) < !next then
+        next := lane_free.(l)
+    done;
+    if !next = max_int then
+      (* Provably unreachable with budget >= 1 and lanes >= 1: a blocked
+         arrival implies a full queue implies a busy lane at fixpoint. *)
+      failwith "serve: stalled with work remaining and no future event"
+    else now := !next
+  in
+  while work_remains () do
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      if release () then progressed := true;
+      if ingest () then progressed := true;
+      if trim () then progressed := true;
+      if admit () then progressed := true;
+      if dispatch () then progressed := true
+    done;
+    if work_remains () then advance ()
+  done;
+  (* Graceful drain is the loop's exit path: admission stopped (no
+     arrivals left), queues flushed, lanes idle.  What remains is the
+     final merge: store single-writer merge, gauge finalization and
+     tracer absorption all happen inside pool_report. *)
+  let recs =
+    List.sort
+      (fun (a : Service.event_record) b ->
+        compare a.Service.er_index b.Service.er_index)
+      !records
+  in
+  let service_report =
+    match stats with
+    | Some stats ->
+      Service.pool_report ~stats pool ~trace_desc:wl.Workload.wl_desc
+        ~records:recs
+    | None ->
+      Service.pool_report pool ~trace_desc:wl.Workload.wl_desc ~records:recs
+  in
+  let shed_ingress =
+    Array.fold_left (fun acc q -> acc + Ingress.shed_count q) 0 queues
+  in
+  let blocked =
+    Array.fold_left (fun acc q -> acc + Ingress.blocked_count q) 0 queues
+  in
+  let total = Workload.total wl in
+  let sr_lost =
+    lost ~total ~answered:!answered ~shed_ingress
+      ~shed_overload:!shed_overload ~deadline_misses:!deadline_misses
+      ~stream_deadline_misses:!stream_deadline_misses
+      ~injected_exhaustions:!injected_exhaustions
+      ~disconnected:!disconnected
+  in
+  let rep =
+    {
+      sr_desc = wl.Workload.wl_desc;
+      sr_streams = ns;
+      sr_lanes = lanes;
+      sr_domains = shards;
+      sr_total = total;
+      sr_answered = !answered;
+      sr_shed_ingress = shed_ingress;
+      sr_shed_overload = !shed_overload;
+      sr_deadline_misses = !deadline_misses;
+      sr_stream_deadline_misses = !stream_deadline_misses;
+      sr_injected_exhaustions = !injected_exhaustions;
+      sr_disconnected = !disconnected;
+      sr_blocked = blocked;
+      sr_stalls = !stalls;
+      sr_stall_cycles = !stall_cycles;
+      sr_peak_queue = !peak_queue;
+      sr_peak_in_flight = !peak_in_flight;
+      sr_breaker_opens = Breaker.opens breaker;
+      sr_breaker_closes = Breaker.closes breaker;
+      sr_breaker_half_opens = Breaker.half_opens breaker;
+      sr_breaker_open_at_drain = Breaker.open_count breaker;
+      sr_interp_only = !interp_only_served;
+      sr_probes = !probes;
+      sr_virtual_cycles = !now;
+      sr_lost;
+      sr_service = service_report;
+    }
+  in
+  (* Gauges only — never counters — so the embedded replay report string
+     stays byte-identical to a plain serve-replay of the same trace. *)
+  let st = service_report.Service.rp_stats in
+  Stats.set_gauge st "serve.total" (float_of_int total);
+  Stats.set_gauge st "serve.streams" (float_of_int ns);
+  Stats.set_gauge st "serve.lanes" (float_of_int lanes);
+  Stats.set_gauge st "serve.answered" (float_of_int !answered);
+  Stats.set_gauge st "serve.shed_ingress" (float_of_int shed_ingress);
+  Stats.set_gauge st "serve.shed_overload" (float_of_int !shed_overload);
+  Stats.set_gauge st "serve.deadline_misses" (float_of_int !deadline_misses);
+  Stats.set_gauge st "serve.stream_deadline_misses"
+    (float_of_int !stream_deadline_misses);
+  Stats.set_gauge st "serve.injected_exhaustions"
+    (float_of_int !injected_exhaustions);
+  Stats.set_gauge st "serve.disconnected" (float_of_int !disconnected);
+  Stats.set_gauge st "serve.blocked" (float_of_int blocked);
+  Stats.set_gauge st "serve.stalls" (float_of_int !stalls);
+  Stats.set_gauge st "serve.stall_cycles" (float_of_int !stall_cycles);
+  Stats.max_gauge st "serve.peak_queue_depth" (float_of_int !peak_queue);
+  Stats.max_gauge st "serve.peak_in_flight" (float_of_int !peak_in_flight);
+  Stats.set_gauge st "serve.breaker_opens"
+    (float_of_int rep.sr_breaker_opens);
+  Stats.set_gauge st "serve.breaker_closes"
+    (float_of_int rep.sr_breaker_closes);
+  Stats.set_gauge st "serve.breaker_half_opens"
+    (float_of_int rep.sr_breaker_half_opens);
+  Stats.set_gauge st "serve.breaker_open"
+    (float_of_int rep.sr_breaker_open_at_drain);
+  Stats.set_gauge st "serve.interp_only" (float_of_int !interp_only_served);
+  Stats.set_gauge st "serve.probes" (float_of_int !probes);
+  Stats.set_gauge st "serve.virtual_cycles" (float_of_int !now);
+  Stats.set_gauge st "serve.lost" (float_of_int sr_lost);
+  rep
+
+let report_to_string (r : report) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "=== serve: %s ===" r.sr_desc;
+  line "streams: %d  lanes: %d  domains: %d" r.sr_streams r.sr_lanes
+    r.sr_domains;
+  line "events: %d total / %d answered" r.sr_total r.sr_answered;
+  line "shed: %d ingress / %d overload" r.sr_shed_ingress r.sr_shed_overload;
+  line "timeouts: %d event / %d stream / %d injected" r.sr_deadline_misses
+    r.sr_stream_deadline_misses r.sr_injected_exhaustions;
+  line "disconnected: %d  blocked offers: %d  stalls: %d (%d cycles)"
+    r.sr_disconnected r.sr_blocked r.sr_stalls r.sr_stall_cycles;
+  line "peaks: queue depth %d / in-flight %d" r.sr_peak_queue
+    r.sr_peak_in_flight;
+  line "breaker: %d opens / %d half-opens / %d closes / %d open at drain"
+    r.sr_breaker_opens r.sr_breaker_half_opens r.sr_breaker_closes
+    r.sr_breaker_open_at_drain;
+  line "degraded: %d interp-only / %d probes" r.sr_interp_only r.sr_probes;
+  line "virtual cycles: %d  lost events: %d" r.sr_virtual_cycles r.sr_lost;
+  Buffer.add_string b (Service.report_to_string r.sr_service);
+  Buffer.contents b
+
+let print_report r = print_string (report_to_string r)

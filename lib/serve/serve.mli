@@ -1,0 +1,99 @@
+(** The serving engine: a deterministic discrete-event simulation over
+    virtual time.
+
+    Streams feed bounded {!Ingress} queues; an admission gate enforces a
+    global in-flight budget; [sv_lanes] concurrency lanes model response
+    service time in virtual cycles; a per-kernel-digest {!Breaker}
+    degrades repeatedly failing kernels to interpreter-only serving.
+    Executions happen inline, in global dispatch order, on a
+    {!Vapor_runtime.Service} session pool — so the embedded replay report
+    is byte-identical for any [sv_domains] value, and, for a permissive
+    config (no deadlines, no faults, equal priorities), byte-identical to
+    [Service.replay_sharded] over the same trace.
+
+    Nothing reads the wall clock or spawns a domain: CI can assert
+    byte-identity and exact conservation — every arrival is answered,
+    shed, timed out, or disconnected, never lost. *)
+
+module Service := Vapor_runtime.Service
+module Faults := Vapor_runtime.Faults
+module Stats := Vapor_runtime.Stats
+
+type cfg = {
+  sv_service : Service.config;
+  sv_domains : int;  (** session-pool shards (report-invariant) *)
+  sv_lanes : int;  (** concurrency lanes (virtual service slots) *)
+  sv_budget : int;  (** global in-flight admission budget *)
+  sv_backlog : int option;
+      (** global queued-event watermark; above it the engine trims the
+          lowest-priority [Shed]-policy queues ([None] = never trim).
+          [Block]-policy queues are never trimmed — their backpressure
+          already reached the producer. *)
+  sv_faults : Faults.t option;  (** serving-shaped fault injector *)
+  sv_breaker_threshold : int;
+  sv_breaker_cooldown : int;  (** virtual cycles *)
+}
+
+(** 1 domain, 2 lanes, budget 8, no backlog trim, no faults, breaker
+    threshold 3 / cooldown 1e6 cycles. *)
+val default_cfg : Service.config -> cfg
+
+type timeout_kind =
+  | Event_deadline  (** per-event budget exceeded while queued *)
+  | Stream_deadline  (** stream's absolute cutoff passed *)
+  | Injected_exhaustion  (** chaos: deadline budget burned pre-exec *)
+
+type report = {
+  sr_desc : string;
+  sr_streams : int;
+  sr_lanes : int;
+  sr_domains : int;
+  sr_total : int;  (** arrivals in the workload *)
+  sr_answered : int;  (** events that executed (any guard verdict) *)
+  sr_shed_ingress : int;  (** dropped by full [Shed] queues *)
+  sr_shed_overload : int;  (** trimmed above the backlog watermark *)
+  sr_deadline_misses : int;
+  sr_stream_deadline_misses : int;
+  sr_injected_exhaustions : int;
+  sr_disconnected : int;  (** arrivals cut by mid-stream disconnects *)
+  sr_blocked : int;  (** [Would_block] offers observed (retries count) *)
+  sr_stalls : int;  (** consumer stalls injected *)
+  sr_stall_cycles : int;
+  sr_peak_queue : int;  (** max total queued events *)
+  sr_peak_in_flight : int;
+  sr_breaker_opens : int;
+  sr_breaker_closes : int;
+  sr_breaker_half_opens : int;
+  sr_breaker_open_at_drain : int;
+  sr_interp_only : int;  (** events served breaker-degraded *)
+  sr_probes : int;  (** half-open probes (forced oracle checks) *)
+  sr_virtual_cycles : int;  (** final virtual time *)
+  sr_lost : int;  (** conservation residue — must be 0 *)
+  sr_service : Service.report;  (** the pool's merged replay report *)
+}
+
+(** The conservation residue:
+    [total - (answered + shed + timeouts + disconnected)].  Zero means
+    every arrival was accounted exactly once. *)
+val lost :
+  total:int ->
+  answered:int ->
+  shed_ingress:int ->
+  shed_overload:int ->
+  deadline_misses:int ->
+  stream_deadline_misses:int ->
+  injected_exhaustions:int ->
+  disconnected:int ->
+  int
+
+(** Serve the workload to completion, then drain: stop admitting, flush
+    queues, finish lanes, and run the pool's final merge (single-writer
+    store merge, gauge finalization, tracer absorption).  [serve.*]
+    gauges are recorded on the returned report's registry — gauges never
+    appear in [Service.report_to_string], preserving byte-identity with
+    a plain replay. *)
+val run :
+  ?stats:Stats.t -> ?tracer:Vapor_obs.Tracer.t -> cfg -> Workload.t -> report
+
+val report_to_string : report -> string
+val print_report : report -> unit

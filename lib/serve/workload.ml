@@ -1,0 +1,95 @@
+(* Serving workloads: a replay trace split across prioritized streams
+   with a deterministic virtual-time arrival schedule.  Everything is
+   derived from the trace (itself seeded), so the same flags always
+   produce the same workload — the property serve-bench's CI
+   determinism checks rest on. *)
+
+module Trace = Vapor_runtime.Trace
+
+type stream = {
+  st_id : int;
+  st_priority : int;  (* higher = more important, shed last *)
+  st_policy : Ingress.policy;
+  st_queue_cap : int;
+  st_deadline : int option;  (* per-event budget, virtual cycles *)
+  st_stream_deadline : int option;  (* absolute virtual-cycle cutoff *)
+}
+
+type arrival = {
+  ar_at : int;  (* virtual-cycle arrival time *)
+  ar_seq : int;  (* global order (trace index) *)
+  ar_stream : int;
+  ar_stream_seq : int;  (* position within the stream's own sequence *)
+  ar_event : Trace.event;
+}
+
+type t = {
+  wl_desc : string;
+  wl_kernels : string list;
+  wl_streams : stream array;
+  wl_arrivals : arrival array;  (* sorted by (ar_at, ar_seq) *)
+}
+
+let stream ~id ?(priority = 0) ?(policy = Ingress.Block) ?(queue_cap = 16)
+    ?deadline ?stream_deadline () =
+  {
+    st_id = id;
+    st_priority = priority;
+    st_policy = policy;
+    st_queue_cap = queue_cap;
+    st_deadline = deadline;
+    st_stream_deadline = stream_deadline;
+  }
+
+(* Split a trace round-robin across [streams] streams; event [i] arrives
+   at virtual time [i * interval] ([interval = 0] floods everything at
+   t=0 — the overload setting).  With [priority_levels > 1], low stream
+   ids get high priority: stream [s] has priority
+   [priority_levels - 1 - (s mod priority_levels)]. *)
+let of_trace ?(streams = 4) ?(policy = Ingress.Block) ?(queue_cap = 16)
+    ?deadline ?stream_deadline ?(interval = 0) ?(priority_levels = 1)
+    (trace : Trace.t) : t =
+  let ns = max 1 streams in
+  let levels = max 1 priority_levels in
+  let strs =
+    Array.init ns (fun s ->
+        stream ~id:s
+          ~priority:(levels - 1 - (s mod levels))
+          ~policy ~queue_cap ?deadline ?stream_deadline ())
+  in
+  let seqs = Array.make ns 0 in
+  let arrivals =
+    List.mapi
+      (fun i (ev : Trace.event) ->
+        let s = i mod ns in
+        let k = seqs.(s) in
+        seqs.(s) <- k + 1;
+        {
+          ar_at = i * max 0 interval;
+          ar_seq = ev.Trace.ev_index;
+          ar_stream = s;
+          ar_stream_seq = k;
+          ar_event = ev;
+        })
+      trace.Trace.tr_events
+  in
+  {
+    wl_desc = Trace.describe trace;
+    wl_kernels = trace.Trace.tr_kernels;
+    wl_streams = strs;
+    wl_arrivals = Array.of_list arrivals;
+  }
+
+let total t = Array.length t.wl_arrivals
+let streams t = Array.length t.wl_streams
+
+(* Per-kernel arrival counts: the balanced-sharding weights. *)
+let weights t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun a ->
+      let k = a.ar_event.Trace.ev_kernel in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (prev + 1))
+    t.wl_arrivals;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []

@@ -1,0 +1,64 @@
+(** Serving workloads: a replay trace split across prioritized streams
+    with a deterministic virtual-time arrival schedule.  Everything is
+    derived from the (seeded) trace, so the same flags always produce the
+    same workload — the property serve-bench's CI determinism checks rest
+    on. *)
+
+module Trace := Vapor_runtime.Trace
+
+type stream = {
+  st_id : int;
+  st_priority : int;  (** higher = more important, shed last *)
+  st_policy : Ingress.policy;
+  st_queue_cap : int;
+  st_deadline : int option;  (** per-event budget, virtual cycles *)
+  st_stream_deadline : int option;  (** absolute virtual-cycle cutoff *)
+}
+
+type arrival = {
+  ar_at : int;  (** virtual-cycle arrival time *)
+  ar_seq : int;  (** global order (trace index) *)
+  ar_stream : int;
+  ar_stream_seq : int;  (** position within the stream's own sequence *)
+  ar_event : Trace.event;
+}
+
+type t = {
+  wl_desc : string;
+  wl_kernels : string list;
+  wl_streams : stream array;
+  wl_arrivals : arrival array;  (** sorted by [(ar_at, ar_seq)] *)
+}
+
+val stream :
+  id:int ->
+  ?priority:int ->
+  ?policy:Ingress.policy ->
+  ?queue_cap:int ->
+  ?deadline:int ->
+  ?stream_deadline:int ->
+  unit ->
+  stream
+
+(** Split a trace round-robin across [streams] streams; event [i]
+    arrives at virtual time [i * interval] ([interval = 0] floods
+    everything at t=0 — the overload setting).  With
+    [priority_levels > 1], low stream ids get high priority: stream [s]
+    has priority [priority_levels - 1 - (s mod priority_levels)]. *)
+val of_trace :
+  ?streams:int ->
+  ?policy:Ingress.policy ->
+  ?queue_cap:int ->
+  ?deadline:int ->
+  ?stream_deadline:int ->
+  ?interval:int ->
+  ?priority_levels:int ->
+  Trace.t ->
+  t
+
+val total : t -> int
+val streams : t -> int
+
+(** Per-kernel arrival counts — the balanced-sharding weights for
+    [Service.pool_assign]. *)
+val weights : t -> (string * int) list

@@ -286,6 +286,7 @@ type counters = {
   c_publishes : int;
   c_quarantined : int;
   c_gc_evictions : int;
+  c_torn_healed : int;
 }
 
 type t = {
@@ -302,6 +303,7 @@ type t = {
   mutable t_publishes : int;
   mutable t_quarantined : int;
   mutable t_gc_evictions : int;
+  mutable t_torn_healed : int;
 }
 
 let dir t = t.t_dir
@@ -344,6 +346,7 @@ let counters t =
     c_publishes = t.t_publishes;
     c_quarantined = t.t_quarantined;
     c_gc_evictions = t.t_gc_evictions;
+    c_torn_healed = t.t_torn_healed;
   }
 
 let flush t =
@@ -355,6 +358,86 @@ let flush t =
     }
   in
   write_file_atomic (index_path t) (encode_index ix)
+
+(* Quarantine one row: move its file out of service and mark it.  The
+   bytes stay on disk (under quarantine/) for postmortem. *)
+let quarantine_row t (r : index_row) =
+  if r.ix_status = Valid then begin
+    let src = Filename.concat (objects_dir t) r.ix_file in
+    let dst = Filename.concat (quarantine_dir t) r.ix_file in
+    (try if Sys.file_exists src then Sys.rename src dst
+     with Sys_error _ -> remove_if_exists src);
+    Hashtbl.replace t.t_tbl r.ix_key { r with ix_status = Quarantined };
+    t.t_bytes <- t.t_bytes - r.ix_bytes;
+    t.t_quarantined <- t.t_quarantined + 1
+  end
+
+(* Exact on-disk length of a well-formed entry file, computable from the
+   index row alone — a cheap open-time tear detector that reads no
+   payload bytes. *)
+let expected_entry_len (r : index_row) =
+  let slen s = 4 + String.length s in
+  String.length entry_magic + 4
+  + slen r.ix_key.sk_digest
+  + slen r.ix_key.sk_target
+  + slen r.ix_key.sk_profile
+  + slen r.ix_checksum + 4 + r.ix_bytes
+
+let file_len path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> in_channel_length ic)
+
+(* Crash recovery, run once per open: a process killed mid-publish or
+   mid-merge leaves (a) a stale [index.vci.tmp] whose rename never
+   happened, (b) orphaned [*.tmp] object writes, (c) whole staging dirs
+   from sessions that never merged, and (d) torn entry files the index
+   still lists as [Valid].  Temps and staging leftovers are deleted;
+   torn or missing entries are quarantined instead of served.  Returns
+   how many artifacts were healed. *)
+let heal t =
+  let healed = ref 0 in
+  let tmp = index_path t ^ ".tmp" in
+  if Sys.file_exists tmp then begin
+    Sys.remove tmp;
+    incr healed
+  end;
+  let sweep_tmps d =
+    if Sys.file_exists d then
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".tmp" then begin
+            remove_if_exists (Filename.concat d f);
+            incr healed
+          end)
+        (Sys.readdir d)
+  in
+  sweep_tmps (objects_dir t);
+  sweep_tmps (quarantine_dir t);
+  let root = staging_root t in
+  if Sys.file_exists root then
+    Array.iter
+      (fun d ->
+        remove_tree (Filename.concat root d);
+        incr healed)
+      (Sys.readdir root);
+  List.iter
+    (fun r ->
+      let path = Filename.concat (objects_dir t) r.ix_file in
+      let torn =
+        (not (Sys.file_exists path))
+        || (try file_len path <> expected_entry_len r with Sys_error _ -> true)
+      in
+      if torn then begin
+        quarantine_row t r;
+        incr healed
+      end)
+    (List.sort
+       (fun a b -> compare_keys a.ix_key b.ix_key)
+       (valid_rows t));
+  t.t_torn_healed <- t.t_torn_healed + !healed;
+  !healed
 
 let open_store ?(create = false) ?(max_entries = max_int)
     ?(max_bytes = max_int) dir : (t, string) result =
@@ -373,6 +456,7 @@ let open_store ?(create = false) ?(max_entries = max_int)
       t_publishes = 0;
       t_quarantined = 0;
       t_gc_evictions = 0;
+      t_torn_healed = 0;
     }
   in
   let init t =
@@ -405,6 +489,7 @@ let open_store ?(create = false) ?(max_entries = max_int)
         mkdir_p (objects_dir t);
         mkdir_p (quarantine_dir t);
         mkdir_p (staging_root t);
+        if heal t > 0 then flush t;
         Ok t
     else if Array.length (Sys.readdir dir) = 0 then
       if create then init t
@@ -413,19 +498,6 @@ let open_store ?(create = false) ?(max_entries = max_int)
       Error
         (Printf.sprintf "'%s' exists but holds no %s; not a code store" dir
            index_file)
-  end
-
-(* Quarantine one row: move its file out of service and mark it.  The
-   bytes stay on disk (under quarantine/) for postmortem. *)
-let quarantine_row t (r : index_row) =
-  if r.ix_status = Valid then begin
-    let src = Filename.concat (objects_dir t) r.ix_file in
-    let dst = Filename.concat (quarantine_dir t) r.ix_file in
-    (try if Sys.file_exists src then Sys.rename src dst
-     with Sys_error _ -> remove_if_exists src);
-    Hashtbl.replace t.t_tbl r.ix_key { r with ix_status = Quarantined };
-    t.t_bytes <- t.t_bytes - r.ix_bytes;
-    t.t_quarantined <- t.t_quarantined + 1
   end
 
 let drop_row t (r : index_row) =

@@ -88,13 +88,27 @@ type counters = {
   c_publishes : int;
   c_quarantined : int;  (** entries quarantined (corrupt or stale) *)
   c_gc_evictions : int;  (** entries deleted by budget GC *)
+  c_torn_healed : int;
+      (** crash artifacts repaired at open time: stale index temps,
+          orphaned object temps, unmerged staging leftovers, and torn
+          or missing entry files (quarantined instead of served) *)
 }
 
 (** Open (or, with [create], initialize) the store at [dir].  Budgets
     are enforced at {!merge} and {!gc} time, LRU-first.  Errors — a
     missing directory without [create], a directory that is not a
     store, a corrupt or version-mismatched index — come back as
-    [Error]; they are user errors, not exceptions. *)
+    [Error]; they are user errors, not exceptions.
+
+    Opening an existing store runs crash recovery first: a process
+    killed mid-publish or mid-merge leaves a stale [index.vci.tmp]
+    whose atomic rename never happened, orphaned [*.tmp] object
+    writes, staging dirs from sessions that never merged, or torn
+    entry files the index still lists as valid (detected by exact
+    length, no payload read).  Temps and staging leftovers are
+    deleted; torn or missing entries are quarantined instead of
+    served, so the healed store replays byte-identically to a store
+    that simply never had those entries warm. *)
 val open_store :
   ?create:bool ->
   ?max_entries:int ->

@@ -314,12 +314,11 @@ let chaos_config ~seed =
   let faults =
     Faults.make
       {
+        Faults.default_spec with
         Faults.f_seed = seed;
         f_corrupt_rate = 0.05;
         f_compile_fault_rate = 0.25;
         f_max_transient = 2;
-        f_drop_simd_at = None;
-        f_store_corrupt_rate = 0.0;
       }
   in
   {

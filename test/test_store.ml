@@ -304,6 +304,78 @@ let corruption_quarantine_case () =
   check_int "nothing left quarantined under the key" 0
     (Store.quarantined_count healed)
 
+(* --- crash safety: kill mid-publish, heal at open ----------------------- *)
+
+let truncate_first_object dir =
+  let objects = Filename.concat dir "objects" in
+  match Array.to_list (Sys.readdir objects) with
+  | [] -> fail "no object files to tear"
+  | name :: _ ->
+    let path = Filename.concat objects name in
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let half = really_input_string ic (n / 2) in
+    close_in ic;
+    let oc = open_out_bin path in
+    output_string oc half;
+    close_out oc
+
+let crash_recovery_case () =
+  let trace = replay_trace () in
+  let s = open_fresh () in
+  let cold =
+    Service.report_to_string (Service.replay (cfg_with (Some s)) trace)
+  in
+  let dir = Store.dir s in
+  let objects = Filename.concat dir "objects" in
+  (* Simulate a process killed mid-publish/mid-merge: a torn entry file
+     the index still lists as valid, the stale temp of an index rename
+     that never happened, an orphaned object temp, and a staging dir
+     from a session that never merged. *)
+  truncate_first_object dir;
+  let write path body =
+    let oc = open_out_bin path in
+    output_string oc body;
+    close_out oc
+  in
+  write (Filename.concat dir "index.vci.tmp") "partial index write";
+  write (Filename.concat objects "orphan.vce.tmp") "partial entry write";
+  let staging = Filename.concat (Filename.concat dir "staging") "s99-7" in
+  Sys.mkdir staging 0o755;
+  write (Filename.concat staging "leftover.vce") "never merged";
+  (* Reopen runs crash recovery. *)
+  let healed = reopen dir in
+  check_bool "heal accounted every artifact" true
+    ((Store.counters healed).Store.c_torn_healed >= 4);
+  check_int "torn entry quarantined, not served" 1
+    (Store.quarantined_count healed);
+  check_bool "stale index temp removed" false
+    (Sys.file_exists (Filename.concat dir "index.vci.tmp"));
+  check_bool "orphaned object temp removed" false
+    (Sys.file_exists (Filename.concat objects "orphan.vce.tmp"));
+  check_bool "staging leftovers swept" false (Sys.file_exists staging);
+  (* The healed store serves: the torn entry recompiles, everything else
+     comes warm, and the report is byte-identical to the cold run. *)
+  let warm_st = Stats.create () in
+  let warm =
+    Service.report_to_string
+      (Service.replay ~stats:warm_st (cfg_with (Some healed)) trace)
+  in
+  check_string "healed report byte-identical to cold" cold warm;
+  Alcotest.(check (float 0.0))
+    "exactly one recompile for the torn entry" 1.0
+    (gauge warm_st "jit.real_compiles");
+  check_bool "torn_healed gauge exported" true
+    (gauge warm_st "store.torn_healed" >= 4.0);
+  (* Next process: nothing left to heal, the store verifies clean. *)
+  let clean = reopen dir in
+  check_int "nothing to heal on the next open" 0
+    (Store.counters clean).Store.c_torn_healed;
+  check_int "store verifies clean after healing" 0
+    (List.length (Store.verify clean));
+  check_int "republish cleared the quarantine" 0
+    (Store.quarantined_count clean)
+
 (* --- GC and invalidation ------------------------------------------------ *)
 
 let populate s =
@@ -374,6 +446,8 @@ let () =
         [
           Alcotest.test_case "corrupted entry quarantined and recompiled"
             `Quick corruption_quarantine_case;
+          Alcotest.test_case "kill mid-publish heals at open" `Quick
+            crash_recovery_case;
         ] );
       ( "maintenance",
         [

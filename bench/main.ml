@@ -566,6 +566,52 @@ let bench_serve () =
     vb_chaos_conserved = chaos_ok;
   }
 
+(* Part 4d: batched dispatch — the same 8-stream flood served with batch
+   formation off (--max-batch 1, the exact unbatched path) and on.  The
+   figures of merit are the wall-clock speedup from duplicate-operand
+   elision and byte-identity of the two embedded replay reports (batching
+   must be semantics-free).                                               *)
+
+type batch_bench = {
+  tb_events : int;
+  tb_streams : int;
+  tb_off_s : float;
+  tb_on_s : float;
+  tb_mean_batch : float;
+  tb_identical : bool;
+}
+
+let bench_batch () =
+  let target = Vapor_targets.Sse.target in
+  let trace = Trace.standard ~length:bench_replay_length ~n_targets:1 () in
+  let cfg = replay_cfg ~engine:Tiered.Fast ~guard:Tiered.no_guard target in
+  let mk max_batch =
+    {
+      (Serve.default_cfg cfg) with
+      Serve.sv_budget = 64;
+      sv_max_batch = max_batch;
+      sv_batch_window = 32_768;
+    }
+  in
+  let wl = Workload.of_trace ~streams:8 trace in
+  let off_rep = ref (Serve.run (mk 1) wl) in
+  let off_s = best_of_3 (fun () -> off_rep := Serve.run (mk 1) wl) in
+  let on_rep = ref (Serve.run (mk 32) wl) in
+  let on_s = best_of_3 (fun () -> on_rep := Serve.run (mk 32) wl) in
+  let embedded r = Service.report_to_string r.Serve.sr_service in
+  {
+    tb_events = Workload.total wl;
+    tb_streams = Workload.streams wl;
+    tb_off_s = off_s;
+    tb_on_s = on_s;
+    tb_mean_batch =
+      (if !on_rep.Serve.sr_batches = 0 then 0.0
+       else
+         float_of_int !on_rep.Serve.sr_batched_events
+         /. float_of_int !on_rep.Serve.sr_batches);
+    tb_identical = String.equal (embedded !off_rep) (embedded !on_rep);
+  }
+
 (* ---------------------------------------------------------------------- *)
 (* Part 5: the JIT cost profiler — per-target aggregates of the per-stage
    compile pipeline costs over the whole suite.  Wall-clock stage sums are
@@ -701,6 +747,21 @@ let run_fastpath_bench ~json () =
        chaos\n";
     exit 1
   end;
+  let tb = bench_batch () in
+  Printf.printf
+    "  batched dispatch (%d events, %d streams): %.0f ev/s off -> %.0f \
+     ev/s on (%.2fx), mean batch %.2f, report %s\n%!"
+    tb.tb_events tb.tb_streams
+    (float_of_int tb.tb_events /. tb.tb_off_s)
+    (float_of_int tb.tb_events /. tb.tb_on_s)
+    (tb.tb_off_s /. tb.tb_on_s)
+    tb.tb_mean_batch
+    (if tb.tb_identical then "identical" else "DIFFERS");
+  if not tb.tb_identical then begin
+    Printf.printf
+      "FAIL: batched dispatch changed the embedded replay report\n";
+    exit 1
+  end;
   let sb = bench_store () in
   let per_s x = float_of_int sb.sb_events /. x in
   Printf.printf
@@ -762,6 +823,16 @@ let run_fastpath_bench ~json () =
       vb.vb_events vb.vb_streams
       (float_of_int vb.vb_events /. vb.vb_s)
       vb.vb_answered vb.vb_lost vb.vb_identical vb.vb_chaos_conserved;
+    Printf.bprintf buf
+      "  \"batch\": {\"events\": %d, \"streams\": %d, \
+       \"unbatched_events_per_s\": %.0f, \"batched_events_per_s\": %.0f, \
+       \"speedup\": %.2f, \"mean_batch_size\": %.2f, \
+       \"report_identical\": %b},\n"
+      tb.tb_events tb.tb_streams
+      (float_of_int tb.tb_events /. tb.tb_off_s)
+      (float_of_int tb.tb_events /. tb.tb_on_s)
+      (tb.tb_off_s /. tb.tb_on_s)
+      tb.tb_mean_batch tb.tb_identical;
     Printf.bprintf buf
       "  \"oracle\": {\"unguarded_s\": %.4f, \"guarded_s\": %.4f, \
        \"overhead_factor\": %.2f},\n"

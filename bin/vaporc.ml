@@ -53,6 +53,19 @@ let resolve_kernel name =
     die_unknown ~what:"kernel" ~given:name
       ~valid:(List.map (fun e -> e.Suite.name) Suite.all)
 
+(* A non-positive batch flag is a user error: exit 2 with the usage line
+   (zero or negative windows/caps have no meaning in the formation
+   model). *)
+let resolve_positive ~flag v : int =
+  if v <= 0 then begin
+    Printf.eprintf
+      "vaporc: --%s must be a positive integer (got %d)\n\
+       usage: --%s N with N >= 1 (--max-batch 1 disables batching)\n"
+      flag v flag;
+    exit 2
+  end
+  else v
+
 (* A bad --store path is a user error like an unknown name: exit 2 with
    the reason.  Replay commands create a missing directory ([create]);
    `vaporc cache` never does — verifying or listing a store that isn't
@@ -898,6 +911,23 @@ let serve_bench_cmd =
       & info [ "breaker-cooldown" ] ~docv:"CYCLES"
           ~doc:"Virtual cycles an open breaker dwells before its probe.")
   in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Batch-formation cap: a per-kernel batch dispatches the moment \
+             it holds $(docv) events.  1 (the default) is the exact \
+             unbatched dispatch path.")
+  in
+  let batch_window_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "batch-window" ] ~docv:"CYCLES"
+          ~doc:
+            "Batch-formation window: an open batch closes after $(docv) \
+             virtual cycles, or earlier if a member deadline is at risk.")
+  in
   let chaos_arg =
     Arg.(
       value & flag
@@ -924,12 +954,35 @@ let serve_bench_cmd =
              $(docv): Prometheus text format, or JSON when $(docv) ends \
              in .json.")
   in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a structured span trace of the serve run to $(docv) as \
+             JSONL: one replay_event root span per answered event (plus a \
+             batch_dispatch marker per dispatched batch), with runtime \
+             child spans beneath.  The serve report is byte-identical \
+             with and without tracing.")
+  in
+  let trace_det_arg =
+    Arg.(
+      value & flag
+      & info [ "trace-deterministic" ]
+          ~doc:
+            "Omit wall-clock fields from the span trace, leaving only the \
+             deterministic ordinal clock.")
+  in
   let run target profile length seed hotness kernels domains streams lanes
       budget backlog queue_cap policy deadline stream_deadline interval
-      priority_levels breaker_threshold breaker_cooldown chaos store_dir
-      metrics_out =
+      priority_levels breaker_threshold breaker_cooldown max_batch
+      batch_window chaos store_dir metrics_out trace_out trace_deterministic
+      =
     let target = resolve_target target in
     let policy = resolve_policy policy in
+    let max_batch = resolve_positive ~flag:"max-batch" max_batch in
+    let batch_window = resolve_positive ~flag:"batch-window" batch_window in
     let store = Option.map (open_store_or_die ~create:true) store_dir in
     let kernels =
       Option.map (List.map (fun n -> (resolve_kernel n).Suite.name)) kernels
@@ -970,6 +1023,8 @@ let serve_bench_cmd =
         sv_faults = faults;
         sv_breaker_threshold = breaker_threshold;
         sv_breaker_cooldown = breaker_cooldown;
+        sv_max_batch = max_batch;
+        sv_batch_window = batch_window;
       }
     in
     let wl =
@@ -977,7 +1032,18 @@ let serve_bench_cmd =
         ?stream_deadline ~interval ~priority_levels trace
     in
     let stats = Stats.create () in
-    let rep = Serve.run ~stats serve_cfg wl in
+    let tracer =
+      match trace_out with
+      | None -> Vapor_obs.Tracer.disabled
+      | Some _ -> Vapor_obs.Tracer.create ~wall:(not trace_deterministic) ()
+    in
+    let rep = Serve.run ~stats ~tracer serve_cfg wl in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Vapor_obs.Tracer.to_jsonl tracer);
+        close_out oc)
+      trace_out;
     Option.iter
       (fun path ->
         let oc = open_out path in
@@ -1006,7 +1072,8 @@ let serve_bench_cmd =
       $ budget_arg $ backlog_arg $ queue_cap_arg $ policy_arg
       $ deadline_arg $ stream_deadline_arg $ interval_arg
       $ priority_levels_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-      $ chaos_arg $ store_arg $ metrics_out_arg)
+      $ max_batch_arg $ batch_window_arg $ chaos_arg $ store_arg
+      $ metrics_out_arg $ trace_out_arg $ trace_det_arg)
 
 (* The serve script language, one directive per line ('#' comments):
 
@@ -1205,6 +1272,20 @@ let serve_cmd =
       & info [ "breaker-cooldown" ] ~docv:"CYCLES"
           ~doc:"Virtual cycles an open breaker dwells before its probe.")
   in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Batch-formation cap (1, the default, is the exact unbatched \
+             dispatch path).")
+  in
+  let batch_window_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "batch-window" ] ~docv:"CYCLES"
+          ~doc:"Batch-formation window in virtual cycles.")
+  in
   let store_arg =
     Arg.(
       value
@@ -1222,8 +1303,11 @@ let serve_cmd =
              $(docv): Prometheus text, or JSON for .json paths.")
   in
   let run target profile script domains lanes budget backlog hotness
-      breaker_threshold breaker_cooldown store_dir metrics_out =
+      breaker_threshold breaker_cooldown max_batch batch_window store_dir
+      metrics_out =
     let target = resolve_target target in
+    let max_batch = resolve_positive ~flag:"max-batch" max_batch in
+    let batch_window = resolve_positive ~flag:"batch-window" batch_window in
     let store = Option.map (open_store_or_die ~create:true) store_dir in
     let lines =
       match script with
@@ -1264,6 +1348,8 @@ let serve_cmd =
         sv_faults = None;
         sv_breaker_threshold = breaker_threshold;
         sv_breaker_cooldown = breaker_cooldown;
+        sv_max_batch = max_batch;
+        sv_batch_window = batch_window;
       }
     in
     let stats = Stats.create () in
@@ -1289,8 +1375,8 @@ let serve_cmd =
     Term.(
       const run $ target_arg $ profile_arg $ script_arg $ domains_arg
       $ lanes_arg $ budget_arg $ backlog_arg $ hotness_arg
-      $ breaker_threshold_arg $ breaker_cooldown_arg $ store_arg
-      $ metrics_out_arg)
+      $ breaker_threshold_arg $ breaker_cooldown_arg $ max_batch_arg
+      $ batch_window_arg $ store_arg $ metrics_out_arg)
 
 (* --- vaporc cache: persistent-store maintenance -------------------------
    None of these create a store: pointing them at a missing or unusable

@@ -63,10 +63,17 @@ regressions=$(jq -rn --slurpfile base "$baseline" --slurpfile cur "$current" '
     | select($b.events_per_s != null and $b.events_per_s > 0
              and (.events_per_s // 0) < $b.events_per_s / 10)
     | "serve.events_per_s: \($b.events_per_s) -> \(.events_per_s)";
+  def batch_hib:
+    ($base[0].batch // {}) as $b
+    | ($cur[0].batch // {})
+    | select($b.batched_events_per_s != null and $b.batched_events_per_s > 0
+             and (.batched_events_per_s // 0) < $b.batched_events_per_s / 10)
+    | "batch.batched_events_per_s: \($b.batched_events_per_s) -> \(.batched_events_per_s)";
   [ hib("replay"; "target"; "fast_events_per_s"),
     hib("domains"; "domains"; "events_per_s"),
     store_hib,
     serve_hib,
+    batch_hib,
     micro_lib ]
   | .[]' 2>/dev/null || true)
 
@@ -103,6 +110,33 @@ if [ "$(jq -r '.serve.chaos_conserved // "missing"' "$current")" != "true" ]; th
   exit 1
 fi
 
+# --- batched dispatch (hard identity + cores-aware speedup) -----------------
+# Batching must be semantics-free (identical embedded reports) always.
+# The speedup target applies where the runner has at least 2 cores and a
+# stable clock; a 1-core shared runner degrades to a no-regression floor —
+# duplicate-operand elision must still not make serving slower.
+if [ "$(jq -r '.batch.report_identical // "missing"' "$current")" != "true" ]; then
+  echo "FAIL: batch.report_identical != true (batching changed the embedded report)"
+  exit 1
+fi
+bspeed=$(jq -r '.batch.speedup // "missing"' "$current")
+if [ "$bspeed" = "missing" ]; then
+  echo "FAIL: batch.speedup missing from BENCH.json"
+  exit 1
+fi
+bcores=$(jq -r '.cores // 1' "$current")
+if [ "$bcores" -ge 2 ]; then
+  if ! jq -en --argjson s "$bspeed" '$s >= 1.3' > /dev/null; then
+    echo "FAIL: batched serving only ${bspeed}x of unbatched (need >= 1.3x on ${bcores} cores)"
+    exit 1
+  fi
+else
+  if ! jq -en --argjson s "$bspeed" '$s >= 0.9' > /dev/null; then
+    echo "FAIL: batched serving regressed to ${bspeed}x of unbatched (floor 0.9x on ${bcores} cores)"
+    exit 1
+  fi
+fi
+
 # --- multi-domain scaling (cores-aware) -------------------------------------
 # pool_run clamps spawned OS domains to the machine's core count, so the
 # 4-domain target only applies where 4 cores existed when BENCH.json was
@@ -133,3 +167,4 @@ fi
 
 echo "OK: BENCH.json matches baseline structure, no >10x regression"
 echo "OK: serving invariants hold; domains 4/1 ratio ${ratio}x on ${cores} cores"
+echo "OK: batched dispatch ${bspeed}x of unbatched, reports identical"

@@ -7,11 +7,17 @@
 # internally consistent (count >= 0, min <= max, count*min <= sum); the
 # persistent-store gauges (store.*) are whole-store facts and can never
 # be negative; the serving gauges (serve.*) are per-run drain facts —
-# non-negative whole numbers, and when a serving run exported them the
+# non-negative whole numbers (serve.mean_batch_size is the one ratio and
+# may be fractional), and when a serving run exported them the
 # conservation identity must balance: every admitted arrival is answered,
 # shed, timed out, or disconnected — serve.lost is identically zero.
+# Labeled gauges (the optional "labeled" section, nested
+# name -> label key -> label value -> number) are per-label breakdowns of
+# an unlabeled family: whenever the family's unlabeled total exists, the
+# labeled values must sum to it exactly.
 
-(has("counters") and has("gauges") and has("histograms"))
+. as $root
+| (has("counters") and has("gauges") and has("histograms"))
 and (.counters | type == "object"
      and ([.[]] | all(type == "number" and . >= 0 and . == floor)))
 and (.gauges | type == "object" and ([.[]] | all(type == "number")))
@@ -20,7 +26,9 @@ and (.gauges | to_entries
      | all(.value >= 0))
 and (.gauges | to_entries
      | map(select(.key | startswith("serve.")))
-     | all(.value >= 0 and (.value == (.value | floor))))
+     | all(.value >= 0
+           and (.key == "serve.mean_batch_size"
+                or .value == (.value | floor))))
 and (.gauges
      | if has("serve.total") then
          (."serve.lost" // 0) == 0
@@ -32,6 +40,18 @@ and (.gauges
                  + (."serve.injected_exhaustions" // 0)
                  + (."serve.disconnected" // 0))
        else true end)
+and (if has("labeled") then
+       (.labeled | type == "object"
+        and ([.[] | .[] | .[]] | all(type == "number")))
+       and (.labeled | to_entries
+            | all(.key as $name
+                  | ($root.gauges[$name] // null) as $total
+                  | $total == null
+                    or (.value | to_entries
+                        | all(([.value[]] | add // 0) as $sum
+                              | ($sum - $total)
+                                | (if . < 0 then -. else . end) < 1e-6))))
+     else true end)
 and (.histograms | type == "object"
      and ([.[]]
           | all(has("count") and has("sum") and has("min") and has("max")

@@ -15,8 +15,9 @@ test -s "$prom" || { echo "FAIL: $prom is empty"; exit 1; }
 test -s "$json" || { echo "FAIL: $json is empty"; exit 1; }
 
 # --- Prometheus text format -------------------------------------------------
-# Allowed lines: '# TYPE <name> counter|gauge|summary' or '<name> <number>'.
-bad=$(grep -nvE '^((# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary))|([a-zA-Z_:][a-zA-Z0-9_:]* -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?))$' "$prom" || true)
+# Allowed lines: '# TYPE <name> counter|gauge|summary' or
+# '<name>[{label="value"}] <number>' (one optional label pair per sample).
+bad=$(grep -nvE '^((# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary))|([a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?))$' "$prom" || true)
 if [ -n "$bad" ]; then
   echo "FAIL: malformed prometheus line(s) in $prom:"
   echo "$bad"
@@ -58,6 +59,19 @@ missing=$(jq -r '.gauges | keys[]
 if [ -n "$missing" ]; then
   echo "FAIL: store/serve gauges in $json missing from $prom:"
   echo "$missing"
+  exit 1
+fi
+
+# Labeled families in the JSON export must expose labeled samples in the
+# Prometheus text too (same registry, same breakdowns).
+missing_labeled=$(jq -r 'if has("labeled") then .labeled | keys[] else empty end' "$json" \
+  | while read -r g; do
+      pn="vapor_$(echo "$g" | tr '.-' '__')"
+      grep -q "^$pn{" "$prom" || echo "$g ($pn{...})"
+    done)
+if [ -n "$missing_labeled" ]; then
+  echo "FAIL: labeled gauges in $json missing from $prom:"
+  echo "$missing_labeled"
   exit 1
 fi
 

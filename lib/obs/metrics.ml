@@ -19,6 +19,10 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   histos : (string, histo) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
+  labeled : (string * string * string, float ref) Hashtbl.t;
+      (* (gauge name, label key, label value) -> value: one labeled
+         series per distinct label value, e.g.
+         serve.answered{stream="3"} *)
 }
 
 let create () =
@@ -26,6 +30,7 @@ let create () =
     counters = Hashtbl.create 16;
     histos = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
+    labeled = Hashtbl.create 16;
   }
 
 let incr ?(by = 1) t name =
@@ -68,6 +73,26 @@ let gauge t name =
   match Hashtbl.find_opt t.gauges name with
   | Some r -> Some !r
   | None -> None
+
+let set_labeled_gauge t name ~label:(k, v) value =
+  match Hashtbl.find_opt t.labeled (name, k, v) with
+  | Some r -> r := value
+  | None -> Hashtbl.replace t.labeled (name, k, v) (ref value)
+
+let add_labeled_gauge t name ~label:(k, v) value =
+  match Hashtbl.find_opt t.labeled (name, k, v) with
+  | Some r -> r := !r +. value
+  | None -> Hashtbl.replace t.labeled (name, k, v) (ref value)
+
+let labeled_gauge t name ~label:(k, v) =
+  match Hashtbl.find_opt t.labeled (name, k, v) with
+  | Some r -> Some !r
+  | None -> None
+
+(* All labeled series, sorted by (name, label key, label value). *)
+let labeled_series t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.labeled []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 type summary = {
   s_count : int;
@@ -129,7 +154,8 @@ let to_table t =
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.histos;
-  Hashtbl.reset t.gauges
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.labeled
 
 (* Pool [src] into [dst]: counters add, histograms merge count/sum and
    take the min/max envelope, gauges add.  Pooled means are exact, so a
@@ -156,7 +182,10 @@ let merge_into ~(dst : t) (src : t) =
             h_max = h.h_max;
           })
     src.histos;
-  Hashtbl.iter (fun name r -> add_gauge dst name !r) src.gauges
+  Hashtbl.iter (fun name r -> add_gauge dst name !r) src.gauges;
+  Hashtbl.iter
+    (fun (name, k, v) r -> add_labeled_gauge dst name ~label:(k, v) !r)
+    src.labeled
 
 (* --- exports ----------------------------------------------------------- *)
 
@@ -189,14 +218,37 @@ let to_prometheus ?(prefix = "vapor_") t =
       let pn = prom_name ~prefix name in
       Printf.bprintf buf "# TYPE %s counter\n%s %d\n" pn pn (counter t name))
     (counter_names t);
+  let series = labeled_series t in
+  let emit_labeled name pn =
+    List.iter
+      (fun ((n, k, v), value) ->
+        if n = name then
+          Printf.bprintf buf "%s{%s=\"%s\"} %s\n" pn (prom_name ~prefix:"" k)
+            v (prom_float value))
+      series
+  in
   List.iter
     (fun name ->
       let pn = prom_name ~prefix name in
       match gauge t name with
-      | Some v -> Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" pn pn
-                    (prom_float v)
+      | Some v ->
+        Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" pn pn (prom_float v);
+        emit_labeled name pn
       | None -> ())
     (gauge_names t);
+  (* Labeled families with no unlabeled total still get a TYPE line. *)
+  let orphan_names =
+    List.filter_map
+      (fun ((n, _, _), _) -> if gauge t n = None then Some n else None)
+      series
+    |> List.sort_uniq String.compare
+  in
+  List.iter
+    (fun name ->
+      let pn = prom_name ~prefix name in
+      Printf.bprintf buf "# TYPE %s gauge\n" pn;
+      emit_labeled name pn)
+    orphan_names;
   List.iter
     (fun name ->
       match summary t name with
@@ -258,6 +310,46 @@ let to_json t =
         (json_float (Option.value ~default:0.0 (gauge t name))))
     gs;
   Buffer.add_string buf (if gs = [] then "},\n" else "\n  },\n");
+  (* Labeled gauges nest name -> label key -> label value -> value, e.g.
+     {"serve.answered": {"stream": {"0": 12.0, "1": 9.0}}}. *)
+  Buffer.add_string buf "  \"labeled\": {";
+  let series = labeled_series t in
+  let lnames =
+    List.map (fun ((n, _, _), _) -> n) series |> List.sort_uniq String.compare
+  in
+  List.iteri
+    (fun i name ->
+      Printf.bprintf buf "%s\n    \"%s\": {"
+        (if i = 0 then "" else ",")
+        (json_escape name);
+      let keys =
+        List.filter_map
+          (fun ((n, k, _), _) -> if n = name then Some k else None)
+          series
+        |> List.sort_uniq String.compare
+      in
+      List.iteri
+        (fun j key ->
+          Printf.bprintf buf "%s\"%s\": {"
+            (if j = 0 then "" else ", ")
+            (json_escape key);
+          let vals =
+            List.filter_map
+              (fun ((n, k, v), value) ->
+                if n = name && k = key then Some (v, value) else None)
+              series
+          in
+          List.iteri
+            (fun m (v, value) ->
+              Printf.bprintf buf "%s\"%s\": %s"
+                (if m = 0 then "" else ", ")
+                (json_escape v) (json_float value))
+            vals;
+          Buffer.add_string buf "}")
+        keys;
+      Buffer.add_string buf "}")
+    lnames;
+  Buffer.add_string buf (if lnames = [] then "},\n" else "\n  },\n");
   Buffer.add_string buf "  \"histograms\": {";
   let hs = histogram_names t in
   List.iteri

@@ -57,6 +57,28 @@ val max_gauge : t -> string -> float -> unit
 (** [None] if the gauge was never set. *)
 val gauge : t -> string -> float option
 
+(** {2 Labeled gauges}
+
+    One gauge family broken down by a label, e.g.
+    [serve.answered{stream="3"}].  [label] is a (key, value) pair; each
+    distinct value is its own series.  Labeled series appear in the
+    Prometheus export (grouped under the family's [# TYPE] line, after
+    the unlabeled total when one exists) and in the JSON export's
+    ["labeled"] section nested name -> key -> value; {!to_table} ignores
+    them, preserving the report byte-identity contract. *)
+
+val set_labeled_gauge : t -> string -> label:string * string -> float -> unit
+
+(** Add to a labeled series (creates it); the pooling primitive. *)
+val add_labeled_gauge : t -> string -> label:string * string -> float -> unit
+
+(** [None] if that series was never set. *)
+val labeled_gauge : t -> string -> label:string * string -> float option
+
+(** All labeled series as [((name, label key, label value), value)],
+    sorted. *)
+val labeled_series : t -> ((string * string * string) * float) list
+
 (** {2 Reporting} *)
 
 (** All counter names, sorted. *)

@@ -275,9 +275,13 @@ let pool_assign pool ~(weights : (string * int) list) =
    still switches at the same point in its own subsequence.
    [interp_only] / [force_oracle] pass through to {!Tiered.invoke} — the
    serving layer's breaker-open and half-open-probe modes. *)
-let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
+(* Fire the shard's retarget triggers (rejuvenation, SIMD drop) due at
+   [ev]; returns [true] when one fired (a batch dispatcher must drop its
+   memoized signatures: their target association is stale). *)
+let fire_triggers pool ~shard (ev : Trace.event) =
   let sh = pool.pl_shards.(shard) in
   let cfg = pool.pl_cfg in
+  let fired = ref false in
   let retarget ~from_t ~to_t =
     ignore
       (Code_cache.invalidate_target sh.sh_cache ~from_target:from_t
@@ -299,6 +303,7 @@ let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
   | Some (at, from_t, to_t)
     when (not sh.sh_rejuvenated) && ev.Trace.ev_index >= at ->
     sh.sh_rejuvenated <- true;
+    fired := true;
     retarget ~from_t ~to_t
   | _ -> ());
   (match cfg.cfg_drop_simd with
@@ -306,6 +311,7 @@ let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
     (* The fleet loses its vector units: rejuvenate every SIMD target
        down to scalar code, mid-trace. *)
     sh.sh_dropped <- true;
+    fired := true;
     let simd =
       Array.to_list sh.sh_targets
       |> List.filter Target.has_simd
@@ -314,11 +320,12 @@ let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
     List.iter (fun from_t -> retarget ~from_t ~to_t:scalar_t) simd;
     Stats.incr sh.sh_stats "faults.simd_dropped"
   | _ -> ());
-  let entry, vk, digest = Hashtbl.find sh.sh_table ev.Trace.ev_kernel in
-  let target =
-    sh.sh_targets.(ev.Trace.ev_target mod Array.length sh.sh_targets)
-  in
-  let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
+  !fired
+
+(* The root-span + record wrapper shared by {!shard_step} and
+   {!shard_step_batch}: [run] performs the actual tiered invocation. *)
+let step_with pool ~shard (ev : Trace.event) ~target run =
+  let sh = pool.pl_shards.(shard) in
   let tr = sh.sh_tracer in
   let invoke () =
     if Tracer.on tr then
@@ -328,10 +335,7 @@ let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
           "target", Tracer.S target.Target.name;
           "scale", Tracer.I ev.Trace.ev_scale;
         ];
-    let r =
-      Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
-        ?force_oracle sh.sh_tiered ~target ~profile:cfg.cfg_profile vk ~args
-    in
+    let r : Tiered.run = run () in
     if Tracer.on tr then
       Tracer.root_end tr
         ~attrs:
@@ -353,6 +357,53 @@ let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
      pipeline-stage timings into their own tracer. *)
   if Tracer.on tr then Stage.with_sink (Tracer.stage_sink tr) invoke
   else invoke ()
+
+let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
+  let sh = pool.pl_shards.(shard) in
+  let cfg = pool.pl_cfg in
+  ignore (fire_triggers pool ~shard ev);
+  let entry, vk, digest = Hashtbl.find sh.sh_table ev.Trace.ev_kernel in
+  let target =
+    sh.sh_targets.(ev.Trace.ev_target mod Array.length sh.sh_targets)
+  in
+  let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
+  step_with pool ~shard ev ~target (fun () ->
+      Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
+        ?force_oracle sh.sh_tiered ~target ~profile:cfg.cfg_profile vk ~args)
+
+(* One batch of co-dispatched same-digest events: the shard it executes
+   on plus the tiered runtime's duplicate-operand elision memo. *)
+type batch = {
+  bt_shard : int;
+  bt_tiered : Tiered.batch;
+}
+
+let batch_begin _pool ~shard = { bt_shard = shard; bt_tiered = Tiered.batch_create () }
+
+let batch_shard b = b.bt_shard
+
+let shard_step_batch ?interp_only ?force_oracle pool ~batch (ev : Trace.event)
+    =
+  let shard = batch.bt_shard in
+  let sh = pool.pl_shards.(shard) in
+  let cfg = pool.pl_cfg in
+  if fire_triggers pool ~shard ev then Tiered.batch_reset batch.bt_tiered;
+  let entry, vk, digest = Hashtbl.find sh.sh_table ev.Trace.ev_kernel in
+  let target =
+    sh.sh_targets.(ev.Trace.ev_target mod Array.length sh.sh_targets)
+  in
+  (* Two events share operands iff they share this signature: the suite's
+     argument builders are pure functions of (kernel, scale), and the
+     target index picks the compiled body variant. *)
+  let memo_key =
+    Printf.sprintf "%s/%d/%d" ev.Trace.ev_kernel ev.Trace.ev_target
+      ev.Trace.ev_scale
+  in
+  let args () = entry.Suite.args ~scale:ev.Trace.ev_scale in
+  step_with pool ~shard ev ~target (fun () ->
+      Tiered.invoke_batch ~digest ~label:ev.Trace.ev_kernel ?interp_only
+        ?force_oracle ~batch:batch.bt_tiered ~memo_key sh.sh_tiered ~target
+        ~profile:cfg.cfg_profile vk ~args)
 
 (* Run the partitioned events: shard [i] processes [parts.(i)] in order.
    Logical shards are scheduling-independent, so at most

@@ -152,6 +152,29 @@ val shard_step :
   Trace.event ->
   event_record
 
+(** One batch of co-dispatched same-digest events on one shard: carries
+    the tiered runtime's duplicate-operand elision memo
+    ({!Tiered.batch}).  Create one per dispatched batch, step every
+    member through it with {!shard_step_batch}, then drop it. *)
+type batch
+
+val batch_begin : pool -> shard:int -> batch
+val batch_shard : batch -> int
+
+(** As {!shard_step}, inside [batch]: members whose (kernel, target,
+    scale) signature already ran in this batch have bit-identical
+    operands and are elided — executed once, charged per element — on
+    the unguarded fast path.  Accounting (records, counters, histograms,
+    spans) is byte-identical to stepping each member singly.  A
+    retarget trigger firing mid-batch resets the memo. *)
+val shard_step_batch :
+  ?interp_only:bool ->
+  ?force_oracle:bool ->
+  pool ->
+  batch:batch ->
+  Trace.event ->
+  event_record
+
 (** Run [parts.(i)] through shard [i], spawning at most
     [Domain.recommended_domain_count] OS domains (extra logical shards
     fold onto them round-robin — oversubscription past the core count

@@ -377,20 +377,10 @@ let store_publish t key vk compiled =
     Store.publish ss (store_key key) vk compiled;
     if Tracer.on tr then Tracer.span_end tr ~name:"store_publish" ()
 
-let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false) t
-    ~(target : Target.t) ~(profile : Profile.t) (vk : B.vkernel) ~args =
-  let d = match digest with Some d -> d | None -> Digest.of_vkernel vk in
-  let key =
-    {
-      Digest.k_digest = d;
-      k_target = target.Target.name;
-      k_profile = profile.Profile.name;
-    }
-  in
-  let label =
-    match label with Some l -> l | None -> vk.B.name
-  in
-  let s = state_of t key label in
+(* Invocation-count and hotness-promotion bookkeeping, shared by
+   {!invoke} and {!invoke_batch} so a batched element is accounted
+   exactly like a single dispatch. *)
+let note_invocation t (s : kstate) =
   s.ks_invocations <- s.ks_invocations + 1;
   if
     s.ks_tier = Interpreter
@@ -401,90 +391,81 @@ let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false) t
     s.ks_transitions <-
       { at_invocation = s.ks_invocations; to_tier = Jit } :: s.ks_transitions;
     Stats.incr t.st "tier.promotions"
-  end;
+  end
+
+(* The interpreter-tier arm of an invocation: exec span + tiered
+   interpreter run. *)
+let interp_invoke t (s : kstate) ~digest ~(target : Target.t) ~force_check vk
+    ~args =
   let tr = t.tracer in
-  (* [interp_only] forces the interpreter path for this invocation without
-     demoting the kernel (breaker-open serving); promotion bookkeeping
-     above still ran, so hotness accrues normally and the kernel resumes
-     JIT serving the moment the caller stops forcing. *)
-  match (if interp_only then Interpreter else s.ks_tier) with
-  | Interpreter ->
-    if Tracer.on tr then
-      Tracer.span_begin tr ~name:"exec" [ "tier", Tracer.S "interp" ];
-    let cycles, mismatched =
-      interp_run ~force_check:force_oracle t s ~digest:d ~target vk ~args
-    in
-    if Tracer.on tr then
-      Tracer.span_end tr ~attrs:[ "cycles", Tracer.I cycles ] ~name:"exec" ();
-    { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
-      r_cache = None;
-      r_outcome = (if mismatched then Oracle_mismatch else Clean) }
-  | Jit -> (
-    (* Obtain the body: cache lookup, else compile (with bounded retry
-       against injected transient faults) and insert.  Stats mirror
-       [Code_cache.find_or_compile] exactly on the clean path. *)
-    let fetched =
-      if Tracer.on tr then Tracer.span_begin tr ~name:"cache_lookup" [];
-      match Code_cache.find t.cache key with
-      | Some compiled ->
-        if Tracer.on tr then
-          Tracer.span_end tr
-            ~attrs:[ "outcome", Tracer.S "hit" ]
-            ~name:"cache_lookup" ();
-        Ok (compiled, Code_cache.Hit, 0.0)
-      | None -> (
-        if Tracer.on tr then
-          Tracer.span_end tr
-            ~attrs:[ "outcome", Tracer.S "miss" ]
-            ~name:"cache_lookup" ();
-        match store_fetch t ~target key with
-        | Some compiled ->
-          (* Warm start: account the store hit exactly like a compile —
-             charge and observe the stored *modeled* compile time, count
-             the scalarize fallback, insert — so the warm report is
-             byte-identical to the cold one while no compile runs. *)
-          if compiled.Compile.forced_scalar_regions <> [] then
-            Stats.incr t.st "guard.scalarize_fallbacks";
-          Stats.observe t.st "cache.compile_us"
-            compiled.Compile.compile_time_us;
-          Code_cache.insert t.cache key vk profile compiled;
-          Ok (compiled, Code_cache.Miss, 0.0)
-        | None -> (
-          if Tracer.on tr then Tracer.span_begin tr ~name:"compile" [];
-          match compile_with_retry t ~target ~profile vk with
-          | Ok (compiled, backoff_us) ->
-            Stats.observe t.st "cache.compile_us"
-              compiled.Compile.compile_time_us;
-            Code_cache.insert t.cache key vk profile compiled;
-            if Tracer.on tr then
-              Tracer.span_end tr
-                ~attrs:
-                  [
-                    "result", Tracer.S "ok";
-                    "compile_us", Tracer.F compiled.Compile.compile_time_us;
-                  ]
-                ~name:"compile" ();
-            store_publish t key vk compiled;
-            Ok (compiled, Code_cache.Miss, backoff_us)
-          | Error (err, backoff_us) ->
-            if Tracer.on tr then
-              Tracer.span_end tr
-                ~attrs:[ "result", Tracer.S "error" ]
-                ~name:"compile" ();
-            Error (err, backoff_us)))
-    in
-    match fetched with
-    | Error (_err, backoff_us) ->
-      (* Unloweable (or retries exhausted): de-optimize.  Pin the kernel
-         to the interpreter so the runtime stops re-attempting a compile
-         that cannot succeed. *)
-      Stats.incr t.st "guard.compile_errors";
-      quarantine t s;
-      let cycles, _ = interp_run t s ~digest:d ~target vk ~args in
-      { r_tier = Interpreter; r_cycles = cycles;
-        r_compile_us = backoff_us; r_cache = None;
-        r_outcome = Compile_error }
-    | Ok (compiled, outcome, backoff_us) -> (
+  if Tracer.on tr then
+    Tracer.span_begin tr ~name:"exec" [ "tier", Tracer.S "interp" ];
+  let cycles, mismatched =
+    interp_run ~force_check t s ~digest ~target vk ~args
+  in
+  if Tracer.on tr then
+    Tracer.span_end tr ~attrs:[ "cycles", Tracer.I cycles ] ~name:"exec" ();
+  { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
+    r_cache = None;
+    r_outcome = (if mismatched then Oracle_mismatch else Clean) }
+
+(* The slow half of obtaining a JIT body once the in-memory cache has
+   missed: probe the persistent store, else compile (with bounded retry
+   against injected transient faults) and insert. *)
+let jit_fetch_slow t ~(target : Target.t) ~(profile : Profile.t) ~key vk :
+    (Compile.t * Code_cache.outcome * float, Compile.lower_error * float)
+    result =
+  let tr = t.tracer in
+  match store_fetch t ~target key with
+  | Some compiled ->
+    (* Warm start: account the store hit exactly like a compile —
+       charge and observe the stored *modeled* compile time, count
+       the scalarize fallback, insert — so the warm report is
+       byte-identical to the cold one while no compile runs. *)
+    if compiled.Compile.forced_scalar_regions <> [] then
+      Stats.incr t.st "guard.scalarize_fallbacks";
+    Stats.observe t.st "cache.compile_us" compiled.Compile.compile_time_us;
+    Code_cache.insert t.cache key vk profile compiled;
+    Ok (compiled, Code_cache.Miss, 0.0)
+  | None -> (
+    if Tracer.on tr then Tracer.span_begin tr ~name:"compile" [];
+    match compile_with_retry t ~target ~profile vk with
+    | Ok (compiled, backoff_us) ->
+      Stats.observe t.st "cache.compile_us" compiled.Compile.compile_time_us;
+      Code_cache.insert t.cache key vk profile compiled;
+      if Tracer.on tr then
+        Tracer.span_end tr
+          ~attrs:
+            [
+              "result", Tracer.S "ok";
+              "compile_us", Tracer.F compiled.Compile.compile_time_us;
+            ]
+          ~name:"compile" ();
+      store_publish t key vk compiled;
+      Ok (compiled, Code_cache.Miss, backoff_us)
+    | Error (err, backoff_us) ->
+      if Tracer.on tr then
+        Tracer.span_end tr
+          ~attrs:[ "result", Tracer.S "error" ]
+          ~name:"compile" ();
+      Error (err, backoff_us))
+
+(* The JIT-tier arm of an invocation, given the fetched body. *)
+let jit_run t (s : kstate) ~digest:d ~(target : Target.t) ~force_oracle vk
+    ~args fetched =
+  let tr = t.tracer in
+  match fetched with
+  | Error ((_err : Compile.lower_error), backoff_us) ->
+    (* Unloweable (or retries exhausted): de-optimize.  Pin the kernel
+       to the interpreter so the runtime stops re-attempting a compile
+       that cannot succeed. *)
+    Stats.incr t.st "guard.compile_errors";
+    quarantine t s;
+    let cycles, _ = interp_run t s ~digest:d ~target vk ~args in
+    { r_tier = Interpreter; r_cycles = cycles;
+      r_compile_us = backoff_us; r_cache = None;
+      r_outcome = Compile_error }
+  | Ok (compiled, outcome, backoff_us) -> (
       let charged =
         match outcome with
         | Code_cache.Miss ->
@@ -599,7 +580,181 @@ let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false) t
               r_cycles = r.Exec.cycles + check_cycles;
               r_compile_us = charged; r_cache = Some outcome;
               r_outcome = Oracle_mismatch }
-          end)))
+          end))
+
+let resolve ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
+    (vk : B.vkernel) =
+  let d = match digest with Some d -> d | None -> Digest.of_vkernel vk in
+  let key =
+    {
+      Digest.k_digest = d;
+      k_target = target.Target.name;
+      k_profile = profile.Profile.name;
+    }
+  in
+  let label = match label with Some l -> l | None -> vk.B.name in
+  d, key, state_of t key label
+
+let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false) t
+    ~(target : Target.t) ~(profile : Profile.t) (vk : B.vkernel) ~args =
+  let d, key, s = resolve ?digest ?label t ~target ~profile vk in
+  note_invocation t s;
+  let tr = t.tracer in
+  (* [interp_only] forces the interpreter path for this invocation without
+     demoting the kernel (breaker-open serving); promotion bookkeeping
+     above still ran, so hotness accrues normally and the kernel resumes
+     JIT serving the moment the caller stops forcing. *)
+  match (if interp_only then Interpreter else s.ks_tier) with
+  | Interpreter ->
+    interp_invoke t s ~digest:d ~target ~force_check:force_oracle vk ~args
+  | Jit ->
+    (* Obtain the body: cache lookup, else store probe / compile (with
+       bounded retry against injected transient faults) and insert.
+       Stats mirror [Code_cache.find_or_compile] exactly on the clean
+       path. *)
+    let fetched =
+      if Tracer.on tr then Tracer.span_begin tr ~name:"cache_lookup" [];
+      match Code_cache.find t.cache key with
+      | Some compiled ->
+        if Tracer.on tr then
+          Tracer.span_end tr
+            ~attrs:[ "outcome", Tracer.S "hit" ]
+            ~name:"cache_lookup" ();
+        Ok (compiled, Code_cache.Hit, 0.0)
+      | None ->
+        if Tracer.on tr then
+          Tracer.span_end tr
+            ~attrs:[ "outcome", Tracer.S "miss" ]
+            ~name:"cache_lookup" ();
+        jit_fetch_slow t ~target ~profile ~key vk
+    in
+    jit_run t s ~digest:d ~target ~force_oracle vk ~args fetched
+
+(* {2 Batched invocation}
+
+   A batch memoizes, per (tier, caller signature), the modeled cycle
+   charge of an execution whose operands are bit-identical to one that
+   already ran in the same batch.  The serving layer's workload builders
+   construct arguments deterministically from (kernel, scale) with no
+   per-event input, so co-batched elements sharing a signature execute
+   the same pure function over the same operands — the runtime runs the
+   body once and replays the charge for the duplicates, skipping both
+   the argument build and the execution.
+
+   Elision is confined to the unguarded fast path (no fault injector, no
+   differential oracle, no forced probe check, fast engine, kernel not
+   quarantined): everything else falls back to the plain {!invoke}, so
+   guard schedules, fault draws and quarantine transitions are
+   indistinguishable from single dispatch.  Every per-element effect of
+   the elided run is still applied — invocation counts, hotness
+   promotion, cache-lookup accounting (LRU touch + hit counter), tier
+   run counters, cycle histograms, slot-body hits, tracer spans — so
+   reports and gauges cannot tell an elided element from an executed
+   one. *)
+
+type batch = {
+  bt_interp : (string, int) Hashtbl.t;  (* signature -> modeled cycles *)
+  bt_jit : (string, int) Hashtbl.t;
+}
+
+let batch_create () =
+  { bt_interp = Hashtbl.create 8; bt_jit = Hashtbl.create 8 }
+
+let batch_reset b =
+  Hashtbl.reset b.bt_interp;
+  Hashtbl.reset b.bt_jit
+
+let invoke_batch ?digest ?label ?(interp_only = false) ?(force_oracle = false)
+    ~batch ~memo_key t ~(target : Target.t) ~(profile : Profile.t)
+    (vk : B.vkernel) ~(args : unit -> (string * Eval.arg) list) =
+  let d, key, s = resolve ?digest ?label t ~target ~profile vk in
+  let elidable =
+    t.engine = Fast
+    && t.guard.g_oracle = None
+    && t.guard.g_faults = None
+    && (not force_oracle)
+    && not s.ks_quarantined
+  in
+  if not elidable then
+    invoke ~digest:d ?label ~interp_only ~force_oracle t ~target ~profile vk
+      ~args:(args ())
+  else begin
+    note_invocation t s;
+    let tr = t.tracer in
+    match (if interp_only then Interpreter else s.ks_tier) with
+    | Interpreter -> (
+      match Hashtbl.find_opt batch.bt_interp memo_key with
+      | Some cycles ->
+        (* Elided: a co-batched element with bit-identical operands
+           already ran this slot body.  Account as if executed. *)
+        if Tracer.on tr then
+          Tracer.span_begin tr ~name:"exec" [ "tier", Tracer.S "interp" ];
+        t.slot_hits <- t.slot_hits + 1;
+        s.ks_interp_runs <- s.ks_interp_runs + 1;
+        Stats.incr t.st "tier.interp_runs";
+        Stats.observe t.st "tier.interp_cycles" (float_of_int cycles);
+        if Tracer.on tr then
+          Tracer.span_end tr
+            ~attrs:[ "cycles", Tracer.I cycles ]
+            ~name:"exec" ();
+        { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
+          r_cache = None; r_outcome = Clean }
+      | None ->
+        let r =
+          interp_invoke t s ~digest:d ~target ~force_check:false vk
+            ~args:(args ())
+        in
+        if r.r_outcome = Clean then
+          Hashtbl.replace batch.bt_interp memo_key r.r_cycles;
+        r)
+    | Jit -> (
+      if Tracer.on tr then Tracer.span_begin tr ~name:"cache_lookup" [];
+      let found = Code_cache.find t.cache key in
+      match found, Hashtbl.find_opt batch.bt_jit memo_key with
+      | Some compiled, Some cycles ->
+        (* Elided: the leader compiled (or hit) this body and executed
+           these exact operands; replay its charge as a cache hit. *)
+        if Tracer.on tr then
+          Tracer.span_end tr
+            ~attrs:[ "outcome", Tracer.S "hit" ]
+            ~name:"cache_lookup" ();
+        if s.ks_cold_compile_us = 0.0 then
+          s.ks_cold_compile_us <- compiled.Compile.compile_time_us;
+        s.ks_jit_runs <- s.ks_jit_runs + 1;
+        Stats.incr t.st "tier.jit_runs";
+        Stats.observe t.st "tier.jit_cycles" (float_of_int cycles);
+        if Tracer.on tr then begin
+          Tracer.span_begin tr ~name:"exec" [ "tier", Tracer.S "jit" ];
+          Tracer.span_end tr
+            ~attrs:[ "cycles", Tracer.I cycles ]
+            ~name:"exec" ()
+        end;
+        { r_tier = Jit; r_cycles = cycles; r_compile_us = 0.0;
+          r_cache = Some Code_cache.Hit; r_outcome = Clean }
+      | found, _ ->
+        let fetched =
+          match found with
+          | Some compiled ->
+            if Tracer.on tr then
+              Tracer.span_end tr
+                ~attrs:[ "outcome", Tracer.S "hit" ]
+                ~name:"cache_lookup" ();
+            Ok (compiled, Code_cache.Hit, 0.0)
+          | None ->
+            if Tracer.on tr then
+              Tracer.span_end tr
+                ~attrs:[ "outcome", Tracer.S "miss" ]
+                ~name:"cache_lookup" ();
+            jit_fetch_slow t ~target ~profile ~key vk
+        in
+        let r =
+          jit_run t s ~digest:d ~target ~force_oracle:false vk
+            ~args:(args ()) fetched
+        in
+        if r.r_outcome = Clean && r.r_tier = Jit then
+          Hashtbl.replace batch.bt_jit memo_key r.r_cycles;
+        r)
+  end
 
 let migrate_target t ~(from_target : Target.t) ~(to_target : Target.t) =
   let stale =

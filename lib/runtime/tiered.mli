@@ -148,6 +148,49 @@ val invoke :
   args:(string * Eval.arg) list ->
   run
 
+(** {2 Batched invocation}
+
+    A [batch] is the duplicate-operand elision context for one group of
+    co-dispatched invocations of a single kernel digest (the serving
+    layer's batch dispatcher).  Within a batch, elements whose
+    [memo_key] (caller-chosen signature — kernel, target index, scale)
+    matches an element that already ran have bit-identical operands, so
+    the runtime executes the prepared body once and replays the modeled
+    cycle charge for the duplicates, skipping their argument builds and
+    executions.
+
+    Elision applies only on the unguarded fast path (no fault injector,
+    no oracle, no forced probe, [Fast] engine, kernel not quarantined);
+    anything else falls back to plain {!invoke} with [args] forced.
+    Every per-element effect is preserved either way — invocation and
+    hotness accounting, cache LRU touch + hit counters, tier run
+    counters and cycle histograms, slot-body hits, tracer spans — so a
+    batched drain's report is byte-identical to single dispatch. *)
+
+type batch
+
+val batch_create : unit -> batch
+
+(** Drop all memoized signatures (call when a retarget trigger fires
+    mid-batch: the memo's target association is stale). *)
+val batch_reset : batch -> unit
+
+(** As {!invoke}, inside [batch]: [args] is forced only when the element
+    actually executes (leader or fallback). *)
+val invoke_batch :
+  ?digest:Digest.t ->
+  ?label:string ->
+  ?interp_only:bool ->
+  ?force_oracle:bool ->
+  batch:batch ->
+  memo_key:string ->
+  t ->
+  target:Target.t ->
+  profile:Profile.t ->
+  B.vkernel ->
+  args:(unit -> (string * Eval.arg) list) ->
+  run
+
 (** Rekey all states on [from_target] to [to_target], preserving hotness
     (the Revec rejuvenation companion of
     {!Code_cache.invalidate_target}). Returns the number migrated. *)

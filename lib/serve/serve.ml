@@ -17,6 +17,8 @@ module Tiered = Vapor_runtime.Tiered
 module Faults = Vapor_runtime.Faults
 module Trace = Vapor_runtime.Trace
 module Stats = Vapor_runtime.Stats
+module Digest = Vapor_runtime.Digest
+module Tracer = Vapor_obs.Tracer
 
 type cfg = {
   sv_service : Service.config;
@@ -29,6 +31,13 @@ type cfg = {
   sv_faults : Faults.t option;  (** serving-shaped fault injector *)
   sv_breaker_threshold : int;
   sv_breaker_cooldown : int;
+  sv_max_batch : int;
+      (** events per kernel-digest batch; 1 (the default) is the exact
+          unbatched dispatch path *)
+  sv_batch_window : int;
+      (** batch-formation window in virtual cycles: an open batch closes
+          when full, when this window expires, or when its tightest
+          member deadline would otherwise be at risk *)
 }
 
 let default_cfg service =
@@ -41,6 +50,8 @@ let default_cfg service =
     sv_faults = None;
     sv_breaker_threshold = 3;
     sv_breaker_cooldown = 1_000_000;
+    sv_max_batch = 1;
+    sv_batch_window = 1024;
   }
 
 type timeout_kind =
@@ -72,9 +83,24 @@ type report = {
   sr_breaker_open_at_drain : int;
   sr_interp_only : int;
   sr_probes : int;
+  sr_batches : int;  (** dispatched batches that executed >= 1 event *)
+  sr_batched_events : int;  (** events executed through a batch *)
   sr_virtual_cycles : int;
   sr_lost : int;
   sr_service : Service.report;
+}
+
+(* One forming batch: same-digest events coalesced between admission and
+   dispatch.  [ob_risk] is the earliest virtual time at which any member
+   would time out if still queued — the batch closes no later than that,
+   so the formation window can never cause a deadline miss on its own. *)
+type obatch = {
+  ob_digest : Digest.t;
+  ob_seq : int;  (* formation order; deterministic close tie-break *)
+  ob_opened : int;
+  mutable ob_risk : int;  (* max_int when no member has a deadline *)
+  mutable ob_members : Workload.arrival list;  (* newest first *)
+  mutable ob_count : int;
 }
 
 (* Conservation: every arrival must be accounted exactly once. *)
@@ -145,9 +171,20 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       wl.Workload.wl_streams
   in
   let cursors = Array.make ns 0 in
-  let dispatch_q : Workload.arrival Queue.t = Queue.create () in
+  let max_batch = max 1 cfg.sv_max_batch in
+  let window = max 1 cfg.sv_batch_window in
+  (* Batch formation state: at most one open batch per kernel digest,
+     fed by admission; closed batches queue for lane dispatch in close
+     order.  With [max_batch = 1] every admission closes a singleton
+     immediately, which is the exact pre-batching dispatch path. *)
+  let open_batches : (Digest.t, obatch) Hashtbl.t = Hashtbl.create 16 in
+  let closed_q : obatch Queue.t = Queue.create () in
+  let batch_seq = ref 0 in
+  let batches = ref 0 in
+  let batched_events = ref 0 in
   let lane_busy = Array.make lanes false in
   let lane_free = Array.make lanes 0 in
+  let lane_load = Array.make lanes 0 in
   let now = ref 0 in
   let in_flight = ref 0 in
   let answered = ref 0 in
@@ -163,13 +200,21 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
   let peak_queue = ref 0 in
   let peak_in_flight = ref 0 in
   let records = ref [] in
+  (* Per-stream accounting behind the {stream="<id>"} metric labels. *)
+  let answered_by = Array.make ns 0 in
+  let timeouts_by = Array.make ns 0 in
+  (* Deadline slack (cycles to spare at dispatch) of every answered
+     event with an event deadline — the margin the batch window eats. *)
+  let slacks = ref [] in
+  let tr = match tracer with Some t -> t | None -> Tracer.disabled in
 
   let total_queued () =
     Array.fold_left (fun acc q -> acc + Ingress.length q) 0 queues
   in
   let work_remains () =
     !in_flight > 0
-    || (not (Queue.is_empty dispatch_q))
+    || (not (Queue.is_empty closed_q))
+    || Hashtbl.length open_batches > 0
     || Array.exists (fun q -> not (Ingress.is_empty q)) queues
     || Array.exists
          (fun s -> cursors.(s) < Array.length per_stream.(s))
@@ -180,7 +225,8 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
     for l = 0 to lanes - 1 do
       if lane_busy.(l) && lane_free.(l) <= !now then begin
         lane_busy.(l) <- false;
-        decr in_flight;
+        in_flight := !in_flight - lane_load.(l);
+        lane_load.(l) <- 0;
         progressed := true
       end
     done;
@@ -253,6 +299,79 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       done;
       !progressed
   in
+  (* The earliest virtual time at which [a] would time out if still
+     queued: the batch holding it must dispatch by then. *)
+  let risk_of (a : Workload.arrival) =
+    let st = wl.Workload.wl_streams.(a.Workload.ar_stream) in
+    let r =
+      match st.Workload.st_deadline with
+      | Some d -> a.Workload.ar_at + d
+      | None -> max_int
+    in
+    match st.Workload.st_stream_deadline with
+    | Some sd -> min r sd
+    | None -> r
+  in
+  let close_batch (b : obatch) =
+    Hashtbl.remove open_batches b.ob_digest;
+    Queue.push b closed_q
+  in
+  (* Batch formation, fed by admission.  A digest whose breaker is not
+     Closed bypasses formation entirely (singleton, dispatched at once):
+     degraded or probing kernels must not hold a window open, and a
+     half-open probe must see its verdict before the next same-digest
+     event is served. *)
+  let enqueue (a : Workload.arrival) =
+    let digest = digest_of a.Workload.ar_event.Trace.ev_kernel in
+    incr batch_seq;
+    let fresh () =
+      {
+        ob_digest = digest;
+        ob_seq = !batch_seq;
+        ob_opened = !now;
+        ob_risk = max_int;
+        ob_members = [];
+        ob_count = 0;
+      }
+    in
+    if max_batch = 1 || Breaker.state breaker digest <> Breaker.Closed then begin
+      let b = fresh () in
+      b.ob_members <- [ a ];
+      b.ob_count <- 1;
+      b.ob_risk <- risk_of a;
+      Queue.push b closed_q
+    end
+    else begin
+      let b =
+        match Hashtbl.find_opt open_batches digest with
+        | Some b -> b
+        | None ->
+          let b = fresh () in
+          Hashtbl.replace open_batches digest b;
+          b
+      in
+      b.ob_members <- a :: b.ob_members;
+      b.ob_count <- b.ob_count + 1;
+      b.ob_risk <- min b.ob_risk (risk_of a);
+      if b.ob_count >= max_batch then close_batch b
+    end
+  in
+  let close_at (b : obatch) = min (b.ob_opened + window) b.ob_risk in
+  (* Close every open batch whose window expired or whose tightest member
+     deadline is due, in formation order. *)
+  let close_due () =
+    let due =
+      Hashtbl.fold
+        (fun _ b acc -> if close_at b <= !now then b :: acc else acc)
+        open_batches []
+    in
+    match due with
+    | [] -> false
+    | due ->
+      List.sort (fun a b -> compare a.ob_seq b.ob_seq) due
+      |> List.iter close_batch;
+      true
+  in
   (* Admission: highest priority wins; within a priority class the event
      with the globally lowest sequence number goes first — so with equal
      priorities and room everywhere, dispatch order IS trace order. *)
@@ -281,7 +400,7 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       else begin
         (match Ingress.pop queues.(!best) with
         | Some a ->
-          Queue.push a dispatch_q;
+          enqueue a;
           incr in_flight;
           peak_in_flight := max !peak_in_flight !in_flight
         | None -> ());
@@ -302,55 +421,107 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
         | Some f when Faults.deadline_exhausted f -> Some Injected_exhaustion
         | _ -> None))
   in
+  (* Lane dispatch takes whole closed batches.  Member timeouts are
+     checked first (buffers untouched, slot returned, breaker fed); the
+     survivors then execute as one unit on the lane — one
+     [Service.batch_begin] (one elision memo: one cache probe / tier
+     decision / plan-prepare per distinct operand signature) with
+     per-element results, breaker verdicts and stall draws preserved.
+     The lane stays busy for the sum of the members' service times, and
+     releases all of them at once ([lane_load]). *)
   let dispatch () =
     let progressed = ref false in
     for l = 0 to lanes - 1 do
       let continue_ = ref true in
-      while !continue_ && (not lane_busy.(l)) && not (Queue.is_empty dispatch_q)
+      while !continue_ && (not lane_busy.(l)) && not (Queue.is_empty closed_q)
       do
-        match Queue.take_opt dispatch_q with
+        match Queue.take_opt closed_q with
         | None -> continue_ := false
-        | Some a ->
+        | Some b ->
           progressed := true;
-          let ev = a.Workload.ar_event in
-          let digest = digest_of ev.Trace.ev_kernel in
-          (match check_timeout a with
-          | Some kind ->
-            (* Timed out before execution: buffers untouched, the slot is
-               returned, and the breaker hears about it. *)
-            (match kind with
-            | Event_deadline -> incr deadline_misses
-            | Stream_deadline -> incr stream_deadline_misses
-            | Injected_exhaustion -> incr injected_exhaustions);
-            Breaker.record breaker digest ~now:!now ~ok:false;
-            decr in_flight
-          | None ->
-            let mode = Breaker.mode breaker digest ~now:!now in
-            let interp_only = mode = Breaker.Interp_only in
-            let force_oracle = mode = Breaker.Probe in
-            if interp_only then incr interp_only_served;
-            if force_oracle then incr probes;
-            let shard = assign ev.Trace.ev_kernel in
-            let r =
-              Service.shard_step ~interp_only ~force_oracle pool ~shard ev
-            in
-            records := r :: !records;
-            incr answered;
-            Breaker.record breaker digest ~now:!now
-              ~ok:(r.Service.er_outcome = Tiered.Clean);
-            let stall =
-              match cfg.sv_faults with
-              | None -> 0
-              | Some f -> (
-                match Faults.consumer_stall f with
-                | None -> 0
-                | Some ticks ->
-                  incr stalls;
-                  stall_cycles := !stall_cycles + ticks;
-                  ticks)
-            in
+          let digest = b.ob_digest in
+          let survivors =
+            List.filter
+              (fun (a : Workload.arrival) ->
+                match check_timeout a with
+                | Some kind ->
+                  (* Timed out before execution: buffers untouched, the
+                     slot is returned, and the breaker hears about it. *)
+                  (match kind with
+                  | Event_deadline -> incr deadline_misses
+                  | Stream_deadline -> incr stream_deadline_misses
+                  | Injected_exhaustion -> incr injected_exhaustions);
+                  timeouts_by.(a.Workload.ar_stream) <-
+                    timeouts_by.(a.Workload.ar_stream) + 1;
+                  Breaker.record breaker digest ~now:!now ~ok:false;
+                  decr in_flight;
+                  false
+                | None -> true)
+              (List.rev b.ob_members)
+          in
+          match survivors with
+          | [] -> ()  (* the lane is still free for the next batch *)
+          | first :: _ ->
+            let size = List.length survivors in
+            incr batches;
+            batched_events := !batched_events + size;
+            if Tracer.on tr then begin
+              (* A marker root keyed like the first member's replay_event
+                 root: the exporter's stable sort keeps it just before
+                 its members for any domain count. *)
+              Tracer.root_begin tr
+                ~ev:first.Workload.ar_event.Trace.ev_index
+                ~name:"batch_dispatch"
+                [
+                  "digest", Tracer.S (Digest.short digest);
+                  "size", Tracer.I size;
+                  "window_cycles", Tracer.I (!now - b.ob_opened);
+                ];
+              Tracer.root_end tr ~name:"batch_dispatch" ()
+            end;
+            let shard = assign first.Workload.ar_event.Trace.ev_kernel in
+            let bt = Service.batch_begin pool ~shard in
+            let busy = ref 0 in
+            List.iter
+              (fun (a : Workload.arrival) ->
+                let ev = a.Workload.ar_event in
+                let mode = Breaker.mode breaker digest ~now:!now in
+                let interp_only = mode = Breaker.Interp_only in
+                let force_oracle = mode = Breaker.Probe in
+                if interp_only then incr interp_only_served;
+                if force_oracle then incr probes;
+                let r =
+                  Service.shard_step_batch ~interp_only ~force_oracle pool
+                    ~batch:bt ev
+                in
+                records := r :: !records;
+                incr answered;
+                answered_by.(a.Workload.ar_stream) <-
+                  answered_by.(a.Workload.ar_stream) + 1;
+                (match
+                   wl.Workload.wl_streams.(a.Workload.ar_stream)
+                     .Workload.st_deadline
+                 with
+                | Some d -> slacks := (d - (!now - a.Workload.ar_at)) :: !slacks
+                | None -> ());
+                Breaker.record breaker digest ~now:!now
+                  ~ok:(r.Service.er_outcome = Tiered.Clean);
+                let stall =
+                  match cfg.sv_faults with
+                  | None -> 0
+                  | Some f -> (
+                    match Faults.consumer_stall f with
+                    | None -> 0
+                    | Some ticks ->
+                      incr stalls;
+                      stall_cycles := !stall_cycles + ticks;
+                      ticks)
+                in
+                busy := !busy + max 1 r.Service.er_cycles + stall)
+              survivors;
             lane_busy.(l) <- true;
-            lane_free.(l) <- !now + max 1 r.Service.er_cycles + stall)
+            lane_load.(l) <- size;
+            lane_free.(l) <- !now + !busy
       done
     done;
     !progressed
@@ -367,6 +538,13 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       if lane_busy.(l) && lane_free.(l) > !now && lane_free.(l) < !next then
         next := lane_free.(l)
     done;
+    (* Open batches wake the clock at their close time (window expiry or
+       tightest member deadline), whichever comes first. *)
+    Hashtbl.iter
+      (fun _ b ->
+        let c = close_at b in
+        if c > !now && c < !next then next := c)
+      open_batches;
     if !next = max_int then
       (* Provably unreachable with budget >= 1 and lanes >= 1: a blocked
          arrival implies a full queue implies a busy lane at fixpoint. *)
@@ -381,6 +559,7 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       if ingest () then progressed := true;
       if trim () then progressed := true;
       if admit () then progressed := true;
+      if close_due () then progressed := true;
       if dispatch () then progressed := true
     done;
     if work_remains () then advance ()
@@ -442,6 +621,8 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       sr_breaker_open_at_drain = Breaker.open_count breaker;
       sr_interp_only = !interp_only_served;
       sr_probes = !probes;
+      sr_batches = !batches;
+      sr_batched_events = !batched_events;
       sr_virtual_cycles = !now;
       sr_lost;
       sr_service = service_report;
@@ -479,6 +660,39 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
   Stats.set_gauge st "serve.probes" (float_of_int !probes);
   Stats.set_gauge st "serve.virtual_cycles" (float_of_int !now);
   Stats.set_gauge st "serve.lost" (float_of_int sr_lost);
+  (* Batching gauges: all zero-batch-safe, and when [--max-batch 1] every
+     batch is a singleton so mean_batch_size is exactly 1. *)
+  Stats.set_gauge st "serve.timeouts"
+    (float_of_int
+       (!deadline_misses + !stream_deadline_misses + !injected_exhaustions));
+  Stats.set_gauge st "serve.batches" (float_of_int !batches);
+  Stats.set_gauge st "serve.batched_events" (float_of_int !batched_events);
+  Stats.set_gauge st "serve.mean_batch_size"
+    (if !batches = 0 then 0.0
+     else float_of_int !batched_events /. float_of_int !batches);
+  (match !slacks with
+  | [] -> ()
+  | l ->
+    (* Slack exceeded by 99% of deadline-bound answers: the 1st
+       percentile (nearest-rank) of the ascending slack list. *)
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = max 1 ((n + 99) / 100) in
+    Stats.set_gauge st "serve.deadline_slack_p99"
+      (float_of_int a.(rank - 1)));
+  (* Per-stream breakdowns as labeled gauges; each family's labeled
+     values sum to its unlabeled total (checked by the metrics schema
+     gate). *)
+  for s = 0 to ns - 1 do
+    let label = ("stream", string_of_int s) in
+    Stats.set_labeled_gauge st "serve.answered" ~label
+      (float_of_int answered_by.(s));
+    Stats.set_labeled_gauge st "serve.shed_ingress" ~label
+      (float_of_int (Ingress.shed_count queues.(s)));
+    Stats.set_labeled_gauge st "serve.timeouts" ~label
+      (float_of_int timeouts_by.(s))
+  done;
   rep
 
 let report_to_string (r : report) : string =
@@ -499,6 +713,10 @@ let report_to_string (r : report) : string =
     r.sr_breaker_opens r.sr_breaker_half_opens r.sr_breaker_closes
     r.sr_breaker_open_at_drain;
   line "degraded: %d interp-only / %d probes" r.sr_interp_only r.sr_probes;
+  line "batch: %d dispatched / %d events (mean %.2f)" r.sr_batches
+    r.sr_batched_events
+    (if r.sr_batches = 0 then 0.0
+     else float_of_int r.sr_batched_events /. float_of_int r.sr_batches);
   line "virtual cycles: %d  lost events: %d" r.sr_virtual_cycles r.sr_lost;
   Buffer.add_string b (Service.report_to_string r.sr_service);
   Buffer.contents b

@@ -32,10 +32,20 @@ type cfg = {
   sv_faults : Faults.t option;  (** serving-shaped fault injector *)
   sv_breaker_threshold : int;
   sv_breaker_cooldown : int;  (** virtual cycles *)
+  sv_max_batch : int;
+      (** batch-formation cap: a per-digest batch closes the moment it
+          holds this many events.  1 (the default) is the exact
+          unbatched dispatch path — every admitted event becomes a
+          singleton batch immediately, in admission order. *)
+  sv_batch_window : int;
+      (** batch-formation window in virtual cycles: an open batch closes
+          at [opened + window], or earlier if the tightest member
+          deadline is at risk *)
 }
 
 (** 1 domain, 2 lanes, budget 8, no backlog trim, no faults, breaker
-    threshold 3 / cooldown 1e6 cycles. *)
+    threshold 3 / cooldown 1e6 cycles, max batch 1 (batching off),
+    batch window 1024 cycles. *)
 val default_cfg : Service.config -> cfg
 
 type timeout_kind =
@@ -67,6 +77,8 @@ type report = {
   sr_breaker_open_at_drain : int;
   sr_interp_only : int;  (** events served breaker-degraded *)
   sr_probes : int;  (** half-open probes (forced oracle checks) *)
+  sr_batches : int;  (** dispatched batches that executed >= 1 event *)
+  sr_batched_events : int;  (** events answered through those batches *)
   sr_virtual_cycles : int;  (** final virtual time *)
   sr_lost : int;  (** conservation residue — must be 0 *)
   sr_service : Service.report;  (** the pool's merged replay report *)
@@ -91,7 +103,16 @@ val lost :
     store merge, gauge finalization, tracer absorption).  [serve.*]
     gauges are recorded on the returned report's registry — gauges never
     appear in [Service.report_to_string], preserving byte-identity with
-    a plain replay. *)
+    a plain replay.
+
+    Batching ([sv_max_batch] > 1) groups admitted events by kernel
+    digest into bounded formation windows and dispatches each closed
+    batch to a lane as one unit, eliding duplicate-operand executions
+    inside the runtime.  Batching is semantics-free: the embedded
+    service report is byte-identical for any batch configuration and any
+    [sv_domains], and per-event deadline, breaker, and accounting
+    behaviour is preserved.  Breaker-open digests bypass formation
+    (singleton batches) so probe verdicts land before the next serve. *)
 val run :
   ?stats:Stats.t -> ?tracer:Vapor_obs.Tracer.t -> cfg -> Workload.t -> report
 

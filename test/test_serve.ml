@@ -28,7 +28,8 @@ let check_string = Alcotest.(check string)
 let base_cfg () = Service.default_config ~targets:[ sse ]
 
 let serve_cfg ?(domains = 1) ?(lanes = 2) ?(budget = 8) ?backlog ?faults
-    ?(threshold = 3) ?(cooldown = 1_000_000) cfg =
+    ?(threshold = 3) ?(cooldown = 1_000_000) ?(max_batch = 1)
+    ?(batch_window = 1024) cfg =
   {
     Serve.sv_service = cfg;
     sv_domains = domains;
@@ -38,6 +39,8 @@ let serve_cfg ?(domains = 1) ?(lanes = 2) ?(budget = 8) ?backlog ?faults
     sv_faults = faults;
     sv_breaker_threshold = threshold;
     sv_breaker_cooldown = cooldown;
+    sv_max_batch = max_batch;
+    sv_batch_window = batch_window;
   }
 
 (* Hand-built workloads for the targeted scenarios. *)
@@ -360,6 +363,168 @@ let chaos_conservation_case () =
    + rep.Serve.sr_stream_deadline_misses + rep.Serve.sr_injected_exhaustions
    + rep.Serve.sr_disconnected)
 
+(* --- batched dispatch ----------------------------------------------------- *)
+
+(* Batching is semantics-free: for any batch config and any domain count
+   the embedded replay report is byte-identical to a plain replay of the
+   same trace (same invocations, cycles, promotions, cache hits). *)
+let batch_identity_case () =
+  let trace = Trace.standard ~length:240 ~n_targets:1 () in
+  let cfg = base_cfg () in
+  let plain = Service.report_to_string (Service.replay cfg trace) in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun (max_batch, batch_window) ->
+          let rep =
+            Serve.run
+              (serve_cfg ~domains ~budget:16 ~max_batch ~batch_window cfg)
+              (Workload.of_trace ~streams:4 trace)
+          in
+          let label =
+            Printf.sprintf "domains=%d max_batch=%d window=%d" domains
+              max_batch batch_window
+          in
+          check_string (label ^ ": embedded == plain replay") plain
+            (Service.report_to_string rep.Serve.sr_service);
+          check_int (label ^ ": nothing lost") 0 rep.Serve.sr_lost;
+          check_int
+            (label ^ ": everything answered")
+            240 rep.Serve.sr_answered)
+        [ (1, 1024); (4, 512); (32, 32_768) ])
+    [ 1; 2; 4 ]
+
+(* Formation follows the traffic shape: a single-kernel flood fills one
+   batch to the cap, a two-kernel mix splits into per-digest batches that
+   close at the window instead. *)
+let batch_formation_case () =
+  let streams =
+    [|
+      Workload.stream ~id:0 ~queue_cap:8 ();
+      Workload.stream ~id:1 ~queue_cap:8 ();
+    |]
+  in
+  let form ~kernel1 =
+    let events =
+      List.init 8 (fun i -> 0, i, 0, "saxpy_fp")
+      @ List.init 8 (fun i -> 0, 8 + i, 1, kernel1)
+    in
+    Serve.run
+      (serve_cfg ~lanes:1 ~budget:16 ~max_batch:16 ~batch_window:100_000
+         (base_cfg ()))
+      (manual_workload ~streams ~events)
+  in
+  let skewed = form ~kernel1:"saxpy_fp" in
+  (* 16 same-digest events flooded at t=0 fill the cap: one batch. *)
+  check_int "skewed: one full batch" 1 skewed.Serve.sr_batches;
+  check_int "skewed: all 16 in it" 16 skewed.Serve.sr_batched_events;
+  check_int "skewed: all answered" 16 skewed.Serve.sr_answered;
+  let uniform = form ~kernel1:"sfir_fp" in
+  (* Two digests, 8 events each: neither reaches the cap, both close at
+     the window — twice the batches at half the size. *)
+  check_int "uniform: one batch per digest" 2 uniform.Serve.sr_batches;
+  check_int "uniform: all 16 batched" 16 uniform.Serve.sr_batched_events;
+  check_int "uniform: all answered" 16 uniform.Serve.sr_answered
+
+(* A member deadline at risk closes an open batch early: with the window
+   parked far in the future, the only way these events get served before
+   their budget burns is the risk-driven close. *)
+let batch_deadline_close_case () =
+  let streams = [| Workload.stream ~id:0 ~queue_cap:4 ~deadline:10_000 () |] in
+  let events = [ 0, 0, 0, "saxpy_fp"; 0, 1, 0, "saxpy_fp" ] in
+  let rep =
+    Serve.run
+      (serve_cfg ~lanes:1 ~budget:4 ~max_batch:8 ~batch_window:10_000_000
+         (base_cfg ()))
+      (manual_workload ~streams ~events)
+  in
+  check_int "batch closed at the deadline, not the window" 1
+    rep.Serve.sr_batches;
+  check_int "both members rode it" 2 rep.Serve.sr_batched_events;
+  check_int "both answered in time" 2 rep.Serve.sr_answered;
+  check_int "no deadline misses" 0 rep.Serve.sr_deadline_misses;
+  check_int "nothing lost" 0 rep.Serve.sr_lost
+
+(* A non-closed breaker bypasses formation: while the digest is open or
+   half-open every event dispatches as a singleton, so each probe's
+   verdict lands before the next same-digest serve.  Once the probe
+   closes the breaker, formation resumes. *)
+let batch_breaker_bypass_case () =
+  let streams =
+    [|
+      Workload.stream ~id:0 ~queue_cap:4 ~stream_deadline:1 ();
+      Workload.stream ~id:1 ~queue_cap:8 ();
+    |]
+  in
+  (* s0's lone event arrives past its stream cutoff: timeout -> breaker
+     opens (threshold 1).  s1 then floods three events while the breaker
+     is open: all three must bypass formation (singletons; the first is
+     the probe that closes the breaker).  The final pair arrives with
+     the breaker closed again and co-batches. *)
+  let events =
+    [
+      2, 0, 0, "saxpy_fp";
+      100_000, 1, 1, "saxpy_fp";
+      100_000, 2, 1, "saxpy_fp";
+      100_000, 3, 1, "saxpy_fp";
+      300_000, 4, 1, "saxpy_fp";
+      300_000, 5, 1, "saxpy_fp";
+    ]
+  in
+  let rep =
+    Serve.run
+      (serve_cfg ~lanes:1 ~budget:8 ~threshold:1 ~cooldown:50_000
+         ~max_batch:8 ~batch_window:1_000 (base_cfg ()))
+      (manual_workload ~streams ~events)
+  in
+  check_int "stream-deadline timeout opened the breaker" 1
+    rep.Serve.sr_breaker_opens;
+  check_int "one half-open probe" 1 rep.Serve.sr_breaker_half_opens;
+  check_int "clean probe closed the breaker" 1 rep.Serve.sr_breaker_closes;
+  (* 3 bypass singletons + 1 closed-breaker pair = 4 batches / 5 events
+     (the timed-out event's batch had no survivors). *)
+  check_int "bypass kept open-breaker serves singleton" 4
+    rep.Serve.sr_batches;
+  check_int "five events went through batches" 5 rep.Serve.sr_batched_events;
+  check_int "five answered" 5 rep.Serve.sr_answered;
+  check_int "nothing lost" 0 rep.Serve.sr_lost
+
+(* Chaos with batching on: conservation still holds exactly, quarantines
+   still cover mismatches, and the run is repeat-deterministic. *)
+let batch_chaos_case () =
+  let trace = Trace.standard ~seed:42 ~length:300 ~n_targets:1 () in
+  let run () =
+    let faults = Faults.make (Faults.serve_chaos_spec ~seed:42) in
+    let cfg =
+      {
+        (base_cfg ()) with
+        Service.cfg_guard =
+          {
+            Tiered.g_oracle = Some Tiered.oracle_always;
+            g_faults = Some faults;
+            g_retry_budget = 3;
+          };
+      }
+    in
+    Serve.run
+      (serve_cfg ~faults ~budget:16 ~max_batch:8 ~batch_window:4096 cfg)
+      (Workload.of_trace ~streams:4 trace)
+  in
+  let rep = run () in
+  check_int "no event escapes the accounting" 0 rep.Serve.sr_lost;
+  check_bool "every mismatch was quarantined" true
+    (rep.Serve.sr_service.Service.rp_oracle_mismatches
+    <= rep.Serve.sr_service.Service.rp_quarantines);
+  check_int "conservation equation balances"
+    (Workload.total (Workload.of_trace ~streams:4 trace))
+    (rep.Serve.sr_answered + rep.Serve.sr_shed_ingress
+   + rep.Serve.sr_shed_overload + rep.Serve.sr_deadline_misses
+   + rep.Serve.sr_stream_deadline_misses + rep.Serve.sr_injected_exhaustions
+   + rep.Serve.sr_disconnected);
+  check_string "chaos with batching is repeat-deterministic"
+    (Serve.report_to_string rep)
+    (Serve.report_to_string (run ()))
+
 (* --- serve gauges exported, reports unperturbed --------------------------- *)
 
 let gauges_case () =
@@ -377,6 +542,32 @@ let gauges_case () =
     "serve.virtual_cycles gauge"
     (float_of_int rep.Serve.sr_virtual_cycles)
     (gauge "serve.virtual_cycles");
+  (* Per-stream labeled series sum to their unlabeled totals. *)
+  let labeled_sum name =
+    List.fold_left
+      (fun acc ((n, k, _), v) ->
+        if n = name && k = "stream" then acc +. v else acc)
+      0.0 (Stats.labeled_series stats)
+  in
+  Alcotest.(check (float 0.0))
+    "labeled serve.answered sums to the total"
+    (gauge "serve.answered") (labeled_sum "serve.answered");
+  Alcotest.(check (float 0.0))
+    "labeled serve.timeouts sums to the total" (gauge "serve.timeouts")
+    (labeled_sum "serve.timeouts");
+  Alcotest.(check (float 0.0))
+    "labeled serve.shed_ingress sums to the total"
+    (gauge "serve.shed_ingress")
+    (labeled_sum "serve.shed_ingress");
+  check_bool "labeled series reach the Prometheus export" true
+    (let prom = Stats.to_prometheus stats in
+     let needle = "vapor_serve_answered{stream=\"0\"}" in
+     let nl = String.length needle in
+     let rec contains i =
+       i + nl <= String.length prom
+       && (String.sub prom i nl = needle || contains (i + 1))
+     in
+     contains 0);
   (* Gauges never leak into the table or the report text. *)
   check_bool "gauges absent from the counter table" false
     (let table = Stats.to_table stats in
@@ -427,6 +618,19 @@ let () =
         [
           Alcotest.test_case "conservation under serving faults" `Quick
             chaos_conservation_case;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "identity across domains and configs" `Quick
+            batch_identity_case;
+          Alcotest.test_case "skewed vs uniform formation" `Quick
+            batch_formation_case;
+          Alcotest.test_case "deadline-driven early close" `Quick
+            batch_deadline_close_case;
+          Alcotest.test_case "breaker-open bypass" `Quick
+            batch_breaker_bypass_case;
+          Alcotest.test_case "chaos conservation with batching" `Quick
+            batch_chaos_case;
         ] );
       ( "observability",
         [ Alcotest.test_case "serve gauges exported" `Quick gauges_case ] );

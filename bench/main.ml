@@ -612,6 +612,67 @@ let bench_batch () =
     tb_identical = String.equal (embedded !off_rep) (embedded !on_rep);
   }
 
+(* Part 4e: crash recovery — the same 4-stream flood served with the
+   recovery machinery off, with write-ahead journaling + periodic
+   checkpoints on (--checkpoint-every 4096), and with a seeded kill
+   schedule spliced in.  The figures of merit are the journaling
+   overhead ratio (gated in CI at <= 10%), the wall-clock recovery cost
+   per crash, and byte-identity of the recovered drain report with the
+   crash-free run.                                                        *)
+
+type recovery_bench = {
+  rb_events : int;
+  rb_off_s : float;  (* recovery machinery off *)
+  rb_journal_s : float;  (* on-disk journal + checkpoints on *)
+  rb_crashes : int;
+  rb_recovery_us : float;  (* mean wall-clock per recovered crash *)
+  rb_identical : bool;  (* crash run == crash-free, byte-for-byte *)
+}
+
+let bench_recovery () =
+  let target = Vapor_targets.Sse.target in
+  let trace = Trace.standard ~length:bench_replay_length ~n_targets:1 () in
+  let cfg = replay_cfg ~engine:Tiered.Fast ~guard:Tiered.no_guard target in
+  let wl = Workload.of_trace ~streams:4 trace in
+  let off_cfg = Serve.default_cfg cfg in
+  let mk ?(crash_at = []) ?journal_dir () =
+    {
+      off_cfg with
+      Serve.sv_checkpoint_every = 4096;
+      sv_journal_dir = journal_dir;
+      sv_crash_at = crash_at;
+    }
+  in
+  let off_s = best_of_3 (fun () -> ignore (Serve.run off_cfg wl)) in
+  let dir = Filename.temp_dir "vapor_bench_journal" ".tmp" in
+  let on_s =
+    best_of_3 (fun () -> ignore (Serve.run (mk ~journal_dir:dir ()) wl))
+  in
+  (* The kill schedule spreads eight crashes across the run; the journal
+     stays memory-only here so the measured delta is recovery work
+     (restore + replay), not disk traffic. *)
+  let kills = List.init 8 (fun i -> 100 + (i * 230)) in
+  let base_rep = ref (Serve.run (mk ()) wl) in
+  let base_s = best_of_3 (fun () -> base_rep := Serve.run (mk ()) wl) in
+  let crash_rep = ref (Serve.run (mk ~crash_at:kills ()) wl) in
+  let crash_s =
+    best_of_3 (fun () -> crash_rep := Serve.run (mk ~crash_at:kills ()) wl)
+  in
+  let crashes = !crash_rep.Serve.sr_crashes in
+  {
+    rb_events = Workload.total wl;
+    rb_off_s = off_s;
+    rb_journal_s = on_s;
+    rb_crashes = crashes;
+    rb_recovery_us =
+      (if crashes = 0 then 0.0
+       else max 0.0 (crash_s -. base_s) *. 1e6 /. float_of_int crashes);
+    rb_identical =
+      String.equal
+        (Serve.report_to_string !base_rep)
+        (Serve.report_to_string !crash_rep);
+  }
+
 (* ---------------------------------------------------------------------- *)
 (* Part 5: the JIT cost profiler — per-target aggregates of the per-stage
    compile pipeline costs over the whole suite.  Wall-clock stage sums are
@@ -762,6 +823,21 @@ let run_fastpath_bench ~json () =
       "FAIL: batched dispatch changed the embedded replay report\n";
     exit 1
   end;
+  let rb = bench_recovery () in
+  Printf.printf
+    "  crash recovery (%d events): %.0f ev/s bare -> %.0f ev/s journaled \
+     (%.1f%% overhead), %d crashes recovered at %.0f us each, report %s\n%!"
+    rb.rb_events
+    (float_of_int rb.rb_events /. rb.rb_off_s)
+    (float_of_int rb.rb_events /. rb.rb_journal_s)
+    (100.0 *. ((rb.rb_journal_s /. rb.rb_off_s) -. 1.0))
+    rb.rb_crashes rb.rb_recovery_us
+    (if rb.rb_identical then "identical" else "DIFFERS");
+  if not rb.rb_identical then begin
+    Printf.printf
+      "FAIL: recovered drain report diverged from the crash-free run\n";
+    exit 1
+  end;
   let sb = bench_store () in
   let per_s x = float_of_int sb.sb_events /. x in
   Printf.printf
@@ -833,6 +909,16 @@ let run_fastpath_bench ~json () =
       (float_of_int tb.tb_events /. tb.tb_on_s)
       (tb.tb_off_s /. tb.tb_on_s)
       tb.tb_mean_batch tb.tb_identical;
+    Printf.bprintf buf
+      "  \"recovery\": {\"events\": %d, \"bare_events_per_s\": %.0f, \
+       \"journaled_events_per_s\": %.0f, \"journal_overhead\": %.3f, \
+       \"crashes\": %d, \"recovery_us_per_crash\": %.1f, \
+       \"report_identical\": %b},\n"
+      rb.rb_events
+      (float_of_int rb.rb_events /. rb.rb_off_s)
+      (float_of_int rb.rb_events /. rb.rb_journal_s)
+      (rb.rb_journal_s /. rb.rb_off_s)
+      rb.rb_crashes rb.rb_recovery_us rb.rb_identical;
     Printf.bprintf buf
       "  \"oracle\": {\"unguarded_s\": %.4f, \"guarded_s\": %.4f, \
        \"overhead_factor\": %.2f},\n"

@@ -790,9 +790,10 @@ let serve_verdict (rep : Serve.report) ~chaos =
       "serve verdict: OK — every arrival accounted (%d answered, %d shed, \
        %d timed out, %d disconnected, 0 lost)\n"
       rep.Serve.sr_answered
-      (rep.Serve.sr_shed_ingress + rep.Serve.sr_shed_overload)
+      (rep.Serve.sr_shed_ingress + rep.Serve.sr_shed_overload
+     + rep.Serve.sr_crash_shed)
       (rep.Serve.sr_deadline_misses + rep.Serve.sr_stream_deadline_misses
-     + rep.Serve.sr_injected_exhaustions)
+     + rep.Serve.sr_injected_exhaustions + rep.Serve.sr_lane_stalls)
       rep.Serve.sr_disconnected
 
 let serve_bench_cmd =
@@ -937,6 +938,63 @@ let serve_bench_cmd =
              compile faults, consumer stalls, disconnects, deadline \
              exhaustion) with the differential oracle on.")
   in
+  let crash_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-rate" ] ~docv:"P"
+          ~doc:
+            "Per-dispatched-batch probability that the owning shard \
+             crashes (drawn from a dedicated seeded stream).  Any \
+             nonzero value turns the supervisor on; crashed shards are \
+             restored from their last checkpoint and the journal suffix \
+             replayed, so the drained report stays byte-identical to \
+             the crash-free run.")
+  in
+  let wedge_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "wedge-rate" ] ~docv:"P"
+          ~doc:
+            "Per-dispatched-batch probability that the lane wedges \
+             without executing; the watchdog closes its members as \
+             typed timeouts after the lane-stall limit.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"CYCLES"
+          ~doc:
+            "Shard-checkpoint period in virtual cycles (0 = only the \
+             initial checkpoint).  Any nonzero value turns the \
+             supervisor on.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Mirror the write-ahead admission journal and checkpoint \
+             artifacts to $(docv) (created if missing); verify offline \
+             with 'vaporc journal verify'.")
+  in
+  let restart_limit_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "restart-limit" ] ~docv:"N"
+          ~doc:
+            "Restarts tolerated inside one backoff streak before a \
+             crashing shard degrades to interp-only serving (a further \
+             crash sheds it typed).")
+  in
+  let lane_stall_limit_arg =
+    Arg.(
+      value & opt int 8192
+      & info [ "lane-stall-limit" ] ~docv:"CYCLES"
+          ~doc:
+            "Virtual cycles a wedged lane may hold its members before \
+             the watchdog times them out.")
+  in
   let store_arg =
     Arg.(
       value
@@ -977,8 +1035,9 @@ let serve_bench_cmd =
   let run target profile length seed hotness kernels domains streams lanes
       budget backlog queue_cap policy deadline stream_deadline interval
       priority_levels breaker_threshold breaker_cooldown max_batch
-      batch_window chaos store_dir metrics_out trace_out trace_deterministic
-      =
+      batch_window chaos crash_rate wedge_rate checkpoint_every journal_dir
+      restart_limit lane_stall_limit store_dir metrics_out trace_out
+      trace_deterministic =
     let target = resolve_target target in
     let policy = resolve_policy policy in
     let max_batch = resolve_positive ~flag:"max-batch" max_batch in
@@ -990,19 +1049,41 @@ let serve_bench_cmd =
     let trace = Trace.standard ~seed ?kernels ~length ~n_targets:1 () in
     let faults =
       if chaos then
-        Some (Vapor_runtime.Faults.make
-                (Vapor_runtime.Faults.serve_chaos_spec ~seed))
+        let sp = Vapor_runtime.Faults.serve_chaos_spec ~seed in
+        Some
+          (Vapor_runtime.Faults.make
+             {
+               sp with
+               Vapor_runtime.Faults.f_shard_crash_rate = crash_rate;
+               f_lane_wedge_rate = wedge_rate;
+             })
+      else if crash_rate > 0.0 || wedge_rate > 0.0 then
+        (* Crash-only injector: every primary-stream rate stays zero, so
+           the run draws nothing but the dedicated crash/wedge stream
+           and its recovered report is byte-identical to an injector-
+           free baseline. *)
+        Some
+          (Vapor_runtime.Faults.make
+             {
+               Vapor_runtime.Faults.default_spec with
+               Vapor_runtime.Faults.f_seed = seed;
+               f_shard_crash_rate = crash_rate;
+               f_lane_wedge_rate = wedge_rate;
+             })
       else None
     in
     let guard =
       match faults with
       | None -> Vapor_runtime.Tiered.no_guard
-      | Some f ->
+      | Some f when chaos ->
         {
           Vapor_runtime.Tiered.g_oracle = Some Vapor_runtime.Tiered.oracle_always;
           g_faults = Some f;
           g_retry_budget = 3;
         }
+      | Some f ->
+        (* no oracle: the crash-only guard must not change the report *)
+        { Vapor_runtime.Tiered.no_guard with Vapor_runtime.Tiered.g_faults = Some f }
     in
     let cfg =
       {
@@ -1025,6 +1106,12 @@ let serve_bench_cmd =
         sv_breaker_cooldown = breaker_cooldown;
         sv_max_batch = max_batch;
         sv_batch_window = batch_window;
+        sv_checkpoint_every = checkpoint_every;
+        sv_journal_dir = journal_dir;
+        sv_restart_limit = restart_limit;
+        sv_lane_stall_limit = lane_stall_limit;
+        sv_crash_at = [];
+        sv_wedge_at = [];
       }
     in
     let wl =
@@ -1072,7 +1159,9 @@ let serve_bench_cmd =
       $ budget_arg $ backlog_arg $ queue_cap_arg $ policy_arg
       $ deadline_arg $ stream_deadline_arg $ interval_arg
       $ priority_levels_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-      $ max_batch_arg $ batch_window_arg $ chaos_arg $ store_arg
+      $ max_batch_arg $ batch_window_arg $ chaos_arg $ crash_rate_arg
+      $ wedge_rate_arg $ checkpoint_every_arg $ journal_arg
+      $ restart_limit_arg $ lane_stall_limit_arg $ store_arg
       $ metrics_out_arg $ trace_out_arg $ trace_det_arg)
 
 (* The serve script language, one directive per line ('#' comments):
@@ -1302,9 +1391,59 @@ let serve_cmd =
             "Export the metrics registry (including serve.* gauges) to \
              $(docv): Prometheus text, or JSON for .json paths.")
   in
+  let crash_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-rate" ] ~docv:"P"
+          ~doc:
+            "Per-dispatched-batch shard-crash probability (seeded from \
+             --crash-seed); recovery keeps the drain report \
+             byte-identical to the crash-free run.")
+  in
+  let crash_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "crash-seed" ] ~docv:"N"
+          ~doc:"Seed for the crash/wedge schedule.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"CYCLES"
+          ~doc:
+            "Shard-checkpoint period in virtual cycles (0 = only the \
+             initial checkpoint); any nonzero value turns the \
+             supervisor on.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Mirror the write-ahead admission journal and checkpoint \
+             artifacts to $(docv) (created if missing).")
+  in
+  let restart_limit_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "restart-limit" ] ~docv:"N"
+          ~doc:
+            "Restarts tolerated inside one backoff streak before a \
+             crashing shard degrades to interp-only serving.")
+  in
+  let lane_stall_limit_arg =
+    Arg.(
+      value & opt int 8192
+      & info [ "lane-stall-limit" ] ~docv:"CYCLES"
+          ~doc:
+            "Virtual cycles a wedged lane may hold its members before \
+             the watchdog times them out.")
+  in
   let run target profile script domains lanes budget backlog hotness
       breaker_threshold breaker_cooldown max_batch batch_window store_dir
-      metrics_out =
+      metrics_out crash_rate crash_seed checkpoint_every journal_dir
+      restart_limit lane_stall_limit =
     let target = resolve_target target in
     let max_batch = resolve_positive ~flag:"max-batch" max_batch in
     let batch_window = resolve_positive ~flag:"batch-window" batch_window in
@@ -1330,11 +1469,31 @@ let serve_cmd =
       Printf.eprintf "vaporc serve: the script contains no events\n";
       exit 2
     end;
+    let faults =
+      if crash_rate > 0.0 then
+        (* Crash-only injector (no oracle, every primary rate zero): the
+           report stays byte-identical to the crash-free run. *)
+        Some
+          (Vapor_runtime.Faults.make
+             {
+               Vapor_runtime.Faults.default_spec with
+               Vapor_runtime.Faults.f_seed = crash_seed;
+               f_shard_crash_rate = crash_rate;
+             })
+      else None
+    in
+    let guard =
+      match faults with
+      | None -> Vapor_runtime.Tiered.no_guard
+      | Some f ->
+        { Vapor_runtime.Tiered.no_guard with Vapor_runtime.Tiered.g_faults = Some f }
+    in
     let cfg =
       {
         (Service.default_config ~targets:[ target ]) with
         Service.cfg_profile = profile;
         cfg_hotness = hotness;
+        cfg_guard = guard;
         cfg_store = store;
       }
     in
@@ -1345,11 +1504,17 @@ let serve_cmd =
         sv_lanes = lanes;
         sv_budget = budget;
         sv_backlog = backlog_of backlog;
-        sv_faults = None;
+        sv_faults = faults;
         sv_breaker_threshold = breaker_threshold;
         sv_breaker_cooldown = breaker_cooldown;
         sv_max_batch = max_batch;
         sv_batch_window = batch_window;
+        sv_checkpoint_every = checkpoint_every;
+        sv_journal_dir = journal_dir;
+        sv_restart_limit = restart_limit;
+        sv_lane_stall_limit = lane_stall_limit;
+        sv_crash_at = [];
+        sv_wedge_at = [];
       }
     in
     let stats = Stats.create () in
@@ -1376,7 +1541,9 @@ let serve_cmd =
       const run $ target_arg $ profile_arg $ script_arg $ domains_arg
       $ lanes_arg $ budget_arg $ backlog_arg $ hotness_arg
       $ breaker_threshold_arg $ breaker_cooldown_arg $ max_batch_arg
-      $ batch_window_arg $ store_arg $ metrics_out_arg)
+      $ batch_window_arg $ store_arg $ metrics_out_arg $ crash_rate_arg
+      $ crash_seed_arg $ checkpoint_every_arg $ journal_arg
+      $ restart_limit_arg $ lane_stall_limit_arg)
 
 (* --- vaporc cache: persistent-store maintenance -------------------------
    None of these create a store: pointing them at a missing or unusable
@@ -1503,6 +1670,51 @@ let cache_cmd =
           --store).")
     [ ls_cmd; verify_cmd; gc_cmd; clear_cmd ]
 
+(* --- vaporc journal: admission-journal maintenance ----------------------
+   Operates on a --journal directory written by serve/serve-bench:
+   VAPORJNL segments and VAPORCKP checkpoint artifacts.  Never creates
+   one — verifying a conjured empty directory would call corruption
+   clean. *)
+
+let journal_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "The journal directory (see serve-bench --journal).  Never \
+             created: a missing $(docv) exits 2.")
+  in
+  let verify_cmd =
+    let run dir =
+      match Vapor_serve.Journal.verify_dir dir with
+      | Error msg ->
+        Printf.printf "journal verify: FAIL — %s\n" msg;
+        exit 1
+      | Ok s ->
+        Printf.printf
+          "journal verify: OK — %d segment(s), %d frame(s) (%d admits / \
+           %d completes), %d checkpoint artifact(s)\n"
+          s.Vapor_serve.Journal.ds_segments s.Vapor_serve.Journal.ds_frames
+          s.Vapor_serve.Journal.ds_admits s.Vapor_serve.Journal.ds_completes
+          s.Vapor_serve.Journal.ds_checkpoints
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Decode every journal segment and checkpoint artifact under \
+            DIR, checking framing and checksums; exit 1 on the first \
+            corruption.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect a serving-layer admission journal (see serve-bench \
+          --journal).")
+    [ verify_cmd ]
+
 let jit_report_cmd =
   let targets_arg =
     Arg.(
@@ -1622,7 +1834,7 @@ let () =
       [
         list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
         encode_cmd; disasm_cmd; serve_replay_cmd; chaos_replay_cmd;
-        serve_bench_cmd; serve_cmd; cache_cmd; jit_report_cmd;
+        serve_bench_cmd; serve_cmd; cache_cmd; journal_cmd; jit_report_cmd;
         experiments_cmd;
       ]
   in

@@ -137,6 +137,24 @@ else
   fi
 fi
 
+# --- crash recovery (hard identity + overhead ceiling) ----------------------
+# A recovered drain must reproduce the crash-free report byte-for-byte, and
+# write-ahead journaling + periodic checkpoints (--checkpoint-every 4096)
+# must cost at most 10% of bare serving throughput.
+if [ "$(jq -r '.recovery.report_identical // "missing"' "$current")" != "true" ]; then
+  echo "FAIL: recovery.report_identical != true (recovered drain diverged)"
+  exit 1
+fi
+joverhead=$(jq -r '.recovery.journal_overhead // "missing"' "$current")
+if [ "$joverhead" = "missing" ]; then
+  echo "FAIL: recovery.journal_overhead missing from BENCH.json"
+  exit 1
+fi
+if ! jq -en --argjson o "$joverhead" '$o <= 1.10' > /dev/null; then
+  echo "FAIL: journaling overhead ${joverhead}x of bare serving (ceiling 1.10x)"
+  exit 1
+fi
+
 # --- multi-domain scaling (cores-aware) -------------------------------------
 # pool_run clamps spawned OS domains to the machine's core count, so the
 # 4-domain target only applies where 4 cores existed when BENCH.json was
@@ -168,3 +186,4 @@ fi
 echo "OK: BENCH.json matches baseline structure, no >10x regression"
 echo "OK: serving invariants hold; domains 4/1 ratio ${ratio}x on ${cores} cores"
 echo "OK: batched dispatch ${bspeed}x of unbatched, reports identical"
+echo "OK: crash recovery byte-identical, journaling overhead ${joverhead}x (<= 1.10x)"

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Journal/checkpoint artifact schema check:
+#   check_recovery_artifacts.sh VAPORC
+#
+# Drives a crashy serve-bench with an on-disk journal, then asserts the
+# artifact contract the recovery path depends on:
+#   1. only the published names exist — shard-N.ckK.vjl segments,
+#      shard-N.ckK.vckp checkpoint artifacts, shard-N.final.vjl final
+#      segments; no torn-marker .tmp survives a clean drain;
+#   2. every shard published at least one segment and one artifact;
+#   3. `vaporc journal verify` decodes every frame and envelope (exit 0)
+#      and its summary counts are sane;
+#   4. a single flipped byte anywhere makes verification fail (exit 1) —
+#      the checksums actually bite.
+set -euo pipefail
+
+vaporc="${1:?usage: check_recovery_artifacts.sh VAPORC_BINARY}"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+domains=2
+"$vaporc" serve-bench -t sse --domains "$domains" --checkpoint-every 2048 \
+  --crash-rate 0.05 --journal "$dir" > /dev/null
+
+# --- naming schema ----------------------------------------------------------
+if find "$dir" -name '*.tmp' | grep -q .; then
+  echo "FAIL: torn-marker .tmp left behind after a clean drain"
+  ls "$dir"
+  exit 1
+fi
+bad=$(ls "$dir" | grep -vE \
+  '^shard-[0-9]+\.(ck[0-9]+|final)\.vjl$|^shard-[0-9]+\.ck[0-9]+\.vckp$' || true)
+if [ -n "$bad" ]; then
+  echo "FAIL: unexpected artifact names in journal directory:"
+  echo "$bad"
+  exit 1
+fi
+
+# --- per-shard coverage -----------------------------------------------------
+for s in $(seq 0 $((domains - 1))); do
+  ls "$dir"/shard-"$s".*.vjl > /dev/null 2>&1 \
+    || { echo "FAIL: shard $s published no journal segment"; exit 1; }
+  ls "$dir"/shard-"$s".*.vckp > /dev/null 2>&1 \
+    || { echo "FAIL: shard $s published no checkpoint artifact"; exit 1; }
+done
+
+# --- deep verification ------------------------------------------------------
+out=$("$vaporc" journal verify "$dir")
+echo "$out"
+echo "$out" | grep -q '^journal verify: OK' \
+  || { echo "FAIL: journal verify did not report OK"; exit 1; }
+# The summary must count at least one segment, frame, and artifact.
+echo "$out" | grep -qE '[1-9][0-9]* segment' \
+  || { echo "FAIL: journal verify counted zero segments"; exit 1; }
+echo "$out" | grep -qE '[1-9][0-9]* checkpoint artifact' \
+  || { echo "FAIL: journal verify counted zero checkpoint artifacts"; exit 1; }
+
+# --- corruption must be detected -------------------------------------------
+seg=$(ls "$dir"/*.vjl | head -1)
+python3 - "$seg" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[-1] ^= 0xFF
+open(path, "wb").write(bytes(data))
+EOF
+if "$vaporc" journal verify "$dir" > /dev/null 2>&1; then
+  echo "FAIL: corrupted segment passed journal verify"
+  exit 1
+fi
+
+echo "OK: artifact naming, per-shard coverage, deep verify, corruption detection"

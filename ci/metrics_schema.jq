@@ -10,7 +10,9 @@
 # non-negative whole numbers (serve.mean_batch_size is the one ratio and
 # may be fractional), and when a serving run exported them the
 # conservation identity must balance: every admitted arrival is answered,
-# shed, timed out, or disconnected — serve.lost is identically zero.
+# shed, timed out, disconnected, or closed typed by crash recovery
+# (crash-shed by a shedding shard, timed out by the wedged-lane
+# watchdog) — serve.lost is identically zero.
 # Labeled gauges (the optional "labeled" section, nested
 # name -> label key -> label value -> number) are per-label breakdowns of
 # an unlabeled family: whenever the family's unlabeled total exists, the
@@ -38,7 +40,9 @@ and (.gauges
                  + (."serve.deadline_misses" // 0)
                  + (."serve.stream_deadline_misses" // 0)
                  + (."serve.injected_exhaustions" // 0)
-                 + (."serve.disconnected" // 0))
+                 + (."serve.disconnected" // 0)
+                 + (."serve.crash_shed" // 0)
+                 + (."serve.lane_stalls" // 0))
        else true end)
 and (if has("labeled") then
        (.labeled | type == "object"

@@ -187,6 +187,14 @@ let merge_into ~(dst : t) (src : t) =
     (fun (name, k, v) r -> add_labeled_gauge dst name ~label:(k, v) !r)
     src.labeled
 
+(* An independent deep copy — the registry part of a shard checkpoint.
+   Merging into an empty registry copies every section exactly (all the
+   merge operations are identities on empty destinations). *)
+let copy src =
+  let dst = create () in
+  merge_into ~dst src;
+  dst
+
 (* --- exports ----------------------------------------------------------- *)
 
 (* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* — dots and dashes

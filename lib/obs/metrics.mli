@@ -103,6 +103,11 @@ val reset : t -> unit
     gauges (rates) must be recomputed after the merge. *)
 val merge_into : dst:t -> t -> unit
 
+(** An independent deep copy of every section (counters, histograms,
+    gauges, labeled gauges) — the registry part of a shard checkpoint:
+    mutating either registry afterwards never affects the other. *)
+val copy : t -> t
+
 (** {2 Exports} *)
 
 (** Prometheus text exposition format: counters as [counter], gauges as

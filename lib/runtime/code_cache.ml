@@ -209,3 +209,53 @@ let stats t = t.st
 let clear t =
   Hashtbl.reset t.tbl;
   t.bytes <- 0
+
+(* --- checkpoint snapshot ------------------------------------------------
+   A deep copy of the mutable cache state.  Entry records are copied
+   (their [e_tick] mutates on every touch); the compiled bodies and
+   bytecode inside are immutable and shared.  [on_evict] is a live
+   closure and deliberately NOT part of the snapshot — restore keeps the
+   destination cache's own hook. *)
+
+type snap = {
+  sn_entries : entry list;
+  sn_tick : int;
+  sn_bytes : int;
+  sn_real_compiles : int;
+}
+
+let snapshot t =
+  {
+    sn_entries =
+      Hashtbl.fold (fun _ e acc -> { e with e_tick = e.e_tick } :: acc)
+        t.tbl [];
+    sn_tick = t.tick;
+    sn_bytes = t.bytes;
+    sn_real_compiles = t.real_compiles;
+  }
+
+(* Counter-silent: restoring entries must not bump fills/hits — the
+   restored registry snapshot already carries the counts as of the
+   checkpoint. *)
+let restore t sn =
+  Hashtbl.reset t.tbl;
+  List.iter
+    (fun e -> Hashtbl.replace t.tbl e.e_key { e with e_tick = e.e_tick })
+    sn.sn_entries;
+  t.tick <- sn.sn_tick;
+  t.bytes <- sn.sn_bytes;
+  t.real_compiles <- sn.sn_real_compiles
+
+(* Digest-level view of a snapshot for the on-disk checkpoint artifact:
+   (digest hex short, target, profile, modeled bytes, LRU tick), sorted
+   for deterministic encoding. *)
+let snap_rows sn =
+  List.map
+    (fun e ->
+      ( Digest.short e.e_key.Digest.k_digest,
+        e.e_key.Digest.k_target,
+        e.e_key.Digest.k_profile,
+        e.e_bytes,
+        e.e_tick ))
+    sn.sn_entries
+  |> List.sort compare

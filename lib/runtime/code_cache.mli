@@ -106,3 +106,22 @@ val stats : t -> Stats.t
 
 (** Drop every entry (budget and counters unchanged). *)
 val clear : t -> unit
+
+(** {2 Checkpoint snapshot}
+
+    A deep copy of the mutable cache state (entries with their LRU
+    ticks, the clock, the byte charge, and {!real_compiles}); compiled
+    bodies inside are immutable and shared.  {!restore} replaces the
+    destination's contents counter-silently — no fills or hits are
+    recorded, because the registry snapshot restored alongside already
+    carries the counts as of the checkpoint.  The [on_evict] hook is not
+    snapshot state: restore keeps the destination's own hook. *)
+
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit
+
+(** Digest-level rows for the on-disk checkpoint artifact:
+    (digest hex, target, profile, modeled bytes, LRU tick), sorted. *)
+val snap_rows : snap -> (string * string * string * int * int) list

@@ -23,6 +23,16 @@ type spec = {
   f_disconnect_rate : float;  (* P(a stream disconnects mid-run), per stream *)
   f_deadline_exhaust_rate : float;
       (* P(a dispatched event's remaining deadline budget is burned) *)
+  (* crash-shaped faults, drawn from a dedicated stream so enabling them
+     never perturbs the schedule of any fault above *)
+  f_shard_crash_rate : float;
+      (* P(the shard dies at a dispatch boundary, before the batch runs) *)
+  f_lane_wedge_rate : float;
+      (* P(the lane wedges at dispatch: the batch never executes and the
+         watchdog must close its members out as typed timeouts) *)
+  f_store_io_rate : float;
+      (* P(one persistent-store probe/publish IO attempt fails
+         transiently; the caller retries with bounded backoff) *)
 }
 
 let default_spec =
@@ -37,6 +47,9 @@ let default_spec =
     f_stall_ticks = 50_000;
     f_disconnect_rate = 0.0;
     f_deadline_exhaust_rate = 0.0;
+    f_shard_crash_rate = 0.0;
+    f_lane_wedge_rate = 0.0;
+    f_store_io_rate = 0.0;
   }
 
 let chaos_spec ~seed =
@@ -62,6 +75,11 @@ let serve_chaos_spec ~seed =
 type t = {
   spec : spec;
   state : int64 ref;
+  (* The crash-shaped faults draw from their own splitmix64 stream:
+     [--crash-rate] must be addable to any existing chaos mix without
+     moving a single draw of the primary stream, or the crash-free
+     baseline the recovery contract diffs against would shift. *)
+  crash_state : int64 ref;
   mutable injected_compile : int;
   mutable corrupted : int;
   (* draw counters, for the observability gauges: how many times each
@@ -76,13 +94,29 @@ type t = {
   mutable disconnects : int;
   mutable deadline_draws : int;
   mutable deadline_exhausts : int;
+  mutable crash_draws : int;
+  mutable crashes : int;
+  mutable wedge_draws : int;
+  mutable wedges : int;
+  mutable store_io_draws : int;
+  mutable store_io_faults : int;
 }
 
+(* Distinct offset for the crash stream's initial state (golden-ratio
+   constant rotated): seed 0 must still give the two streams different
+   trajectories. *)
+let crash_stream_of_seed seed =
+  Int64.logxor (Int64.of_int seed) 0x6A09E667F3BCC909L
+
 let make spec =
-  { spec; state = ref (Int64.of_int spec.f_seed); injected_compile = 0;
+  { spec; state = ref (Int64.of_int spec.f_seed);
+    crash_state = ref (crash_stream_of_seed spec.f_seed);
+    injected_compile = 0;
     corrupted = 0; corrupt_draws = 0; compile_draws = 0; store_draws = 0;
     store_corrupted = 0; stall_draws = 0; stalls = 0; disconnect_draws = 0;
-    disconnects = 0; deadline_draws = 0; deadline_exhausts = 0 }
+    disconnects = 0; deadline_draws = 0; deadline_exhausts = 0;
+    crash_draws = 0; crashes = 0; wedge_draws = 0; wedges = 0;
+    store_io_draws = 0; store_io_faults = 0 }
 
 let spec t = t.spec
 let injected_compile_count t = t.injected_compile
@@ -97,6 +131,12 @@ let disconnect_draws t = t.disconnect_draws
 let disconnect_count t = t.disconnects
 let deadline_exhaust_draws t = t.deadline_draws
 let deadline_exhaust_count t = t.deadline_exhausts
+let crash_draws t = t.crash_draws
+let crash_count t = t.crashes
+let wedge_draws t = t.wedge_draws
+let wedge_count t = t.wedges
+let store_io_draws t = t.store_io_draws
+let store_io_fault_count t = t.store_io_faults
 
 (* splitmix64, same constants as Trace's generator. *)
 let mix (state : int64 ref) : int64 =
@@ -197,6 +237,133 @@ let deadline_exhausted t : bool =
     end
     else false
   end
+
+(* Crash-shaped fault points.  These draw from [crash_state], never from
+   the primary stream: a run with [f_shard_crash_rate = 0.3] draws the
+   exact same corruption/stall/disconnect schedule as the same seed with
+   [f_shard_crash_rate = 0.0] — the property the byte-identical-recovery
+   contract diffs against. *)
+
+let rand_crash_float t =
+  Int64.to_float (Int64.shift_right_logical (mix t.crash_state) 11)
+  /. 9007199254740992.0
+
+(* One draw per dispatched batch: does the owning shard die right now,
+   before any member executes?  The supervisor restores it from the last
+   checkpoint and replays the journal suffix. *)
+let shard_crash t : bool =
+  t.spec.f_shard_crash_rate > 0.0
+  && begin
+    t.crash_draws <- t.crash_draws + 1;
+    if rand_crash_float t < t.spec.f_shard_crash_rate then begin
+      t.crashes <- t.crashes + 1;
+      true
+    end
+    else false
+  end
+
+(* One draw per dispatched batch: does the lane wedge (hang without
+   executing)?  The watchdog closes the members out as typed timeouts at
+   the lane-stall limit. *)
+let lane_wedge t : bool =
+  t.spec.f_lane_wedge_rate > 0.0
+  && begin
+    t.wedge_draws <- t.wedge_draws + 1;
+    if rand_crash_float t < t.spec.f_lane_wedge_rate then begin
+      t.wedges <- t.wedges + 1;
+      true
+    end
+    else false
+  end
+
+(* One draw per store probe/publish IO attempt, from the primary stream
+   (it is a per-shard fault, replayed exactly from a restored injector
+   snapshot like every other shard-side draw). *)
+let store_io_failure t : bool =
+  t.spec.f_store_io_rate > 0.0
+  && begin
+    t.store_io_draws <- t.store_io_draws + 1;
+    if rand_float t < t.spec.f_store_io_rate then begin
+      t.store_io_faults <- t.store_io_faults + 1;
+      true
+    end
+    else false
+  end
+
+(* --- injector state snapshot -------------------------------------------
+   A checkpoint must capture both stream positions and every counter:
+   replaying the journal suffix after a restore re-draws the exact fault
+   values the crashed shard drew, leaving the stream positioned where the
+   crash found it. *)
+
+type snap = {
+  sn_state : int64;
+  sn_crash_state : int64;
+  sn_injected_compile : int;
+  sn_corrupted : int;
+  sn_corrupt_draws : int;
+  sn_compile_draws : int;
+  sn_store_draws : int;
+  sn_store_corrupted : int;
+  sn_stall_draws : int;
+  sn_stalls : int;
+  sn_disconnect_draws : int;
+  sn_disconnects : int;
+  sn_deadline_draws : int;
+  sn_deadline_exhausts : int;
+  sn_crash_draws : int;
+  sn_crashes : int;
+  sn_wedge_draws : int;
+  sn_wedges : int;
+  sn_store_io_draws : int;
+  sn_store_io_faults : int;
+}
+
+let snapshot t =
+  {
+    sn_state = !(t.state);
+    sn_crash_state = !(t.crash_state);
+    sn_injected_compile = t.injected_compile;
+    sn_corrupted = t.corrupted;
+    sn_corrupt_draws = t.corrupt_draws;
+    sn_compile_draws = t.compile_draws;
+    sn_store_draws = t.store_draws;
+    sn_store_corrupted = t.store_corrupted;
+    sn_stall_draws = t.stall_draws;
+    sn_stalls = t.stalls;
+    sn_disconnect_draws = t.disconnect_draws;
+    sn_disconnects = t.disconnects;
+    sn_deadline_draws = t.deadline_draws;
+    sn_deadline_exhausts = t.deadline_exhausts;
+    sn_crash_draws = t.crash_draws;
+    sn_crashes = t.crashes;
+    sn_wedge_draws = t.wedge_draws;
+    sn_wedges = t.wedges;
+    sn_store_io_draws = t.store_io_draws;
+    sn_store_io_faults = t.store_io_faults;
+  }
+
+let restore t sn =
+  t.state := sn.sn_state;
+  t.crash_state := sn.sn_crash_state;
+  t.injected_compile <- sn.sn_injected_compile;
+  t.corrupted <- sn.sn_corrupted;
+  t.corrupt_draws <- sn.sn_corrupt_draws;
+  t.compile_draws <- sn.sn_compile_draws;
+  t.store_draws <- sn.sn_store_draws;
+  t.store_corrupted <- sn.sn_store_corrupted;
+  t.stall_draws <- sn.sn_stall_draws;
+  t.stalls <- sn.sn_stalls;
+  t.disconnect_draws <- sn.sn_disconnect_draws;
+  t.disconnects <- sn.sn_disconnects;
+  t.deadline_draws <- sn.sn_deadline_draws;
+  t.deadline_exhausts <- sn.sn_deadline_exhausts;
+  t.crash_draws <- sn.sn_crash_draws;
+  t.crashes <- sn.sn_crashes;
+  t.wedge_draws <- sn.sn_wedge_draws;
+  t.wedges <- sn.sn_wedges;
+  t.store_io_draws <- sn.sn_store_io_draws;
+  t.store_io_faults <- sn.sn_store_io_faults
 
 (* Mangle the bytes a store probe read from disk, the way a flipped bit
    or torn write would: XOR one byte at a stream-chosen offset.  The

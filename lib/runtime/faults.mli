@@ -30,6 +30,16 @@ type spec = {
   f_deadline_exhaust_rate : float;
       (** probability (per dispatched event) that its remaining deadline
           budget is burned before execution starts *)
+  f_shard_crash_rate : float;
+      (** probability (per dispatched batch, drawn from a dedicated
+          stream) that the owning shard dies at the dispatch boundary *)
+  f_lane_wedge_rate : float;
+      (** probability (per dispatched batch, same dedicated stream) that
+          the lane wedges without executing; the watchdog times its
+          members out *)
+  f_store_io_rate : float;
+      (** probability (per store probe/publish IO attempt) of a transient
+          IO failure the caller must retry with bounded backoff *)
 }
 
 (** All rates zero: a harness with no faults. *)
@@ -78,6 +88,12 @@ val disconnect_draws : t -> int
 val disconnect_count : t -> int
 val deadline_exhaust_draws : t -> int
 val deadline_exhaust_count : t -> int
+val crash_draws : t -> int
+val crash_count : t -> int
+val wedge_draws : t -> int
+val wedge_count : t -> int
+val store_io_draws : t -> int
+val store_io_fault_count : t -> int
 
 (** [Some reason] when compile attempt [attempt] (0 = first try) should
     fail with an injected transient fault.  Attempts past
@@ -103,6 +119,28 @@ val stream_disconnect : t -> float option
     event): [true] when the event's remaining deadline budget is burned
     before it executes. *)
 val deadline_exhausted : t -> bool
+
+(** One draw against [f_shard_crash_rate], made per dispatched batch
+    from a {e dedicated} splitmix64 stream: enabling crashes moves no
+    draw of any other fault point, so a crash run and its crash-free
+    baseline share every non-crash fault. *)
+val shard_crash : t -> bool
+
+(** One draw against [f_lane_wedge_rate] (same dedicated stream):
+    [true] when the dispatching lane wedges without executing. *)
+val lane_wedge : t -> bool
+
+(** One draw against [f_store_io_rate] (primary stream, per store IO
+    attempt): [true] when this probe/publish attempt fails transiently. *)
+val store_io_failure : t -> bool
+
+(** Injector state snapshot: both stream positions plus every counter.
+    A shard checkpoint captures this so journal replay after a restore
+    re-draws the exact fault values the crashed shard drew. *)
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit
 
 (** XOR one stream-chosen byte of a store read — the disk-corruption
     chaos mode.  Checksum verification downstream must reject it. *)

@@ -124,6 +124,7 @@ type event_record = {
   er_cycles : int;
   er_compile_us : float;
   er_outcome : Tiered.run_outcome;
+  er_real_compile : bool;
 }
 
 (* --- session pools ----------------------------------------------------- *)
@@ -350,6 +351,7 @@ let step_with pool ~shard (ev : Trace.event) ~target run =
       er_cycles = r.Tiered.r_cycles;
       er_compile_us = r.Tiered.r_compile_us;
       er_outcome = r.Tiered.r_outcome;
+      er_real_compile = r.Tiered.r_real_compile;
     }
   in
   (* The stage sink is domain-local; install it per event so shards can
@@ -370,6 +372,94 @@ let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
   step_with pool ~shard ev ~target (fun () ->
       Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
         ?force_oracle sh.sh_tiered ~target ~profile:cfg.cfg_profile vk ~args)
+
+let shard_faults pool ~shard =
+  pool.pl_shards.(shard).sh_guard.Tiered.g_faults
+
+(* --- shard checkpoint / restore / replay --------------------------------
+   The recovery triad the serving supervisor drives.  A checkpoint deep-
+   copies every piece of mutable shard state: the metrics registry, the
+   code cache, the tiered runtime's kernel/tier machinery, the fault
+   injector's stream positions, and the retarget trigger latches.  What
+   is deliberately NOT in a snapshot: the tracer (spans already emitted
+   are history), the store session (its staging directory is its own
+   write-ahead log and survives the crash), and the bytecode table
+   (immutable).  [shard_restore] rewinds the same shard object in place,
+   so every engine-held reference — tracer, store session, breaker —
+   stays valid across a restart. *)
+
+type shard_snap = {
+  sp_stats : Stats.t;
+  sp_cache : Code_cache.snap;
+  sp_tiered : Tiered.snap;
+  sp_faults : Faults.snap option;
+  sp_targets : Target.t array;
+  sp_rejuvenated : bool;
+  sp_dropped : bool;
+}
+
+let shard_snapshot pool ~shard : shard_snap =
+  let sh = pool.pl_shards.(shard) in
+  {
+    sp_stats = Stats.copy sh.sh_stats;
+    sp_cache = Code_cache.snapshot sh.sh_cache;
+    sp_tiered = Tiered.snapshot sh.sh_tiered;
+    sp_faults = Option.map Faults.snapshot sh.sh_guard.Tiered.g_faults;
+    sp_targets = Array.copy sh.sh_targets;
+    sp_rejuvenated = sh.sh_rejuvenated;
+    sp_dropped = sh.sh_dropped;
+  }
+
+let shard_restore pool ~shard (sp : shard_snap) =
+  let sh = pool.pl_shards.(shard) in
+  (* reset + merge-from-copy is an exact content restore: every merge
+     operation is an identity on an empty destination *)
+  Stats.reset sh.sh_stats;
+  Stats.merge_into ~dst:sh.sh_stats sp.sp_stats;
+  Code_cache.restore sh.sh_cache sp.sp_cache;
+  Tiered.restore sh.sh_tiered sp.sp_tiered;
+  (match sh.sh_guard.Tiered.g_faults, sp.sp_faults with
+  | Some f, Some fsnap -> Faults.restore f fsnap
+  | _ -> ());
+  Array.blit sp.sp_targets 0 sh.sh_targets 0 (Array.length sh.sh_targets);
+  sh.sh_rejuvenated <- sp.sp_rejuvenated;
+  sh.sh_dropped <- sp.sp_dropped
+
+(* Digest-level views for the on-disk checkpoint artifact. *)
+let snap_cache_rows sp = Code_cache.snap_rows sp.sp_cache
+let snap_tier_rows sp = Tiered.snap_rows sp.sp_tiered
+let snap_counter sp name = Stats.counter sp.sp_stats name
+
+(* Re-execute one journaled event against restored shard state.  Spans
+   are silenced for the duration — the crash-free run emitted this
+   event's spans exactly once — and the record is discarded: the engine
+   collected it before the crash.  Execution is deterministic, so the
+   replayed invocation reproduces every counter, histogram observation,
+   hotness bump, cache touch, and fault draw of the original, leaving
+   the shard bit-identical to its pre-crash state. *)
+let shard_replay_step ?interp_only ?force_oracle ?(real_compile = false) pool
+    ~shard (ev : Trace.event) =
+  let sh = pool.pl_shards.(shard) in
+  let cfg = pool.pl_cfg in
+  ignore (fire_triggers pool ~shard ev);
+  let entry, vk, digest = Hashtbl.find sh.sh_table ev.Trace.ev_kernel in
+  let target =
+    sh.sh_targets.(ev.Trace.ev_target mod Array.length sh.sh_targets)
+  in
+  let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
+  let saved = Tiered.tracer sh.sh_tiered in
+  Tiered.set_tracer sh.sh_tiered Tracer.disabled;
+  Fun.protect
+    ~finally:(fun () -> Tiered.set_tracer sh.sh_tiered saved)
+    (fun () ->
+      (* [real_compile] (the journal's hint) discards a store hit the
+         original execution did not get — the body it published before
+         the crash is still staged — so the replay recompiles along the
+         original path with the original fault draws. *)
+      ignore
+        (Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
+           ?force_oracle ~discard_store_hit:real_compile sh.sh_tiered ~target
+           ~profile:cfg.cfg_profile vk ~args))
 
 (* One batch of co-dispatched same-digest events: the shard it executes
    on plus the tiered runtime's duplicate-operand elision memo. *)
@@ -567,7 +657,11 @@ let record_gauges ~cache ~tiered ~(guard : Tiered.guard) (st : Stats.t) =
     Stats.add_gauge st "faults.store_corrupt_draws"
       (float_of_int (Faults.store_corrupt_draws f));
     Stats.add_gauge st "faults.store_corrupted"
-      (float_of_int (Faults.store_corrupted_count f))
+      (float_of_int (Faults.store_corrupted_count f));
+    Stats.add_gauge st "faults.store_io_draws"
+      (float_of_int (Faults.store_io_draws f));
+    Stats.add_gauge st "faults.store_io_faults"
+      (float_of_int (Faults.store_io_fault_count f))
   | None -> ()
 
 let finalize_gauges (st : Stats.t) =
@@ -590,6 +684,7 @@ let record_store_gauges ~(store : Store.t) (st : Stats.t) =
   set "store.quarantined" c.Store.c_quarantined;
   set "store.gc_evictions" c.Store.c_gc_evictions;
   set "store.torn_healed" c.Store.c_torn_healed;
+  set "store.retries" c.Store.c_retries;
   set "store.entries" (Store.entry_count store);
   set "store.bytes" (Store.byte_count store);
   if c.Store.c_hits + c.Store.c_misses > 0 then

@@ -113,6 +113,9 @@ type event_record = {
   er_cycles : int;
   er_compile_us : float;
   er_outcome : Tiered.run_outcome;
+  er_real_compile : bool;
+      (** the invocation really compiled (the admission journal's replay
+          hint) *)
 }
 
 (** Build a pool of [shards] (default 1) private sessions over the named
@@ -151,6 +154,55 @@ val shard_step :
   shard:int ->
   Trace.event ->
   event_record
+
+(** The shard's private fault injector ([None] when unguarded, and when
+    a multi-shard pool was built from an unguarded config).  The serving
+    supervisor draws its per-shard crash/wedge schedule from it. *)
+val shard_faults : pool -> shard:int -> Faults.t option
+
+(** {2 Shard checkpoint / restore / replay}
+
+    The recovery triad the serving supervisor drives.  A snapshot deep-
+    copies every piece of mutable shard state — metrics registry, code
+    cache, tier machinery, fault-injector stream positions, retarget
+    trigger latches.  Deliberately outside the snapshot: the tracer
+    (emitted spans are history), the store session (its staging
+    directory is its own write-ahead log and survives a crash), and the
+    immutable bytecode table.  {!shard_restore} rewinds the same shard
+    object in place, so engine-held references stay valid across a
+    restart. *)
+
+type shard_snap
+
+val shard_snapshot : pool -> shard:int -> shard_snap
+val shard_restore : pool -> shard:int -> shard_snap -> unit
+
+(** Digest-level checkpoint-artifact views: cache rows
+    ((digest, target, profile, bytes, tick), sorted), tier rows
+    ((label, target, tier, invocations, quarantined), sorted), and a
+    counter probe into the snapshotted registry. *)
+val snap_cache_rows :
+  shard_snap -> (string * string * string * int * int) list
+
+val snap_tier_rows : shard_snap -> (string * string * string * int * bool) list
+val snap_counter : shard_snap -> string -> int
+
+(** Re-execute one journaled event against restored shard state.  Spans
+    are silenced and the record discarded (the engine already collected
+    it before the crash); execution is deterministic, so the replay
+    reproduces every counter, hotness bump, cache touch, and fault draw
+    of the original.  [real_compile] is the journal's hint that the
+    original execution really compiled: the replay then discards a store
+    hit (the pre-crash publish is still staged) and recompiles along the
+    original path. *)
+val shard_replay_step :
+  ?interp_only:bool ->
+  ?force_oracle:bool ->
+  ?real_compile:bool ->
+  pool ->
+  shard:int ->
+  Trace.event ->
+  unit
 
 (** One batch of co-dispatched same-digest events on one shard: carries
     the tiered runtime's duplicate-operand elision memo

@@ -82,7 +82,10 @@ type t = {
   states : (Digest.key, kstate) Hashtbl.t;
   guard : guard;
   engine : engine;
-  tracer : Tracer.t;
+  mutable tracer : Tracer.t;
+      (* mutable so recovery replay can silence spans while re-executing
+         a journal suffix: the crash-free run emitted each event's spans
+         exactly once, and the recovered trace must match *)
   store : Vapor_store.Store.session option;
       (* write-through persistent tier: probed on in-memory miss,
          published after every real compile *)
@@ -132,6 +135,10 @@ type run = {
   r_compile_us : float;
   r_cache : Code_cache.outcome option;
   r_outcome : run_outcome;
+  r_real_compile : bool;
+      (* an actual Compile.compile ran for this invocation (as opposed
+         to a cache hit or a store-served body); the admission journal
+         records it so recovery replay can force the same path *)
 }
 
 (* First-order interpreter cost model: a fixed entry cost, a dispatch cost
@@ -338,29 +345,67 @@ let store_key (key : Digest.key) =
     sk_profile = key.Digest.k_profile;
   }
 
+(* Transient-IO resilience: run one store operation under the injected
+   IO-fault schedule with bounded exponential-backoff retry.  Each faulted
+   attempt draws from the injector's primary stream (so replay after a
+   checkpoint restore re-draws identically), notes a retry on the session,
+   and charges modeled backoff into the [store.io_backoff_us] histogram.
+   Exhausted retries return [None]: the caller degrades — a probe falls
+   through to a real compile, a publish is skipped — and no exception
+   ever escapes the store tier. *)
+let with_io_retry t ss (op : unit -> 'a) : 'a option =
+  match t.guard.g_faults with
+  | None -> Some (op ())
+  | Some f ->
+    let budget = max 0 t.guard.g_retry_budget in
+    let rec go attempt =
+      if Faults.store_io_failure f then begin
+        Stats.incr t.st "faults.injected_store_io";
+        if attempt < budget then begin
+          Store.note_retry ss;
+          Stats.observe t.st "store.io_backoff_us"
+            (Faults.backoff_us ~attempt:(attempt + 1));
+          go (attempt + 1)
+        end
+        else None
+      end
+      else Some (op ())
+    in
+    go 0
+
 (* Second-tier fetch: probe the persistent store on an in-memory miss.
    The fault injector may mangle the bytes read from disk (the
    disk-corruption chaos mode); the store's checksum layer detects it
    and the probe comes back [Corrupt], which falls through to a real
-   compile exactly like a miss. *)
-let store_fetch t ~(target : Target.t) key : Compile.t option =
+   compile exactly like a miss.  [discard_hit] (recovery replay) still
+   performs the probe — consuming exactly the draws the original
+   admission consumed — but discards a [Hit] so the invocation recompiles
+   the way the crashed shard originally did. *)
+let store_fetch ?(discard_hit = false) t ~(target : Target.t) key :
+    Compile.t option =
   match t.store with
   | None -> None
   | Some ss ->
     let tr = t.tracer in
     if Tracer.on tr then Tracer.span_begin tr ~name:"store_probe" [];
-    let mangle =
-      match t.guard.g_faults with
-      | Some f when Faults.should_corrupt_store f ->
-        Some (Faults.mangle_store_bytes f)
-      | _ -> None
+    let res =
+      with_io_retry t ss (fun () ->
+          let mangle =
+            match t.guard.g_faults with
+            | Some f when Faults.should_corrupt_store f ->
+              Some (Faults.mangle_store_bytes f)
+            | _ -> None
+          in
+          Store.probe ?mangle ss ~target (store_key key))
     in
-    let res = Store.probe ?mangle ss ~target (store_key key) in
     let outcome, compiled =
       match res with
-      | Store.Hit e -> "hit", Some e.Store.en_compiled
-      | Store.Miss -> "miss", None
-      | Store.Corrupt _ -> "corrupt", None
+      | Some (Store.Hit e) ->
+        if discard_hit then "hit_discarded", None
+        else "hit", Some e.Store.en_compiled
+      | Some Store.Miss -> "miss", None
+      | Some (Store.Corrupt _) -> "corrupt", None
+      | None -> "io_error", None
     in
     if Tracer.on tr then
       Tracer.span_end tr
@@ -374,7 +419,14 @@ let store_publish t key vk compiled =
   | Some ss ->
     let tr = t.tracer in
     if Tracer.on tr then Tracer.span_begin tr ~name:"store_publish" [];
-    Store.publish ss (store_key key) vk compiled;
+    (match with_io_retry t ss (fun () ->
+         Store.publish ss (store_key key) vk compiled)
+     with
+    | Some () -> ()
+    | None ->
+      (* Retries exhausted: the body stays process-local.  A later probe
+         misses and recompiles — correctness is untouched. *)
+      Stats.incr t.st "store.publish_aborts");
     if Tracer.on tr then Tracer.span_end tr ~name:"store_publish" ()
 
 (* Invocation-count and hotness-promotion bookkeeping, shared by
@@ -407,16 +459,20 @@ let interp_invoke t (s : kstate) ~digest ~(target : Target.t) ~force_check vk
     Tracer.span_end tr ~attrs:[ "cycles", Tracer.I cycles ] ~name:"exec" ();
   { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
     r_cache = None;
-    r_outcome = (if mismatched then Oracle_mismatch else Clean) }
+    r_outcome = (if mismatched then Oracle_mismatch else Clean);
+    r_real_compile = false }
 
 (* The slow half of obtaining a JIT body once the in-memory cache has
    missed: probe the persistent store, else compile (with bounded retry
-   against injected transient faults) and insert. *)
-let jit_fetch_slow t ~(target : Target.t) ~(profile : Profile.t) ~key vk :
-    (Compile.t * Code_cache.outcome * float, Compile.lower_error * float)
+   against injected transient faults) and insert.  The [bool] in [Ok] is
+   the real-compile hint for the admission journal. *)
+let jit_fetch_slow ?(discard_store_hit = false) t ~(target : Target.t)
+    ~(profile : Profile.t) ~key vk :
+    ( Compile.t * Code_cache.outcome * float * bool,
+      Compile.lower_error * float )
     result =
   let tr = t.tracer in
-  match store_fetch t ~target key with
+  match store_fetch ~discard_hit:discard_store_hit t ~target key with
   | Some compiled ->
     (* Warm start: account the store hit exactly like a compile —
        charge and observe the stored *modeled* compile time, count
@@ -426,7 +482,7 @@ let jit_fetch_slow t ~(target : Target.t) ~(profile : Profile.t) ~key vk :
       Stats.incr t.st "guard.scalarize_fallbacks";
     Stats.observe t.st "cache.compile_us" compiled.Compile.compile_time_us;
     Code_cache.insert t.cache key vk profile compiled;
-    Ok (compiled, Code_cache.Miss, 0.0)
+    Ok (compiled, Code_cache.Miss, 0.0, false)
   | None -> (
     if Tracer.on tr then Tracer.span_begin tr ~name:"compile" [];
     match compile_with_retry t ~target ~profile vk with
@@ -442,7 +498,7 @@ let jit_fetch_slow t ~(target : Target.t) ~(profile : Profile.t) ~key vk :
             ]
           ~name:"compile" ();
       store_publish t key vk compiled;
-      Ok (compiled, Code_cache.Miss, backoff_us)
+      Ok (compiled, Code_cache.Miss, backoff_us, true)
     | Error (err, backoff_us) ->
       if Tracer.on tr then
         Tracer.span_end tr
@@ -464,8 +520,8 @@ let jit_run t (s : kstate) ~digest:d ~(target : Target.t) ~force_oracle vk
     let cycles, _ = interp_run t s ~digest:d ~target vk ~args in
     { r_tier = Interpreter; r_cycles = cycles;
       r_compile_us = backoff_us; r_cache = None;
-      r_outcome = Compile_error }
-  | Ok (compiled, outcome, backoff_us) -> (
+      r_outcome = Compile_error; r_real_compile = false }
+  | Ok (compiled, outcome, backoff_us, real_compile) -> (
       let charged =
         match outcome with
         | Code_cache.Miss ->
@@ -531,7 +587,8 @@ let jit_run t (s : kstate) ~digest:d ~(target : Target.t) ~force_oracle vk
         quarantine t s;
         let cycles, _ = interp_run t s ~digest:d ~target vk ~args in
         { r_tier = Interpreter; r_cycles = cycles; r_compile_us = charged;
-          r_cache = Some outcome; r_outcome = Exec_fault }
+          r_cache = Some outcome; r_outcome = Exec_fault;
+          r_real_compile = real_compile }
       | Ok r -> (
         s.ks_jit_runs <- s.ks_jit_runs + 1;
         Stats.incr t.st "tier.jit_runs";
@@ -539,7 +596,8 @@ let jit_run t (s : kstate) ~digest:d ~(target : Target.t) ~force_oracle vk
         match reference with
         | None ->
           { r_tier = Jit; r_cycles = r.Exec.cycles; r_compile_us = charged;
-            r_cache = Some outcome; r_outcome = Clean }
+            r_cache = Some outcome; r_outcome = Clean;
+            r_real_compile = real_compile }
         | Some ref_args ->
           (* Re-execute through the interpreter and compare output
              buffers bit-for-bit; the check's cost is charged to this
@@ -569,7 +627,7 @@ let jit_run t (s : kstate) ~digest:d ~(target : Target.t) ~force_oracle vk
           if matched then
             { r_tier = Jit; r_cycles = r.Exec.cycles + check_cycles;
               r_compile_us = charged; r_cache = Some outcome;
-              r_outcome = Clean }
+              r_outcome = Clean; r_real_compile = real_compile }
           else begin
             (* Wrong answer: quarantine the body and hand the caller the
                interpreter's buffers — no wrong output escapes. *)
@@ -579,7 +637,7 @@ let jit_run t (s : kstate) ~digest:d ~(target : Target.t) ~force_oracle vk
             { r_tier = Interpreter;
               r_cycles = r.Exec.cycles + check_cycles;
               r_compile_us = charged; r_cache = Some outcome;
-              r_outcome = Oracle_mismatch }
+              r_outcome = Oracle_mismatch; r_real_compile = real_compile }
           end))
 
 let resolve ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
@@ -595,8 +653,9 @@ let resolve ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
   let label = match label with Some l -> l | None -> vk.B.name in
   d, key, state_of t key label
 
-let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false) t
-    ~(target : Target.t) ~(profile : Profile.t) (vk : B.vkernel) ~args =
+let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false)
+    ?(discard_store_hit = false) t ~(target : Target.t)
+    ~(profile : Profile.t) (vk : B.vkernel) ~args =
   let d, key, s = resolve ?digest ?label t ~target ~profile vk in
   note_invocation t s;
   let tr = t.tracer in
@@ -620,13 +679,13 @@ let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false) t
           Tracer.span_end tr
             ~attrs:[ "outcome", Tracer.S "hit" ]
             ~name:"cache_lookup" ();
-        Ok (compiled, Code_cache.Hit, 0.0)
+        Ok (compiled, Code_cache.Hit, 0.0, false)
       | None ->
         if Tracer.on tr then
           Tracer.span_end tr
             ~attrs:[ "outcome", Tracer.S "miss" ]
             ~name:"cache_lookup" ();
-        jit_fetch_slow t ~target ~profile ~key vk
+        jit_fetch_slow ~discard_store_hit t ~target ~profile ~key vk
     in
     jit_run t s ~digest:d ~target ~force_oracle vk ~args fetched
 
@@ -698,7 +757,7 @@ let invoke_batch ?digest ?label ?(interp_only = false) ?(force_oracle = false)
             ~attrs:[ "cycles", Tracer.I cycles ]
             ~name:"exec" ();
         { r_tier = Interpreter; r_cycles = cycles; r_compile_us = 0.0;
-          r_cache = None; r_outcome = Clean }
+          r_cache = None; r_outcome = Clean; r_real_compile = false }
       | None ->
         let r =
           interp_invoke t s ~digest:d ~target ~force_check:false vk
@@ -730,7 +789,8 @@ let invoke_batch ?digest ?label ?(interp_only = false) ?(force_oracle = false)
             ~name:"exec" ()
         end;
         { r_tier = Jit; r_cycles = cycles; r_compile_us = 0.0;
-          r_cache = Some Code_cache.Hit; r_outcome = Clean }
+          r_cache = Some Code_cache.Hit; r_outcome = Clean;
+          r_real_compile = false }
       | found, _ ->
         let fetched =
           match found with
@@ -739,7 +799,7 @@ let invoke_batch ?digest ?label ?(interp_only = false) ?(force_oracle = false)
               Tracer.span_end tr
                 ~attrs:[ "outcome", Tracer.S "hit" ]
                 ~name:"cache_lookup" ();
-            Ok (compiled, Code_cache.Hit, 0.0)
+            Ok (compiled, Code_cache.Hit, 0.0, false)
           | None ->
             if Tracer.on tr then
               Tracer.span_end tr
@@ -792,5 +852,55 @@ let store t = t.store
 let stats t = t.st
 let engine t = t.engine
 let tracer t = t.tracer
+let set_tracer t tr = t.tracer <- tr
 let slot_compiles t = t.slot_compiles
 let slot_hits t = t.slot_hits
+
+(* --- checkpoint snapshot ------------------------------------------------
+   The runtime state a shard checkpoint must capture beyond the code
+   cache: per-kernel tier states (hotness, promotion history, quarantine
+   flags), the slot-compiled interpreter bodies, and the engine-private
+   counters.  Compiled bodies are immutable and shared; kstate records
+   are copied because every field but the key mutates. *)
+
+type snap = {
+  sn_states : (Digest.key * kstate) list;
+  sn_slot_bodies : (Digest.t * int, Vfast.compiled) Hashtbl.t;
+  sn_slot_compiles : int;
+  sn_slot_hits : int;
+}
+
+let snapshot t =
+  {
+    sn_states =
+      Hashtbl.fold
+        (fun k s acc -> (k, { s with ks_invocations = s.ks_invocations }) :: acc)
+        t.states [];
+    sn_slot_bodies = Hashtbl.copy t.slot_bodies;
+    sn_slot_compiles = t.slot_compiles;
+    sn_slot_hits = t.slot_hits;
+  }
+
+let restore t sn =
+  Hashtbl.reset t.states;
+  List.iter
+    (fun (k, s) ->
+      Hashtbl.replace t.states k { s with ks_invocations = s.ks_invocations })
+    sn.sn_states;
+  Hashtbl.reset t.slot_bodies;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.slot_bodies k v) sn.sn_slot_bodies;
+  t.slot_compiles <- sn.sn_slot_compiles;
+  t.slot_hits <- sn.sn_slot_hits
+
+(* Deterministic digest-level rows for the on-disk checkpoint artifact:
+   (label, target, tier, invocations, quarantined), sorted. *)
+let snap_rows sn =
+  List.map
+    (fun ((k : Digest.key), (s : kstate)) ->
+      ( s.ks_label,
+        k.Digest.k_target,
+        tier_to_string s.ks_tier,
+        s.ks_invocations,
+        s.ks_quarantined ))
+    sn.sn_states
+  |> List.sort compare

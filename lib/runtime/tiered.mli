@@ -121,6 +121,9 @@ type run = {
   r_compile_us : float;  (** compile time paid by THIS invocation *)
   r_cache : Code_cache.outcome option;  (** [None] on interpreter runs *)
   r_outcome : run_outcome;
+  r_real_compile : bool;
+      (** an actual compile ran for this invocation (not a cache hit or a
+          store-served body) — the admission journal's replay hint *)
 }
 
 (** Execute one invocation, choosing the tier; array argument buffers are
@@ -135,12 +138,20 @@ type run = {
     invocation regardless of the guard's sampling policy (including no
     policy at all) — the breaker's half-open probe.  Quarantined kernels
     and the [Reference] engine's interpreter tier already run the
-    reference semantics, so forcing is a no-op there. *)
+    reference semantics, so forcing is a no-op there.
+
+    [discard_store_hit] (default false) is the recovery-replay hint for
+    an invocation whose original execution really compiled: the store is
+    still probed — consuming exactly the fault draws the original probe
+    consumed — but a [Hit] (say, from a body this session staged before
+    the crash) is discarded so the replay recompiles along the original
+    path, keeping the injector stream bit-aligned. *)
 val invoke :
   ?digest:Digest.t ->
   ?label:string ->
   ?interp_only:bool ->
   ?force_oracle:bool ->
+  ?discard_store_hit:bool ->
   t ->
   target:Target.t ->
   profile:Profile.t ->
@@ -204,6 +215,12 @@ val stats : t -> Stats.t
 val engine : t -> engine
 val tracer : t -> Vapor_obs.Tracer.t
 
+(** Swap the span sink (recovery replay silences spans with
+    {!Vapor_obs.Tracer.disabled}, then restores the original — the
+    crash-free run emitted each event's spans exactly once, and the
+    recovered trace must match). *)
+val set_tracer : t -> Vapor_obs.Tracer.t -> unit
+
 (** Slot-compilation telemetry (plain fields, deliberately outside
     {!Stats}: the metrics table must stay byte-identical between
     engines). *)
@@ -213,3 +230,21 @@ val slot_hits : t -> int
 
 (** The modeled interpreter cost (exposed for tests). *)
 val interp_cycles : B.vkernel -> args:(string * Eval.arg) list -> int
+
+(** {2 Checkpoint snapshot}
+
+    The runtime state a shard checkpoint captures beyond the code cache:
+    per-kernel tier states (hotness, promotion history, quarantine
+    flags), slot-compiled interpreter bodies, and the engine-private
+    counters.  Compiled bodies are immutable and shared; {!restore}
+    replaces the destination's state in place, leaving its
+    configuration (guard, engine, tracer, store session) untouched. *)
+
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit
+
+(** Deterministic rows for the on-disk checkpoint artifact:
+    (kernel label, target, tier, invocations, quarantined), sorted. *)
+val snap_rows : snap -> (string * string * string * int * bool) list

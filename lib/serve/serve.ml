@@ -38,6 +38,22 @@ type cfg = {
       (** batch-formation window in virtual cycles: an open batch closes
           when full, when this window expires, or when its tightest
           member deadline would otherwise be at risk *)
+  sv_checkpoint_every : int;
+      (** virtual-cycle checkpoint period; 0 disables periodic
+          checkpoints (supervision may still be on via other knobs) *)
+  sv_journal_dir : string option;
+      (** mirror the admission journal and checkpoint artifacts to disk
+          under this directory *)
+  sv_restart_limit : int;
+      (** restarts tolerated inside one probation streak before the
+          shard degrades to interp-only serving *)
+  sv_lane_stall_limit : int;
+      (** virtual cycles a wedged lane is allowed to hold its members
+          before the watchdog times them out *)
+  sv_crash_at : int list;
+      (** global dispatch ordinals (0-based) at which a shard kill is
+          spliced in deterministically *)
+  sv_wedge_at : int list;  (** same, for lane wedges *)
 }
 
 let default_cfg service =
@@ -52,6 +68,12 @@ let default_cfg service =
     sv_breaker_cooldown = 1_000_000;
     sv_max_batch = 1;
     sv_batch_window = 1024;
+    sv_checkpoint_every = 0;
+    sv_journal_dir = None;
+    sv_restart_limit = 3;
+    sv_lane_stall_limit = 8192;
+    sv_crash_at = [];
+    sv_wedge_at = [];
   }
 
 type timeout_kind =
@@ -85,6 +107,13 @@ type report = {
   sr_probes : int;
   sr_batches : int;  (** dispatched batches that executed >= 1 event *)
   sr_batched_events : int;  (** events executed through a batch *)
+  sr_crashes : int;  (** shard crashes detected (incl. escaped exns) *)
+  sr_restarts : int;  (** recoveries performed *)
+  sr_replayed : int;  (** journal entries re-executed across recoveries *)
+  sr_checkpoints : int;  (** checkpoint rounds taken (incl. round 0) *)
+  sr_wedges : int;  (** wedged lanes the watchdog resolved *)
+  sr_crash_shed : int;  (** events shed typed by a shedding shard *)
+  sr_lane_stalls : int;  (** events timed out typed by the watchdog *)
   sr_virtual_cycles : int;
   sr_lost : int;
   sr_service : Service.report;
@@ -104,25 +133,59 @@ type obatch = {
 }
 
 (* Conservation: every arrival must be accounted exactly once. *)
-let lost ~total ~answered ~shed_ingress ~shed_overload ~deadline_misses
-    ~stream_deadline_misses ~injected_exhaustions ~disconnected =
+let lost ?(crash_shed = 0) ?(lane_stalls = 0) ~total ~answered ~shed_ingress
+    ~shed_overload ~deadline_misses ~stream_deadline_misses
+    ~injected_exhaustions ~disconnected () =
   total
   - (answered + shed_ingress + shed_overload + deadline_misses
-   + stream_deadline_misses + injected_exhaustions + disconnected)
+   + stream_deadline_misses + injected_exhaustions + disconnected
+   + crash_shed + lane_stalls)
 
 let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
   let ns = Array.length wl.Workload.wl_streams in
   let shards = max 1 cfg.sv_domains in
   let lanes = max 1 cfg.sv_lanes in
   let budget = max 1 cfg.sv_budget in
+  (* Supervision turns on when any recovery knob is set or the injector
+     carries a crash/wedge rate; everything below is bypassed otherwise,
+     so un-supervised runs stay byte-identical to the pre-recovery
+     engine. *)
+  let supervised =
+    cfg.sv_checkpoint_every > 0
+    || cfg.sv_journal_dir <> None
+    || cfg.sv_crash_at <> []
+    || cfg.sv_wedge_at <> []
+    ||
+    match cfg.sv_faults with
+    | None -> false
+    | Some f ->
+      let sp = Faults.spec f in
+      sp.Faults.f_shard_crash_rate > 0.0 || sp.Faults.f_lane_wedge_rate > 0.0
+  in
+  (* A supervised pool gets a private clone of the guard injector: shard
+     restore rewinds the shard's streams for replay-exactness, and that
+     rewind must never touch the serve-level draws (stalls, disconnects,
+     deadline exhaustion) still coming from [sv_faults]. *)
+  let service_cfg =
+    if not supervised then cfg.sv_service
+    else
+      let g = cfg.sv_service.Service.cfg_guard in
+      match g.Tiered.g_faults with
+      | None -> cfg.sv_service
+      | Some f ->
+        {
+          cfg.sv_service with
+          Service.cfg_guard =
+            { g with Tiered.g_faults = Some (Faults.make (Faults.spec f)) };
+        }
+  in
   let pool =
     match tracer with
     | Some tracer ->
-      Service.pool_create ~tracer ~shards cfg.sv_service
+      Service.pool_create ~tracer ~shards service_cfg
         ~kernels:wl.Workload.wl_kernels
     | None ->
-      Service.pool_create ~shards cfg.sv_service
-        ~kernels:wl.Workload.wl_kernels
+      Service.pool_create ~shards service_cfg ~kernels:wl.Workload.wl_kernels
   in
   let assign =
     if shards <= 1 then fun _ -> 0
@@ -141,6 +204,20 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
     Breaker.create ~threshold:cfg.sv_breaker_threshold
       ~cooldown:cfg.sv_breaker_cooldown ()
   in
+  let supervisor =
+    if not supervised then None
+    else
+      Some
+        (Supervisor.create
+           ?journal_dir:cfg.sv_journal_dir
+           ?checkpoint_every:
+             (if cfg.sv_checkpoint_every > 0 then
+                Some cfg.sv_checkpoint_every
+              else None)
+           ~restart_limit:(max 1 cfg.sv_restart_limit)
+           ~crash_plan:cfg.sv_crash_at ~wedge_plan:cfg.sv_wedge_at pool)
+  in
+  let lane_stall_limit = max 1 cfg.sv_lane_stall_limit in
   (* Per-stream arrival slices, in stream order. *)
   let per_stream =
     let buckets = Array.make ns [] in
@@ -185,6 +262,11 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
   let lane_busy = Array.make lanes false in
   let lane_free = Array.make lanes 0 in
   let lane_load = Array.make lanes 0 in
+  (* Members held hostage by a wedged lane; the watchdog closes them as
+     typed lane-stall timeouts when the stall limit lapses. *)
+  let lane_wedged : Workload.arrival list option array = Array.make lanes None in
+  let crash_shed = ref 0 in
+  let lane_stalls = ref 0 in
   let now = ref 0 in
   let in_flight = ref 0 in
   let answered = ref 0 in
@@ -225,6 +307,20 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
     for l = 0 to lanes - 1 do
       if lane_busy.(l) && lane_free.(l) <= !now then begin
         lane_busy.(l) <- false;
+        (match lane_wedged.(l) with
+        | None -> ()
+        | Some members ->
+          (* The watchdog's verdict: the wedged members never executed
+             (buffers untouched); close them as typed lane-stall
+             timeouts.  The breaker is not fed — the kernels did nothing
+             wrong, the lane did. *)
+          lane_wedged.(l) <- None;
+          List.iter
+            (fun (a : Workload.arrival) ->
+              incr lane_stalls;
+              timeouts_by.(a.Workload.ar_stream) <-
+                timeouts_by.(a.Workload.ar_stream) + 1)
+            members);
         in_flight := !in_flight - lane_load.(l);
         lane_load.(l) <- 0;
         progressed := true
@@ -323,6 +419,15 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
      event is served. *)
   let enqueue (a : Workload.arrival) =
     let digest = digest_of a.Workload.ar_event.Trace.ev_kernel in
+    (* Write-ahead: the admission is journaled before the event can
+       reach a batch, so a crash between admission and completion can
+       never lose it silently. *)
+    (match supervisor with
+    | None -> ()
+    | Some sv ->
+      Supervisor.note_admit sv
+        ~shard:(assign a.Workload.ar_event.Trace.ev_kernel)
+        ~at:!now ~seq:a.Workload.ar_seq a.Workload.ar_event);
     incr batch_seq;
     let fresh () =
       {
@@ -440,88 +545,170 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
         | Some b ->
           progressed := true;
           let digest = b.ob_digest in
-          let survivors =
-            List.filter
-              (fun (a : Workload.arrival) ->
-                match check_timeout a with
-                | Some kind ->
-                  (* Timed out before execution: buffers untouched, the
-                     slot is returned, and the breaker hears about it. *)
-                  (match kind with
-                  | Event_deadline -> incr deadline_misses
-                  | Stream_deadline -> incr stream_deadline_misses
-                  | Injected_exhaustion -> incr injected_exhaustions);
-                  timeouts_by.(a.Workload.ar_stream) <-
-                    timeouts_by.(a.Workload.ar_stream) + 1;
-                  Breaker.record breaker digest ~now:!now ~ok:false;
-                  decr in_flight;
-                  false
-                | None -> true)
-              (List.rev b.ob_members)
+          let members = List.rev b.ob_members in
+          let shard =
+            match members with
+            | a :: _ -> assign a.Workload.ar_event.Trace.ev_kernel
+            | [] -> 0
           in
-          match survivors with
-          | [] -> ()  (* the lane is still free for the next batch *)
-          | first :: _ ->
-            let size = List.length survivors in
-            incr batches;
-            batched_events := !batched_events + size;
-            if Tracer.on tr then begin
-              (* A marker root keyed like the first member's replay_event
-                 root: the exporter's stable sort keeps it just before
-                 its members for any domain count. *)
-              Tracer.root_begin tr
-                ~ev:first.Workload.ar_event.Trace.ev_index
-                ~name:"batch_dispatch"
-                [
-                  "digest", Tracer.S (Digest.short digest);
-                  "size", Tracer.I size;
-                  "window_cycles", Tracer.I (!now - b.ob_opened);
-                ];
-              Tracer.root_end tr ~name:"batch_dispatch" ()
-            end;
-            let shard = assign first.Workload.ar_event.Trace.ev_kernel in
-            let bt = Service.batch_begin pool ~shard in
-            let busy = ref 0 in
+          (* The crash gate sits exactly at the batch-taken boundary: a
+             seeded kill fires before any member effect, recovery is
+             zero-virtual-time, and the recovered batch then proceeds at
+             the same [now] on the same lane — which is what makes the
+             recovered drain byte-identical to the crash-free run. *)
+          let decision =
+            match supervisor with
+            | None -> Supervisor.Run
+            | Some sv -> Supervisor.on_dispatch sv ~shard ~now:!now
+          in
+          (match decision with
+          | Supervisor.Shed ->
+            (* Shedding shard: members are closed as typed losses, the
+               slots returned at once, and the breaker is not fed. *)
             List.iter
-              (fun (a : Workload.arrival) ->
-                let ev = a.Workload.ar_event in
-                let mode = Breaker.mode breaker digest ~now:!now in
-                let interp_only = mode = Breaker.Interp_only in
-                let force_oracle = mode = Breaker.Probe in
-                if interp_only then incr interp_only_served;
-                if force_oracle then incr probes;
-                let r =
-                  Service.shard_step_batch ~interp_only ~force_oracle pool
-                    ~batch:bt ev
-                in
-                records := r :: !records;
-                incr answered;
-                answered_by.(a.Workload.ar_stream) <-
-                  answered_by.(a.Workload.ar_stream) + 1;
-                (match
-                   wl.Workload.wl_streams.(a.Workload.ar_stream)
-                     .Workload.st_deadline
-                 with
-                | Some d -> slacks := (d - (!now - a.Workload.ar_at)) :: !slacks
-                | None -> ());
-                Breaker.record breaker digest ~now:!now
-                  ~ok:(r.Service.er_outcome = Tiered.Clean);
-                let stall =
-                  match cfg.sv_faults with
-                  | None -> 0
-                  | Some f -> (
-                    match Faults.consumer_stall f with
-                    | None -> 0
-                    | Some ticks ->
-                      incr stalls;
-                      stall_cycles := !stall_cycles + ticks;
-                      ticks)
-                in
-                busy := !busy + max 1 r.Service.er_cycles + stall)
-              survivors;
-            lane_busy.(l) <- true;
-            lane_load.(l) <- size;
-            lane_free.(l) <- !now + !busy
+              (fun (_ : Workload.arrival) ->
+                incr crash_shed;
+                decr in_flight)
+              members
+          | Supervisor.Run | Supervisor.Run_interp_only ->
+            let degraded = decision = Supervisor.Run_interp_only in
+            let survivors =
+              List.filter
+                (fun (a : Workload.arrival) ->
+                  match check_timeout a with
+                  | Some kind ->
+                    (* Timed out before execution: buffers untouched, the
+                       slot is returned, and the breaker hears about it. *)
+                    (match kind with
+                    | Event_deadline -> incr deadline_misses
+                    | Stream_deadline -> incr stream_deadline_misses
+                    | Injected_exhaustion -> incr injected_exhaustions);
+                    timeouts_by.(a.Workload.ar_stream) <-
+                      timeouts_by.(a.Workload.ar_stream) + 1;
+                    Breaker.record breaker digest ~now:!now ~ok:false;
+                    decr in_flight;
+                    false
+                  | None -> true)
+                members
+            in
+            match survivors with
+            | [] -> ()  (* the lane is still free for the next batch *)
+            | first :: _ -> (
+              let wedged =
+                match supervisor with
+                | None -> false
+                | Some sv -> Supervisor.wedge_check sv ~shard
+              in
+              if wedged then begin
+                (* The lane wedges without executing: its members are
+                   parked (buffers untouched) and the lane held until
+                   the stall limit, when the watchdog in [release]
+                   closes them as typed timeouts instead of letting the
+                   drain hang. *)
+                lane_busy.(l) <- true;
+                lane_load.(l) <- List.length survivors;
+                lane_free.(l) <- !now + lane_stall_limit;
+                lane_wedged.(l) <- Some survivors
+              end
+              else begin
+                let size = List.length survivors in
+                incr batches;
+                batched_events := !batched_events + size;
+                if Tracer.on tr then begin
+                  (* A marker root keyed like the first member's
+                     replay_event root: the exporter's stable sort keeps
+                     it just before its members for any domain count. *)
+                  Tracer.root_begin tr
+                    ~ev:first.Workload.ar_event.Trace.ev_index
+                    ~name:"batch_dispatch"
+                    [
+                      "digest", Tracer.S (Digest.short digest);
+                      "size", Tracer.I size;
+                      "window_cycles", Tracer.I (!now - b.ob_opened);
+                    ];
+                  Tracer.root_end tr ~name:"batch_dispatch" ()
+                end;
+                let bt = Service.batch_begin pool ~shard in
+                let busy = ref 0 in
+                let executed = ref 0 in
+                List.iter
+                  (fun (a : Workload.arrival) ->
+                    let ev = a.Workload.ar_event in
+                    let mode = Breaker.mode breaker digest ~now:!now in
+                    let interp_only =
+                      degraded || mode = Breaker.Interp_only
+                    in
+                    let force_oracle = mode = Breaker.Probe in
+                    if interp_only then incr interp_only_served;
+                    if force_oracle then incr probes;
+                    let step () =
+                      Service.shard_step_batch ~interp_only ~force_oracle
+                        pool ~batch:bt ev
+                    in
+                    let r =
+                      match supervisor with
+                      | None -> Some (step ())
+                      | Some sv -> (
+                        match step () with
+                        | r -> Some r
+                        | exception _ ->
+                          (* An exception escaping a member is a crash
+                             observed mid-event: the shard state is
+                             suspect, so restore + replay, then retry
+                             once against the recovered shard.  A second
+                             escape sheds the member typed. *)
+                          Supervisor.recover_escaped sv ~shard ~now:!now;
+                          (match step () with
+                          | r -> Some r
+                          | exception _ ->
+                            Supervisor.recover_escaped sv ~shard ~now:!now;
+                            None))
+                    in
+                    match r with
+                    | None ->
+                      incr crash_shed;
+                      decr in_flight
+                    | Some r ->
+                      incr executed;
+                      records := r :: !records;
+                      incr answered;
+                      answered_by.(a.Workload.ar_stream) <-
+                        answered_by.(a.Workload.ar_stream) + 1;
+                      (match
+                         wl.Workload.wl_streams.(a.Workload.ar_stream)
+                           .Workload.st_deadline
+                       with
+                      | Some d ->
+                        slacks := (d - (!now - a.Workload.ar_at)) :: !slacks
+                      | None -> ());
+                      Breaker.record breaker digest ~now:!now
+                        ~ok:(r.Service.er_outcome = Tiered.Clean);
+                      (match supervisor with
+                      | None -> ()
+                      | Some sv ->
+                        Supervisor.note_complete sv ~shard
+                          ~seq:a.Workload.ar_seq ev ~interp_only
+                          ~force_oracle
+                          ~real_compile:r.Service.er_real_compile);
+                      let stall =
+                        match cfg.sv_faults with
+                        | None -> 0
+                        | Some f -> (
+                          match Faults.consumer_stall f with
+                          | None -> 0
+                          | Some ticks ->
+                            incr stalls;
+                            stall_cycles := !stall_cycles + ticks;
+                            ticks)
+                      in
+                      busy := !busy + max 1 r.Service.er_cycles + stall)
+                  survivors;
+                if !executed > 0 then begin
+                  lane_busy.(l) <- true;
+                  lane_load.(l) <- !executed;
+                  lane_free.(l) <- !now + !busy
+                end
+              end))
       done
     done;
     !progressed
@@ -562,8 +749,17 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       if close_due () then progressed := true;
       if dispatch () then progressed := true
     done;
+    (* Checkpoint at the fixpoint — a consistent boundary: every batch
+       dispatched at this virtual time has fully executed, so a snapshot
+       here never captures a half-stepped shard. *)
+    (match supervisor with
+    | None -> ()
+    | Some sv ->
+      Supervisor.maybe_checkpoint sv ~now:!now
+        ~breaker_open:(Breaker.open_count breaker));
     if work_remains () then advance ()
   done;
+  (match supervisor with None -> () | Some sv -> Supervisor.finalize sv);
   (* Graceful drain is the loop's exit path: admission stopped (no
      arrivals left), queues flushed, lanes idle.  What remains is the
      final merge: store single-writer merge, gauge finalization and
@@ -590,11 +786,12 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
   in
   let total = Workload.total wl in
   let sr_lost =
-    lost ~total ~answered:!answered ~shed_ingress
-      ~shed_overload:!shed_overload ~deadline_misses:!deadline_misses
+    lost ~crash_shed:!crash_shed ~lane_stalls:!lane_stalls ~total
+      ~answered:!answered ~shed_ingress ~shed_overload:!shed_overload
+      ~deadline_misses:!deadline_misses
       ~stream_deadline_misses:!stream_deadline_misses
       ~injected_exhaustions:!injected_exhaustions
-      ~disconnected:!disconnected
+      ~disconnected:!disconnected ()
   in
   let rep =
     {
@@ -623,6 +820,24 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
       sr_probes = !probes;
       sr_batches = !batches;
       sr_batched_events = !batched_events;
+      sr_crashes =
+        (match supervisor with None -> 0 | Some sv -> Supervisor.crashes sv);
+      sr_restarts =
+        (match supervisor with
+        | None -> 0
+        | Some sv -> Supervisor.restarts sv);
+      sr_replayed =
+        (match supervisor with
+        | None -> 0
+        | Some sv -> Supervisor.replayed sv);
+      sr_checkpoints =
+        (match supervisor with
+        | None -> 0
+        | Some sv -> Supervisor.checkpoints sv);
+      sr_wedges =
+        (match supervisor with None -> 0 | Some sv -> Supervisor.wedges sv);
+      sr_crash_shed = !crash_shed;
+      sr_lane_stalls = !lane_stalls;
       sr_virtual_cycles = !now;
       sr_lost;
       sr_service = service_report;
@@ -664,7 +879,33 @@ let run ?stats ?tracer (cfg : cfg) (wl : Workload.t) : report =
      batch is a singleton so mean_batch_size is exactly 1. *)
   Stats.set_gauge st "serve.timeouts"
     (float_of_int
-       (!deadline_misses + !stream_deadline_misses + !injected_exhaustions));
+       (!deadline_misses + !stream_deadline_misses + !injected_exhaustions
+      + !lane_stalls));
+  (* Recovery activity is gauges-only, never counters and never report
+     lines: a recovered run's printed report must stay byte-identical to
+     its crash-free baseline.  Absent entirely when unsupervised. *)
+  (match supervisor with
+  | None -> ()
+  | Some sv ->
+    Stats.set_gauge st "serve.crashes"
+      (float_of_int (Supervisor.crashes sv));
+    Stats.set_gauge st "serve.restarts"
+      (float_of_int (Supervisor.restarts sv));
+    Stats.set_gauge st "serve.replayed_events"
+      (float_of_int (Supervisor.replayed sv));
+    Stats.set_gauge st "serve.checkpoints"
+      (float_of_int (Supervisor.checkpoints sv));
+    Stats.set_gauge st "serve.wedges" (float_of_int (Supervisor.wedges sv));
+    Stats.set_gauge st "serve.crash_shed" (float_of_int !crash_shed);
+    Stats.set_gauge st "serve.lane_stalls" (float_of_int !lane_stalls);
+    Stats.set_gauge st "serve.journal_admits"
+      (float_of_int (Supervisor.journal_admits sv));
+    Stats.set_gauge st "serve.journal_completes"
+      (float_of_int (Supervisor.journal_completes sv));
+    Stats.set_gauge st "serve.journal_segments"
+      (float_of_int (Supervisor.journal_segments sv));
+    Stats.set_gauge st "serve.ckpt_verify_failures"
+      (float_of_int (Supervisor.verify_failures sv)));
   Stats.set_gauge st "serve.batches" (float_of_int !batches);
   Stats.set_gauge st "serve.batched_events" (float_of_int !batched_events);
   Stats.set_gauge st "serve.mean_batch_size"
@@ -717,6 +958,12 @@ let report_to_string (r : report) : string =
     r.sr_batched_events
     (if r.sr_batches = 0 then 0.0
      else float_of_int r.sr_batched_events /. float_of_int r.sr_batches);
+  (* Printed only when recovery actually lost service — a recovered run
+     where every event replayed prints byte-identically to its
+     crash-free baseline. *)
+  if r.sr_crash_shed > 0 || r.sr_lane_stalls > 0 then
+    line "resilience: %d crash-shed / %d lane-stalled" r.sr_crash_shed
+      r.sr_lane_stalls;
   line "virtual cycles: %d  lost events: %d" r.sr_virtual_cycles r.sr_lost;
   Buffer.add_string b (Service.report_to_string r.sr_service);
   Buffer.contents b

@@ -41,11 +41,33 @@ type cfg = {
       (** batch-formation window in virtual cycles: an open batch closes
           at [opened + window], or earlier if the tightest member
           deadline is at risk *)
+  sv_checkpoint_every : int;
+      (** virtual-cycle shard-checkpoint period; 0 disables periodic
+          checkpoints.  Any nonzero value, a journal directory, a
+          kill/wedge plan, or an injector crash/wedge rate turns the
+          {!Supervisor} on; with everything off the engine is
+          byte-identical to the pre-recovery serving layer. *)
+  sv_journal_dir : string option;
+      (** mirror the write-ahead admission journal ([VAPORJNL] segments)
+          and checkpoint artifacts ([VAPORCKP]) to disk here *)
+  sv_restart_limit : int;
+      (** restarts tolerated inside one probation streak before the
+          shard degrades to interp-only serving; a crash while degraded
+          sheds the shard *)
+  sv_lane_stall_limit : int;
+      (** virtual cycles a wedged lane may hold its members before the
+          watchdog closes them as typed timeouts *)
+  sv_crash_at : int list;
+      (** global dispatch ordinals (0-based) at which a shard kill is
+          spliced in deterministically (the kill-at-every-boundary
+          sweeps) *)
+  sv_wedge_at : int list;  (** same, for lane wedges *)
 }
 
 (** 1 domain, 2 lanes, budget 8, no backlog trim, no faults, breaker
     threshold 3 / cooldown 1e6 cycles, max batch 1 (batching off),
-    batch window 1024 cycles. *)
+    batch window 1024 cycles, recovery off (no checkpoints, no journal,
+    restart limit 3, lane-stall limit 8192, empty kill/wedge plans). *)
 val default_cfg : Service.config -> cfg
 
 type timeout_kind =
@@ -79,15 +101,31 @@ type report = {
   sr_probes : int;  (** half-open probes (forced oracle checks) *)
   sr_batches : int;  (** dispatched batches that executed >= 1 event *)
   sr_batched_events : int;  (** events answered through those batches *)
+  sr_crashes : int;
+      (** shard crashes detected (seeded, planned, or escaped
+          exceptions) *)
+  sr_restarts : int;  (** checkpoint-restore recoveries performed *)
+  sr_replayed : int;  (** journal entries re-executed across recoveries *)
+  sr_checkpoints : int;  (** checkpoint rounds taken (incl. round 0) *)
+  sr_wedges : int;  (** wedged lanes the watchdog resolved *)
+  sr_crash_shed : int;
+      (** events closed as typed losses by a shedding shard (only after
+          the restart limit escalated through degraded serving) *)
+  sr_lane_stalls : int;
+      (** events a wedged lane held past the stall limit, closed as
+          typed timeouts *)
   sr_virtual_cycles : int;  (** final virtual time *)
   sr_lost : int;  (** conservation residue — must be 0 *)
   sr_service : Service.report;  (** the pool's merged replay report *)
 }
 
 (** The conservation residue:
-    [total - (answered + shed + timeouts + disconnected)].  Zero means
-    every arrival was accounted exactly once. *)
+    [total - (answered + shed + timeouts + disconnected + crash_shed +
+    lane_stalls)].  Zero means every arrival was accounted exactly
+    once. *)
 val lost :
+  ?crash_shed:int ->
+  ?lane_stalls:int ->
   total:int ->
   answered:int ->
   shed_ingress:int ->
@@ -96,6 +134,7 @@ val lost :
   stream_deadline_misses:int ->
   injected_exhaustions:int ->
   disconnected:int ->
+  unit ->
   int
 
 (** Serve the workload to completion, then drain: stop admitting, flush
@@ -112,7 +151,17 @@ val lost :
     service report is byte-identical for any batch configuration and any
     [sv_domains], and per-event deadline, breaker, and accounting
     behaviour is preserved.  Breaker-open digests bypass formation
-    (singleton batches) so probe verdicts land before the next serve. *)
+    (singleton batches) so probe verdicts land before the next serve.
+
+    Crash recovery (any recovery knob on): every admission is journaled
+    write-ahead, shards are checkpointed every [sv_checkpoint_every]
+    virtual cycles, and a crash at a dispatch boundary restores the last
+    checkpoint and replays the journal suffix in zero virtual time — for
+    any seeded crash schedule in which every event eventually replays,
+    the drained report (and its printed form) is byte-identical to the
+    crash-free run for any [sv_domains].  Recovery activity surfaces as
+    [serve.*] gauges only; the typed [crash_shed] / [lane_stalls] losses
+    print a [resilience:] line only when nonzero. *)
 val run :
   ?stats:Stats.t -> ?tracer:Vapor_obs.Tracer.t -> cfg -> Workload.t -> report
 

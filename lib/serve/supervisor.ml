@@ -1,0 +1,289 @@
+(* The shard supervisor: journals admissions, takes periodic checkpoints,
+   detects crashed shards at dispatch boundaries, and restores them —
+   snapshot restore, artifact read-back verify, journal-suffix replay —
+   so a recovered run drains to a byte-identical report.
+
+   Crash and wedge draws come from a supervisor-private injector cloned
+   from each shard's spec: the clone's dedicated crash stream advances
+   monotonically even though recovery rewinds the shard injector itself
+   (replay must re-draw the primary-stream faults the crashed shard
+   drew, but must never re-draw the crash that killed it). *)
+
+module Faults = Vapor_runtime.Faults
+module Service = Vapor_runtime.Service
+module Trace = Vapor_runtime.Trace
+
+type verdict =
+  | Run
+  | Run_interp_only
+  | Shed
+
+type mode =
+  | Active
+  | Degraded of int  (* interp-only until this virtual time *)
+  | Shedding
+
+(* Virtual-cycle backoff base: probation after restart [k] of a streak
+   lasts [backoff_base * 2^(k-1)] cycles. *)
+let backoff_base = 2048
+
+let counter_names =
+  [
+    "cache.hits";
+    "cache.misses";
+    "cache.fills";
+    "cache.evictions";
+    "tier.promotions";
+    "tier.interp_runs";
+    "tier.jit_runs";
+    "guard.quarantines";
+  ]
+
+type shard_state = {
+  ss_journal : Journal.t;
+  ss_faults : Faults.t option;  (* private crash/wedge draw source *)
+  mutable ss_snap : Service.shard_snap;
+  mutable ss_ckpt : int;  (* ordinal of the snapshot held *)
+  mutable ss_streak : int;  (* restarts inside the current probation *)
+  mutable ss_probation_until : int;
+  mutable ss_mode : mode;
+}
+
+type t = {
+  sv_pool : Service.pool;
+  sv_states : shard_state array;
+  sv_every : int option;
+  sv_restart_limit : int;
+  sv_crash_plan : (int, unit) Hashtbl.t;
+  sv_wedge_plan : (int, unit) Hashtbl.t;
+  mutable sv_ordinal : int;  (* global dispatch ordinal, 0-based *)
+  mutable sv_ckpt : int;  (* latest checkpoint ordinal *)
+  mutable sv_next_ckpt : int;
+  mutable sv_crashes : int;
+  mutable sv_restarts : int;
+  mutable sv_replayed : int;
+  mutable sv_checkpoints : int;  (* checkpoint rounds taken (incl. 0) *)
+  mutable sv_wedges : int;
+  mutable sv_verify_failures : int;
+}
+
+let plan_of ordinals =
+  let h = Hashtbl.create 8 in
+  List.iter (fun o -> Hashtbl.replace h o ()) ordinals;
+  h
+
+let take_checkpoint t ~shard ~now ~breaker_open =
+  let ss = t.sv_states.(shard) in
+  let snap = Service.shard_snapshot t.sv_pool ~shard in
+  ss.ss_snap <- snap;
+  ss.ss_ckpt <- t.sv_ckpt;
+  let ckpt = t.sv_ckpt in
+  (* The artifact rows are built lazily: most rounds are superseded by
+     the next one before their segment rotates to disk, so the digest
+     tables are only materialized for the rounds that actually
+     publish (or that a recovery verifies). *)
+  Journal.checkpoint ss.ss_journal ~ckpt ~at:now (fun () ->
+      {
+        Journal.ck_shard = shard;
+        ck_ckpt = ckpt;
+        ck_at = now;
+        ck_cache_rows = Service.snap_cache_rows snap;
+        ck_tier_rows = Service.snap_tier_rows snap;
+        ck_counters =
+          List.map (fun n -> n, Service.snap_counter snap n) counter_names;
+        ck_breaker_open = breaker_open;
+      })
+
+let create ?journal_dir ?checkpoint_every ?(restart_limit = 3)
+    ?(crash_plan = []) ?(wedge_plan = []) pool =
+  let shards = Service.pool_shards pool in
+  let states =
+    Array.init shards (fun shard ->
+        {
+          ss_journal = Journal.create ?dir:journal_dir ~shard ();
+          ss_faults =
+            Option.map
+              (fun f -> Faults.make (Faults.spec f))
+              (Service.shard_faults pool ~shard);
+          ss_snap = Service.shard_snapshot pool ~shard;
+          ss_ckpt = 0;
+          ss_streak = 0;
+          ss_probation_until = 0;
+          ss_mode = Active;
+        })
+  in
+  let t =
+    {
+      sv_pool = pool;
+      sv_states = states;
+      sv_every = checkpoint_every;
+      sv_restart_limit = restart_limit;
+      sv_crash_plan = plan_of crash_plan;
+      sv_wedge_plan = plan_of wedge_plan;
+      sv_ordinal = 0;
+      sv_ckpt = 0;
+      sv_next_ckpt = (match checkpoint_every with Some n -> n | None -> 0);
+      sv_crashes = 0;
+      sv_restarts = 0;
+      sv_replayed = 0;
+      sv_checkpoints = 1;
+      sv_wedges = 0;
+      sv_verify_failures = 0;
+    }
+  in
+  (* Checkpoint 0: the pristine shard, so a crash before the first
+     periodic checkpoint replays the whole admitted prefix. *)
+  Array.iteri
+    (fun shard _ -> take_checkpoint t ~shard ~now:0 ~breaker_open:0)
+    states;
+  t
+
+let note_admit t ~shard ~at ~seq ev =
+  Journal.note_admit t.sv_states.(shard).ss_journal ~at ~seq ev
+
+let note_complete t ~shard ~seq ev ~interp_only ~force_oracle ~real_compile =
+  Journal.note_complete t.sv_states.(shard).ss_journal ~seq ev ~interp_only
+    ~force_oracle ~real_compile
+
+(* Restore the shard to its last checkpoint and re-execute the journaled
+   suffix.  The artifact read-back is recovery's proof that what a cold
+   restart would be handed is intact; a memory-only journal verifies
+   trivially. *)
+let recover t ~shard =
+  let ss = t.sv_states.(shard) in
+  (match Journal.verify_artifact ss.ss_journal ~ckpt:ss.ss_ckpt with
+  | Ok _ -> ()
+  | Error _ -> t.sv_verify_failures <- t.sv_verify_failures + 1);
+  Service.shard_restore t.sv_pool ~shard ss.ss_snap;
+  let entries = Journal.completed ss.ss_journal in
+  List.iter
+    (fun e ->
+      Service.shard_replay_step ~interp_only:e.Journal.je_interp_only
+        ~force_oracle:e.Journal.je_force_oracle
+        ~real_compile:e.Journal.je_real_compile t.sv_pool ~shard
+        e.Journal.je_event)
+    entries;
+  t.sv_replayed <- t.sv_replayed + List.length entries;
+  t.sv_restarts <- t.sv_restarts + 1
+
+(* Restart-streak bookkeeping: a crash inside the probation window
+   deepens the streak and doubles the backoff; one past the restart
+   limit escalates to interp-only degraded serving. *)
+let escalate t ~shard ~now =
+  let ss = t.sv_states.(shard) in
+  if now < ss.ss_probation_until then ss.ss_streak <- ss.ss_streak + 1
+  else ss.ss_streak <- 1;
+  if ss.ss_streak > t.sv_restart_limit then begin
+    ss.ss_mode <-
+      Degraded (now + (backoff_base * (1 lsl t.sv_restart_limit)));
+    Run_interp_only
+  end
+  else begin
+    ss.ss_probation_until <-
+      now + (backoff_base * (1 lsl (ss.ss_streak - 1)));
+    Run
+  end
+
+let crash_now t ss ~ordinal =
+  let planned = Hashtbl.mem t.sv_crash_plan ordinal in
+  (* Draw even when the plan fires: the seeded schedule stays aligned
+     whether or not a planned kill is spliced in. *)
+  let drawn =
+    match ss.ss_faults with Some f -> Faults.shard_crash f | None -> false
+  in
+  planned || drawn
+
+let on_dispatch t ~shard ~now =
+  let ss = t.sv_states.(shard) in
+  let ordinal_used = t.sv_ordinal in
+  t.sv_ordinal <- ordinal_used + 1;
+  match ss.ss_mode with
+  | Shedding -> Shed
+  | Degraded until when now < until ->
+    if crash_now t ss ~ordinal:ordinal_used then begin
+      (* A crash while already degraded: the shard is beyond repair for
+         this run — recover state for bookkeeping, then shed typed. *)
+      t.sv_crashes <- t.sv_crashes + 1;
+      recover t ~shard;
+      ss.ss_mode <- Shedding;
+      Shed
+    end
+    else Run_interp_only
+  | Degraded _ | Active ->
+    (* A lapsed degraded window heals back to full service. *)
+    (match ss.ss_mode with
+    | Degraded _ ->
+      ss.ss_mode <- Active;
+      ss.ss_streak <- 0;
+      ss.ss_probation_until <- 0
+    | _ -> ());
+    if crash_now t ss ~ordinal:ordinal_used then begin
+      t.sv_crashes <- t.sv_crashes + 1;
+      recover t ~shard;
+      escalate t ~shard ~now
+    end
+    else Run
+
+let wedge_check t ~shard =
+  let ss = t.sv_states.(shard) in
+  let ordinal = t.sv_ordinal - 1 in
+  let planned = Hashtbl.mem t.sv_wedge_plan ordinal in
+  let drawn =
+    match ss.ss_faults with Some f -> Faults.lane_wedge f | None -> false
+  in
+  if planned || drawn then begin
+    t.sv_wedges <- t.sv_wedges + 1;
+    true
+  end
+  else false
+
+(* An exception escaped a shard step: same recovery as a seeded crash
+   (the shard state is suspect mid-event), same escalation accounting. *)
+let recover_escaped t ~shard ~now =
+  t.sv_crashes <- t.sv_crashes + 1;
+  recover t ~shard;
+  ignore (escalate t ~shard ~now)
+
+let maybe_checkpoint t ~now ~breaker_open =
+  match t.sv_every with
+  | None -> ()
+  | Some every ->
+    if now >= t.sv_next_ckpt then begin
+      t.sv_ckpt <- t.sv_ckpt + 1;
+      Array.iteri
+        (fun shard _ -> take_checkpoint t ~shard ~now ~breaker_open)
+        t.sv_states;
+      t.sv_checkpoints <- t.sv_checkpoints + 1;
+      t.sv_next_ckpt <- now + every
+    end
+
+let finalize t =
+  Array.iter (fun ss -> Journal.finalize ss.ss_journal) t.sv_states
+
+let crashes t = t.sv_crashes
+let restarts t = t.sv_restarts
+let replayed t = t.sv_replayed
+let checkpoints t = t.sv_checkpoints
+let wedges t = t.sv_wedges
+let verify_failures t = t.sv_verify_failures
+
+let journal_admits t =
+  Array.fold_left
+    (fun acc ss -> acc + Journal.admits ss.ss_journal)
+    0 t.sv_states
+
+let journal_completes t =
+  Array.fold_left
+    (fun acc ss -> acc + Journal.completes ss.ss_journal)
+    0 t.sv_states
+
+let journal_segments t =
+  Array.fold_left
+    (fun acc ss -> acc + Journal.segments ss.ss_journal)
+    0 t.sv_states
+
+let shard_mode t ~shard =
+  match t.sv_states.(shard).ss_mode with
+  | Active -> `Active
+  | Degraded _ -> `Degraded
+  | Shedding -> `Shedding

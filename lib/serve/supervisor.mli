@@ -1,0 +1,110 @@
+(** The shard supervisor: write-ahead admission journaling, periodic
+    shard checkpoints, crash detection at dispatch boundaries, and
+    byte-identical recovery.
+
+    A crash fires when a batch is taken for dispatch, {e before} any
+    member has executed, so recovery — restore the last checkpoint
+    snapshot, verify the on-disk artifact, re-execute the journaled
+    completed suffix — leaves the shard exactly where the crash found
+    it; the batch then runs normally at the same virtual time.  Because
+    crash draws come from a supervisor-private clone of the shard's
+    injector (its dedicated stream is never rewound by restore), and
+    replay re-draws the primary-stream faults the original executions
+    drew, a recovered drain reports byte-identically to the crash-free
+    run.
+
+    Repeated crashes escalate: each restart inside the probation window
+    deepens a streak and doubles a virtual-time backoff; a streak past
+    the restart limit degrades the shard to interp-only serving for a
+    backoff-scaled window; a crash while degraded sheds the shard —
+    every subsequent event is closed as a typed [crash_shed] loss, and
+    the drain completes. *)
+
+module Service := Vapor_runtime.Service
+module Trace := Vapor_runtime.Trace
+
+type t
+
+(** What the supervisor decided for the batch just taken for dispatch
+    (the crash draw, recovery, and escalation all happen inside
+    {!on_dispatch} before it returns). *)
+type verdict =
+  | Run  (** healthy, or recovered: serve normally *)
+  | Run_interp_only  (** degraded shard: serve via the interpreter *)
+  | Shed  (** shedding shard: close members as typed losses *)
+
+(** [create ?journal_dir ?checkpoint_every ?restart_limit ?crash_plan
+    ?wedge_plan pool] — takes checkpoint 0 of every shard immediately.
+    [crash_plan] / [wedge_plan] are global dispatch ordinals (0-based,
+    in {!on_dispatch} call order) at which a kill or wedge is spliced in
+    deterministically, alongside any seeded draws; the tests' kill-at-
+    every-boundary sweeps use them.  [restart_limit] (default 3) bounds
+    a restart streak before degradation. *)
+val create :
+  ?journal_dir:string ->
+  ?checkpoint_every:int ->
+  ?restart_limit:int ->
+  ?crash_plan:int list ->
+  ?wedge_plan:int list ->
+  Service.pool ->
+  t
+
+(** Journal an admission (call before the event is queued). [seq] is the
+    arrival's global sequence. *)
+val note_admit : t -> shard:int -> at:int -> seq:int -> Trace.event -> unit
+
+(** Journal a completed execution with the flags it ran under and the
+    runtime's real-compile hint. *)
+val note_complete :
+  t ->
+  shard:int ->
+  seq:int ->
+  Trace.event ->
+  interp_only:bool ->
+  force_oracle:bool ->
+  real_compile:bool ->
+  unit
+
+(** The dispatch-boundary gate: advances the global dispatch ordinal,
+    draws the crash schedule, and on a crash recovers the shard (and
+    escalates) before returning the serving verdict for this batch. *)
+val on_dispatch : t -> shard:int -> now:int -> verdict
+
+(** Draw the wedge schedule for the batch just gated by {!on_dispatch}:
+    [true] means the lane wedges — members must not execute, and the
+    watchdog will time them out. *)
+val wedge_check : t -> shard:int -> bool
+
+(** An exception escaped a shard step: recover the shard (state is
+    suspect mid-event) with the same escalation accounting as a seeded
+    crash.  The caller retries the member once against the restored
+    shard. *)
+val recover_escaped : t -> shard:int -> now:int -> unit
+
+(** Take a checkpoint round if the virtual clock has crossed the next
+    boundary (no-op without [checkpoint_every]).  Call at a consistent
+    boundary: all dispatched work completed, before time advances.
+    [breaker_open] is recorded in the artifact. *)
+val maybe_checkpoint : t -> now:int -> breaker_open:int -> unit
+
+(** Publish the active journal segments; call once at drain. *)
+val finalize : t -> unit
+
+(** {2 Recovery telemetry} (gauges only — never printed in reports: a
+    crashed run must print byte-identically to its crash-free baseline) *)
+
+val crashes : t -> int
+val restarts : t -> int
+val replayed : t -> int
+
+(** Checkpoint rounds taken, including checkpoint 0. *)
+val checkpoints : t -> int
+
+val wedges : t -> int
+val verify_failures : t -> int
+val journal_admits : t -> int
+val journal_completes : t -> int
+val journal_segments : t -> int
+
+(** The shard's escalation state (tests observe the ladder). *)
+val shard_mode : t -> shard:int -> [ `Active | `Degraded | `Shedding ]

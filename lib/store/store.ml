@@ -54,31 +54,52 @@ type index = {
   ix_rows : index_row list;
 }
 
-(* --- binary codec helpers --------------------------------------------- *)
+(* --- binary codec helpers ---------------------------------------------
+   Exposed as [Codec] so sibling formats (the serve layer's admission
+   journal and checkpoint envelopes) share the exact framing idiom —
+   length-prefixed fields, [Malformed] on any truncation — instead of
+   growing a second, subtly different binary codec. *)
 
-exception Malformed of string
+module Codec = struct
+  exception Malformed of string
 
-let put_u32 b v =
-  if v < 0 then raise (Malformed "negative u32");
-  Buffer.add_int32_le b (Int32.of_int (v land 0xFFFFFFFF))
+  let put_u32 b v =
+    if v < 0 then raise (Malformed "negative u32");
+    Buffer.add_int32_le b (Int32.of_int (v land 0xFFFFFFFF))
 
-let put_str b s =
-  put_u32 b (String.length s);
-  Buffer.add_string b s
+  let put_u64 b (v : int64) = Buffer.add_int64_le b v
 
-let get_u32 s pos =
-  if !pos + 4 > String.length s then raise (Malformed "truncated u32");
-  let v = String.get_int32_le s !pos in
-  pos := !pos + 4;
-  let v = Int32.to_int v land 0xFFFFFFFF in
-  v
+  let put_str b s =
+    put_u32 b (String.length s);
+    Buffer.add_string b s
 
-let get_str s pos =
-  let n = get_u32 s pos in
-  if !pos + n > String.length s then raise (Malformed "truncated string");
-  let r = String.sub s !pos n in
-  pos := !pos + n;
-  r
+  let get_u32 s pos =
+    if !pos + 4 > String.length s then raise (Malformed "truncated u32");
+    let v = String.get_int32_le s !pos in
+    pos := !pos + 4;
+    let v = Int32.to_int v land 0xFFFFFFFF in
+    v
+
+  let get_u64 s pos =
+    if !pos + 8 > String.length s then raise (Malformed "truncated u64");
+    let v = String.get_int64_le s !pos in
+    pos := !pos + 8;
+    v
+
+  let get_str s pos =
+    let n = get_u32 s pos in
+    if !pos + n > String.length s then raise (Malformed "truncated string");
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+end
+
+exception Malformed = Codec.Malformed
+
+let put_u32 = Codec.put_u32
+let put_str = Codec.put_str
+let get_u32 = Codec.get_u32
+let get_str = Codec.get_str
 
 (* --- index codec ------------------------------------------------------- *)
 
@@ -287,6 +308,7 @@ type counters = {
   c_quarantined : int;
   c_gc_evictions : int;
   c_torn_healed : int;
+  c_retries : int;
 }
 
 type t = {
@@ -304,6 +326,7 @@ type t = {
   mutable t_quarantined : int;
   mutable t_gc_evictions : int;
   mutable t_torn_healed : int;
+  mutable t_retries : int;
 }
 
 let dir t = t.t_dir
@@ -347,6 +370,7 @@ let counters t =
     c_quarantined = t.t_quarantined;
     c_gc_evictions = t.t_gc_evictions;
     c_torn_healed = t.t_torn_healed;
+    c_retries = t.t_retries;
   }
 
 let flush t =
@@ -457,6 +481,7 @@ let open_store ?(create = false) ?(max_entries = max_int)
       t_quarantined = 0;
       t_gc_evictions = 0;
       t_torn_healed = 0;
+      t_retries = 0;
     }
   in
   let init t =
@@ -636,6 +661,7 @@ type session = {
   mutable ss_misses : int;
   mutable ss_verify_fails : int;
   mutable ss_publishes : int;
+  mutable ss_retries : int;
 }
 
 (* Staging dir names only need to be unique within one run (the
@@ -663,9 +689,16 @@ let session ~id t =
     ss_misses = 0;
     ss_verify_fails = 0;
     ss_publishes = 0;
+    ss_retries = 0;
   }
 
 let store s = s.ss_store
+
+(* Transient-IO retry accounting: the tiered runtime retries a probe or
+   publish that hit an injected IO fault; each extra attempt is noted
+   here so the merged store (and the [store.retries] gauge) can report
+   how much resilience work the run did. *)
+let note_retry s = s.ss_retries <- s.ss_retries + 1
 
 type probe_result =
   | Hit of entry
@@ -821,6 +854,7 @@ let merge t sessions =
       t.t_misses <- t.t_misses + s.ss_misses;
       t.t_verify_fails <- t.t_verify_fails + s.ss_verify_fails;
       t.t_publishes <- t.t_publishes + s.ss_publishes;
+      t.t_retries <- t.t_retries + s.ss_retries;
       remove_tree s.ss_dir)
     sessions;
   ignore (enforce_budget t);

@@ -36,6 +36,38 @@
     atomically (write-temp + rename) replaces the index.  Reports stay
     byte-identical for any domain count. *)
 
+(** The store's binary framing idiom, exposed for sibling on-disk
+    formats (the serve layer's admission journal and checkpoint
+    envelopes) so the toolchain has exactly one way to frame bytes:
+    little-endian length-prefixed fields that raise {!Codec.Malformed}
+    on any truncation or negative length. *)
+module Codec : sig
+  exception Malformed of string
+
+  val put_u32 : Buffer.t -> int -> unit
+  val put_u64 : Buffer.t -> int64 -> unit
+  val put_str : Buffer.t -> string -> unit
+
+  (** Readers take the source string and a mutable cursor, advancing it
+      past the decoded field. *)
+  val get_u32 : string -> int ref -> int
+
+  val get_u64 : string -> int ref -> int64
+  val get_str : string -> int ref -> string
+end
+
+(** {2 Filesystem idiom}
+
+    Shared by every on-disk artifact the toolchain writes (index, entry
+    files, journal segments, checkpoint envelopes): directories are
+    created recursively, files are read whole, and replacement is
+    always write-temp + atomic rename so a crash never exposes a torn
+    file under the final name. *)
+
+val mkdir_p : string -> unit
+val read_file : string -> string
+val write_file_atomic : string -> string -> unit
+
 type key = {
   sk_digest : string;  (** 16 raw MD5 bytes of the encoded bytecode *)
   sk_target : string;
@@ -92,6 +124,10 @@ type counters = {
       (** crash artifacts repaired at open time: stale index temps,
           orphaned object temps, unmerged staging leftovers, and torn
           or missing entry files (quarantined instead of served) *)
+  c_retries : int;
+      (** extra probe/publish attempts after transient IO faults (see
+          {!note_retry}); exhausted retries degrade to a recompile, so
+          this counts resilience work, not failures *)
 }
 
 (** Open (or, with [create], initialize) the store at [dir].  Budgets
@@ -200,6 +236,10 @@ val publish :
 (** Record that [from_target] became stale mid-run; applied (as
     {!invalidate_target}) by {!merge}. *)
 val defer_invalidate : session -> from_target:string -> unit
+
+(** Count one retried probe/publish attempt after a transient IO fault;
+    summed into the store's {!counters} at {!merge}. *)
+val note_retry : session -> unit
 
 (** Single-writer commit: apply deferred invalidations and corrupt-entry
     quarantines, install staged entries (first publisher wins), advance

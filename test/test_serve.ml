@@ -29,7 +29,9 @@ let base_cfg () = Service.default_config ~targets:[ sse ]
 
 let serve_cfg ?(domains = 1) ?(lanes = 2) ?(budget = 8) ?backlog ?faults
     ?(threshold = 3) ?(cooldown = 1_000_000) ?(max_batch = 1)
-    ?(batch_window = 1024) cfg =
+    ?(batch_window = 1024) ?(checkpoint_every = 0) ?journal_dir
+    ?(restart_limit = 3) ?(lane_stall_limit = 8192) ?(crash_at = [])
+    ?(wedge_at = []) cfg =
   {
     Serve.sv_service = cfg;
     sv_domains = domains;
@@ -41,6 +43,12 @@ let serve_cfg ?(domains = 1) ?(lanes = 2) ?(budget = 8) ?backlog ?faults
     sv_breaker_cooldown = cooldown;
     sv_max_batch = max_batch;
     sv_batch_window = batch_window;
+    sv_checkpoint_every = checkpoint_every;
+    sv_journal_dir = journal_dir;
+    sv_restart_limit = restart_limit;
+    sv_lane_stall_limit = lane_stall_limit;
+    sv_crash_at = crash_at;
+    sv_wedge_at = wedge_at;
   }
 
 (* Hand-built workloads for the targeted scenarios. *)

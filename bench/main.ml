@@ -673,6 +673,121 @@ let bench_recovery () =
         (Serve.report_to_string !crash_rep);
   }
 
+(* Part 4f: the heterogeneous fleet — one trace served across a mixed
+   population of all seven target archetypes with mid-trace capability
+   upgrades (sse->avx512, neon->sve).  Figures of merit: mixed-population
+   serving throughput, rejuvenated bodies recompiled on the upgraded
+   targets, the per-target traffic/JIT split, byte-identity of the drain
+   report across domain counts, and (without upgrades, over a persistent
+   store) a warm second fleet run that recompiles nothing.                *)
+
+type fleet_bench = {
+  fl_events : int;
+  fl_machines : int;
+  fl_s : float;
+  fl_rejuvenations : int;
+  fl_targets : (string * int * int) list;  (* name, invocations, jit runs *)
+  fl_identical_domains : bool;
+  fl_warm_real_compiles : int;
+  fl_warm_identical : bool;
+}
+
+let fleet_population () =
+  let module T = Vapor_targets.Target in
+  [
+    Vapor_targets.Scalar_target.target;
+    Vapor_targets.Sse.target;
+    Vapor_targets.Avx.target;
+    Vapor_targets.Neon.target;
+    Vapor_targets.Altivec.target;
+    T.resolve ~vl:16 Vapor_targets.Sve.target;
+    Vapor_targets.Avx512.target;
+  ]
+
+let bench_fleet () =
+  let module T = Vapor_targets.Target in
+  let population = fleet_population () in
+  let machines = List.length population in
+  let trace =
+    Trace.standard ~length:bench_replay_length ~n_targets:machines ()
+  in
+  let upgrades =
+    [
+      bench_replay_length / 3, Vapor_targets.Sse.target,
+      Vapor_targets.Avx512.target;
+      bench_replay_length / 3, Vapor_targets.Neon.target,
+      T.resolve Vapor_targets.Sve.target;
+    ]
+  in
+  let cfg =
+    {
+      (Service.default_config ~targets:population) with
+      Service.cfg_engine = Tiered.Fast;
+      cfg_retargets = upgrades;
+    }
+  in
+  let wl = Workload.of_trace ~streams:4 trace in
+  let run domains = Serve.run { (Serve.default_cfg cfg) with Serve.sv_domains = domains } wl in
+  let rep = ref (run 1) in
+  let s = best_of_3 (fun () -> rep := run 1) in
+  let embedded r = Service.report_to_string r.Serve.sr_service in
+  let identical =
+    let base = embedded !rep in
+    List.for_all (fun d -> String.equal base (embedded (run d))) [ 2; 4 ]
+  in
+  let per_target =
+    List.fold_left
+      (fun acc (r : Service.kernel_row) ->
+        let inv, jit =
+          try List.assoc r.Service.kr_target acc with Not_found -> 0, 0
+        in
+        (r.Service.kr_target,
+         (inv + r.Service.kr_invocations, jit + r.Service.kr_jit_runs))
+        :: List.remove_assoc r.Service.kr_target acc)
+      []
+      !rep.Serve.sr_service.Service.rp_rows
+    |> List.map (fun (t, (i, j)) -> t, i, j)
+    |> List.sort compare
+  in
+  (* Warm identity: the steady-state (post-upgrade) fleet over one
+     persistent store — the second run must load every body from disk.
+     No retargets here: an upgrade deliberately quarantines the old
+     target's stored entries, which is the opposite of a warm start. *)
+  let open_store dir =
+    match Store.open_store ~create:true dir with
+    | Ok s -> s
+    | Error m -> failwith ("bench fleet store: " ^ m)
+  in
+  let dir = Filename.temp_dir "vapor_bench_fleet" ".store" in
+  let store_cfg store =
+    {
+      (Service.default_config ~targets:population) with
+      Service.cfg_engine = Tiered.Fast;
+      cfg_hotness = 0;
+      cfg_store = Some store;
+    }
+  in
+  let short = Trace.standard ~length:store_bench_length ~n_targets:machines () in
+  let cold_report =
+    Service.report_to_string (Service.replay (store_cfg (open_store dir)) short)
+  in
+  let warm_stats = Stats.create () in
+  let warm_report =
+    Service.report_to_string
+      (Service.replay ~stats:warm_stats (store_cfg (open_store dir)) short)
+  in
+  let gauge name = Option.value ~default:0.0 (Stats.gauge warm_stats name) in
+  {
+    fl_events = Workload.total wl;
+    fl_machines = machines;
+    fl_s = s;
+    fl_rejuvenations = !rep.Serve.sr_service.Service.rp_rejuvenations;
+    fl_targets = per_target;
+    fl_identical_domains = identical;
+    fl_warm_real_compiles = int_of_float (gauge "jit.real_compiles");
+    fl_warm_identical = String.equal cold_report warm_report;
+  }
+
 (* ---------------------------------------------------------------------- *)
 (* Part 5: the JIT cost profiler — per-target aggregates of the per-stage
    compile pipeline costs over the whole suite.  Wall-clock stage sums are
@@ -854,6 +969,32 @@ let run_fastpath_bench ~json () =
       "FAIL: warm store replay must recompile nothing and match cold\n";
     exit 1
   end;
+  let fl = bench_fleet () in
+  Printf.printf
+    "\n  fleet (%d events, %d machines): %.0f events/s, %d bodies \
+     rejuvenated on upgrade, domains report %s\n"
+    fl.fl_events fl.fl_machines
+    (float_of_int fl.fl_events /. fl.fl_s)
+    fl.fl_rejuvenations
+    (if fl.fl_identical_domains then "identical" else "DIFFERS");
+  Printf.printf "  %-10s %12s %10s\n" "target" "invocations" "jit runs";
+  List.iter
+    (fun (t, inv, jit) -> Printf.printf "  %-10s %12d %10d\n" t inv jit)
+    fl.fl_targets;
+  Printf.printf "  warm fleet over store: %d real compiles, report %s\n%!"
+    fl.fl_warm_real_compiles
+    (if fl.fl_warm_identical then "identical" else "DIFFERS");
+  if
+    (not fl.fl_identical_domains)
+    || fl.fl_warm_real_compiles <> 0
+    || (not fl.fl_warm_identical)
+    || fl.fl_rejuvenations = 0
+  then begin
+    Printf.printf
+      "FAIL: fleet replay must be domain-invariant, rejuvenate upgraded \
+       bodies, and warm-start from the store without recompiling\n";
+    exit 1
+  end;
   let jit_rows = run_jit_profile () in
   if json then begin
     let buf = Buffer.create 1024 in
@@ -931,6 +1072,24 @@ let run_fastpath_bench ~json () =
       sb.sb_events (per_s sb.sb_cold_s) (per_s sb.sb_warm_s)
       (sb.sb_cold_s /. sb.sb_warm_s)
       sb.sb_warm_real_compiles sb.sb_warm_hit_rate sb.sb_identical;
+    Printf.bprintf buf
+      "  \"fleet\": {\"events\": %d, \"machines\": %d, \"events_per_s\": \
+       %.0f, \"rejuvenations\": %d, \"report_identical\": %b, \
+       \"warm_real_compiles\": %d, \"warm_report_identical\": %b, \
+       \"targets\": [\n"
+      fl.fl_events fl.fl_machines
+      (float_of_int fl.fl_events /. fl.fl_s)
+      fl.fl_rejuvenations fl.fl_identical_domains fl.fl_warm_real_compiles
+      fl.fl_warm_identical;
+    List.iteri
+      (fun i (t, inv, jit) ->
+        Printf.bprintf buf
+          "    {\"target\": \"%s\", \"invocations\": %d, \"jit_runs\": \
+           %d}%s\n"
+          t inv jit
+          (if i = List.length fl.fl_targets - 1 then "" else ","))
+      fl.fl_targets;
+    Printf.bprintf buf "  ]},\n";
     Printf.bprintf buf "  \"jit_profile\": [\n";
     List.iteri
       (fun i s ->

@@ -40,12 +40,23 @@ let die_unknown ~what ~given ~valid : 'a =
     what (String.concat ", " valid);
   exit 2
 
-let resolve_target name =
-  try Targets.find name
-  with Invalid_argument _ ->
-    die_unknown ~what:"target" ~given:name
-      ~valid:
-        (List.map (fun t -> t.Vapor_targets.Target.name) Targets.all)
+let target_names =
+  List.map (fun t -> t.Vapor_targets.Target.name) Targets.all
+
+let resolve_target ?vl name =
+  let t =
+    try Targets.find name
+    with Invalid_argument _ ->
+      die_unknown ~what:"target" ~given:name ~valid:target_names
+  in
+  (* Pin late-bound targets (SVE) to a concrete vector length here so
+     every downstream name-keyed cache and report sees the resolved
+     spelling; a --vl that contradicts a fixed-width target is a user
+     error. *)
+  try Vapor_targets.Target.resolve ?vl:(Option.map (fun b -> b / 8) vl) t
+  with Invalid_argument msg ->
+    Printf.eprintf "vaporc: %s\n" msg;
+    exit 2
 
 let resolve_kernel name =
   try Suite.find name
@@ -96,7 +107,20 @@ let target_arg =
     value
     & opt string "sse"
     & info [ "t"; "target" ] ~docv:"TARGET"
-        ~doc:"Target: sse, altivec, neon, avx, or scalar.")
+        ~doc:
+          (Printf.sprintf
+             "Target: %s. Late-bound targets also accept a pinned spelling \
+              (sve128, sve256, sve512)."
+             (String.concat ", " target_names)))
+
+let vl_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "vl" ] ~docv:"BITS"
+        ~doc:
+          "Pin a late-bound target's vector length in bits (SVE: 128, 256, \
+           or 512); rejected if it contradicts a fixed-width target.")
 
 let profile_arg =
   let the_profile_conv =
@@ -191,8 +215,8 @@ let vectorize_cmd =
     Term.(const run $ kernel_arg $ file_arg $ no_hints_arg $ alias_checks_arg)
 
 let lower_cmd =
-  let run kernel file no_hints target profile =
-    let target = resolve_target target in
+  let run kernel file no_hints target profile vl =
+    let target = resolve_target ?vl target in
     let k, _ = load_kernel kernel file in
     let result = Driver.vectorize ~opts:(opts_of no_hints false) k in
     let compiled = Compile.compile ~target ~profile result.Driver.vkernel in
@@ -212,11 +236,11 @@ let lower_cmd =
        ~doc:"Run the online stage and print target machine code.")
     Term.(
       const run $ kernel_arg $ file_arg $ no_hints_arg $ target_arg
-      $ profile_arg)
+      $ profile_arg $ vl_arg)
 
 let run_cmd =
-  let run kernel no_hints target profile scale =
-    let target = resolve_target target in
+  let run kernel no_hints target profile scale vl =
+    let target = resolve_target ?vl target in
     let entry = resolve_kernel (Option.value ~default:"saxpy_fp" kernel) in
     let module Flows = Vapor_harness.Flows in
     let r =
@@ -237,7 +261,104 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile a suite kernel and simulate it.")
     Term.(
       const run $ kernel_arg $ no_hints_arg $ target_arg $ profile_arg
-      $ scale_arg)
+      $ scale_arg $ vl_arg)
+
+let conform_cmd =
+  let digest_arg =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "Also print one content digest per kernel over the JIT output \
+             buffers, with no target column — so listings from different \
+             vector lengths of one late-bound target can be diffed for \
+             cross-VL bit-identity.")
+  in
+  let run kernel no_hints target profile scale vl digest =
+    let target = resolve_target ?vl target in
+    let module Buffer_ = Vapor_ir.Buffer_ in
+    let module Eval = Vapor_ir.Eval in
+    let module Veval = Vapor_vecir.Veval in
+    let entries =
+      match kernel with Some n -> [ resolve_kernel n ] | None -> Suite.all
+    in
+    let opts = opts_of no_hints false in
+    let n_fail = ref 0 in
+    List.iter
+      (fun (entry : Suite.entry) ->
+        let result = Driver.vectorize ~opts (Suite.kernel entry) in
+        let vk = result.Driver.vkernel in
+        let args = entry.Suite.args ~scale in
+        let ref_args =
+          List.map
+            (fun (n, a) ->
+              match a with
+              | Eval.Scalar v -> n, Eval.Scalar v
+              | Eval.Array b -> n, Eval.Array (Buffer_.copy b))
+            args
+        in
+        let verdict =
+          match
+            let compiled = Compile.compile ~target ~profile vk in
+            ignore (Vapor_harness.Exec.run target compiled ~args)
+          with
+          | () ->
+            let mode =
+              if Vapor_targets.Target.has_simd target then
+                Veval.Vector target.Vapor_targets.Target.vs
+              else Veval.Scalarized
+            in
+            ignore (Veval.run vk ~mode ~args:ref_args);
+            let ok =
+              List.for_all2
+                (fun (_, a) (_, b) ->
+                  match a, b with
+                  | Eval.Array x, Eval.Array y -> Buffer_.equal x y
+                  | _, _ -> true)
+                args ref_args
+            in
+            if ok then "OK" else "MISMATCH"
+          | exception e -> Printf.sprintf "ERROR (%s)" (Printexc.to_string e)
+        in
+        if verdict <> "OK" then incr n_fail;
+        if digest then
+          let d =
+            if Vapor_vecir.Bytecode.has_fp_reduction vk then
+              (* stable marker: bits legitimately follow the VL here *)
+              "fp-reduction (vl-variant)       "
+            else
+              Digest.to_hex
+                (Digest.string
+                   (String.concat "|"
+                      (List.map
+                         (fun (n, a) ->
+                           match a with
+                           | Eval.Array b ->
+                             n ^ ":" ^ Format.asprintf "%a" Buffer_.pp b
+                           | Eval.Scalar _ -> n)
+                         args)))
+          in
+          Printf.printf "%-18s %s %s\n" entry.Suite.name d verdict
+        else
+          Printf.printf "%-18s %-8s %-8s %s\n" entry.Suite.name
+            target.Vapor_targets.Target.name profile.Profile.name verdict)
+      entries;
+    if !n_fail > 0 then begin
+      Printf.printf "conformance: %d kernel(s) diverged on %s/%s\n" !n_fail
+        target.Vapor_targets.Target.name profile.Profile.name;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Differential conformance: run kernels through the JIT and \
+          bit-compare every output array against the reference interpreter \
+          (all suite kernels unless --kernel is given); exit 1 on any \
+          divergence.")
+    Term.(
+      const run $ kernel_arg $ no_hints_arg $ target_arg $ profile_arg
+      $ scale_arg $ vl_arg $ digest_arg)
 
 let stat_cmd =
   let run kernel file =
@@ -1313,6 +1434,254 @@ let parse_serve_script lines =
     wl_arrivals = Array.of_list arrivals;
   }
 
+(* --- heterogeneous fleet -------------------------------------------------
+   A seeded mixed population of machine descriptors over the seven target
+   archetypes; SVE machines draw a per-machine vector length from
+   {128, 256, 512} bits and are pinned to it (late-bound VF resolved at
+   the machine).  splitmix64, self-contained like {!Trace}'s. *)
+
+let fleet_population ~seed ~machines : Vapor_targets.Target.t list =
+  let module T = Vapor_targets.Target in
+  let state = ref (Int64.of_int (0x5eed0000 + seed)) in
+  let mix () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let rand n =
+    Int64.to_int (Int64.rem (Int64.logand (mix ()) Int64.max_int) (Int64.of_int n))
+  in
+  List.init machines (fun _ ->
+      match rand 7 with
+      | 0 -> Targets.target (* scalar *)
+      | 1 -> Vapor_targets.Sse.target
+      | 2 -> Vapor_targets.Avx.target
+      | 3 -> Vapor_targets.Neon.target
+      | 4 -> Vapor_targets.Altivec.target
+      | 5 -> T.resolve ~vl:(16 lsl rand 3) Vapor_targets.Sve.target
+      | _ -> Vapor_targets.Avx512.target)
+
+let fleet_describe (targets : Vapor_targets.Target.t list) =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Vapor_targets.Target.t) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts t.Vapor_targets.Target.name) in
+      Hashtbl.replace counts t.Vapor_targets.Target.name (n + 1))
+    targets;
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts []
+  |> List.sort compare
+  |> List.map (fun (name, n) -> Printf.sprintf "%s:%d" name n)
+  |> String.concat " "
+
+(* The fleet's mid-trace capability changes: SSE machines upgrade to
+   AVX-512 and NEON machines to SVE (the Revec rejuvenation scenario, in
+   the upgrade direction), plus an optional AVX -> scalar drop. *)
+let fleet_retargets ~upgrade_at ~drop_at =
+  let module T = Vapor_targets.Target in
+  let ups =
+    match upgrade_at with
+    | None -> []
+    | Some at ->
+      [
+        at, Vapor_targets.Sse.target, Vapor_targets.Avx512.target;
+        at, Vapor_targets.Neon.target, T.resolve Vapor_targets.Sve.target;
+      ]
+  in
+  let drops =
+    match drop_at with
+    | None -> []
+    | Some at -> [ at, Vapor_targets.Avx.target, Targets.target ]
+  in
+  ups @ drops
+
+let print_target_counters (stats : Stats.t) =
+  let rows =
+    List.filter
+      (fun name -> String.length name > 7 && String.sub name 0 7 = "target.")
+      (Stats.counter_names stats)
+  in
+  if rows <> [] then begin
+    Printf.printf "per-target runs:\n";
+    List.iter
+      (fun name -> Printf.printf "  %-36s %d\n" name (Stats.counter stats name))
+      rows
+  end
+
+let fleet_replay_cmd =
+  let machines_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "machines" ] ~docv:"N"
+          ~doc:"Fleet population size (seeded mix of the 7 archetypes).")
+  in
+  let fleet_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "fleet-seed" ] ~docv:"N"
+          ~doc:"Seed for the population draw (independent of --seed).")
+  in
+  let upgrade_at_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "upgrade-at" ] ~docv:"EVENT"
+          ~doc:
+            "Trace index at which SSE machines upgrade to AVX-512 and \
+             NEON machines to SVE (default: a third of the trace; -1 \
+             disables upgrades).")
+  in
+  let drop_at_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "drop-at" ] ~docv:"EVENT"
+          ~doc:
+            "Trace index at which AVX machines drop to scalar serving \
+             (default: no drop).")
+  in
+  let length_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "length" ] ~docv:"N" ~doc:"Trace length in events.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Trace seed.")
+  in
+  let hotness_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "hotness" ] ~docv:"N"
+          ~doc:"Interpreter invocations before JIT promotion.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Session-pool shards; the drain report is identical for any N.")
+  in
+  let streams_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "streams" ] ~docv:"N" ~doc:"Ingress streams.")
+  in
+  let kernels_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "kernels" ] ~docv:"NAMES"
+          ~doc:"Comma-separated kernel subset (default: the standard mix).")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export the metrics registry (including the per-target \
+             counters) to $(docv): Prometheus text, or JSON for .json \
+             paths.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the service report as JSON instead.")
+  in
+  let run profile machines fleet_seed upgrade_at drop_at length seed hotness
+      domains streams kernels metrics_out json =
+    let population = fleet_population ~seed:fleet_seed ~machines in
+    let upgrade_at =
+      match upgrade_at with
+      | Some at when at < 0 -> None
+      | Some at -> Some at
+      | None -> Some (length / 3)
+    in
+    let kernels =
+      Option.map (List.map (fun n -> (resolve_kernel n).Suite.name)) kernels
+    in
+    let trace =
+      Trace.standard ~seed ?kernels ~length ~n_targets:machines ()
+    in
+    let cfg =
+      {
+        (Service.default_config ~targets:population) with
+        Service.cfg_profile = profile;
+        cfg_hotness = hotness;
+        cfg_retargets = fleet_retargets ~upgrade_at ~drop_at;
+        cfg_label_targets = true;
+      }
+    in
+    let serve_cfg =
+      {
+        Serve.sv_service = cfg;
+        sv_domains = domains;
+        sv_lanes = 2;
+        sv_budget = 8;
+        sv_backlog = backlog_of 0;
+        sv_faults = None;
+        sv_breaker_threshold = 3;
+        sv_breaker_cooldown = 1_000_000;
+        sv_max_batch = 1;
+        sv_batch_window = 1024;
+        sv_checkpoint_every = 0;
+        sv_journal_dir = None;
+        sv_restart_limit = 3;
+        sv_lane_stall_limit = 8192;
+        sv_crash_at = [];
+        sv_wedge_at = [];
+      }
+    in
+    let wl = Workload.of_trace ~streams trace in
+    let stats = Stats.create () in
+    let rep = Serve.run ~stats serve_cfg wl in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (if Filename.check_suffix path ".json" then Stats.to_json stats
+           else Stats.to_prometheus stats);
+        close_out oc)
+      metrics_out;
+    if json then print_string (Service.report_to_json rep.Serve.sr_service)
+    else begin
+      Printf.printf
+        "fleet-replay: %d machines [%s], %d events (seed %d, %s profile)\n"
+        machines (fleet_describe population) length seed profile.Profile.name;
+      (match upgrade_at with
+      | Some at ->
+        Printf.printf
+          "  upgrades at event %d: sse -> avx512, neon -> sve\n" at
+      | None -> ());
+      (match drop_at with
+      | Some at -> Printf.printf "  drop at event %d: avx -> scalar\n" at
+      | None -> ());
+      Serve.print_report rep;
+      print_target_counters stats
+    end;
+    serve_verdict rep ~chaos:false
+  in
+  Cmd.v
+    (Cmd.info "fleet-replay"
+       ~doc:
+         "Drive one vectorized bytecode stream through a seeded \
+          heterogeneous fleet of scalar/SSE/AVX/NEON/AltiVec/SVE/AVX-512 \
+          machines, with mid-trace capability upgrades (SSE to AVX-512, \
+          NEON to SVE) rejuvenating cached code, per-target labeled \
+          metrics, and the serving layer's conservation checks.")
+    Term.(
+      const run $ profile_arg $ machines_arg $ fleet_seed_arg
+      $ upgrade_at_arg $ drop_at_arg $ length_arg $ seed_arg $ hotness_arg
+      $ domains_arg $ streams_arg $ kernels_arg $ metrics_out_arg $ json_arg)
+
 let serve_cmd =
   let script_arg =
     Arg.(
@@ -1440,10 +1809,26 @@ let serve_cmd =
             "Virtual cycles a wedged lane may hold its members before \
              the watchdog times them out.")
   in
+  let fleet_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fleet" ] ~docv:"N"
+          ~doc:
+            "Serve over a seeded heterogeneous fleet of $(docv) machines \
+             instead of one --target: scripted events spread round-robin \
+             across the population and runtime counters are labeled per \
+             resolved target (0 = off).")
+  in
+  let fleet_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "fleet-seed" ] ~docv:"N"
+          ~doc:"Seed for the --fleet population draw.")
+  in
   let run target profile script domains lanes budget backlog hotness
       breaker_threshold breaker_cooldown max_batch batch_window store_dir
       metrics_out crash_rate crash_seed checkpoint_every journal_dir
-      restart_limit lane_stall_limit =
+      restart_limit lane_stall_limit fleet fleet_seed =
     let target = resolve_target target in
     let max_batch = resolve_positive ~flag:"max-batch" max_batch in
     let batch_window = resolve_positive ~flag:"batch-window" batch_window in
@@ -1488,13 +1873,40 @@ let serve_cmd =
       | Some f ->
         { Vapor_runtime.Tiered.no_guard with Vapor_runtime.Tiered.g_faults = Some f }
     in
+    let population =
+      if fleet > 0 then fleet_population ~seed:fleet_seed ~machines:fleet
+      else [ target ]
+    in
+    let wl =
+      (* Scripted events all carry ev_target = 0; a fleet spreads them
+         round-robin (by global arrival sequence) over the population so
+         every machine archetype serves traffic. *)
+      if fleet <= 0 then wl
+      else
+        {
+          wl with
+          Workload.wl_arrivals =
+            Array.map
+              (fun a ->
+                {
+                  a with
+                  Workload.ar_event =
+                    {
+                      a.Workload.ar_event with
+                      Trace.ev_target = a.Workload.ar_seq mod fleet;
+                    };
+                })
+              wl.Workload.wl_arrivals;
+        }
+    in
     let cfg =
       {
-        (Service.default_config ~targets:[ target ]) with
+        (Service.default_config ~targets:population) with
         Service.cfg_profile = profile;
         cfg_hotness = hotness;
         cfg_guard = guard;
         cfg_store = store;
+        cfg_label_targets = fleet > 0;
       }
     in
     let serve_cfg =
@@ -1517,6 +1929,9 @@ let serve_cmd =
         sv_wedge_at = [];
       }
     in
+    if fleet > 0 then
+      Printf.printf "fleet    : %d machines (%s), seed %d\n" fleet
+        (fleet_describe population) fleet_seed;
     let stats = Stats.create () in
     let rep = Serve.run ~stats serve_cfg wl in
     Option.iter
@@ -1528,6 +1943,7 @@ let serve_cmd =
         close_out oc)
       metrics_out;
     Serve.print_report rep;
+    if fleet > 0 then print_target_counters stats;
     serve_verdict rep ~chaos:false
   in
   Cmd.v
@@ -1543,7 +1959,8 @@ let serve_cmd =
       $ breaker_threshold_arg $ breaker_cooldown_arg $ max_batch_arg
       $ batch_window_arg $ store_arg $ metrics_out_arg $ crash_rate_arg
       $ crash_seed_arg $ checkpoint_every_arg $ journal_arg
-      $ restart_limit_arg $ lane_stall_limit_arg)
+      $ restart_limit_arg $ lane_stall_limit_arg $ fleet_arg
+      $ fleet_seed_arg)
 
 (* --- vaporc cache: persistent-store maintenance -------------------------
    None of these create a store: pointing them at a missing or unusable
@@ -1832,10 +2249,10 @@ let () =
   let group =
     Cmd.group info
       [
-        list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; stat_cmd;
-        encode_cmd; disasm_cmd; serve_replay_cmd; chaos_replay_cmd;
-        serve_bench_cmd; serve_cmd; cache_cmd; journal_cmd; jit_report_cmd;
-        experiments_cmd;
+        list_cmd; dump_ir_cmd; vectorize_cmd; lower_cmd; run_cmd; conform_cmd;
+        stat_cmd; encode_cmd; disasm_cmd; serve_replay_cmd; chaos_replay_cmd;
+        serve_bench_cmd; serve_cmd; fleet_replay_cmd; cache_cmd; journal_cmd;
+        jit_report_cmd; experiments_cmd;
       ]
   in
   let die msg =

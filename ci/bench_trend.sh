@@ -69,11 +69,18 @@ regressions=$(jq -rn --slurpfile base "$baseline" --slurpfile cur "$current" '
     | select($b.batched_events_per_s != null and $b.batched_events_per_s > 0
              and (.batched_events_per_s // 0) < $b.batched_events_per_s / 10)
     | "batch.batched_events_per_s: \($b.batched_events_per_s) -> \(.batched_events_per_s)";
+  def fleet_hib:
+    ($base[0].fleet // {}) as $b
+    | ($cur[0].fleet // {})
+    | select($b.events_per_s != null and $b.events_per_s > 0
+             and (.events_per_s // 0) < $b.events_per_s / 10)
+    | "fleet.events_per_s: \($b.events_per_s) -> \(.events_per_s)";
   [ hib("replay"; "target"; "fast_events_per_s"),
     hib("domains"; "domains"; "events_per_s"),
     store_hib,
     serve_hib,
     batch_hib,
+    fleet_hib,
     micro_lib ]
   | .[]' 2>/dev/null || true)
 
@@ -155,6 +162,29 @@ if ! jq -en --argjson o "$joverhead" '$o <= 1.10' > /dev/null; then
   exit 1
 fi
 
+# --- heterogeneous fleet (hard invariants) ----------------------------------
+# Serving one trace across the mixed target population must produce a drain
+# report byte-identical across domain counts, actually rejuvenate bodies on
+# the mid-trace capability upgrades, and a warm fleet run over a persistent
+# store must recompile nothing and reproduce the cold report.
+if [ "$(jq -r '.fleet.report_identical // "missing"' "$current")" != "true" ]; then
+  echo "FAIL: fleet.report_identical != true (fleet drain varies with domains)"
+  exit 1
+fi
+if [ "$(jq -r '.fleet.warm_real_compiles // "missing"' "$current")" != "0" ]; then
+  echo "FAIL: fleet.warm_real_compiles != 0 (warm fleet run recompiled)"
+  exit 1
+fi
+if [ "$(jq -r '.fleet.warm_report_identical // "missing"' "$current")" != "true" ]; then
+  echo "FAIL: fleet.warm_report_identical != true (warm fleet report diverged)"
+  exit 1
+fi
+rejuv=$(jq -r '.fleet.rejuvenations // "missing"' "$current")
+if [ "$rejuv" = "missing" ] || [ "$rejuv" = "0" ]; then
+  echo "FAIL: fleet.rejuvenations == ${rejuv} (capability upgrades recompiled nothing)"
+  exit 1
+fi
+
 # --- multi-domain scaling (cores-aware) -------------------------------------
 # pool_run clamps spawned OS domains to the machine's core count, so the
 # 4-domain target only applies where 4 cores existed when BENCH.json was
@@ -187,3 +217,4 @@ echo "OK: BENCH.json matches baseline structure, no >10x regression"
 echo "OK: serving invariants hold; domains 4/1 ratio ${ratio}x on ${cores} cores"
 echo "OK: batched dispatch ${bspeed}x of unbatched, reports identical"
 echo "OK: crash recovery byte-identical, journaling overhead ${joverhead}x (<= 1.10x)"
+echo "OK: fleet drain domain-invariant, ${rejuv} rejuvenations, warm fleet recompiled nothing"

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Cross-target conformance matrix:
+#   conformance_matrix.sh VAPORC [TARGET]
+#
+# Runs the full kernel suite through the JIT on every target (or just
+# TARGET when given) under both optimization profiles, bit-comparing
+# every output array against the reference interpreter (`vaporc
+# conform`), then sweeps the late-bound SVE target across vector
+# lengths 128/256/512:
+#   1. each VL's JIT output must bit-match its reference interpreter;
+#   2. the --digest listings for all three VLs must be byte-identical —
+#      every kernel without an FP reduction produces the same bits at
+#      every VL (FP-reduction kernels print a stable `vl-variant`
+#      marker: their partial-sum partition follows the vector factor,
+#      and FP addition does not reassociate).
+set -euo pipefail
+
+vaporc="${1:?usage: conformance_matrix.sh VAPORC [TARGET]}"
+only="${2:-}"
+
+targets=(scalar sse avx neon altivec sve avx512)
+profiles=(mono gcc4cli)
+
+if [ -n "$only" ]; then
+  targets=("$only")
+fi
+
+fail=0
+
+for t in "${targets[@]}"; do
+  for p in "${profiles[@]}"; do
+    echo "== conform: target=$t profile=$p =="
+    if ! "$vaporc" conform -t "$t" -p "$p"; then
+      echo "FAIL: suite diverged on $t/$p"
+      fail=1
+    fi
+  done
+done
+
+# Late-bound VL sweep: only when SVE is in scope.
+sweep=0
+for t in "${targets[@]}"; do
+  [ "$t" = sve ] && sweep=1
+done
+
+if [ "$sweep" = 1 ]; then
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  for vl in 128 256 512; do
+    echo "== conform: target=sve --vl $vl (digest) =="
+    if ! "$vaporc" conform -t sve --vl "$vl" --digest \
+        | tee "$tmp/sve$vl.digest"; then
+      echo "FAIL: suite diverged on sve at VL $vl"
+      fail=1
+    fi
+  done
+  for vl in 256 512; do
+    if ! cmp -s "$tmp/sve128.digest" "$tmp/sve$vl.digest"; then
+      echo "FAIL: SVE output bits differ between VL 128 and VL $vl:"
+      diff "$tmp/sve128.digest" "$tmp/sve$vl.digest" || true
+      fail=1
+    fi
+  done
+  [ "$fail" = 0 ] && echo "OK: SVE bit-identical across VLs 128/256/512"
+fi
+
+if [ "$fail" != 0 ]; then
+  echo "FAIL: conformance matrix"
+  exit 1
+fi
+echo "OK: conformance matrix (${targets[*]} x ${profiles[*]})"

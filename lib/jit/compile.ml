@@ -48,6 +48,9 @@ let ns_per_node = 60.0
 let compile ?(force_scalar = fun _ -> false) ?(known_aligned = fun _ -> true)
     ?(known_disjoint = fun _ _ -> true) ~(target : Target.t)
     ~(profile : Profile.t) (vk : B.vkernel) : t =
+  (* Late-bound targets (SVE) must be pinned to a concrete vector length
+     before any code is emitted; for concrete targets this is the identity. *)
+  let target = Target.resolve target in
   let module Stage = Vapor_obs.Stage in
   let t0 = Stage.start () in
   let an =

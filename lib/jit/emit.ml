@@ -29,6 +29,9 @@ type ctx = {
   mutable nodes : int; (* bytecode nodes visited: JIT-time model *)
   (* region context while emitting *)
   mutable cur_region : Lower.region option;
+  (* active lane predicate while emitting a masked tail: vector loads and
+     stores become VMaskedLoad/VMaskedStore under it *)
+  mutable mask : M.reg option;
 }
 
 let emit ctx i = ctx.code <- i :: ctx.code
@@ -291,11 +294,14 @@ and compile_vexpr ctx (e : B.vexpr) : M.reg =
     let r = fresh_vr ctx in
     emit ctx (M.Vinsert (ty, r, rsplat, 0, rv));
     r
-  | B.V_aload (ty, arr, idx) ->
+  | B.V_aload (ty, arr, idx) -> (
     let a = compile_address ctx ~elem:ty arr idx in
     let r = fresh_vr ctx in
-    emit ctx (M.VLoad (M.VM_aligned, ty, r, a));
-    r
+    match ctx.mask with
+    | Some m -> emit ctx (M.VMaskedLoad (ty, r, m, a)); r
+    | None ->
+      emit ctx (M.VLoad (M.VM_aligned, ty, r, a));
+      r)
   | B.V_load (ty, arr, idx, hint) -> compile_vector_load ctx ty arr idx hint
   | B.V_align_load (ty, arr, idx) ->
     let a = compile_address ctx ~elem:ty arr idx in
@@ -431,6 +437,14 @@ and compile_vexpr ctx (e : B.vexpr) : M.reg =
 
 and compile_vector_load ctx ty arr idx hint : M.reg =
   let target = ctx.target in
+  match ctx.mask with
+  | Some m ->
+    (* masked tail: predicated load, no alignment requirement *)
+    let a = compile_address ctx ~elem:ty arr idx in
+    let r = fresh_vr ctx in
+    emit ctx (M.VMaskedLoad (ty, r, m, a));
+    r
+  | None ->
   if Hint.aligned_for ~vs:target.Target.vs hint then begin
     let a = compile_address ctx ~elem:ty arr idx in
     let r = fresh_vr ctx in
@@ -458,6 +472,118 @@ and compile_vector_load ctx ty arr idx hint : M.reg =
     r
   end
   else errorf "vector load not lowerable (prescan bug)"
+
+(* --- predicated tails --------------------------------------------------- *)
+
+(* On native-masking targets (SVE, AVX-512) the scalar epilogue of a
+   vectorized region can be replaced by ONE predicated vector iteration:
+   mask = (iota(i) < n), the region's vector body re-emitted with masked
+   loads/stores.  Only elementwise bodies qualify — a single flat list of
+   vector assigns/stores over one element size (4 or 8 bytes, so the iota
+   mask cannot overflow its lane type), no loop-carried vector variables
+   (reductions keep their scalar epilogue: per-lane order differs), and no
+   lane-crossing idioms (pack/unpack/extract/interleave/realign).  The
+   per-lane values are bit-identical to the scalar epilogue's because both
+   sides evaluate Value ops at the same source types. *)
+let maskable_body ctx (body : B.vstmt list) : Src_type.t option =
+  let flat =
+    List.for_all
+      (function B.VS_vassign _ | B.VS_vstore _ -> true | _ -> false)
+      body
+  in
+  if not flat then None
+  else begin
+    let bad = ref false in
+    let sizes = ref [] in
+    let push ty = sizes := Src_type.size_of ty :: !sizes in
+    let assigned_all = Hashtbl.create 4 in
+    List.iter
+      (function
+        | B.VS_vassign (v, _) -> Hashtbl.replace assigned_all v ()
+        | _ -> ())
+      body;
+    let defined = Hashtbl.create 4 in
+    let rec vx (e : B.vexpr) =
+      match e with
+      | B.V_var v ->
+        (* reading a body-assigned vvar before its assignment would be a
+           loop-carried dependence (a reduction) *)
+        if Hashtbl.mem assigned_all v && not (Hashtbl.mem defined v) then
+          bad := true;
+        (match Hashtbl.find_opt ctx.vvar_types v with
+        | Some ty -> push ty
+        | None -> ())
+      | B.V_binop (_, ty, a, b) | B.V_cmp (_, ty, a, b) ->
+        push ty;
+        vx a;
+        vx b
+      | B.V_unop (_, ty, a) | B.V_shift (_, ty, a, _) ->
+        push ty;
+        vx a
+      | B.V_cvt (t1, t2, a) ->
+        push t1;
+        push t2;
+        vx a
+      | B.V_init_uniform (ty, _) | B.V_init_affine (ty, _, _) -> push ty
+      | B.V_load (ty, _, _, _) | B.V_aload (ty, _, _) -> push ty
+      | B.V_select (ty, m, a, b) ->
+        push ty;
+        vx m;
+        vx a;
+        vx b
+      | B.V_init_reduc _ | B.V_align_load _ | B.V_get_rt _ | B.V_realign _
+      | B.V_widen_mult _ | B.V_dot_product _ | B.V_unpack _ | B.V_pack _
+      | B.V_extract _ | B.V_interleave _ ->
+        bad := true
+    in
+    List.iter
+      (fun (s : B.vstmt) ->
+        match s with
+        | B.VS_vassign (v, e) ->
+          vx e;
+          Hashtbl.replace defined v ()
+        | B.VS_vstore { B.st_ty; st_value; _ } ->
+          push st_ty;
+          vx st_value
+        | _ -> ())
+      body;
+    match !sizes with
+    | [] -> None
+    | sz :: rest
+      when (not !bad) && (sz = 4 || sz = 8) && List.for_all (( = ) sz) rest ->
+      Some (if sz = 8 then Src_type.I64 else Src_type.I32)
+    | _ -> None
+  end
+
+(* Does [VS_if (sentinel, vec, _) :: VS_for epi] qualify for a predicated
+   tail?  Returns the region and the region's (single, unrolled-by-1)
+   vector loop. *)
+let masked_tail_plan ctx (vec : B.vstmt list) (epi : B.vloop) :
+    (Lower.region * B.vloop * Src_type.t) option =
+  if not ctx.target.Target.native_masking then None
+  else
+    match Lower.region_of_if ctx.an vec with
+    | Some rg when rg.Lower.rg_decision = Lower.Vectorize -> (
+      let is_epilogue =
+        epi.B.kind = B.L_scalar
+        && (match epi.B.lo with B.S_loop_bound _ -> true | _ -> false)
+        && match epi.B.step with B.S_int (_, 1) -> true | _ -> false
+      in
+      let vfors =
+        List.filter_map
+          (fun (s : B.vstmt) ->
+            match s with
+            | B.VS_for ({ B.kind = B.L_vector; _ } as v) -> Some v
+            | _ -> None)
+          vec
+      in
+      match vfors with
+      | [ vfor ] when is_epilogue && vfor.B.group = 1 -> (
+        match maskable_body ctx vfor.B.body with
+        | Some ity -> Some (rg, vfor, ity)
+        | None -> None)
+      | _ -> None)
+    | Some _ | None -> None
 
 (* --- statement compilation --------------------------------------------- *)
 
@@ -506,15 +632,18 @@ let rec compile_stmt ctx (s : B.vstmt) =
       | Some rg when Hashtbl.mem rg.Lower.rg_demoted v ->
         emit ctx (M.VSpill (Hashtbl.find rg.Lower.rg_demoted v, dst))
       | _ -> ()))
-  | B.VS_vstore { B.st_arr; st_idx; st_ty; st_value; st_hint } ->
+  | B.VS_vstore { B.st_arr; st_idx; st_ty; st_value; st_hint } -> (
     let r = compile_vexpr ctx st_value in
     let a = compile_address ctx ~elem:st_ty st_arr st_idx in
-    let kind =
-      if Hint.aligned_for ~vs:ctx.target.Target.vs st_hint then M.VM_aligned
-      else if ctx.target.Target.misaligned_store then M.VM_misaligned
-      else errorf "vector store not lowerable (prescan bug)"
-    in
-    emit ctx (M.VStore (kind, st_ty, a, r))
+    match ctx.mask with
+    | Some m -> emit ctx (M.VMaskedStore (st_ty, a, m, r))
+    | None ->
+      let kind =
+        if Hint.aligned_for ~vs:ctx.target.Target.vs st_hint then M.VM_aligned
+        else if ctx.target.Target.misaligned_store then M.VM_misaligned
+        else errorf "vector store not lowerable (prescan bug)"
+      in
+      emit ctx (M.VStore (kind, st_ty, a, r)))
   | B.VS_for { index; lo; hi; step; body; _ } ->
     let idx_ty = try var_type ctx index with _ -> Src_type.I32 in
     Hashtbl.replace ctx.var_types index idx_ty;
@@ -527,7 +656,7 @@ let rec compile_stmt ctx (s : B.vstmt) =
     let l_end = fresh_label ctx in
     emit ctx (M.Label l_head);
     emit ctx (M.Br (Op.Ge, r_i, r_hi, l_end));
-    List.iter (compile_stmt ctx) body;
+    compile_stmts ctx body;
     emit ctx (M.Sop (Op.Add, Src_type.I32, r_i, r_i, r_step));
     emit ctx (M.Jmp l_head);
     emit ctx (M.Label l_end)
@@ -538,9 +667,9 @@ let rec compile_stmt ctx (s : B.vstmt) =
       | Lower.Vectorize ->
         let saved = ctx.cur_region in
         ctx.cur_region <- Some rg;
-        List.iter (compile_stmt ctx) vec;
+        compile_stmts ctx vec;
         ctx.cur_region <- saved
-      | Lower.Scalarize _ -> List.iter (compile_stmt ctx) els)
+      | Lower.Scalarize _ -> compile_stmts ctx els)
     | None -> errorf "sentinel region not analyzed")
   | B.VS_if (c, t, e) ->
     let rc = compile_sexpr ctx (resolve ctx c) in
@@ -548,15 +677,15 @@ let rec compile_stmt ctx (s : B.vstmt) =
     let l_else = fresh_label ctx in
     let l_end = fresh_label ctx in
     emit ctx (M.Br (Op.Eq, rc, rz, l_else));
-    List.iter (compile_stmt ctx) t;
+    compile_stmts ctx t;
     emit ctx (M.Jmp l_end);
     emit ctx (M.Label l_else);
-    List.iter (compile_stmt ctx) e;
+    compile_stmts ctx e;
     emit ctx (M.Label l_end)
   | B.VS_version ({ B.guard; vec; fallback } as v) -> (
     match Lower.guard_res ctx.an v with
-    | Lower.G_static true -> List.iter (compile_stmt ctx) vec
-    | Lower.G_static false -> List.iter (compile_stmt ctx) fallback
+    | Lower.G_static true -> compile_stmts ctx vec
+    | Lower.G_static false -> compile_stmts ctx fallback
     | Lower.G_dynamic ->
       let arrs =
         match guard with
@@ -578,11 +707,74 @@ let rec compile_stmt ctx (s : B.vstmt) =
           emit ctx (M.Sop (Op.And, Src_type.I64, rr, ra, rm));
           emit ctx (M.Br (Op.Ne, rr, rz, l_fb)))
         arrs;
-      List.iter (compile_stmt ctx) vec;
+      compile_stmts ctx vec;
       emit ctx (M.Jmp l_end);
       emit ctx (M.Label l_fb);
-      List.iter (compile_stmt ctx) fallback;
+      compile_stmts ctx fallback;
       emit ctx (M.Label l_end))
+
+(* Statement lists get one peephole: on native-masking targets a
+   vectorized region followed by its scalar epilogue loop compiles to the
+   region plus ONE predicated vector iteration instead of the scalar
+   remainder loop. *)
+and compile_stmts ctx (stmts : B.vstmt list) =
+  match stmts with
+  | (B.VS_if (c, vec, _) as s) :: ((B.VS_for epi :: rest) as tail)
+    when Lower.is_sentinel c -> (
+    match masked_tail_plan ctx vec epi with
+    | Some (rg, vfor, ity) ->
+      compile_stmt ctx s;
+      ctx.nodes <- ctx.nodes + 1;
+      emit_masked_tail ctx rg vfor epi ity;
+      compile_stmts ctx rest
+    | None ->
+      compile_stmt ctx s;
+      compile_stmts ctx tail)
+  | s :: rest ->
+    compile_stmt ctx s;
+    compile_stmts ctx rest
+  | [] -> ()
+
+(* Emit the predicated replacement for scalar epilogue [epi] of the
+   vectorized region [rg]: set the loop index to the vector loop's exit
+   bound, build mask = (iota(index) < n) in the body's uniform lane type,
+   and re-emit the vector loop body once under that mask (loads and
+   stores become VMaskedLoad/VMaskedStore).  Inactive lanes read zeros
+   and write nothing, and per-lane arithmetic is evaluated at the same
+   source types as the scalar epilogue, so array contents end up
+   bit-identical.  The index is left at the bound, as the scalar loop
+   would leave it. *)
+and emit_masked_tail ctx (rg : Lower.region) (vfor : B.vloop) (epi : B.vloop)
+    (ity : Src_type.t) =
+  let idx_ty = try var_type ctx epi.B.index with _ -> Src_type.I32 in
+  Hashtbl.replace ctx.var_types epi.B.index idx_ty;
+  let r_lo = compile_sexpr ctx (resolve ctx epi.B.lo) in
+  let r_i = var_reg ctx epi.B.index idx_ty in
+  emit ctx (M.Mov (r_i, r_lo));
+  let r_hi = compile_sexpr ctx (resolve ctx epi.B.hi) in
+  let l_end = fresh_label ctx in
+  emit ctx (M.Br (Op.Ge, r_i, r_hi, l_end));
+  (* the vector body indexes through the vector loop's own variable *)
+  if not (String.equal vfor.B.index epi.B.index) then begin
+    let vty = try var_type ctx vfor.B.index with _ -> Src_type.I32 in
+    Hashtbl.replace ctx.var_types vfor.B.index vty;
+    emit ctx (M.Mov (var_reg ctx vfor.B.index vty, r_i))
+  end;
+  let r_iota = fresh_vr ctx in
+  emit ctx (M.Viota (ity, r_iota, r_i, 1));
+  let r_splat = fresh_vr ctx in
+  emit ctx (M.Vsplat (ity, r_splat, r_hi));
+  let r_mask = fresh_vr ctx in
+  emit ctx (M.Vcmp (Op.Lt, ity, r_mask, r_iota, r_splat));
+  let saved_region = ctx.cur_region in
+  let saved_mask = ctx.mask in
+  ctx.cur_region <- Some rg;
+  ctx.mask <- Some r_mask;
+  List.iter (compile_stmt ctx) vfor.B.body;
+  ctx.mask <- saved_mask;
+  ctx.cur_region <- saved_region;
+  emit ctx (M.Mov (r_i, r_hi));
+  emit ctx (M.Label l_end)
 
 (* --- entry -------------------------------------------------------------- *)
 
@@ -606,6 +798,7 @@ let run ~(target : Target.t) ~(profile : Profile.t) ~(an : Lower.analysis)
       code = [];
       nodes = 0;
       cur_region = None;
+      mask = None;
     }
   in
   (* Types: params, array elements, locals, vector locals. *)
@@ -621,7 +814,7 @@ let run ~(target : Target.t) ~(profile : Profile.t) ~(an : Lower.analysis)
     vk.B.params;
   List.iter (fun (v, ty) -> Hashtbl.replace ctx.var_types v ty) vk.B.locals;
   List.iter (fun (v, ty) -> Hashtbl.replace ctx.vvar_types v ty) vk.B.vlocals;
-  List.iter (compile_stmt ctx) vk.B.body;
+  compile_stmts ctx vk.B.body;
   ( {
       Mfun.name = vk.B.name;
       instrs = Array.of_list (List.rev ctx.code);

@@ -41,7 +41,10 @@ let plan ?(stack_bytes = default_stack_bytes) ~(policy : policy)
       (fun (name, buf) ->
         let elem = buf.Buffer_.elem in
         let bytes = Buffer_.length buf * Src_type.size_of elem in
-        let aligned = (!cursor + 31) / 32 * 32 in
+        (* Bases are 64-byte aligned (strictly stronger than the mod-32
+           contract the hints promise) so 64-byte targets never fault on a
+           provably-aligned access either. *)
+        let aligned = (!cursor + 63) / 64 * 64 in
         let region =
           match policy name with
           | Aligned ->
@@ -63,7 +66,7 @@ let plan ?(stack_bytes = default_stack_bytes) ~(policy : policy)
         name, region)
       arrays
   in
-  let stack_base = (!cursor + 31) / 32 * 32 in
+  let stack_base = (!cursor + 63) / 64 * 64 in
   { regions; stack_base; total_bytes = stack_base + stack_bytes }
 
 let base_of t sym =

@@ -70,6 +70,11 @@ type t =
   | Vinterleave of half * Src_type.t * reg * reg * reg
   | Vcmp of Op.binop * Src_type.t * reg * reg * reg (* 0/1 mask *)
   | Vsel of Src_type.t * reg * reg * reg * reg (* dst <- mask ? a : b *)
+  | VMaskedLoad of Src_type.t * reg * reg * addr
+      (* dst <- load under 0/1 lane mask; inactive lanes read as zero and
+         touch no memory (SVE ld1 / AVX-512 vmovups zmm{k}{z}) *)
+  | VMaskedStore of Src_type.t * addr * reg * reg
+      (* store under mask (addr, mask, src); inactive lanes untouched *)
   | VSpill of int * reg (* raw vector save to spill slot *)
   | VReload of reg * int
   | Label of int
@@ -124,6 +129,8 @@ let rec defs_uses (i : t) : reg list * reg list =
   | Vinterleave (_, _, d, a, b) -> [ d ], [ a; b ]
   | Vcmp (_, _, d, a, b) -> [ d ], [ a; b ]
   | Vsel (_, d, m, a, b) -> [ d ], [ m; a; b ]
+  | VMaskedLoad (_, d, m, a) -> [ d ], m :: addr_uses a
+  | VMaskedStore (_, a, m, s) -> [], m :: s :: addr_uses a
   | VSpill (_, s) -> [], [ s ]
   | VReload (d, _) -> [ d ], []
   | Label _ | Jmp _ -> [], []
@@ -168,6 +175,8 @@ let rec map_regs f (i : t) : t =
   | Vinterleave (h, ty, d, a, b) -> Vinterleave (h, ty, f d, f a, f b)
   | Vcmp (op, ty, d, a, b) -> Vcmp (op, ty, f d, f a, f b)
   | Vsel (ty, d, m, a, b) -> Vsel (ty, f d, f m, f a, f b)
+  | VMaskedLoad (ty, d, m, a) -> VMaskedLoad (ty, f d, f m, fa a)
+  | VMaskedStore (ty, a, m, s) -> VMaskedStore (ty, fa a, f m, f s)
   | VSpill (slot, s) -> VSpill (slot, f s)
   | VReload (d, slot) -> VReload (f d, slot)
   | Label _ | Jmp _ -> i
@@ -234,6 +243,8 @@ let rec cost (t : Target.t) (i : t) : int =
   | Vinterleave _ -> c.Target.c_vinterleave
   | Vcmp _ -> c.Target.c_vop
   | Vsel _ -> c.Target.c_vop
+  | VMaskedLoad _ -> c.Target.c_vload_masked
+  | VMaskedStore _ -> c.Target.c_vstore_masked
   | VSpill _ -> c.Target.c_vstore_aligned
   | VReload _ -> c.Target.c_vload_aligned
   | Label _ -> 0
@@ -356,6 +367,10 @@ let rec to_string (i : t) : string =
       (r d) (r a) (r b)
   | Vsel (t, d, m, a, b) ->
     Printf.sprintf "vsel.%s %s, %s ? %s : %s" (ty t) (r d) (r m) (r a) (r b)
+  | VMaskedLoad (t, d, m, a) ->
+    Printf.sprintf "vldm.%s %s, %s, %s" (ty t) (r d) (r m) (addr_to_string a)
+  | VMaskedStore (t, a, m, s) ->
+    Printf.sprintf "vstm.%s %s, %s, %s" (ty t) (addr_to_string a) (r m) (r s)
   | VSpill (slot, s) -> Printf.sprintf "vspill [%d], %s" slot (r s)
   | VReload (d, slot) -> Printf.sprintf "vreload %s, [%d]" (r d) slot
   | Label l -> Printf.sprintf "L%d:" l

@@ -330,6 +330,38 @@ let rec exec st (i : Minstr.t) =
               if Value.to_int (vval_get Src_type.I64 vm l) <> 0 then
                 vval_get ty va l
               else vval_get ty vb l)))
+  | Minstr.VMaskedLoad (ty, d, m, a) ->
+    (* Predicated access: no alignment requirement (SVE ld1 / AVX-512
+       vmovups{k}); inactive lanes read as zero and touch no memory, so
+       bounds are only checked for active lanes. *)
+    let vm = get_vr st m in
+    let ea = effective st a in
+    let ml = lanes st ty in
+    let esize = Src_type.size_of ty in
+    set_vr st d
+      (vval_of_values ty
+         (Array.init ml (fun l ->
+              if Value.to_int (vval_get Src_type.I64 vm l) <> 0 then begin
+                check_bounds st (ea + (l * esize)) esize "masked vector load";
+                Layout.read_value st.mem ty (ea + (l * esize))
+              end
+              else Value.normalize ty
+                     (if Src_type.is_float ty then Value.Float 0.0
+                      else Value.Int 0))))
+  | Minstr.VMaskedStore (ty, a, m, s) ->
+    let vm = get_vr st m in
+    let v = get_vr st s in
+    let ea = effective st a in
+    let ml = lanes st ty in
+    let esize = Src_type.size_of ty in
+    if vval_lanes v <> ml then
+      faultf "masked vector store of %d lanes, expected %d" (vval_lanes v) ml;
+    for l = 0 to ml - 1 do
+      if Value.to_int (vval_get Src_type.I64 vm l) <> 0 then begin
+        check_bounds st (ea + (l * esize)) esize "masked vector store";
+        Layout.write_value st.mem ty (ea + (l * esize)) (vval_get ty v l)
+      end
+    done
   | Minstr.VSpill (slot, s) -> st.vspill.(slot) <- get_vr st s
   | Minstr.VReload (d, slot) -> set_vr st d st.vspill.(slot)
   | Minstr.Label _ | Minstr.Jmp _ | Minstr.Br _ ->
@@ -2217,7 +2249,9 @@ let prepare ~(target : Target.t) (f : Mfun.t) : plan =
             st.vr.(id) <- VInt r
           | _ -> exec st ins);
           next
-    | Minstr.Scmp _ | Minstr.Vcmp _ -> fallback ins
+    | Minstr.Scmp _ | Minstr.Vcmp _
+    | Minstr.VMaskedLoad _ | Minstr.VMaskedStore _ ->
+      fallback ins
   in
   let p_code = Array.mapi compile_action instrs in
   (* Parameter binders: per-name closures that keep List.assoc_opt (the

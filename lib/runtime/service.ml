@@ -16,10 +16,20 @@ type config = {
   cfg_max_entries : int;
   cfg_max_bytes : int;
   cfg_rejuvenate : (int * Target.t * Target.t) option;
+  (* Additional retarget triggers, each latched independently: capability
+     UPGRADES (sse -> avx512, neon -> sve) as well as drops, for the
+     heterogeneous-fleet scenario.  Each entry is (at_event, from, to),
+     same semantics as [cfg_rejuvenate]. *)
+  cfg_retargets : (int * Target.t * Target.t) list;
   cfg_guard : Tiered.guard;
   (* At trace index N the serving fleet loses SIMD capability: every
      SIMD target is rejuvenated down to the given scalar target. *)
   cfg_drop_simd : (int * Target.t) option;
+  (* Label runtime counters with the serving target's name
+     (target.<name>.{invocations,jit_runs,interp_runs}).  Off by default:
+     the extra counters would change report byte-identity for existing
+     replays. *)
+  cfg_label_targets : bool;
   cfg_engine : Tiered.engine;
   (* Persistent second tier, shared across processes and across the
      domains of a sharded replay (one session per domain, merged by a
@@ -35,8 +45,10 @@ let default_config ~targets =
     cfg_max_entries = 64;
     cfg_max_bytes = 256 * 1024;
     cfg_rejuvenate = None;
+    cfg_retargets = [];
     cfg_guard = Tiered.no_guard;
     cfg_drop_simd = None;
+    cfg_label_targets = false;
     cfg_engine = Tiered.Fast;
     cfg_store = None;
   }
@@ -149,6 +161,8 @@ type shard = {
     (string, Suite.entry * Vapor_vecir.Bytecode.vkernel * Digest.t) Hashtbl.t;
   sh_targets : Target.t array;
   mutable sh_rejuvenated : bool;
+  (* one latch per [cfg_retargets] entry *)
+  sh_retargeted : bool array;
   mutable sh_dropped : bool;
 }
 
@@ -215,6 +229,7 @@ let pool_create ?(tracer = Tracer.disabled) ?(shards = 1) (cfg : config)
       sh_table = Hashtbl.copy table;
       sh_targets = Array.of_list cfg.cfg_targets;
       sh_rejuvenated = false;
+      sh_retargeted = Array.make (List.length cfg.cfg_retargets) false;
       sh_dropped = false;
     }
   in
@@ -307,6 +322,14 @@ let fire_triggers pool ~shard (ev : Trace.event) =
     fired := true;
     retarget ~from_t ~to_t
   | _ -> ());
+  List.iteri
+    (fun i (at, from_t, to_t) ->
+      if (not sh.sh_retargeted.(i)) && ev.Trace.ev_index >= at then begin
+        sh.sh_retargeted.(i) <- true;
+        fired := true;
+        retarget ~from_t ~to_t
+      end)
+    cfg.cfg_retargets;
   (match cfg.cfg_drop_simd with
   | Some (at, scalar_t) when (not sh.sh_dropped) && ev.Trace.ev_index >= at ->
     (* The fleet loses its vector units: rejuvenate every SIMD target
@@ -360,6 +383,23 @@ let step_with pool ~shard (ev : Trace.event) ~target run =
   if Tracer.on tr then Stage.with_sink (Tracer.stage_sink tr) invoke
   else invoke ()
 
+(* Per-target labeled counters, identical on the live, batched, and
+   journal-replay paths so recovery replay reproduces them exactly.  The
+   label uses the RESOLVED name (a late-bound "sve" serves as its pinned
+   spelling). *)
+let note_target_run sh cfg ~(target : Target.t) (r : Tiered.run) =
+  if cfg.cfg_label_targets then begin
+    let base = "target." ^ (Target.resolve target).Target.name in
+    Stats.incr sh.sh_stats (base ^ ".invocations");
+    Stats.incr sh.sh_stats
+      (base
+      ^
+      match r.Tiered.r_tier with
+      | Tiered.Jit -> ".jit_runs"
+      | Tiered.Interpreter -> ".interp_runs")
+  end;
+  r
+
 let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
   let sh = pool.pl_shards.(shard) in
   let cfg = pool.pl_cfg in
@@ -370,8 +410,10 @@ let shard_step ?interp_only ?force_oracle pool ~shard (ev : Trace.event) =
   in
   let args = entry.Suite.args ~scale:ev.Trace.ev_scale in
   step_with pool ~shard ev ~target (fun () ->
-      Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
-        ?force_oracle sh.sh_tiered ~target ~profile:cfg.cfg_profile vk ~args)
+      note_target_run sh cfg ~target
+        (Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
+           ?force_oracle sh.sh_tiered ~target ~profile:cfg.cfg_profile vk
+           ~args))
 
 let shard_faults pool ~shard =
   pool.pl_shards.(shard).sh_guard.Tiered.g_faults
@@ -395,6 +437,7 @@ type shard_snap = {
   sp_faults : Faults.snap option;
   sp_targets : Target.t array;
   sp_rejuvenated : bool;
+  sp_retargeted : bool array;
   sp_dropped : bool;
 }
 
@@ -407,6 +450,7 @@ let shard_snapshot pool ~shard : shard_snap =
     sp_faults = Option.map Faults.snapshot sh.sh_guard.Tiered.g_faults;
     sp_targets = Array.copy sh.sh_targets;
     sp_rejuvenated = sh.sh_rejuvenated;
+    sp_retargeted = Array.copy sh.sh_retargeted;
     sp_dropped = sh.sh_dropped;
   }
 
@@ -423,6 +467,8 @@ let shard_restore pool ~shard (sp : shard_snap) =
   | _ -> ());
   Array.blit sp.sp_targets 0 sh.sh_targets 0 (Array.length sh.sh_targets);
   sh.sh_rejuvenated <- sp.sp_rejuvenated;
+  Array.blit sp.sp_retargeted 0 sh.sh_retargeted 0
+    (Array.length sh.sh_retargeted);
   sh.sh_dropped <- sp.sp_dropped
 
 (* Digest-level views for the on-disk checkpoint artifact. *)
@@ -457,9 +503,10 @@ let shard_replay_step ?interp_only ?force_oracle ?(real_compile = false) pool
          the crash is still staged — so the replay recompiles along the
          original path with the original fault draws. *)
       ignore
-        (Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
-           ?force_oracle ~discard_store_hit:real_compile sh.sh_tiered ~target
-           ~profile:cfg.cfg_profile vk ~args))
+        (note_target_run sh cfg ~target
+           (Tiered.invoke ~digest ~label:ev.Trace.ev_kernel ?interp_only
+              ?force_oracle ~discard_store_hit:real_compile sh.sh_tiered
+              ~target ~profile:cfg.cfg_profile vk ~args)))
 
 (* One batch of co-dispatched same-digest events: the shard it executes
    on plus the tiered runtime's duplicate-operand elision memo. *)
@@ -491,9 +538,10 @@ let shard_step_batch ?interp_only ?force_oracle pool ~batch (ev : Trace.event)
   in
   let args () = entry.Suite.args ~scale:ev.Trace.ev_scale in
   step_with pool ~shard ev ~target (fun () ->
-      Tiered.invoke_batch ~digest ~label:ev.Trace.ev_kernel ?interp_only
-        ?force_oracle ~batch:batch.bt_tiered ~memo_key sh.sh_tiered ~target
-        ~profile:cfg.cfg_profile vk ~args)
+      note_target_run sh cfg ~target
+        (Tiered.invoke_batch ~digest ~label:ev.Trace.ev_kernel ?interp_only
+           ?force_oracle ~batch:batch.bt_tiered ~memo_key sh.sh_tiered ~target
+           ~profile:cfg.cfg_profile vk ~args))
 
 (* Run the partitioned events: shard [i] processes [parts.(i)] in order.
    Logical shards are scheduling-independent, so at most

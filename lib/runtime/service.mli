@@ -20,6 +20,11 @@ type config = {
       (** [(at_event, from, to)]: at event [at_event], re-lower cached
           code from one target to another and redirect subsequent traffic
           (the Revec rejuvenation scenario) *)
+  cfg_retargets : (int * Target.t * Target.t) list;
+      (** additional retarget triggers, each latched independently —
+          capability upgrades (sse to avx512, neon to sve) as well as
+          drops, for the heterogeneous-fleet scenario; entries have
+          [cfg_rejuvenate] semantics *)
   cfg_guard : Tiered.guard;
       (** guarded-execution configuration; {!Tiered.no_guard} leaves the
           healthy path byte-identical *)
@@ -27,6 +32,10 @@ type config = {
       (** [(at_event, scalar)]: at event [at_event] every SIMD target is
           rejuvenated down to [scalar] — the mid-trace capability-loss
           fault *)
+  cfg_label_targets : bool;
+      (** label runtime counters with the resolved serving-target name
+          ([target.<name>.{invocations,jit_runs,interp_runs}]); off by
+          default so existing replay reports stay byte-identical *)
   cfg_engine : Tiered.engine;
       (** which execution engine serves invocations; {!Tiered.Fast} (the
           default) is report-identical to {!Tiered.Reference}, only

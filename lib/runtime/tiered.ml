@@ -656,6 +656,10 @@ let resolve ?digest ?label t ~(target : Target.t) ~(profile : Profile.t)
 let invoke ?digest ?label ?(interp_only = false) ?(force_oracle = false)
     ?(discard_store_hit = false) t ~(target : Target.t)
     ~(profile : Profile.t) (vk : B.vkernel) ~args =
+  (* Pin late-bound targets to a concrete vector length before keying any
+     cache: "sve" and its resolved spelling must not alias distinct
+     entries. *)
+  let target = Target.resolve target in
   let d, key, s = resolve ?digest ?label t ~target ~profile vk in
   note_invocation t s;
   let tr = t.tracer in
@@ -726,6 +730,7 @@ let batch_reset b =
 let invoke_batch ?digest ?label ?(interp_only = false) ?(force_oracle = false)
     ~batch ~memo_key t ~(target : Target.t) ~(profile : Profile.t)
     (vk : B.vkernel) ~(args : unit -> (string * Eval.arg) list) =
+  let target = Target.resolve target in
   let d, key, s = resolve ?digest ?label t ~target ~profile vk in
   let elidable =
     t.engine = Fast

@@ -22,6 +22,10 @@ let target : Target.t =
     gprs = 28 (* PowerPC: 32 GPRs minus reserved *);
     fprs = 28;
     vrs = 30;
+    vs_late_bound = false;
+    vl_min = 16;
+    vl_max = 16;
+    native_masking = false;
     costs =
       {
         Target.base_costs with

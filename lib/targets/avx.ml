@@ -18,6 +18,10 @@ let target : Target.t =
     gprs = 15 (* x86-64 *);
     fprs = 16;
     vrs = 16;
+    vs_late_bound = false;
+    vl_min = 32;
+    vl_max = 32;
+    native_masking = false;
     costs =
       {
         Target.base_costs with

@@ -1,0 +1,42 @@
+(* AVX-512 (Skylake-SP class, F/BW/DQ/VL): 64-byte vectors over the full
+   element-type set, with native masking — every load, store and blend
+   takes a k-register predicate, so the JIT's masked tail and if-converted
+   idioms lower directly instead of emulating with blends.  Misaligned
+   accesses are supported; cross-lane permutes are costlier than the
+   in-lane AVX shuffles. *)
+
+open Vapor_ir
+
+let target : Target.t =
+  {
+    Target.name = "avx512";
+    vs = 64;
+    vector_elems =
+      [
+        Src_type.I8; Src_type.I16; Src_type.I32; Src_type.I64; Src_type.U8;
+        Src_type.U16; Src_type.U32; Src_type.F32; Src_type.F64;
+      ];
+    misaligned_load = true;
+    misaligned_store = true;
+    explicit_realign = false;
+    has_dot_product = true (* vpmaddwd / vpdpwssd *);
+    has_x87 = true;
+    lib_ops = [];
+    gprs = 15 (* x86-64 *);
+    fprs = 16;
+    vrs = 32 (* zmm0-31 *);
+    vs_late_bound = false;
+    vl_min = 64;
+    vl_max = 64;
+    native_masking = true;
+    costs =
+      {
+        Target.base_costs with
+        Target.c_vload_misaligned = 3;
+        c_vstore_misaligned = 4;
+        c_vload_masked = 3 (* vmovups zmm{k} *);
+        c_vstore_masked = 4;
+        c_vperm = 2 (* cross-lane vpermps/vpermt2 *);
+        c_vreduce = 6 (* 512-bit horizontal: extract + narrow tree *);
+      };
+  }

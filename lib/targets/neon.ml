@@ -24,6 +24,10 @@ let target : Target.t =
     gprs = 13;
     fprs = 16;
     vrs = 16;
+    vs_late_bound = false;
+    vl_min = 8;
+    vl_max = 8;
+    native_masking = false;
     costs =
       {
         Target.base_costs with

@@ -15,13 +15,42 @@ let target : Target.t =
     gprs = 13;
     fprs = 16;
     vrs = 0;
+    vs_late_bound = false;
+    vl_min = 0;
+    vl_max = 0;
+    native_masking = false;
     costs = Target.base_costs;
   }
 
-let all_simd = [ Sse.target; Altivec.target; Neon.target; Avx.target ]
+(* Registry order: the 2011-era four first (existing reports and tests
+   iterate this list), the wide/scalable moderns appended. *)
+let all_simd =
+  [ Sse.target; Altivec.target; Neon.target; Avx.target; Sve.target;
+    Avx512.target ]
+
 let all = all_simd @ [ target ]
+
+(* VL-resolved spellings of late-bound targets ("sve128" .. "sve512") are
+   also accepted, so tooling that round-trips names through reports, the
+   store, or the cache can look the concrete descriptor back up. *)
+let find_resolved name =
+  List.find_map
+    (fun (t : Target.t) ->
+      if not t.Target.vs_late_bound then None
+      else
+        let rec scan vl =
+          if vl > t.Target.vl_max then None
+          else if String.equal name (t.Target.name ^ string_of_int (vl * 8))
+          then Some (Target.resolve ~vl t)
+          else scan (vl * 2)
+        in
+        scan t.Target.vl_min)
+    all
 
 let find name =
   match List.find_opt (fun (t : Target.t) -> String.equal t.Target.name name) all with
   | Some t -> t
-  | None -> invalid_arg ("unknown target " ^ name)
+  | None -> (
+    match find_resolved name with
+    | Some t -> t
+    | None -> invalid_arg ("unknown target " ^ name))

@@ -22,6 +22,10 @@ let target : Target.t =
     gprs = 7 (* 32-bit x86: 8 GPRs minus the stack pointer *);
     fprs = 8;
     vrs = 8 (* xmm0-7 in 32-bit mode *);
+    vs_late_bound = false;
+    vl_min = 16;
+    vl_max = 16;
+    native_masking = false;
     costs =
       {
         Target.base_costs with

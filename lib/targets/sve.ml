@@ -1,0 +1,45 @@
+(* ARM SVE: the vector length is a property of the *machine*, not the ISA —
+   any power of two from 128 to 2048 bits (we model 128..512, the shipped
+   range).  The descriptor is therefore late-bound: [vs] here is only a
+   representative default and [Target.resolve ~vl] must pin the real length
+   at JIT time, producing a VL-distinct concrete descriptor ("sve256").
+   Every lane-crossing idiom is native, loads/stores are predicated (no
+   alignment faults, hardware masking), and dot products are first-class
+   (sdot/udot). *)
+
+open Vapor_ir
+
+let target : Target.t =
+  {
+    Target.name = "sve";
+    vs = 32 (* representative 256-bit default; resolved per machine *);
+    vector_elems =
+      [
+        Src_type.I8; Src_type.I16; Src_type.I32; Src_type.I64; Src_type.U8;
+        Src_type.U16; Src_type.U32; Src_type.F32; Src_type.F64;
+      ];
+    misaligned_load = true;
+    misaligned_store = true;
+    explicit_realign = false;
+    has_dot_product = true (* sdot / udot *);
+    has_x87 = false;
+    lib_ops = [];
+    gprs = 29 (* AArch64: x0-x28 *);
+    fprs = 32;
+    vrs = 32 (* z0-z31 *);
+    vs_late_bound = true;
+    vl_min = 16 (* 128-bit *);
+    vl_max = 64 (* 512-bit *);
+    native_masking = true;
+    costs =
+      {
+        Target.base_costs with
+        (* every SVE load/store is predicated; alignment is a non-event *)
+        Target.c_vload_misaligned = 2;
+        c_vstore_misaligned = 3;
+        c_vload_masked = 2;
+        c_vstore_masked = 3;
+        c_viota = 1 (* index zd, #imm, #imm *);
+        c_vdot = 2;
+      };
+  }

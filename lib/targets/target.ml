@@ -35,6 +35,8 @@ type costs = {
   c_vcvt : int;
   c_vextract : int;
   c_vinterleave : int;
+  c_vload_masked : int; (* predicated/masked vector load *)
+  c_vstore_masked : int;
   c_branch : int;
   c_move : int;
   c_lea : int;
@@ -64,6 +66,10 @@ type t = {
   gprs : int; (* physical integer registers *)
   fprs : int; (* physical scalar FP registers *)
   vrs : int; (* physical vector registers *)
+  vs_late_bound : bool; (* VL unknown until JIT time (SVE-style) *)
+  vl_min : int; (* smallest implementable vector length, bytes *)
+  vl_max : int; (* largest implementable vector length, bytes *)
+  native_masking : bool; (* hardware predicated loads/stores/blends *)
   costs : costs;
 }
 
@@ -72,6 +78,45 @@ let lanes t ty = max 1 (t.vs / Src_type.size_of ty)
 let supports_elem t ty = List.mem ty t.vector_elems
 
 let has_simd t = t.vs > 0
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Resolve a late-bound descriptor against the vector length of the machine
+   actually running the code.  For SVE-style targets the descriptor in the
+   registry carries a [vl_min, vl_max] range and a representative default
+   [vs]; the JIT must pin the length before emitting code.  The resolved
+   descriptor gets a VL-distinct name ("sve" at 32 bytes -> "sve256") so
+   that every name-keyed layer — code cache, persistent store, simulator
+   plans, migration triggers — treats each concrete length as its own
+   machine.  Resolving a concrete target is the identity (the default
+   [?vl] must match its fixed size). *)
+let resolve ?vl t =
+  if not t.vs_late_bound then begin
+    (match vl with
+    | Some v when v <> t.vs ->
+      invalid_arg
+        (Printf.sprintf "Target.resolve: %s has a fixed %d-byte vector size"
+           t.name t.vs)
+    | Some _ | None -> ());
+    t
+  end
+  else begin
+    let v = match vl with Some v -> v | None -> t.vs in
+    if (not (is_pow2 v)) || v < t.vl_min || v > t.vl_max then
+      invalid_arg
+        (Printf.sprintf
+           "Target.resolve: %s vector length %d outside [%d,%d] or not a \
+            power of two"
+           t.name v t.vl_min t.vl_max);
+    {
+      t with
+      name = Printf.sprintf "%s%d" t.name (v * 8);
+      vs = v;
+      vs_late_bound = false;
+      vl_min = v;
+      vl_max = v;
+    }
+  end
 
 let base_costs =
   {
@@ -104,6 +149,10 @@ let base_costs =
     c_vcvt = 3;
     c_vextract = 2;
     c_vinterleave = 1;
+    (* masked accesses do not exist on the 2011-era targets; the sentinel
+       cost keeps any accidental emission visible in cycle reports *)
+    c_vload_masked = 1000;
+    c_vstore_masked = 1000;
     c_branch = 1;
     c_move = 1;
     c_lea = 1;

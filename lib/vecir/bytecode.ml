@@ -206,3 +206,50 @@ let rec fold_stmts f acc stmts =
         fold_stmts f (fold_stmts f acc vec) fallback
       | VS_assign _ | VS_store _ | VS_vassign _ | VS_vstore _ -> acc)
     acc stmts
+
+(* The partial-sum partition of a reduction follows the vector factor and
+   FP addition does not reassociate, so kernels detected here are the one
+   class whose output bits legitimately vary with a late-bound vector
+   length (each VL still bit-matches its own reference interpreter). *)
+let has_fp_reduction (vk : vkernel) : bool =
+  let rec sexpr e =
+    match e with
+    | S_reduc (_, ty, v) -> Src_type.is_float ty || vexpr v
+    | S_int _ | S_float _ | S_var _ | S_get_vf _ | S_align_limit _ -> false
+    | S_load (_, e) | S_unop (_, e) | S_convert (_, e) -> sexpr e
+    | S_binop (_, a, b) | S_loop_bound (a, b) -> sexpr a || sexpr b
+    | S_select (c, a, b) -> sexpr c || sexpr a || sexpr b
+  and vexpr v =
+    match v with
+    | V_var _ -> false
+    | V_init_reduc (_, ty, e) -> Src_type.is_float ty || sexpr e
+    | V_dot_product (ty, a, b, acc) ->
+      Src_type.is_float ty || vexpr a || vexpr b || vexpr acc
+    | V_binop (_, _, a, b)
+    | V_widen_mult (_, _, a, b)
+    | V_pack (_, a, b)
+    | V_interleave (_, _, a, b)
+    | V_cmp (_, _, a, b) ->
+      vexpr a || vexpr b
+    | V_unop (_, _, a) | V_unpack (_, _, a) | V_cvt (_, _, a) -> vexpr a
+    | V_shift (_, _, a, e) -> vexpr a || sexpr e
+    | V_init_uniform (_, e) -> sexpr e
+    | V_init_affine (_, a, b) -> sexpr a || sexpr b
+    | V_aload (_, _, e) | V_align_load (_, _, e) | V_get_rt (_, _, e, _) ->
+      sexpr e
+    | V_load (_, _, e, _) -> sexpr e
+    | V_realign r -> vexpr r.r_v1 || vexpr r.r_v2 || vexpr r.r_rt || sexpr r.r_idx
+    | V_extract x -> List.exists vexpr x.e_parts
+    | V_select (_, c, a, b) -> vexpr c || vexpr a || vexpr b
+  in
+  let stmt_exprs s =
+    match s with
+    | VS_assign (_, e) -> sexpr e
+    | VS_store (_, i, v) -> sexpr i || sexpr v
+    | VS_vassign (_, v) -> vexpr v
+    | VS_vstore st -> sexpr st.st_idx || vexpr st.st_value
+    | VS_for l -> sexpr l.lo || sexpr l.hi || sexpr l.step
+    | VS_if (c, _, _) -> sexpr c
+    | VS_version _ -> false
+  in
+  fold_stmts (fun acc s -> acc || stmt_exprs s) false vk.body

@@ -148,3 +148,11 @@ val scalar_of_kernel : Kernel.t -> vkernel
 (** Fold over every statement, entering loops, ifs and both version
     branches. *)
 val fold_stmts : ('a -> vstmt -> 'a) -> 'a -> vstmt list -> 'a
+
+(** Does the bytecode reduce over floating-point lanes?  Such kernels are
+    the one class whose output bits legitimately vary with a late-bound
+    vector length: the partial-sum partition of a reduction follows the
+    vector factor, and FP addition does not reassociate.  Every other
+    kernel must produce identical bits at every VL of a late-bound
+    target. *)
+val has_fp_reduction : vkernel -> bool

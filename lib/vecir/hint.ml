@@ -19,8 +19,14 @@ let known_mis = function
   | Unknown -> None
   | Static mis | Peeled mis -> Some mis
 
-(* Is the access provably aligned for a vector size of [vs] bytes? *)
+(* Is the access provably aligned for a vector size of [vs] bytes?
+   Hints only carry residues modulo 32, so they can never prove alignment
+   for vectors wider than 32 bytes — wide targets (AVX-512, resolved SVE
+   at 512-bit) must use misaligned/predicated accesses, which they support
+   natively. *)
 let aligned_for ~vs hint =
+  vs <= 32
+  &&
   match known_mis hint with
   | Some mis -> mis mod vs = 0
   | None -> false

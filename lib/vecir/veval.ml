@@ -12,7 +12,7 @@ open Vapor_ir
 open Bytecode
 
 type mode =
-  | Vector of int (* vector size in bytes: 8, 16, or 32 *)
+  | Vector of int (* vector size in bytes: 8, 16, 32, or 64 *)
   | Scalarized (* no SIMD: loop_bound selects scalar bounds *)
 
 exception Error of string
@@ -88,8 +88,10 @@ let check_hint st ~what ~arr ~elem ~idx hint =
   | Hint.Static mis | Hint.Peeled mis ->
     (* Accesses advance by multiples of VS bytes per vector iteration, so
        only the residue mod VS is iteration-invariant; that is also all the
-       JIT consumes from the mod-32 hint. *)
-    let vs = vector_size st in
+       JIT consumes from the mod-32 hint.  The check modulus is capped at
+       32 because hints never promise more than a mod-32 residue — at
+       VS = 64 a byte offset of 32 is consistent with a Static 0 hint. *)
+    let vs = min (vector_size st) 32 in
     if residue vs byte <> residue vs mis then
       errorf "%s %s[%d]: hint %s contradicts byte offset %d" what arr idx
         (Hint.to_string hint) byte
